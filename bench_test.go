@@ -1,0 +1,309 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerated through internal/experiments — the same runners
+// cmd/experiments uses), plus micro-benchmarks of every substrate layer
+// (radix kernels, hash tables, RDMA verbs, baselines, distributed join).
+//
+// Figure benchmarks execute the full paper-scale simulation sweep once per
+// iteration; their tables are printed by `go run ./cmd/experiments -all`
+// and recorded in EXPERIMENTS.md.
+package rackjoin_test
+
+import (
+	"io"
+	"testing"
+
+	"rackjoin"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/experiments"
+	"rackjoin/internal/hashtable"
+	"rackjoin/internal/radix"
+	"rackjoin/internal/rdma"
+	"rackjoin/internal/relation"
+)
+
+// --- Table/figure regeneration benches -----------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(io.Discard, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTab1Symbols(b *testing.B)              { benchExperiment(b, "tab1") }
+func BenchmarkFig3Bandwidth(b *testing.B)            { benchExperiment(b, "fig3") }
+func BenchmarkFig5aSingleVsDistributed(b *testing.B) { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bTransportVariants(b *testing.B)   { benchExperiment(b, "fig5b") }
+func BenchmarkFig6aLargeToLarge(b *testing.B)        { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bSmallToLarge(b *testing.B)        { benchExperiment(b, "fig6b") }
+func BenchmarkFig7aPhaseBreakdown(b *testing.B)      { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bIncreasingWorkload(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig8Skew(b *testing.B)                 { benchExperiment(b, "fig8") }
+func BenchmarkFig9aModelVsFDR(b *testing.B)          { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bModelVsQDR(b *testing.B)          { benchExperiment(b, "fig9b") }
+func BenchmarkFig10aCoresQDR(b *testing.B)           { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bCoresFDR(b *testing.B)           { benchExperiment(b, "fig10b") }
+func BenchmarkSec62BufferSizes(b *testing.B)         { benchExperiment(b, "sec62") }
+func BenchmarkSec67WideTuples(b *testing.B)          { benchExperiment(b, "sec67") }
+func BenchmarkEq12OptimalCores(b *testing.B)         { benchExperiment(b, "eq12") }
+func BenchmarkEq13MaxMachines(b *testing.B)          { benchExperiment(b, "eq13") }
+
+// Ablations (DESIGN.md §5).
+func BenchmarkAblInterleaving(b *testing.B) { benchExperiment(b, "abl-interleave") }
+func BenchmarkAblTransport(b *testing.B)    { benchExperiment(b, "abl-transport") }
+func BenchmarkAblBuffers(b *testing.B)      { benchExperiment(b, "abl-buffers") }
+func BenchmarkAblAssignment(b *testing.B)   { benchExperiment(b, "abl-assignment") }
+func BenchmarkAblAtomic(b *testing.B)       { benchExperiment(b, "abl-atomic") }
+func BenchmarkAblPull(b *testing.B)         { benchExperiment(b, "abl-pull") }
+func BenchmarkAblMultipass(b *testing.B)    { benchExperiment(b, "abl-multipass") }
+func BenchmarkExtAggregation(b *testing.B)  { benchExperiment(b, "ext-agg") }
+
+// --- Distributed join (exec engine, host wall-clock) ---------------------
+
+func benchDistributedJoin(b *testing.B, transport rackjoin.Transport, interleaved bool) {
+	b.Helper()
+	const machines, cores = 4, 4
+	c, err := rackjoin.NewCluster(machines, cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+		InnerTuples: 1 << 18, OuterTuples: 1 << 20, Seed: 1,
+	}, machines)
+	cfg := rackjoin.DefaultJoinConfig()
+	cfg.Transport = transport
+	cfg.Interleaved = interleaved
+	tuples := float64(inner.Len() + outer.Len())
+	b.SetBytes(int64(inner.Size() + outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.Join(c, inner, outer, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matches != 1<<20 {
+			b.Fatalf("wrong result: %d", res.Matches)
+		}
+	}
+	b.ReportMetric(tuples*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtuples/s")
+}
+
+func BenchmarkDistributedJoinTwoSided(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.TwoSided, true)
+}
+func BenchmarkDistributedJoinOneSided(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.OneSided, true)
+}
+func BenchmarkDistributedJoinStream(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.Stream, false)
+}
+func BenchmarkDistributedJoinNonInterleaved(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.TwoSided, false)
+}
+func BenchmarkDistributedJoinTCP(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.TCP, false)
+}
+func BenchmarkDistributedJoinOneSidedAtomic(b *testing.B) {
+	benchDistributedJoin(b, rackjoin.OneSidedAtomic, true)
+}
+
+// --- Single-machine baselines --------------------------------------------
+
+func BenchmarkMCRadixJoin(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 20, OuterTuples: 1 << 22, Seed: 1})
+	b.SetBytes(int64(w.Inner.Size() + w.Outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.RadixJoin(w.Inner, w.Outer, rackjoin.MCJoinConfig{Pass1Bits: 8, Pass2Bits: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matches != 1<<22 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkMCSortMergeJoin(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 20, OuterTuples: 1 << 22, Seed: 1})
+	b.SetBytes(int64(w.Inner.Size() + w.Outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.SortMergeJoin(w.Inner, w.Outer, rackjoin.MCJoinConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matches != 1<<22 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkDistributedAggregation(b *testing.B) {
+	c, err := rackjoin.NewCluster(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 14, OuterTuples: 1 << 20, Seed: 1})
+	rel := relation.Fragment(w.Outer, 4)
+	b.SetBytes(int64(w.Outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.Aggregate(c, rel, rackjoin.DefaultAggConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != 1<<20 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkMCNoPartitionJoin(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 20, OuterTuples: 1 << 22, Seed: 1})
+	b.SetBytes(int64(w.Inner.Size() + w.Outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.NoPartitionJoin(w.Inner, w.Outer, rackjoin.MCJoinConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matches != 1<<22 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkRadixHistogram(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 20, OuterTuples: 1, Seed: 1})
+	b.SetBytes(int64(w.Inner.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := radix.Histogram(w.Inner, 0, 10)
+		if len(h) != 1024 {
+			b.Fatal("bad histogram")
+		}
+	}
+}
+
+func BenchmarkRadixScatter(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 20, OuterTuples: 1, Seed: 1})
+	h := radix.Histogram(w.Inner, 0, 10)
+	dst := relation.New(w.Inner.Width(), w.Inner.Len())
+	b.SetBytes(int64(w.Inner.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cursors, _ := radix.PrefixSum(h)
+		radix.Scatter(w.Inner, dst, cursors, 0, 10)
+	}
+}
+
+func BenchmarkHashTableBuild(b *testing.B) {
+	// Cache-sized partition, as after two radix passes.
+	w := datagen.Generate(datagen.Config{InnerTuples: 2048, OuterTuples: 1, Seed: 1})
+	b.SetBytes(int64(w.Inner.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hashtable.Build(w.Inner).Len() != 2048 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkHashTableProbe(b *testing.B) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 2048, OuterTuples: 1 << 14, Seed: 1})
+	tbl := hashtable.Build(w.Inner)
+	b.SetBytes(int64(w.Outer.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := tbl.ProbeRelation(w.Outer)
+		if m != 1<<14 {
+			b.Fatal("bad probe")
+		}
+	}
+}
+
+func benchRDMA(b *testing.B, op rdma.Opcode, msgSize int) {
+	b.Helper()
+	c, err := rackjoin.NewCluster(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	m0, m1 := c.Machine(0), c.Machine(1)
+	scq := m0.Dev.NewCQ()
+	rcq := m1.Dev.NewCQ()
+	qpA, qpB, err := c.ConnectQPs(0, 1,
+		rdma.QPConfig{SendCQ: scq, RecvCQ: m0.Dev.NewCQ()},
+		rdma.QPConfig{SendCQ: m1.Dev.NewCQ(), RecvCQ: rcq})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := m0.PD.RegisterMemory(make([]byte, msgSize), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := m1.PD.RegisterMemory(make([]byte, msgSize), rdma.AccessLocalWrite|rdma.AccessRemoteWrite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr := rdma.SendWR{Op: op, Signaled: true, Local: rdma.Segment{MR: src, Length: msgSize}}
+		if op == rdma.OpSend {
+			if err := qpB.PostRecv(rdma.RecvWR{Local: rdma.Segment{MR: dst, Length: msgSize}}); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			wr.Remote = rdma.RemoteSegment{RKey: dst.RKey()}
+		}
+		if err := qpA.PostSend(wr); err != nil {
+			b.Fatal(err)
+		}
+		if cpl := scq.Wait(); cpl.Err() != nil {
+			b.Fatal(cpl.Err())
+		}
+	}
+}
+
+func BenchmarkRDMASend64KB(b *testing.B)  { benchRDMA(b, rdma.OpSend, 64<<10) }
+func BenchmarkRDMAWrite64KB(b *testing.B) { benchRDMA(b, rdma.OpWrite, 64<<10) }
+func BenchmarkRDMASend256B(b *testing.B)  { benchRDMA(b, rdma.OpSend, 256) }
+
+func BenchmarkMemoryRegistration(b *testing.B) {
+	c, err := rackjoin.NewCluster(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	pd := c.Machine(0).PD
+	buf := make([]byte, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := pd.RegisterMemory(buf, rdma.AccessRemoteWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mr.Deregister(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZipfHistogram measures the simulator's analytic paper-scale
+// skew histogram derivation (128M keys → 1024 partitions).
+func BenchmarkZipfHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := datagen.PartitionFractions(128<<20, datagen.SkewHigh, 10)
+		if len(f) != 1024 {
+			b.Fatal("bad fractions")
+		}
+	}
+}

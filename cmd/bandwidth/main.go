@@ -1,0 +1,98 @@
+// Command bandwidth reproduces Figure 3: point-to-point bandwidth as a
+// function of message size on the QDR and FDR InfiniBand networks, and —
+// with -measure — the corresponding throughput of the in-process RDMA
+// substrate on this host (two-sided SENDs between two simulated machines;
+// host-dependent, for the shape only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rackjoin"
+	"rackjoin/internal/rdma"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bandwidth: ")
+	measure := flag.Bool("measure", false, "also measure the in-process substrate on this host")
+	flag.Parse()
+
+	fmt.Printf("%10s %14s %14s", "msg bytes", "QDR model MB/s", "FDR model MB/s")
+	if *measure {
+		fmt.Printf(" %16s", "in-process MB/s")
+	}
+	fmt.Println()
+	for sz := 2; sz <= 512<<10; sz *= 2 {
+		fmt.Printf("%10d %14.1f %14.1f", sz, rackjoin.QDR().PointToPoint(sz), rackjoin.FDR().PointToPoint(sz))
+		if *measure {
+			fmt.Printf(" %16.1f", measureLoopback(sz))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: both networks reach and maintain full bandwidth for buffers ≥ 8 KB")
+}
+
+// measureLoopback pushes SENDs of the given size between two in-process
+// devices for a short interval and reports MB/s.
+func measureLoopback(msgSize int) float64 {
+	c, err := rackjoin.NewCluster(2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	m0, m1 := c.Machine(0), c.Machine(1)
+	scq := m0.Dev.NewCQ()
+	rcq := m1.Dev.NewCQ()
+	qpA, qpB, err := c.ConnectQPs(0, 1,
+		rdma.QPConfig{SendCQ: scq, RecvCQ: m0.Dev.NewCQ()},
+		rdma.QPConfig{SendCQ: m1.Dev.NewCQ(), RecvCQ: rcq})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := m0.PD.RegisterMemory(make([]byte, msgSize), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ringSlots = 64
+	dst, err := m1.PD.RegisterMemory(make([]byte, msgSize*ringSlots), rdma.AccessLocalWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < ringSlots; i++ {
+		if err := qpB.PostRecv(rdma.RecvWR{WRID: uint64(i), Local: rdma.Segment{MR: dst, Offset: i * msgSize, Length: msgSize}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var bytes int64
+	var batch [16]rdma.Completion
+	inflight := 0
+	for time.Now().Before(deadline) || inflight > 0 {
+		if time.Now().Before(deadline) && inflight < 32 {
+			if err := qpA.PostSend(rdma.SendWR{Op: rdma.OpSend, Signaled: true, Local: rdma.Segment{MR: src, Length: msgSize}}); err != nil {
+				log.Fatal(err)
+			}
+			inflight++
+		} else {
+			c := scq.Wait()
+			if c.Err() != nil {
+				log.Fatal(c.Err())
+			}
+			inflight--
+			bytes += int64(msgSize)
+		}
+		// Recycle receives.
+		n := rcq.Poll(batch[:])
+		for _, cpl := range batch[:n] {
+			if err := qpB.PostRecv(rdma.RecvWR{WRID: cpl.WRID, Local: rdma.Segment{MR: dst, Offset: int(cpl.WRID) * msgSize, Length: msgSize}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return float64(bytes) / (200e-3) / (1 << 20)
+}

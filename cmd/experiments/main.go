@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's tables and figures
+// (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5a,fig7a
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rackjoin/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		run  = flag.String("run", "", "comma-separated experiment IDs to run")
+		all  = flag.Bool("all", false, "run every experiment")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			if err := experiments.Run(os.Stdout, strings.TrimSpace(id)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,100 @@
+// Command simulate runs what-if scenarios of the distributed join at
+// paper scale: pick a network, rack size, workload and algorithm
+// parameters; get the per-phase simulated execution time next to the
+// analytical model's prediction (Section 5).
+//
+// Examples:
+//
+//	simulate -net qdr -machines 6 -inner 2048 -outer 2048
+//	simulate -net fdr -machines 4 -mode stream
+//	simulate -net qdr -machines 4 -inner 128 -outer 2048 -skew 1.2 \
+//	         -size-sorted -skew-split -broadcast 4
+//	simulate -net qdr -sweep 2,10 -inner 1024 -outer 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rackjoin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	var (
+		netName    = flag.String("net", "qdr", "network: qdr | fdr | ipoib")
+		machines   = flag.Int("machines", 4, "rack size")
+		cores      = flag.Int("cores", 8, "cores per machine")
+		innerM     = flag.Int64("inner", 2048, "inner relation size in millions of tuples")
+		outerM     = flag.Int64("outer", 2048, "outer relation size in millions of tuples")
+		width      = flag.Int("width", 16, "tuple width in bytes")
+		skew       = flag.Float64("skew", 0, "Zipf skew of the outer foreign keys")
+		modeName   = flag.String("mode", "interleaved", "mode: interleaved | non-interleaved | stream")
+		sizeSorted = flag.Bool("size-sorted", false, "dynamic size-sorted partition assignment")
+		skewSplit  = flag.Bool("skew-split", false, "intra-machine build-probe task splitting")
+		broadcast  = flag.Float64("broadcast", 0, "inter-machine work sharing factor (0 = off)")
+		bufSize    = flag.Int("buffer", 64<<10, "RDMA buffer size in bytes")
+		buffers    = flag.Int("buffers", 2, "buffers per (thread, partition)")
+		bits       = flag.Uint("bits", 10, "radix bits of the network pass")
+		sweep      = flag.String("sweep", "", "sweep machine counts, e.g. 2,10")
+	)
+	flag.Parse()
+
+	var net rackjoin.Network
+	switch *netName {
+	case "qdr":
+		net = rackjoin.QDR()
+	case "fdr":
+		net = rackjoin.FDR()
+	case "ipoib":
+		net = rackjoin.IPoIB()
+	default:
+		log.Fatalf("unknown network %q", *netName)
+	}
+	var mode rackjoin.SimMode
+	switch *modeName {
+	case "interleaved":
+		mode = rackjoin.Interleaved
+	case "non-interleaved":
+		mode = rackjoin.NonInterleaved
+	case "stream":
+		mode = rackjoin.StreamMode
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	lo, hi := *machines, *machines
+	if *sweep != "" {
+		if _, err := fmt.Sscanf(*sweep, "%d,%d", &lo, &hi); err != nil || lo < 1 || hi < lo {
+			log.Fatalf("bad -sweep %q (want lo,hi)", *sweep)
+		}
+	}
+	fmt.Printf("%dM ⋈ %dM (%d-byte tuples, skew %.2f) on %s, %d cores/machine, %s\n\n",
+		*innerM, *outerM, *width, *skew, net.Name, *cores, mode)
+
+	for nm := lo; nm <= hi; nm++ {
+		cfg := rackjoin.SimConfig{
+			Machines: nm, Cores: *cores, Net: net,
+			RTuples: *innerM << 20, STuples: *outerM << 20,
+			TupleWidth: *width, Skew: *skew, Mode: mode,
+			NetworkBits: *bits, BufferSize: *bufSize, BuffersPerPartition: *buffers,
+			SizeSortedAssignment: *sizeSorted, SkewSplit: *skewSplit,
+			BroadcastFactor: *broadcast,
+		}
+		res, err := rackjoin.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sec := res.Phases.Seconds()
+		fmt.Printf("%2d machines: hist=%5.2f net=%6.2f local=%5.2f bp=%5.2f | total %6.2f s",
+			nm, sec[0], sec[1], sec[2], sec[3], res.Phases.Total().Seconds())
+		if *skew == 0 && mode == rackjoin.Interleaved && *broadcast == 0 {
+			pred := rackjoin.NewModel(nm, *cores, net).
+				Predict(rackjoin.ModelWorkloadTuples(*innerM<<20, *outerM<<20, *width))
+			fmt.Printf("  (model %6.2f s)", pred.Total().Seconds())
+		}
+		fmt.Printf("  [%.0f MB over network, %d stalls]\n", res.RemoteMB, res.Stalls)
+	}
+}

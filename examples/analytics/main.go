@@ -1,0 +1,72 @@
+// Analytics: the small-to-large foreign-key joins of a star-schema
+// analytics workload (Section 6.4.2) — a fixed large fact table joined
+// against dimension tables of decreasing size (ratios 1:1 to 1:16),
+// compared across transports, plus the paper-scale prediction for the same
+// shape from the analytical model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rackjoin"
+)
+
+const (
+	machines = 4
+	cores    = 4
+	factRows = 1 << 22 // the outer ("fact") relation stays fixed
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := rackjoin.NewCluster(machines, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("small-to-large joins: dimension ⋈ fact (fact fixed at 4M tuples)")
+	fmt.Println()
+	for _, ratio := range []int{1, 2, 4, 8, 16} {
+		dimRows := factRows / ratio
+		inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+			InnerTuples: dimRows,
+			OuterTuples: factRows,
+			Seed:        int64(ratio),
+		}, machines)
+		want := rackjoin.ExpectedJoin(outer)
+
+		res, err := rackjoin.Join(cluster, inner, outer, rackjoin.DefaultJoinConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := res.Matches == want.Matches && res.Checksum == want.Checksum
+		fmt.Printf("1:%-2d  %8d ⋈ %8d  %s  ok=%v\n", ratio, dimRows, factRows, res.Phases, ok)
+	}
+
+	// The same shape at paper scale, from the analytical model: outer
+	// fixed at 2048M tuples on the 4-machine QDR rack (Figure 6b).
+	fmt.Println("\npaper-scale prediction (QDR, 4 machines, outer = 2048M tuples):")
+	sys := rackjoin.NewModel(4, 8, rackjoin.QDR())
+	for _, ratio := range []int{1, 2, 4, 8} {
+		w := rackjoin.ModelWorkloadTuples(int64(2048/ratio)<<20, 2048<<20, 16)
+		fmt.Printf("1:%-2d  predicted %.2f s\n", ratio, sys.Predict(w).Total().Seconds())
+	}
+
+	// Transport comparison on the 1:4 workload.
+	fmt.Println("\ntransport comparison (1:4 workload):")
+	inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+		InnerTuples: factRows / 4, OuterTuples: factRows, Seed: 99,
+	}, machines)
+	for _, tr := range []rackjoin.Transport{rackjoin.TwoSided, rackjoin.OneSided, rackjoin.Stream} {
+		cfg := rackjoin.DefaultJoinConfig()
+		cfg.Transport = tr
+		res, err := rackjoin.Join(cluster, inner, outer, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %s  (%d messages)\n", tr, res.Phases, res.Net.Messages)
+	}
+}

@@ -1,0 +1,3 @@
+module rackjoin
+
+go 1.22

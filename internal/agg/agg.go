@@ -1,0 +1,585 @@
+// Package agg implements a distributed hash aggregation
+// (GROUP BY key → COUNT(*), SUM(rid)) on the same RDMA machinery as the
+// join, substantiating the paper's Section 7 claim that its techniques —
+// RDMA buffer pooling, buffer reuse, interleaving computation and
+// communication — "are general techniques which can be used to create
+// distributed versions of many database operators like sort-merge joins
+// or aggregation".
+//
+// The operator runs in three phases mirroring the join's structure:
+//
+//  1. Local pre-aggregation — every worker scans its input slice and
+//     builds per-partition partial aggregates (key → count, sum), the
+//     classic two-phase aggregation that shrinks network traffic to the
+//     number of distinct groups.
+//  2. Network exchange — partial aggregates are serialised into
+//     RDMA-enabled buffers from a pre-registered pool and shipped to each
+//     partition's owner with channel semantics, interleaving computation
+//     and communication exactly like the join's network partitioning
+//     pass. Aggregated sizes are data-dependent, so the exchange
+//     terminates with per-sender DONE markers instead of histogram-known
+//     byte counts.
+//  3. Merge — owners merge incoming partials into final per-partition
+//     hash tables in parallel.
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/phase"
+	"rackjoin/internal/rdma"
+	"rackjoin/internal/relation"
+)
+
+// recordSize is the wire size of one partial aggregate: key, count, sum.
+const recordSize = 24
+
+// doneFlag marks a sender's end-of-stream message in the immediate value;
+// the low bits of data messages carry the partition id.
+const doneFlag = uint32(1) << 30
+
+// Config parameterises the distributed aggregation.
+type Config struct {
+	// NetworkBits is the radix width of the group-key partitioning
+	// (2^bits partitions, round-robin owners). Default 6.
+	NetworkBits uint
+	// BufferSize is the RDMA buffer capacity in bytes. Default 16 KB.
+	BufferSize int
+	// BuffersPerDestination sizes each thread's buffer pool. Default 2.
+	BuffersPerDestination int
+	// PreAggregate enables local pre-aggregation (default true via
+	// DefaultConfig); disabling it ships raw tuples, which is only
+	// sensible when groups barely repeat.
+	PreAggregate bool
+}
+
+// DefaultConfig returns the defaults described above.
+func DefaultConfig() Config {
+	return Config{NetworkBits: 6, BufferSize: 16 << 10, BuffersPerDestination: 2, PreAggregate: true}
+}
+
+func (c *Config) validate(machines int) error {
+	if c.NetworkBits == 0 || c.NetworkBits > 20 {
+		return fmt.Errorf("agg: NetworkBits %d out of range [1,20]", c.NetworkBits)
+	}
+	if 1<<c.NetworkBits < machines {
+		return fmt.Errorf("agg: 2^NetworkBits < %d machines", machines)
+	}
+	if c.BufferSize < recordSize {
+		return fmt.Errorf("agg: BufferSize %d below record size %d", c.BufferSize, recordSize)
+	}
+	if c.BuffersPerDestination < 1 {
+		return fmt.Errorf("agg: BuffersPerDestination must be ≥ 1")
+	}
+	return nil
+}
+
+// Group is one aggregate: COUNT(*) and SUM(rid) for a key.
+type Group struct {
+	Count uint64
+	Sum   uint64
+}
+
+// Result reports the aggregation outcome.
+type Result struct {
+	// Groups is the number of distinct keys.
+	Groups uint64
+	// Rows is Σ counts — must equal the input cardinality.
+	Rows uint64
+	// Checksum is Σ over groups of (key + count + sum), for verification
+	// against a single-machine reference.
+	Checksum uint64
+	// Phases: Histogram = local pre-aggregation, NetworkPartition =
+	// exchange, BuildProbe = final merge.
+	Phases phase.Times
+	// BytesSent counts exchanged payload bytes.
+	BytesSent uint64
+}
+
+// Run executes the distributed aggregation of rel over the cluster.
+func Run(c *cluster.Cluster, rel *relation.Distributed, cfg Config) (*Result, error) {
+	nm := c.NumMachines()
+	if len(rel.Chunks) != nm {
+		return nil, fmt.Errorf("agg: relation fragmented over %d chunks, cluster has %d machines", len(rel.Chunks), nm)
+	}
+	if err := cfg.validate(nm); err != nil {
+		return nil, err
+	}
+	if nm > 1 && c.Config().CoresPerMachine < 2 {
+		return nil, fmt.Errorf("agg: need ≥ 2 cores per machine (one network thread)")
+	}
+
+	states := make([]*aggState, nm)
+	for m := 0; m < nm; m++ {
+		states[m] = &aggState{cfg: &cfg, m: c.Machine(m), nm: nm, np: 1 << cfg.NetworkBits, input: rel.Chunks[m]}
+	}
+	if err := wirePlanes(c, states); err != nil {
+		return nil, err
+	}
+
+	errs := make([]error, nm)
+	var wg sync.WaitGroup
+	for m := 0; m < nm; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			errs[m] = states[m].run()
+		}(m)
+	}
+	wg.Wait()
+	for m, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("agg: machine %d: %w", m, err)
+		}
+	}
+
+	res := &Result{}
+	for _, st := range states {
+		res.Groups += st.groups
+		res.Rows += st.rows
+		res.Checksum += st.checksum
+		res.BytesSent += st.bytesSent
+		if st.phases.Histogram > res.Phases.Histogram {
+			res.Phases.Histogram = st.phases.Histogram
+		}
+		if st.phases.NetworkPartition > res.Phases.NetworkPartition {
+			res.Phases.NetworkPartition = st.phases.NetworkPartition
+		}
+		if st.phases.BuildProbe > res.Phases.BuildProbe {
+			res.Phases.BuildProbe = st.phases.BuildProbe
+		}
+	}
+	return res, nil
+}
+
+// aggState is the per-machine execution context.
+type aggState struct {
+	cfg   *Config
+	m     *cluster.Machine
+	nm    int
+	np    int
+	input *relation.Relation
+
+	// partials[thread][partition] are the local partial aggregates,
+	// serialised as 24-byte (key, count, sum) records.
+	partials [][][]byte
+
+	// Data plane: one QP per (thread, peer) with per-thread send CQs and
+	// a shared receive CQ drained by the network thread.
+	sendCQ []*rdma.CompletionQueue
+	qps    [][]*rdma.QP
+	recvCQ *rdma.CompletionQueue
+	rings  map[uint32]*ring
+
+	// pending[partition] buffers incoming partial-aggregate records until
+	// the merge phase combines them with the local partials.
+	mu      sync.Mutex
+	pending map[int][]byte
+
+	phases    phase.Times
+	groups    uint64
+	rows      uint64
+	checksum  uint64
+	bytesSent uint64
+}
+
+func (st *aggState) partThreads() int {
+	if st.nm == 1 {
+		return st.m.Cores
+	}
+	return st.m.Cores - 1
+}
+
+type ring struct {
+	qp    *rdma.QP
+	mr    *rdma.MemoryRegion
+	bufSz int
+}
+
+const ringSlots = 8
+
+func wirePlanes(c *cluster.Cluster, states []*aggState) error {
+	nm := len(states)
+	for _, st := range states {
+		threads := st.partThreads()
+		st.sendCQ = make([]*rdma.CompletionQueue, threads)
+		for t := range st.sendCQ {
+			st.sendCQ[t] = st.m.Dev.NewCQ()
+		}
+		st.recvCQ = st.m.Dev.NewCQ()
+		st.qps = make([][]*rdma.QP, threads)
+		for t := range st.qps {
+			st.qps[t] = make([]*rdma.QP, nm)
+		}
+		st.rings = make(map[uint32]*ring)
+		st.pending = make(map[int][]byte)
+	}
+	for a := 0; a < nm; a++ {
+		sa := states[a]
+		for t := 0; t < sa.partThreads(); t++ {
+			for b := 0; b < nm; b++ {
+				if b == a {
+					continue
+				}
+				sb := states[b]
+				qpS, qpR, err := c.ConnectQPs(a, b,
+					rdma.QPConfig{SendCQ: sa.sendCQ[t], RecvCQ: sa.recvCQ},
+					rdma.QPConfig{SendCQ: sb.recvCQ, RecvCQ: sb.recvCQ})
+				if err != nil {
+					return err
+				}
+				sa.qps[t][b] = qpS
+				mr, err := sb.m.PD.RegisterMemory(make([]byte, sa.cfg.BufferSize*ringSlots), rdma.AccessLocalWrite)
+				if err != nil {
+					return err
+				}
+				r := &ring{qp: qpR, mr: mr, bufSz: sa.cfg.BufferSize}
+				for i := 0; i < ringSlots; i++ {
+					if err := r.post(i); err != nil {
+						return err
+					}
+				}
+				sb.rings[qpR.QPN()] = r
+			}
+		}
+	}
+	return nil
+}
+
+func (r *ring) post(slot int) error {
+	return r.qp.PostRecv(rdma.RecvWR{
+		WRID:  uint64(slot),
+		Local: rdma.Segment{MR: r.mr, Offset: slot * r.bufSz, Length: r.bufSz},
+	})
+}
+
+func (st *aggState) run() error {
+	// Phase 1: local pre-aggregation (or raw partitioning).
+	start := time.Now()
+	st.preAggregate()
+	if err := st.m.Barrier(); err != nil {
+		return err
+	}
+	st.phases.Histogram = time.Since(start)
+
+	// Phase 2: exchange.
+	start = time.Now()
+	if err := st.exchange(); err != nil {
+		return err
+	}
+	if err := st.m.Barrier(); err != nil {
+		return err
+	}
+	st.phases.NetworkPartition = time.Since(start)
+
+	// Phase 3: merge owned partitions.
+	start = time.Now()
+	st.merge()
+	st.phases.BuildProbe = time.Since(start)
+	return st.m.Barrier()
+}
+
+// preAggregate builds per-thread, per-partition partial aggregates. With
+// PreAggregate disabled, every tuple becomes its own count-1 record (the
+// naive one-phase aggregation, useful as an ablation of the traffic
+// reduction).
+func (st *aggState) preAggregate() {
+	threads := st.partThreads()
+	st.partials = make([][][]byte, threads)
+	n := st.input.Len()
+	mask := uint64(st.np - 1)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			recs := make([][]byte, st.np)
+			if st.cfg.PreAggregate {
+				maps := make([]map[uint64]Group, st.np)
+				for p := range maps {
+					maps[p] = make(map[uint64]Group)
+				}
+				for i := n * t / threads; i < n*(t+1)/threads; i++ {
+					k := st.input.Key(i)
+					g := maps[k&mask][k]
+					g.Count++
+					g.Sum += st.input.RID(i)
+					maps[k&mask][k] = g
+				}
+				for p, m := range maps {
+					for k, g := range m {
+						recs[p] = appendRecord(recs[p], k, g.Count, g.Sum)
+					}
+				}
+			} else {
+				for i := n * t / threads; i < n*(t+1)/threads; i++ {
+					k := st.input.Key(i)
+					recs[k&mask] = appendRecord(recs[k&mask], k, 1, st.input.RID(i))
+				}
+			}
+			st.partials[t] = recs
+		}(t)
+	}
+	wg.Wait()
+}
+
+func appendRecord(buf []byte, key, count, sum uint64) []byte {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], key)
+	binary.LittleEndian.PutUint64(rec[8:], count)
+	binary.LittleEndian.PutUint64(rec[16:], sum)
+	return append(buf, rec[:]...)
+}
+
+// owner returns the machine owning partition p.
+func (st *aggState) owner(p int) int { return p % st.nm }
+
+// exchange ships partial aggregates to their partition owners.
+func (st *aggState) exchange() error {
+	if st.nm == 1 {
+		return nil
+	}
+	threads := st.partThreads()
+	errs := make([]error, threads+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[threads] = st.receive()
+	}()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = st.send(t)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sender is a per-destination buffer writer over a small pre-registered
+// pool, reusing buffers only after their completion — the join's buffer
+// discipline applied to a second operator.
+type sender struct {
+	mr          *rdma.MemoryRegion
+	bufSz       int
+	cq          *rdma.CompletionQueue
+	free        []int32
+	outstanding int
+	cur         []int32 // per destination
+	fill        []int
+}
+
+func newSender(pd *rdma.ProtectionDomain, cq *rdma.CompletionQueue, bufSz, count, destinations int) (*sender, error) {
+	mr, err := pd.RegisterMemory(make([]byte, bufSz*count), 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &sender{mr: mr, bufSz: bufSz, cq: cq, cur: make([]int32, destinations), fill: make([]int, destinations)}
+	for i := count - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	for d := range s.cur {
+		s.cur[d] = -1
+	}
+	return s, nil
+}
+
+func (s *sender) acquire() (int32, error) {
+	for len(s.free) == 0 {
+		c := s.cq.Wait()
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		s.free = append(s.free, int32(c.WRID))
+		s.outstanding--
+	}
+	b := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return b, nil
+}
+
+func (s *sender) drain() error {
+	for s.outstanding > 0 {
+		c := s.cq.Wait()
+		if err := c.Err(); err != nil {
+			return err
+		}
+		s.free = append(s.free, int32(c.WRID))
+		s.outstanding--
+	}
+	return nil
+}
+
+// send serialises thread t's remote partials and ships them, then sends a
+// DONE marker to every peer.
+func (st *aggState) send(t int) error {
+	count := st.cfg.BuffersPerDestination * (st.nm - 1)
+	snd, err := newSender(st.m.PD, st.sendCQ[t], st.cfg.BufferSize, count, st.nm)
+	if err != nil {
+		return err
+	}
+	flush := func(dest, p int) error {
+		b := snd.cur[dest]
+		if b < 0 || snd.fill[dest] == 0 {
+			return nil
+		}
+		err := st.qps[t][dest].PostSend(rdma.SendWR{
+			WRID: uint64(b), Op: rdma.OpSend, Signaled: true,
+			Imm: uint32(p), HasImm: true,
+			Local: rdma.Segment{MR: snd.mr, Offset: int(b) * snd.bufSz, Length: snd.fill[dest]},
+		})
+		if err != nil {
+			return err
+		}
+		st.bytesSentAdd(uint64(snd.fill[dest]))
+		snd.outstanding++
+		snd.cur[dest] = -1
+		snd.fill[dest] = 0
+		return nil
+	}
+	for p := 0; p < st.np; p++ {
+		dest := st.owner(p)
+		if dest == st.m.ID {
+			continue
+		}
+		recs := st.partials[t][p]
+		for off := 0; off < len(recs); off += recordSize {
+			b := snd.cur[dest]
+			if b < 0 {
+				if b, err = snd.acquire(); err != nil {
+					return err
+				}
+				snd.cur[dest] = b
+				snd.fill[dest] = 0
+			}
+			copy(snd.mr.Bytes()[int(b)*snd.bufSz+snd.fill[dest]:], recs[off:off+recordSize])
+			snd.fill[dest] += recordSize
+			if snd.fill[dest]+recordSize > snd.bufSz {
+				if err := flush(dest, p); err != nil {
+					return err
+				}
+			}
+		}
+		// Records of one buffer must belong to one partition (the Imm
+		// addresses the partition), so flush at partition boundaries.
+		if err := flush(dest, p); err != nil {
+			return err
+		}
+	}
+	// DONE markers, one per peer: tiny inline sends; unsignaled, since
+	// delivery is confirmed by the receiver's marker count and RC order
+	// guarantees they arrive after this thread's data.
+	for d := 0; d < st.nm; d++ {
+		if d == st.m.ID {
+			continue
+		}
+		if err := st.qps[t][d].PostSend(rdma.SendWR{
+			Op: rdma.OpSend, Imm: doneFlag, HasImm: true, Inline: []byte{0},
+		}); err != nil {
+			return err
+		}
+	}
+	return snd.drain()
+}
+
+func (st *aggState) bytesSentAdd(n uint64) {
+	st.mu.Lock()
+	st.bytesSent += n
+	st.mu.Unlock()
+}
+
+// receive drains incoming partials until every (peer, thread) sender has
+// reported DONE.
+func (st *aggState) receive() error {
+	want := (st.nm - 1) * st.partThreads()
+	done := 0
+	for done < want {
+		c := st.recvCQ.Wait()
+		if err := c.Err(); err != nil {
+			return err
+		}
+		r, ok := st.rings[c.QPN]
+		if !ok {
+			return fmt.Errorf("agg: completion from unknown QP %d", c.QPN)
+		}
+		if c.Imm&doneFlag != 0 {
+			done++
+		} else {
+			p := int(c.Imm)
+			payload := r.mr.Bytes()[int(c.WRID)*r.bufSz : int(c.WRID)*r.bufSz+c.Bytes]
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			st.mu.Lock()
+			st.pending[p] = append(st.pending[p], cp...)
+			st.mu.Unlock()
+		}
+		if err := r.post(int(c.WRID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge combines local and received partials of owned partitions into the
+// final aggregates, in parallel over partitions.
+func (st *aggState) merge() {
+	type out struct {
+		groups, rows, checksum uint64
+	}
+	results := make(chan out, st.m.Cores)
+	parts := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < st.m.Cores; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var o out
+			for p := range parts {
+				final := make(map[uint64]Group)
+				mergeRecords := func(buf []byte) {
+					for off := 0; off+recordSize <= len(buf); off += recordSize {
+						k := binary.LittleEndian.Uint64(buf[off:])
+						f := final[k]
+						f.Count += binary.LittleEndian.Uint64(buf[off+8:])
+						f.Sum += binary.LittleEndian.Uint64(buf[off+16:])
+						final[k] = f
+					}
+				}
+				for _, threadRecs := range st.partials {
+					mergeRecords(threadRecs[p])
+				}
+				mergeRecords(st.pending[p])
+				for k, g := range final {
+					o.groups++
+					o.rows += g.Count
+					o.checksum += k + g.Count + g.Sum
+				}
+			}
+			results <- o
+		}()
+	}
+	for p := 0; p < st.np; p++ {
+		if st.owner(p) == st.m.ID {
+			parts <- p
+		}
+	}
+	close(parts)
+	wg.Wait()
+	close(results)
+	for o := range results {
+		st.groups += o.groups
+		st.rows += o.rows
+		st.checksum += o.checksum
+	}
+}

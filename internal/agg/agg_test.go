@@ -1,0 +1,188 @@
+package agg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/relation"
+)
+
+// reference computes the expected aggregation with a plain map.
+func reference(rel *relation.Relation) Result {
+	groups := make(map[uint64]Group)
+	for i := 0; i < rel.Len(); i++ {
+		g := groups[rel.Key(i)]
+		g.Count++
+		g.Sum += rel.RID(i)
+		groups[rel.Key(i)] = g
+	}
+	var res Result
+	for k, g := range groups {
+		res.Groups++
+		res.Rows += g.Count
+		res.Checksum += k + g.Count + g.Sum
+	}
+	return res
+}
+
+func runAgg(t *testing.T, machines, cores int, rel *relation.Relation, cfg Config) (*Result, Result) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := Run(c, relation.Fragment(rel, machines), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reference(rel)
+}
+
+func checkAgg(t *testing.T, res *Result, want Result) {
+	t.Helper()
+	if res.Groups != want.Groups || res.Rows != want.Rows || res.Checksum != want.Checksum {
+		t.Fatalf("got (groups=%d rows=%d sum=%d), want (%d %d %d)",
+			res.Groups, res.Rows, res.Checksum, want.Groups, want.Rows, want.Checksum)
+	}
+}
+
+func TestAggregationUniform(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 15, Seed: 1})
+	res, want := runAgg(t, 4, 4, w.Outer, DefaultConfig())
+	checkAgg(t, res, want)
+	if res.Groups != 1<<10 {
+		t.Fatalf("groups = %d, want %d", res.Groups, 1<<10)
+	}
+	if res.Rows != 1<<15 {
+		t.Fatalf("rows = %d, want %d", res.Rows, 1<<15)
+	}
+	if res.BytesSent == 0 {
+		t.Fatal("no exchange traffic")
+	}
+}
+
+func TestAggregationSkewed(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 8, OuterTuples: 1 << 16, Skew: datagen.SkewHigh, Seed: 2})
+	res, want := runAgg(t, 3, 3, w.Outer, DefaultConfig())
+	checkAgg(t, res, want)
+}
+
+func TestAggregationSingleMachine(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 8, OuterTuples: 1 << 12, Seed: 3})
+	res, want := runAgg(t, 1, 4, w.Outer, DefaultConfig())
+	checkAgg(t, res, want)
+	if res.BytesSent != 0 {
+		t.Fatal("single machine should not exchange")
+	}
+}
+
+func TestAggregationManyMachines(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 9, OuterTuples: 1 << 14, Seed: 4})
+	res, want := runAgg(t, 8, 2, w.Outer, DefaultConfig())
+	checkAgg(t, res, want)
+}
+
+func TestAggregationPreAggregationReducesTraffic(t *testing.T) {
+	// Heavy key repetition: pre-aggregation must shrink the exchange.
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 6, OuterTuples: 1 << 16, Seed: 5})
+	pre := DefaultConfig()
+	raw := DefaultConfig()
+	raw.PreAggregate = false
+	resPre, want := runAgg(t, 4, 3, w.Outer, pre)
+	checkAgg(t, resPre, want)
+	resRaw, want := runAgg(t, 4, 3, w.Outer, raw)
+	checkAgg(t, resRaw, want)
+	if resPre.BytesSent*10 > resRaw.BytesSent {
+		t.Fatalf("pre-aggregation should cut traffic ≥10×: %d vs %d bytes",
+			resPre.BytesSent, resRaw.BytesSent)
+	}
+}
+
+func TestAggregationEmpty(t *testing.T) {
+	res, want := runAgg(t, 2, 2, relation.New(relation.Width16, 0), DefaultConfig())
+	checkAgg(t, res, want)
+	if res.Groups != 0 {
+		t.Fatal("empty input should have no groups")
+	}
+}
+
+func TestAggregationTinyBuffers(t *testing.T) {
+	// One record per buffer.
+	cfg := DefaultConfig()
+	cfg.BufferSize = recordSize
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 8, OuterTuples: 1 << 12, Seed: 6})
+	res, want := runAgg(t, 3, 2, w.Outer, cfg)
+	checkAgg(t, res, want)
+}
+
+func TestAggregationWideTuples(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 8, OuterTuples: 1 << 12, TupleWidth: relation.Width64, Seed: 7})
+	res, want := runAgg(t, 3, 3, w.Outer, DefaultConfig())
+	checkAgg(t, res, want)
+}
+
+func TestAggregationValidation(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Machines: 2, CoresPerMachine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rel := relation.Fragment(relation.New(relation.Width16, 8), 2)
+
+	bad := DefaultConfig()
+	bad.NetworkBits = 0
+	if _, err := Run(c, rel, bad); err == nil {
+		t.Fatal("NetworkBits=0 should fail")
+	}
+	bad = DefaultConfig()
+	bad.BufferSize = 8
+	if _, err := Run(c, rel, bad); err == nil {
+		t.Fatal("tiny buffer should fail")
+	}
+	bad = DefaultConfig()
+	bad.BuffersPerDestination = 0
+	if _, err := Run(c, rel, bad); err == nil {
+		t.Fatal("zero buffers should fail")
+	}
+	if _, err := Run(c, relation.Fragment(relation.New(relation.Width16, 8), 3), DefaultConfig()); err == nil {
+		t.Fatal("chunk mismatch should fail")
+	}
+	c1, err := cluster.New(cluster.Config{Machines: 2, CoresPerMachine: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := Run(c1, rel, DefaultConfig()); err == nil {
+		t.Fatal("one core should fail")
+	}
+}
+
+// Property: the distributed aggregation matches the map reference for
+// arbitrary seeds, shapes and pre-aggregation settings.
+func TestPropertyAggregationCorrect(t *testing.T) {
+	f := func(seed int64, nm8, cores8, bits8 uint8, pre bool) bool {
+		machines := int(nm8%5) + 1
+		cores := int(cores8%3) + 2
+		cfg := DefaultConfig()
+		cfg.NetworkBits = uint(bits8%5) + 3
+		cfg.PreAggregate = pre
+		w := datagen.Generate(datagen.Config{InnerTuples: 200, OuterTuples: 3000, Seed: seed, Skew: float64(seed%2) * datagen.SkewLow})
+		c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: cores})
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		res, err := Run(c, relation.Fragment(w.Outer, machines), cfg)
+		if err != nil {
+			return false
+		}
+		want := reference(w.Outer)
+		return res.Groups == want.Groups && res.Rows == want.Rows && res.Checksum == want.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rackjoin/internal/rdma"
+)
+
+func newTestCluster(t *testing.T, machines, cores int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Machines: machines, CoresPerMachine: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Machines: 0, CoresPerMachine: 1}); err == nil {
+		t.Fatal("zero machines should fail")
+	}
+	if _, err := New(Config{Machines: 1, CoresPerMachine: 0}); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	c := newTestCluster(t, 4, 8)
+	if c.NumMachines() != 4 {
+		t.Fatalf("NumMachines = %d", c.NumMachines())
+	}
+	for i, m := range c.Machines() {
+		if m.ID != i || m.Cores != 8 {
+			t.Fatalf("machine %d malformed", i)
+		}
+		if len(m.Peers()) != 3 {
+			t.Fatalf("machine %d has %d peers", i, len(m.Peers()))
+		}
+		if c.Machine(i) != m {
+			t.Fatal("Machine accessor mismatch")
+		}
+		if m.Cluster() != c {
+			t.Fatal("Cluster back-pointer mismatch")
+		}
+	}
+}
+
+func TestCtlSendRecv(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	done := make(chan error, 1)
+	go func() {
+		got, err := c.Machine(1).CtlRecv(0)
+		if err == nil && string(got) != "histogram" {
+			err = &mismatchErr{string(got)}
+		}
+		done <- err
+	}()
+	if err := c.Machine(0).CtlSend(1, []byte("histogram")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type mismatchErr struct{ got string }
+
+func (e *mismatchErr) Error() string { return "payload mismatch: " + e.got }
+
+func TestCtlUnknownPeer(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	if err := c.Machine(0).CtlSend(5, nil); err == nil {
+		t.Fatal("unknown peer send should fail")
+	}
+	if _, err := c.Machine(0).CtlRecv(5); err == nil {
+		t.Fatal("unknown peer recv should fail")
+	}
+	if err := c.Machine(0).CtlSend(1, make([]byte, defaultCtlBufSize+1)); err == nil {
+		t.Fatal("oversized control message should fail")
+	}
+}
+
+func TestCtlManyMessagesFIFO(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	const n = 200
+	errs := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			got, err := c.Machine(1).CtlRecv(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != 1 || got[0] != byte(i) {
+				errs <- &mismatchErr{string(got)}
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := c.Machine(0).CtlSend(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, nm := range []int{1, 2, 5} {
+		c := newTestCluster(t, nm, 1)
+		var phase atomic.Int32
+		var wg sync.WaitGroup
+		for _, m := range c.Machines() {
+			wg.Add(1)
+			go func(m *Machine) {
+				defer wg.Done()
+				phase.Add(1)
+				if err := m.Barrier(); err != nil {
+					t.Errorf("barrier: %v", err)
+					return
+				}
+				// After the barrier, every machine must have entered.
+				if got := phase.Load(); got != int32(nm) {
+					t.Errorf("machine %d passed barrier with only %d/%d entered", m.ID, got, nm)
+				}
+			}(m)
+		}
+		wg.Wait()
+	}
+}
+
+func TestBarrierRepeated(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := m.Barrier(); err != nil {
+					t.Errorf("barrier %d on %d: %v", i, m.ID, err)
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestAllGather(t *testing.T) {
+	c := newTestCluster(t, 4, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			got, err := m.AllGather([]byte{byte(m.ID), byte(m.ID * 2)})
+			if err != nil {
+				t.Errorf("machine %d: %v", m.ID, err)
+				return
+			}
+			if len(got) != 4 {
+				t.Errorf("machine %d: %d contributions", m.ID, len(got))
+				return
+			}
+			for p, b := range got {
+				if len(b) != 2 || b[0] != byte(p) || b[1] != byte(p*2) {
+					t.Errorf("machine %d: bad contribution from %d: %v", m.ID, p, b)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestAllGatherUint64(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			vec := []uint64{uint64(m.ID), 100 + uint64(m.ID), 200}
+			got, err := m.AllGatherUint64(vec)
+			if err != nil {
+				t.Errorf("machine %d: %v", m.ID, err)
+				return
+			}
+			for p, v := range got {
+				if v[0] != uint64(p) || v[1] != 100+uint64(p) || v[2] != 200 {
+					t.Errorf("machine %d: bad vector from %d: %v", m.ID, p, v)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestAllGatherRepeated(t *testing.T) {
+	// Histograms for R and S are exchanged back-to-back; ensure channel
+	// reuse across consecutive all-gathers is clean.
+	c := newTestCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				got, err := m.AllGather([]byte{byte(round), byte(m.ID)})
+				if err != nil {
+					t.Errorf("round %d machine %d: %v", round, m.ID, err)
+					return
+				}
+				for p, b := range got {
+					if b[0] != byte(round) || b[1] != byte(p) {
+						t.Errorf("round %d: stale data from %d", round, p)
+						return
+					}
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestRunAll(t *testing.T) {
+	c := newTestCluster(t, 3, 4)
+	var count atomic.Int32
+	seen := make([][]bool, 3)
+	for i := range seen {
+		seen[i] = make([]bool, 4)
+	}
+	var mu sync.Mutex
+	c.RunAll(func(m *Machine, core int) {
+		count.Add(1)
+		mu.Lock()
+		seen[m.ID][core] = true
+		mu.Unlock()
+	})
+	if count.Load() != 12 {
+		t.Fatalf("ran %d workers, want 12", count.Load())
+	}
+	for i := range seen {
+		for j := range seen[i] {
+			if !seen[i][j] {
+				t.Fatalf("machine %d core %d never ran", i, j)
+			}
+		}
+	}
+}
+
+func TestRunPerMachine(t *testing.T) {
+	c := newTestCluster(t, 5, 2)
+	var count atomic.Int32
+	c.RunPerMachine(func(m *Machine) { count.Add(1) })
+	if count.Load() != 5 {
+		t.Fatalf("ran %d, want 5", count.Load())
+	}
+}
+
+func TestConnectQPs(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	m0, m1 := c.Machine(0), c.Machine(1)
+	scq0, rcq0 := m0.Dev.NewCQ(), m0.Dev.NewCQ()
+	scq1, rcq1 := m1.Dev.NewCQ(), m1.Dev.NewCQ()
+	qpA, qpB, err := c.ConnectQPs(0, 1,
+		rdma.QPConfig{SendCQ: scq0, RecvCQ: rcq0},
+		rdma.QPConfig{SendCQ: scq1, RecvCQ: rcq1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qpA.Remote() != qpB || qpB.Remote() != qpA {
+		t.Fatal("QPs not connected")
+	}
+	// One-sided write over the data plane.
+	src, err := m0.PD.RegisterMemory(make([]byte, 64), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := m1.PD.RegisterMemory(make([]byte, 64), rdma.AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(src.Bytes(), []byte("data plane payload"))
+	if err := qpA.PostSend(rdma.SendWR{
+		Op: rdma.OpWrite, Signaled: true,
+		Local:  rdma.Segment{MR: src, Length: 18},
+		Remote: rdma.RemoteSegment{RKey: dst.RKey()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cpl := scq0.Wait(); cpl.Err() != nil {
+		t.Fatal(cpl.Err())
+	}
+	if string(dst.Bytes()[:18]) != "data plane payload" {
+		t.Fatal("payload mismatch over data plane")
+	}
+}
+
+func TestGatherBroadcast(t *testing.T) {
+	c := newTestCluster(t, 4, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			vec := []uint64{uint64(m.ID * 10), uint64(m.ID*10 + 1)}
+			got, err := m.GatherBroadcastUint64(2, vec)
+			if err != nil {
+				t.Errorf("machine %d: %v", m.ID, err)
+				return
+			}
+			for p, v := range got {
+				if v[0] != uint64(p*10) || v[1] != uint64(p*10+1) {
+					t.Errorf("machine %d: bad vector from %d: %v", m.ID, p, v)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestGatherAtRoot(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			got, err := m.Gather(0, []byte{byte(m.ID + 1)})
+			if err != nil {
+				t.Errorf("machine %d: %v", m.ID, err)
+				return
+			}
+			if m.ID != 0 {
+				if got != nil {
+					t.Errorf("non-root machine %d received gather output", m.ID)
+				}
+				return
+			}
+			for p, b := range got {
+				if len(b) != 1 || b[0] != byte(p+1) {
+					t.Errorf("root: bad contribution from %d: %v", p, b)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestBroadcastFromRoot(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	for _, m := range c.Machines() {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			var data []byte
+			if m.ID == 1 {
+				data = []byte("global histogram")
+			}
+			got, err := m.Broadcast(1, data)
+			if err != nil {
+				t.Errorf("machine %d: %v", m.ID, err)
+				return
+			}
+			if string(got) != "global histogram" {
+				t.Errorf("machine %d got %q", m.ID, got)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestCollectiveRootValidation(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	if _, err := c.Machine(0).Gather(9, nil); err == nil {
+		t.Fatal("bad gather root should fail")
+	}
+	if _, err := c.Machine(0).Broadcast(-1, nil); err == nil {
+		t.Fatal("bad broadcast root should fail")
+	}
+}

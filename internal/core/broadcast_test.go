@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/relation"
+)
+
+// skewedForBroadcast is a workload where one key dominates the outer
+// relation: its partition qualifies for selective broadcast (|S_p| far
+// above average and far above N_M·|R_p|).
+var skewedForBroadcast = datagen.Config{
+	InnerTuples: 1 << 12, OuterTuples: 1 << 16,
+	Skew: datagen.SkewHigh, Seed: 77,
+}
+
+func broadcastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Assignment = AssignSizeSorted
+	cfg.SkewSplitFactor = 2
+	cfg.BroadcastFactor = 4
+	return cfg
+}
+
+func TestBroadcastJoinCorrect(t *testing.T) {
+	res, want := runJoin(t, 4, 4, skewedForBroadcast, broadcastConfig())
+	checkResult(t, res, want)
+	// The hot partition must actually be shared: resident partition
+	// counts then sum to more than the partition count.
+	total := 0
+	for _, n := range res.PartitionsPerMachine {
+		total += n
+	}
+	if total <= 1<<broadcastConfig().NetworkBits {
+		t.Fatalf("no partition was broadcast (resident sum %d)", total)
+	}
+}
+
+func TestBroadcastAllTransports(t *testing.T) {
+	for _, tr := range []Transport{TransportTwoSided, TransportOneSided, TransportStream, TransportTCP, TransportOneSidedAtomic} {
+		cfg := broadcastConfig()
+		cfg.Transport = tr
+		res, want := runJoin(t, 3, 3, skewedForBroadcast, cfg)
+		checkResult(t, res, want)
+	}
+}
+
+func TestBroadcastReducesNetworkTraffic(t *testing.T) {
+	// With the hot outer partition kept local and only the small inner
+	// side replicated, far fewer bytes cross the network.
+	noShare := broadcastConfig()
+	noShare.BroadcastFactor = 0
+	withShare := broadcastConfig()
+
+	resNo, want := runJoin(t, 4, 4, skewedForBroadcast, noShare)
+	checkResult(t, resNo, want)
+	resYes, want := runJoin(t, 4, 4, skewedForBroadcast, withShare)
+	checkResult(t, resYes, want)
+	if resYes.Net.BytesSent >= resNo.Net.BytesSent {
+		t.Fatalf("broadcast should reduce traffic: %d vs %d bytes",
+			resYes.Net.BytesSent, resNo.Net.BytesSent)
+	}
+}
+
+func TestBroadcastUniformDataUnaffected(t *testing.T) {
+	// On uniform data no partition qualifies; results and assignment
+	// match the plain configuration.
+	cfg := DefaultConfig()
+	cfg.BroadcastFactor = 4
+	res, want := runJoin(t, 4, 4, smallWorkload, cfg)
+	checkResult(t, res, want)
+	total := 0
+	for _, n := range res.PartitionsPerMachine {
+		total += n
+	}
+	if total != 1<<cfg.NetworkBits {
+		t.Fatalf("uniform data should broadcast nothing, resident sum %d", total)
+	}
+}
+
+func TestBroadcastIgnoresSmallOuter(t *testing.T) {
+	// A hot partition whose outer side is NOT much larger than N_M times
+	// its inner side must not be broadcast (shipping S is cheaper).
+	// 1:1 relation sizes guarantee |S_p| ≈ |R_p| even under mild skew.
+	dcfg := datagen.Config{InnerTuples: 1 << 12, OuterTuples: 1 << 12, Seed: 5}
+	cfg := DefaultConfig()
+	cfg.BroadcastFactor = 1.01
+	res, want := runJoin(t, 4, 2, dcfg, cfg)
+	checkResult(t, res, want)
+	total := 0
+	for _, n := range res.PartitionsPerMachine {
+		total += n
+	}
+	if total != 1<<cfg.NetworkBits {
+		t.Fatalf("1:1 workload should broadcast nothing, resident sum %d", total)
+	}
+}
+
+func TestBroadcastWithMaterialization(t *testing.T) {
+	cfg := broadcastConfig()
+	var total int64
+	var lock chan struct{} = make(chan struct{}, 1)
+	lock <- struct{}{}
+	cfg.ResultSink = func(machine int, records []byte) {
+		<-lock
+		total += int64(len(records) / 24)
+		lock <- struct{}{}
+	}
+	res, want := runJoin(t, 3, 3, skewedForBroadcast, cfg)
+	checkResult(t, res, want)
+	if uint64(total) != want.Matches {
+		t.Fatalf("materialised %d records, want %d", total, want.Matches)
+	}
+}
+
+// Property: the join result is invariant under broadcast factor, transport
+// and machine count for skewed workloads.
+func TestPropertyBroadcastInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	f := func(seed int64, nm8, tr8, fac8 uint8) bool {
+		machines := int(nm8%4) + 2
+		transport := Transport(tr8 % 5)
+		cfg := DefaultConfig()
+		cfg.Transport = transport
+		cfg.Assignment = AssignSizeSorted
+		cfg.SkewSplitFactor = 2
+		cfg.BroadcastFactor = float64(fac8%8) + 1
+		cfg.NetworkBits = 5
+		dcfg := datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 14, Skew: datagen.SkewHigh, Seed: seed}
+		w := datagen.Generate(dcfg)
+		want := datagen.ExpectedJoin(w.Outer)
+		res, wantCheck := runJoinQuick(machines, 3, w, cfg)
+		if res == nil {
+			return false
+		}
+		_ = wantCheck
+		return res.Matches == want.Matches && res.Checksum == want.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runJoinQuick is the error-swallowing variant used by property tests.
+func runJoinQuick(machines, cores int, w datagen.Workload, jcfg Config) (*Result, datagen.Expected) {
+	c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: cores})
+	if err != nil {
+		return nil, datagen.Expected{}
+	}
+	defer c.Close()
+	want := datagen.ExpectedJoin(w.Outer)
+	res, err := Run(c, relation.Fragment(w.Inner, machines), relation.Fragment(w.Outer, machines), jcfg)
+	if err != nil {
+		return nil, want
+	}
+	return res, want
+}

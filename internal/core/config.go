@@ -1,0 +1,270 @@
+// Package core implements the paper's contribution: the distributed radix
+// hash join using RDMA (Section 4).
+//
+// The join runs on a cluster.Cluster and proceeds in the paper's four
+// phases:
+//
+//  1. Histogram computation — per-thread histograms are combined into
+//     machine-level histograms, exchanged with an all-gather over the
+//     control plane, and combined into the global histogram from which the
+//     partition→machine assignment and all buffer sizes/offsets derive.
+//  2. Network partitioning pass — every worker radix-partitions its input
+//     slice; tuples of locally-owned partitions go straight into the
+//     exactly-sized destination region, tuples of remote partitions go
+//     into fixed-size RDMA buffers drawn from a pre-registered per-thread
+//     pool and are shipped when full. With interleaving on, the thread
+//     keeps partitioning on spare buffers while transfers are in flight;
+//     buffers return to the pool when their completion is polled.
+//  3. Local partitioning pass — each machine radix-partitions its received
+//     partitions by the next bit window so they fit the CPU cache.
+//  4. Build & probe — per sub-partition hash tables; heavily skewed
+//     partitions are split across threads (Section 4.3).
+//
+// Both one-sided (memory semantics: direct placement at histogram-derived
+// offsets) and two-sided (channel semantics: receive buffers drained by a
+// dedicated network thread) variants are implemented, plus a stream
+// transport that emulates the TCP/IP comparison point of Section 6.3
+// (extra staging copy, no interleaving).
+package core
+
+import (
+	"fmt"
+
+	"rackjoin/internal/relation"
+	"rackjoin/internal/trace"
+)
+
+// Transport selects the communication mechanism of the network
+// partitioning pass.
+type Transport int
+
+const (
+	// TransportTwoSided uses SEND/RECV channel semantics with a dedicated
+	// network thread per machine draining receive buffers (Section 4.2.2,
+	// small-memory variant; also what the paper's evaluation uses).
+	TransportTwoSided Transport = iota
+	// TransportOneSided uses one-sided WRITEs directly into per-partition
+	// regions at offsets derived from the histogram phase (Section 4.2.2,
+	// large-memory variant). No remote CPU involvement.
+	TransportOneSided
+	// TransportStream emulates the TCP/IP (IPoIB) implementation: channel
+	// semantics with an additional sender-side staging copy per message
+	// and strictly synchronous (non-interleaved) sends.
+	TransportStream
+	// TransportTCP runs the data plane over real kernel TCP sockets
+	// (loopback), reproducing the paper's TCP/IP network component on an
+	// actual network stack: every transfer crosses the kernel boundary
+	// with copy semantics. The control plane stays on verbs.
+	TransportTCP
+	// TransportOneSidedAtomic is a one-sided variant that skips the
+	// histogram-derived exact write offsets: before each WRITE the sender
+	// reserves space in the destination partition with a remote
+	// fetch-and-add on a cursor word (the design several post-paper RDMA
+	// join systems use). It demonstrates the cost of the extra atomic
+	// round-trip per buffer that the paper's histogram phase avoids.
+	TransportOneSidedAtomic
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TransportTwoSided:
+		return "two-sided"
+	case TransportOneSided:
+		return "one-sided"
+	case TransportStream:
+		return "stream"
+	case TransportTCP:
+		return "tcp"
+	case TransportOneSidedAtomic:
+		return "one-sided-atomic"
+	case TransportOneSidedRead:
+		return "one-sided-read"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// HistogramExchange selects how machine-level histograms are combined
+// into the global histogram (Section 4.1: "they can either be sent to a
+// predesignated coordinator or distributed among all the nodes").
+type HistogramExchange int
+
+const (
+	// ExchangeAllGather distributes machine histograms among all nodes.
+	ExchangeAllGather HistogramExchange = iota
+	// ExchangeCoordinator gathers them at machine 0, which combines and
+	// broadcasts.
+	ExchangeCoordinator
+)
+
+// String implements fmt.Stringer.
+func (h HistogramExchange) String() string {
+	switch h {
+	case ExchangeAllGather:
+		return "all-gather"
+	case ExchangeCoordinator:
+		return "coordinator"
+	default:
+		return fmt.Sprintf("HistogramExchange(%d)", int(h))
+	}
+}
+
+// Assignment selects the partition→machine assignment strategy computed
+// from the global histogram (Section 4.1).
+type Assignment int
+
+const (
+	// AssignRoundRobin statically assigns partition p to machine p mod N.
+	AssignRoundRobin Assignment = iota
+	// AssignSizeSorted sorts partitions by element count (descending) and
+	// deals them round-robin, so the largest partitions land on distinct
+	// machines. Used for skewed workloads (Section 6.5).
+	AssignSizeSorted
+)
+
+// String implements fmt.Stringer.
+func (a Assignment) String() string {
+	switch a {
+	case AssignRoundRobin:
+		return "round-robin"
+	case AssignSizeSorted:
+		return "size-sorted"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+// Config parameterises the distributed join.
+type Config struct {
+	// NetworkBits (b1) is the radix width of the network partitioning
+	// pass: 2^b1 global partitions. Must satisfy 2^b1 ≥ machines.
+	// The paper uses 10; the default 6 suits test-scale inputs.
+	NetworkBits uint
+	// LocalBits (b2) is the radix width of the local partitioning pass;
+	// 0 skips the pass. The paper uses 10.
+	LocalBits uint
+	// BufferSize is the RDMA buffer payload capacity in bytes (paper:
+	// 64 KB, Section 6.2). Must hold at least one tuple.
+	BufferSize int
+	// BuffersPerPartition sizes each thread's buffer pool as
+	// BuffersPerPartition × (number of remote partitions). The paper
+	// requires ≥ 2 for interleaving to help; 1 forces a stall per flush.
+	BuffersPerPartition int
+	// Transport selects one-sided, two-sided or stream mode.
+	Transport Transport
+	// Interleaved enables overlapping partitioning with network transfers
+	// (Section 4.2.1). When false a thread waits for each transfer to
+	// complete before continuing — the Figure 5b ablation.
+	Interleaved bool
+	// Assignment selects the partition→machine assignment strategy.
+	Assignment Assignment
+	// Exchange selects the histogram exchange topology (Section 4.1).
+	Exchange HistogramExchange
+	// SkewSplitFactor enables the skew handling of Section 4.3: a
+	// build-probe task whose outer part exceeds factor × average is split
+	// into range-probe subtasks sharing one hash table. 0 disables.
+	SkewSplitFactor float64
+	// BroadcastFactor enables the inter-machine work sharing the paper
+	// proposes as future work (Sections 6.5 and 8), in the
+	// selective-broadcast form of Rödiger et al. [28]: a partition whose
+	// outer side exceeds factor × the average machine load — and for
+	// which replicating the inner side is cheaper than shipping the outer
+	// side — is processed by every machine: its inner tuples are
+	// broadcast, its outer tuples never leave their machine. 0 disables.
+	BroadcastFactor float64
+	// QPDepth bounds outstanding work requests per data-plane queue pair.
+	// 0 means the rdma default.
+	QPDepth int
+	// ResultSink, when non-nil, receives materialised join results
+	// (24-byte <key, innerRID, outerRID> records, see hashtable.
+	// ResultWidth). It may be called concurrently from several workers
+	// of several machines; records passed are owned by the callee.
+	ResultSink func(machine int, records []byte)
+	// ResultTarget, when ≥ 0 and ResultSink is set, ships materialised
+	// results over RDMA-enabled output buffers to the given machine
+	// (Section 4.3's remote-result variant); the sink then fires only on
+	// the target. Negative (the DefaultConfig value) sinks locally on
+	// each producing machine.
+	ResultTarget int
+	// Trace, when non-nil, records per-machine phase spans of the
+	// execution for timeline rendering.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the test-scale defaults described above.
+func DefaultConfig() Config {
+	return Config{
+		NetworkBits:         6,
+		LocalBits:           6,
+		BufferSize:          16 << 10,
+		BuffersPerPartition: 2,
+		Transport:           TransportTwoSided,
+		Interleaved:         true,
+		Assignment:          AssignRoundRobin,
+		ResultTarget:        -1,
+	}
+}
+
+// PaperConfig returns the paper's evaluation parameters: two passes of 10
+// bits, 64 KB buffers, channel semantics, interleaved communication.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.NetworkBits = 10
+	c.LocalBits = 10
+	c.BufferSize = 64 << 10
+	return c
+}
+
+func (c *Config) validate(machines, cores, width int) error {
+	if c.NetworkBits == 0 || c.NetworkBits > 20 {
+		return fmt.Errorf("core: NetworkBits %d out of range [1,20]", c.NetworkBits)
+	}
+	if c.LocalBits > 20 {
+		return fmt.Errorf("core: LocalBits %d out of range [0,20]", c.LocalBits)
+	}
+	if 1<<c.NetworkBits < machines {
+		return fmt.Errorf("core: 2^NetworkBits = %d < %d machines", 1<<c.NetworkBits, machines)
+	}
+	if c.BufferSize < width {
+		return fmt.Errorf("core: BufferSize %d smaller than tuple width %d", c.BufferSize, width)
+	}
+	if c.BuffersPerPartition < 1 {
+		return fmt.Errorf("core: BuffersPerPartition must be ≥ 1, got %d", c.BuffersPerPartition)
+	}
+	if machines > 1 && cores < 2 && c.usesNetworkThread() {
+		return fmt.Errorf("core: %s transport needs ≥ 2 cores per machine (one network thread)", c.Transport)
+	}
+	if c.SkewSplitFactor < 0 {
+		return fmt.Errorf("core: negative SkewSplitFactor")
+	}
+	if c.BroadcastFactor < 0 {
+		return fmt.Errorf("core: negative BroadcastFactor")
+	}
+	if c.ResultSink != nil && c.ResultTarget >= machines {
+		return fmt.Errorf("core: ResultTarget %d out of range for %d machines", c.ResultTarget, machines)
+	}
+	if c.Transport == TransportOneSidedRead {
+		if err := validatePull(c, cores); err != nil {
+			return err
+		}
+	}
+	if !relation.ValidWidth(width) {
+		return fmt.Errorf("core: invalid tuple width %d", width)
+	}
+	return nil
+}
+
+// usesNetworkThread reports whether the transport dedicates one core per
+// machine to draining incoming data (channel semantics).
+func (c *Config) usesNetworkThread() bool {
+	return c.Transport == TransportTwoSided || c.Transport == TransportStream ||
+		c.Transport == TransportTCP
+}
+
+// interleaved reports the effective interleaving setting: the stream and
+// TCP transports are always synchronous (TCP sends complete once the
+// kernel copied the payload, so buffers are immediately reusable).
+func (c *Config) interleaved() bool {
+	return c.Interleaved && c.Transport != TransportStream && c.Transport != TransportTCP
+}

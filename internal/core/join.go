@@ -1,0 +1,613 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/phase"
+	"rackjoin/internal/radix"
+	"rackjoin/internal/rdma"
+	"rackjoin/internal/relation"
+	"rackjoin/internal/tcpnet"
+)
+
+// Run executes the distributed radix hash join of inner ⋈ outer over the
+// given cluster. inner.Chunks[m] and outer.Chunks[m] are the tuples
+// resident on machine m before the join (the data loading of Section
+// 6.1.1). Run blocks until all machines finish and returns the combined
+// result.
+func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*Result, error) {
+	nm := c.NumMachines()
+	if len(inner.Chunks) != nm || len(outer.Chunks) != nm {
+		return nil, fmt.Errorf("core: relations fragmented over %d/%d chunks, cluster has %d machines",
+			len(inner.Chunks), len(outer.Chunks), nm)
+	}
+	width := inner.Width()
+	if width == 0 {
+		width = outer.Width()
+	}
+	if width == 0 {
+		width = relation.Width16
+	}
+	if outer.Width() != 0 && inner.Width() != 0 && outer.Width() != inner.Width() {
+		return nil, fmt.Errorf("core: tuple width mismatch %d vs %d", inner.Width(), outer.Width())
+	}
+	cores := c.Config().CoresPerMachine
+	if err := cfg.validate(nm, cores, width); err != nil {
+		return nil, err
+	}
+
+	states := make([]*machineState, nm)
+	for m := 0; m < nm; m++ {
+		states[m] = newMachineState(c.Machine(m), &cfg, nm, width, inner.Chunks[m], outer.Chunks[m])
+	}
+	mesh, err := wireDataPlane(c, states)
+	if err != nil {
+		return nil, err
+	}
+	if mesh != nil {
+		defer mesh.Close()
+	}
+
+	before := deviceTotals(c)
+	errs := make([]error, nm)
+	var wg sync.WaitGroup
+	for m := 0; m < nm; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			errs[m] = states[m].run()
+		}(m)
+	}
+	wg.Wait()
+	for m, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: machine %d: %w", m, err)
+		}
+	}
+	return assembleResult(c, states, before), nil
+}
+
+// machineState is the per-machine execution context of one join.
+type machineState struct {
+	cfg   *Config
+	m     *cluster.Machine
+	nm    int
+	np    int // 2^NetworkBits
+	width int
+	R, S  *relation.Relation
+
+	// partThreads is the number of cores partitioning during the network
+	// pass; with channel semantics one core is the network thread.
+	partThreads int
+
+	// Histogram phase outputs.
+	threadHistR, threadHistS [][]int64 // [thread][partition]
+	allHistR, allHistS       [][]uint64
+	globalR, globalS         []int64
+	owner                    []int  // -1 for broadcast partitions
+	broadcast                []bool // partitions processed by every machine
+	owned                    []int  // partitions with owner == this machine
+	resident                 []int  // owned ∪ broadcast: processed here
+	// slabOffR/S[m][p]: tuple offset of partition p within machine m's
+	// slab, or -1 when p is not resident on m. Identical on all machines
+	// by construction. A broadcast partition holds the full inner
+	// relation replica but only the machine's local outer share.
+	slabOffR, slabOffS       [][]int64
+	slabTuplesR, slabTuplesS int64 // this machine's slab sizes
+	slabR, slabS             *relation.Relation
+	mrR, mrS                 *rdma.MemoryRegion
+	mrCur                    *rdma.MemoryRegion // append cursors (atomic-append)
+	rkeysR, rkeysS           []uint64           // per owner machine (one-sided)
+	rkeysCur                 []uint64           // cursor region rkeys (atomic-append)
+
+	// Data plane.
+	sendCQ []*rdma.CompletionQueue // per partitioning thread
+	qps    [][]*rdma.QP            // [thread][peer machine]
+	pools  []*bufferPool           // per partitioning thread
+	recvCQ *rdma.CompletionQueue
+	rings  map[uint32]*recvRing // by local QPN
+	// TCP data plane (TransportTCP only).
+	tcp      *tcpnet.Endpoint
+	tcpBytes atomic.Uint64
+	tcpMsgs  atomic.Uint64
+
+	// Pull transport staging (TransportOneSidedRead only).
+	stageR, stageS           *relation.Relation
+	stageMRR, stageMRS       *rdma.MemoryRegion
+	stageOffR, stageOffS     []int64
+	stageRkeysR, stageRkeysS []uint64
+
+	// Result plane (ResultTarget ≥ 0 only).
+	resCQ     []*rdma.CompletionQueue // per worker (senders)
+	resQP     []*rdma.QP              // per worker (senders)
+	resRecvCQ *rdma.CompletionQueue   // target side
+	resRings  map[uint32]*recvRing    // target side
+
+	phases     phase.Times
+	matches    uint64
+	checksum   uint64
+	poolStalls uint64
+	resultMu   sync.Mutex
+}
+
+func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relation.Relation) *machineState {
+	st := &machineState{
+		cfg: cfg, m: m, nm: nm, np: 1 << cfg.NetworkBits, width: width,
+		R: r, S: s,
+		rings:    make(map[uint32]*recvRing),
+		resRings: make(map[uint32]*recvRing),
+	}
+	st.partThreads = m.Cores
+	if nm > 1 && cfg.usesNetworkThread() {
+		st.partThreads = m.Cores - 1
+	}
+	return st
+}
+
+// span starts a trace span for this machine if tracing is enabled.
+func (st *machineState) span(label string) func(int64) {
+	if st.cfg.Trace == nil {
+		return func(int64) {}
+	}
+	return st.cfg.Trace.Span(st.m.ID, "phase", label)
+}
+
+// run executes the four phases on this machine. It is the "machine main"
+// goroutine; worker goroutines are spawned per phase.
+func (st *machineState) run() error {
+	start := time.Now()
+	endSpan := st.span("histogram")
+	st.computeThreadHistograms()
+	if err := st.exchangeHistograms(); err != nil {
+		return fmt.Errorf("histogram exchange: %w", err)
+	}
+	st.computeAssignment()
+	if err := st.allocRegions(); err != nil {
+		return fmt.Errorf("region allocation: %w", err)
+	}
+	if err := st.exchangeRKeys(); err != nil {
+		return fmt.Errorf("rkey exchange: %w", err)
+	}
+	if err := st.allocPools(); err != nil {
+		return fmt.Errorf("buffer pools: %w", err)
+	}
+	if err := st.postReceiveRings(); err != nil {
+		return fmt.Errorf("receive rings: %w", err)
+	}
+	if err := st.m.Barrier(); err != nil {
+		return err
+	}
+	st.phases.Histogram = time.Since(start)
+	endSpan(int64(st.R.Size() + st.S.Size()))
+
+	start = time.Now()
+	endSpan = st.span("network partition")
+	if err := st.networkPartitionPass(); err != nil {
+		return fmt.Errorf("network partitioning: %w", err)
+	}
+	endSpan(int64(st.tcpBytes.Load()))
+	if err := st.m.Barrier(); err != nil {
+		return err
+	}
+	st.phases.NetworkPartition = time.Since(start)
+
+	endSpan = st.span("local+build-probe")
+	if err := st.localPassAndBuildProbe(); err != nil {
+		return fmt.Errorf("local pass: %w", err)
+	}
+	endSpan(int64(st.slabR.Size() + st.slabS.Size()))
+	return st.m.Barrier()
+}
+
+// computeThreadHistograms scans this machine's chunks with partThreads
+// workers, each histogramming a contiguous slice (the same slices the
+// network pass will scatter).
+func (st *machineState) computeThreadHistograms() {
+	st.threadHistR = parallelHist(st.R, st.partThreads, st.cfg.NetworkBits)
+	st.threadHistS = parallelHist(st.S, st.partThreads, st.cfg.NetworkBits)
+}
+
+func parallelHist(rel *relation.Relation, threads int, bits uint) [][]int64 {
+	hists := make([][]int64, threads)
+	var wg sync.WaitGroup
+	n := rel.Len()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int64, 1<<bits)
+			radix.AddHistogram(h, rel.Slice(n*t/threads, n*(t+1)/threads), 0, bits)
+			hists[t] = h
+		}(t)
+	}
+	wg.Wait()
+	return hists
+}
+
+// exchangeHistograms combines thread histograms into the machine-level
+// histogram, all-gathers machine histograms over the control plane and
+// derives the global histogram (Section 4.1).
+func (st *machineState) exchangeHistograms() error {
+	machineR := sumHists(st.threadHistR, st.np)
+	machineS := sumHists(st.threadHistS, st.np)
+	vec := make([]uint64, 2*st.np)
+	for p := 0; p < st.np; p++ {
+		vec[p] = uint64(machineR[p])
+		vec[st.np+p] = uint64(machineS[p])
+	}
+	var all [][]uint64
+	var err error
+	if st.cfg.Exchange == ExchangeCoordinator {
+		all, err = st.m.GatherBroadcastUint64(0, vec)
+	} else {
+		all, err = st.m.AllGatherUint64(vec)
+	}
+	if err != nil {
+		return err
+	}
+	st.allHistR = make([][]uint64, st.nm)
+	st.allHistS = make([][]uint64, st.nm)
+	st.globalR = make([]int64, st.np)
+	st.globalS = make([]int64, st.np)
+	for m, v := range all {
+		if len(v) != 2*st.np {
+			return fmt.Errorf("histogram vector from machine %d has %d entries, want %d", m, len(v), 2*st.np)
+		}
+		st.allHistR[m] = v[:st.np]
+		st.allHistS[m] = v[st.np:]
+		for p := 0; p < st.np; p++ {
+			st.globalR[p] += int64(v[p])
+			st.globalS[p] += int64(v[st.np+p])
+		}
+	}
+	return nil
+}
+
+func sumHists(hists [][]int64, np int) []int64 {
+	out := make([]int64, np)
+	for _, h := range hists {
+		for p, c := range h {
+			out[p] += c
+		}
+	}
+	return out
+}
+
+// computeAssignment derives the partition→machine assignment from the
+// global histogram. All machines compute it identically.
+func (st *machineState) computeAssignment() {
+	st.owner = make([]int, st.np)
+	switch st.cfg.Assignment {
+	case AssignSizeSorted:
+		// Sort partitions by total element count descending (ties by id)
+		// and deal round-robin so the largest partitions spread out.
+		idx := make([]int, st.np)
+		for p := range idx {
+			idx[p] = p
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ca := st.globalR[idx[a]] + st.globalS[idx[a]]
+			cb := st.globalR[idx[b]] + st.globalS[idx[b]]
+			if ca != cb {
+				return ca > cb
+			}
+			return idx[a] < idx[b]
+		})
+		for i, p := range idx {
+			st.owner[p] = i % st.nm
+		}
+	default: // AssignRoundRobin
+		for p := 0; p < st.np; p++ {
+			st.owner[p] = p % st.nm
+		}
+	}
+	// Inter-machine work sharing (Sections 6.5/8, selective broadcast):
+	// a partition is broadcast when its outer side dominates the average
+	// partition AND replicating the inner side to every machine is
+	// cheaper than shipping the outer side to one (|S_p| > N_M·|R_p|).
+	st.broadcast = make([]bool, st.np)
+	if st.cfg.BroadcastFactor > 0 && st.nm > 1 {
+		var totalS int64
+		for _, c := range st.globalS {
+			totalS += c
+		}
+		avgPart := float64(totalS) / float64(st.np)
+		for p := 0; p < st.np; p++ {
+			if float64(st.globalS[p]) > st.cfg.BroadcastFactor*avgPart &&
+				st.globalS[p] > int64(st.nm)*st.globalR[p] {
+				st.broadcast[p] = true
+				st.owner[p] = -1
+			}
+		}
+	}
+	// Per-machine slab layouts, identical on every machine: resident
+	// partitions in ascending order.
+	st.slabOffR = make([][]int64, st.nm)
+	st.slabOffS = make([][]int64, st.nm)
+	for m := 0; m < st.nm; m++ {
+		offR, offS := int64(0), int64(0)
+		sr := make([]int64, st.np)
+		ss := make([]int64, st.np)
+		for p := 0; p < st.np; p++ {
+			sr[p], ss[p] = -1, -1
+			switch {
+			case st.owner[p] == m:
+				sr[p], ss[p] = offR, offS
+				offR += st.globalR[p]
+				offS += st.globalS[p]
+			case st.broadcast[p]:
+				sr[p], ss[p] = offR, offS
+				offR += st.globalR[p]            // full inner replica
+				offS += int64(st.allHistS[m][p]) // local outer share stays put
+			}
+		}
+		st.slabOffR[m] = sr
+		st.slabOffS[m] = ss
+		if m == st.m.ID {
+			st.slabTuplesR, st.slabTuplesS = offR, offS
+		}
+	}
+	for p := 0; p < st.np; p++ {
+		if st.owner[p] == st.m.ID {
+			st.owned = append(st.owned, p)
+		}
+		if st.owner[p] == st.m.ID || st.broadcast[p] {
+			st.resident = append(st.resident, p)
+		}
+	}
+}
+
+// residentHere reports whether this machine processes partition p.
+func (st *machineState) residentHere(p int) bool {
+	return st.owner[p] == st.m.ID || st.broadcast[p]
+}
+
+// allocRegions allocates and registers the destination slabs that receive
+// this machine's assigned partitions. Sizes are exact thanks to the
+// histogram phase; with one-sided transport the slabs are exposed for
+// remote writes.
+func (st *machineState) allocRegions() error {
+	st.slabR = relation.New(st.width, int(st.slabTuplesR))
+	st.slabS = relation.New(st.width, int(st.slabTuplesS))
+	access := rdma.AccessLocalWrite
+	if st.cfg.Transport == TransportOneSided || st.cfg.Transport == TransportOneSidedAtomic {
+		access |= rdma.AccessRemoteWrite
+	}
+	var err error
+	if st.slabR.Size() > 0 {
+		if st.mrR, err = st.m.PD.RegisterMemory(st.slabR.Bytes(), access); err != nil {
+			return err
+		}
+	}
+	if st.slabS.Size() > 0 {
+		if st.mrS, err = st.m.PD.RegisterMemory(st.slabS.Bytes(), access); err != nil {
+			return err
+		}
+	}
+	if st.cfg.Transport == TransportOneSidedAtomic {
+		// Append cursors, one 8-byte word per (partition, relation),
+		// initialised past the local share; remote senders fetch-and-add
+		// to reserve their write ranges.
+		cur := make([]byte, st.np*2*8)
+		for _, p := range st.resident {
+			putCursor(cur, p, false, int64(st.allHistR[st.m.ID][p]))
+			putCursor(cur, p, true, int64(st.allHistS[st.m.ID][p]))
+		}
+		if st.mrCur, err = st.m.PD.RegisterMemory(cur, rdma.AccessLocalWrite|rdma.AccessRemoteAtomic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cursorOffset returns the byte offset of partition p's append cursor
+// within the cursor memory region.
+func cursorOffset(p int, isS bool) int {
+	i := p * 2
+	if isS {
+		i++
+	}
+	return i * 8
+}
+
+func putCursor(buf []byte, p int, isS bool, v int64) {
+	off := cursorOffset(p, isS)
+	for i := 0; i < 8; i++ {
+		buf[off+i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+// exchangeRKeys advertises the slab (and, for atomic-append, cursor)
+// remote keys for one-sided access.
+func (st *machineState) exchangeRKeys() error {
+	oneSided := st.cfg.Transport == TransportOneSided || st.cfg.Transport == TransportOneSidedAtomic
+	if !oneSided || st.nm == 1 {
+		return nil
+	}
+	vec := make([]uint64, 3)
+	if st.mrR != nil {
+		vec[0] = uint64(st.mrR.RKey())
+	}
+	if st.mrS != nil {
+		vec[1] = uint64(st.mrS.RKey())
+	}
+	if st.mrCur != nil {
+		vec[2] = uint64(st.mrCur.RKey())
+	}
+	all, err := st.m.AllGatherUint64(vec)
+	if err != nil {
+		return err
+	}
+	st.rkeysR = make([]uint64, st.nm)
+	st.rkeysS = make([]uint64, st.nm)
+	st.rkeysCur = make([]uint64, st.nm)
+	for m, v := range all {
+		st.rkeysR[m] = v[0]
+		st.rkeysS[m] = v[1]
+		st.rkeysCur[m] = v[2]
+	}
+	return nil
+}
+
+// threadPrefix returns Σ_{t'<t} hist[t'][p]: the tuple offset of thread
+// t's contribution within this machine's share of partition p.
+func threadPrefix(hists [][]int64, t, p int) int64 {
+	var sum int64
+	for i := 0; i < t; i++ {
+		sum += hists[i][p]
+	}
+	return sum
+}
+
+// machinePrefix returns Σ_{m'<m} allHist[m'][p]: machine m's tuple offset
+// within partition p under one-sided exact placement.
+func machinePrefix(all [][]uint64, m, p int) int64 {
+	var sum int64
+	for i := 0; i < m; i++ {
+		sum += int64(all[i][p])
+	}
+	return sum
+}
+
+// localWriteBase returns the slab tuple offset at which this machine's own
+// threads write their local share of owned partition p. Exact-offset
+// one-sided mode interleaves with remote machines' histogram-derived
+// offsets; all append-style transports (channel semantics, TCP,
+// atomic-append) put the local share first and remote data behind it.
+func (st *machineState) localWriteBase(p int, isS bool) int64 {
+	slabOff := st.slabOffR[st.m.ID][p]
+	all := st.allHistR
+	if isS {
+		slabOff = st.slabOffS[st.m.ID][p]
+		all = st.allHistS
+	}
+	if isS && st.broadcast[p] {
+		// Broadcast partitions keep only the local outer share: it is
+		// the whole region, regardless of transport.
+		return slabOff
+	}
+	if st.cfg.Transport == TransportOneSided {
+		return slabOff + machinePrefix(all, st.m.ID, p)
+	}
+	return slabOff
+}
+
+// wireDataPlane creates the data plane: per-(sender thread, destination
+// machine) queue pairs plus the receive rings of channel-semantics
+// transports, or — for TransportTCP — a real loopback TCP mesh. Connection
+// setup is excluded from phase timings, like the paper's experiments.
+func wireDataPlane(c *cluster.Cluster, states []*machineState) (*tcpnet.Mesh, error) {
+	nm := len(states)
+	for _, st := range states {
+		st.sendCQ = make([]*rdma.CompletionQueue, st.partThreads)
+		for t := range st.sendCQ {
+			st.sendCQ[t] = st.m.Dev.NewCQ()
+		}
+		st.recvCQ = st.m.Dev.NewCQ()
+		st.qps = make([][]*rdma.QP, st.partThreads)
+		for t := range st.qps {
+			st.qps[t] = make([]*rdma.QP, nm)
+		}
+	}
+	if states[0].cfg.ResultSink != nil && states[0].cfg.ResultTarget >= 0 {
+		if err := wireResultPlane(states); err != nil {
+			return nil, err
+		}
+	}
+	if nm == 1 {
+		return nil, nil
+	}
+	if states[0].cfg.Transport == TransportTCP {
+		mesh, err := tcpnet.NewMesh(nm, states[0].partThreads)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range states {
+			st.tcp = mesh.Endpoint(st.m.ID)
+		}
+		return mesh, nil
+	}
+	for a := 0; a < nm; a++ {
+		sa := states[a]
+		for t := 0; t < sa.partThreads; t++ {
+			for b := 0; b < nm; b++ {
+				if b == a {
+					continue
+				}
+				sb := states[b]
+				depth := sa.cfg.QPDepth
+				if depth == 0 {
+					depth = rdma.DefaultQueueDepth
+				}
+				qpS, qpR, err := c.ConnectQPs(a, b,
+					rdma.QPConfig{SendCQ: sa.sendCQ[t], RecvCQ: sa.recvCQ, Depth: depth},
+					rdma.QPConfig{SendCQ: sb.recvCQ, RecvCQ: sb.recvCQ, Depth: depth})
+				if err != nil {
+					return nil, err
+				}
+				sa.qps[t][b] = qpS
+				if sa.cfg.usesNetworkThread() {
+					ring, err := newRecvRing(sb.m.PD, qpR, sa.cfg.BufferSize, recvRingSlots)
+					if err != nil {
+						return nil, err
+					}
+					sb.rings[qpR.QPN()] = ring
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func deviceTotals(c *cluster.Cluster) (s rdma.DeviceStats) {
+	for _, m := range c.Machines() {
+		d := m.Dev.Stats()
+		s.BytesSent += d.BytesSent
+		s.Sends += d.Sends
+		s.Writes += d.Writes
+		s.Registrations += d.Registrations
+		s.PagesRegistered += d.PagesRegistered
+	}
+	return s
+}
+
+func assembleResult(c *cluster.Cluster, states []*machineState, before rdma.DeviceStats) *Result {
+	res := &Result{
+		PerMachine:           make([]phase.Times, len(states)),
+		PartitionsPerMachine: make([]int, len(states)),
+	}
+	for i, st := range states {
+		res.Matches += st.matches
+		res.Checksum += st.checksum
+		res.PerMachine[i] = st.phases
+		res.PartitionsPerMachine[i] = len(st.resident)
+		res.Net.PoolStalls += st.poolStalls
+		if st.phases.Histogram > res.Phases.Histogram {
+			res.Phases.Histogram = st.phases.Histogram
+		}
+		if st.phases.NetworkPartition > res.Phases.NetworkPartition {
+			res.Phases.NetworkPartition = st.phases.NetworkPartition
+		}
+		if st.phases.LocalPartition > res.Phases.LocalPartition {
+			res.Phases.LocalPartition = st.phases.LocalPartition
+		}
+		if st.phases.BuildProbe > res.Phases.BuildProbe {
+			res.Phases.BuildProbe = st.phases.BuildProbe
+		}
+	}
+	after := deviceTotals(c)
+	res.Net.BytesSent = after.BytesSent - before.BytesSent
+	res.Net.Messages = (after.Sends + after.Writes) - (before.Sends + before.Writes)
+	res.Net.Registrations = after.Registrations - before.Registrations
+	res.Net.PagesRegistered = after.PagesRegistered - before.PagesRegistered
+	for _, st := range states {
+		res.Net.BytesSent += st.tcpBytes.Load()
+		res.Net.Messages += st.tcpMsgs.Load()
+	}
+	return res
+}

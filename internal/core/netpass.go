@@ -1,0 +1,543 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"rackjoin/internal/rdma"
+	"rackjoin/internal/relation"
+)
+
+// atomicWRID marks fetch-and-add completions on a thread's send CQ so
+// they are distinguishable from buffer-transfer completions (whose WRIDs
+// are pool buffer indexes).
+const atomicWRID = uint64(1) << 62
+
+// relationFlag marks S-relation buffers in the immediate value of channel
+// transfers; the low 31 bits carry the partition id.
+const relationFlag = uint32(1) << 31
+
+// bufferPool manages one thread's pre-allocated, pre-registered
+// RDMA-enabled buffers (Section 4.2.1). Buffers are acquired for filling,
+// posted when full, and returned by polling the thread's send completion
+// queue. The pool thereby enforces the cardinal RDMA discipline: a buffer
+// is reused only after its transfer completed.
+type bufferPool struct {
+	mr      *rdma.MemoryRegion
+	bufSize int
+	cq      *rdma.CompletionQueue
+	free    []int32
+	// outstanding counts posted-but-not-completed buffers.
+	outstanding int
+	// stalls counts acquisitions that blocked on a completion.
+	stalls uint64
+	// atomicMR is the thread's 8-byte landing pad for fetch-and-add
+	// results (atomic-append transport).
+	atomicMR *rdma.MemoryRegion
+}
+
+func newBufferPool(pd *rdma.ProtectionDomain, cq *rdma.CompletionQueue, bufSize, count int, withAtomic bool) (*bufferPool, error) {
+	mr, err := pd.RegisterMemory(make([]byte, bufSize*count), 0)
+	if err != nil {
+		return nil, err
+	}
+	p := &bufferPool{mr: mr, bufSize: bufSize, cq: cq, free: make([]int32, 0, count)}
+	for i := count - 1; i >= 0; i-- {
+		p.free = append(p.free, int32(i))
+	}
+	if withAtomic {
+		if p.atomicMR, err = pd.RegisterMemory(make([]byte, 8), rdma.AccessLocalWrite); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// waitAtomic blocks until the pending fetch-and-add completes, recycling
+// any buffer completions that arrive first, and returns the fetched value.
+func (p *bufferPool) waitAtomic() (uint64, error) {
+	for {
+		c := p.cq.Wait()
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		if c.WRID == atomicWRID {
+			return binary.LittleEndian.Uint64(p.atomicMR.Bytes()), nil
+		}
+		p.free = append(p.free, int32(c.WRID))
+		p.outstanding--
+	}
+}
+
+// buf returns the byte range of buffer i.
+func (p *bufferPool) buf(i int32) []byte {
+	return p.mr.Bytes()[int(i)*p.bufSize : (int(i)+1)*p.bufSize]
+}
+
+// reap recycles all already-available completions without blocking.
+func (p *bufferPool) reap() error {
+	var batch [16]rdma.Completion
+	for {
+		n := p.cq.Poll(batch[:])
+		if n == 0 {
+			return nil
+		}
+		for _, c := range batch[:n] {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			p.free = append(p.free, int32(c.WRID))
+			p.outstanding--
+		}
+	}
+}
+
+// acquire returns a free buffer index, blocking on completions when the
+// pool is exhausted (the back-pressure of a network-bound run).
+func (p *bufferPool) acquire() (int32, error) {
+	if err := p.reap(); err != nil {
+		return 0, err
+	}
+	for len(p.free) == 0 {
+		if p.outstanding == 0 {
+			return 0, fmt.Errorf("core: buffer pool exhausted with no transfers in flight")
+		}
+		p.stalls++
+		c := p.cq.Wait()
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		p.free = append(p.free, int32(c.WRID))
+		p.outstanding--
+	}
+	i := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return i, nil
+}
+
+// release returns an unposted buffer to the pool.
+func (p *bufferPool) release(i int32) { p.free = append(p.free, i) }
+
+// drain blocks until every posted buffer has completed.
+func (p *bufferPool) drain() error {
+	for p.outstanding > 0 {
+		if err := p.waitOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitOne blocks for a single completion and recycles its buffer.
+func (p *bufferPool) waitOne() error {
+	c := p.cq.Wait()
+	if err := c.Err(); err != nil {
+		return err
+	}
+	p.free = append(p.free, int32(c.WRID))
+	p.outstanding--
+	return nil
+}
+
+// allocPools pre-allocates and pre-registers each partitioning thread's
+// buffer pool (setup, untimed — the paper draws buffers "from a pool
+// containing preallocated and preregistered buffers").
+func (st *machineState) allocPools() error {
+	st.pools = make([]*bufferPool, st.partThreads)
+	if st.nm == 1 || st.cfg.Transport == TransportOneSidedRead {
+		return nil // pull mode ships nothing from the sender side
+	}
+	// Remote partitions each need BuffersPerPartition buffers; broadcast
+	// partitions replicate their inner side to all nm-1 peers.
+	remote := st.np - len(st.resident)
+	numBcast := len(st.resident) - len(st.owned)
+	count := st.cfg.BuffersPerPartition * (remote + numBcast*(st.nm-1))
+	if count <= 0 {
+		return nil
+	}
+	withAtomic := st.cfg.Transport == TransportOneSidedAtomic
+	for t := 0; t < st.partThreads; t++ {
+		pool, err := newBufferPool(st.m.PD, st.sendCQ[t], st.cfg.BufferSize, count, withAtomic)
+		if err != nil {
+			return err
+		}
+		st.pools[t] = pool
+	}
+	return nil
+}
+
+// networkPartitionPass runs the partitioning threads (and, for channel
+// semantics, the network thread) of the network partitioning pass.
+func (st *machineState) networkPartitionPass() error {
+	if st.cfg.Transport == TransportOneSidedRead {
+		return st.pullNetworkPass()
+	}
+	nWorkers := st.partThreads
+	errs := make([]error, nWorkers+1)
+	var wg sync.WaitGroup
+	if st.nm > 1 && st.cfg.usesNetworkThread() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if st.cfg.Transport == TransportTCP {
+				errs[nWorkers] = st.tcpReceiveLoop()
+			} else {
+				errs[nWorkers] = st.receiveLoop()
+			}
+		}()
+	}
+	for t := 0; t < nWorkers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = st.partitionThread(t)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range st.pools {
+		if p != nil {
+			st.poolStalls += p.stalls
+		}
+	}
+	return nil
+}
+
+// partitionThread scatters this thread's slices of R and S, then drains
+// its outstanding transfers so that the pass ends only when all data is
+// acknowledged by the receiving hosts.
+func (st *machineState) partitionThread(t int) error {
+	if err := st.scatterSlice(t, st.R, false); err != nil {
+		return err
+	}
+	if err := st.scatterSlice(t, st.S, true); err != nil {
+		return err
+	}
+	if pool := st.pools[t]; pool != nil {
+		return pool.drain()
+	}
+	return nil
+}
+
+// threadState carries the per-partition cursors of one scatter pass.
+type threadState struct {
+	localCur  []int64 // byte cursor into the local slab; -1 for remote partitions
+	curBuf    []int32 // current pool buffer per remote partition; -1 if none
+	fill      []int32 // tuples in the current buffer
+	remoteCur []int64 // one-sided: next tuple offset within the owner's slab
+	scratch   []byte  // stream transport staging area
+
+	// Broadcast state (inner relation of work-shared partitions): one
+	// buffer and remote cursor per (broadcast partition, destination).
+	bcastBuf  map[int][]int32
+	bcastFill map[int][]int32
+	bcastCur  map[int][]int64
+}
+
+func (st *machineState) newThreadState(t int, isS bool) *threadState {
+	ts := &threadState{
+		localCur:  make([]int64, st.np),
+		curBuf:    make([]int32, st.np),
+		fill:      make([]int32, st.np),
+		remoteCur: make([]int64, st.np),
+	}
+	if st.cfg.Transport == TransportStream {
+		ts.scratch = make([]byte, st.cfg.BufferSize)
+	}
+	hists := st.threadHistR
+	all := st.allHistR
+	slabOff := st.slabOffR
+	if isS {
+		hists = st.threadHistS
+		all = st.allHistS
+		slabOff = st.slabOffS
+	}
+	w := int64(st.width)
+	for p := 0; p < st.np; p++ {
+		ts.curBuf[p] = -1
+		switch {
+		case st.residentHere(p):
+			ts.localCur[p] = (st.localWriteBase(p, isS) + threadPrefix(hists, t, p)) * w
+			if st.broadcast[p] && !isS {
+				// The inner side of a work-shared partition is written
+				// locally AND replicated to every peer.
+				if ts.bcastBuf == nil {
+					ts.bcastBuf = make(map[int][]int32)
+					ts.bcastFill = make(map[int][]int32)
+					ts.bcastCur = make(map[int][]int64)
+				}
+				bufs := make([]int32, st.nm)
+				cur := make([]int64, st.nm)
+				for d := 0; d < st.nm; d++ {
+					bufs[d] = -1
+					if d != st.m.ID {
+						cur[d] = slabOff[d][p] + machinePrefix(all, st.m.ID, p) + threadPrefix(hists, t, p)
+					}
+				}
+				ts.bcastBuf[p] = bufs
+				ts.bcastFill[p] = make([]int32, st.nm)
+				ts.bcastCur[p] = cur
+			}
+		default:
+			ts.localCur[p] = -1
+			ts.remoteCur[p] = slabOff[st.owner[p]][p] + machinePrefix(all, st.m.ID, p) + threadPrefix(hists, t, p)
+		}
+	}
+	return ts
+}
+
+// scatterSlice is the hot loop of the network partitioning pass: it walks
+// this thread's contiguous input slice and routes every tuple either into
+// the local destination slab or into the RDMA buffer of its remote
+// partition, shipping buffers as they fill.
+func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) error {
+	n := rel.Len()
+	slice := rel.Slice(n*t/st.partThreads, n*(t+1)/st.partThreads)
+	ts := st.newThreadState(t, isS)
+	pool := st.pools[t]
+
+	slab := st.slabR
+	if isS {
+		slab = st.slabS
+	}
+	slabBytes := slab.Bytes()
+	width := st.width
+	mask := uint64(st.np - 1)
+	capTuples := int32(st.cfg.BufferSize / width)
+	data := slice.Bytes()
+
+	for off := 0; off < len(data); off += width {
+		tuple := data[off : off+width]
+		p := int(binary.LittleEndian.Uint64(tuple) & mask)
+		if cur := ts.localCur[p]; cur >= 0 {
+			copy(slabBytes[cur:], tuple)
+			ts.localCur[p] = cur + int64(width)
+			if bufs, ok := ts.bcastBuf[p]; ok {
+				if err := st.replicate(t, ts, p, tuple, bufs, capTuples); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		b := ts.curBuf[p]
+		if b < 0 {
+			var err error
+			if b, err = pool.acquire(); err != nil {
+				return err
+			}
+			ts.curBuf[p] = b
+			ts.fill[p] = 0
+		}
+		copy(pool.buf(b)[int(ts.fill[p])*width:], tuple)
+		ts.fill[p]++
+		if ts.fill[p] == capTuples {
+			if err := st.flush(t, ts, p, isS); err != nil {
+				return err
+			}
+		}
+	}
+	// Ship partial buffers; return untouched ones to the pool.
+	for p := 0; p < st.np; p++ {
+		if ts.curBuf[p] >= 0 {
+			if ts.fill[p] == 0 {
+				pool.release(ts.curBuf[p])
+				ts.curBuf[p] = -1
+			} else if err := st.flush(t, ts, p, isS); err != nil {
+				return err
+			}
+		}
+		if bufs, ok := ts.bcastBuf[p]; ok {
+			for d := range bufs {
+				if bufs[d] < 0 {
+					continue
+				}
+				if ts.bcastFill[p][d] == 0 {
+					pool.release(bufs[d])
+					bufs[d] = -1
+					continue
+				}
+				if err := st.flushBcast(t, ts, p, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// replicate appends one inner tuple of broadcast partition p to the
+// per-destination buffers, shipping any that fill up.
+func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, bufs []int32, capTuples int32) error {
+	pool := st.pools[t]
+	fill := ts.bcastFill[p]
+	for d := 0; d < st.nm; d++ {
+		if d == st.m.ID {
+			continue
+		}
+		b := bufs[d]
+		if b < 0 {
+			var err error
+			if b, err = pool.acquire(); err != nil {
+				return err
+			}
+			bufs[d] = b
+			fill[d] = 0
+		}
+		copy(pool.buf(b)[int(fill[d])*st.width:], tuple)
+		fill[d]++
+		if fill[d] == capTuples {
+			if err := st.flushBcast(t, ts, p, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushBcast ships the current broadcast buffer of (partition p, dest).
+func (st *machineState) flushBcast(t int, ts *threadState, p, dest int) error {
+	buf := ts.bcastBuf[p][dest]
+	tuples := ts.bcastFill[p][dest]
+	ts.bcastBuf[p][dest] = -1
+	ts.bcastFill[p][dest] = 0
+	return st.postBuffer(t, ts, buf, tuples, p, false, dest, &ts.bcastCur[p][dest])
+}
+
+// flush posts the current buffer of partition p towards its owner and
+// detaches it from the thread state.
+func (st *machineState) flush(t int, ts *threadState, p int, isS bool) error {
+	buf := ts.curBuf[p]
+	tuples := ts.fill[p]
+	ts.curBuf[p] = -1
+	ts.fill[p] = 0
+	return st.postBuffer(t, ts, buf, tuples, p, isS, st.owner[p], &ts.remoteCur[p])
+}
+
+// postBuffer ships one filled buffer of partition p to machine dest over
+// the configured transport. remoteCur is the sender's exact-placement
+// tuple cursor into dest's region (one-sided mode); it advances by the
+// posted tuple count. With interleaving disabled the call blocks until
+// the transfer is acknowledged (the Figure 5b "non-interleaved"
+// ablation).
+func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p int, isS bool, dest int, remoteCur *int64) error {
+	pool := st.pools[t]
+	length := int(tuples) * st.width
+	owner := dest
+
+	if st.cfg.Transport == TransportTCP {
+		// Kernel TCP: Send returns once the kernel copied the payload, so
+		// the buffer is immediately reusable (copy semantics — the cost
+		// the paper charges the TCP/IP implementation with).
+		tag := uint32(p)
+		if isS {
+			tag |= relationFlag
+		}
+		err := st.tcp.Send(t, owner, tag, pool.buf(buf)[:length])
+		pool.release(buf)
+		if err != nil {
+			return err
+		}
+		st.tcpBytes.Add(uint64(length))
+		st.tcpMsgs.Add(1)
+		return nil
+	}
+
+	qp := st.qps[t][owner]
+
+	if st.cfg.Transport == TransportOneSidedAtomic {
+		// Reserve the write range with a remote fetch-and-add on the
+		// owner's append cursor — one extra round-trip per buffer, the
+		// cost the histogram phase's precomputed offsets avoid.
+		if err := qp.PostSend(rdma.SendWR{
+			WRID: atomicWRID, Op: rdma.OpFetchAdd, Signaled: true,
+			Add:    uint64(tuples),
+			Local:  rdma.Segment{MR: pool.atomicMR, Length: 8},
+			Remote: rdma.RemoteSegment{RKey: uint32(st.rkeysCur[owner]), Offset: cursorOffset(p, isS)},
+		}); err != nil {
+			return err
+		}
+		fetched, err := pool.waitAtomic()
+		if err != nil {
+			return err
+		}
+		slabOff := st.slabOffR[owner]
+		rkeys := st.rkeysR
+		if isS {
+			slabOff = st.slabOffS[owner]
+			rkeys = st.rkeysS
+		}
+		wr := rdma.SendWR{
+			WRID: uint64(buf), Signaled: true, Op: rdma.OpWrite,
+			Local:  rdma.Segment{MR: pool.mr, Offset: int(buf) * pool.bufSize, Length: length},
+			Remote: rdma.RemoteSegment{RKey: uint32(rkeys[owner]), Offset: (int(slabOff[p]) + int(fetched)) * st.width},
+		}
+		if err := qp.PostSend(wr); err != nil {
+			return err
+		}
+		pool.outstanding++
+		if !st.cfg.interleaved() {
+			return pool.drain()
+		}
+		return nil
+	}
+
+	if ts.scratch != nil {
+		// Stream transport: emulate the kernel-boundary copy of TCP/IP by
+		// staging the payload once more before handing it to the wire.
+		copy(ts.scratch, pool.buf(buf)[:length])
+	}
+
+	wr := rdma.SendWR{
+		WRID:     uint64(buf),
+		Signaled: true,
+		Local:    rdma.Segment{MR: pool.mr, Offset: int(buf) * pool.bufSize, Length: length},
+	}
+	if st.cfg.Transport == TransportOneSided {
+		rkeys := st.rkeysR
+		if isS {
+			rkeys = st.rkeysS
+		}
+		wr.Op = rdma.OpWrite
+		wr.Remote = rdma.RemoteSegment{
+			RKey:   uint32(rkeys[owner]),
+			Offset: int(*remoteCur) * st.width,
+		}
+		*remoteCur += int64(tuples)
+	} else {
+		wr.Op = rdma.OpSend
+		wr.Imm = uint32(p)
+		wr.HasImm = true
+		if isS {
+			wr.Imm |= relationFlag
+		}
+	}
+	// A full send queue is back-pressure, not an error: recycle a
+	// completed transfer and retry, exactly like a verbs application
+	// spinning on its completion queue.
+	for {
+		err := qp.PostSend(wr)
+		if err == nil {
+			break
+		}
+		if err != rdma.ErrQPFull {
+			return err
+		}
+		if pool.outstanding == 0 {
+			return fmt.Errorf("core: send queue full with no completions outstanding")
+		}
+		pool.stalls++
+		if err := pool.waitOne(); err != nil {
+			return err
+		}
+	}
+	pool.outstanding++
+	if !st.cfg.interleaved() {
+		return pool.drain()
+	}
+	return nil
+}

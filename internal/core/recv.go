@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rackjoin/internal/rdma"
+)
+
+// recvRingSlots is the number of pre-posted receive buffers per incoming
+// queue pair in channel-semantics mode (Section 4.2.2: "only register a
+// predefined number of small RDMA-enabled buffers").
+const recvRingSlots = 8
+
+// recvRing is the pre-posted receive buffer ring of one incoming queue
+// pair. Slots are consumed by incoming SENDs, their payload copied into
+// the destination partition region by the network thread, and re-posted.
+type recvRing struct {
+	qp    *rdma.QP
+	mr    *rdma.MemoryRegion
+	bufSz int
+}
+
+func newRecvRing(pd *rdma.ProtectionDomain, qp *rdma.QP, bufSize, slots int) (*recvRing, error) {
+	mr, err := pd.RegisterMemory(make([]byte, bufSize*slots), rdma.AccessLocalWrite)
+	if err != nil {
+		return nil, err
+	}
+	r := &recvRing{qp: qp, mr: mr, bufSz: bufSize}
+	for i := 0; i < slots; i++ {
+		if err := r.post(i); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (r *recvRing) post(slot int) error {
+	return r.qp.PostRecv(rdma.RecvWR{
+		WRID:  uint64(slot),
+		Local: rdma.Segment{MR: r.mr, Offset: slot * r.bufSz, Length: r.bufSz},
+	})
+}
+
+func (r *recvRing) payload(slot, length int) []byte {
+	return r.mr.Bytes()[slot*r.bufSz : slot*r.bufSz+length]
+}
+
+// postReceiveRings is a hook kept for symmetry: rings are created during
+// data-plane wiring (setup). It validates that channel semantics have the
+// rings they need.
+func (st *machineState) postReceiveRings() error {
+	if st.nm == 1 || !st.cfg.usesNetworkThread() || st.cfg.Transport == TransportTCP {
+		return nil
+	}
+	want := (st.nm - 1) * st.partThreads
+	if len(st.rings) != want {
+		return fmt.Errorf("core: %d receive rings wired, want %d", len(st.rings), want)
+	}
+	return nil
+}
+
+// expectedRemoteBytes returns how many payload bytes this machine will
+// receive during the network partitioning pass — known exactly from the
+// exchanged machine-level histograms, which is how the receive loop knows
+// when the pass is complete without explicit end-of-stream messages.
+func (st *machineState) expectedRemoteBytes() uint64 {
+	var tuples uint64
+	for _, p := range st.resident {
+		for m := 0; m < st.nm; m++ {
+			if m == st.m.ID {
+				continue
+			}
+			tuples += st.allHistR[m][p]
+			if st.owner[p] == st.m.ID {
+				// Broadcast partitions never ship outer tuples.
+				tuples += st.allHistS[m][p]
+			}
+		}
+	}
+	return tuples * uint64(st.width)
+}
+
+// receiveLoop is the network thread of channel-semantics mode: it drains
+// the shared receive completion queue, appends each buffer's tuples to the
+// addressed partition region and re-posts the buffer. One core per machine
+// runs this loop during the network partitioning pass, matching the
+// paper's N_C/M − 1 partitioning threads.
+func (st *machineState) receiveLoop() error {
+	expected := st.expectedRemoteBytes()
+	if expected == 0 {
+		return nil
+	}
+	// Arrival-order append cursors: the local share of each owned
+	// partition occupies the front of its slab range; remote data lands
+	// behind it.
+	w := int64(st.width)
+	curR := make([]int64, st.np)
+	curS := make([]int64, st.np)
+	for _, p := range st.resident {
+		curR[p] = (st.slabOffR[st.m.ID][p] + int64(st.allHistR[st.m.ID][p])) * w
+		curS[p] = (st.slabOffS[st.m.ID][p] + int64(st.allHistS[st.m.ID][p])) * w
+	}
+	slabR := st.slabR.Bytes()
+	slabS := st.slabS.Bytes()
+
+	var received uint64
+	for received < expected {
+		c := st.recvCQ.Wait()
+		if err := c.Err(); err != nil {
+			return fmt.Errorf("receive: %w", err)
+		}
+		if !c.HasImm {
+			return fmt.Errorf("receive: data message without partition immediate")
+		}
+		ring, ok := st.rings[c.QPN]
+		if !ok {
+			return fmt.Errorf("receive: completion from unknown QP %d", c.QPN)
+		}
+		p := int(c.Imm &^ relationFlag)
+		if p >= st.np || !st.residentHere(p) {
+			return fmt.Errorf("receive: tuple batch for partition %d not resident on machine %d", p, st.m.ID)
+		}
+		payload := ring.payload(int(c.WRID), c.Bytes)
+		if c.Imm&relationFlag != 0 {
+			copy(slabS[curS[p]:], payload)
+			curS[p] += int64(c.Bytes)
+		} else {
+			copy(slabR[curR[p]:], payload)
+			curR[p] += int64(c.Bytes)
+		}
+		if err := ring.post(int(c.WRID)); err != nil {
+			return err
+		}
+		received += uint64(c.Bytes)
+	}
+	return nil
+}
+
+// tcpReceiveLoop is the TransportTCP counterpart of receiveLoop: kernel
+// socket readers deliver frames which are appended to the addressed
+// partition regions. Readers run concurrently (one per incoming
+// connection, as the kernel would schedule them), so cursor updates are
+// serialised.
+func (st *machineState) tcpReceiveLoop() error {
+	expected := st.expectedRemoteBytes()
+	if expected == 0 {
+		return nil
+	}
+	w := int64(st.width)
+	curR := make([]int64, st.np)
+	curS := make([]int64, st.np)
+	for _, p := range st.resident {
+		curR[p] = (st.slabOffR[st.m.ID][p] + int64(st.allHistR[st.m.ID][p])) * w
+		curS[p] = (st.slabOffS[st.m.ID][p] + int64(st.allHistS[st.m.ID][p])) * w
+	}
+	slabR := st.slabR.Bytes()
+	slabS := st.slabS.Bytes()
+
+	var mu sync.Mutex
+	var handleErr error
+	err := st.tcp.Receive(expected, func(tag uint32, payload []byte) {
+		p := int(tag &^ relationFlag)
+		mu.Lock()
+		defer mu.Unlock()
+		if p >= st.np || !st.residentHere(p) {
+			if handleErr == nil {
+				handleErr = fmt.Errorf("tcp receive: tuple batch for partition %d not resident on machine %d", p, st.m.ID)
+			}
+			return
+		}
+		if tag&relationFlag != 0 {
+			copy(slabS[curS[p]:], payload)
+			curS[p] += int64(len(payload))
+		} else {
+			copy(slabR[curR[p]:], payload)
+			curR[p] += int64(len(payload))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return handleErr
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"rackjoin/internal/phase"
+)
+
+// NetStats summarises data-plane network activity of one join execution.
+type NetStats struct {
+	// BytesSent is the total tuple payload shipped between machines.
+	BytesSent uint64
+	// Messages is the number of data-plane transfers (buffer flushes).
+	Messages uint64
+	// PoolStalls counts buffer acquisitions that had to wait for an
+	// in-flight transfer to complete before a buffer became free — the
+	// back-pressure signal of a network-bound run.
+	PoolStalls uint64
+	// Registrations and PagesRegistered account memory-region
+	// registrations performed for the join's data path.
+	Registrations   uint64
+	PagesRegistered uint64
+}
+
+// Result reports the outcome of a distributed join.
+type Result struct {
+	// Matches is the number of joined tuple pairs.
+	Matches uint64
+	// Checksum is Σ (key + innerRID + outerRID) over all matches, used to
+	// verify the result against datagen.ExpectedJoin.
+	Checksum uint64
+	// Phases is the per-phase breakdown, taking for each phase the
+	// maximum across machines (phases are barrier-separated).
+	Phases phase.Times
+	// PerMachine holds each machine's own phase breakdown.
+	PerMachine []phase.Times
+	// Net summarises data-plane traffic.
+	Net NetStats
+	// PartitionsPerMachine is how many network partitions each machine
+	// was assigned.
+	PartitionsPerMachine []int
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/hashtable"
+)
+
+// collectingSink gathers shipped records and checks they only ever arrive
+// on the expected machine.
+type collectingSink struct {
+	mu       sync.Mutex
+	t        *testing.T
+	expectOn int
+	records  int
+	checksum uint64
+}
+
+func (cs *collectingSink) sink(machine int, records []byte) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if machine != cs.expectOn {
+		cs.t.Errorf("records delivered on machine %d, want %d", machine, cs.expectOn)
+	}
+	if len(records)%hashtable.ResultWidth != 0 {
+		cs.t.Errorf("torn record batch of %d bytes", len(records))
+	}
+	cs.records += len(records) / hashtable.ResultWidth
+	for off := 0; off < len(records); off += hashtable.ResultWidth {
+		key := binary.LittleEndian.Uint64(records[off:])
+		innerRID := binary.LittleEndian.Uint64(records[off+8:])
+		outerRID := binary.LittleEndian.Uint64(records[off+16:])
+		if innerRID != key-1 {
+			cs.t.Errorf("bad inner rid %d for key %d", innerRID, key)
+		}
+		cs.checksum += key + innerRID + outerRID
+	}
+}
+
+func TestResultShippingToTarget(t *testing.T) {
+	// Section 4.3's remote-result variant: all materialised results must
+	// arrive, whole, at machine 2 — and nowhere else.
+	for _, target := range []int{0, 2} {
+		cs := &collectingSink{t: t, expectOn: target}
+		cfg := DefaultConfig()
+		cfg.ResultSink = cs.sink
+		cfg.ResultTarget = target
+		res, want := runJoin(t, 3, 3, datagen.Config{InnerTuples: 1 << 11, OuterTuples: 1 << 13, Seed: 55}, cfg)
+		checkResult(t, res, want)
+		if uint64(cs.records) != want.Matches {
+			t.Fatalf("target %d received %d records, want %d", target, cs.records, want.Matches)
+		}
+		if cs.checksum != want.Checksum {
+			t.Fatalf("target %d checksum %d, want %d", target, cs.checksum, want.Checksum)
+		}
+	}
+}
+
+func TestResultShippingSingleMachine(t *testing.T) {
+	cs := &collectingSink{t: t, expectOn: 0}
+	cfg := DefaultConfig()
+	cfg.ResultSink = cs.sink
+	cfg.ResultTarget = 0
+	res, want := runJoin(t, 1, 3, datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 12, Seed: 56}, cfg)
+	checkResult(t, res, want)
+	if uint64(cs.records) != want.Matches {
+		t.Fatalf("received %d records, want %d", cs.records, want.Matches)
+	}
+}
+
+func TestResultShippingOneSided(t *testing.T) {
+	cs := &collectingSink{t: t, expectOn: 1}
+	cfg := DefaultConfig()
+	cfg.Transport = TransportOneSided
+	cfg.ResultSink = cs.sink
+	cfg.ResultTarget = 1
+	res, want := runJoin(t, 3, 2, datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 13, Seed: 57}, cfg)
+	checkResult(t, res, want)
+	if uint64(cs.records) != want.Matches {
+		t.Fatalf("received %d records, want %d", cs.records, want.Matches)
+	}
+}
+
+func TestResultShippingSkewed(t *testing.T) {
+	cs := &collectingSink{t: t, expectOn: 0}
+	cfg := DefaultConfig()
+	cfg.Assignment = AssignSizeSorted
+	cfg.SkewSplitFactor = 2
+	cfg.ResultSink = cs.sink
+	cfg.ResultTarget = 0
+	dcfg := datagen.Config{InnerTuples: 1 << 9, OuterTuples: 1 << 14, Skew: datagen.SkewHigh, Seed: 58}
+	res, want := runJoin(t, 3, 3, dcfg, cfg)
+	checkResult(t, res, want)
+	if uint64(cs.records) != want.Matches {
+		t.Fatalf("received %d records, want %d", cs.records, want.Matches)
+	}
+}
+
+func TestResultTargetValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResultSink = func(int, []byte) {}
+	cfg.ResultTarget = 9
+	if err := cfg.validate(3, 3, 16); err == nil {
+		t.Fatal("out-of-range ResultTarget should fail")
+	}
+	// Without a sink, ResultTarget is inert.
+	cfg = DefaultConfig()
+	cfg.ResultTarget = 9
+	if err := cfg.validate(3, 3, 16); err != nil {
+		t.Fatalf("inert ResultTarget should pass: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package datagen generates the paper's workloads (Section 6.1.1):
+//
+//   - highly distinct value joins: the inner relation R holds every key in
+//     [1, |R|] exactly once; every outer tuple matches exactly one inner
+//     tuple. Relation-size ratios 1:1 through 1:16 are supported.
+//   - skewed workloads: the foreign-key column of the outer relation
+//     follows a Zipf law with skew factor 1.05 (low) or 1.20 (high).
+//   - row-store workloads: tuples of 16, 32 or 64 bytes.
+//
+// Record ids are range-partitioned at load time: tuple i of a relation has
+// rid i, and machine m receives a contiguous range of rids. Inner-relation
+// rids equal key-1 after the key permutation, which makes join results
+// verifiable in O(|S|) (see ExpectedJoin).
+package datagen
+
+import (
+	"math/rand"
+
+	"rackjoin/internal/relation"
+)
+
+// Zipf skew factors used in the paper's Section 6.5.
+const (
+	SkewNone = 0.0
+	SkewLow  = 1.05
+	SkewHigh = 1.20
+)
+
+// Config describes a workload.
+type Config struct {
+	// InnerTuples and OuterTuples are the relation cardinalities |R|, |S|.
+	InnerTuples int
+	OuterTuples int
+	// TupleWidth is 16, 32 or 64 bytes.
+	TupleWidth int
+	// Skew is the Zipf factor of the outer foreign-key column; 0 selects
+	// the uniform highly-distinct-value workload.
+	Skew float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Workload is a generated pair of relations.
+type Workload struct {
+	Inner *relation.Relation // R: distinct keys 1..|R|
+	Outer *relation.Relation // S: foreign keys into R
+}
+
+// Generate materialises the workload described by cfg.
+func Generate(cfg Config) Workload {
+	if cfg.TupleWidth == 0 {
+		cfg.TupleWidth = relation.Width16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	inner := relation.New(cfg.TupleWidth, cfg.InnerTuples)
+	// Distinct keys 1..|R| in random order; rid = key-1 so that the
+	// matching inner rid of any outer key is recoverable analytically.
+	perm := rng.Perm(cfg.InnerTuples)
+	for i, p := range perm {
+		key := uint64(p) + 1
+		inner.SetKey(i, key)
+		inner.SetRID(i, key-1)
+	}
+
+	outer := relation.New(cfg.TupleWidth, cfg.OuterTuples)
+	fillOuterKeys(outer, cfg, rng)
+	for i := 0; i < cfg.OuterTuples; i++ {
+		outer.SetRID(i, uint64(i))
+	}
+	return Workload{Inner: inner, Outer: outer}
+}
+
+func fillOuterKeys(outer *relation.Relation, cfg Config, rng *rand.Rand) {
+	n := outer.Len()
+	if cfg.Skew > 0 {
+		z := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.InnerTuples-1))
+		for i := 0; i < n; i++ {
+			outer.SetKey(i, z.Uint64()+1)
+		}
+		return
+	}
+	// Uniform: every inner key appears at least once (Section 6.1.1:
+	// "for each tuple in the inner relation, there is at least one
+	// matching tuple in the outer relation"); remaining outer tuples
+	// cycle through the key domain, then everything is shuffled.
+	for i := 0; i < n; i++ {
+		outer.SetKey(i, uint64(i%cfg.InnerTuples)+1)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ki, kj := outer.Key(i), outer.Key(j)
+		outer.SetKey(i, kj)
+		outer.SetKey(j, ki)
+	}
+}
+
+// GenerateDistributed produces the workload already fragmented across nm
+// machines, with the even loading and rid range-partitioning of Section
+// 6.1.1.
+func GenerateDistributed(cfg Config, nm int) (*relation.Distributed, *relation.Distributed) {
+	w := Generate(cfg)
+	return relation.Fragment(w.Inner, nm), relation.Fragment(w.Outer, nm)
+}
+
+// Expected summarises the analytically known outcome of a workload's join,
+// used to verify both the single-machine baselines and the distributed
+// join without a reference implementation.
+type Expected struct {
+	// Matches is the number of result tuples.
+	Matches uint64
+	// Checksum is the sum over all matches of
+	// key + innerRID + outerRID (mod 2^64).
+	Checksum uint64
+}
+
+// ExpectedJoin computes the expected join outcome for relations generated
+// by Generate: since inner keys are distinct with rid = key-1, each outer
+// tuple with key k contributes exactly one match (k, k-1, outerRID).
+func ExpectedJoin(outer *relation.Relation) Expected {
+	var e Expected
+	n := outer.Len()
+	for i := 0; i < n; i++ {
+		k := outer.Key(i)
+		e.Matches++
+		e.Checksum += k + (k - 1) + outer.RID(i)
+	}
+	return e
+}
+
+// ZipfWeights returns the unnormalised Zipf weight of every key in
+// [1, keys]: w(k) = 1/(1+k')^s with k' = k-1, matching rand.Zipf's
+// distribution. Used by the simulator to derive exact partition
+// histograms for paper-scale skewed workloads without materialising them.
+func ZipfWeights(keys int, skew float64) []float64 {
+	w := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		w[k] = zipfWeight(uint64(k), skew)
+	}
+	return w
+}
+
+func zipfWeight(k uint64, s float64) float64 {
+	x := 1.0 + float64(k)
+	// x^-s via exp/log would lose precision for huge key counts; the
+	// standard library's math.Pow is fine here.
+	return pow(x, -s)
+}
+
+// exactZipfKeys bounds the per-key exact computation of
+// PartitionFractions; beyond it the Zipf tail is near-uniform across radix
+// partitions (keys are dense, so the mask cycles) and is folded in
+// analytically. This lets the simulator derive paper-scale histograms
+// (128M-key domains) in milliseconds.
+const exactZipfKeys = 1 << 21
+
+// PartitionFractions returns, for a Zipf(skew) foreign-key column over
+// [1, keys] radix-partitioned on the low `bits` key bits, the fraction of
+// tuples landing in each of the 2^bits partitions. skew == 0 yields the
+// uniform distribution. The histogram is exact in expectation (the heavy
+// head is computed per key; the near-uniform tail analytically).
+func PartitionFractions(keys int, skew float64, bits int) []float64 {
+	np := 1 << bits
+	frac := make([]float64, np)
+	if skew == 0 {
+		// Dense keys 1..keys cycle through partitions 1,2,…,np-1,0,…
+		base := keys / np
+		rem := keys % np
+		for p := 0; p < np; p++ {
+			frac[p] = float64(base)
+		}
+		for i := 1; i <= rem; i++ {
+			frac[i&(np-1)]++
+		}
+		total := float64(keys)
+		for i := range frac {
+			frac[i] /= total
+		}
+		return frac
+	}
+	head := keys
+	if head > exactZipfKeys {
+		head = exactZipfKeys
+	}
+	var total float64
+	for k := 0; k < head; k++ {
+		w := zipfWeight(uint64(k), skew)
+		frac[(k+1)&(np-1)] += w
+		total += w
+	}
+	if keys > head {
+		tail := zipfTailWeight(head, keys, skew)
+		for p := range frac {
+			frac[p] += tail / float64(np)
+		}
+		total += tail
+	}
+	for i := range frac {
+		frac[i] /= total
+	}
+	return frac
+}
+
+// zipfTailWeight approximates Σ_{k'=from}^{to-1} (1+k')^{-s} by the
+// integral of the weight function (midpoint-corrected).
+func zipfTailWeight(from, to int, s float64) float64 {
+	a, b := 1.0+float64(from), 1.0+float64(to)
+	integral := (pow(a, 1-s) - pow(b, 1-s)) / (s - 1)
+	correction := (pow(a, -s) - pow(b, -s)) / 2
+	return integral + correction
+}

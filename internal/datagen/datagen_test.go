@@ -1,0 +1,284 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rackjoin/internal/relation"
+)
+
+func TestGenerateUniformDistinctKeys(t *testing.T) {
+	w := Generate(Config{InnerTuples: 1000, OuterTuples: 4000, Seed: 1})
+	seen := make(map[uint64]bool, 1000)
+	for i := 0; i < w.Inner.Len(); i++ {
+		k := w.Inner.Key(i)
+		if k < 1 || k > 1000 {
+			t.Fatalf("inner key %d out of range", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate inner key %d", k)
+		}
+		seen[k] = true
+		if w.Inner.RID(i) != k-1 {
+			t.Fatalf("inner rid %d != key-1 for key %d", w.Inner.RID(i), k)
+		}
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("got %d distinct keys, want 1000", len(seen))
+	}
+}
+
+func TestGenerateEveryInnerKeyMatched(t *testing.T) {
+	w := Generate(Config{InnerTuples: 100, OuterTuples: 250, Seed: 2})
+	hit := make(map[uint64]int)
+	for i := 0; i < w.Outer.Len(); i++ {
+		k := w.Outer.Key(i)
+		if k < 1 || k > 100 {
+			t.Fatalf("outer key %d out of range", k)
+		}
+		hit[k]++
+		if w.Outer.RID(i) != uint64(i) {
+			t.Fatalf("outer rid not range-partitioned at %d", i)
+		}
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if hit[k] == 0 {
+			t.Fatalf("inner key %d has no outer match", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{InnerTuples: 64, OuterTuples: 128, Seed: 7})
+	b := Generate(Config{InnerTuples: 64, OuterTuples: 128, Seed: 7})
+	for i := 0; i < 64; i++ {
+		if a.Inner.Key(i) != b.Inner.Key(i) {
+			t.Fatal("inner generation not deterministic")
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if a.Outer.Key(i) != b.Outer.Key(i) {
+			t.Fatal("outer generation not deterministic")
+		}
+	}
+	c := Generate(Config{InnerTuples: 64, OuterTuples: 128, Seed: 8})
+	diff := false
+	for i := 0; i < 128; i++ {
+		if a.Outer.Key(i) != c.Outer.Key(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical outer relations")
+	}
+}
+
+func TestGenerateSkewed(t *testing.T) {
+	cfg := Config{InnerTuples: 1 << 12, OuterTuples: 1 << 16, Skew: SkewHigh, Seed: 3}
+	w := Generate(cfg)
+	counts := make(map[uint64]int)
+	for i := 0; i < w.Outer.Len(); i++ {
+		k := w.Outer.Key(i)
+		if k < 1 || k > uint64(cfg.InnerTuples) {
+			t.Fatalf("skewed key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key of a Zipf(1.2) distribution must dominate: more
+	// than 5% of all tuples, versus 1/4096 uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.05*float64(cfg.OuterTuples) {
+		t.Fatalf("hottest key only %d/%d tuples; skew not generated", max, cfg.OuterTuples)
+	}
+}
+
+func TestGenerateWideTuples(t *testing.T) {
+	for _, width := range []int{relation.Width16, relation.Width32, relation.Width64} {
+		w := Generate(Config{InnerTuples: 10, OuterTuples: 20, TupleWidth: width, Seed: 4})
+		if w.Inner.Width() != width || w.Outer.Width() != width {
+			t.Fatalf("width %d not applied", width)
+		}
+	}
+}
+
+func TestExpectedJoin(t *testing.T) {
+	w := Generate(Config{InnerTuples: 50, OuterTuples: 200, Seed: 5})
+	e := ExpectedJoin(w.Outer)
+	if e.Matches != 200 {
+		t.Fatalf("matches = %d, want 200", e.Matches)
+	}
+	// Brute-force the join and compare checksums.
+	var brute Expected
+	for i := 0; i < w.Outer.Len(); i++ {
+		for j := 0; j < w.Inner.Len(); j++ {
+			if w.Inner.Key(j) == w.Outer.Key(i) {
+				brute.Matches++
+				brute.Checksum += w.Outer.Key(i) + w.Inner.RID(j) + w.Outer.RID(i)
+			}
+		}
+	}
+	if brute != e {
+		t.Fatalf("brute force %+v != expected %+v", brute, e)
+	}
+}
+
+func TestGenerateDistributed(t *testing.T) {
+	r, s := GenerateDistributed(Config{InnerTuples: 100, OuterTuples: 400, Seed: 6}, 4)
+	if len(r.Chunks) != 4 || len(s.Chunks) != 4 {
+		t.Fatal("wrong chunk count")
+	}
+	if r.Len() != 100 || s.Len() != 400 {
+		t.Fatalf("lost tuples: %d, %d", r.Len(), s.Len())
+	}
+	seen := make(map[uint64]bool)
+	for _, c := range r.Chunks {
+		for i := 0; i < c.Len(); i++ {
+			if seen[c.Key(i)] {
+				t.Fatal("duplicate key across chunks")
+			}
+			seen[c.Key(i)] = true
+		}
+	}
+}
+
+func TestPartitionFractionsUniform(t *testing.T) {
+	frac := PartitionFractions(1<<16, 0, 4)
+	if len(frac) != 16 {
+		t.Fatalf("len = %d", len(frac))
+	}
+	var sum float64
+	for _, f := range frac {
+		sum += f
+		if math.Abs(f-1.0/16) > 1e-9 {
+			t.Fatalf("uniform fraction %v deviates", f)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestPartitionFractionsSkewed(t *testing.T) {
+	frac := PartitionFractions(1<<16, SkewHigh, 4)
+	var sum, max float64
+	for _, f := range frac {
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	// Key 1 (the hottest) lands in partition 1; that partition must be
+	// far above the uniform share.
+	if max < 2.0/16 {
+		t.Fatalf("max fraction %v shows no skew", max)
+	}
+	if frac[1] != max {
+		t.Fatalf("hottest partition should contain key 1; got max at different partition")
+	}
+}
+
+func TestPartitionFractionsMatchGeneratedData(t *testing.T) {
+	// The analytic histogram must agree with an actually generated
+	// skewed relation within sampling error.
+	const keys, tuples, bits = 1 << 10, 1 << 18, 3
+	cfg := Config{InnerTuples: keys, OuterTuples: tuples, Skew: SkewLow, Seed: 9}
+	w := Generate(cfg)
+	np := 1 << bits
+	got := make([]float64, np)
+	for i := 0; i < w.Outer.Len(); i++ {
+		got[int(w.Outer.Key(i))&(np-1)]++
+	}
+	for i := range got {
+		got[i] /= float64(tuples)
+	}
+	want := PartitionFractions(keys, SkewLow, bits)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 0.01 {
+			t.Fatalf("partition %d: generated %.4f vs analytic %.4f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	w := ZipfWeights(100, SkewHigh)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not strictly decreasing at %d", i)
+		}
+	}
+}
+
+// Property: expected checksum is invariant under outer relation order.
+func TestPropertyExpectedJoinOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{InnerTuples: 32, OuterTuples: 64, Seed: seed}
+		w := Generate(cfg)
+		e1 := ExpectedJoin(w.Outer)
+		// Reverse outer tuples (keys and rids travel together).
+		rev := relation.New(w.Outer.Width(), w.Outer.Len())
+		for i := 0; i < w.Outer.Len(); i++ {
+			copy(rev.Tuple(w.Outer.Len()-1-i), w.Outer.Tuple(i))
+		}
+		e2 := ExpectedJoin(rev)
+		return e1 == e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionFractionsTailApproximation(t *testing.T) {
+	// Above exactZipfKeys the tail is folded analytically; compare
+	// against a brute-force exact computation on a domain just past the
+	// threshold.
+	keys := exactZipfKeys + exactZipfKeys/2
+	const bits = 4
+	got := PartitionFractions(keys, SkewHigh, bits)
+	np := 1 << bits
+	exact := make([]float64, np)
+	var total float64
+	for k := 0; k < keys; k++ {
+		w := zipfWeight(uint64(k), SkewHigh)
+		exact[(k+1)&(np-1)] += w
+		total += w
+	}
+	for p := range exact {
+		exact[p] /= total
+	}
+	for p := range exact {
+		if math.Abs(got[p]-exact[p]) > 1e-4 {
+			t.Fatalf("partition %d: approx %.6f vs exact %.6f", p, got[p], exact[p])
+		}
+	}
+}
+
+func TestPartitionFractionsPaperScaleFast(t *testing.T) {
+	// The 128M-key domain of Figure 8 must be cheap to histogram.
+	start := time.Now()
+	f := PartitionFractions(128<<20, SkewHigh, 10)
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("paper-scale fractions took %v", time.Since(start))
+	}
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	// Zipf(1.2) over 128M keys: the hottest key holds ~18% of the mass.
+	if f[1] < 0.15 || f[1] > 0.25 {
+		t.Fatalf("hot partition fraction %.3f outside the expected ~0.18", f[1])
+	}
+}

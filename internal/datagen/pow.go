@@ -1,0 +1,8 @@
+package datagen
+
+import "math"
+
+// pow is a trivial wrapper kept separate so hot loops in this package have
+// a single call site to replace if profiling ever demands a cheaper
+// approximation for the Zipf weight computation.
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rackjoin/internal/agg"
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/core"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/fabric"
+	"rackjoin/internal/mcjoin"
+	"rackjoin/internal/relation"
+)
+
+// Exec-engine experiments: the real distributed join over the in-process
+// RDMA substrate, at laptop scale. They verify end-to-end correctness of
+// every variant and run the ablations DESIGN.md §5 calls out. Wall-clock
+// numbers are host-dependent; correctness columns are not.
+
+// execWorkload is a laptop-scale stand-in for the paper's workloads.
+var execWorkload = datagen.Config{InnerTuples: 1 << 18, OuterTuples: 1 << 20, Seed: 2015}
+
+func runExec(machines, cores int, dcfg datagen.Config, jcfg core.Config, fcfg fabric.Config) (*core.Result, datagen.Expected, error) {
+	c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: cores, Fabric: fcfg})
+	if err != nil {
+		return nil, datagen.Expected{}, err
+	}
+	defer c.Close()
+	w := datagen.Generate(dcfg)
+	want := datagen.ExpectedJoin(w.Outer)
+	res, err := core.Run(c, relation.Fragment(w.Inner, machines), relation.Fragment(w.Outer, machines), jcfg)
+	return res, want, err
+}
+
+func verdict(res *core.Result, want datagen.Expected) string {
+	if res.Matches == want.Matches && res.Checksum == want.Checksum {
+		return "OK"
+	}
+	return fmt.Sprintf("MISMATCH (got %d/%d want %d/%d)", res.Matches, res.Checksum, want.Matches, want.Checksum)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "exec",
+		Title: "End-to-end distributed join on the in-process RDMA cluster (4×4, 2^18 ⋈ 2^20 tuples)",
+		Run: func(w io.Writer) error {
+			for _, tr := range []core.Transport{core.TransportTwoSided, core.TransportOneSided, core.TransportStream, core.TransportTCP} {
+				cfg := core.DefaultConfig()
+				cfg.Transport = tr
+				res, want, err := runExec(4, 4, execWorkload, cfg, fabric.Config{})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-10s: %s  matches=%d checksum=%s  net=%0.1f MB msgs=%d regs=%d\n",
+					tr, fmtPhases(res.Phases), res.Matches, verdict(res, want),
+					float64(res.Net.BytesSent)/(1<<20), res.Net.Messages, res.Net.Registrations)
+			}
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-interleave",
+		Title: "Ablation — interleaved vs non-interleaved communication on a throttled fabric (exec engine)",
+		Run: func(w io.Writer) error {
+			// Throttle the fabric to 256 MB/s per host so the network is
+			// the bottleneck, as on the QDR cluster; the interleaving
+			// benefit of Figure 5b then shows up in wall-clock time.
+			fcfg := fabric.Config{EgressBandwidth: 256e6, IngressBandwidth: 256e6}
+			for _, interleaved := range []bool{true, false} {
+				cfg := core.DefaultConfig()
+				cfg.Interleaved = interleaved
+				res, want, err := runExec(3, 4, execWorkload, cfg, fcfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "interleaved=%-5v: net pass %6.3f s  stalls=%-6d  %s\n",
+					interleaved, res.Phases.NetworkPartition.Seconds(), res.Net.PoolStalls, verdict(res, want))
+			}
+			fmt.Fprintln(w, "paper: interleaving shortens the network partitioning pass by ~35%")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-transport",
+		Title: "Ablation — one-sided vs two-sided verbs (exec engine, throttled fabric)",
+		Run: func(w io.Writer) error {
+			fcfg := fabric.Config{EgressBandwidth: 256e6, IngressBandwidth: 256e6}
+			for _, tr := range []core.Transport{core.TransportOneSided, core.TransportTwoSided} {
+				cfg := core.DefaultConfig()
+				cfg.Transport = tr
+				res, want, err := runExec(3, 4, execWorkload, cfg, fcfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-10s: net pass %6.3f s  %s\n", tr, res.Phases.NetworkPartition.Seconds(), verdict(res, want))
+			}
+			fmt.Fprintln(w, "paper (via [10]): no significant performance difference between the two")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-atomic",
+		Title: "Ablation — histogram-derived offsets vs atomic-append one-sided writes (exec engine, 50µs fabric latency)",
+		Run: func(w io.Writer) error {
+			// The extra fetch-and-add round-trip per buffer only shows
+			// against non-zero link latency; real racks have ~1-2µs RDMA
+			// latency but also far more buffers in flight, so we scale
+			// the latency up with the scale-down of the workload.
+			fcfg := fabric.Config{BaseLatency: 50 * time.Microsecond}
+			for _, tr := range []core.Transport{core.TransportOneSided, core.TransportOneSidedAtomic} {
+				cfg := core.DefaultConfig()
+				cfg.Transport = tr
+				res, want, err := runExec(3, 3, execWorkload, cfg, fcfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-17s: net pass %6.3f s  %s\n", tr, res.Phases.NetworkPartition.Seconds(), verdict(res, want))
+			}
+			fmt.Fprintln(w, "the histogram phase's precomputed offsets avoid one atomic RTT per shipped buffer")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-pull",
+		Title: "Ablation — sender-push (interleaved WRITE) vs receiver-pull (READ) one-sided designs (throttled fabric)",
+		Run: func(w io.Writer) error {
+			fcfg := fabric.Config{EgressBandwidth: 256e6, IngressBandwidth: 256e6}
+			for _, tr := range []core.Transport{core.TransportOneSided, core.TransportOneSidedRead} {
+				cfg := core.DefaultConfig()
+				cfg.Transport = tr
+				res, want, err := runExec(3, 3, execWorkload, cfg, fcfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-15s: net pass %6.3f s  %s\n", tr, res.Phases.NetworkPartition.Seconds(), verdict(res, want))
+			}
+			fmt.Fprintln(w, "pulling must fully stage before any byte moves; pushing interleaves (Section 4.2.1)")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-buffers",
+		Title: "Ablation — buffers per (thread, partition) 1..4 (exec engine, throttled fabric)",
+		Run: func(w io.Writer) error {
+			fcfg := fabric.Config{EgressBandwidth: 256e6, IngressBandwidth: 256e6}
+			for bpp := 1; bpp <= 4; bpp++ {
+				cfg := core.DefaultConfig()
+				cfg.BuffersPerPartition = bpp
+				res, want, err := runExec(3, 4, execWorkload, cfg, fcfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "buffers=%d: net pass %6.3f s  stalls=%-6d  %s\n",
+					bpp, res.Phases.NetworkPartition.Seconds(), res.Net.PoolStalls, verdict(res, want))
+			}
+			fmt.Fprintln(w, "paper: ≥2 buffers per partition are required to interleave (Section 4.2.1)")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-assignment",
+		Title: "Ablation — static round-robin vs dynamic size-sorted assignment under skew (exec engine)",
+		Run: func(w io.Writer) error {
+			dcfg := datagen.Config{InnerTuples: 1 << 14, OuterTuples: 1 << 20, Skew: datagen.SkewHigh, Seed: 99}
+			for _, a := range []core.Assignment{core.AssignRoundRobin, core.AssignSizeSorted} {
+				cfg := core.DefaultConfig()
+				cfg.Assignment = a
+				cfg.SkewSplitFactor = 2
+				res, want, err := runExec(4, 4, dcfg, cfg, fabric.Config{})
+				if err != nil {
+					return err
+				}
+				min, max := res.PartitionsPerMachine[0], res.PartitionsPerMachine[0]
+				for _, n := range res.PartitionsPerMachine {
+					if n < min {
+						min = n
+					}
+					if n > max {
+						max = n
+					}
+				}
+				fmt.Fprintf(w, "%-12s: total %6.3f s  partitions/machine [%d..%d]  %s\n",
+					a, res.Phases.Total().Seconds(), min, max, verdict(res, want))
+			}
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "ext-agg",
+		Title: "Extension — distributed aggregation over the same RDMA machinery (Section 7 generalisation)",
+		Run: func(w io.Writer) error {
+			c, err := cluster.New(cluster.Config{Machines: 4, CoresPerMachine: 4})
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			wl := datagen.Generate(datagen.Config{InnerTuples: 1 << 12, OuterTuples: 1 << 20, Seed: 8})
+			rel := relation.Fragment(wl.Outer, 4)
+			for _, pre := range []bool{true, false} {
+				cfg := agg.DefaultConfig()
+				cfg.PreAggregate = pre
+				res, err := agg.Run(c, rel, cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "pre-aggregate=%-5v: groups=%d rows=%d exchange=%0.2f MB total=%0.3f s\n",
+					pre, res.Groups, res.Rows, float64(res.BytesSent)/(1<<20), res.Phases.Total().Seconds())
+			}
+			fmt.Fprintln(w, "paper (Section 7): buffer pooling/reuse/interleaving generalise to other operators")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-multipass",
+		Title: "Ablation — multi-pass vs single-pass partitioning (single-machine baseline)",
+		Run: func(w io.Writer) error {
+			w2 := datagen.Generate(datagen.Config{InnerTuples: 1 << 24, OuterTuples: 1 << 24, Seed: 7})
+			for _, tc := range []struct {
+				name   string
+				b1, b2 uint
+			}{
+				{"2 passes (8+8 bits, cache-sized)", 8, 8},
+				{"1 pass (16 bits, TLB-hostile)", 16, 0},
+				{"1 pass (8 bits, oversized parts)", 8, 0},
+			} {
+				res, err := mcjoin.RadixJoin(w2.Inner, w2.Outer, mcjoin.Config{Pass1Bits: tc.b1, Pass2Bits: tc.b2})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-34s: total %6.3f s  matches=%d\n", tc.name, res.Phases.Total().Seconds(), res.Matches)
+			}
+			fmt.Fprintln(w, "paper (Section 3.1): multi-pass partitioning avoids TLB misses and cache thrashing")
+			fmt.Fprintln(w, "note: the TLB/cache effect requires real multi-core hardware; numbers above are host-dependent")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "baselines",
+		Title: "Single-machine baselines — radix join [4] vs no-partitioning join [6] vs MPSM sort-merge [2]",
+		Run: func(w io.Writer) error {
+			wl := datagen.Generate(datagen.Config{InnerTuples: 1 << 21, OuterTuples: 1 << 23, Seed: 3})
+			want := datagen.ExpectedJoin(wl.Outer)
+			radix, err := mcjoin.RadixJoin(wl.Inner, wl.Outer, mcjoin.Config{Pass1Bits: 9, Pass2Bits: 5, NUMARegions: 2})
+			if err != nil {
+				return err
+			}
+			nop, err := mcjoin.NoPartitionJoin(wl.Inner, wl.Outer, mcjoin.Config{})
+			if err != nil {
+				return err
+			}
+			sm, err := mcjoin.SortMergeJoin(wl.Inner, wl.Outer, mcjoin.Config{})
+			if err != nil {
+				return err
+			}
+			throughput := func(sec float64) float64 {
+				return float64(wl.Inner.Len()+wl.Outer.Len()) / sec / 1e6
+			}
+			fmt.Fprintf(w, "radix join        : %6.3f s (%6.1f M tuples/s) matches=%d ok=%v\n",
+				radix.Phases.Total().Seconds(), throughput(radix.Phases.Total().Seconds()),
+				radix.Matches, radix.Matches == want.Matches && radix.Checksum == want.Checksum)
+			fmt.Fprintf(w, "no-partition join : %6.3f s (%6.1f M tuples/s) matches=%d ok=%v\n",
+				nop.Phases.Total().Seconds(), throughput(nop.Phases.Total().Seconds()),
+				nop.Matches, nop.Matches == want.Matches && nop.Checksum == want.Checksum)
+			fmt.Fprintf(w, "MPSM sort-merge   : %6.3f s (%6.1f M tuples/s) matches=%d ok=%v\n",
+				sm.Phases.Total().Seconds(), throughput(sm.Phases.Total().Seconds()),
+				sm.Matches, sm.Matches == want.Matches && sm.Checksum == want.Checksum)
+			fmt.Fprintln(w, "paper: a tuned radix join outperforms the no-partitioning join [4] and sort-merge [3]")
+			return nil
+		},
+	})
+}

@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment prints the series the paper
+// plots, alongside the paper's reported numbers where the text gives them,
+// so paper-vs-reproduction comparisons (EXPERIMENTS.md) come straight from
+// these runners.
+//
+// Engines: paper-scale numbers come from the calibrated discrete-event
+// simulator (internal/sim) and the analytical model (internal/model);
+// correctness and algorithm-level ablations run the real distributed join
+// (internal/core) on the in-process RDMA cluster at laptop scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the index key, e.g. "fig5a", "tab1", "sec67", "abl-buffers".
+	ID string
+	// Title describes the experiment in the paper's terms.
+	Title string
+	// Run regenerates the experiment, writing a human-readable table.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiment with the given ID.
+func Run(w io.Writer, id string) error {
+	e, ok := ByID(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
+	return e.Run(w)
+}
+
+// RunAll executes every experiment.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

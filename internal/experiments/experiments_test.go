@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of the paper's evaluation must have a runner.
+	want := []string{
+		"tab1", "tab2", "fig3", "fig5a", "fig5b", "fig6a", "fig6b",
+		"fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10a", "fig10b",
+		"sec62", "sec67", "eq12", "eq13",
+		"exec", "abl-interleave", "abl-transport", "abl-buffers",
+		"abl-assignment", "abl-atomic", "abl-multipass", "baselines",
+		"fig8ext", "ext-agg", "disc-scaleout", "abl-pull",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want ≥ %d", len(All()), len(want))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID should not resolve")
+	}
+	if err := Run(io.Discard, "nope"); err == nil {
+		t.Fatal("running unknown ID should fail")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("IDs not sorted at %d: %v", i, ids)
+		}
+	}
+}
+
+// TestCheapExperimentsRun executes the fast experiments end-to-end and
+// checks they emit plausible tables. The expensive paper-scale sweeps are
+// exercised by the benchmark harness.
+func TestCheapExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not instant")
+	}
+	for _, id := range []string{"tab1", "tab2", "fig3", "eq12", "eq13", "exec", "abl-assignment"} {
+		var buf bytes.Buffer
+		if err := Run(&buf, id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, out)
+		}
+		if strings.Contains(out, "MISMATCH") {
+			t.Errorf("%s: correctness mismatch:\n%s", id, out)
+		}
+	}
+}
+
+func TestFig5bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation")
+	}
+	var buf bytes.Buffer
+	if err := Run(&buf, "fig5b"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TCP", "non-interleaved", "interleaved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5b output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package fabric implements the byte-moving network substrate underneath
+// the simulated RDMA verbs layer (package rdma).
+//
+// A Fabric connects a set of Nodes (one per simulated machine). A message
+// posted on a node is delivered to its destination asynchronously on a
+// dedicated per-direction delivery lane, preserving FIFO order between any
+// ordered pair of nodes. The delivery callback runs on the lane goroutine,
+// which plays the role of the destination host channel adapter (HCA): it
+// performs the actual memory copies of RDMA operations.
+//
+// The fabric can optionally throttle per-node egress and ingress bandwidth
+// so that network-bound behaviour (QDR vs FDR ordering, interleaving
+// benefits) is observable in real time at small scale. With throttling
+// disabled (the default) deliveries are immediate, which is what unit tests
+// and correctness-oriented benchmarks use.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a node within a fabric. IDs are dense and start at 0.
+type NodeID int
+
+// Config controls the behaviour of a Fabric.
+type Config struct {
+	// EgressBandwidth caps the total outbound rate of every node in
+	// bytes/second. Zero disables egress throttling.
+	EgressBandwidth float64
+	// IngressBandwidth caps the total inbound rate of every node in
+	// bytes/second. Zero disables ingress throttling.
+	IngressBandwidth float64
+	// BaseLatency is added to every delivery (propagation + switching).
+	BaseLatency time.Duration
+	// PerMessage models fixed per-message processing cost at the HCA.
+	PerMessage time.Duration
+}
+
+// Throttled reports whether any rate or latency limit is configured.
+func (c Config) Throttled() bool {
+	return c.EgressBandwidth > 0 || c.IngressBandwidth > 0 ||
+		c.BaseLatency > 0 || c.PerMessage > 0
+}
+
+// ErrClosed is returned when posting to a closed fabric.
+var ErrClosed = errors.New("fabric: closed")
+
+// Fabric is an in-process network connecting a fixed set of nodes.
+type Fabric struct {
+	cfg Config
+
+	mu     sync.Mutex
+	nodes  []*Node
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates an empty fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	return &Fabric{cfg: cfg}
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddNode creates and registers a new node.
+func (f *Fabric) AddNode() *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		panic("fabric: AddNode on closed fabric")
+	}
+	n := &Node{
+		f:     f,
+		id:    NodeID(len(f.nodes)),
+		lanes: make(map[NodeID]*lane),
+	}
+	if f.cfg.EgressBandwidth > 0 {
+		n.egress = newMeter(f.cfg.EgressBandwidth)
+	}
+	if f.cfg.IngressBandwidth > 0 {
+		n.ingress = newMeter(f.cfg.IngressBandwidth)
+	}
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Node returns the node with the given id, or nil.
+func (f *Fabric) Node(id NodeID) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(f.nodes) {
+		return nil
+	}
+	return f.nodes[id]
+}
+
+// NumNodes returns the number of registered nodes.
+func (f *Fabric) NumNodes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}
+
+// Close drains all in-flight deliveries and stops the lane goroutines.
+// Posting after Close returns ErrClosed.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	nodes := f.nodes
+	f.mu.Unlock()
+	for _, n := range nodes {
+		n.close()
+	}
+	f.wg.Wait()
+}
+
+// Stats aggregates delivery counters across all nodes.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var s Stats
+	for _, n := range f.nodes {
+		ns := n.Stats()
+		s.Messages += ns.Messages
+		s.Bytes += ns.Bytes
+	}
+	return s
+}
+
+// Stats holds message/byte counters.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Node is one endpoint of the fabric (one simulated machine's HCA port).
+type Node struct {
+	f  *Fabric
+	id NodeID
+
+	egress  *meter
+	ingress *meter
+
+	mu     sync.Mutex
+	lanes  map[NodeID]*lane
+	closed bool
+
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// ID returns the node's fabric-wide identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Stats returns this node's egress counters.
+func (n *Node) Stats() Stats {
+	return Stats{Messages: n.msgs.Load(), Bytes: n.bytes.Load()}
+}
+
+// Post schedules fn to run at the destination after the (possibly
+// throttled) transfer of size bytes. Deliveries between the same ordered
+// pair of nodes run strictly in posting order; fn executes on the
+// destination lane goroutine. size may be zero for pure control messages.
+func (n *Node) Post(to NodeID, size int, fn func()) error {
+	if size < 0 {
+		return fmt.Errorf("fabric: negative size %d", size)
+	}
+	dst := n.f.Node(to)
+	if dst == nil {
+		return fmt.Errorf("fabric: unknown destination node %d", to)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	l, ok := n.lanes[to]
+	if !ok {
+		l = newLane(n.f, n, dst)
+		n.lanes[to] = l
+	}
+	n.mu.Unlock()
+	n.msgs.Add(1)
+	n.bytes.Add(uint64(size))
+	l.enqueue(delivery{size: size, fn: fn})
+	return nil
+}
+
+func (n *Node) close() {
+	n.mu.Lock()
+	n.closed = true
+	lanes := make([]*lane, 0, len(n.lanes))
+	for _, l := range n.lanes {
+		lanes = append(lanes, l)
+	}
+	n.mu.Unlock()
+	for _, l := range lanes {
+		l.close()
+	}
+}
+
+type delivery struct {
+	size int
+	fn   func()
+}
+
+// lane is a FIFO delivery channel for one ordered (src, dst) pair. It uses
+// an unbounded queue so that posting never blocks the caller: real HCAs
+// bound their work queues at the verbs layer (see rdma.QP send queue
+// depth), not at the wire.
+type lane struct {
+	f   *Fabric
+	src *Node
+	dst *Node
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	closed bool
+}
+
+func newLane(f *Fabric, src, dst *Node) *lane {
+	l := &lane{f: f, src: src, dst: dst}
+	l.cond = sync.NewCond(&l.mu)
+	f.wg.Add(1)
+	go l.run()
+	return l
+}
+
+func (l *lane) enqueue(d delivery) {
+	l.mu.Lock()
+	l.queue = append(l.queue, d)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *lane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *lane) run() {
+	defer l.f.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		d := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		l.transfer(d)
+	}
+}
+
+// transfer applies the configured rate limits and then runs the delivery
+// callback. The egress meter of the source and the ingress meter of the
+// destination are charged sequentially, modelling store-and-forward
+// through the switch.
+func (l *lane) transfer(d delivery) {
+	cfg := l.f.cfg
+	var wait time.Duration
+	if cfg.PerMessage > 0 {
+		wait += cfg.PerMessage
+	}
+	if cfg.BaseLatency > 0 {
+		wait += cfg.BaseLatency
+	}
+	if l.src.egress != nil {
+		wait += l.src.egress.reserve(d.size)
+	}
+	if l.dst.ingress != nil {
+		wait += l.dst.ingress.reserve(d.size)
+	}
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	d.fn()
+}

@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPostDelivers(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	a := f.AddNode()
+	b := f.AddNode()
+
+	done := make(chan int, 1)
+	if err := a.Post(b.ID(), 128, func() { done <- 128 }); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	select {
+	case n := <-done:
+		if n != 128 {
+			t.Fatalf("got %d, want 128", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+}
+
+func TestFIFOOrderPerPair(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	a := f.AddNode()
+	b := f.AddNode()
+
+	const n = 10000
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := a.Post(b.ID(), 8, func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			wg.Done()
+		}); err != nil {
+			t.Fatalf("Post %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestConcurrentPosters(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	const nodes = 6
+	ns := make([]*Node, nodes)
+	for i := range ns {
+		ns[i] = f.AddNode()
+	}
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	const per = 500
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i == j {
+				continue
+			}
+			wg.Add(1)
+			go func(src, dst int) {
+				defer wg.Done()
+				var inner sync.WaitGroup
+				inner.Add(per)
+				for k := 0; k < per; k++ {
+					if err := ns[src].Post(ns[dst].ID(), 64, func() {
+						count.Add(1)
+						inner.Done()
+					}); err != nil {
+						t.Errorf("Post: %v", err)
+						inner.Done()
+					}
+				}
+				inner.Wait()
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	want := int64(nodes * (nodes - 1) * per)
+	if count.Load() != want {
+		t.Fatalf("delivered %d, want %d", count.Load(), want)
+	}
+	s := f.Stats()
+	if s.Messages != uint64(want) {
+		t.Fatalf("stats messages %d, want %d", s.Messages, want)
+	}
+	if s.Bytes != uint64(want)*64 {
+		t.Fatalf("stats bytes %d, want %d", s.Bytes, uint64(want)*64)
+	}
+}
+
+func TestPostAfterCloseFails(t *testing.T) {
+	f := New(Config{})
+	a := f.AddNode()
+	b := f.AddNode()
+	f.Close()
+	if err := a.Post(b.ID(), 1, func() {}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestPostUnknownDestination(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	a := f.AddNode()
+	if err := a.Post(42, 1, func() {}); err == nil {
+		t.Fatal("expected error for unknown destination")
+	}
+	if err := a.Post(0, -1, func() {}); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestThrottledBandwidth(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100ms.
+	f := New(Config{EgressBandwidth: 10e6})
+	defer f.Close()
+	a := f.AddNode()
+	b := f.AddNode()
+	start := time.Now()
+	done := make(chan struct{})
+	if err := a.Post(b.ID(), 1<<20, func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("throttled delivery too fast: %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("throttled delivery too slow: %v", elapsed)
+	}
+}
+
+func TestEgressSharedAcrossDestinations(t *testing.T) {
+	// Two 0.5 MB transfers to different destinations share one 10 MB/s
+	// egress link, so together they need ~100ms, not ~50ms.
+	f := New(Config{EgressBandwidth: 10e6})
+	defer f.Close()
+	a := f.AddNode()
+	b := f.AddNode()
+	c := f.AddNode()
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if err := a.Post(b.ID(), 1<<19, func() { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Post(c.ID(), 1<<19, func() { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("shared egress not serialised: %v", elapsed)
+	}
+}
+
+func TestMeterSerialises(t *testing.T) {
+	m := newMeter(1e6) // 1 MB/s
+	w1 := m.reserve(1000)
+	w2 := m.reserve(1000)
+	if w2 <= w1 {
+		t.Fatalf("second reservation should wait longer: %v vs %v", w2, w1)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	a := f.AddNode()
+	if f.Node(a.ID()) != a {
+		t.Fatal("Node lookup failed")
+	}
+	if f.Node(-1) != nil || f.Node(99) != nil {
+		t.Fatal("out-of-range lookup should return nil")
+	}
+	if f.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", f.NumNodes())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f := New(Config{})
+	f.AddNode()
+	f.Close()
+	f.Close()
+}
+
+func TestConfigThrottled(t *testing.T) {
+	if (Config{}).Throttled() {
+		t.Fatal("zero config should not be throttled")
+	}
+	if !(Config{EgressBandwidth: 1}).Throttled() {
+		t.Fatal("egress config should be throttled")
+	}
+	if !(Config{BaseLatency: time.Millisecond}).Throttled() {
+		t.Fatal("latency config should be throttled")
+	}
+}

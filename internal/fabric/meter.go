@@ -1,0 +1,36 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// meter is a shared-link rate limiter. Each reservation serialises behind
+// earlier reservations on the same meter, modelling a FIFO link of fixed
+// bandwidth: the caller is told how long to wait until its transfer would
+// have drained through the link.
+type meter struct {
+	mu        sync.Mutex
+	bytesPerS float64
+	nextFree  time.Time
+}
+
+func newMeter(bytesPerSecond float64) *meter {
+	return &meter{bytesPerS: bytesPerSecond}
+}
+
+// reserve books size bytes on the link and returns how long the caller
+// must wait (from now) for the transfer to complete.
+func (m *meter) reserve(size int) time.Duration {
+	dur := time.Duration(float64(size) / m.bytesPerS * float64(time.Second))
+	now := time.Now()
+	m.mu.Lock()
+	start := m.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(dur)
+	m.nextFree = end
+	m.mu.Unlock()
+	return end.Sub(now)
+}

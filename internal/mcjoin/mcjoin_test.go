@@ -1,0 +1,192 @@
+package mcjoin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/relation"
+)
+
+func verify(t *testing.T, name string, res *Result, w datagen.Workload) {
+	t.Helper()
+	want := datagen.ExpectedJoin(w.Outer)
+	if res.Matches != want.Matches {
+		t.Fatalf("%s: matches = %d, want %d", name, res.Matches, want.Matches)
+	}
+	if res.Checksum != want.Checksum {
+		t.Fatalf("%s: checksum = %d, want %d", name, res.Checksum, want.Checksum)
+	}
+}
+
+func TestRadixJoinUniform(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 14, OuterTuples: 1 << 16, Seed: 1})
+	res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 4, Pass1Bits: 6, Pass2Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "radix", res, w)
+	if res.Phases.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestRadixJoinSinglePass(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 12, OuterTuples: 1 << 13, Seed: 2})
+	res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 2, Pass1Bits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "single-pass", res, w)
+}
+
+func TestRadixJoinSingleThread(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 12, Seed: 3})
+	res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 1, Pass1Bits: 4, Pass2Bits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "one-thread", res, w)
+}
+
+func TestRadixJoinNUMARegions(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 13, OuterTuples: 1 << 15, Seed: 4})
+	for _, regions := range []int{1, 2, 4} {
+		res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 4, Pass1Bits: 6, Pass2Bits: 3, NUMARegions: regions})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, "numa", res, w)
+	}
+}
+
+func TestRadixJoinSkewed(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 15, Skew: datagen.SkewHigh, Seed: 5})
+	res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 4, Pass1Bits: 5, Pass2Bits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "skewed", res, w)
+}
+
+func TestRadixJoinWideTuples(t *testing.T) {
+	for _, width := range []int{relation.Width32, relation.Width64} {
+		w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 12, TupleWidth: width, Seed: 6})
+		res, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 3, Pass1Bits: 4, Pass2Bits: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, "wide", res, w)
+	}
+}
+
+func TestRadixJoinWidthMismatch(t *testing.T) {
+	a := relation.New(relation.Width16, 4)
+	b := relation.New(relation.Width32, 4)
+	if _, err := RadixJoin(a, b, Config{}); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	if _, err := NoPartitionJoin(a, b, Config{}); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestRadixJoinEmptyRelations(t *testing.T) {
+	empty := relation.New(relation.Width16, 0)
+	some := relation.New(relation.Width16, 8)
+	for i := 0; i < 8; i++ {
+		some.SetKey(i, uint64(i+1))
+	}
+	res, err := RadixJoin(empty, some, Config{Threads: 2, Pass1Bits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 {
+		t.Fatal("empty inner should produce no matches")
+	}
+	res, err = RadixJoin(some, empty, Config{Threads: 2, Pass1Bits: 3, Pass2Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 {
+		t.Fatal("empty outer should produce no matches")
+	}
+}
+
+func TestNoPartitionJoin(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 13, OuterTuples: 1 << 15, Seed: 7})
+	res, err := NoPartitionJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "no-partition", res, w)
+}
+
+func TestNoPartitionJoinSkewed(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 9, OuterTuples: 1 << 14, Skew: datagen.SkewLow, Seed: 8})
+	res, err := NoPartitionJoin(w.Inner, w.Outer, Config{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "no-partition-skew", res, w)
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 5000, OuterTuples: 20000, Seed: 9})
+	a, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 4, Pass1Bits: 5, Pass2Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NoPartitionJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Matches != b.Matches || a.Checksum != b.Checksum {
+		t.Fatalf("radix (%d,%d) != no-partition (%d,%d)", a.Matches, a.Checksum, b.Matches, b.Checksum)
+	}
+}
+
+func TestRegionQueues(t *testing.T) {
+	q := newRegionQueues(2, 8)
+	q.push(0, 10)
+	q.push(1, 20)
+	q.push(1, 21)
+	if v, ok := q.pop(1); !ok || v != 20 {
+		t.Fatalf("pop home region: %d %v", v, ok)
+	}
+	if v, ok := q.pop(1); !ok || v != 21 {
+		t.Fatalf("pop home region second: %d %v", v, ok)
+	}
+	if v, ok := q.pop(1); !ok || v != 10 {
+		t.Fatalf("steal from other region: %d %v", v, ok)
+	}
+	if _, ok := q.pop(0); ok {
+		t.Fatal("empty queues should report !ok")
+	}
+}
+
+// Property: both algorithms return the analytically expected result for
+// arbitrary seeds, thread counts and radix configurations.
+func TestPropertyJoinsCorrect(t *testing.T) {
+	f := func(seed int64, threads8, b1, b2 uint8) bool {
+		cfg := Config{
+			Threads:   int(threads8%7) + 1,
+			Pass1Bits: uint(b1%6) + 1,
+			Pass2Bits: uint(b2 % 5),
+		}
+		w := datagen.Generate(datagen.Config{InnerTuples: 300, OuterTuples: 1200, Seed: seed})
+		want := datagen.ExpectedJoin(w.Outer)
+		r, err := RadixJoin(w.Inner, w.Outer, cfg)
+		if err != nil || r.Matches != want.Matches || r.Checksum != want.Checksum {
+			return false
+		}
+		np, err := NoPartitionJoin(w.Inner, w.Outer, cfg)
+		if err != nil || np.Matches != want.Matches || np.Checksum != want.Checksum {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

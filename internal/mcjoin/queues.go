@@ -1,0 +1,45 @@
+package mcjoin
+
+import "sync"
+
+// regionQueues implements the paper's NUMA-aware task queues (Section
+// 6.1): one queue per NUMA region. A worker pops from the queue of its own
+// region first and steals from other regions only when its local queue is
+// empty.
+type regionQueues struct {
+	mu     sync.Mutex
+	queues [][]int
+}
+
+func newRegionQueues(regions, capacityHint int) *regionQueues {
+	q := &regionQueues{queues: make([][]int, regions)}
+	for i := range q.queues {
+		q.queues[i] = make([]int, 0, capacityHint/regions+1)
+	}
+	return q
+}
+
+// push appends a task to the given region's queue.
+func (q *regionQueues) push(region, task int) {
+	q.mu.Lock()
+	q.queues[region] = append(q.queues[region], task)
+	q.mu.Unlock()
+}
+
+// pop removes a task, preferring the worker's home region and scanning the
+// remaining regions round-robin otherwise. ok is false when all queues are
+// empty.
+func (q *regionQueues) pop(home int) (task int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.queues)
+	for i := 0; i < n; i++ {
+		r := (home + i) % n
+		if len(q.queues[r]) > 0 {
+			task = q.queues[r][0]
+			q.queues[r] = q.queues[r][1:]
+			return task, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,181 @@
+package mcjoin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/relation"
+)
+
+func TestSortMergeJoinUniform(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 14, OuterTuples: 1 << 16, Seed: 1})
+	res, err := SortMergeJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "sort-merge", res, w)
+	if res.Phases.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestSortMergeJoinSingleThread(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 12, Seed: 2})
+	res, err := SortMergeJoin(w.Inner, w.Outer, Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "sort-merge-1t", res, w)
+}
+
+func TestSortMergeJoinSkewed(t *testing.T) {
+	// Heavy duplicates on the outer side exercise the duplicate-block
+	// merge logic.
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 8, OuterTuples: 1 << 14, Skew: datagen.SkewHigh, Seed: 3})
+	res, err := SortMergeJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "sort-merge-skew", res, w)
+}
+
+func TestSortMergeJoinWide(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 12, TupleWidth: relation.Width64, Seed: 4})
+	res, err := SortMergeJoin(w.Inner, w.Outer, Config{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "sort-merge-wide", res, w)
+}
+
+func TestSortMergeJoinEmpty(t *testing.T) {
+	empty := relation.New(relation.Width16, 0)
+	some := relation.New(relation.Width16, 4)
+	for i := 0; i < 4; i++ {
+		some.SetKey(i, uint64(i+1))
+	}
+	res, err := SortMergeJoin(empty, some, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 {
+		t.Fatal("empty inner should produce no matches")
+	}
+	res, err = SortMergeJoin(some, empty, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 0 {
+		t.Fatal("empty outer should produce no matches")
+	}
+}
+
+func TestSortMergeWidthMismatch(t *testing.T) {
+	a := relation.New(relation.Width16, 2)
+	b := relation.New(relation.Width32, 2)
+	if _, err := SortMergeJoin(a, b, Config{}); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestMergeJoinDuplicatesBothSides(t *testing.T) {
+	inner := []kr{{1, 10}, {2, 20}, {2, 21}, {3, 30}}
+	outer := []kr{{2, 100}, {2, 101}, {2, 102}, {4, 400}}
+	m, c := mergeJoin(inner, outer)
+	if m != 6 { // 2 inner dups × 3 outer dups
+		t.Fatalf("matches = %d, want 6", m)
+	}
+	// Σ over pairs (2 + ridI + ridJ): 6·2 + 3·(20+21) + 2·(100+101+102)
+	want := uint64(6*2 + 3*(20+21) + 2*(100+101+102))
+	if c != want {
+		t.Fatalf("checksum = %d, want %d", c, want)
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	splitters := []uint64{10, 20, 30}
+	cases := map[uint64]int{5: 0, 10: 1, 15: 1, 20: 2, 29: 2, 30: 3, 99: 3}
+	for k, want := range cases {
+		if got := rangeOf(k, splitters); got != want {
+			t.Errorf("rangeOf(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if rangeOf(5, nil) != 0 {
+		t.Error("no splitters → range 0")
+	}
+}
+
+func TestAllThreeAlgorithmsAgree(t *testing.T) {
+	w := datagen.Generate(datagen.Config{InnerTuples: 4000, OuterTuples: 16000, Seed: 5})
+	radix, err := RadixJoin(w.Inner, w.Outer, Config{Threads: 4, Pass1Bits: 5, Pass2Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop, err := NoPartitionJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := SortMergeJoin(w.Inner, w.Outer, Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radix.Matches != sm.Matches || radix.Checksum != sm.Checksum ||
+		nop.Matches != sm.Matches || nop.Checksum != sm.Checksum {
+		t.Fatalf("algorithms disagree: radix (%d,%d) nop (%d,%d) sm (%d,%d)",
+			radix.Matches, radix.Checksum, nop.Matches, nop.Checksum, sm.Matches, sm.Checksum)
+	}
+}
+
+// Property: MPSM agrees with the analytically expected join for arbitrary
+// seeds, thread counts and skews — including non-FK multisets via the
+// other algorithms.
+func TestPropertySortMergeCorrect(t *testing.T) {
+	f := func(seed int64, threads8 uint8, skewed bool) bool {
+		cfg := Config{Threads: int(threads8%7) + 1}
+		dcfg := datagen.Config{InnerTuples: 256, OuterTuples: 2048, Seed: seed}
+		if skewed {
+			dcfg.Skew = datagen.SkewLow
+		}
+		w := datagen.Generate(dcfg)
+		want := datagen.ExpectedJoin(w.Outer)
+		res, err := SortMergeJoin(w.Inner, w.Outer, cfg)
+		if err != nil {
+			return false
+		}
+		return res.Matches == want.Matches && res.Checksum == want.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mergeJoin equals brute force on arbitrary sorted multisets.
+func TestPropertyMergeJoinBruteForce(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		inner := make([]kr, len(a))
+		for i, k := range a {
+			inner[i] = kr{uint64(k % 16), uint64(i)}
+		}
+		outer := make([]kr, len(b))
+		for i, k := range b {
+			outer[i] = kr{uint64(k % 16), uint64(100 + i)}
+		}
+		sortKR(inner)
+		sortKR(outer)
+		m, c := mergeJoin(inner, outer)
+		var bm, bc uint64
+		for _, x := range inner {
+			for _, y := range outer {
+				if x.key == y.key {
+					bm++
+					bc += x.key + x.rid + y.rid
+				}
+			}
+		}
+		return m == bm && c == bc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

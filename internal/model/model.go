@@ -1,0 +1,325 @@
+// Package model implements the paper's analytical model (Section 5,
+// Equations 1–14) plus the calibration constants of Section 6.8
+// (Equation 15). It predicts per-phase execution times of the distributed
+// radix hash join from the system configuration and input sizes, derives
+// the CPU-bound/network-bound regime boundary, the optimal number of cores
+// per machine, and the machine-count upper bound of Equation 13.
+//
+// All rates are in MB/s (MB = 10^6 bytes... the paper uses binary MB for
+// data sizes; we follow the paper and use MiB consistently: 1 MB here is
+// 2^20 bytes) and all sizes in MB.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rackjoin/internal/phase"
+)
+
+// MB is the size unit of the model: 2^20 bytes.
+const MB = 1 << 20
+
+// Calibration holds the per-thread processing rates of Equation 15 plus
+// the fitted constants documented in DESIGN.md §7.
+type Calibration struct {
+	// PsPart is the network-pass partitioning speed of one thread
+	// (Eq. 15: 955 MB/s).
+	PsPart float64
+	// PsLocal is the local-pass partitioning speed of one thread (fitted:
+	// the local pass has no buffer-management or routing work).
+	PsLocal float64
+	// PsHist is the histogram scan speed of one thread (fitted;
+	// memory-bandwidth bound).
+	PsHist float64
+	// HbThread and HpThread are the hash table build/probe speeds of one
+	// thread on cache-resident partitions (Table 1).
+	HbThread float64
+	HpThread float64
+	// Passes is the number of partitioning passes p (paper: 2).
+	Passes int
+}
+
+// DefaultCalibration returns the constants used throughout the
+// reproduction (see DESIGN.md §7 for provenance).
+func DefaultCalibration() Calibration {
+	return Calibration{
+		PsPart:   955,
+		PsLocal:  1430,
+		PsHist:   3820,
+		HbThread: 3400,
+		HpThread: 3400,
+		Passes:   2,
+	}
+}
+
+// SingleServerCalibration models the high-end four-socket server of
+// Figure 5a: the first partitioning pass crosses the QPI interconnect.
+type SingleServerCalibration struct {
+	PsPass1 float64 // QPI-limited first pass
+	PsPass2 float64
+	PsHist  float64
+	Hb, Hp  float64
+}
+
+// DefaultSingleServer returns constants fitted to Figure 5a's
+// single-machine bars (2.19 s / 4.47 s / 9.02 s).
+func DefaultSingleServer() SingleServerCalibration {
+	return SingleServerCalibration{PsPass1: 1000, PsPass2: 1430, PsHist: 3820, Hb: 3400, Hp: 3400}
+}
+
+// Network describes one interconnect of Table 2 / Section 6.3.
+type Network struct {
+	Name string
+	// Base is the per-host bandwidth in MB/s at two machines.
+	Base float64
+	// CongestionPerMachine is the bandwidth loss per additional machine
+	// (Eq. 15: 110 MB/s on QDR; congestion grows with rack size).
+	CongestionPerMachine float64
+	// MsgOverhead is the fixed per-message cost in seconds, which shapes
+	// the Figure 3 bandwidth-vs-message-size curve.
+	MsgOverhead float64
+	// CopyRate models per-byte CPU cost of kernel transports (IPoIB):
+	// MB/s of sender-side copy work; 0 for RDMA (zero-copy).
+	CopyRate float64
+}
+
+// QDR returns the 3.4 GB/s Quad Data Rate InfiniBand network of the
+// ten-node cluster. The message overhead corresponds to a ~8M msg/s HCA,
+// which saturates the link at 8 KB messages as in Figure 3.
+func QDR() Network {
+	return Network{Name: "QDR", Base: 3400, CongestionPerMachine: 110, MsgOverhead: 0.12e-6}
+}
+
+// FDR returns the 6.0 GB/s Fourteen Data Rate InfiniBand network of the
+// four-node cluster.
+func FDR() Network {
+	return Network{Name: "FDR", Base: 6000, CongestionPerMachine: 0, MsgOverhead: 0.07e-6}
+}
+
+// IPoIB returns the IP-over-InfiniBand upper-layer protocol on the FDR
+// cluster: 1.8 GB/s effective bandwidth (Section 6.3), kernel copies at a
+// calibrated 490 MB/s per thread, and syscall-sized per-message overhead.
+func IPoIB() Network {
+	return Network{Name: "IPoIB", Base: 1800, CongestionPerMachine: 0, MsgOverhead: 10e-6, CopyRate: 490}
+}
+
+// Bandwidth returns netMax for a rack of the given size, following
+// Eq. 15 exactly: base − (N_M − 1) · congestion.
+func (n Network) Bandwidth(machines int) float64 {
+	bw := n.Base
+	if machines > 1 {
+		bw -= float64(machines-1) * n.CongestionPerMachine
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	return bw
+}
+
+// PointToPoint returns the achievable bandwidth in MB/s between two hosts
+// for messages of msgSize bytes (Figure 3): throughput ramps linearly
+// while the per-message overhead dominates and saturates at Base once
+// messages amortise it (≳ 8 KB on both networks).
+func (n Network) PointToPoint(msgSize int) float64 {
+	if msgSize <= 0 {
+		return 0
+	}
+	s := float64(msgSize)
+	t := n.MsgOverhead + s/(n.Base*MB)
+	return s / t / MB
+}
+
+// System is a deployment: a rack of machines on a network.
+type System struct {
+	Machines        int
+	CoresPerMachine int
+	Net             Network
+	Cal             Calibration
+}
+
+// NewSystem builds a System with default calibration.
+func NewSystem(machines, cores int, net Network) System {
+	return System{Machines: machines, CoresPerMachine: cores, Net: net, Cal: DefaultCalibration()}
+}
+
+// Workload holds the input sizes in MB.
+type Workload struct {
+	R, S float64
+}
+
+// WorkloadTuples converts tuple counts and width to a Workload.
+func WorkloadTuples(rTuples, sTuples int64, width int) Workload {
+	return Workload{
+		R: float64(rTuples) * float64(width) / MB,
+		S: float64(sTuples) * float64(width) / MB,
+	}
+}
+
+// Total returns |R|+|S| in MB.
+func (w Workload) Total() float64 { return w.R + w.S }
+
+// PsNetwork is Equation 1: the per-thread share of the host's network
+// bandwidth, with one core per machine dedicated to incoming data.
+func (s System) PsNetwork() float64 {
+	return s.Net.Bandwidth(s.Machines) / float64(s.CoresPerMachine-1)
+}
+
+// NetworkBound is Equation 2: true when remote tuples are produced faster
+// than the network can ship them.
+func (s System) NetworkBound() bool {
+	nm := float64(s.Machines)
+	return (nm-1)/nm*s.Cal.PsPart > s.PsNetwork()
+}
+
+// PsThread is Equation 4: the effective partitioning speed of one thread
+// in a network-bound system.
+func (s System) PsThread() float64 {
+	nm := float64(s.Machines)
+	psNet := s.PsNetwork()
+	return nm * s.Cal.PsPart * psNet / ((nm-1)*s.Cal.PsPart + psNet)
+}
+
+// PS1 is the global speed of the network partitioning pass: Equation 3 in
+// CPU-bound systems, Equation 5 in network-bound systems.
+func (s System) PS1() float64 {
+	nm := float64(s.Machines)
+	threads := nm * float64(s.CoresPerMachine-1)
+	if s.Machines == 1 {
+		return float64(s.CoresPerMachine) * s.Cal.PsPart
+	}
+	if !s.NetworkBound() {
+		return threads * s.Cal.PsPart // Eq. 3
+	}
+	return threads * s.PsThread() // Eq. 5
+}
+
+// PS2 is Equation 6: the global speed of a local partitioning pass.
+func (s System) PS2() float64 {
+	return float64(s.Machines*s.CoresPerMachine) * s.Cal.PsLocal
+}
+
+// PartitioningTime is Equation 7 for the configured number of passes.
+func (s System) PartitioningTime(w Workload) float64 {
+	t := w.Total() / s.PS1()
+	if s.Cal.Passes > 1 {
+		t += float64(s.Cal.Passes-1) * w.Total() / s.PS2()
+	}
+	return t
+}
+
+// BuildTime is Equations 8–9.
+func (s System) BuildTime(w Workload) float64 {
+	return w.R / (float64(s.Machines*s.CoresPerMachine) * s.Cal.HbThread)
+}
+
+// ProbeTime is Equations 10–11.
+func (s System) ProbeTime(w Workload) float64 {
+	return w.S / (float64(s.Machines*s.CoresPerMachine) * s.Cal.HpThread)
+}
+
+// HistogramTime is the histogram scan estimate (the paper folds it into
+// its measured predictions; we expose it so the four-phase breakdown of
+// Figures 5b/7/9 can be predicted).
+func (s System) HistogramTime(w Workload) float64 {
+	return w.Total() / (float64(s.Machines*s.CoresPerMachine) * s.Cal.PsHist)
+}
+
+// Predict returns the full per-phase prediction.
+func (s System) Predict(w Workload) phase.Times {
+	local := 0.0
+	if s.Cal.Passes > 1 {
+		local = float64(s.Cal.Passes-1) * w.Total() / s.PS2()
+	}
+	return phase.FromSeconds(
+		s.HistogramTime(w),
+		w.Total()/s.PS1(),
+		local,
+		s.BuildTime(w)+s.ProbeTime(w),
+	)
+}
+
+// PredictSingle predicts the single-server baseline of Figure 5a.
+func PredictSingle(w Workload, cores int, cal SingleServerCalibration) phase.Times {
+	c := float64(cores)
+	return phase.FromSeconds(
+		w.Total()/(c*cal.PsHist),
+		w.Total()/(c*cal.PsPass1),
+		w.Total()/(c*cal.PsPass2),
+		w.R/(c*cal.Hb)+w.S/(c*cal.Hp),
+	)
+}
+
+// OptimalCores is Equation 12 as the paper applies it in Section 6.8.1:
+// the number of partitioning threads that exactly saturates the per-host
+// bandwidth is netMax/psPart; adding the network thread gives
+// ⌊netMax/psPart⌋ + 1 cores per machine (QDR → 4, FDR → 7).
+func (s System) OptimalCores() int {
+	return int(s.Net.Base/s.Cal.PsPart) + 1
+}
+
+// MaxMachines is Equation 13: the machine count above which the RDMA
+// buffers of the inner relation are no longer filled before transmission,
+// wasting network bandwidth. rMB is |R| in MB, np1 the partition count of
+// the network pass, bufBytes the RDMA buffer size.
+func (s System) MaxMachines(rMB float64, np1 int, bufBytes int) int {
+	denom := float64(np1) * float64(s.CoresPerMachine-1) * (float64(bufBytes) / MB)
+	if denom <= 0 {
+		return 0
+	}
+	return int(math.Floor(rMB / denom))
+}
+
+// MinPartitions is Equation 14: every core must receive at least one
+// partition, so NP1 ≥ NM × NC/M.
+func (s System) MinPartitions() int {
+	return s.Machines * s.CoresPerMachine
+}
+
+// String summarises the system.
+func (s System) String() string {
+	return fmt.Sprintf("%d×%d cores on %s (%.0f MB/s/host)",
+		s.Machines, s.CoresPerMachine, s.Net.Name, s.Net.Bandwidth(s.Machines))
+}
+
+// CrossoverBandwidth answers the scale-up vs scale-out question of the
+// paper's Section 7 ("the answer ... is dependent on the bandwidth
+// provided by the NUMA interconnect and the network"): it returns the
+// per-host network bandwidth (MB/s) at which a rack of machines×cores
+// matches a single server with singleCores cores on workload w. Above the
+// returned bandwidth, horizontal scale-out wins. The search brackets
+// [64, 131072] MB/s; it returns 0 when even the upper bound cannot catch
+// the single server, and the lower bound when the rack wins everywhere.
+func CrossoverBandwidth(w Workload, machines, cores int, cal Calibration,
+	single SingleServerCalibration, singleCores int) float64 {
+	target := PredictSingle(w, singleCores, single).Total().Seconds()
+	rackTime := func(bw float64) float64 {
+		s := System{Machines: machines, CoresPerMachine: cores,
+			Net: Network{Name: "x", Base: bw}, Cal: cal}
+		return s.Predict(w).Total().Seconds()
+	}
+	lo, hi := 64.0, 131072.0
+	if rackTime(hi) > target {
+		return 0
+	}
+	if rackTime(lo) <= target {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if rackTime(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// HDR returns the projected 25 GB/s HDR InfiniBand network the paper's
+// Section 7 anticipates ("current technical road-maps project that
+// InfiniBand will be able to offer a bandwidth of 25 GB/s (HDR) by
+// 2017").
+func HDR() Network {
+	return Network{Name: "HDR", Base: 25600, CongestionPerMachine: 0, MsgOverhead: 0.05e-6}
+}

@@ -1,0 +1,316 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperWorkload is the 2048M ⋈ 2048M 16-byte-tuple join used throughout
+// Sections 6.4–6.8: 32768 MB per relation.
+var paperWorkload = WorkloadTuples(2048<<20, 2048<<20, 16)
+
+func TestWorkloadTuples(t *testing.T) {
+	w := WorkloadTuples(2048<<20, 2048<<20, 16)
+	if w.R != 32768 || w.S != 32768 {
+		t.Fatalf("2048M 16-byte tuples = %.0f MB, want 32768", w.R)
+	}
+	if w.Total() != 65536 {
+		t.Fatalf("total = %.0f", w.Total())
+	}
+}
+
+func TestQDRBandwidthCongestion(t *testing.T) {
+	q := QDR()
+	// Eq. 15: psQDR(NM) numerator is 3400 − (NM−1)·110.
+	if q.Bandwidth(2) != 3290 {
+		t.Fatalf("QDR@2 = %v", q.Bandwidth(2))
+	}
+	if q.Bandwidth(10) != 3400-9*110 {
+		t.Fatalf("QDR@10 = %v", q.Bandwidth(10))
+	}
+	if FDR().Bandwidth(10) != 6000 {
+		t.Fatal("FDR has no congestion term")
+	}
+}
+
+func TestNetworkBoundRegimes(t *testing.T) {
+	// Section 6.6: FDR with 8 cores is CPU-bound on 2 and 3 machines and
+	// (just) network-bound on 4.
+	for _, tc := range []struct {
+		machines int
+		want     bool
+	}{{2, false}, {3, false}, {4, false}} {
+		s := NewSystem(tc.machines, 8, FDR())
+		if got := s.NetworkBound(); got != tc.want {
+			t.Errorf("FDR @%d machines: NetworkBound = %v, want %v", tc.machines, got, tc.want)
+		}
+	}
+	// QDR with 8 cores is network-bound at every rack size — psNet =
+	// 3290/7 = 470 vs (1/2)·955 = 477.5 already at two machines.
+	for nm := 2; nm <= 10; nm++ {
+		if !NewSystem(nm, 8, QDR()).NetworkBound() {
+			t.Errorf("QDR @%d machines should be network-bound", nm)
+		}
+	}
+	// QDR with 4 cores (3 partitioning threads) on few machines: 3
+	// threads cannot saturate 3.4 GB/s.
+	if NewSystem(2, 4, QDR()).NetworkBound() {
+		t.Error("QDR with 4 cores on 2 machines should be CPU-bound")
+	}
+}
+
+func TestPsThreadEquation4(t *testing.T) {
+	s := NewSystem(4, 8, QDR())
+	// Hand-computed: netMax = 3400-330 = 3070, psNet = 3070/7 ≈ 438.6,
+	// psThread = 4·955·438.6/(3·955+438.6).
+	psNet := 3070.0 / 7
+	want := 4 * 955 * psNet / (3*955 + psNet)
+	if got := s.PsThread(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("PsThread = %v, want %v", got, want)
+	}
+}
+
+func TestPredictQDRMatchesPaperFigure7a(t *testing.T) {
+	// Figure 7a totals for 2048M ⋈ 2048M on the QDR cluster. The model
+	// must land within 10% of the measured totals for ≥4 machines (the
+	// paper validates ≥4 in Figure 9b, reporting 0.17 s average error).
+	paper := map[int]float64{4: 7.19, 6: 5.36, 8: 4.46, 10: 3.84}
+	for nm, want := range paper {
+		s := NewSystem(nm, 8, QDR())
+		got := s.Predict(paperWorkload).Total().Seconds()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("QDR @%d machines: predicted %.2f s, paper measured %.2f s", nm, got, want)
+		}
+	}
+}
+
+func TestPredictSingleMatchesPaperFigure5a(t *testing.T) {
+	paper := []struct {
+		tuples int64
+		want   float64
+	}{
+		{1024 << 20, 2.19},
+		{2048 << 20, 4.47},
+		{4096 << 20, 9.02},
+	}
+	for _, tc := range paper {
+		w := WorkloadTuples(tc.tuples, tc.tuples, 16)
+		got := PredictSingle(w, 32, DefaultSingleServer()).Total().Seconds()
+		if math.Abs(got-tc.want)/tc.want > 0.10 {
+			t.Errorf("single server %dM: predicted %.2f s, paper %.2f s", tc.tuples>>20, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalCoresSection681(t *testing.T) {
+	// Section 6.8.1: four cores per machine on QDR, seven on FDR.
+	if got := NewSystem(8, 8, QDR()).OptimalCores(); got != 4 {
+		t.Fatalf("QDR optimal cores = %d, want 4", got)
+	}
+	if got := NewSystem(4, 8, FDR()).OptimalCores(); got != 7 {
+		t.Fatalf("FDR optimal cores = %d, want 7", got)
+	}
+}
+
+func TestPointToPointSaturation(t *testing.T) {
+	// Figure 3: both networks reach and maintain full bandwidth for
+	// buffers ≳ 8 KB; small messages are overhead-dominated.
+	for _, n := range []Network{QDR(), FDR()} {
+		bw64k := n.PointToPoint(64 << 10)
+		if bw64k < 0.90*n.Base {
+			t.Errorf("%s: 64 KB messages reach only %.0f/%.0f MB/s", n.Name, bw64k, n.Base)
+		}
+		bw2 := n.PointToPoint(2)
+		if bw2 > 0.05*n.Base {
+			t.Errorf("%s: 2 B messages too fast: %.1f MB/s", n.Name, bw2)
+		}
+		// Monotonically non-decreasing in message size.
+		prev := 0.0
+		for sz := 2; sz <= 512<<10; sz *= 2 {
+			bw := n.PointToPoint(sz)
+			if bw < prev {
+				t.Errorf("%s: bandwidth not monotone at %d B", n.Name, sz)
+			}
+			prev = bw
+		}
+	}
+	if QDR().PointToPoint(0) != 0 {
+		t.Error("zero-size message should have zero bandwidth")
+	}
+}
+
+func TestFDRFasterThanQDR(t *testing.T) {
+	// Figure 5a ordering: single < FDR < QDR execution time.
+	w := paperWorkload
+	single := PredictSingle(w, 32, DefaultSingleServer()).Total()
+	fdr := NewSystem(4, 8, FDR()).Predict(w).Total()
+	qdr := NewSystem(4, 8, QDR()).Predict(w).Total()
+	if !(single < fdr && fdr < qdr) {
+		t.Fatalf("ordering violated: single=%v fdr=%v qdr=%v", single, fdr, qdr)
+	}
+}
+
+func TestMaxMachinesEquation13(t *testing.T) {
+	s := NewSystem(4, 8, QDR())
+	// |R| = 32768 MB, 1024 partitions, 7 threads, 64 KB buffers:
+	// 32768 / (1024·7·0.0625) = 73 machines.
+	got := s.MaxMachines(32768, 1024, 64<<10)
+	if got != 73 {
+		t.Fatalf("MaxMachines = %d, want 73", got)
+	}
+	// A small relation limits scale-out hard.
+	if s.MaxMachines(64, 1024, 64<<10) != 0 {
+		t.Fatal("tiny inner relation should cap machines at 0 full buffers")
+	}
+	if s.MaxMachines(100, 0, 64<<10) != 0 {
+		t.Fatal("degenerate partition count")
+	}
+}
+
+func TestMinPartitionsEquation14(t *testing.T) {
+	if got := NewSystem(10, 8, QDR()).MinPartitions(); got != 80 {
+		t.Fatalf("MinPartitions = %d, want 80", got)
+	}
+}
+
+func TestLinearScalingInDataSize(t *testing.T) {
+	// Section 6.4.1: doubling both relations doubles execution time.
+	s := NewSystem(6, 8, QDR())
+	t1 := s.Predict(WorkloadTuples(1024<<20, 1024<<20, 16)).Total().Seconds()
+	t2 := s.Predict(WorkloadTuples(2048<<20, 2048<<20, 16)).Total().Seconds()
+	if math.Abs(t2/t1-2) > 0.01 {
+		t.Fatalf("scaling factor %.3f, want 2.0", t2/t1)
+	}
+}
+
+func TestSmallToLargeShrinks(t *testing.T) {
+	// Section 6.4.2: fixing |S| and shrinking |R| 8× roughly halves the
+	// total time (partitioning dominates and scales with |R|+|S|).
+	s := NewSystem(4, 8, QDR())
+	t11 := s.Predict(WorkloadTuples(2048<<20, 2048<<20, 16)).Total().Seconds()
+	t18 := s.Predict(WorkloadTuples(256<<20, 2048<<20, 16)).Total().Seconds()
+	ratio := t18 / t11
+	if ratio < 0.45 || ratio > 0.65 {
+		t.Fatalf("1:8 / 1:1 time ratio = %.2f, want ≈ 0.5 (Figure 6b)", ratio)
+	}
+}
+
+func TestWideTuplesSameTime(t *testing.T) {
+	// Section 6.7: execution time depends on bytes, not tuple counts.
+	s := NewSystem(4, 8, QDR())
+	t16 := s.Predict(WorkloadTuples(2048<<20, 2048<<20, 16)).Total()
+	t32 := s.Predict(WorkloadTuples(1024<<20, 1024<<20, 32)).Total()
+	t64 := s.Predict(WorkloadTuples(512<<20, 512<<20, 64)).Total()
+	if t16 != t32 || t32 != t64 {
+		t.Fatalf("wide-tuple times differ: %v %v %v", t16, t32, t64)
+	}
+}
+
+func TestIPoIBSlower(t *testing.T) {
+	ipoib := NewSystem(4, 8, IPoIB())
+	fdr := NewSystem(4, 8, FDR())
+	if ipoib.Predict(paperWorkload).Total() <= fdr.Predict(paperWorkload).Total() {
+		t.Fatal("IPoIB should be slower than native FDR")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if NewSystem(4, 8, QDR()).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Property: predictions are positive, finite, and monotone — more
+// machines never slow the model down on a congestion-free network.
+func TestPropertyPredictionsSane(t *testing.T) {
+	f := func(nm8, cores8 uint8, rMB16, sMB16 uint16) bool {
+		nm := int(nm8%15) + 2
+		cores := int(cores8%15) + 2
+		w := Workload{R: float64(rMB16) + 1, S: float64(sMB16) + 1}
+		s := NewSystem(nm, cores, FDR())
+		p := s.Predict(w)
+		total := p.Total().Seconds()
+		if !(total > 0) || math.IsInf(total, 0) || math.IsNaN(total) {
+			return false
+		}
+		bigger := NewSystem(nm+1, cores, FDR())
+		return bigger.Predict(w).Total().Seconds() <= total+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at the exact regime boundary of Equation 2 (psNetwork ==
+// (NM-1)/NM · psPart), Equation 4 evaluates to psPart · NM/(NM+1): the
+// thread spends 1/(NM+1) of its time waiting for transfers even though the
+// network is nominally saturable. This checks the Eq. 4 algebra exactly.
+func TestPropertyRegimeBoundary(t *testing.T) {
+	f := func(nm8, cores8 uint8) bool {
+		nm := int(nm8%9) + 2
+		cores := int(cores8%12) + 2
+		cal := DefaultCalibration()
+		// Engineer the network so psNetwork lands exactly on the boundary.
+		boundaryPsNet := float64(nm-1) / float64(nm) * cal.PsPart
+		net := Network{Name: "synthetic", Base: boundaryPsNet * float64(cores-1)}
+		s := System{Machines: nm, CoresPerMachine: cores, Net: net, Cal: cal}
+		want := cal.PsPart * float64(nm) / float64(nm+1)
+		return math.Abs(s.PsThread()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverBandwidth(t *testing.T) {
+	// Section 7's scale-up vs scale-out question, made quantitative for a
+	// 5×8 rack against the 32-core server. A 4×8 rack can NEVER catch the
+	// server (28 partitioning threads vs 32 cores: CPU-bound even at
+	// infinite bandwidth) — that itself is the paper's Figure 5a finding.
+	w := paperWorkload
+	cal := DefaultCalibration()
+	single := DefaultSingleServer()
+	if bw := CrossoverBandwidth(w, 4, 8, cal, single, 32); bw != 0 {
+		t.Fatalf("4×8 rack should never catch the server, got crossover %f", bw)
+	}
+	bw := CrossoverBandwidth(w, 5, 8, cal, single, 32)
+	if bw <= 0 {
+		t.Fatal("a 5×8 rack should catch the 32-core server at some bandwidth")
+	}
+	// QDR's effective 5-machine bandwidth is below the crossover (the
+	// single server wins there, as measured), FDR's is above it
+	// (scale-out wins): exactly the interconnect dependence §7 describes.
+	if bw < QDR().Bandwidth(5) {
+		t.Fatalf("crossover %f should exceed QDR's effective bandwidth", bw)
+	}
+	if bw > FDR().Base {
+		t.Fatalf("crossover %f should be below FDR bandwidth", bw)
+	}
+	// The rack's predicted time at the crossover matches the single
+	// server's within 1%.
+	rack := System{Machines: 5, CoresPerMachine: 8, Net: Network{Base: bw}, Cal: cal}
+	rt := rack.Predict(w).Total().Seconds()
+	st := PredictSingle(w, 32, single).Total().Seconds()
+	if math.Abs(rt-st)/st > 0.01 {
+		t.Fatalf("times at crossover differ: rack %.2f vs single %.2f", rt, st)
+	}
+	// A big rack against a small server needs only a sliver of bandwidth.
+	if got := CrossoverBandwidth(w, 10, 8, cal, single, 8); got <= 0 || got >= QDR().Base {
+		t.Fatalf("dominating rack crossover should be tiny, got %f", got)
+	}
+}
+
+func TestHDRFasterThanQDR(t *testing.T) {
+	// On a network-bound rack the projected HDR bandwidth (§7) removes
+	// the bottleneck; on a CPU-bound rack it changes nothing.
+	w := paperWorkload
+	hdr := NewSystem(8, 8, HDR()).Predict(w).Total()
+	qdr := NewSystem(8, 8, QDR()).Predict(w).Total()
+	if hdr >= qdr {
+		t.Fatalf("HDR should beat QDR at 8 machines: %v vs %v", hdr, qdr)
+	}
+	if NewSystem(4, 8, HDR()).Predict(w).Total() != NewSystem(4, 8, FDR()).Predict(w).Total() {
+		t.Fatal("a CPU-bound 4×8 rack should not care about bandwidth beyond FDR")
+	}
+}

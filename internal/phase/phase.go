@@ -1,0 +1,64 @@
+// Package phase defines the per-phase timing breakdown shared by the
+// single-machine baselines, the distributed join, the analytical model and
+// the discrete-event simulator: the four phases of Figure 5b/7 of the
+// paper (histogram computation, network partitioning, local partitioning,
+// build-probe).
+package phase
+
+import (
+	"fmt"
+	"time"
+)
+
+// Times records the duration of each join phase. For single-machine
+// algorithms NetworkPartition holds the first (non-network) partitioning
+// pass so breakdowns remain comparable across engines.
+type Times struct {
+	Histogram        time.Duration
+	NetworkPartition time.Duration
+	LocalPartition   time.Duration
+	BuildProbe       time.Duration
+}
+
+// Total returns the sum of all phases.
+func (t Times) Total() time.Duration {
+	return t.Histogram + t.NetworkPartition + t.LocalPartition + t.BuildProbe
+}
+
+// Seconds returns the per-phase durations in seconds, in paper order.
+func (t Times) Seconds() [4]float64 {
+	return [4]float64{
+		t.Histogram.Seconds(),
+		t.NetworkPartition.Seconds(),
+		t.LocalPartition.Seconds(),
+		t.BuildProbe.Seconds(),
+	}
+}
+
+// Add returns the phase-wise sum of two breakdowns.
+func (t Times) Add(o Times) Times {
+	return Times{
+		Histogram:        t.Histogram + o.Histogram,
+		NetworkPartition: t.NetworkPartition + o.NetworkPartition,
+		LocalPartition:   t.LocalPartition + o.LocalPartition,
+		BuildProbe:       t.BuildProbe + o.BuildProbe,
+	}
+}
+
+// String formats the breakdown in seconds.
+func (t Times) String() string {
+	return fmt.Sprintf("hist=%.3fs net=%.3fs local=%.3fs bp=%.3fs total=%.3fs",
+		t.Histogram.Seconds(), t.NetworkPartition.Seconds(),
+		t.LocalPartition.Seconds(), t.BuildProbe.Seconds(), t.Total().Seconds())
+}
+
+// FromSeconds builds a Times from per-phase seconds (used by the model and
+// simulator, whose clocks are virtual).
+func FromSeconds(hist, net, local, bp float64) Times {
+	return Times{
+		Histogram:        time.Duration(hist * float64(time.Second)),
+		NetworkPartition: time.Duration(net * float64(time.Second)),
+		LocalPartition:   time.Duration(local * float64(time.Second)),
+		BuildProbe:       time.Duration(bp * float64(time.Second)),
+	}
+}

@@ -1,0 +1,57 @@
+package phase
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTotal(t *testing.T) {
+	p := Times{Histogram: time.Second, NetworkPartition: 2 * time.Second,
+		LocalPartition: 3 * time.Second, BuildProbe: 4 * time.Second}
+	if p.Total() != 10*time.Second {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	p := FromSeconds(1, 2, 3, 4)
+	s := p.Seconds()
+	want := [4]float64{1, 2, 3, 4}
+	if s != want {
+		t.Fatalf("Seconds = %v", s)
+	}
+	if p.Total() != 10*time.Second {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := FromSeconds(1, 2, 3, 4)
+	b := FromSeconds(4, 3, 2, 1)
+	c := a.Add(b)
+	if c.Seconds() != [4]float64{5, 5, 5, 5} {
+		t.Fatalf("Add = %v", c.Seconds())
+	}
+}
+
+func TestString(t *testing.T) {
+	if FromSeconds(1, 2, 3, 4).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Property: Add is commutative and Total distributes over Add.
+func TestPropertyAddAlgebra(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint16) bool {
+		a := FromSeconds(float64(a1), float64(a2), float64(a3), float64(a4))
+		b := FromSeconds(float64(b1), float64(b2), float64(b3), float64(b4))
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		return a.Add(b).Total() == a.Total()+b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package radix implements the partitioning primitives of the radix hash
+// join (Manegold et al., Section 3.1 of the paper): per-thread histograms
+// over the low bits of the join key, prefix sums to derive exclusive write
+// cursors, and the scatter pass that moves whole tuples into contiguous
+// partition ranges.
+//
+// Multi-pass partitioning operates on non-overlapping bit subsets: pass i
+// uses (shift_i, bits_i) with shift_{i+1} = shift_i + bits_i, so that the
+// number of simultaneously written partitions never exceeds the TLB or
+// cache-line budget of the machine. Pass orchestration lives in the join
+// packages (mcjoin, core); this package provides the kernels.
+package radix
+
+import "rackjoin/internal/relation"
+
+// PartitionOf returns the partition index of key for a pass using the
+// given bit window.
+func PartitionOf(key uint64, shift, bits uint) int {
+	return int((key >> shift) & (1<<bits - 1))
+}
+
+// Histogram counts the tuples of rel per partition of a (shift, bits)
+// pass. The result has 2^bits entries.
+func Histogram(rel *relation.Relation, shift, bits uint) []int64 {
+	h := make([]int64, 1<<bits)
+	AddHistogram(h, rel, shift, bits)
+	return h
+}
+
+// AddHistogram accumulates rel's per-partition counts into h, which must
+// have 2^bits entries. Used to merge per-thread histograms into
+// machine-level histograms without intermediate allocation.
+func AddHistogram(h []int64, rel *relation.Relation, shift, bits uint) {
+	mask := uint64(1<<bits - 1)
+	width := rel.Width()
+	data := rel.Bytes()
+	for off := 0; off < len(data); off += width {
+		k := le64(data[off:])
+		h[(k>>shift)&mask]++
+	}
+}
+
+// PrefixSum converts counts into exclusive starting offsets and returns
+// the total. offsets[i] = sum of h[0..i).
+func PrefixSum(h []int64) (offsets []int64, total int64) {
+	offsets = make([]int64, len(h))
+	for i, c := range h {
+		offsets[i] = total
+		total += c
+	}
+	return offsets, total
+}
+
+// Scatter copies every tuple of src into dst at the position indicated by
+// cursors (in tuples), advancing the cursor of the tuple's partition.
+// cursors is mutated; callers seed it with exclusive prefix-sum offsets.
+// dst must use the same tuple width as src.
+func Scatter(src, dst *relation.Relation, cursors []int64, shift, bits uint) {
+	mask := uint64(1<<bits - 1)
+	width := src.Width()
+	sdata := src.Bytes()
+	ddata := dst.Bytes()
+	for off := 0; off < len(sdata); off += width {
+		k := le64(sdata[off:])
+		p := (k >> shift) & mask
+		dst := cursors[p] * int64(width)
+		copy(ddata[dst:dst+int64(width)], sdata[off:off+width])
+		cursors[p]++
+	}
+}
+
+// Bounds converts a histogram into per-partition [start, end) tuple
+// bounds: bounds[i] and bounds[i+1] delimit partition i. len(bounds) is
+// len(h)+1.
+func Bounds(h []int64) []int64 {
+	b := make([]int64, len(h)+1)
+	var acc int64
+	for i, c := range h {
+		b[i] = acc
+		acc += c
+	}
+	b[len(h)] = acc
+	return b
+}
+
+// PartitionView returns partition p of a relation that was scattered with
+// the histogram underlying bounds.
+func PartitionView(rel *relation.Relation, bounds []int64, p int) *relation.Relation {
+	return rel.Slice(int(bounds[p]), int(bounds[p+1]))
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,235 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/relation"
+)
+
+func makeRel(keys []uint64) *relation.Relation {
+	r := relation.New(relation.Width16, len(keys))
+	for i, k := range keys {
+		r.SetKey(i, k)
+		r.SetRID(i, uint64(i))
+	}
+	return r
+}
+
+func TestPartitionOf(t *testing.T) {
+	cases := []struct {
+		key         uint64
+		shift, bits uint
+		want        int
+	}{
+		{0b1011, 0, 2, 0b11},
+		{0b1011, 2, 2, 0b10},
+		{0xFF, 4, 4, 0xF},
+		{1, 0, 10, 1},
+		{1 << 10, 0, 10, 0},
+	}
+	for _, c := range cases {
+		if got := PartitionOf(c.key, c.shift, c.bits); got != c.want {
+			t.Errorf("PartitionOf(%b,%d,%d) = %d, want %d", c.key, c.shift, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := makeRel([]uint64{0, 1, 2, 3, 4, 5, 6, 7, 4, 4})
+	h := Histogram(r, 0, 2)
+	want := []int64{4, 2, 2, 2} // {0,4,4,4},{1,5},{2,6},{3,7}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("h[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestHistogramShift(t *testing.T) {
+	r := makeRel([]uint64{0b00_01, 0b01_01, 0b10_01, 0b11_01})
+	h := Histogram(r, 2, 2)
+	for i := 0; i < 4; i++ {
+		if h[i] != 1 {
+			t.Fatalf("shifted histogram wrong: %v", h)
+		}
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	off, total := PrefixSum([]int64{3, 0, 2, 5})
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 3, 5}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("off[%d] = %d, want %d", i, off[i], want[i])
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := Bounds([]int64{3, 0, 2})
+	want := []int64{0, 3, 3, 5}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+}
+
+func TestScatterGroupsAndPreservesTuples(t *testing.T) {
+	keys := []uint64{7, 2, 9, 4, 7, 1, 12, 15, 8, 3}
+	src := makeRel(keys)
+	const bits = 2
+	h := Histogram(src, 0, bits)
+	cursors, total := PrefixSum(h)
+	if total != int64(len(keys)) {
+		t.Fatalf("total = %d", total)
+	}
+	dst := relation.New(src.Width(), src.Len())
+	Scatter(src, dst, cursors, 0, bits)
+
+	bounds := Bounds(h)
+	seen := make(map[uint64]int)
+	for p := 0; p < 1<<bits; p++ {
+		part := PartitionView(dst, bounds, p)
+		for i := 0; i < part.Len(); i++ {
+			if PartitionOf(part.Key(i), 0, bits) != p {
+				t.Fatalf("tuple with key %d in wrong partition %d", part.Key(i), p)
+			}
+			seen[part.Key(i)<<32|part.RID(i)]++
+		}
+	}
+	for i, k := range keys {
+		if seen[k<<32|uint64(i)] != 1 {
+			t.Fatalf("tuple (%d,%d) lost or duplicated", k, i)
+		}
+	}
+}
+
+func TestScatterWideTuples(t *testing.T) {
+	src := relation.New(relation.Width64, 8)
+	for i := 0; i < 8; i++ {
+		src.SetKey(i, uint64(i))
+		src.SetRID(i, uint64(100+i))
+		src.Tuple(i)[63] = byte(i) // payload marker
+	}
+	h := Histogram(src, 0, 1)
+	cursors, _ := PrefixSum(h)
+	dst := relation.New(relation.Width64, 8)
+	Scatter(src, dst, cursors, 0, 1)
+	for i := 0; i < 8; i++ {
+		k := dst.Key(i)
+		if dst.Tuple(i)[63] != byte(k) {
+			t.Fatalf("payload did not travel with tuple key %d", k)
+		}
+		if dst.RID(i) != 100+k {
+			t.Fatalf("rid did not travel with tuple key %d", k)
+		}
+	}
+}
+
+func TestAddHistogramMerges(t *testing.T) {
+	a := makeRel([]uint64{0, 1})
+	b := makeRel([]uint64{1, 2, 3})
+	h := make([]int64, 4)
+	AddHistogram(h, a, 0, 2)
+	AddHistogram(h, b, 0, 2)
+	want := []int64{1, 2, 1, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("merged h = %v", h)
+		}
+	}
+}
+
+// Property: multi-pass partitioning (two passes over disjoint bit windows)
+// produces the same partition contents as one single pass over the
+// combined window.
+func TestPropertyMultiPassEqualsSinglePass(t *testing.T) {
+	f := func(seed int64) bool {
+		w := datagen.Generate(datagen.Config{InnerTuples: 256, OuterTuples: 512, Seed: seed})
+		src := w.Outer
+		const b1, b2 = 3, 2
+
+		// Single pass over b1+b2 bits.
+		hAll := Histogram(src, 0, b1+b2)
+		curAll, _ := PrefixSum(hAll)
+		single := relation.New(src.Width(), src.Len())
+		Scatter(src, single, curAll, 0, b1+b2)
+
+		// Pass 1 over low b1 bits, then pass 2 over the next b2 bits
+		// within each pass-1 partition.
+		h1 := Histogram(src, 0, b1)
+		cur1, _ := PrefixSum(h1)
+		mid := relation.New(src.Width(), src.Len())
+		Scatter(src, mid, cur1, 0, b1)
+		bounds1 := Bounds(h1)
+		multi := relation.New(src.Width(), src.Len())
+		boundsAll := Bounds(hAll)
+		sums := func(r *relation.Relation) (k, rid uint64) {
+			for i := 0; i < r.Len(); i++ {
+				k += r.Key(i)
+				rid += r.RID(i)
+			}
+			return
+		}
+		// Compare per-partition multisets. A key's combined partition id
+		// is key & (2^(b1+b2)-1) = p2<<b1 | p1: in `single` partitions
+		// are laid out by that id; in `multi`, sub-partition p2 of
+		// pass-1 block p1 holds the same tuple set.
+		for p1 := 0; p1 < 1<<b1; p1++ {
+			part := PartitionView(mid, bounds1, p1)
+			out := PartitionView(multi, bounds1, p1)
+			h2 := Histogram(part, b1, b2)
+			cur2, _ := PrefixSum(h2)
+			Scatter(part, out, cur2, b1, b2)
+			bounds2 := Bounds(h2)
+			for p2 := 0; p2 < 1<<b2; p2++ {
+				mp := PartitionView(out, bounds2, p2)
+				sp := PartitionView(single, boundsAll, p2<<b1|p1)
+				if sp.Len() != mp.Len() {
+					return false
+				}
+				sk, sr := sums(sp)
+				mk, mr := sums(mp)
+				if sk != mk || sr != mr {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram totals always equal the relation size, and scatter
+// cursors end exactly at the next partition's start.
+func TestPropertyHistogramInvariants(t *testing.T) {
+	f := func(seed int64, bits8 uint8) bool {
+		bits := uint(bits8%8) + 1
+		w := datagen.Generate(datagen.Config{InnerTuples: 100, OuterTuples: 300, Seed: seed})
+		h := Histogram(w.Outer, 0, bits)
+		cursors, total := PrefixSum(h)
+		if total != int64(w.Outer.Len()) {
+			return false
+		}
+		dst := relation.New(w.Outer.Width(), w.Outer.Len())
+		Scatter(w.Outer, dst, cursors, 0, bits)
+		bounds := Bounds(h)
+		for p := range h {
+			if cursors[p] != bounds[p+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

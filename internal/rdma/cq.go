@@ -1,0 +1,57 @@
+package rdma
+
+import "sync"
+
+// CompletionQueue collects completions of work requests. Multiple queue
+// pairs may share one CQ; completions carry the QPN of their origin.
+//
+// The queue is unbounded: applications bound outstanding work at the queue
+// pair (send queue depth, number of posted receives), mirroring how verbs
+// applications size their CQs to the sum of attached queue depths.
+type CompletionQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Completion
+}
+
+// Poll moves up to len(dst) completions into dst without blocking and
+// returns how many were written.
+func (cq *CompletionQueue) Poll(dst []Completion) int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	n := copy(dst, cq.queue)
+	cq.queue = cq.queue[n:]
+	if len(cq.queue) == 0 {
+		cq.queue = nil
+	}
+	return n
+}
+
+// Wait blocks until at least one completion is available and returns it.
+func (cq *CompletionQueue) Wait() Completion {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	for len(cq.queue) == 0 {
+		cq.cond.Wait()
+	}
+	c := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	if len(cq.queue) == 0 {
+		cq.queue = nil
+	}
+	return c
+}
+
+// Len returns the number of pending completions.
+func (cq *CompletionQueue) Len() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.queue)
+}
+
+func (cq *CompletionQueue) push(c Completion) {
+	cq.mu.Lock()
+	cq.queue = append(cq.queue, c)
+	cq.mu.Unlock()
+	cq.cond.Signal()
+}

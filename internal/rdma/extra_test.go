@@ -1,0 +1,181 @@
+package rdma
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rackjoin/internal/fabric"
+)
+
+func TestSRQRNRBlocksAndReleases(t *testing.T) {
+	// A SEND arriving at an empty SRQ must park until a buffer is posted,
+	// counting an RNR wait.
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	devA, devB := net.NewDevice(), net.NewDevice()
+	pdA, pdB := devA.AllocPD(), devB.AllocPD()
+	srq := pdB.CreateSRQ(4)
+	scq := devA.NewCQ()
+	rcq := devB.NewCQ()
+	qpA, _ := pdA.CreateQP(QPConfig{SendCQ: scq, RecvCQ: devA.NewCQ()})
+	qpB, _ := pdB.CreateQP(QPConfig{SendCQ: rcq, RecvCQ: rcq, SRQ: srq})
+	if err := Connect(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMRAt(t, pdA, 32, 0)
+	dst := mustMRAt(t, pdB, 32, AccessLocalWrite)
+
+	if err := qpA.PostSend(SendWR{Op: OpSend, Signaled: true, Local: Segment{MR: src, Length: 32}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the send park at the SRQ
+	if srq.RNRWaits() != 1 {
+		t.Fatalf("RNRWaits = %d, want 1", srq.RNRWaits())
+	}
+	if err := srq.PostRecv(RecvWR{WRID: 9, Local: Segment{MR: dst, Length: 32}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := scq.Wait(); c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if c := rcq.Wait(); c.WRID != 9 {
+		t.Fatalf("recv completion WRID = %d", c.WRID)
+	}
+}
+
+func TestSRQCloseReleasesParkedSender(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	devA, devB := net.NewDevice(), net.NewDevice()
+	pdA, pdB := devA.AllocPD(), devB.AllocPD()
+	srq := pdB.CreateSRQ(4)
+	scq := devA.NewCQ()
+	qpA, _ := pdA.CreateQP(QPConfig{SendCQ: scq, RecvCQ: devA.NewCQ()})
+	qpB, _ := pdB.CreateQP(QPConfig{SendCQ: devB.NewCQ(), RecvCQ: devB.NewCQ(), SRQ: srq})
+	if err := Connect(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMRAt(t, pdA, 8, 0)
+	if err := qpA.PostSend(SendWR{Op: OpSend, Signaled: true, Local: Segment{MR: src, Length: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	srq.Close()
+	if c := scq.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("parked send should fail on SRQ close, got %+v", c)
+	}
+}
+
+func TestCQConcurrentProducersAndConsumer(t *testing.T) {
+	// One consumer Wait()s while many goroutines push; nothing may be
+	// lost or duplicated.
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	cq := net.NewDevice().NewCQ()
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				cq.push(Completion{WRID: uint64(p*per + i)})
+			}
+		}(p)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < producers*per; i++ {
+		c := cq.Wait()
+		if seen[c.WRID] {
+			t.Fatalf("duplicate completion %d", c.WRID)
+		}
+		seen[c.WRID] = true
+	}
+	wg.Wait()
+	if cq.Len() != 0 {
+		t.Fatalf("leftover completions: %d", cq.Len())
+	}
+}
+
+func TestWriteToClosedPeerQP(t *testing.T) {
+	// SENDs parked at a closed QP complete with an error instead of
+	// hanging.
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 8, 0)
+	if err := p.qpA.PostSend(SendWR{Op: OpSend, Signaled: true, Local: Segment{MR: src, Length: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	p.qpB.Close()
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want error completion after peer close, got %+v", c)
+	}
+	// Posting to the closed QP itself fails synchronously.
+	if err := p.qpB.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 8}}); err == nil {
+		t.Fatal("post on closed QP should fail")
+	}
+}
+
+func TestDeviceStatsAccumulate(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 64, 0)
+	dst := mustMR(t, p.pdB, 64, AccessLocalWrite|AccessRemoteWrite|AccessRemoteRead|AccessRemoteAtomic)
+	local := mustMR(t, p.pdA, 64, AccessLocalWrite)
+
+	// One of each operation.
+	if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: dst, Length: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	ops := []SendWR{
+		{Op: OpSend, Signaled: true, Local: Segment{MR: src, Length: 16}},
+		{Op: OpWrite, Signaled: true, Local: Segment{MR: src, Length: 32}, Remote: RemoteSegment{RKey: dst.RKey()}},
+		{Op: OpRead, Signaled: true, Local: Segment{MR: local, Length: 8}, Remote: RemoteSegment{RKey: dst.RKey()}},
+		{Op: OpFetchAdd, Signaled: true, Add: 1, Local: Segment{MR: local, Length: 8}, Remote: RemoteSegment{RKey: dst.RKey()}},
+	}
+	for _, wr := range ops {
+		if err := p.qpA.PostSend(wr); err != nil {
+			t.Fatal(err)
+		}
+		if c := p.scqA.Wait(); c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+	}
+	s := p.devA.Stats()
+	if s.Sends != 1 || s.Writes != 1 || s.Reads != 1 || s.Atomics != 1 {
+		t.Fatalf("op counters wrong: %+v", s)
+	}
+	if s.BytesSent != 16+32 {
+		t.Fatalf("BytesSent = %d, want 48", s.BytesSent)
+	}
+	if s.BytesReceived != 8 { // READ response
+		t.Fatalf("BytesReceived = %d, want 8", s.BytesReceived)
+	}
+	sb := p.devB.Stats()
+	if sb.BytesReceived != 16+32 || sb.BytesSent != 8 || sb.Recvs != 1 {
+		t.Fatalf("peer counters wrong: %+v", sb)
+	}
+}
+
+func TestFabricStatsThroughNetwork(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 1024, 0)
+	dst := mustMR(t, p.pdB, 1024, AccessRemoteWrite)
+	before := p.net.FabricStats()
+	for i := 0; i < 4; i++ {
+		if err := p.qpA.PostSend(SendWR{Op: OpWrite, Signaled: true,
+			Local: Segment{MR: src, Length: 1024}, Remote: RemoteSegment{RKey: dst.RKey()}}); err != nil {
+			t.Fatal(err)
+		}
+		if c := p.scqA.Wait(); c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+	}
+	after := p.net.FabricStats()
+	if after.Bytes-before.Bytes != 4096 {
+		t.Fatalf("fabric bytes delta = %d, want 4096", after.Bytes-before.Bytes)
+	}
+	if after.Messages-before.Messages != 4 {
+		t.Fatalf("fabric messages delta = %d, want 4", after.Messages-before.Messages)
+	}
+}

@@ -1,0 +1,329 @@
+// Package rdma is a functional, in-process implementation of the RDMA
+// verbs programming model used by the paper's distributed join: protection
+// domains, registered memory regions, reliable-connected queue pairs,
+// completion queues, two-sided SEND/RECV (channel semantics) and one-sided
+// WRITE/READ (memory semantics), including WRITE-with-immediate.
+//
+// It substitutes for InfiniBand hardware: data movement is real (bytes are
+// copied between per-machine memory regions by the fabric delivery
+// goroutine, which plays the role of the destination HCA), and the
+// asynchronous work-request/completion discipline is fully preserved.
+// In particular the properties the paper's algorithm depends on hold:
+//
+//   - a posted buffer must not be touched until its completion is polled
+//     (violations corrupt data exactly like on real hardware);
+//   - SENDs consume posted receives in order; posting too few receives
+//     stalls the sender (receiver-not-ready), which is observable in the
+//     device statistics;
+//   - memory registration is explicit and accounted per page, so buffer
+//     pooling and reuse (Section 4 of the paper) have measurable effects;
+//   - one-sided operations complete without any remote CPU involvement.
+//
+// Operations on a queue pair execute in posting order, matching
+// reliable-connected (RC) transport semantics.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rackjoin/internal/fabric"
+)
+
+// PageSize is the registration granularity used for pin accounting.
+const PageSize = 4096
+
+// DefaultQueueDepth is the default send/receive queue capacity of a QP.
+const DefaultQueueDepth = 512
+
+// Errors returned by verb calls (as opposed to asynchronous completion
+// statuses, see Status).
+var (
+	ErrQPFull        = errors.New("rdma: send queue full")
+	ErrRQFull        = errors.New("rdma: receive queue full")
+	ErrNotConnected  = errors.New("rdma: queue pair not connected")
+	ErrDeregistered  = errors.New("rdma: memory region deregistered")
+	ErrBadSegment    = errors.New("rdma: segment out of memory region bounds")
+	ErrClosed        = errors.New("rdma: object closed")
+	ErrWrongPD       = errors.New("rdma: memory region belongs to a different protection domain")
+	ErrAccessDenied  = errors.New("rdma: access flags do not permit operation")
+	ErrNeedRemoteSeg = errors.New("rdma: operation requires a remote segment")
+)
+
+// Network owns the fabric and the set of devices attached to it. It is the
+// top-level factory: one Network per simulated cluster.
+type Network struct {
+	fab *fabric.Fabric
+
+	mu      sync.Mutex
+	devices []*Device
+}
+
+// NewNetwork creates a network with the given fabric configuration.
+func NewNetwork(cfg fabric.Config) *Network {
+	return &Network{fab: fabric.New(cfg)}
+}
+
+// NewDevice attaches a new device (HCA) to the network.
+func (n *Network) NewDevice() *Device {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := &Device{
+		net:  n,
+		node: n.fab.AddNode(),
+		mrs:  make(map[uint32]*MemoryRegion),
+		qps:  make(map[uint32]*QP),
+	}
+	d.id = len(n.devices)
+	n.devices = append(n.devices, d)
+	return d
+}
+
+// Close shuts the underlying fabric down, draining in-flight operations.
+func (n *Network) Close() { n.fab.Close() }
+
+// FabricStats returns message/byte counters of the underlying fabric.
+func (n *Network) FabricStats() fabric.Stats { return n.fab.Stats() }
+
+func (n *Network) device(id int) *Device {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id < 0 || id >= len(n.devices) {
+		return nil
+	}
+	return n.devices[id]
+}
+
+// Device models one machine's RDMA-capable network adapter.
+type Device struct {
+	net  *Network
+	node *fabric.Node
+	id   int
+
+	mu      sync.Mutex
+	nextKey uint32
+	nextQPN uint32
+	mrs     map[uint32]*MemoryRegion // by rkey
+	qps     map[uint32]*QP           // by qpn
+	stats   DeviceStats
+}
+
+// DeviceStats aggregates per-device counters. All byte counts refer to
+// payload bytes.
+type DeviceStats struct {
+	// Registration accounting (Section 3.2.1 of the paper: registration
+	// cost grows with the number of pinned pages, motivating pooling).
+	Registrations   uint64
+	Deregistrations uint64
+	PagesRegistered uint64
+	PagesPinned     uint64 // currently pinned
+
+	// Work request counters.
+	Sends  uint64
+	Writes uint64
+	Reads  uint64
+	Recvs  uint64 // receives consumed
+
+	BytesSent     uint64
+	BytesReceived uint64
+
+	// Atomics counts remote atomic operations issued by this device.
+	Atomics uint64
+
+	// RNRWaits counts SENDs that arrived before a receive was posted and
+	// had to wait (receiver-not-ready back-pressure).
+	RNRWaits uint64
+}
+
+// ID returns the device's network-wide identifier.
+func (d *Device) ID() int { return d.id }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// AllocPD creates a protection domain on the device.
+func (d *Device) AllocPD() *ProtectionDomain {
+	return &ProtectionDomain{dev: d}
+}
+
+// NewCQ creates a completion queue. Completion queues have unbounded
+// capacity; real applications bound outstanding work at the QP instead.
+func (d *Device) NewCQ() *CompletionQueue {
+	cq := &CompletionQueue{}
+	cq.cond = sync.NewCond(&cq.mu)
+	return cq
+}
+
+func (d *Device) registerMR(mr *MemoryRegion) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextKey++
+	mr.rkey = d.nextKey
+	mr.lkey = d.nextKey
+	d.mrs[mr.rkey] = mr
+	pages := uint64((len(mr.buf) + PageSize - 1) / PageSize)
+	d.stats.Registrations++
+	d.stats.PagesRegistered += pages
+	d.stats.PagesPinned += pages
+}
+
+func (d *Device) deregisterMR(mr *MemoryRegion) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.mrs[mr.rkey]; !ok {
+		return
+	}
+	delete(d.mrs, mr.rkey)
+	pages := uint64((len(mr.buf) + PageSize - 1) / PageSize)
+	d.stats.Deregistrations++
+	if d.stats.PagesPinned >= pages {
+		d.stats.PagesPinned -= pages
+	}
+}
+
+// lookupMR resolves an rkey on this device.
+func (d *Device) lookupMR(rkey uint32) *MemoryRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mrs[rkey]
+}
+
+func (d *Device) addQP(qp *QP) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextQPN++
+	qp.qpn = d.nextQPN
+	d.qps[qp.qpn] = qp
+}
+
+func (d *Device) qpByNumber(qpn uint32) *QP {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.qps[qpn]
+}
+
+func (d *Device) count(fn func(*DeviceStats)) {
+	d.mu.Lock()
+	fn(&d.stats)
+	d.mu.Unlock()
+}
+
+// ProtectionDomain scopes memory regions and queue pairs, mirroring the
+// verbs object model. Registering through a PD and creating QPs in the
+// same PD is required for local access checks.
+type ProtectionDomain struct {
+	dev *Device
+}
+
+// Device returns the device owning the protection domain.
+func (pd *ProtectionDomain) Device() *Device { return pd.dev }
+
+// Access flags for memory registration.
+type Access uint32
+
+const (
+	// AccessLocalWrite permits the local HCA to write (receives, reads).
+	AccessLocalWrite Access = 1 << iota
+	// AccessRemoteWrite permits remote one-sided WRITEs into the region.
+	AccessRemoteWrite
+	// AccessRemoteRead permits remote one-sided READs from the region.
+	AccessRemoteRead
+	// AccessRemoteAtomic permits remote atomic operations on the region.
+	AccessRemoteAtomic
+)
+
+// RegisterMemory pins buf and makes it accessible to the HCA. The returned
+// memory region exposes LKey for local scatter/gather entries and RKey for
+// remote one-sided access.
+//
+// Registration is the expensive verb on real hardware (page pinning); the
+// device accounts pages so that tests and benchmarks can assert buffer
+// pools amortise it.
+func (pd *ProtectionDomain) RegisterMemory(buf []byte, access Access) (*MemoryRegion, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("rdma: cannot register empty buffer")
+	}
+	mr := &MemoryRegion{pd: pd, buf: buf, access: access}
+	pd.dev.registerMR(mr)
+	return mr, nil
+}
+
+// MemoryRegion is a pinned, HCA-accessible range of memory.
+type MemoryRegion struct {
+	pd     *ProtectionDomain
+	buf    []byte
+	access Access
+	lkey   uint32
+	rkey   uint32
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// LKey returns the local access key.
+func (mr *MemoryRegion) LKey() uint32 { return mr.lkey }
+
+// RKey returns the remote access key, advertised to peers for one-sided
+// operations.
+func (mr *MemoryRegion) RKey() uint32 { return mr.rkey }
+
+// Len returns the region length in bytes.
+func (mr *MemoryRegion) Len() int { return len(mr.buf) }
+
+// Bytes exposes the underlying buffer. The caller owns synchronisation
+// with outstanding work requests, exactly as on real hardware.
+func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
+
+// Deregister unpins the region. Outstanding operations targeting it will
+// complete with StatusRemoteAccessError / StatusLocalProtectionError.
+func (mr *MemoryRegion) Deregister() error {
+	mr.mu.Lock()
+	if mr.closed {
+		mr.mu.Unlock()
+		return ErrDeregistered
+	}
+	mr.closed = true
+	mr.mu.Unlock()
+	mr.pd.dev.deregisterMR(mr)
+	return nil
+}
+
+func (mr *MemoryRegion) valid() bool {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	return !mr.closed
+}
+
+// slice bounds-checks and returns the byte range [off, off+n).
+func (mr *MemoryRegion) slice(off, n int) ([]byte, error) {
+	if !mr.valid() {
+		return nil, ErrDeregistered
+	}
+	if off < 0 || n < 0 || off+n > len(mr.buf) {
+		return nil, ErrBadSegment
+	}
+	return mr.buf[off : off+n], nil
+}
+
+// Segment addresses a byte range within a local memory region.
+type Segment struct {
+	MR     *MemoryRegion
+	Offset int
+	Length int
+}
+
+// RemoteSegment addresses a byte range within a remote memory region,
+// identified by the remote key advertised by the peer.
+type RemoteSegment struct {
+	RKey   uint32
+	Offset int
+}
+
+// MaxInline is the maximum inline payload size (IBV_SEND_INLINE cap;
+// typical HCAs advertise a few hundred bytes).
+const MaxInline = 256

@@ -1,0 +1,680 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rackjoin/internal/fabric"
+)
+
+// pair builds two connected QPs on two fresh devices and returns everything
+// a test needs.
+type testPair struct {
+	net      *Network
+	devA     *Device
+	devB     *Device
+	pdA, pdB *ProtectionDomain
+	qpA, qpB *QP
+	scqA     *CompletionQueue
+	rcqA     *CompletionQueue
+	scqB     *CompletionQueue
+	rcqB     *CompletionQueue
+}
+
+func newTestPair(t *testing.T) *testPair {
+	t.Helper()
+	net := NewNetwork(fabric.Config{})
+	t.Cleanup(net.Close)
+	devA := net.NewDevice()
+	devB := net.NewDevice()
+	pdA := devA.AllocPD()
+	pdB := devB.AllocPD()
+	p := &testPair{
+		net: net, devA: devA, devB: devB, pdA: pdA, pdB: pdB,
+		scqA: devA.NewCQ(), rcqA: devA.NewCQ(),
+		scqB: devB.NewCQ(), rcqB: devB.NewCQ(),
+	}
+	var err error
+	p.qpA, err = pdA.CreateQP(QPConfig{SendCQ: p.scqA, RecvCQ: p.rcqA})
+	if err != nil {
+		t.Fatalf("CreateQP A: %v", err)
+	}
+	p.qpB, err = pdB.CreateQP(QPConfig{SendCQ: p.scqB, RecvCQ: p.rcqB})
+	if err != nil {
+		t.Fatalf("CreateQP B: %v", err)
+	}
+	if err := Connect(p.qpA, p.qpB); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	return p
+}
+
+func mustMR(t *testing.T, pd *ProtectionDomain, n int, access Access) *MemoryRegion {
+	t.Helper()
+	mr, err := pd.RegisterMemory(make([]byte, n), access)
+	if err != nil {
+		t.Fatalf("RegisterMemory: %v", err)
+	}
+	return mr
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 1024, 0)
+	dst := mustMR(t, p.pdB, 1024, AccessLocalWrite)
+	copy(src.Bytes(), []byte("hello rdma world"))
+
+	if err := p.qpB.PostRecv(RecvWR{WRID: 7, Local: Segment{MR: dst, Length: 1024}}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	if err := p.qpA.PostSend(SendWR{WRID: 3, Op: OpSend, Local: Segment{MR: src, Length: 16}, Signaled: true}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	sc := p.scqA.Wait()
+	if sc.Status != StatusSuccess || sc.WRID != 3 || sc.Op != OpSend {
+		t.Fatalf("bad send completion: %+v", sc)
+	}
+	rc := p.rcqB.Wait()
+	if rc.Status != StatusSuccess || rc.WRID != 7 || rc.Op != OpRecv || rc.Bytes != 16 {
+		t.Fatalf("bad recv completion: %+v", rc)
+	}
+	if string(dst.Bytes()[:16]) != "hello rdma world" {
+		t.Fatalf("payload mismatch: %q", dst.Bytes()[:16])
+	}
+}
+
+func TestSendWithImmediate(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 64, 0)
+	dst := mustMR(t, p.pdB, 64, AccessLocalWrite)
+	if err := p.qpB.PostRecv(RecvWR{WRID: 1, Local: Segment{MR: dst, Length: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 8}, Imm: 0xBEEF, HasImm: true}); err != nil {
+		t.Fatal(err)
+	}
+	rc := p.rcqB.Wait()
+	if !rc.HasImm || rc.Imm != 0xBEEF {
+		t.Fatalf("immediate not delivered: %+v", rc)
+	}
+}
+
+func TestOneSidedWrite(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 256, 0)
+	dst := mustMR(t, p.pdB, 256, AccessRemoteWrite)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i)
+	}
+	wr := SendWR{
+		WRID: 11, Op: OpWrite, Signaled: true,
+		Local:  Segment{MR: src, Offset: 16, Length: 100},
+		Remote: RemoteSegment{RKey: dst.RKey(), Offset: 50},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	c := p.scqA.Wait()
+	if c.Status != StatusSuccess || c.Op != OpWrite {
+		t.Fatalf("bad completion: %+v", c)
+	}
+	if !bytes.Equal(dst.Bytes()[50:150], src.Bytes()[16:116]) {
+		t.Fatal("one-sided write payload mismatch")
+	}
+	// No remote completion should exist.
+	if p.rcqB.Len() != 0 {
+		t.Fatal("one-sided write generated a remote completion")
+	}
+}
+
+func TestWriteWithImmediateConsumesReceive(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 128, 0)
+	dst := mustMR(t, p.pdB, 128, AccessRemoteWrite)
+	notif := mustMR(t, p.pdB, 16, AccessLocalWrite)
+	if err := p.qpB.PostRecv(RecvWR{WRID: 21, Local: Segment{MR: notif, Length: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	wr := SendWR{
+		Op: OpWriteImm, Imm: 42,
+		Local:  Segment{MR: src, Length: 128},
+		Remote: RemoteSegment{RKey: dst.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	rc := p.rcqB.Wait()
+	if rc.WRID != 21 || !rc.HasImm || rc.Imm != 42 || rc.Bytes != 128 {
+		t.Fatalf("bad write-imm completion: %+v", rc)
+	}
+}
+
+func TestOneSidedRead(t *testing.T) {
+	p := newTestPair(t)
+	local := mustMR(t, p.pdA, 64, AccessLocalWrite)
+	remote := mustMR(t, p.pdB, 64, AccessRemoteRead)
+	copy(remote.Bytes(), []byte("remote data here"))
+	wr := SendWR{
+		WRID: 5, Op: OpRead, Signaled: true,
+		Local:  Segment{MR: local, Length: 16},
+		Remote: RemoteSegment{RKey: remote.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	c := p.scqA.Wait()
+	if c.Status != StatusSuccess || c.Op != OpRead {
+		t.Fatalf("bad completion: %+v", c)
+	}
+	if string(local.Bytes()[:16]) != "remote data here" {
+		t.Fatalf("read payload mismatch: %q", local.Bytes()[:16])
+	}
+}
+
+func TestWriteBadRKeyFails(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 64, 0)
+	wr := SendWR{
+		Op: OpWrite, Local: Segment{MR: src, Length: 64},
+		Remote: RemoteSegment{RKey: 9999},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	c := p.scqA.Wait() // error completions are always delivered
+	if c.Status != StatusRemoteAccessError {
+		t.Fatalf("want remote access error, got %+v", c)
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() should be non-nil for failed completion")
+	}
+}
+
+func TestWriteOutOfBoundsFails(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 128, 0)
+	dst := mustMR(t, p.pdB, 64, AccessRemoteWrite)
+	wr := SendWR{
+		Op: OpWrite, Local: Segment{MR: src, Length: 128},
+		Remote: RemoteSegment{RKey: dst.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want remote access error, got %+v", c)
+	}
+}
+
+func TestWriteWithoutRemoteWriteAccessFails(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 16, 0)
+	dst := mustMR(t, p.pdB, 16, AccessRemoteRead) // no remote write
+	wr := SendWR{
+		Op: OpWrite, Local: Segment{MR: src, Length: 16},
+		Remote: RemoteSegment{RKey: dst.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want remote access error, got %+v", c)
+	}
+}
+
+func TestReadWithoutRemoteReadAccessFails(t *testing.T) {
+	p := newTestPair(t)
+	local := mustMR(t, p.pdA, 16, AccessLocalWrite)
+	remote := mustMR(t, p.pdB, 16, AccessRemoteWrite) // no remote read
+	wr := SendWR{
+		Op: OpRead, Local: Segment{MR: local, Length: 16},
+		Remote: RemoteSegment{RKey: remote.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want remote access error, got %+v", c)
+	}
+}
+
+func TestRecvBufferTooSmall(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 128, 0)
+	dst := mustMR(t, p.pdB, 16, AccessLocalWrite)
+	if err := p.qpB.PostRecv(RecvWR{WRID: 1, Local: Segment{MR: dst, Length: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 128}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.rcqB.Wait(); c.Status != StatusRecvBufferTooSmall {
+		t.Fatalf("want recv-too-small at receiver, got %+v", c)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want error at sender, got %+v", c)
+	}
+}
+
+func TestPostSendValidation(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 16, 0)
+	otherPDMR := mustMR(t, p.pdB, 16, 0)
+
+	cases := []struct {
+		name string
+		wr   SendWR
+		want error
+	}{
+		{"nil MR", SendWR{Op: OpSend}, nil /* any error */},
+		{"wrong PD", SendWR{Op: OpSend, Local: Segment{MR: otherPDMR, Length: 16}}, ErrWrongPD},
+		{"out of bounds", SendWR{Op: OpSend, Local: Segment{MR: src, Offset: 8, Length: 16}}, ErrBadSegment},
+		{"negative", SendWR{Op: OpSend, Local: Segment{MR: src, Offset: -1, Length: 4}}, ErrBadSegment},
+		{"write without remote", SendWR{Op: OpWrite, Local: Segment{MR: src, Length: 16}}, ErrNeedRemoteSeg},
+		{"bad opcode", SendWR{Op: OpRecv, Local: Segment{MR: src, Length: 16}}, nil},
+	}
+	for _, tc := range cases {
+		err := p.qpA.PostSend(tc.wr)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if tc.want != nil && err != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSendQueueDepthLimit(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	devA, devB := net.NewDevice(), net.NewDevice()
+	pdA, pdB := devA.AllocPD(), devB.AllocPD()
+	scq, rcq := devA.NewCQ(), devA.NewCQ()
+	qpA, _ := pdA.CreateQP(QPConfig{SendCQ: scq, RecvCQ: rcq, Depth: 2})
+	qpB, _ := pdB.CreateQP(QPConfig{SendCQ: devB.NewCQ(), RecvCQ: devB.NewCQ(), Depth: 2})
+	if err := Connect(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMR(t, pdA, 16, 0)
+	// SENDs with no posted receive park at the receiver, keeping the send
+	// queue occupied; the third post must fail with ErrQPFull.
+	for i := 0; i < 2; i++ {
+		if err := qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 16}}); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		err := qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 16}})
+		if err == ErrQPFull {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("send queue never filled")
+		default:
+		}
+	}
+	qpB.Close() // release parked sends so Close can drain
+}
+
+func TestRNRAccounting(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 16, 0)
+	dst := mustMR(t, p.pdB, 16, AccessLocalWrite)
+	if err := p.qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: src, Length: 16}, Signaled: true}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the send arrive and park
+	if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: dst, Length: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusSuccess {
+		t.Fatalf("send failed: %+v", c)
+	}
+	if got := p.devB.Stats().RNRWaits; got != 1 {
+		t.Fatalf("RNRWaits = %d, want 1", got)
+	}
+}
+
+func TestRegistrationAccounting(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	dev := net.NewDevice()
+	pd := dev.AllocPD()
+	mr, err := pd.RegisterMemory(make([]byte, 10*PageSize+1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Stats()
+	if s.Registrations != 1 || s.PagesRegistered != 11 || s.PagesPinned != 11 {
+		t.Fatalf("bad stats after register: %+v", s)
+	}
+	if err := mr.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	s = dev.Stats()
+	if s.Deregistrations != 1 || s.PagesPinned != 0 {
+		t.Fatalf("bad stats after deregister: %+v", s)
+	}
+	if err := mr.Deregister(); err != ErrDeregistered {
+		t.Fatalf("double deregister: got %v", err)
+	}
+	if _, err := pd.RegisterMemory(nil, 0); err == nil {
+		t.Fatal("registering empty buffer should fail")
+	}
+}
+
+func TestDeregisteredMRFailsInFlight(t *testing.T) {
+	p := newTestPair(t)
+	src := mustMR(t, p.pdA, 16, 0)
+	dst := mustMR(t, p.pdB, 16, AccessRemoteWrite)
+	if err := dst.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	wr := SendWR{
+		Op: OpWrite, Local: Segment{MR: src, Length: 16},
+		Remote: RemoteSegment{RKey: dst.RKey()},
+	}
+	if err := p.qpA.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.scqA.Wait(); c.Status != StatusRemoteAccessError {
+		t.Fatalf("want remote access error, got %+v", c)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	p := newTestPair(t)
+	if err := Connect(p.qpA, p.qpB); err == nil {
+		t.Fatal("reconnecting should fail")
+	}
+	if err := Connect(p.qpA, p.qpA); err == nil {
+		t.Fatal("self-connect should fail")
+	}
+	if err := Connect(nil, p.qpA); err == nil {
+		t.Fatal("nil connect should fail")
+	}
+	other := NewNetwork(fabric.Config{})
+	defer other.Close()
+	od := other.NewDevice()
+	oqp, _ := od.AllocPD().CreateQP(QPConfig{SendCQ: od.NewCQ(), RecvCQ: od.NewCQ()})
+	if err := Connect(p.qpA, oqp); err == nil {
+		t.Fatal("cross-network connect should fail")
+	}
+}
+
+func TestUnconnectedPostSendFails(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	dev := net.NewDevice()
+	pd := dev.AllocPD()
+	qp, _ := pd.CreateQP(QPConfig{SendCQ: dev.NewCQ(), RecvCQ: dev.NewCQ()})
+	mr := mustMR(t, pd, 16, 0)
+	if err := qp.PostSend(SendWR{Op: OpSend, Local: Segment{MR: mr, Length: 16}}); err != ErrNotConnected {
+		t.Fatalf("got %v, want ErrNotConnected", err)
+	}
+}
+
+func TestQPOrderingWriteThenSend(t *testing.T) {
+	// RC ordering guarantee the join's one-sided mode relies on: a WRITE
+	// followed by a SEND on the same QP is visible before the SEND's
+	// receive completion fires.
+	p := newTestPair(t)
+	data := mustMR(t, p.pdA, 8, 0)
+	flag := mustMR(t, p.pdA, 1, 0)
+	dst := mustMR(t, p.pdB, 8, AccessRemoteWrite)
+	notif := mustMR(t, p.pdB, 1, AccessLocalWrite)
+	for i := 0; i < 1000; i++ {
+		copy(data.Bytes(), []byte{1, 2, 3, 4, 5, 6, 7, byte(i)})
+		if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: notif, Length: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.qpA.PostSend(SendWR{
+			Op: OpWrite, Local: Segment{MR: data, Length: 8},
+			Remote: RemoteSegment{RKey: dst.RKey()},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: flag, Length: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if c := p.rcqB.Wait(); c.Status != StatusSuccess {
+			t.Fatalf("notify failed: %+v", c)
+		}
+		if dst.Bytes()[7] != byte(i) {
+			t.Fatalf("iteration %d: write not visible before send completion", i)
+		}
+	}
+}
+
+func TestCompletionQueuePoll(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	cq := net.NewDevice().NewCQ()
+	if n := cq.Poll(make([]Completion, 4)); n != 0 {
+		t.Fatalf("empty poll returned %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		cq.push(Completion{WRID: uint64(i)})
+	}
+	if cq.Len() != 5 {
+		t.Fatalf("Len = %d", cq.Len())
+	}
+	buf := make([]Completion, 3)
+	if n := cq.Poll(buf); n != 3 || buf[0].WRID != 0 || buf[2].WRID != 2 {
+		t.Fatalf("bad poll: n=%d %+v", n, buf)
+	}
+	if n := cq.Poll(buf); n != 2 || buf[0].WRID != 3 {
+		t.Fatalf("bad second poll: n=%d", n)
+	}
+}
+
+func TestOpcodeStatusStrings(t *testing.T) {
+	for _, op := range []Opcode{OpSend, OpWrite, OpWriteImm, OpRead, OpRecv, Opcode(99)} {
+		if op.String() == "" {
+			t.Fatalf("empty string for %d", op)
+		}
+	}
+	for _, s := range []Status{StatusSuccess, StatusLocalProtectionError, StatusRemoteAccessError, StatusRecvBufferTooSmall, Status(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty string for %d", s)
+		}
+	}
+	if (Completion{}).Err() != nil {
+		t.Fatal("success completion should have nil Err")
+	}
+}
+
+// Property: a WRITE of any in-bounds (offset, length) pair lands exactly at
+// the requested remote offset and nowhere else.
+func TestPropertyWritePlacement(t *testing.T) {
+	p := newTestPair(t)
+	const size = 4096
+	src := mustMR(t, p.pdA, size, 0)
+	dst := mustMR(t, p.pdB, size, AccessRemoteWrite)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i * 31)
+	}
+	f := func(off uint16, length uint16, roff uint16) bool {
+		o, l, ro := int(off)%size, int(length)%size, int(roff)%size
+		if o+l > size || ro+l > size || l == 0 {
+			return true // skip out-of-range samples
+		}
+		for i := range dst.Bytes() {
+			dst.Bytes()[i] = 0
+		}
+		err := p.qpA.PostSend(SendWR{
+			WRID: 1, Op: OpWrite, Signaled: true,
+			Local:  Segment{MR: src, Offset: o, Length: l},
+			Remote: RemoteSegment{RKey: dst.RKey(), Offset: ro},
+		})
+		if err != nil {
+			return false
+		}
+		if c := p.scqA.Wait(); c.Status != StatusSuccess {
+			return false
+		}
+		if !bytes.Equal(dst.Bytes()[ro:ro+l], src.Bytes()[o:o+l]) {
+			return false
+		}
+		for i, b := range dst.Bytes() {
+			if (i < ro || i >= ro+l) && b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSendersStress(t *testing.T) {
+	// Many goroutines on one device each own a QP to the same peer and
+	// blast messages; all payloads must arrive intact.
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	devA, devB := net.NewDevice(), net.NewDevice()
+	pdA, pdB := devA.AllocPD(), devB.AllocPD()
+	rcqB := devB.NewCQ()
+
+	const senders = 8
+	const msgs = 200
+	const sz = 64
+
+	type side struct {
+		qpA, qpB *QP
+		scq      *CompletionQueue
+		src      *MemoryRegion
+	}
+	sides := make([]side, senders)
+	recvMR := mustMR(t, pdB, senders*msgs*sz, AccessLocalWrite)
+	slot := 0
+	for i := range sides {
+		scq := devA.NewCQ()
+		qpA, err := pdA.CreateQP(QPConfig{SendCQ: scq, RecvCQ: devA.NewCQ()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qpB, err := pdB.CreateQP(QPConfig{SendCQ: devB.NewCQ(), RecvCQ: rcqB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Connect(qpA, qpB); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < msgs; k++ {
+			if err := qpB.PostRecv(RecvWR{WRID: uint64(slot), Local: Segment{MR: recvMR, Offset: slot * sz, Length: sz}}); err != nil {
+				t.Fatal(err)
+			}
+			slot++
+		}
+		sides[i] = side{qpA: qpA, qpB: qpB, scq: scq, src: mustMR(t, pdA, sz, 0)}
+	}
+	done := make(chan error, senders)
+	for i := range sides {
+		go func(i int) {
+			s := sides[i]
+			for k := 0; k < msgs; k++ {
+				for b := range s.src.Bytes() {
+					s.src.Bytes()[b] = byte(i)
+				}
+				if err := s.qpA.PostSend(SendWR{Op: OpSend, Local: Segment{MR: s.src, Length: sz}, Imm: uint32(i), HasImm: true, Signaled: true}); err != nil {
+					done <- err
+					return
+				}
+				if c := s.scq.Wait(); c.Status != StatusSuccess {
+					done <- c.Err()
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < senders; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain all receive completions and verify payload tags.
+	got := 0
+	buf := make([]Completion, 64)
+	for got < senders*msgs {
+		n := rcqB.Poll(buf)
+		if n == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for _, c := range buf[:n] {
+			if c.Status != StatusSuccess {
+				t.Fatalf("recv failed: %+v", c)
+			}
+			base := int(c.WRID) * sz
+			for i := 0; i < sz; i++ {
+				if recvMR.Bytes()[base+i] != byte(c.Imm) {
+					t.Fatalf("payload corruption in slot %d", c.WRID)
+				}
+			}
+		}
+		got += n
+	}
+	s := devB.Stats()
+	if s.Recvs != senders*msgs {
+		t.Fatalf("Recvs = %d, want %d", s.Recvs, senders*msgs)
+	}
+	if s.BytesReceived != senders*msgs*sz {
+		t.Fatalf("BytesReceived = %d", s.BytesReceived)
+	}
+}
+
+func TestCreateQPValidation(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	pd := net.NewDevice().AllocPD()
+	if _, err := pd.CreateQP(QPConfig{}); err == nil {
+		t.Fatal("CreateQP without CQs should fail")
+	}
+}
+
+func TestPostRecvValidation(t *testing.T) {
+	p := newTestPair(t)
+	mrNoWrite := mustMR(t, p.pdB, 16, 0)
+	if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: mrNoWrite, Length: 16}}); err != ErrAccessDenied {
+		t.Fatalf("got %v, want ErrAccessDenied", err)
+	}
+	mrA := mustMR(t, p.pdA, 16, AccessLocalWrite)
+	if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: mrA, Length: 16}}); err != ErrWrongPD {
+		t.Fatalf("got %v, want ErrWrongPD", err)
+	}
+	if err := p.qpB.PostRecv(RecvWR{}); err == nil {
+		t.Fatal("nil MR should fail")
+	}
+	mrB := mustMR(t, p.pdB, 16, AccessLocalWrite)
+	if err := p.qpB.PostRecv(RecvWR{Local: Segment{MR: mrB, Offset: 10, Length: 16}}); err != ErrBadSegment {
+		t.Fatalf("got %v, want ErrBadSegment", err)
+	}
+}
+
+func TestReceiveQueueDepthLimit(t *testing.T) {
+	net := NewNetwork(fabric.Config{})
+	defer net.Close()
+	dev := net.NewDevice()
+	pd := dev.AllocPD()
+	qp, _ := pd.CreateQP(QPConfig{SendCQ: dev.NewCQ(), RecvCQ: dev.NewCQ(), Depth: 3})
+	mr := mustMR(t, pd, 16, AccessLocalWrite)
+	for i := 0; i < 3; i++ {
+		if err := qp.PostRecv(RecvWR{Local: Segment{MR: mr, Length: 16}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qp.PostRecv(RecvWR{Local: Segment{MR: mr, Length: 16}}); err != ErrRQFull {
+		t.Fatalf("got %v, want ErrRQFull", err)
+	}
+}

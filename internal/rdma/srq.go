@@ -1,0 +1,98 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SRQ is a shared receive queue: many queue pairs draw their receives from
+// one pool instead of per-QP rings. This is the verbs feature real
+// channel-semantics receivers use when fan-in is large — the paper's
+// two-sided receiver has (N_M−1)·(N_C−1) incoming queue pairs, and with an
+// SRQ their receive buffers are shared instead of partitioned, so bursty
+// senders cannot starve while buffers idle on quiet QPs.
+type SRQ struct {
+	pd    *ProtectionDomain
+	depth int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	recvs  []RecvWR
+	closed bool
+
+	// rnr counts SENDs that had to wait for an SRQ buffer.
+	rnr uint64
+}
+
+// CreateSRQ creates a shared receive queue holding at most depth posted
+// receives (0 means DefaultQueueDepth).
+func (pd *ProtectionDomain) CreateSRQ(depth int) *SRQ {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	s := &SRQ{pd: pd, depth: depth}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// PostRecv posts a receive buffer to the shared queue.
+func (s *SRQ) PostRecv(wr RecvWR) error {
+	if wr.Local.MR == nil {
+		return fmt.Errorf("rdma: receive requires a memory region")
+	}
+	if wr.Local.MR.pd != s.pd {
+		return ErrWrongPD
+	}
+	if _, err := wr.Local.MR.slice(wr.Local.Offset, wr.Local.Length); err != nil {
+		return err
+	}
+	if wr.Local.MR.access&AccessLocalWrite == 0 {
+		return ErrAccessDenied
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.recvs) >= s.depth {
+		return ErrRQFull
+	}
+	s.recvs = append(s.recvs, wr)
+	s.cond.Signal()
+	return nil
+}
+
+// Close releases any senders blocked waiting for a buffer.
+func (s *SRQ) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// RNRWaits returns how many incoming messages had to wait for a buffer.
+func (s *SRQ) RNRWaits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rnr
+}
+
+// pop removes the oldest posted receive, blocking while empty.
+func (s *SRQ) pop() (RecvWR, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waited := false
+	for len(s.recvs) == 0 && !s.closed {
+		if !waited {
+			waited = true
+			s.rnr++
+		}
+		s.cond.Wait()
+	}
+	if len(s.recvs) == 0 {
+		return RecvWR{}, false
+	}
+	wr := s.recvs[0]
+	s.recvs = s.recvs[1:]
+	return wr, true
+}

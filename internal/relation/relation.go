@@ -1,0 +1,182 @@
+// Package relation implements the in-memory tuple storage used throughout
+// the join: flat byte slabs of fixed-width tuples.
+//
+// Tuples follow the paper's workload layout (Section 6.1.1): an 8-byte join
+// key followed by an 8-byte record id, optionally followed by additional
+// payload bytes for the row-store workloads of Section 6.7. Supported
+// widths are 16, 32 and 64 bytes. The flat layout is what the distributed
+// join transmits: partitioning moves whole tuples as raw bytes, so a
+// relation chunk can be placed directly inside an RDMA-registered region.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Supported tuple widths in bytes.
+const (
+	Width16 = 16 // <key, rid> — column-store narrow tuples
+	Width32 = 32 // key, rid, 16-byte payload
+	Width64 = 64 // key, rid, 48-byte payload
+)
+
+// KeySize is the size of the join key prefix of every tuple.
+const KeySize = 8
+
+// ValidWidth reports whether w is a supported tuple width.
+func ValidWidth(w int) bool {
+	return w == Width16 || w == Width32 || w == Width64
+}
+
+// Relation is a fixed-width tuple slab. The zero value is an empty
+// relation of width 0 and is not usable; construct with New or View.
+type Relation struct {
+	width int
+	data  []byte
+}
+
+// New allocates a relation of n tuples of the given width.
+func New(width, n int) *Relation {
+	if !ValidWidth(width) {
+		panic(fmt.Sprintf("relation: invalid tuple width %d", width))
+	}
+	if n < 0 {
+		panic("relation: negative tuple count")
+	}
+	return &Relation{width: width, data: make([]byte, n*width)}
+}
+
+// View wraps an existing byte slab as a relation without copying. The slab
+// length must be a multiple of width.
+func View(width int, data []byte) (*Relation, error) {
+	if !ValidWidth(width) {
+		return nil, fmt.Errorf("relation: invalid tuple width %d", width)
+	}
+	if len(data)%width != 0 {
+		return nil, fmt.Errorf("relation: slab of %d bytes is not a multiple of width %d", len(data), width)
+	}
+	return &Relation{width: width, data: data}, nil
+}
+
+// Width returns the tuple width in bytes.
+func (r *Relation) Width() int { return r.width }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if r.width == 0 {
+		return 0
+	}
+	return len(r.data) / r.width
+}
+
+// Size returns the total size in bytes.
+func (r *Relation) Size() int { return len(r.data) }
+
+// Bytes exposes the backing slab.
+func (r *Relation) Bytes() []byte { return r.data }
+
+// Key returns the join key of tuple i.
+func (r *Relation) Key(i int) uint64 {
+	return binary.LittleEndian.Uint64(r.data[i*r.width:])
+}
+
+// SetKey sets the join key of tuple i.
+func (r *Relation) SetKey(i int, k uint64) {
+	binary.LittleEndian.PutUint64(r.data[i*r.width:], k)
+}
+
+// RID returns the record id of tuple i.
+func (r *Relation) RID(i int) uint64 {
+	return binary.LittleEndian.Uint64(r.data[i*r.width+KeySize:])
+}
+
+// SetRID sets the record id of tuple i.
+func (r *Relation) SetRID(i int, rid uint64) {
+	binary.LittleEndian.PutUint64(r.data[i*r.width+KeySize:], rid)
+}
+
+// Tuple returns the raw bytes of tuple i (aliasing the slab).
+func (r *Relation) Tuple(i int) []byte {
+	return r.data[i*r.width : (i+1)*r.width]
+}
+
+// Slice returns a view of tuples [lo, hi) sharing the backing slab.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	return &Relation{width: r.width, data: r.data[lo*r.width : hi*r.width]}
+}
+
+// Checksum returns the sum over all tuples of key+rid, mod 2^64. Join
+// verification uses sums of per-match key/rid combinations; see
+// ExpectedJoin in package datagen.
+func (r *Relation) Checksum() uint64 {
+	var sum uint64
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		sum += r.Key(i) + r.RID(i)
+	}
+	return sum
+}
+
+// Distributed is a relation horizontally fragmented across machines:
+// Chunks[m] holds the tuples resident on machine m, as produced by the
+// data loading phase of Section 6.1.1 (even distribution, range-partitioned
+// record ids).
+type Distributed struct {
+	Chunks []*Relation
+}
+
+// Width returns the tuple width (all chunks agree).
+func (d *Distributed) Width() int {
+	if len(d.Chunks) == 0 {
+		return 0
+	}
+	return d.Chunks[0].Width()
+}
+
+// Len returns the total number of tuples across chunks.
+func (d *Distributed) Len() int {
+	n := 0
+	for _, c := range d.Chunks {
+		n += c.Len()
+	}
+	return n
+}
+
+// Size returns the total byte size across chunks.
+func (d *Distributed) Size() int {
+	n := 0
+	for _, c := range d.Chunks {
+		n += c.Size()
+	}
+	return n
+}
+
+// Gather concatenates all chunks into a single relation (copying). Used by
+// tests to compare distributed against single-machine execution.
+func (d *Distributed) Gather() *Relation {
+	out := New(d.Width(), d.Len())
+	off := 0
+	for _, c := range d.Chunks {
+		off += copy(out.data[off:], c.data)
+	}
+	return out
+}
+
+// Fragment splits a relation into nm nearly equal contiguous chunks
+// (copying), one per machine.
+func Fragment(r *Relation, nm int) *Distributed {
+	if nm <= 0 {
+		panic("relation: non-positive machine count")
+	}
+	d := &Distributed{Chunks: make([]*Relation, nm)}
+	n := r.Len()
+	for m := 0; m < nm; m++ {
+		lo := n * m / nm
+		hi := n * (m + 1) / nm
+		c := New(r.width, hi-lo)
+		copy(c.data, r.data[lo*r.width:hi*r.width])
+		d.Chunks[m] = c
+	}
+	return d
+}

@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	r := New(Width16, 10)
+	if r.Len() != 10 || r.Width() != 16 || r.Size() != 160 {
+		t.Fatalf("bad dimensions: len=%d width=%d size=%d", r.Len(), r.Width(), r.Size())
+	}
+	for i := 0; i < 10; i++ {
+		r.SetKey(i, uint64(i*7))
+		r.SetRID(i, uint64(i*13))
+	}
+	for i := 0; i < 10; i++ {
+		if r.Key(i) != uint64(i*7) || r.RID(i) != uint64(i*13) {
+			t.Fatalf("tuple %d roundtrip failed", i)
+		}
+	}
+}
+
+func TestWideTuplePayload(t *testing.T) {
+	for _, w := range []int{Width32, Width64} {
+		r := New(w, 4)
+		r.SetKey(2, 99)
+		r.SetRID(2, 123)
+		tup := r.Tuple(2)
+		if len(tup) != w {
+			t.Fatalf("width %d: tuple len %d", w, len(tup))
+		}
+		tup[w-1] = 0xAB // payload byte survives
+		if r.Tuple(2)[w-1] != 0xAB {
+			t.Fatal("payload not aliased")
+		}
+		if r.Key(2) != 99 || r.RID(2) != 123 {
+			t.Fatal("header corrupted by payload write")
+		}
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid width")
+		}
+	}()
+	New(17, 1)
+}
+
+func TestNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative count")
+		}
+	}()
+	New(Width16, -1)
+}
+
+func TestView(t *testing.T) {
+	buf := make([]byte, 64)
+	r, err := View(Width16, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	r.SetKey(0, 5)
+	if buf[0] != 5 {
+		t.Fatal("view does not alias")
+	}
+	if _, err := View(Width16, make([]byte, 15)); err == nil {
+		t.Fatal("misaligned view should fail")
+	}
+	if _, err := View(5, buf); err == nil {
+		t.Fatal("bad width view should fail")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	r := New(Width16, 10)
+	for i := 0; i < 10; i++ {
+		r.SetKey(i, uint64(i))
+	}
+	s := r.Slice(3, 7)
+	if s.Len() != 4 || s.Key(0) != 3 || s.Key(3) != 6 {
+		t.Fatalf("bad slice: len=%d first=%d", s.Len(), s.Key(0))
+	}
+	s.SetKey(0, 100)
+	if r.Key(3) != 100 {
+		t.Fatal("slice does not alias parent")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	r := New(Width16, 3)
+	r.SetKey(0, 1)
+	r.SetRID(0, 2)
+	r.SetKey(1, 3)
+	r.SetRID(1, 4)
+	r.SetKey(2, 5)
+	r.SetRID(2, 6)
+	if got := r.Checksum(); got != 21 {
+		t.Fatalf("checksum = %d, want 21", got)
+	}
+}
+
+func TestFragmentGatherRoundtrip(t *testing.T) {
+	f := func(n uint8, nm uint8) bool {
+		tuples := int(n)
+		machines := int(nm)%8 + 1
+		r := New(Width16, tuples)
+		for i := 0; i < tuples; i++ {
+			r.SetKey(i, uint64(i)*31+7)
+			r.SetRID(i, uint64(i))
+		}
+		d := Fragment(r, machines)
+		if len(d.Chunks) != machines {
+			return false
+		}
+		if d.Len() != tuples || d.Width() != Width16 && tuples > 0 {
+			return false
+		}
+		g := d.Gather()
+		if g.Len() != tuples {
+			return false
+		}
+		for i := 0; i < tuples; i++ {
+			if g.Key(i) != r.Key(i) || g.RID(i) != r.RID(i) {
+				return false
+			}
+		}
+		// Chunk sizes are balanced within 1 tuple.
+		min, max := tuples, 0
+		for _, c := range d.Chunks {
+			if c.Len() < min {
+				min = c.Len()
+			}
+			if c.Len() > max {
+				max = c.Len()
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentInvalidMachines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fragment(New(Width16, 4), 0)
+}
+
+func TestDistributedEmpty(t *testing.T) {
+	d := &Distributed{}
+	if d.Width() != 0 || d.Len() != 0 || d.Size() != 0 {
+		t.Fatal("empty distributed should be zero")
+	}
+}
+
+func TestValidWidth(t *testing.T) {
+	for _, w := range []int{16, 32, 64} {
+		if !ValidWidth(w) {
+			t.Fatalf("width %d should be valid", w)
+		}
+	}
+	for _, w := range []int{0, 8, 15, 17, 128} {
+		if ValidWidth(w) {
+			t.Fatalf("width %d should be invalid", w)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"container/heap"
+)
+
+// simulateNetworkPass event-simulates the network partitioning pass and
+// returns the per-machine phase duration in seconds, the number of sender
+// stalls (blocked buffer reuses) and the total MB shipped between
+// machines.
+//
+// Model: each partitioning thread consumes its input slice at the
+// calibrated rate (remote-destined bytes at RemoteCPUFactor × psPart). A
+// fixed-size buffer of a remote partition fills every
+// bufMB/share(partition) input-MB; a full buffer is posted to the
+// machine's FIFO egress link and then the owner's FIFO ingress link
+// (store-and-forward through a non-blocking switch), both at the
+// congestion-adjusted per-host bandwidth. A sender may have at most
+// BuffersPerPartition transfers in flight per partition; exceeding that
+// blocks the thread until the oldest completes (Section 4.2.1's buffer
+// reuse discipline). Non-interleaved mode waits for every transfer; stream
+// mode adds sender copy cost and per-message kernel overhead and waits for
+// the egress stage only (the kernel socket buffer).
+func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec []float64, stalls uint64, remoteMB float64) {
+	nm := cfg.Machines
+	netSec = make([]float64, nm)
+	if nm == 1 {
+		// Single machine: a pure local pass at full partitioning speed.
+		total := 0.0
+		for p := range partMBR {
+			total += partMBR[p] + partMBS[p]
+		}
+		netSec[0] = total / (float64(cfg.Cores) * cfg.Cal.PsPart)
+		return netSec, 0, 0
+	}
+
+	partThreads := cfg.Cores - 1
+	np := len(partMBR)
+	bufMB := float64(cfg.BufferSize) / (1 << 20)
+	rate := cfg.Net.Bandwidth(nm) * cfg.LinkEfficiency // payload MB/s per host link
+	if rate <= 0 {
+		rate = 1
+	}
+	secPerMB := 1 / rate
+	totalMB := 0.0
+	for p := 0; p < np; p++ {
+		totalMB += partMBR[p] + partMBS[p]
+	}
+	if totalMB == 0 {
+		return netSec, 0, 0
+	}
+
+	s := &netSim{
+		cfg:          cfg,
+		egress:       make([]float64, nm),
+		ingress:      make([]float64, nm),
+		linkSecPerMB: secPerMB,
+	}
+
+	// Build the threads. Every machine holds 1/nm of the input; each of
+	// its partitioning threads holds an equal slice with the global
+	// partition mix.
+	inputPerThread := totalMB / float64(nm*partThreads)
+	for m := 0; m < nm; m++ {
+		for t := 0; t < partThreads; t++ {
+			th := &simThread{machine: m, inputEnd: inputPerThread}
+			var localFrac, remoteFrac float64
+			addFlow := func(p, dest int, share float64) {
+				remoteFrac += share
+				f := &flowState{
+					partition: p,
+					dest:      dest,
+					share:     share,
+					credits:   cfg.BuffersPerPartition,
+				}
+				th.flows = append(th.flows, f)
+				firstFill := bufMB / share
+				if firstFill <= th.inputEnd {
+					heap.Push(&th.fills, fillEvent{pos: firstFill, flow: len(th.flows) - 1})
+				}
+			}
+			for p := 0; p < np; p++ {
+				rShare := partMBR[p] / totalMB
+				sShare := partMBS[p] / totalMB
+				if rShare+sShare == 0 {
+					continue
+				}
+				if broadcast[p] {
+					// Work sharing: outer tuples stay local; the inner
+					// side is written locally and replicated to every
+					// peer (one flow per destination).
+					localFrac += rShare + sShare
+					if rShare > 0 {
+						for d := 0; d < nm; d++ {
+							if d != m {
+								addFlow(p, d, rShare)
+							}
+						}
+					}
+					continue
+				}
+				if owner[p] == m {
+					localFrac += rShare + sShare
+					continue
+				}
+				addFlow(p, owner[p], rShare+sShare)
+			}
+			// Thread-seconds per input MB: local bytes at psPart, remote
+			// bytes at the buffer-management-penalised rate.
+			th.secPerInputMB = localFrac/cfg.Cal.PsPart +
+				remoteFrac/(cfg.RemoteCPUFactor*cfg.Cal.PsPart)
+			remoteMB += remoteFrac * inputPerThread
+			s.threads = append(s.threads, th)
+		}
+	}
+
+	// Prime the event queue: every thread computes towards its first fill
+	// (or straight to end of input).
+	for i, th := range s.threads {
+		s.scheduleNext(i, th, 0)
+	}
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.step(ev.thread, ev.time)
+	}
+
+	for _, th := range s.threads {
+		if th.finish > netSec[th.machine] {
+			netSec[th.machine] = th.finish
+		}
+	}
+	// A receiver's pass also lasts until its last arrival is placed.
+	for m := 0; m < nm; m++ {
+		if s.ingress[m] > netSec[m] {
+			netSec[m] = s.ingress[m]
+		}
+	}
+	return netSec, s.stalls, remoteMB
+}
+
+// flowState tracks one (thread, remote partition) stream.
+type flowState struct {
+	partition int
+	dest      int
+	share     float64
+	credits   int
+	// inflight holds completion times of posted transfers, FIFO.
+	inflight ringF64
+	// flushedMB counts payload already shipped, to size the final
+	// partial buffer.
+	flushedMB float64
+}
+
+type fillEvent struct {
+	pos  float64
+	flow int
+}
+
+type fillHeap []fillEvent
+
+func (h fillHeap) Len() int            { return len(h) }
+func (h fillHeap) Less(i, j int) bool  { return h[i].pos < h[j].pos }
+func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(fillEvent)) }
+func (h *fillHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type event struct {
+	time   float64
+	thread int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simThread is one partitioning thread's state machine.
+type simThread struct {
+	machine       int
+	inputEnd      float64 // MB of input to consume
+	lastPos       float64 // MB consumed
+	secPerInputMB float64
+	fills         fillHeap
+	flows         []*flowState
+
+	// pendingFlow is the flow whose buffer completes at the scheduled
+	// event time; -1 when heading to end-of-input; -2 when draining the
+	// tail (partial buffers, then outstanding completions).
+	pendingFlow int
+	tailCursor  int
+	finish      float64
+	done        bool
+}
+
+type netSim struct {
+	cfg          Config
+	threads      []*simThread
+	events       eventHeap
+	egress       []float64 // per-machine link busy-until
+	ingress      []float64
+	linkSecPerMB float64
+	stalls       uint64
+}
+
+// scheduleNext plans the thread's next action from time now: the next
+// buffer fill, or entering the tail phase at end of input.
+func (s *netSim) scheduleNext(i int, th *simThread, now float64) {
+	if th.fills.Len() > 0 {
+		f := th.fills[0]
+		dt := (f.pos - th.lastPos) * th.secPerInputMB
+		th.pendingFlow = f.flow
+		heap.Push(&s.events, event{time: now + dt, thread: i})
+		return
+	}
+	dt := (th.inputEnd - th.lastPos) * th.secPerInputMB
+	th.pendingFlow = -1
+	heap.Push(&s.events, event{time: now + dt, thread: i})
+}
+
+// step executes the thread's pending action at simulated time now.
+func (s *netSim) step(i int, now float64) {
+	th := s.threads[i]
+	if th.done {
+		return
+	}
+	switch {
+	case th.pendingFlow >= 0:
+		s.stepFill(i, th, now)
+	case th.pendingFlow == -1:
+		// End of input reached: enter the tail phase.
+		th.lastPos = th.inputEnd
+		th.pendingFlow = -2
+		s.stepTail(i, th, now)
+	default:
+		s.stepTail(i, th, now)
+	}
+}
+
+// stepFill handles "buffer for flow f is full at input position pos".
+func (s *netSim) stepFill(i int, th *simThread, now float64) {
+	fe := heap.Pop(&th.fills).(fillEvent)
+	f := th.flows[fe.flow]
+	if f.credits == 0 {
+		// Blocked on buffer reuse: resume when the oldest transfer of
+		// this flow completes.
+		ct := f.inflight.front()
+		if ct > now {
+			s.stalls++
+			heap.Push(&th.fills, fe) // re-examine the same fill
+			th.pendingFlow = fe.flow
+			heap.Push(&s.events, event{time: ct, thread: i})
+			return
+		}
+		f.inflight.pop()
+		f.credits++
+	}
+	// Reap any other completions that already happened (free polling).
+	for f.inflight.len() > 0 && f.inflight.front() <= now {
+		f.inflight.pop()
+		f.credits++
+	}
+	bufMB := float64(s.cfg.BufferSize) / (1 << 20)
+	wait := s.post(th, f, bufMB, now)
+	th.lastPos = fe.pos
+	next := fe.pos + bufMB/f.share
+	if next <= th.inputEnd {
+		heap.Push(&th.fills, fillEvent{pos: next, flow: fe.flow})
+	}
+	s.scheduleNext(i, th, now+wait)
+}
+
+// stepTail flushes partial buffers one flow per event, then drains all
+// outstanding completions.
+func (s *netSim) stepTail(i int, th *simThread, now float64) {
+	bufMB := float64(s.cfg.BufferSize) / (1 << 20)
+	for th.tailCursor < len(th.flows) {
+		f := th.flows[th.tailCursor]
+		partial := f.share*th.inputEnd - f.flushedMB
+		if partial <= 1e-12 {
+			th.tailCursor++
+			continue
+		}
+		if partial > bufMB {
+			partial = bufMB // guard against accumulation error
+		}
+		if f.credits == 0 {
+			ct := f.inflight.front()
+			if ct > now {
+				s.stalls++
+				heap.Push(&s.events, event{time: ct, thread: i})
+				return
+			}
+			f.inflight.pop()
+			f.credits++
+		}
+		wait := s.post(th, f, partial, now)
+		th.tailCursor++
+		if wait > 0 {
+			heap.Push(&s.events, event{time: now + wait, thread: i})
+			return
+		}
+	}
+	// Drain: the pass ends for this thread when its last transfer is
+	// acknowledged.
+	drain := now
+	for _, f := range th.flows {
+		for f.inflight.len() > 0 {
+			ct := f.inflight.pop()
+			if ct > drain {
+				drain = ct
+			}
+		}
+	}
+	th.finish = drain
+	th.done = true
+}
+
+// post books one transfer of size MB on the egress link of the sender and
+// the ingress link of the destination, records the completion in the
+// flow's in-flight ring and returns how long the *thread* must wait before
+// continuing (0 when fully interleaved).
+func (s *netSim) post(th *simThread, f *flowState, size, now float64) (wait float64) {
+	cpu := 0.0
+	if s.cfg.Mode == ModeStream {
+		// Kernel copy (socket write) burns thread time before the NIC
+		// sees the data, plus a syscall-sized per-message overhead.
+		copyRate := s.cfg.Net.CopyRate
+		if copyRate <= 0 {
+			copyRate = 490
+		}
+		cpu = size/copyRate + s.cfg.Net.MsgOverhead
+	}
+	start := now + cpu
+
+	eg := s.egress[th.machine]
+	if start > eg {
+		eg = start
+	}
+	egDone := eg + size*s.linkSecPerMB + s.cfg.Net.MsgOverhead
+	s.egress[th.machine] = egDone
+
+	in := s.ingress[f.dest]
+	if egDone > in {
+		in = egDone
+	}
+	inDone := in + size*s.linkSecPerMB
+	s.ingress[f.dest] = inDone
+
+	f.flushedMB += size
+
+	switch s.cfg.Mode {
+	case ModeStream:
+		// The sender unblocks when the kernel buffer drains (egress).
+		return egDone - now
+	case ModeNonInterleaved:
+		// Section 6.3's first RDMA variant: wait for the remote ack.
+		return inDone - now
+	default:
+		f.inflight.push(inDone)
+		f.credits--
+		return cpu
+	}
+}
+
+// ringF64 is a tiny FIFO ring for in-flight completion times (capacity
+// grows as needed; BuffersPerPartition is small).
+type ringF64 struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+func (r *ringF64) len() int { return r.n }
+
+func (r *ringF64) push(v float64) {
+	if r.n == len(r.buf) {
+		grown := make([]float64, 2*len(r.buf)+4)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ringF64) front() float64 { return r.buf[r.head] }
+
+func (r *ringF64) pop() float64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

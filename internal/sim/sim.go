@@ -1,0 +1,331 @@
+// Package sim is a discrete-event simulator of the distributed radix hash
+// join at paper scale. It replays the exact per-buffer event structure of
+// the network partitioning pass — buffer fills at calibrated partitioning
+// speed, per-partition buffer credits, FIFO egress/ingress links with the
+// paper's bandwidth figures, blocking on buffer reuse — and models the
+// remaining phases with the calibrated per-thread rates, including
+// task-level makespan effects under skew.
+//
+// The simulator substitutes for the InfiniBand clusters the paper measured
+// on (DESIGN.md §2): billions of tuples are represented by their exact
+// per-partition histograms (computed analytically for Zipf workloads by
+// datagen.PartitionFractions), so a 2×4096M-tuple join simulates in
+// seconds of host time while exhibiting the interleaving, congestion,
+// saturation and skew behaviour of Sections 6.2–6.8.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/model"
+	"rackjoin/internal/phase"
+)
+
+// Mode selects the communication behaviour of the network pass
+// (Figure 5b's three variants).
+type Mode int
+
+const (
+	// ModeInterleaved overlaps partitioning with transfers using
+	// per-partition buffer credits (the paper's algorithm).
+	ModeInterleaved Mode = iota
+	// ModeNonInterleaved waits for each transfer before continuing.
+	ModeNonInterleaved
+	// ModeStream models the TCP/IP (IPoIB) implementation: sender-side
+	// copy cost, per-message kernel overhead, synchronous sends, reduced
+	// bandwidth.
+	ModeStream
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeInterleaved:
+		return "interleaved"
+	case ModeNonInterleaved:
+		return "non-interleaved"
+	case ModeStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulated join execution.
+type Config struct {
+	Machines int
+	Cores    int
+	Net      model.Network
+	Cal      model.Calibration
+
+	// Workload.
+	RTuples    int64
+	STuples    int64
+	TupleWidth int
+	// Skew is the Zipf factor of the outer foreign-key column (0 =
+	// uniform). The key domain is [1, RTuples].
+	Skew float64
+
+	// Algorithm parameters (paper defaults via Defaults()).
+	NetworkBits         uint
+	LocalBits           uint
+	BufferSize          int
+	BuffersPerPartition int
+	Mode                Mode
+	// SizeSortedAssignment enables the dynamic size-sorted
+	// partition→machine assignment of Section 6.5.
+	SizeSortedAssignment bool
+	// SkewSplit enables intra-machine build-probe task splitting
+	// (Section 4.3); without it a machine's phase time is bounded below
+	// by its largest partition task.
+	SkewSplit bool
+	// BroadcastFactor enables the inter-machine work sharing the paper
+	// proposes as future work (selective broadcast, matching
+	// core.Config.BroadcastFactor): hot partitions keep their outer
+	// tuples local and replicate the inner side instead. 0 disables.
+	BroadcastFactor float64
+
+	// RemoteCPUFactor scales the partitioning speed applied to
+	// remote-destined bytes (buffer management, flush bookkeeping; fitted
+	// to the measured FDR network pass — see DESIGN.md §7). 1.0 disables.
+	RemoteCPUFactor float64
+	// LinkEfficiency is the fraction of nominal link bandwidth usable by
+	// tuple payload (protocol headers, imperfect communication
+	// scheduling; fitted to the QDR scale-out measurements). 1.0 disables.
+	LinkEfficiency float64
+}
+
+// Defaults fills in the paper's evaluation parameters.
+func (c Config) Defaults() Config {
+	if c.Cal == (model.Calibration{}) {
+		c.Cal = model.DefaultCalibration()
+	}
+	if c.TupleWidth == 0 {
+		c.TupleWidth = 16
+	}
+	if c.NetworkBits == 0 {
+		c.NetworkBits = 10
+	}
+	if c.LocalBits == 0 {
+		c.LocalBits = 10
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 64 << 10
+	}
+	if c.BuffersPerPartition == 0 {
+		c.BuffersPerPartition = 2
+	}
+	if c.RemoteCPUFactor == 0 {
+		c.RemoteCPUFactor = 0.72
+	}
+	if c.LinkEfficiency == 0 {
+		c.LinkEfficiency = 0.89
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Machines < 1 || c.Cores < 1 {
+		return fmt.Errorf("sim: need machines ≥ 1 and cores ≥ 1, got %d×%d", c.Machines, c.Cores)
+	}
+	if c.Machines > 1 && c.Cores < 2 {
+		return fmt.Errorf("sim: channel semantics need ≥ 2 cores per machine")
+	}
+	if 1<<c.NetworkBits < c.Machines {
+		return fmt.Errorf("sim: 2^%d partitions < %d machines", c.NetworkBits, c.Machines)
+	}
+	if c.RTuples < 0 || c.STuples < 0 {
+		return fmt.Errorf("sim: negative tuple counts")
+	}
+	return nil
+}
+
+// Result reports the simulated execution.
+type Result struct {
+	// Phases is the cluster-level breakdown (per-phase maximum across
+	// machines, phases being barrier-separated).
+	Phases phase.Times
+	// PerMachine holds each machine's own breakdown.
+	PerMachine []phase.Times
+	// RemoteMB is the data shipped between machines during the network
+	// pass, in MB.
+	RemoteMB float64
+	// Stalls counts sender blocks on buffer reuse.
+	Stalls uint64
+	// PartitionsPerMachine is the assignment cardinality.
+	PartitionsPerMachine []int
+}
+
+// Run simulates the join.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	np := 1 << cfg.NetworkBits
+	w := model.WorkloadTuples(cfg.RTuples, cfg.STuples, cfg.TupleWidth)
+
+	// Exact expected per-partition histograms. Inner keys are dense and
+	// distinct (uniform over partitions); outer keys follow the workload
+	// distribution over the inner key domain.
+	keyDomain := int(cfg.RTuples)
+	if keyDomain < 1 {
+		keyDomain = 1
+	}
+	fracR := datagen.PartitionFractions(keyDomain, 0, int(cfg.NetworkBits))
+	fracS := datagen.PartitionFractions(keyDomain, cfg.Skew, int(cfg.NetworkBits))
+
+	partMBR := make([]float64, np)
+	partMBS := make([]float64, np)
+	for p := 0; p < np; p++ {
+		partMBR[p] = w.R * fracR[p]
+		partMBS[p] = w.S * fracS[p]
+	}
+	owner := assign(partMBR, partMBS, cfg.Machines, cfg.SizeSortedAssignment)
+	broadcast := markBroadcast(partMBR, partMBS, cfg)
+
+	res := &Result{
+		PerMachine:           make([]phase.Times, cfg.Machines),
+		PartitionsPerMachine: make([]int, cfg.Machines),
+	}
+	for p, o := range owner {
+		if broadcast[p] {
+			for m := range res.PartitionsPerMachine {
+				res.PartitionsPerMachine[m]++
+			}
+			continue
+		}
+		res.PartitionsPerMachine[o]++
+	}
+
+	cores := float64(cfg.Cores)
+	localMB := w.Total() / float64(cfg.Machines) // per-machine input share
+
+	// Phase 1: histogram scan of the local chunks, all cores.
+	histSec := localMB / (cores * cfg.Cal.PsHist)
+
+	// Phase 2: network partitioning pass (event simulation).
+	netSec, stalls, remoteMB := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
+
+	// Phases 3+4 are machine-local; per machine m the received partition
+	// set determines the work.
+	localSec := make([]float64, cfg.Machines)
+	bpSec := make([]float64, cfg.Machines)
+	passes := cfg.Cal.Passes
+	maxTaskLocal := make([]float64, cfg.Machines)
+	maxTaskBP := make([]float64, cfg.Machines)
+	addTask := func(m int, lpMB, rMB, sMB float64) {
+		lp := 0.0
+		if passes > 1 {
+			lp = float64(passes-1) * lpMB / cfg.Cal.PsLocal
+		}
+		bp := rMB/cfg.Cal.HbThread + sMB/cfg.Cal.HpThread
+		localSec[m] += lp
+		bpSec[m] += bp
+		if lp > maxTaskLocal[m] {
+			maxTaskLocal[m] = lp
+		}
+		if bp > maxTaskBP[m] {
+			maxTaskBP[m] = bp
+		}
+	}
+	for p := 0; p < np; p++ {
+		if broadcast[p] {
+			// Work sharing: every machine joins its local outer share
+			// against the full replicated inner partition.
+			sShare := partMBS[p] / float64(cfg.Machines)
+			for m := 0; m < cfg.Machines; m++ {
+				addTask(m, partMBR[p]+sShare, partMBR[p], sShare)
+			}
+			continue
+		}
+		addTask(owner[p], partMBR[p]+partMBS[p], partMBR[p], partMBS[p])
+	}
+	// Convert aggregate thread-seconds into machine phase times
+	// (task-queue makespan). The local scatter of one partition is an
+	// indivisible single-threaded task, so it always bounds the local
+	// phase from below — under skew this is the dominant local cost of
+	// Figure 8. Section 4.3's skew splitting divides only build-probe
+	// tasks (range probes, multiple hash tables); without it an
+	// oversized build-probe task bounds that phase too.
+	for m := 0; m < cfg.Machines; m++ {
+		l := localSec[m] / cores
+		if maxTaskLocal[m] > l {
+			l = maxTaskLocal[m]
+		}
+		b := bpSec[m] / cores
+		if !cfg.SkewSplit && maxTaskBP[m] > b {
+			b = maxTaskBP[m]
+		}
+		res.PerMachine[m] = phase.FromSeconds(histSec, netSec[m], l, b)
+	}
+	res.Stalls = stalls
+	res.RemoteMB = remoteMB
+
+	for _, pm := range res.PerMachine {
+		if pm.Histogram > res.Phases.Histogram {
+			res.Phases.Histogram = pm.Histogram
+		}
+		if pm.NetworkPartition > res.Phases.NetworkPartition {
+			res.Phases.NetworkPartition = pm.NetworkPartition
+		}
+		if pm.LocalPartition > res.Phases.LocalPartition {
+			res.Phases.LocalPartition = pm.LocalPartition
+		}
+		if pm.BuildProbe > res.Phases.BuildProbe {
+			res.Phases.BuildProbe = pm.BuildProbe
+		}
+	}
+	return res, nil
+}
+
+// assign reproduces core's partition→machine assignment on histograms:
+// static round-robin, or size-sorted round-robin for skew.
+func assign(partMBR, partMBS []float64, machines int, sizeSorted bool) []int {
+	np := len(partMBR)
+	owner := make([]int, np)
+	if !sizeSorted {
+		for p := 0; p < np; p++ {
+			owner[p] = p % machines
+		}
+		return owner
+	}
+	idx := make([]int, np)
+	for p := range idx {
+		idx[p] = p
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa := partMBR[idx[a]] + partMBS[idx[a]]
+		sb := partMBR[idx[b]] + partMBS[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	for i, p := range idx {
+		owner[p] = i % machines
+	}
+	return owner
+}
+
+// markBroadcast flags the partitions that qualify for selective broadcast
+// under cfg.BroadcastFactor (see core.Config.BroadcastFactor).
+func markBroadcast(partMBR, partMBS []float64, cfg Config) []bool {
+	b := make([]bool, len(partMBR))
+	if cfg.BroadcastFactor <= 0 || cfg.Machines <= 1 {
+		return b
+	}
+	var totalS float64
+	for _, v := range partMBS {
+		totalS += v
+	}
+	avg := totalS / float64(len(partMBS))
+	for p := range b {
+		if partMBS[p] > cfg.BroadcastFactor*avg && partMBS[p] > float64(cfg.Machines)*partMBR[p] {
+			b[p] = true
+		}
+	}
+	return b
+}

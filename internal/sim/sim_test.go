@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rackjoin/internal/model"
+)
+
+// paperQDR builds the standard 2048M ⋈ 2048M QDR configuration.
+func paperQDR(machines, cores int) Config {
+	return Config{
+		Machines: machines, Cores: cores, Net: model.QDR(),
+		RTuples: 2048 << 20, STuples: 2048 << 20,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFigure7aScaleOut(t *testing.T) {
+	// Figure 7a: measured totals on the QDR cluster, 8 cores/machine.
+	paper := map[int]float64{
+		2: 11.16, 3: 8.68, 4: 7.19, 5: 6.09, 6: 5.36,
+		7: 5.02, 8: 4.46, 9: 4.14, 10: 3.84,
+	}
+	for nm, want := range paper {
+		got := mustRun(t, paperQDR(nm, 8)).Phases.Total().Seconds()
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("QDR @%d machines: simulated %.2f s, paper %.2f s", nm, got, want)
+		}
+	}
+}
+
+func TestFigure5bVariantOrdering(t *testing.T) {
+	// Figure 5b on 4 FDR machines: interleaved 5.75 < non-interleaved
+	// 7.03 < TCP/IPoIB 15.69, with differences only in the network pass.
+	base := Config{Machines: 4, Cores: 8, RTuples: 2048 << 20, STuples: 2048 << 20}
+
+	inter := base
+	inter.Net = model.FDR()
+	inter.Mode = ModeInterleaved
+	rInter := mustRun(t, inter)
+
+	nonInter := inter
+	nonInter.Mode = ModeNonInterleaved
+	rNon := mustRun(t, nonInter)
+
+	stream := base
+	stream.Net = model.IPoIB()
+	stream.Mode = ModeStream
+	rStream := mustRun(t, stream)
+
+	ti, tn, ts := rInter.Phases.Total().Seconds(), rNon.Phases.Total().Seconds(), rStream.Phases.Total().Seconds()
+	if !(ti < tn && tn < ts) {
+		t.Fatalf("ordering violated: interleaved=%.2f non-interleaved=%.2f stream=%.2f", ti, tn, ts)
+	}
+	// Within 15% of the paper's absolute numbers.
+	for _, tc := range []struct {
+		got, want float64
+		name      string
+	}{{ti, 5.75, "interleaved"}, {tn, 7.03, "non-interleaved"}, {ts, 15.69, "stream"}} {
+		if math.Abs(tc.got-tc.want)/tc.want > 0.15 {
+			t.Errorf("%s: %.2f s vs paper %.2f s", tc.name, tc.got, tc.want)
+		}
+	}
+	// Non-network phases identical across the three variants.
+	for _, pair := range []struct{ a, b *Result }{{rInter, rNon}, {rInter, rStream}} {
+		if pair.a.Phases.Histogram != pair.b.Phases.Histogram ||
+			pair.a.Phases.LocalPartition != pair.b.Phases.LocalPartition ||
+			pair.a.Phases.BuildProbe != pair.b.Phases.BuildProbe {
+			t.Error("non-network phases must not depend on the transport")
+		}
+	}
+}
+
+func TestInterleavingBenefitIsNetworkPassOnly(t *testing.T) {
+	inter := mustRun(t, Config{Machines: 4, Cores: 8, Net: model.FDR(), RTuples: 2048 << 20, STuples: 2048 << 20})
+	non := mustRun(t, Config{Machines: 4, Cores: 8, Net: model.FDR(), RTuples: 2048 << 20, STuples: 2048 << 20, Mode: ModeNonInterleaved})
+	gain := non.Phases.NetworkPartition.Seconds() - inter.Phases.NetworkPartition.Seconds()
+	if gain <= 0 {
+		t.Fatalf("interleaving should shorten the network pass (gain %.2f s)", gain)
+	}
+	// Section 6.3: interleaving brings the network pass down by ~35%
+	// (i.e. non-interleaved ≈ 1.5× interleaved); accept 1.2×–1.8×.
+	ratio := non.Phases.NetworkPartition.Seconds() / inter.Phases.NetworkPartition.Seconds()
+	if ratio < 1.2 || ratio > 1.8 {
+		t.Fatalf("non-interleaved/interleaved network pass ratio %.2f outside [1.2, 1.8]", ratio)
+	}
+}
+
+func TestFigure6aLargeToLarge(t *testing.T) {
+	// Execution time doubles with data size (factors 1.98 / 1.92 in the
+	// paper) and decreases with machines.
+	for _, nm := range []int{4, 8} {
+		cfg := paperQDR(nm, 8)
+		t2048 := mustRun(t, cfg).Phases.Total().Seconds()
+		cfg.RTuples, cfg.STuples = 1024<<20, 1024<<20
+		t1024 := mustRun(t, cfg).Phases.Total().Seconds()
+		f := t2048 / t1024
+		if f < 1.85 || f > 2.1 {
+			t.Errorf("@%d machines: doubling factor %.2f outside [1.85, 2.1]", nm, f)
+		}
+	}
+	t4 := mustRun(t, paperQDR(4, 8)).Phases.Total()
+	t10 := mustRun(t, paperQDR(10, 8)).Phases.Total()
+	if t10 >= t4 {
+		t.Fatalf("more machines should be faster: 4→%v 10→%v", t4, t10)
+	}
+	// Section 6.4.3: overall speed-up from 2 to 10 machines is sub-linear
+	// (paper: 2.91× instead of 5×).
+	t2 := mustRun(t, paperQDR(2, 8)).Phases.Total().Seconds()
+	speedup := t2 / mustRun(t, paperQDR(10, 8)).Phases.Total().Seconds()
+	if speedup < 2.2 || speedup > 3.6 {
+		t.Fatalf("2→10 machines speed-up %.2f, paper reports 2.91", speedup)
+	}
+}
+
+func TestFigure6bSmallToLarge(t *testing.T) {
+	// Outer fixed at 2048M, inner shrinking 2048M→256M: time shrinks by
+	// roughly half at 1:8 (Figure 6b).
+	cfg := paperQDR(4, 8)
+	t11 := mustRun(t, cfg).Phases.Total().Seconds()
+	prev := t11
+	for _, inner := range []int64{1024 << 20, 512 << 20, 256 << 20} {
+		c := cfg
+		c.RTuples = inner
+		got := mustRun(t, c).Phases.Total().Seconds()
+		if got >= prev {
+			t.Fatalf("smaller inner relation should be faster (%d: %.2f ≥ %.2f)", inner>>20, got, prev)
+		}
+		prev = got
+	}
+	ratio := prev / t11
+	if ratio < 0.45 || ratio > 0.70 {
+		t.Fatalf("1:8 vs 1:1 ratio %.2f, expect ≈ 0.5–0.65", ratio)
+	}
+}
+
+func TestFigure7bIncreasingWorkload(t *testing.T) {
+	// 2×(1024+512·(N−2))M tuples on N machines: local phases constant,
+	// network pass grows (Section 6.4.4; paper totals 5.69 → 9.97 s).
+	total := func(nm int) (*Result, float64) {
+		tuples := int64(1024+512*(nm-2)) << 20
+		r := mustRun(t, Config{Machines: nm, Cores: 8, Net: model.QDR(), RTuples: tuples, STuples: tuples})
+		return r, r.Phases.Total().Seconds()
+	}
+	r2, t2 := total(2)
+	r10, t10 := total(10)
+	if t10 <= t2 {
+		t.Fatalf("network pass growth should raise total time: %.2f → %.2f", t2, t10)
+	}
+	// Paper: 5.69 s at 2 machines, 9.97 s at 10.
+	if math.Abs(t2-5.69)/5.69 > 0.15 || math.Abs(t10-9.97)/9.97 > 0.15 {
+		t.Errorf("increasing-workload totals %.2f/%.2f vs paper 5.69/9.97", t2, t10)
+	}
+	// Local pass and build-probe stay constant (±5%).
+	l2 := r2.Phases.LocalPartition.Seconds() + r2.Phases.BuildProbe.Seconds()
+	l10 := r10.Phases.LocalPartition.Seconds() + r10.Phases.BuildProbe.Seconds()
+	if math.Abs(l2-l10)/l2 > 0.05 {
+		t.Errorf("local phases should stay constant: %.2f vs %.2f", l2, l10)
+	}
+	// Network pass grows.
+	if r10.Phases.NetworkPartition <= r2.Phases.NetworkPartition {
+		t.Error("network pass should grow with machines+workload")
+	}
+}
+
+func TestFigure8Skew(t *testing.T) {
+	// 128M ⋈ 2048M on QDR with dynamic assignment and probe splitting.
+	run := func(nm int, skew float64) float64 {
+		return mustRun(t, Config{
+			Machines: nm, Cores: 8, Net: model.QDR(),
+			RTuples: 128 << 20, STuples: 2048 << 20,
+			Skew: skew, SizeSortedAssignment: true, SkewSplit: true,
+		}).Phases.Total().Seconds()
+	}
+	for _, nm := range []int{4, 8} {
+		none, low, high := run(nm, 0), run(nm, 1.05), run(nm, 1.20)
+		if !(none < low && low < high) {
+			t.Fatalf("@%d machines: skew ordering violated: none=%.2f low=%.2f high=%.2f", nm, none, low, high)
+		}
+		// Paper @4 machines: none 2.49, low 4.41, high 8.19 — high skew
+		// at least ~2.5× the uniform time.
+		if nm == 4 && high/none < 2.0 {
+			t.Errorf("@4 machines: high-skew penalty %.1f× too small (paper ≈ 3.3×)", high/none)
+		}
+	}
+	// Skew penalties grow (or at least persist) with machine count: the
+	// hot partition's single owner cannot be scaled out (Section 6.5).
+	if run(8, 1.20) < 0.8*run(4, 1.20) {
+		t.Error("high-skew time should not scale out well")
+	}
+}
+
+func TestSkewSplitHelps(t *testing.T) {
+	cfg := Config{
+		Machines: 4, Cores: 8, Net: model.QDR(),
+		RTuples: 128 << 20, STuples: 2048 << 20,
+		Skew: 1.20, SizeSortedAssignment: true,
+	}
+	with := mustRun(t, func() Config { c := cfg; c.SkewSplit = true; return c }())
+	without := mustRun(t, cfg)
+	if with.Phases.BuildProbe >= without.Phases.BuildProbe {
+		t.Fatalf("probe splitting should shorten build-probe under skew: %v vs %v",
+			with.Phases.BuildProbe, without.Phases.BuildProbe)
+	}
+}
+
+func TestFigure9ModelAgreement(t *testing.T) {
+	// The closed-form model and the event simulation must agree like the
+	// paper's Figure 9 (model vs measurement): we require ≤ 15% per
+	// configuration on the QDR cluster sizes of Figure 9b.
+	w := model.WorkloadTuples(2048<<20, 2048<<20, 16)
+	for _, nm := range []int{4, 6, 8, 10} {
+		simT := mustRun(t, paperQDR(nm, 8)).Phases.Total().Seconds()
+		modelT := model.NewSystem(nm, 8, model.QDR()).Predict(w).Total().Seconds()
+		if math.Abs(simT-modelT)/modelT > 0.15 {
+			t.Errorf("@%d machines: sim %.2f vs model %.2f", nm, simT, modelT)
+		}
+	}
+}
+
+func TestFigure10CoreSaturation(t *testing.T) {
+	// Figure 10a: on QDR, from ~5 machines on, 3 partitioning threads
+	// saturate the network — 8 cores ≈ 4 cores for the network pass.
+	netPass := func(nm, cores int) float64 {
+		return mustRun(t, paperQDR(nm, cores)).Phases.NetworkPartition.Seconds()
+	}
+	at10c4, at10c8 := netPass(10, 4), netPass(10, 8)
+	if math.Abs(at10c4-at10c8)/at10c8 > 0.12 {
+		t.Errorf("QDR @10 machines: 4-core %.2f vs 8-core %.2f should converge", at10c4, at10c8)
+	}
+	// At 2 machines the QDR pass is CPU-bound: 8 cores clearly beat 4.
+	at2c4, at2c8 := netPass(2, 4), netPass(2, 8)
+	if at2c4 < 1.5*at2c8 {
+		t.Errorf("QDR @2 machines: 4-core %.2f should be ≫ 8-core %.2f", at2c4, at2c8)
+	}
+	// Figure 10b: FDR is never saturated by 3 threads; 8 cores always win.
+	fdr := func(nm, cores int) float64 {
+		return mustRun(t, Config{Machines: nm, Cores: cores, Net: model.FDR(),
+			RTuples: 2048 << 20, STuples: 2048 << 20}).Phases.NetworkPartition.Seconds()
+	}
+	for _, nm := range []int{2, 3, 4} {
+		if fdr(nm, 4) < 1.4*fdr(nm, 8) {
+			t.Errorf("FDR @%d machines: extra cores should speed the pass up", nm)
+		}
+	}
+}
+
+func TestWideTuplesConstantTime(t *testing.T) {
+	// Section 6.7: same bytes, different tuple widths → identical times.
+	base := mustRun(t, Config{Machines: 4, Cores: 8, Net: model.QDR(), RTuples: 2048 << 20, STuples: 2048 << 20, TupleWidth: 16})
+	for _, tc := range []struct {
+		tuples int64
+		width  int
+	}{{1024 << 20, 32}, {512 << 20, 64}} {
+		r := mustRun(t, Config{Machines: 4, Cores: 8, Net: model.QDR(), RTuples: tc.tuples, STuples: tc.tuples, TupleWidth: tc.width})
+		diff := math.Abs(r.Phases.Total().Seconds() - base.Phases.Total().Seconds())
+		if diff/base.Phases.Total().Seconds() > 0.02 {
+			t.Errorf("%d-byte tuples: %.2f s vs %.2f s", tc.width, r.Phases.Total().Seconds(), base.Phases.Total().Seconds())
+		}
+	}
+}
+
+func TestBufferSizeSweep(t *testing.T) {
+	// Section 6.2: tiny buffers waste bandwidth on per-message overhead;
+	// ≥ 8–64 KB buffers perform equivalently.
+	get := func(buf int) float64 {
+		return mustRun(t, Config{Machines: 4, Cores: 8, Net: model.QDR(),
+			RTuples: 512 << 20, STuples: 512 << 20, BufferSize: buf}).Phases.NetworkPartition.Seconds()
+	}
+	tiny, small, big := get(512), get(8<<10), get(64<<10)
+	if tiny <= small {
+		t.Errorf("512 B buffers (%.2f s) should be slower than 8 KB (%.2f s)", tiny, small)
+	}
+	if math.Abs(small-big)/big > 0.10 {
+		t.Errorf("8 KB (%.2f s) and 64 KB (%.2f s) should be comparable", small, big)
+	}
+}
+
+func TestSingleBufferStalls(t *testing.T) {
+	// With per-partition buffer pools and many partitions, the thread
+	// revisits a partition long after its transfer completed, so a single
+	// buffer per partition costs little throughput on a saturated link —
+	// but it must stall strictly more often and never be faster.
+	one := mustRun(t, func() Config { c := paperQDR(4, 8); c.BuffersPerPartition = 1; return c }())
+	two := mustRun(t, paperQDR(4, 8))
+	if float64(one.Phases.NetworkPartition) < 0.98*float64(two.Phases.NetworkPartition) {
+		t.Fatalf("a single buffer per partition cannot beat double buffering: %v vs %v",
+			one.Phases.NetworkPartition, two.Phases.NetworkPartition)
+	}
+	if one.Stalls <= two.Stalls {
+		t.Fatalf("single buffering should stall more: %d vs %d", one.Stalls, two.Stalls)
+	}
+}
+
+func TestSingleMachineNoNetwork(t *testing.T) {
+	r := mustRun(t, Config{Machines: 1, Cores: 8, Net: model.QDR(), RTuples: 256 << 20, STuples: 256 << 20})
+	if r.RemoteMB != 0 {
+		t.Fatalf("single machine shipped %.1f MB", r.RemoteMB)
+	}
+	if r.Phases.Total() <= 0 {
+		t.Fatal("no time simulated")
+	}
+}
+
+func TestRemoteBytesFraction(t *testing.T) {
+	// Uniform data over NM machines: (NM-1)/NM of the input crosses the
+	// network.
+	for _, nm := range []int{2, 4, 8} {
+		r := mustRun(t, paperQDR(nm, 8))
+		totalMB := float64(2*2048<<20) * 16 / (1 << 20)
+		want := totalMB * float64(nm-1) / float64(nm)
+		if math.Abs(r.RemoteMB-want)/want > 0.01 {
+			t.Errorf("@%d machines: remote %.0f MB, want %.0f", nm, r.RemoteMB, want)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []Config{
+		{Machines: 0, Cores: 8, Net: model.QDR()},
+		{Machines: 2, Cores: 1, Net: model.QDR()},
+		{Machines: 4, Cores: 8, Net: model.QDR(), NetworkBits: 1},
+		{Machines: 2, Cores: 8, Net: model.QDR(), RTuples: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{ModeInterleaved, ModeNonInterleaved, ModeStream, Mode(7)} {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+}
+
+// Property: simulated phase times are positive and finite, every machine
+// gets partitions, and shipping less data never takes longer.
+func TestPropertySimSane(t *testing.T) {
+	f := func(nm8, cores8 uint8, scale uint8) bool {
+		nm := int(nm8%9) + 2
+		cores := int(cores8%7) + 2
+		tuples := int64(scale%8+1) << 26
+		cfg := Config{Machines: nm, Cores: cores, Net: model.QDR(), RTuples: tuples, STuples: tuples, NetworkBits: 8}
+		r, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		tot := r.Phases.Total().Seconds()
+		if !(tot > 0) || math.IsNaN(tot) || math.IsInf(tot, 0) {
+			return false
+		}
+		for _, n := range r.PartitionsPerMachine {
+			if n == 0 {
+				return false
+			}
+		}
+		half := cfg
+		half.RTuples /= 2
+		half.STuples /= 2
+		rh, err := Run(half)
+		if err != nil {
+			return false
+		}
+		return rh.Phases.Total() <= r.Phases.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkSharingFixesSkew(t *testing.T) {
+	// The extension the paper proposes in Sections 6.5/8: selective
+	// broadcast must (a) dramatically shorten skewed executions, (b) make
+	// them scale out again, and (c) leave uniform workloads untouched.
+	base := Config{
+		Machines: 4, Cores: 8, Net: model.QDR(),
+		RTuples: 128 << 20, STuples: 2048 << 20,
+		Skew: 1.20, SizeSortedAssignment: true, SkewSplit: true,
+	}
+	plain := mustRun(t, base)
+	shared := base
+	shared.BroadcastFactor = 4
+	fixed := mustRun(t, shared)
+	if fixed.Phases.Total().Seconds() > 0.5*plain.Phases.Total().Seconds() {
+		t.Fatalf("work sharing should at least halve the high-skew time: %.2f vs %.2f",
+			fixed.Phases.Total().Seconds(), plain.Phases.Total().Seconds())
+	}
+	// Scale-out restored: 8 machines beat 4 with sharing on.
+	shared8 := shared
+	shared8.Machines = 8
+	fixed8 := mustRun(t, shared8)
+	if fixed8.Phases.Total() >= fixed.Phases.Total() {
+		t.Fatalf("with sharing, skewed joins should scale out: %v @4 vs %v @8",
+			fixed.Phases.Total(), fixed8.Phases.Total())
+	}
+	// Less traffic too: the hot outer partition no longer moves.
+	if fixed.RemoteMB >= plain.RemoteMB {
+		t.Fatalf("sharing should reduce traffic: %.0f vs %.0f MB", fixed.RemoteMB, plain.RemoteMB)
+	}
+	// Uniform workloads are unaffected.
+	uni := base
+	uni.Skew = 0
+	uniShared := uni
+	uniShared.BroadcastFactor = 4
+	a, b := mustRun(t, uni), mustRun(t, uniShared)
+	if a.Phases.Total() != b.Phases.Total() {
+		t.Fatalf("uniform workload must not change: %v vs %v", a.Phases.Total(), b.Phases.Total())
+	}
+}

@@ -1,0 +1,172 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 1); err == nil {
+		t.Fatal("zero machines should fail")
+	}
+	if _, err := NewMesh(2, 0); err == nil {
+		t.Fatal("zero threads should fail")
+	}
+}
+
+func TestSingleMachineMesh(t *testing.T) {
+	m, err := NewMesh(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Endpoint(0).Receive(0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendReceiveRoundtrip(t *testing.T) {
+	m, err := NewMesh(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	payload := []byte("tcp data plane payload")
+	var got []byte
+	var gotTag uint32
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Endpoint(1).Receive(uint64(len(payload)), func(tag uint32, p []byte) {
+			gotTag = tag
+			got = append([]byte(nil), p...)
+		})
+	}()
+	if err := m.Endpoint(0).Send(0, 1, 0xCAFE, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if gotTag != 0xCAFE || string(got) != string(payload) {
+		t.Fatalf("roundtrip mismatch: tag=%x payload=%q", gotTag, got)
+	}
+}
+
+func TestSendToSelfFails(t *testing.T) {
+	m, err := NewMesh(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Endpoint(0).Send(0, 0, 0, []byte("x")); err == nil {
+		t.Fatal("sending to self should fail (no connection)")
+	}
+}
+
+func TestManySendersManyFrames(t *testing.T) {
+	const machines, threads, frames, sz = 3, 2, 50, 1024
+	m, err := NewMesh(machines, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Every (machine, thread) sends `frames` frames to every peer; each
+	// frame carries its sender in the tag and a pattern byte payload.
+	perReceiver := uint64((machines - 1) * threads * frames * sz)
+	var wg sync.WaitGroup
+	var sums [machines]atomic.Uint64
+	recvErrs := make([]error, machines)
+	for r := 0; r < machines; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			recvErrs[r] = m.Endpoint(r).Receive(perReceiver, func(tag uint32, p []byte) {
+				if len(p) != sz {
+					t.Errorf("bad frame size %d", len(p))
+					return
+				}
+				sender := byte(tag >> 8)
+				for _, b := range p {
+					if b != sender {
+						t.Errorf("payload corruption: got %d want %d", b, sender)
+						return
+					}
+				}
+				sums[r].Add(uint64(len(p)))
+			})
+		}(r)
+	}
+	var sendWG sync.WaitGroup
+	for a := 0; a < machines; a++ {
+		for th := 0; th < threads; th++ {
+			sendWG.Add(1)
+			go func(a, th int) {
+				defer sendWG.Done()
+				buf := make([]byte, sz)
+				for i := range buf {
+					buf[i] = byte(a)
+				}
+				for f := 0; f < frames; f++ {
+					for p := 0; p < machines; p++ {
+						if p == a {
+							continue
+						}
+						if err := m.Endpoint(a).Send(th, p, uint32(a)<<8, buf); err != nil {
+							t.Errorf("send %d→%d: %v", a, p, err)
+							return
+						}
+					}
+				}
+			}(a, th)
+		}
+	}
+	sendWG.Wait()
+	wg.Wait()
+	for r := 0; r < machines; r++ {
+		if recvErrs[r] != nil {
+			t.Fatalf("receiver %d: %v", r, recvErrs[r])
+		}
+		if sums[r].Load() != perReceiver {
+			t.Fatalf("receiver %d got %d bytes, want %d", r, sums[r].Load(), perReceiver)
+		}
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	m, err := NewMesh(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	payload := make([]byte, 1<<20)
+	binary.LittleEndian.PutUint64(payload[1<<19:], 0xDEADBEEF)
+	done := make(chan error, 1)
+	var ok bool
+	go func() {
+		done <- m.Endpoint(1).Receive(uint64(len(payload)), func(tag uint32, p []byte) {
+			ok = len(p) == 1<<20 && binary.LittleEndian.Uint64(p[1<<19:]) == 0xDEADBEEF
+		})
+	}()
+	if err := m.Endpoint(0).Send(0, 1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("large frame corrupted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m, err := NewMesh(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close()
+}

@@ -1,0 +1,193 @@
+// Package trace records timestamped execution spans of a distributed
+// operator run and renders them as a per-machine text timeline — the view
+// the paper's Figures 5b/7a aggregate into stacked bars. It makes phase
+// overlap, barrier waiting and stragglers (e.g. the hot machine of a
+// skewed run) directly visible.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded span.
+type Event struct {
+	// Machine that executed the span.
+	Machine int
+	// Kind groups events (e.g. "phase", "stall").
+	Kind string
+	// Label names the span (e.g. "network partition").
+	Label string
+	// Start and End are offsets from the recorder's epoch.
+	Start, End time.Duration
+	// Bytes optionally sizes the work done in the span.
+	Bytes int64
+}
+
+// Duration returns the span length.
+func (e Event) Duration() time.Duration { return e.End - e.Start }
+
+// Recorder collects events from concurrent machines. The zero value is
+// not usable; construct with New.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+}
+
+// New creates a recorder whose epoch is now.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Record adds a span with explicit wall-clock endpoints.
+func (r *Recorder) Record(machine int, kind, label string, start, end time.Time, bytes int64) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Machine: machine, Kind: kind, Label: label,
+		Start: start.Sub(r.epoch), End: end.Sub(r.epoch), Bytes: bytes,
+	})
+	r.mu.Unlock()
+}
+
+// Span starts a span now and returns a closer that ends it; pass the
+// bytes processed (0 if not applicable).
+func (r *Recorder) Span(machine int, kind, label string) func(bytes int64) {
+	start := time.Now()
+	return func(bytes int64) {
+		r.Record(machine, kind, label, start, time.Now(), bytes)
+	}
+}
+
+// Events returns a copy of the recorded spans, ordered by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Total returns the span from the earliest start to the latest end.
+func (r *Recorder) Total() time.Duration {
+	var max time.Duration
+	for _, e := range r.Events() {
+		if e.End > max {
+			max = e.End
+		}
+	}
+	return max
+}
+
+// Gantt renders the "phase" events as one text timeline row per
+// (machine, label), width columns wide. Machines are ordered by ID,
+// phases by first occurrence.
+func (r *Recorder) Gantt(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	events := r.Events()
+	// Scale to the rendered (phase) events only; other kinds may extend
+	// further.
+	var total time.Duration
+	var labels []string
+	seen := map[string]bool{}
+	machines := map[int]bool{}
+	for _, e := range events {
+		if e.Kind != "phase" {
+			continue
+		}
+		if e.End > total {
+			total = e.End
+		}
+		if !seen[e.Label] {
+			seen[e.Label] = true
+			labels = append(labels, e.Label)
+		}
+		machines[e.Machine] = true
+	}
+	if total <= 0 || len(labels) == 0 {
+		fmt.Fprintln(w, "(no events recorded)")
+		return
+	}
+	var ids []int
+	for m := range machines {
+		ids = append(ids, m)
+	}
+	sort.Ints(ids)
+
+	col := func(d time.Duration) int {
+		c := int(float64(d) / float64(total) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	fmt.Fprintf(w, "total %v, one column ≈ %v\n", total.Round(time.Millisecond), (total / time.Duration(width)).Round(time.Microsecond))
+	for _, m := range ids {
+		for _, label := range labels {
+			row := make([]rune, width)
+			for i := range row {
+				row[i] = '·'
+			}
+			mark := rune(strings.ToUpper(label[:1])[0])
+			found := false
+			for _, e := range events {
+				if e.Kind != "phase" || e.Machine != m || e.Label != label {
+					continue
+				}
+				found = true
+				lo, hi := col(e.Start), col(e.End)
+				for c := lo; c <= hi; c++ {
+					row[c] = mark
+				}
+			}
+			if !found {
+				continue
+			}
+			fmt.Fprintf(w, "m%-2d %-18s |%s|\n", m, label, string(row))
+		}
+	}
+}
+
+// Summary prints per-label aggregate durations (max across machines, the
+// paper's stacked-bar convention) and byte counts.
+func (r *Recorder) Summary(w io.Writer) {
+	type agg struct {
+		max   time.Duration
+		bytes int64
+	}
+	byLabel := map[string]*agg{}
+	var order []string
+	for _, e := range r.Events() {
+		if e.Kind != "phase" {
+			continue
+		}
+		a, ok := byLabel[e.Label]
+		if !ok {
+			a = &agg{}
+			byLabel[e.Label] = a
+			order = append(order, e.Label)
+		}
+		if e.Duration() > a.max {
+			a.max = e.Duration()
+		}
+		a.bytes += e.Bytes
+	}
+	for _, label := range order {
+		a := byLabel[label]
+		fmt.Fprintf(w, "%-20s %10v", label, a.max.Round(time.Microsecond))
+		if a.bytes > 0 {
+			fmt.Fprintf(w, "  %8.1f MB", float64(a.bytes)/(1<<20))
+		}
+		fmt.Fprintln(w)
+	}
+}

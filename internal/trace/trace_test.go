@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New()
+	now := r.epoch
+	r.Record(1, "phase", "histogram", now, now.Add(time.Second), 100)
+	r.Record(0, "phase", "network", now.Add(time.Second), now.Add(3*time.Second), 200)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Label != "histogram" || ev[1].Label != "network" {
+		t.Fatal("events not ordered by start")
+	}
+	if ev[0].Duration() != time.Second || ev[1].Duration() != 2*time.Second {
+		t.Fatal("bad durations")
+	}
+	if r.Total() != 3*time.Second {
+		t.Fatalf("Total = %v", r.Total())
+	}
+}
+
+func TestSpanCloser(t *testing.T) {
+	r := New()
+	end := r.Span(2, "phase", "build")
+	time.Sleep(2 * time.Millisecond)
+	end(42)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Machine != 2 || ev[0].Bytes != 42 {
+		t.Fatalf("bad span event: %+v", ev)
+	}
+	if ev[0].Duration() < time.Millisecond {
+		t.Fatalf("span too short: %v", ev[0].Duration())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for m := 0; m < 8; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				end := r.Span(m, "phase", "work")
+				end(1)
+			}
+		}(m)
+	}
+	wg.Wait()
+	if len(r.Events()) != 400 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := New()
+	now := r.epoch
+	r.Record(0, "phase", "histogram", now, now.Add(time.Second), 0)
+	r.Record(0, "phase", "network", now.Add(time.Second), now.Add(4*time.Second), 0)
+	r.Record(1, "phase", "histogram", now, now.Add(2*time.Second), 0)
+	r.Record(1, "other", "ignored", now, now.Add(10*time.Second), 0) // non-phase: not drawn
+
+	var buf bytes.Buffer
+	r.Gantt(&buf, 40)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "m0") || !strings.Contains(lines[1], "H") {
+		t.Fatalf("bad row: %q", lines[1])
+	}
+	// Machine 1's histogram bar (0..2s of 4s total) must be roughly twice
+	// machine 0's (0..1s).
+	count := func(line string, mark rune) int {
+		n := 0
+		for _, r := range line {
+			if r == mark {
+				n++
+			}
+		}
+		return n
+	}
+	h0 := count(lines[1], 'H')
+	h1 := count(lines[3], 'H')
+	if h1 < h0+5 {
+		t.Fatalf("bar lengths wrong: m0=%d m1=%d\n%s", h0, h1, out)
+	}
+	// The ignored kind must not appear as a row.
+	if strings.Contains(out, "ignored") {
+		t.Fatal("non-phase event rendered")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	New().Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "no events") {
+		t.Fatal("empty recorder should say so")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	now := r.epoch
+	r.Record(0, "phase", "network", now, now.Add(time.Second), 1<<20)
+	r.Record(1, "phase", "network", now, now.Add(3*time.Second), 1<<20)
+	var buf bytes.Buffer
+	r.Summary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "network") || !strings.Contains(out, "3s") {
+		t.Fatalf("summary should show the per-label max:\n%s", out)
+	}
+	if !strings.Contains(out, "2.0 MB") {
+		t.Fatalf("summary should sum bytes:\n%s", out)
+	}
+}

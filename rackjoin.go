@@ -1,0 +1,243 @@
+// Package rackjoin is a faithful, fully-functional reproduction of
+// "Rack-Scale In-Memory Join Processing using RDMA" (Barthels, Loesing,
+// Alonso, Kossmann — SIGMOD 2015) as a Go library.
+//
+// It provides:
+//
+//   - a distributed radix hash join (the paper's contribution) running on
+//     an in-process rack of simulated machines connected by a functional
+//     RDMA verbs layer (one-sided and two-sided semantics, registered
+//     memory regions, completion queues, buffer pools);
+//   - the single-machine multi-core baselines the paper compares against
+//     (parallel radix join with NUMA-aware task queues, no-partitioning
+//     join);
+//   - the paper's analytical model (Section 5, Eq. 1–14) with the
+//     calibration constants of Eq. 15;
+//   - a calibrated discrete-event simulator that reproduces the paper's
+//     measured figures at full scale (billions of tuples) in seconds of
+//     host time;
+//   - workload generators for the paper's uniform, skewed (Zipf 1.05 /
+//     1.20) and wide-tuple workloads.
+//
+// # Quick start
+//
+//	c, _ := rackjoin.NewCluster(4, 8)
+//	defer c.Close()
+//	inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+//		InnerTuples: 1 << 20, OuterTuples: 1 << 22, Seed: 1,
+//	}, 4)
+//	res, _ := rackjoin.Join(c, inner, outer, rackjoin.DefaultJoinConfig())
+//	fmt.Println(res.Matches, res.Phases)
+//
+// See the examples/ directory for complete programs and cmd/experiments
+// for regenerating every table and figure of the paper.
+package rackjoin
+
+import (
+	"rackjoin/internal/agg"
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/core"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/fabric"
+	"rackjoin/internal/mcjoin"
+	"rackjoin/internal/model"
+	"rackjoin/internal/phase"
+	"rackjoin/internal/relation"
+	"rackjoin/internal/sim"
+	"rackjoin/internal/trace"
+)
+
+// Core distributed-join API (see internal/core for full documentation).
+type (
+	// Cluster is a simulated rack: machines with private memory connected
+	// by an in-process RDMA fabric.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures rack construction.
+	ClusterConfig = cluster.Config
+	// FabricConfig optionally throttles the interconnect so network-bound
+	// behaviour is observable in wall-clock time.
+	FabricConfig = fabric.Config
+	// JoinConfig parameterises the distributed radix hash join.
+	JoinConfig = core.Config
+	// JoinResult reports matches, verification checksum, per-phase times
+	// and network statistics.
+	JoinResult = core.Result
+	// Transport selects one-sided/two-sided RDMA or the TCP-like stream.
+	Transport = core.Transport
+	// Assignment selects the partition→machine assignment strategy.
+	Assignment = core.Assignment
+	// PhaseTimes is the per-phase breakdown used across all engines.
+	PhaseTimes = phase.Times
+)
+
+// Transports and assignment strategies.
+const (
+	TwoSided = core.TransportTwoSided
+	OneSided = core.TransportOneSided
+	Stream   = core.TransportStream
+	TCP      = core.TransportTCP
+	// OneSidedAtomic reserves remote write offsets with RDMA fetch-and-add
+	// instead of histogram-derived placement.
+	OneSidedAtomic = core.TransportOneSidedAtomic
+	// OneSidedRead pulls staged partitions with one-sided READs.
+	OneSidedRead = core.TransportOneSidedRead
+	RoundRobin   = core.AssignRoundRobin
+	SizeSorted   = core.AssignSizeSorted
+)
+
+// Relation storage and workloads.
+type (
+	// Relation is a fixed-width tuple slab (8-byte key, 8-byte rid,
+	// optional payload).
+	Relation = relation.Relation
+	// DistributedRelation is a relation fragmented across machines.
+	DistributedRelation = relation.Distributed
+	// WorkloadConfig describes one of the paper's workloads.
+	WorkloadConfig = datagen.Config
+	// Expected is the analytically known join outcome of a generated
+	// workload, for verification.
+	Expected = datagen.Expected
+)
+
+// Zipf skew factors of Section 6.5.
+const (
+	SkewLow  = datagen.SkewLow
+	SkewHigh = datagen.SkewHigh
+)
+
+// Single-machine baselines.
+type (
+	// MCJoinConfig configures the multi-core baselines.
+	MCJoinConfig = mcjoin.Config
+	// MCJoinResult is their result type.
+	MCJoinResult = mcjoin.Result
+)
+
+// Distributed aggregation (the Section 7 generalisation of the paper's
+// techniques to other operators).
+type (
+	// AggConfig configures the distributed GROUP BY aggregation.
+	AggConfig = agg.Config
+	// AggResult is its result type.
+	AggResult = agg.Result
+)
+
+// Analytical model and simulator.
+type (
+	// Model is the paper's analytical model for one deployment.
+	Model = model.System
+	// Network describes an interconnect (QDR, FDR, IPoIB).
+	Network = model.Network
+	// Workload holds input sizes in MB for the model.
+	ModelWorkload = model.Workload
+	// SimConfig describes one paper-scale simulated execution.
+	SimConfig = sim.Config
+	// SimResult is the simulated outcome.
+	SimResult = sim.Result
+	// SimMode selects interleaved/non-interleaved/stream communication.
+	SimMode = sim.Mode
+)
+
+// Simulation modes.
+const (
+	Interleaved    = sim.ModeInterleaved
+	NonInterleaved = sim.ModeNonInterleaved
+	StreamMode     = sim.ModeStream
+)
+
+// Tracer records per-machine execution spans (set JoinConfig.Trace).
+type Tracer = trace.Recorder
+
+// NewTracer creates an execution tracer whose epoch is now.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewCluster builds a rack of machines×cores with an unthrottled fabric.
+func NewCluster(machines, cores int) (*Cluster, error) {
+	return cluster.New(cluster.Config{Machines: machines, CoresPerMachine: cores})
+}
+
+// NewThrottledCluster builds a rack whose per-host bandwidth is capped (in
+// bytes/second), making network-bound effects visible in real time.
+func NewThrottledCluster(machines, cores int, bytesPerSecond float64) (*Cluster, error) {
+	return cluster.New(cluster.Config{
+		Machines: machines, CoresPerMachine: cores,
+		Fabric: fabric.Config{EgressBandwidth: bytesPerSecond, IngressBandwidth: bytesPerSecond},
+	})
+}
+
+// DefaultJoinConfig returns laptop-scale defaults for the distributed
+// join; PaperJoinConfig returns the paper's evaluation parameters (2×10
+// radix bits, 64 KB buffers).
+func DefaultJoinConfig() JoinConfig { return core.DefaultConfig() }
+
+// PaperJoinConfig returns the paper's evaluation parameters.
+func PaperJoinConfig() JoinConfig { return core.PaperConfig() }
+
+// NewRelation allocates a relation of n tuples of the given width (16,
+// 32 or 64 bytes: 8-byte key, 8-byte rid, optional payload).
+func NewRelation(width, n int) *Relation { return relation.New(width, n) }
+
+// ViewRelation wraps an existing byte slab as a relation without copying.
+func ViewRelation(width int, data []byte) (*Relation, error) {
+	return relation.View(width, data)
+}
+
+// GenerateWorkload materialises a workload fragmented over machines, with
+// the even loading and range-partitioned record ids of Section 6.1.1.
+func GenerateWorkload(cfg WorkloadConfig, machines int) (inner, outer *DistributedRelation) {
+	return datagen.GenerateDistributed(cfg, machines)
+}
+
+// ExpectedJoin returns the analytically known outcome for a generated
+// workload's outer relation (for result verification).
+func ExpectedJoin(outer *DistributedRelation) Expected {
+	return datagen.ExpectedJoin(outer.Gather())
+}
+
+// Join executes the distributed radix hash join on the cluster.
+func Join(c *Cluster, inner, outer *DistributedRelation, cfg JoinConfig) (*JoinResult, error) {
+	return core.Run(c, inner, outer, cfg)
+}
+
+// RadixJoin runs the single-machine parallel radix hash join baseline.
+func RadixJoin(inner, outer *Relation, cfg MCJoinConfig) (*MCJoinResult, error) {
+	return mcjoin.RadixJoin(inner, outer, cfg)
+}
+
+// NoPartitionJoin runs the no-partitioning hash join baseline.
+func NoPartitionJoin(inner, outer *Relation, cfg MCJoinConfig) (*MCJoinResult, error) {
+	return mcjoin.NoPartitionJoin(inner, outer, cfg)
+}
+
+// SortMergeJoin runs the massively parallel sort-merge (MPSM) join
+// baseline of Albutiu et al. [2].
+func SortMergeJoin(inner, outer *Relation, cfg MCJoinConfig) (*MCJoinResult, error) {
+	return mcjoin.SortMergeJoin(inner, outer, cfg)
+}
+
+// DefaultAggConfig returns the distributed aggregation defaults.
+func DefaultAggConfig() AggConfig { return agg.DefaultConfig() }
+
+// Aggregate runs the distributed GROUP BY key → COUNT(*), SUM(rid)
+// aggregation over the cluster using the paper's RDMA buffer techniques.
+func Aggregate(c *Cluster, rel *DistributedRelation, cfg AggConfig) (*AggResult, error) {
+	return agg.Run(c, rel, cfg)
+}
+
+// Simulate runs the calibrated paper-scale discrete-event simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewModel builds the analytical model for a rack on a network.
+func NewModel(machines, cores int, net Network) Model {
+	return model.NewSystem(machines, cores, net)
+}
+
+// The paper's two clusters and the IPoIB comparison network.
+func QDR() Network   { return model.QDR() }
+func FDR() Network   { return model.FDR() }
+func IPoIB() Network { return model.IPoIB() }
+
+// ModelWorkloadTuples converts tuple counts to model input sizes.
+func ModelWorkloadTuples(rTuples, sTuples int64, width int) ModelWorkload {
+	return model.WorkloadTuples(rTuples, sTuples, width)
+}
