@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The trace recorder and metrics registry are the shared mutable state of
+# every run; hammer them under the race detector.
+race:
+	$(GO) test -race ./internal/trace ./internal/metrics
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'

@@ -78,6 +78,7 @@ func benchDistributedJoin(b *testing.B, transport rackjoin.Transport, interleave
 	cfg.Interleaved = interleaved
 	tuples := float64(inner.Len() + outer.Len())
 	b.SetBytes(int64(inner.Size() + outer.Size()))
+	var shipped, stalls uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := rackjoin.Join(c, inner, outer, cfg)
@@ -87,8 +88,12 @@ func benchDistributedJoin(b *testing.B, transport rackjoin.Transport, interleave
 		if res.Matches != 1<<20 {
 			b.Fatalf("wrong result: %d", res.Matches)
 		}
+		shipped += res.Net.BytesSent
+		stalls += res.Net.PoolStalls
 	}
 	b.ReportMetric(tuples*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtuples/s")
+	b.ReportMetric(float64(shipped)/float64(b.N)/(1<<20), "MB-shipped/op")
+	b.ReportMetric(float64(stalls)/float64(b.N), "pool-stalls/op")
 }
 
 func BenchmarkDistributedJoinTwoSided(b *testing.B) {

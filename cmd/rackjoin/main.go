@@ -6,13 +6,19 @@
 //
 //	rackjoin -machines 4 -cores 4 -inner 1048576 -outer 4194304 \
 //	         -transport two-sided -skew 0 -width 16
+//
+// With -trace-out the per-machine phase timeline is written as Chrome
+// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev);
+// with -metrics-out the full metrics registry is dumped as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 
 	"rackjoin"
 )
@@ -39,6 +45,8 @@ func main() {
 		split      = flag.Float64("skew-split", 0, "split build-probe tasks above this multiple of the average (0 = off)")
 		throttle   = flag.Float64("throttle", 0, "per-host fabric bandwidth cap in MB/s (0 = unthrottled)")
 		showTrace  = flag.Bool("trace", false, "print a per-machine phase timeline")
+		traceOut   = flag.String("trace-out", "", "write the execution trace as Chrome trace-event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -94,7 +102,7 @@ func main() {
 	want := rackjoin.ExpectedJoin(outer)
 
 	var tracer *rackjoin.Tracer
-	if *showTrace {
+	if *showTrace || *traceOut != "" {
 		tracer = rackjoin.NewTracer()
 		cfg.Trace = tracer
 	}
@@ -102,11 +110,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tracer != nil {
+	if tracer != nil && *showTrace {
 		fmt.Println()
 		tracer.Gantt(os.Stdout, 64)
 		fmt.Println()
 		tracer.Summary(os.Stdout)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tracer.WriteChromeJSON); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, c.Metrics().WriteJSON); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 
 	fmt.Printf("\ntransport=%s assignment=%s interleaved=%v\n", cfg.Transport, cfg.Assignment, cfg.Interleaved)
@@ -119,9 +139,78 @@ func main() {
 	for m, pt := range res.PerMachine {
 		fmt.Printf("machine %d %s (%d partitions)\n", m, pt, res.PartitionsPerMachine[m])
 	}
+	printMetricsSummary(c.Metrics())
 	if res.Matches != want.Matches || res.Checksum != want.Checksum {
 		fmt.Println("VERIFICATION FAILED")
 		os.Exit(1)
 	}
 	fmt.Println("verification OK")
+}
+
+// writeFile streams write(f) into path, creating or truncating it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printMetricsSummary aggregates the registry snapshot across labels and
+// prints one line per metric name: counters and gauges sum their values,
+// histograms pool observation counts and report the worst p99.
+func printMetricsSummary(reg *rackjoin.MetricsRegistry) {
+	type agg struct {
+		typ   string
+		value float64 // counter/gauge: Σ value; histogram: Σ sum
+		count uint64
+		p99   float64
+		n     int // series
+	}
+	byName := map[string]*agg{}
+	for _, s := range reg.Snapshot() {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{typ: string(s.Type)}
+			byName[s.Name] = a
+		}
+		a.n++
+		switch string(s.Type) {
+		case "histogram":
+			a.value += s.Sum
+			a.count += s.Count
+			if s.P99 > a.p99 {
+				a.p99 = s.P99
+			}
+		default:
+			a.value += s.Value
+		}
+	}
+	if len(byName) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-32s %-9s %8s %14s\n", "metric", "type", "series", "aggregate")
+	for _, n := range names {
+		a := byName[n]
+		switch a.typ {
+		case "histogram":
+			fmt.Printf("%-32s %-9s %8d %14s\n", n, a.typ, a.n,
+				fmt.Sprintf("n=%d Σ=%.3gs", a.count, a.value))
+			if a.count > 0 {
+				fmt.Printf("%-32s %-9s %8s %14s\n", "", "", "",
+					fmt.Sprintf("p99≤%.3gs", a.p99))
+			}
+		default:
+			fmt.Printf("%-32s %-9s %8d %14.6g\n", n, a.typ, a.n, a.value)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"rackjoin/internal/fabric"
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/rdma"
 )
 
@@ -110,6 +111,11 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // FabricStats returns interconnect counters.
 func (c *Cluster) FabricStats() fabric.Stats { return c.net.FabricStats() }
+
+// Metrics returns the metrics registry shared by the cluster's RDMA
+// network and fabric. All device and link telemetry lands here; the join
+// layer adds its own series to the same registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.net.Metrics() }
 
 // ConnectQPs creates a connected queue-pair pair between machines a and b
 // for the data plane. Each side gets the completion queues passed for it.

@@ -30,6 +30,7 @@ package core
 import (
 	"fmt"
 
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/relation"
 	"rackjoin/internal/trace"
 )
@@ -190,6 +191,11 @@ type Config struct {
 	// Trace, when non-nil, records per-machine phase spans of the
 	// execution for timeline rendering.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the join's runtime telemetry
+	// (buffer-pool waits, bytes shipped per partition, phase durations).
+	// When nil, Run uses the cluster's registry, so device- and
+	// fabric-level series land in the same place.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the test-scale defaults described above.

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rackjoin/internal/cluster"
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/phase"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
@@ -39,6 +41,9 @@ func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*R
 	cores := c.Config().CoresPerMachine
 	if err := cfg.validate(nm, cores, width); err != nil {
 		return nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = c.Metrics()
 	}
 
 	states := make([]*machineState, nm)
@@ -133,6 +138,12 @@ type machineState struct {
 	checksum   uint64
 	poolStalls uint64
 	resultMu   sync.Mutex
+
+	// met is this machine's metrics scope (label machine=<id>); shipped
+	// holds the per-partition bytes-shipped counters of the network pass,
+	// nil for partitions that never leave this machine.
+	met     *metrics.Scope
+	shipped []*metrics.Counter
 }
 
 func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relation.Relation) *machineState {
@@ -146,6 +157,7 @@ func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relat
 	if nm > 1 && cfg.usesNetworkThread() {
 		st.partThreads = m.Cores - 1
 	}
+	st.met = cfg.Metrics.Scope(metrics.L("machine", strconv.Itoa(m.ID)))
 	return st
 }
 
@@ -201,7 +213,25 @@ func (st *machineState) run() error {
 		return fmt.Errorf("local pass: %w", err)
 	}
 	endSpan(int64(st.slabR.Size() + st.slabS.Size()))
+	st.recordPhaseGauges()
 	return st.m.Barrier()
+}
+
+// recordPhaseGauges exports the phase breakdown as phase_seconds gauges,
+// one series per (machine, phase), set from the same values Result
+// reports in PerMachine.
+func (st *machineState) recordPhaseGauges() {
+	for _, pg := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"histogram", st.phases.Histogram},
+		{"network_partition", st.phases.NetworkPartition},
+		{"local_partition", st.phases.LocalPartition},
+		{"build_probe", st.phases.BuildProbe},
+	} {
+		st.met.Gauge("phase_seconds", metrics.L("phase", pg.name)).Set(pg.d.Seconds())
+	}
 }
 
 // computeThreadHistograms scans this machine's chunks with partThreads

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"rackjoin/internal/cluster"
+	"rackjoin/internal/datagen"
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/relation"
+)
+
+// TestJoinMetrics runs a small distributed join and checks the telemetry
+// the run leaves in the supplied registry: device byte counters, the
+// buffer-wait histogram series, per-partition shipped bytes, and phase
+// gauges that agree with the Result's own phase breakdown.
+func TestJoinMetrics(t *testing.T) {
+	const machines = 4
+	c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := datagen.Generate(smallWorkload)
+	inner := relation.Fragment(w.Inner, machines)
+	outer := relation.Fragment(w.Outer, machines)
+
+	reg := metrics.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	res, err := Run(c, inner, outer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The explicit registry is separate from the cluster's own, so device
+	// counters live in c.Metrics(); join-level series live in reg.
+	var rdmaBytes float64
+	for _, s := range c.Metrics().Snapshot() {
+		if s.Name == "rdma_bytes_sent" {
+			rdmaBytes += s.Value
+		}
+	}
+	if rdmaBytes == 0 {
+		t.Fatal("rdma_bytes_sent is zero after a 4-machine join")
+	}
+
+	var waitSeries, shippedBytes float64
+	phaseGauges := map[string]map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "netpass_buffer_wait_seconds":
+			waitSeries++
+		case "netpass_bytes_shipped":
+			shippedBytes += s.Value
+		case "phase_seconds":
+			m := s.Labels["machine"]
+			if phaseGauges[m] == nil {
+				phaseGauges[m] = map[string]float64{}
+			}
+			phaseGauges[m][s.Labels["phase"]] = s.Value
+		}
+	}
+	if waitSeries == 0 {
+		t.Fatal("no netpass_buffer_wait_seconds series registered")
+	}
+	if shippedBytes == 0 {
+		t.Fatal("netpass_bytes_shipped is zero")
+	}
+	if len(phaseGauges) != machines {
+		t.Fatalf("phase gauges cover %d machines, want %d", len(phaseGauges), machines)
+	}
+	// Gauges are set from the same values Result reports, so they must
+	// agree to float64 rounding.
+	for m, pm := range res.PerMachine {
+		g := phaseGauges[strconv.Itoa(m)]
+		for phase, want := range map[string]float64{
+			"histogram":         pm.Histogram.Seconds(),
+			"network_partition": pm.NetworkPartition.Seconds(),
+			"local_partition":   pm.LocalPartition.Seconds(),
+			"build_probe":       pm.BuildProbe.Seconds(),
+		} {
+			if got := g[phase]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("machine %d %s gauge = %g, result reports %g", m, phase, got, want)
+			}
+		}
+	}
+}
+
+// TestJoinMetricsDefaultRegistry checks Run falls back to the cluster's
+// registry when Config.Metrics is nil.
+func TestJoinMetricsDefaultRegistry(t *testing.T) {
+	const machines = 2
+	c, err := cluster.New(cluster.Config{Machines: machines, CoresPerMachine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := datagen.Generate(datagen.Config{InnerTuples: 1 << 10, OuterTuples: 1 << 11, Seed: 7})
+	if _, err := Run(c, relation.Fragment(w.Inner, machines), relation.Fragment(w.Outer, machines), DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, s := range c.Metrics().Snapshot() {
+		found[s.Name] = true
+	}
+	for _, name := range []string{"rdma_bytes_sent", "netpass_buffer_wait_seconds", "phase_seconds", "netpass_buffer_flushes"} {
+		if !found[name] {
+			t.Fatalf("cluster registry missing %s after join; have %v", name, found)
+		}
+	}
+}

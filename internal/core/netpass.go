@@ -3,8 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
 )
@@ -35,6 +38,13 @@ type bufferPool struct {
 	// atomicMR is the thread's 8-byte landing pad for fetch-and-add
 	// results (atomic-append transport).
 	atomicMR *rdma.MemoryRegion
+
+	// Registry handles (nil-safe): waitHist records time spent blocked on
+	// completions when the pool is dry, stallCtr mirrors stalls, flushes
+	// counts shipped buffers (buffer swaps).
+	waitHist *metrics.Histogram
+	stallCtr *metrics.Counter
+	flushes  *metrics.Counter
 }
 
 func newBufferPool(pd *rdma.ProtectionDomain, cq *rdma.CompletionQueue, bufSize, count int, withAtomic bool) (*bufferPool, error) {
@@ -99,17 +109,25 @@ func (p *bufferPool) acquire() (int32, error) {
 	if err := p.reap(); err != nil {
 		return 0, err
 	}
+	var waitStart time.Time
 	for len(p.free) == 0 {
 		if p.outstanding == 0 {
 			return 0, fmt.Errorf("core: buffer pool exhausted with no transfers in flight")
 		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		p.stalls++
+		p.stallCtr.Inc()
 		c := p.cq.Wait()
 		if err := c.Err(); err != nil {
 			return 0, err
 		}
 		p.free = append(p.free, int32(c.WRID))
 		p.outstanding--
+	}
+	if !waitStart.IsZero() {
+		p.waitHist.ObserveSince(waitStart)
 	}
 	i := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
@@ -162,7 +180,21 @@ func (st *machineState) allocPools() error {
 		if err != nil {
 			return err
 		}
+		ts := st.met.With(metrics.L("thread", strconv.Itoa(t)))
+		pool.waitHist = ts.Histogram("netpass_buffer_wait_seconds")
+		pool.stallCtr = ts.Counter("netpass_buffer_stalls")
+		pool.flushes = ts.Counter("netpass_buffer_flushes")
 		st.pools[t] = pool
+	}
+	// Per-partition bytes-shipped counters, created here (single-threaded
+	// setup) for exactly the partitions this machine ships: non-resident
+	// ones and the replicated inner side of broadcast partitions.
+	st.shipped = make([]*metrics.Counter, st.np)
+	for p := 0; p < st.np; p++ {
+		if !st.residentHere(p) || st.broadcast[p] {
+			st.shipped[p] = st.met.Counter("netpass_bytes_shipped",
+				metrics.L("partition", strconv.Itoa(p)))
+		}
 	}
 	return nil
 }
@@ -428,6 +460,10 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 	pool := st.pools[t]
 	length := int(tuples) * st.width
 	owner := dest
+	pool.flushes.Inc()
+	if st.shipped != nil && st.shipped[p] != nil {
+		st.shipped[p].Add(uint64(length))
+	}
 
 	if st.cfg.Transport == TransportTCP {
 		// Kernel TCP: Send returns once the kernel copied the payload, so
@@ -519,6 +555,7 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 	// A full send queue is back-pressure, not an error: recycle a
 	// completed transfer and retry, exactly like a verbs application
 	// spinning on its completion queue.
+	var waitStart time.Time
 	for {
 		err := qp.PostSend(wr)
 		if err == nil {
@@ -530,10 +567,17 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 		if pool.outstanding == 0 {
 			return fmt.Errorf("core: send queue full with no completions outstanding")
 		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		pool.stalls++
+		pool.stallCtr.Inc()
 		if err := pool.waitOne(); err != nil {
 			return err
 		}
+	}
+	if !waitStart.IsZero() {
+		pool.waitHist.ObserveSince(waitStart)
 	}
 	pool.outstanding++
 	if !st.cfg.interleaved() {

@@ -18,9 +18,12 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rackjoin/internal/metrics"
 )
 
 // NodeID identifies a node within a fabric. IDs are dense and start at 0.
@@ -38,6 +41,10 @@ type Config struct {
 	BaseLatency time.Duration
 	// PerMessage models fixed per-message processing cost at the HCA.
 	PerMessage time.Duration
+	// Metrics, when non-nil, receives per-node link telemetry: the
+	// fabric_link_queue_seconds histogram records how long each transfer
+	// queued behind earlier traffic on a throttled link.
+	Metrics *metrics.Registry
 }
 
 // Throttled reports whether any rate or latency limit is configured.
@@ -79,11 +86,15 @@ func (f *Fabric) AddNode() *Node {
 		id:    NodeID(len(f.nodes)),
 		lanes: make(map[NodeID]*lane),
 	}
+	linkHist := func(dir string) *metrics.Histogram {
+		return f.cfg.Metrics.Histogram("fabric_link_queue_seconds",
+			metrics.L("node", strconv.Itoa(int(n.id))), metrics.L("dir", dir))
+	}
 	if f.cfg.EgressBandwidth > 0 {
-		n.egress = newMeter(f.cfg.EgressBandwidth)
+		n.egress = newMeter(f.cfg.EgressBandwidth, linkHist("egress"))
 	}
 	if f.cfg.IngressBandwidth > 0 {
-		n.ingress = newMeter(f.cfg.IngressBandwidth)
+		n.ingress = newMeter(f.cfg.IngressBandwidth, linkHist("ingress"))
 	}
 	f.nodes = append(f.nodes, n)
 	return n

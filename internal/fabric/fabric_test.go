@@ -172,15 +172,6 @@ func TestEgressSharedAcrossDestinations(t *testing.T) {
 	}
 }
 
-func TestMeterSerialises(t *testing.T) {
-	m := newMeter(1e6) // 1 MB/s
-	w1 := m.reserve(1000)
-	w2 := m.reserve(1000)
-	if w2 <= w1 {
-		t.Fatalf("second reservation should wait longer: %v vs %v", w2, w1)
-	}
-}
-
 func TestNodeLookup(t *testing.T) {
 	f := New(Config{})
 	defer f.Close()

@@ -3,6 +3,8 @@ package fabric
 import (
 	"sync"
 	"time"
+
+	"rackjoin/internal/metrics"
 )
 
 // meter is a shared-link rate limiter. Each reservation serialises behind
@@ -13,15 +15,24 @@ type meter struct {
 	mu        sync.Mutex
 	bytesPerS float64
 	nextFree  time.Time
+	// queueWait, when non-nil, records how long each reservation spent
+	// queued behind earlier traffic on the link (excluding its own
+	// serialisation time) — the head-of-line blocking a congested link
+	// inflicts.
+	queueWait *metrics.Histogram
 }
 
-func newMeter(bytesPerSecond float64) *meter {
-	return &meter{bytesPerS: bytesPerSecond}
+func newMeter(bytesPerSecond float64, queueWait *metrics.Histogram) *meter {
+	return &meter{bytesPerS: bytesPerSecond, queueWait: queueWait}
 }
 
 // reserve books size bytes on the link and returns how long the caller
-// must wait (from now) for the transfer to complete.
+// must wait (from now) for the transfer to complete. A non-positive
+// bandwidth means an unthrottled link: no wait, no queueing.
 func (m *meter) reserve(size int) time.Duration {
+	if m.bytesPerS <= 0 {
+		return 0
+	}
 	dur := time.Duration(float64(size) / m.bytesPerS * float64(time.Second))
 	now := time.Now()
 	m.mu.Lock()
@@ -32,5 +43,6 @@ func (m *meter) reserve(size int) time.Duration {
 	end := start.Add(dur)
 	m.nextFree = end
 	m.mu.Unlock()
+	m.queueWait.ObserveDuration(start.Sub(now))
 	return end.Sub(now)
 }

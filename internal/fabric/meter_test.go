@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rackjoin/internal/metrics"
+)
+
+// TestMeterNonPositiveBandwidth is the regression test for the +Inf/NaN
+// durations a zero or negative bandwidth used to produce (float division
+// overflowing time.Duration): non-positive bandwidth now means an
+// unthrottled link.
+func TestMeterNonPositiveBandwidth(t *testing.T) {
+	for _, bw := range []float64{0, -1} {
+		m := newMeter(bw, nil)
+		for i := 0; i < 3; i++ {
+			if d := m.reserve(1 << 30); d != 0 {
+				t.Fatalf("bandwidth %g: reserve returned %v, want 0", bw, d)
+			}
+		}
+		if !m.nextFree.IsZero() {
+			t.Fatalf("bandwidth %g: unthrottled meter advanced nextFree", bw)
+		}
+	}
+}
+
+func TestMeterSerialises(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("queue")
+	m := newMeter(1e6, h) // 1 MB/s
+	d1 := m.reserve(100_000)
+	d2 := m.reserve(100_000)
+	// Each transfer takes 100 ms; the second queues behind the first.
+	if d1 < 90*time.Millisecond || d1 > 200*time.Millisecond {
+		t.Fatalf("first reservation %v, want ≈100ms", d1)
+	}
+	if d2 < d1+50*time.Millisecond {
+		t.Fatalf("second reservation %v did not queue behind first (%v)", d2, d1)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("queue histogram count = %d, want 2", h.Count())
+	}
+	// The second reservation waited ≈100 ms in the queue.
+	if h.Max() < 0.05 {
+		t.Fatalf("queue histogram max = %gs, want ≥ 0.05s", h.Max())
+	}
+}
+
+// TestLinkQueueMetricWiring checks a throttled fabric records queueing
+// delay into the registry passed via Config.Metrics.
+func TestLinkQueueMetricWiring(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := New(Config{EgressBandwidth: 1e6, Metrics: reg})
+	defer f.Close()
+	a, b := f.AddNode(), f.AddNode()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		if err := a.Post(b.ID(), 50_000, func() { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var count uint64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "fabric_link_queue_seconds" && s.Labels["dir"] == "egress" {
+			count += s.Count
+		}
+	}
+	if count != 2 {
+		t.Fatalf("egress queue observations = %d, want 2", count)
+	}
+}

@@ -1,0 +1,522 @@
+// Package metrics is the dependency-free observability substrate of the
+// repository: a concurrency-safe registry of named counters, gauges and
+// log-scale histograms with label support (machine, thread, phase, …).
+//
+// Every layer of the system records into one registry — the RDMA device
+// emulation (bytes, work requests, RNR back-pressure), the fabric (link
+// queueing delay), and the distributed join (buffer-pool stalls, bytes
+// shipped per partition, phase durations) — so one snapshot answers the
+// questions the paper's evaluation asks: where does time go, and is a run
+// network-bound or CPU-bound.
+//
+// All metric handles are nil-safe: methods on a nil *Registry, *Scope,
+// *Counter, *Gauge or *Histogram are no-ops. Instrumented code therefore
+// never branches on "is metrics enabled".
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L constructs a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets: power-of-two ranges. Bucket i covers
+// [2^(i+histMinExp), 2^(i+1+histMinExp)); bucket 0 additionally collects
+// everything below its lower bound. With histMinExp = -34 the range spans
+// ~58 picoseconds to ~34 years when observations are seconds, so any
+// duration the system can produce lands in a real bucket.
+const (
+	histBuckets = 64
+	histMinExp  = -34
+)
+
+// Histogram accumulates float64 observations into log-scale buckets and
+// reports count, sum, min, max and interpolated quantiles (p50/p95/p99).
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [histBuckets]uint64
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Floor(math.Log2(v))) - histMinExp
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.counts[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1), linearly interpolated
+// within the log-scale bucket that contains the rank and clamped to the
+// observed [min, max]. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := math.Pow(2, float64(i+histMinExp))
+			hi := lo * 2
+			if i == 0 {
+				lo = 0
+			}
+			v := lo + (hi-lo)*(rank-cum)/float64(c)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Kind distinguishes metric types in snapshots.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// entry couples a registered metric with its identity.
+type entry struct {
+	name   string
+	labels []Label
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// metricID builds the registry key: name plus sorted labels.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the entry for (name, labels), creating it with make when
+// absent. Re-registering the same identity returns the same metric;
+// re-registering it as a different kind panics (programmer error).
+func (r *Registry) lookup(name string, labels []Label, kind Kind, make func(*entry)) *entry {
+	labels = sortLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		e = &entry{name: name, labels: labels, kind: kind}
+		make(e)
+		r.entries[id] = e
+		r.order = append(r.order, id)
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %s already registered as %s, requested %s", id, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the counter with the given name and labels, registering
+// it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, KindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge with the given name and labels, registering it
+// on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, KindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram with the given name and labels,
+// registering it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, KindHistogram, func(e *entry) { e.h = &Histogram{} }).h
+}
+
+// Scope returns a view of the registry with the given labels pre-applied
+// to every metric created through it.
+func (r *Registry) Scope(labels ...Label) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{r: r, labels: labels}
+}
+
+// Sample is one metric's state in a snapshot. Value carries the counter
+// or gauge reading; Count/Sum/Min/Max/P50/P95/P99 are histogram fields.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   Kind              `json:"type"`
+	Value  float64           `json:"value"`
+	Count  uint64            `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	Min    float64           `json:"min,omitempty"`
+	Max    float64           `json:"max,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P95    float64           `json:"p95,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+// Snapshot returns the state of every registered metric, sorted by name
+// then labels.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ids := make([]string, len(r.order))
+	copy(ids, r.order)
+	entries := make([]*entry, len(ids))
+	for i, id := range ids {
+		entries[i] = r.entries[id]
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Type: e.kind}
+		if len(e.labels) > 0 {
+			s.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.c.Value())
+		case KindGauge:
+			s.Value = e.g.Value()
+		case KindHistogram:
+			e.h.mu.Lock()
+			s.Count = e.h.count
+			s.Sum = e.h.sum
+			s.Min = e.h.min
+			s.Max = e.h.max
+			s.P50 = e.h.quantileLocked(0.50)
+			s.P95 = e.h.quantileLocked(0.95)
+			s.P99 = e.h.quantileLocked(0.99)
+			e.h.mu.Unlock()
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText writes a human-readable exposition of every metric, one line
+// each: `name{label="v",…} value` for counters and gauges, and
+// `name{…} count=… sum=… p50=… p95=… p99=… max=…` for histograms.
+func (r *Registry) WriteText(w io.Writer) {
+	for _, s := range r.Snapshot() {
+		switch s.Type {
+		case KindHistogram:
+			fmt.Fprintf(w, "%s%s count=%d sum=%g p50=%g p95=%g p99=%g max=%g\n",
+				s.Name, labelString(s.Labels), s.Count, s.Sum, s.P50, s.P95, s.P99, s.Max)
+		default:
+			fmt.Fprintf(w, "%s%s %g\n", s.Name, labelString(s.Labels), s.Value)
+		}
+	}
+}
+
+// WriteJSON writes the snapshot as a JSON array of samples.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	samples := r.Snapshot()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	return enc.Encode(samples)
+}
+
+// Scope is a registry view with pre-applied labels, used to hand a layer
+// (one machine, one device, one thread) its own labelled namespace. A nil
+// *Scope is a valid no-op sink.
+type Scope struct {
+	r      *Registry
+	labels []Label
+}
+
+// Registry returns the underlying registry (nil for a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.r
+}
+
+// With returns a child scope with additional labels.
+func (s *Scope) With(labels ...Label) *Scope {
+	if s == nil {
+		return nil
+	}
+	merged := make([]Label, 0, len(s.labels)+len(labels))
+	merged = append(merged, s.labels...)
+	merged = append(merged, labels...)
+	return &Scope{r: s.r, labels: merged}
+}
+
+func (s *Scope) merge(extra []Label) []Label {
+	if len(extra) == 0 {
+		return s.labels
+	}
+	merged := make([]Label, 0, len(s.labels)+len(extra))
+	merged = append(merged, s.labels...)
+	merged = append(merged, extra...)
+	return merged
+}
+
+// Counter returns a counter carrying the scope's labels plus extra.
+func (s *Scope) Counter(name string, extra ...Label) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.r.Counter(name, s.merge(extra)...)
+}
+
+// Gauge returns a gauge carrying the scope's labels plus extra.
+func (s *Scope) Gauge(name string, extra ...Label) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.r.Gauge(name, s.merge(extra)...)
+}
+
+// Histogram returns a histogram carrying the scope's labels plus extra.
+func (s *Scope) Histogram(name string, extra ...Label) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.r.Histogram(name, s.merge(extra)...)
+}

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same identity returns the same metric.
+	if r.Counter("requests") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Different labels are a different series.
+	c2 := r.Counter("requests", L("machine", "1"))
+	if c2 == c {
+		t.Fatal("labelled counter aliases the unlabelled one")
+	}
+	c2.Inc()
+	if c.Value() != 42 || c2.Value() != 1 {
+		t.Fatalf("series not independent: %d / %d", c.Value(), c2.Value())
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("a", "1"), L("b", "2"))
+	b := r.Counter("x", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("gauge = %g, want 1.0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	// 1000 observations spread over [1ms, 1s].
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 500.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	if got := h.Max(); got != 1.0 {
+		t.Fatalf("max = %g, want 1.0", got)
+	}
+	// Log-scale buckets are coarse; accept a factor-2 band around the
+	// exact quantile.
+	for _, tc := range []struct{ q, want float64 }{{0.50, 0.5}, {0.95, 0.95}, {0.99, 0.99}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.0f = %g, want within [%g, %g]", tc.q*100, got, tc.want/2, tc.want*2)
+		}
+	}
+	if h.Quantile(0) != 1e-3 || h.Quantile(1) != 1.0 {
+		t.Fatalf("q0/q1 = %g/%g, want min/max", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyAndNonPositive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(0)
+	h.Observe(-1)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0.99) > 0 {
+		t.Fatalf("q99 of non-positive observations = %g", h.Quantile(0.99))
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("sum = %g, want 0.25", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("z")
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	s := r.Scope(L("machine", "0"))
+	s.Counter("c").Inc()
+	s.With(L("thread", "1")).Histogram("h").Observe(1)
+	if s.Registry() != nil {
+		t.Fatal("nil scope should have nil registry")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+func TestScopeLabels(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope(L("machine", "2"))
+	s.With(L("thread", "3")).Counter("ops").Add(7)
+	direct := r.Counter("ops", L("machine", "2"), L("thread", "3"))
+	if direct.Value() != 7 {
+		t.Fatalf("scope labels not applied: %d", direct.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering same name as a different kind should panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestSnapshotAndExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter", L("machine", "0")).Add(3)
+	r.Gauge("a_gauge").Set(2.5)
+	r.Histogram("c_hist").Observe(0.5)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(snap))
+	}
+	// Sorted by name.
+	if snap[0].Name != "a_gauge" || snap[1].Name != "b_counter" || snap[2].Name != "c_hist" {
+		t.Fatalf("snapshot order: %s, %s, %s", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[1].Labels["machine"] != "0" || snap[1].Value != 3 {
+		t.Fatalf("counter sample: %+v", snap[1])
+	}
+	if snap[2].Count != 1 || snap[2].Max != 0.5 {
+		t.Fatalf("histogram sample: %+v", snap[2])
+	}
+
+	var text bytes.Buffer
+	r.WriteText(&text)
+	for _, want := range []string{
+		`a_gauge 2.5`,
+		`b_counter{machine="0"} 3`,
+		`c_hist count=1`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rdma_bytes_sent", L("device", "0")).Add(1 << 20)
+	r.Histogram("netpass_buffer_wait_seconds", L("machine", "0")).Observe(0.001)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var samples []Sample
+	if err := json.Unmarshal(buf.Bytes(), &samples); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 2 {
+		t.Fatalf("decoded %d samples, want 2", len(samples))
+	}
+	if samples[1].Name != "rdma_bytes_sent" || samples[1].Value != 1<<20 {
+		t.Fatalf("counter sample: %+v", samples[1])
+	}
+	if samples[0].Type != KindHistogram || samples[0].Count != 1 {
+		t.Fatalf("histogram sample: %+v", samples[0])
+	}
+}
+
+// TestConcurrentRegistry hammers registration and recording from many
+// goroutines; run under -race it is the registry's thread-safety proof
+// (tier-1 runs `go test -race ./internal/metrics`).
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scope := r.Scope(L("thread", fmt.Sprint(g%4)))
+			for i := 0; i < iters; i++ {
+				r.Counter("shared").Inc()
+				scope.Counter("per_thread").Inc()
+				r.Gauge("gauge").Add(1)
+				scope.Histogram("hist").Observe(float64(i) * 1e-6)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("gauge").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %g, want %d", got, goroutines*iters)
+	}
+	var histTotal uint64
+	for _, s := range r.Snapshot() {
+		if s.Name == "hist" {
+			histTotal += s.Count
+		}
+	}
+	if histTotal != goroutines*iters {
+		t.Fatalf("hist observations = %d, want %d", histTotal, goroutines*iters)
+	}
+}

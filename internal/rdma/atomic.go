@@ -83,6 +83,6 @@ func (qp *QP) executeAtomic(wr SendWR, dst *QP) {
 	}
 	mu.Unlock()
 	binary.LittleEndian.PutUint64(local, orig)
-	qp.dev.count(func(s *DeviceStats) { s.Atomics++ })
+	qp.dev.m.atomics.Inc()
 	qp.completeSendSide(wr, StatusSuccess)
 }

@@ -1,6 +1,11 @@
 package rdma
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"rackjoin/internal/metrics"
+)
 
 // CompletionQueue collects completions of work requests. Multiple queue
 // pairs may share one CQ; completions carry the QPN of their origin.
@@ -12,6 +17,10 @@ type CompletionQueue struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Completion
+	// waitHist records how long blocking Wait calls spent waiting for a
+	// completion — the poll-latency view of whether consumers outrun the
+	// network (set by Device.NewCQ, nil-safe).
+	waitHist *metrics.Histogram
 }
 
 // Poll moves up to len(dst) completions into dst without blocking and
@@ -31,8 +40,12 @@ func (cq *CompletionQueue) Poll(dst []Completion) int {
 func (cq *CompletionQueue) Wait() Completion {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	for len(cq.queue) == 0 {
-		cq.cond.Wait()
+	if len(cq.queue) == 0 {
+		start := time.Now()
+		for len(cq.queue) == 0 {
+			cq.cond.Wait()
+		}
+		cq.waitHist.ObserveSince(start)
 	}
 	c := cq.queue[0]
 	cq.queue = cq.queue[1:]

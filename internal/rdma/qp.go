@@ -3,6 +3,7 @@ package rdma
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Opcode identifies the RDMA operation of a work request or completion.
@@ -275,13 +276,16 @@ func (qp *QP) popRecv() (RecvWR, bool) {
 	}
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
-	waited := false
+	var waitStart time.Time
 	for len(qp.recvs) == 0 && !qp.closed {
-		if !waited {
-			waited = true
-			qp.dev.count(func(s *DeviceStats) { s.RNRWaits++ })
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+			qp.dev.m.rnrWaits.Inc()
 		}
 		qp.recvCond.Wait()
+	}
+	if !waitStart.IsZero() {
+		qp.dev.m.rnrWait.ObserveSince(waitStart)
 	}
 	if len(qp.recvs) == 0 {
 		return RecvWR{}, false
@@ -353,11 +357,13 @@ func (qp *QP) PostSend(wr SendWR) error {
 	}
 	switch wr.Op {
 	case OpSend:
-		qp.dev.count(func(s *DeviceStats) { s.Sends++; s.BytesSent += uint64(wr.Local.Length) })
+		qp.dev.m.sends.Inc()
+		qp.dev.m.bytesSent.Add(uint64(wr.Local.Length))
 	case OpWrite, OpWriteImm:
-		qp.dev.count(func(s *DeviceStats) { s.Writes++; s.BytesSent += uint64(wr.Local.Length) })
+		qp.dev.m.writes.Inc()
+		qp.dev.m.bytesSent.Add(uint64(wr.Local.Length))
 	case OpRead:
-		qp.dev.count(func(s *DeviceStats) { s.Reads++ })
+		qp.dev.m.reads.Inc()
 	}
 	return nil
 }
@@ -460,7 +466,8 @@ func (qp *QP) executeSend(wr SendWR, dst *QP) {
 		return
 	}
 	copy(dstBuf, src)
-	dst.dev.count(func(s *DeviceStats) { s.Recvs++; s.BytesReceived += uint64(len(src)) })
+	dst.dev.m.recvs.Inc()
+	dst.dev.m.bytesReceived.Add(uint64(len(src)))
 	dst.recvCQ.push(Completion{
 		WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv,
 		Bytes: len(src), Imm: wr.Imm, HasImm: wr.HasImm, QPN: dst.qpn,
@@ -489,14 +496,14 @@ func (qp *QP) executeWrite(wr SendWR, dst *QP) {
 		return
 	}
 	copy(dstBuf, src)
-	dst.dev.count(func(s *DeviceStats) { s.BytesReceived += uint64(len(src)) })
+	dst.dev.m.bytesReceived.Add(uint64(len(src)))
 	if wr.Op == OpWriteImm {
 		rwr, ok := dst.popRecv()
 		if !ok {
 			qp.completeSendSide(wr, StatusRemoteAccessError)
 			return
 		}
-		dst.dev.count(func(s *DeviceStats) { s.Recvs++ })
+		dst.dev.m.recvs.Inc()
 		dst.recvCQ.push(Completion{
 			WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv,
 			Bytes: len(src), Imm: wr.Imm, HasImm: true, QPN: dst.qpn,
@@ -521,7 +528,7 @@ func (qp *QP) executeRead(wr SendWR, dst *QP) {
 	}
 	snapshot := make([]byte, len(remoteBuf))
 	copy(snapshot, remoteBuf)
-	dst.dev.count(func(s *DeviceStats) { s.BytesSent += uint64(len(snapshot)) })
+	dst.dev.m.bytesSent.Add(uint64(len(snapshot)))
 	err = dst.dev.node.Post(qp.dev.node.ID(), len(snapshot), func() {
 		local, err := wr.Local.MR.slice(wr.Local.Offset, wr.Local.Length)
 		if err != nil {
@@ -529,7 +536,7 @@ func (qp *QP) executeRead(wr SendWR, dst *QP) {
 			return
 		}
 		copy(local, snapshot)
-		qp.dev.count(func(s *DeviceStats) { s.BytesReceived += uint64(len(snapshot)) })
+		qp.dev.m.bytesReceived.Add(uint64(len(snapshot)))
 		qp.completeSendSide(wr, StatusSuccess)
 	})
 	if err != nil {

@@ -26,9 +26,11 @@ package rdma
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"rackjoin/internal/fabric"
+	"rackjoin/internal/metrics"
 )
 
 // PageSize is the registration granularity used for pin accounting.
@@ -55,15 +57,27 @@ var (
 // top-level factory: one Network per simulated cluster.
 type Network struct {
 	fab *fabric.Fabric
+	reg *metrics.Registry
 
 	mu      sync.Mutex
 	devices []*Device
 }
 
-// NewNetwork creates a network with the given fabric configuration.
+// NewNetwork creates a network with the given fabric configuration. The
+// network owns a metrics registry (cfg.Metrics, or a fresh one when nil)
+// into which every device and the fabric record their telemetry.
 func NewNetwork(cfg fabric.Config) *Network {
-	return &Network{fab: fabric.New(cfg)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	return &Network{fab: fabric.New(cfg), reg: reg}
 }
+
+// Metrics returns the registry holding the network's device and fabric
+// telemetry.
+func (n *Network) Metrics() *metrics.Registry { return n.reg }
 
 // NewDevice attaches a new device (HCA) to the network.
 func (n *Network) NewDevice() *Device {
@@ -76,6 +90,7 @@ func (n *Network) NewDevice() *Device {
 		qps:  make(map[uint32]*QP),
 	}
 	d.id = len(n.devices)
+	d.m = newDeviceMetrics(n.reg.Scope(metrics.L("device", strconv.Itoa(d.id))))
 	n.devices = append(n.devices, d)
 	return d
 }
@@ -100,13 +115,59 @@ type Device struct {
 	net  *Network
 	node *fabric.Node
 	id   int
+	m    deviceMetrics
 
 	mu      sync.Mutex
 	nextKey uint32
 	nextQPN uint32
 	mrs     map[uint32]*MemoryRegion // by rkey
 	qps     map[uint32]*QP           // by qpn
-	stats   DeviceStats
+}
+
+// deviceMetrics are the registry-backed per-device counters and
+// histograms; DeviceStats snapshots are reconstructed from them, so the
+// same numbers are readable through Stats() and through the registry
+// (names rdma_*, label device=<id>).
+type deviceMetrics struct {
+	registrations   *metrics.Counter
+	deregistrations *metrics.Counter
+	pagesRegistered *metrics.Counter
+	pagesPinned     *metrics.Gauge
+
+	sends   *metrics.Counter
+	writes  *metrics.Counter
+	reads   *metrics.Counter
+	recvs   *metrics.Counter
+	atomics *metrics.Counter
+
+	bytesSent     *metrics.Counter
+	bytesReceived *metrics.Counter
+
+	rnrWaits *metrics.Counter
+	// rnrWait distributes how long incoming SENDs blocked on a missing
+	// receive (receiver-not-ready back-pressure); cqWait distributes how
+	// long CompletionQueue.Wait calls blocked before a completion arrived.
+	rnrWait *metrics.Histogram
+	cqWait  *metrics.Histogram
+}
+
+func newDeviceMetrics(s *metrics.Scope) deviceMetrics {
+	return deviceMetrics{
+		registrations:   s.Counter("rdma_registrations"),
+		deregistrations: s.Counter("rdma_deregistrations"),
+		pagesRegistered: s.Counter("rdma_pages_registered"),
+		pagesPinned:     s.Gauge("rdma_pages_pinned"),
+		sends:           s.Counter("rdma_sends"),
+		writes:          s.Counter("rdma_writes"),
+		reads:           s.Counter("rdma_reads"),
+		recvs:           s.Counter("rdma_recvs"),
+		atomics:         s.Counter("rdma_atomics"),
+		bytesSent:       s.Counter("rdma_bytes_sent"),
+		bytesReceived:   s.Counter("rdma_bytes_received"),
+		rnrWaits:        s.Counter("rdma_rnr_waits"),
+		rnrWait:         s.Histogram("rdma_rnr_wait_seconds"),
+		cqWait:          s.Histogram("rdma_cq_wait_seconds"),
+	}
 }
 
 // DeviceStats aggregates per-device counters. All byte counts refer to
@@ -139,11 +200,27 @@ type DeviceStats struct {
 // ID returns the device's network-wide identifier.
 func (d *Device) ID() int { return d.id }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters, reconstructed from the
+// registry-backed metrics.
 func (d *Device) Stats() DeviceStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	pinned := d.m.pagesPinned.Value()
+	if pinned < 0 {
+		pinned = 0
+	}
+	return DeviceStats{
+		Registrations:   d.m.registrations.Value(),
+		Deregistrations: d.m.deregistrations.Value(),
+		PagesRegistered: d.m.pagesRegistered.Value(),
+		PagesPinned:     uint64(pinned),
+		Sends:           d.m.sends.Value(),
+		Writes:          d.m.writes.Value(),
+		Reads:           d.m.reads.Value(),
+		Recvs:           d.m.recvs.Value(),
+		BytesSent:       d.m.bytesSent.Value(),
+		BytesReceived:   d.m.bytesReceived.Value(),
+		Atomics:         d.m.atomics.Value(),
+		RNRWaits:        d.m.rnrWaits.Value(),
+	}
 }
 
 // AllocPD creates a protection domain on the device.
@@ -153,8 +230,10 @@ func (d *Device) AllocPD() *ProtectionDomain {
 
 // NewCQ creates a completion queue. Completion queues have unbounded
 // capacity; real applications bound outstanding work at the QP instead.
+// Blocking Wait latency is recorded in the device's rdma_cq_wait_seconds
+// histogram.
 func (d *Device) NewCQ() *CompletionQueue {
-	cq := &CompletionQueue{}
+	cq := &CompletionQueue{waitHist: d.m.cqWait}
 	cq.cond = sync.NewCond(&cq.mu)
 	return cq
 }
@@ -167,9 +246,9 @@ func (d *Device) registerMR(mr *MemoryRegion) {
 	mr.lkey = d.nextKey
 	d.mrs[mr.rkey] = mr
 	pages := uint64((len(mr.buf) + PageSize - 1) / PageSize)
-	d.stats.Registrations++
-	d.stats.PagesRegistered += pages
-	d.stats.PagesPinned += pages
+	d.m.registrations.Inc()
+	d.m.pagesRegistered.Add(pages)
+	d.m.pagesPinned.Add(float64(pages))
 }
 
 func (d *Device) deregisterMR(mr *MemoryRegion) {
@@ -180,10 +259,8 @@ func (d *Device) deregisterMR(mr *MemoryRegion) {
 	}
 	delete(d.mrs, mr.rkey)
 	pages := uint64((len(mr.buf) + PageSize - 1) / PageSize)
-	d.stats.Deregistrations++
-	if d.stats.PagesPinned >= pages {
-		d.stats.PagesPinned -= pages
-	}
+	d.m.deregistrations.Inc()
+	d.m.pagesPinned.Add(-float64(pages))
 }
 
 // lookupMR resolves an rkey on this device.
@@ -205,12 +282,6 @@ func (d *Device) qpByNumber(qpn uint32) *QP {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.qps[qpn]
-}
-
-func (d *Device) count(fn func(*DeviceStats)) {
-	d.mu.Lock()
-	fn(&d.stats)
-	d.mu.Unlock()
 }
 
 // ProtectionDomain scopes memory regions and queue pairs, mirroring the

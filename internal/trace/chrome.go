@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto, speedscope all read it). Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the format ({"traceEvents": […]}),
+// which tools accept with trailing metadata fields.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON exports every recorded span in the Chrome trace-event
+// JSON format so a run can be inspected in chrome://tracing or Perfetto:
+// one process per machine, one thread row per event kind ("phase" is
+// always thread 0), spans as complete ("X") events carrying their byte
+// counts as args.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	events := r.Events()
+
+	// Stable thread row per kind: "phase" first, then remaining kinds in
+	// first-occurrence order.
+	tids := map[string]int{"phase": 0}
+	order := []string{"phase"}
+	machines := map[int]bool{}
+	for _, e := range events {
+		if _, ok := tids[e.Kind]; !ok {
+			tids[e.Kind] = len(order)
+			order = append(order, e.Kind)
+		}
+		machines[e.Machine] = true
+	}
+
+	var out []chromeEvent
+	// Metadata: name each machine's process and each kind's thread row.
+	var ids []int
+	for m := range machines {
+		ids = append(ids, m)
+	}
+	sort.Ints(ids)
+	for _, m := range ids {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: m,
+			Args: map[string]any{"name": fmt.Sprintf("machine %d", m)},
+		})
+		for _, kind := range order {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: m, TID: tids[kind],
+				Args: map[string]any{"name": kind},
+			})
+		}
+	}
+	for _, e := range events {
+		name := e.Label
+		if name == "" {
+			name = "?"
+		}
+		ev := chromeEvent{
+			Name: name, Cat: e.Kind, Ph: "X",
+			TS:  float64(e.Start.Microseconds()),
+			Dur: float64(e.Duration().Microseconds()),
+			PID: e.Machine, TID: tids[e.Kind],
+		}
+		if e.Bytes > 0 {
+			ev.Args = map[string]any{"bytes": e.Bytes}
+		}
+		out = append(out, ev)
+	}
+	if out == nil {
+		out = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

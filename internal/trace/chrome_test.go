@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGanttEmptyLabel is the regression test for the Gantt panic on
+// empty span labels (label[:1] on an empty string).
+func TestGanttEmptyLabel(t *testing.T) {
+	r := New()
+	now := r.epoch
+	r.Record(0, "phase", "", now, now.Add(time.Second), 0)
+	r.Record(0, "phase", "network", now, now.Add(2*time.Second), 0)
+	var buf bytes.Buffer
+	r.Gantt(&buf, 40) // must not panic
+	if !strings.Contains(buf.String(), "?") {
+		t.Fatalf("unlabelled span should render as '?':\n%s", buf.String())
+	}
+}
+
+func decodeChrome(t *testing.T, r *Recorder) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	return tr
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	r := New()
+	now := r.epoch
+	r.Record(0, "phase", "histogram", now, now.Add(time.Second), 0)
+	r.Record(0, "phase", "network partition", now.Add(time.Second), now.Add(3*time.Second), 1<<20)
+	r.Record(1, "phase", "histogram", now, now.Add(2*time.Second), 0)
+	r.Record(1, "stall", "pool", now, now.Add(time.Millisecond), 0)
+
+	tr := decodeChrome(t, r)
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	type key struct {
+		pid  int
+		name string
+	}
+	spans := map[key]chromeEvent{}
+	var meta int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans[key{e.PID, e.Name}] = e
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta == 0 {
+		t.Fatal("no process/thread metadata emitted")
+	}
+	// One span per (machine, phase label).
+	for _, k := range []key{
+		{0, "histogram"}, {0, "network partition"}, {1, "histogram"}, {1, "pool"},
+	} {
+		if _, ok := spans[k]; !ok {
+			t.Fatalf("missing span %+v", k)
+		}
+	}
+	net := spans[key{0, "network partition"}]
+	if net.TS != 1e6 || net.Dur != 2e6 {
+		t.Fatalf("ts/dur = %g/%g µs, want 1e6/2e6", net.TS, net.Dur)
+	}
+	if net.Cat != "phase" || net.TID != 0 {
+		t.Fatalf("phase span should be thread 0, cat phase: %+v", net)
+	}
+	if net.Args["bytes"].(float64) != 1<<20 {
+		t.Fatalf("bytes arg = %v", net.Args["bytes"])
+	}
+	// Non-phase kinds get their own thread row.
+	if spans[key{1, "pool"}].TID == 0 {
+		t.Fatal("non-phase kind should not share thread 0")
+	}
+}
+
+func TestWriteChromeJSONEmpty(t *testing.T) {
+	tr := decodeChrome(t, New())
+	if len(tr.TraceEvents) != 0 {
+		t.Fatalf("empty recorder emitted %d events", len(tr.TraceEvents))
+	}
+}
+
+// TestConcurrentRecorderHammer drives every Recorder entry point from
+// many goroutines at once; under -race (tier-1) it proves the recorder
+// and its exporters are safe to use while machines are still recording.
+func TestConcurrentRecorderHammer(t *testing.T) {
+	r := New()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for m := 0; m < 8; m++ {
+		writers.Add(1)
+		go func(m int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				end := r.Span(m, "phase", "work")
+				end(int64(i))
+				r.Record(m, "stall", "", time.Now(), time.Now(), 0)
+			}
+		}(m)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			r.Gantt(&buf, 40)
+			if err := r.WriteChromeJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Summary(&buf)
+			_ = r.Total()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(r.Events()); got != 8*200*2 {
+		t.Fatalf("events = %d, want %d", got, 8*200*2)
+	}
+}

@@ -138,7 +138,11 @@ func (r *Recorder) Gantt(w io.Writer, width int) {
 			for i := range row {
 				row[i] = '·'
 			}
-			mark := rune(strings.ToUpper(label[:1])[0])
+			// Unlabelled spans render as '?' (label[:1] would panic).
+			mark := '?'
+			if label != "" {
+				mark = rune(strings.ToUpper(label[:1])[0])
+			}
 			found := false
 			for _, e := range events {
 				if e.Kind != "phase" || e.Machine != m || e.Label != label {

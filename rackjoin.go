@@ -40,6 +40,7 @@ import (
 	"rackjoin/internal/datagen"
 	"rackjoin/internal/fabric"
 	"rackjoin/internal/mcjoin"
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/model"
 	"rackjoin/internal/phase"
 	"rackjoin/internal/relation"
@@ -150,6 +151,22 @@ type Tracer = trace.Recorder
 
 // NewTracer creates an execution tracer whose epoch is now.
 func NewTracer() *Tracer { return trace.New() }
+
+// Metrics registry (see internal/metrics). Every cluster owns a registry
+// that collects device, fabric and join telemetry; Cluster.Metrics
+// returns it, and JoinConfig.Metrics redirects the join-level series.
+type (
+	// MetricsRegistry is a concurrency-safe collection of named counters,
+	// gauges and log-scale histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsScope is a registry view with pre-applied labels.
+	MetricsScope = metrics.Scope
+	// MetricSample is one series in a registry snapshot.
+	MetricSample = metrics.Sample
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewCluster builds a rack of machines×cores with an unthrottled fabric.
 func NewCluster(machines, cores int) (*Cluster, error) {
