@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench bench-kernels check
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,26 @@ test:
 	$(GO) test ./...
 
 # The trace recorder and metrics registry are the shared mutable state of
-# every run; hammer them under the race detector.
+# every run; the kernel equivalence/property tests exercise the unsafe
+# scatter and batched-probe paths. Hammer all of them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/trace ./internal/metrics
+	$(GO) test -race ./internal/trace ./internal/metrics \
+		./internal/radix ./internal/hashtable ./internal/core
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Kernel microbenchmarks (scalar vs write-combining scatter, scalar vs
+# batched probe), formatted into BENCH_kernels.json by cmd/benchfmt.
+# Override BENCHTIME for quick smoke runs (e.g. BENCHTIME=1x in CI).
+BENCHTIME ?= 1s
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime $(BENCHTIME) -timeout 30m \
+		./internal/radix ./internal/hashtable | $(GO) run ./cmd/benchfmt > BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
+
+check: build vet test race

@@ -58,6 +58,7 @@ func BenchmarkAblAssignment(b *testing.B)   { benchExperiment(b, "abl-assignment
 func BenchmarkAblAtomic(b *testing.B)       { benchExperiment(b, "abl-atomic") }
 func BenchmarkAblPull(b *testing.B)         { benchExperiment(b, "abl-pull") }
 func BenchmarkAblMultipass(b *testing.B)    { benchExperiment(b, "abl-multipass") }
+func BenchmarkAblKernels(b *testing.B)      { benchExperiment(b, "abl-kernels") }
 func BenchmarkExtAggregation(b *testing.B)  { benchExperiment(b, "ext-agg") }
 
 // --- Distributed join (exec engine, host wall-clock) ---------------------

@@ -1,0 +1,138 @@
+// Command benchfmt converts `go test -bench` output read from stdin into
+// machine-readable JSON on stdout, pairing each scalar kernel benchmark
+// with its write-combining / batched counterpart and computing speedups.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkKernel' ./internal/radix | benchfmt
+//
+// It is the backend of `make bench-kernels`, which checks the result in
+// as BENCH_kernels.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BPerOp     int64   `json:"b_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup relates a kernel variant to its scalar baseline on the same
+// shape: Speedup = baseline ns/op ÷ variant ns/op (>1 means faster).
+type Speedup struct {
+	Name     string  `json:"name"`
+	Baseline string  `json:"baseline"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelScatterWC/w16/bits10-8  33  35197659 ns/op  1906.42 MB/s  12 B/op  3 allocs/op
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op` +
+		`(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// variantPairs maps a baseline name fragment to the fragments of its
+// optimised counterparts; applied as string substitutions on bench names.
+var variantPairs = [][2]string{
+	{"Scalar", "WC"},    // ScatterScalar → ScatterWC
+	{"Scalar", "Batch"}, // ProbeScalar → ProbeBatch
+	{"scalar", "wc"},    // Partition/scalar/... → Partition/wc/...
+}
+
+func main() {
+	rep := parse(bufio.NewScanner(os.Stdin))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) *Report {
+	rep := &Report{}
+	pkg := ""
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			b := Benchmark{Name: m[1], Pkg: pkg}
+			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				b.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				b.BPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			if m[6] != "" {
+				b.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	return rep
+}
+
+func speedups(benches []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, base := range benches {
+		for _, pair := range variantPairs {
+			if !strings.Contains(base.Name, pair[0]) {
+				continue
+			}
+			variant, ok := byName[strings.Replace(base.Name, pair[0], pair[1], 1)]
+			if !ok || variant.NsPerOp == 0 {
+				continue
+			}
+			out = append(out, Speedup{
+				Name:     variant.Name,
+				Baseline: base.Name,
+				Speedup:  base.NsPerOp / variant.NsPerOp,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rackjoin/internal/radix
+cpu: AMD EPYC 7B13
+BenchmarkKernelScatterScalar/w16/bits10-1         	      18	  66000000 ns/op	1000.00 MB/s
+BenchmarkKernelScatterWC/w16/bits10-1             	      36	  33000000 ns/op	2000.00 MB/s	16 B/op	       2 allocs/op
+BenchmarkKernelPartition/scalar/w16/bits10-1      	      12	  90000000 ns/op	 745.00 MB/s
+BenchmarkKernelPartition/wc/w16/bits10-1          	      16	  60000000 ns/op	1117.00 MB/s
+BenchmarkKernelProbeScalar/n65536-1               	     500	   2000000 ns/op	 555.00 MB/s
+BenchmarkKernelProbeBatch/n65536-1                	     600	   1700000 ns/op	 651.00 MB/s
+PASS
+ok  	rackjoin/internal/radix	95.2s
+`
+
+func TestParse(t *testing.T) {
+	rep := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header mis-parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "KernelScatterWC/w16/bits10" || b.Iterations != 36 ||
+		b.NsPerOp != 33000000 || b.MBPerS != 2000 || b.BPerOp != 16 || b.AllocsOp != 2 {
+		t.Fatalf("line mis-parsed: %+v", b)
+	}
+	if b.Pkg != "rackjoin/internal/radix" {
+		t.Fatalf("pkg mis-parsed: %q", b.Pkg)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	rep := parse(bufio.NewScanner(strings.NewReader(sample)))
+	want := map[string]float64{
+		"KernelScatterWC/w16/bits10":    2.0,
+		"KernelPartition/wc/w16/bits10": 1.5,
+		"KernelProbeBatch/n65536":       2000000.0 / 1700000.0,
+	}
+	if len(rep.Speedups) != len(want) {
+		t.Fatalf("got %d speedups %+v, want %d", len(rep.Speedups), rep.Speedups, len(want))
+	}
+	for _, s := range rep.Speedups {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected speedup pair %+v", s)
+			continue
+		}
+		if math.Abs(s.Speedup-w) > 1e-9 {
+			t.Errorf("%s: speedup %v, want %v", s.Name, s.Speedup, w)
+		}
+	}
+}

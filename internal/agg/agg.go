@@ -31,6 +31,7 @@ import (
 
 	"rackjoin/internal/cluster"
 	"rackjoin/internal/phase"
+	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	// DefaultConfig); disabling it ships raw tuples, which is only
 	// sensible when groups barely repeat.
 	PreAggregate bool
+	// Kernels selects the hot-loop implementations, mirroring
+	// core.Config.Kernels: with auto/wc the raw (PreAggregate=false) path
+	// pre-sizes its per-partition record buffers from a histogram pass
+	// instead of growing them append-by-append; KernelScalar keeps the
+	// naive baseline for ablations.
+	Kernels radix.Kernel
 }
 
 // DefaultConfig returns the defaults described above.
@@ -316,7 +323,20 @@ func (st *aggState) preAggregate() {
 					}
 				}
 			} else {
-				for i := n * t / threads; i < n*(t+1)/threads; i++ {
+				lo, hi := n*t/threads, n*(t+1)/threads
+				if st.cfg.Kernels != radix.KernelScalar {
+					// Histogram pre-sizing: one counting pass makes every
+					// per-partition buffer exactly sized, so the record loop
+					// never reallocates mid-append.
+					h := make([]int64, st.np)
+					radix.AddHistogram(h, st.input.Slice(lo, hi), 0, st.cfg.NetworkBits)
+					for p, c := range h {
+						if c > 0 {
+							recs[p] = make([]byte, 0, c*recordSize)
+						}
+					}
+				}
+				for i := lo; i < hi; i++ {
 					k := st.input.Key(i)
 					recs[k&mask] = appendRecord(recs[k&mask], k, 1, st.input.RID(i))
 				}

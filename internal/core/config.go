@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"rackjoin/internal/metrics"
+	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
 	"rackjoin/internal/trace"
 )
@@ -177,6 +178,13 @@ type Config struct {
 	// QPDepth bounds outstanding work requests per data-plane queue pair.
 	// 0 means the rdma default.
 	QPDepth int
+	// Kernels selects the exec-engine hot-loop implementations: the
+	// partitioning scatter kernels (radix.Scatter vs radix.ScatterWC and
+	// the word-copy fast paths) and the probe kernels (scalar vs batched).
+	// The zero value radix.KernelAuto picks per platform and pass shape;
+	// KernelScalar / KernelWC force one flavour for ablations
+	// (`abl-kernels`).
+	Kernels radix.Kernel
 	// ResultSink, when non-nil, receives materialised join results
 	// (24-byte <key, innerRID, outerRID> records, see hashtable.
 	// ResultWidth). It may be called concurrently from several workers

@@ -402,8 +402,11 @@ func (st *machineState) residentHere(p int) bool {
 // histogram phase; with one-sided transport the slabs are exposed for
 // remote writes.
 func (st *machineState) allocRegions() error {
-	st.slabR = relation.New(st.width, int(st.slabTuplesR))
-	st.slabS = relation.New(st.width, int(st.slabTuplesS))
+	// Cache-line-aligned slabs: partition boundaries land on line starts
+	// for the paper's power-of-two widths, so the scatter kernels never
+	// split a tuple store across lines.
+	st.slabR = relation.NewAligned(st.width, int(st.slabTuplesR))
+	st.slabS = relation.NewAligned(st.width, int(st.slabTuplesS))
 	access := rdma.AccessLocalWrite
 	if st.cfg.Transport == TransportOneSided || st.cfg.Transport == TransportOneSidedAtomic {
 		access |= rdma.AccessRemoteWrite

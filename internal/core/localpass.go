@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rackjoin/internal/hashtable"
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
 )
@@ -20,6 +21,7 @@ type taskQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	tasks   []func(w *joinWorker)
+	head    int // index of the next task; consumed slots are nil'd
 	pending int
 }
 
@@ -39,17 +41,27 @@ func (q *taskQueue) push(t func(w *joinWorker)) {
 
 // pop returns the next task, blocking while tasks may still be produced.
 // ok is false once the queue is empty and no task is running.
+//
+// Consumption advances a head index instead of re-slicing (q.tasks[1:]
+// would keep every consumed closure — and whatever relations it captured
+// — reachable through the backing array for the rest of the phase).
 func (q *taskQueue) pop() (func(w *joinWorker), bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.tasks) == 0 && q.pending > 0 {
+	for q.head == len(q.tasks) && q.pending > 0 {
 		q.cond.Wait()
 	}
-	if len(q.tasks) == 0 {
+	if q.head == len(q.tasks) {
 		return nil, false
 	}
-	t := q.tasks[0]
-	q.tasks = q.tasks[1:]
+	t := q.tasks[q.head]
+	q.tasks[q.head] = nil
+	q.head++
+	if q.head == len(q.tasks) {
+		// Fully drained: rewind so skew-split pushes reuse the array.
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	}
 	return t, true
 }
 
@@ -67,8 +79,10 @@ func (q *taskQueue) done() {
 // joinWorker accumulates one worker core's results and per-phase time.
 type joinWorker struct {
 	st       *machineState
-	shipper  *resultShipper // remote result path (Section 4.3), may be nil
-	err      error          // first shipping error, surfaced after the phase
+	shipper  *resultShipper     // remote result path (Section 4.3), may be nil
+	pt       *radix.Partitioner // local-pass scatter kernels + scratch
+	batch    hashtable.Batch    // batched-probe scratch
+	err      error              // first shipping error, surfaced after the phase
 	matches  uint64
 	checksum uint64
 	tLocal   time.Duration
@@ -94,7 +108,7 @@ func (st *machineState) localPassAndBuildProbe() error {
 	err := st.runResultPlane(func(shippers []*resultShipper) error {
 		var wg sync.WaitGroup
 		for i := range workers {
-			workers[i] = &joinWorker{st: st}
+			workers[i] = &joinWorker{st: st, pt: radix.NewPartitioner(st.cfg.Kernels)}
 			if shippers != nil {
 				workers[i].shipper = shippers[i]
 			}
@@ -126,15 +140,30 @@ func (st *machineState) localPassAndBuildProbe() error {
 	elapsed := time.Since(start)
 
 	var maxLocal, maxBP time.Duration
+	var bytesScalar, bytesWC, wcFlushes uint64
 	for _, w := range workers {
 		st.matches += w.matches
 		st.checksum += w.checksum
+		bytesScalar += w.pt.BytesScalar
+		bytesWC += w.pt.BytesWC
+		wcFlushes += w.pt.Flushes
 		if w.tLocal > maxLocal {
 			maxLocal = w.tLocal
 		}
 		if w.tBP > maxBP {
 			maxBP = w.tBP
 		}
+	}
+	if bytesScalar > 0 {
+		st.met.Counter("kernel_bytes_total",
+			metrics.L("kernel", "scalar"), metrics.L("phase", "localpass")).Add(bytesScalar)
+	}
+	if bytesWC > 0 {
+		st.met.Counter("kernel_bytes_total",
+			metrics.L("kernel", "wc"), metrics.L("phase", "localpass")).Add(bytesWC)
+	}
+	if wcFlushes > 0 {
+		st.met.Counter("kernel_wc_flushes_total", metrics.L("phase", "localpass")).Add(wcFlushes)
 	}
 	// Apportion the fused wall time by the measured per-worker maxima so
 	// the breakdown matches the paper's per-phase reporting.
@@ -187,16 +216,11 @@ func (w *joinWorker) processPartition(queue *taskQueue, p int) {
 	}
 
 	// Local partitioning pass (Section 4.2.3): no network involvement.
+	// The partitioner runs the configured scatter kernel and reuses its
+	// staging scratch across this worker's partitions.
 	start := time.Now()
-	hr := radix.Histogram(r, b1, b2)
-	curR, _ := radix.PrefixSum(hr)
-	subR := relation.New(r.Width(), r.Len())
-	radix.Scatter(r, subR, curR, b1, b2)
-	hs := radix.Histogram(s, b1, b2)
-	curS, _ := radix.PrefixSum(hs)
-	subS := relation.New(s.Width(), s.Len())
-	radix.Scatter(s, subS, curS, b1, b2)
-	bR, bS := radix.Bounds(hr), radix.Bounds(hs)
+	subR, bR := w.pt.Partition(r, b1, b2)
+	subS, bS := w.pt.Partition(s, b1, b2)
 	w.tLocal += time.Since(start)
 
 	for q := 0; q < 1<<b2; q++ {
@@ -249,8 +273,15 @@ func (w *joinWorker) buildProbe(queue *taskQueue, r, s *relation.Relation, thres
 
 func (w *joinWorker) probe(tbl *hashtable.Table, s *relation.Relation, lo, hi int) {
 	start := time.Now()
+	batched := w.st.cfg.Kernels.BatchProbe(tbl.Len())
 	if sink := w.st.cfg.ResultSink; sink != nil {
-		out, m := tbl.Materialize(s.Slice(lo, hi), w.results[:0])
+		var out []byte
+		var m uint64
+		if batched {
+			out, m = tbl.MaterializeBatch(s, lo, hi, &w.batch, w.results[:0])
+		} else {
+			out, m = tbl.Materialize(s.Slice(lo, hi), w.results[:0])
+		}
 		w.matches += m
 		for off := 0; off < len(out); off += hashtable.ResultWidth {
 			w.checksum += le64(out[off:]) + le64(out[off+8:]) + le64(out[off+16:])
@@ -270,7 +301,12 @@ func (w *joinWorker) probe(tbl *hashtable.Table, s *relation.Relation, lo, hi in
 		}
 		w.results = out[:0]
 	} else {
-		m, c := tbl.ProbeRange(s, lo, hi)
+		var m, c uint64
+		if batched {
+			m, c = tbl.ProbeRangeBatch(s, lo, hi, &w.batch)
+		} else {
+			m, c = tbl.ProbeRange(s, lo, hi)
+		}
 		w.matches += m
 		w.checksum += c
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rackjoin/internal/metrics"
+	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
 )
@@ -263,6 +264,7 @@ type threadState struct {
 	fill      []int32 // tuples in the current buffer
 	remoteCur []int64 // one-sided: next tuple offset within the owner's slab
 	scratch   []byte  // stream transport staging area
+	wcCopy    bool    // kernel knob: word-copy tuples instead of memmove
 
 	// Broadcast state (inner relation of work-shared partitions): one
 	// buffer and remote cursor per (broadcast partition, destination).
@@ -277,6 +279,7 @@ func (st *machineState) newThreadState(t int, isS bool) *threadState {
 		curBuf:    make([]int32, st.np),
 		fill:      make([]int32, st.np),
 		remoteCur: make([]int64, st.np),
+		wcCopy:    st.cfg.Kernels.Resolve(st.width, st.cfg.NetworkBits) == radix.KernelWC,
 	}
 	if st.cfg.Transport == TransportStream {
 		ts.scratch = make([]byte, st.cfg.BufferSize)
@@ -343,11 +346,20 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 	capTuples := int32(st.cfg.BufferSize / width)
 	data := slice.Bytes()
 
+	// The tuple move is the hot instruction of this loop: the wc kernel
+	// copies whole words through relation.CopyTuple (no memmove dispatch,
+	// adjacent stores combine in the store buffer); the scalar kernel keeps
+	// the plain copy as the ablation baseline. The branch on ts.wcCopy is
+	// loop-invariant and predicted away.
 	for off := 0; off < len(data); off += width {
 		tuple := data[off : off+width]
 		p := int(binary.LittleEndian.Uint64(tuple) & mask)
 		if cur := ts.localCur[p]; cur >= 0 {
-			copy(slabBytes[cur:], tuple)
+			if ts.wcCopy {
+				relation.CopyTuple(slabBytes[cur:], tuple, width)
+			} else {
+				copy(slabBytes[cur:], tuple)
+			}
 			ts.localCur[p] = cur + int64(width)
 			if bufs, ok := ts.bcastBuf[p]; ok {
 				if err := st.replicate(t, ts, p, tuple, bufs, capTuples); err != nil {
@@ -365,7 +377,11 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			ts.curBuf[p] = b
 			ts.fill[p] = 0
 		}
-		copy(pool.buf(b)[int(ts.fill[p])*width:], tuple)
+		if ts.wcCopy {
+			relation.CopyTuple(pool.buf(b)[int(ts.fill[p])*width:], tuple, width)
+		} else {
+			copy(pool.buf(b)[int(ts.fill[p])*width:], tuple)
+		}
 		ts.fill[p]++
 		if ts.fill[p] == capTuples {
 			if err := st.flush(t, ts, p, isS); err != nil {
@@ -373,6 +389,12 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			}
 		}
 	}
+	kern := "scalar"
+	if ts.wcCopy {
+		kern = "wc"
+	}
+	st.met.Counter("kernel_bytes_total",
+		metrics.L("kernel", kern), metrics.L("phase", "netpass")).Add(uint64(len(data)))
 	// Ship partial buffers; return untouched ones to the pool.
 	for p := 0; p < st.np; p++ {
 		if ts.curBuf[p] >= 0 {
@@ -420,7 +442,11 @@ func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, b
 			bufs[d] = b
 			fill[d] = 0
 		}
-		copy(pool.buf(b)[int(fill[d])*st.width:], tuple)
+		if ts.wcCopy {
+			relation.CopyTuple(pool.buf(b)[int(fill[d])*st.width:], tuple, st.width)
+		} else {
+			copy(pool.buf(b)[int(fill[d])*st.width:], tuple)
+		}
 		fill[d]++
 		if fill[d] == capTuples {
 			if err := st.flushBcast(t, ts, p, d); err != nil {

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTaskQueueDrainsSplits exercises the skew-split shape: popped tasks
+// push further tasks, several workers consume concurrently, and the queue
+// must run every task exactly once before pop reports drained.
+func TestTaskQueueDrainsSplits(t *testing.T) {
+	queue := newTaskQueue()
+	var ran atomic.Int64
+	const roots = 50
+	const splits = 20
+	for i := 0; i < roots; i++ {
+		queue.push(func(w *joinWorker) {
+			ran.Add(1)
+			for j := 0; j < splits; j++ {
+				queue.push(func(w *joinWorker) { ran.Add(1) })
+			}
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok := queue.pop()
+				if !ok {
+					return
+				}
+				task(nil)
+				queue.done()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := ran.Load(), int64(roots*(1+splits)); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+	if queue.pending != 0 {
+		t.Fatalf("pending = %d after drain", queue.pending)
+	}
+	// The consumed prefix must not stay reachable: a drained queue rewinds
+	// to an empty slice (the q.tasks[1:] bug retained every closure).
+	if queue.head != 0 || len(queue.tasks) != 0 {
+		t.Fatalf("queue not rewound after drain: head=%d len=%d", queue.head, len(queue.tasks))
+	}
+}
+
+// TestTaskQueuePopReleasesSlots: each consumed slot is nil'd immediately,
+// even while the queue is still non-empty.
+func TestTaskQueuePopReleasesSlots(t *testing.T) {
+	queue := newTaskQueue()
+	for i := 0; i < 3; i++ {
+		queue.push(func(w *joinWorker) {})
+	}
+	if _, ok := queue.pop(); !ok {
+		t.Fatal("pop failed on non-empty queue")
+	}
+	if queue.tasks[0] != nil {
+		t.Fatal("consumed slot still holds its closure")
+	}
+	queue.done()
+}

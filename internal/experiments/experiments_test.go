@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec62", "sec67", "eq12", "eq13",
 		"exec", "abl-interleave", "abl-transport", "abl-buffers",
 		"abl-assignment", "abl-atomic", "abl-multipass", "baselines",
-		"fig8ext", "ext-agg", "disc-scaleout", "abl-pull",
+		"fig8ext", "ext-agg", "disc-scaleout", "abl-pull", "abl-kernels",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,123 @@
+package hashtable
+
+import (
+	"rackjoin/internal/relation"
+)
+
+// Batched probe kernels. The scalar ProbeRelation loop serialises on the
+// directory load of each probe key: hash, load bucket head (a random,
+// usually-missing line for tables past L1), walk, repeat. The batched
+// kernels split the loop into two passes over a small vector of keys —
+// pass 1 hashes every key and loads its chain head, pass 2 walks the
+// chains — so the independent directory loads of a whole batch are in
+// flight together and their misses overlap instead of queueing.
+
+// ProbeBatchSize is the number of probe keys processed per batch: large
+// enough to saturate the load-miss window, small enough that the batch
+// scratch (~5 KB) stays L1-resident.
+const ProbeBatchSize = 256
+
+// Batch is the reusable scratch of the batched probe kernels. Allocate
+// one per worker and pass it to every call; nil-safe (a fresh scratch is
+// allocated per call).
+type Batch struct {
+	keys  [ProbeBatchSize]uint64
+	heads [ProbeBatchSize]int32
+}
+
+// Pair is one join match as build/probe tuple indexes, the closure-free
+// alternative to ProbeEach for callers that post-process matches.
+type Pair struct {
+	Build int32
+	Probe int32
+}
+
+// ProbeRangeBatch is the batched equivalent of ProbeRange: probes the
+// table with outer tuples [lo, hi) and returns the match count and the
+// Σ(key + buildRID + probeRID) checksum.
+func (t *Table) ProbeRangeBatch(outer *relation.Relation, lo, hi int, b *Batch) (matches, checksum uint64) {
+	if b == nil {
+		b = new(Batch)
+	}
+	for base := lo; base < hi; base += ProbeBatchSize {
+		n := min(ProbeBatchSize, hi-base)
+		for i := 0; i < n; i++ {
+			key := outer.Key(base + i)
+			b.keys[i] = key
+			b.heads[i] = t.bucket[t.slot(key)]
+		}
+		for i := 0; i < n; i++ {
+			key := b.keys[i]
+			for j := b.heads[i]; j != 0; j = t.next[j] {
+				bi := int(j - 1)
+				if t.rel.Key(bi) == key {
+					matches++
+					checksum += key + t.rel.RID(bi) + outer.RID(base+i)
+				}
+			}
+		}
+	}
+	return matches, checksum
+}
+
+// ProbeRelationBatch is the batched equivalent of ProbeRelation.
+func (t *Table) ProbeRelationBatch(outer *relation.Relation, b *Batch) (matches, checksum uint64) {
+	return t.ProbeRangeBatch(outer, 0, outer.Len(), b)
+}
+
+// MaterializeBatch is the batched equivalent of Materialize: appends one
+// <key, buildRID, probeRID> record per match of outer tuples [lo, hi) to
+// out, in the same order the scalar kernel produces, and returns the
+// extended slice and match count.
+func (t *Table) MaterializeBatch(outer *relation.Relation, lo, hi int, b *Batch, out []byte) ([]byte, uint64) {
+	if b == nil {
+		b = new(Batch)
+	}
+	var matches uint64
+	for base := lo; base < hi; base += ProbeBatchSize {
+		n := min(ProbeBatchSize, hi-base)
+		for i := 0; i < n; i++ {
+			key := outer.Key(base + i)
+			b.keys[i] = key
+			b.heads[i] = t.bucket[t.slot(key)]
+		}
+		for i := 0; i < n; i++ {
+			key := b.keys[i]
+			for j := b.heads[i]; j != 0; j = t.next[j] {
+				bi := int(j - 1)
+				if t.rel.Key(bi) == key {
+					matches++
+					out = appendResult(out, key, t.rel.RID(bi), outer.RID(base+i))
+				}
+			}
+		}
+	}
+	return out, matches
+}
+
+// ProbePairs appends the (build, probe) index pair of every match of
+// outer tuples [lo, hi) to pairs and returns the extended slice. Probe
+// indexes are relative to outer.
+func (t *Table) ProbePairs(outer *relation.Relation, lo, hi int, b *Batch, pairs []Pair) []Pair {
+	if b == nil {
+		b = new(Batch)
+	}
+	for base := lo; base < hi; base += ProbeBatchSize {
+		n := min(ProbeBatchSize, hi-base)
+		for i := 0; i < n; i++ {
+			key := outer.Key(base + i)
+			b.keys[i] = key
+			b.heads[i] = t.bucket[t.slot(key)]
+		}
+		for i := 0; i < n; i++ {
+			key := b.keys[i]
+			for j := b.heads[i]; j != 0; j = t.next[j] {
+				bi := j - 1
+				if t.rel.Key(int(bi)) == key {
+					pairs = append(pairs, Pair{Build: bi, Probe: int32(base + i)})
+				}
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,112 @@
+package hashtable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rackjoin/internal/relation"
+)
+
+// buildRandom returns a build relation with keys drawn from [0, keySpace)
+// so duplicate keys (multi-match chains) occur, plus an outer relation
+// over the same space (some keys miss entirely).
+func buildRandom(rng *rand.Rand, nBuild, nOuter, keySpace int) (build, outer *relation.Relation) {
+	build = relation.New(relation.Width16, nBuild)
+	for i := 0; i < nBuild; i++ {
+		build.SetKey(i, uint64(rng.Intn(keySpace)))
+		build.SetRID(i, uint64(i)|1<<32)
+	}
+	outer = relation.New(relation.Width16, nOuter)
+	for i := 0; i < nOuter; i++ {
+		outer.SetKey(i, uint64(rng.Intn(keySpace)))
+		outer.SetRID(i, uint64(i)|1<<40)
+	}
+	return build, outer
+}
+
+// TestProbeBatchEquivalence: the batched kernels must produce the same
+// match count and checksum as the scalar kernels on every shape,
+// including batch-boundary-straddling and empty ranges.
+func TestProbeBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var b Batch
+	for _, shape := range []struct{ nb, no, space int }{
+		{0, 0, 1},
+		{1, 1, 1},
+		{100, 37, 50},
+		{1000, 1000, 100},                        // heavy duplicate chains
+		{5000, ProbeBatchSize*3 + 17, 1 << 20},   // mostly misses, partial last batch
+		{ProbeBatchSize, ProbeBatchSize, 1 << 8}, // exactly one batch
+	} {
+		build, outer := buildRandom(rng, shape.nb, shape.no, shape.space)
+		tbl := Build(build)
+
+		wantM, wantC := tbl.ProbeRelation(outer)
+		gotM, gotC := tbl.ProbeRelationBatch(outer, &b)
+		if gotM != wantM || gotC != wantC {
+			t.Fatalf("shape %+v: batch = (%d, %#x), scalar = (%d, %#x)", shape, gotM, gotC, wantM, wantC)
+		}
+		// nil scratch allocates internally.
+		gotM, gotC = tbl.ProbeRelationBatch(outer, nil)
+		if gotM != wantM || gotC != wantC {
+			t.Fatalf("shape %+v: nil-scratch batch diverges", shape)
+		}
+
+		// Sub-ranges, including ones that straddle batch boundaries.
+		for trial := 0; trial < 8; trial++ {
+			lo := rng.Intn(shape.no + 1)
+			hi := lo + rng.Intn(shape.no+1-lo)
+			wantM, wantC = tbl.ProbeRange(outer, lo, hi)
+			gotM, gotC = tbl.ProbeRangeBatch(outer, lo, hi, &b)
+			if gotM != wantM || gotC != wantC {
+				t.Fatalf("shape %+v range [%d,%d): batch = (%d, %#x), scalar = (%d, %#x)",
+					shape, lo, hi, gotM, gotC, wantM, wantC)
+			}
+		}
+	}
+}
+
+// TestMaterializeBatchEquivalence: byte-identical result records in the
+// same order as the scalar Materialize.
+func TestMaterializeBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	build, outer := buildRandom(rng, 2000, ProbeBatchSize*2+13, 300)
+	tbl := Build(build)
+
+	want, wantM := tbl.Materialize(outer, nil)
+	got, gotM := tbl.MaterializeBatch(outer, 0, outer.Len(), nil, nil)
+	if gotM != wantM || !bytes.Equal(got, want) {
+		t.Fatalf("MaterializeBatch diverges: %d vs %d matches, bytes equal = %v",
+			gotM, wantM, bytes.Equal(got, want))
+	}
+	// Appending to a pre-filled slice keeps the prefix.
+	prefix := []byte("prefix--")
+	got, _ = tbl.MaterializeBatch(outer, 0, outer.Len(), nil, append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(got, prefix) || !bytes.Equal(got[len(prefix):], want) {
+		t.Fatal("MaterializeBatch does not append to the given slice")
+	}
+}
+
+// TestProbePairs: the pair stream must agree with ProbeEach per tuple.
+func TestProbePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	build, outer := buildRandom(rng, 500, 700, 80)
+	tbl := Build(build)
+
+	var want []Pair
+	for i := 0; i < outer.Len(); i++ {
+		tbl.ProbeEach(outer.Key(i), func(bi int) {
+			want = append(want, Pair{Build: int32(bi), Probe: int32(i)})
+		})
+	}
+	got := tbl.ProbePairs(outer, 0, outer.Len(), nil, nil)
+	if len(got) != len(want) {
+		t.Fatalf("ProbePairs returned %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package hashtable
 
 import (
+	"encoding/binary"
+
 	"rackjoin/internal/relation"
 )
 
@@ -118,22 +120,10 @@ const ResultWidth = 24
 
 func appendResult(out []byte, key, buildRID, probeRID uint64) []byte {
 	var rec [ResultWidth]byte
-	putLE64(rec[0:], key)
-	putLE64(rec[8:], buildRID)
-	putLE64(rec[16:], probeRID)
+	binary.LittleEndian.PutUint64(rec[0:], key)
+	binary.LittleEndian.PutUint64(rec[8:], buildRID)
+	binary.LittleEndian.PutUint64(rec[16:], probeRID)
 	return append(out, rec[:]...)
-}
-
-func putLE64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
 }
 
 func log2(v uint64) uint {

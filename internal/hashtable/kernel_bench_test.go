@@ -1,0 +1,57 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rackjoin/internal/relation"
+)
+
+// Probe kernel benchmarks, scalar vs batched, at table sizes spanning
+// L1-resident partitions up to directory-miss-dominated tables where the
+// batched kernel's overlapped loads pay. Part of `make bench-kernels`.
+
+func benchTable(n int) (*Table, *relation.Relation) {
+	rng := rand.New(rand.NewSource(2015))
+	build := relation.New(relation.Width16, n)
+	for i := 0; i < n; i++ {
+		build.SetKey(i, rng.Uint64())
+	}
+	outer := relation.New(relation.Width16, n)
+	for i := 0; i < n; i++ {
+		// Half hits, half misses: every probe walks a realistic chain mix.
+		if i%2 == 0 {
+			outer.SetKey(i, build.Key(rng.Intn(n)))
+		} else {
+			outer.SetKey(i, rng.Uint64())
+		}
+		outer.SetRID(i, uint64(i))
+	}
+	return Build(build), outer
+}
+
+func BenchmarkKernelProbeScalar(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		tbl, outer := benchTable(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.SetBytes(int64(outer.Size()))
+			for i := 0; i < b.N; i++ {
+				tbl.ProbeRelation(outer)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelProbeBatch(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		tbl, outer := benchTable(n)
+		var scratch Batch
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.SetBytes(int64(outer.Size()))
+			for i := 0; i < b.N; i++ {
+				tbl.ProbeRelationBatch(outer, &scratch)
+			}
+		})
+	}
+}

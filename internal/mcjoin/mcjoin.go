@@ -36,6 +36,10 @@ type Config struct {
 	// NUMARegions models the number of NUMA regions for task-queue
 	// placement; 0 or 1 disables NUMA awareness.
 	NUMARegions int
+	// Kernels selects the hot-loop implementations (scatter and probe),
+	// mirroring core.Config.Kernels: radix.KernelAuto picks per platform,
+	// KernelScalar/KernelWC force one flavour for ablations.
+	Kernels radix.Kernel
 }
 
 func (c *Config) normalize() {
@@ -75,8 +79,8 @@ func RadixJoin(inner, outer *relation.Relation, cfg Config) (*Result, error) {
 
 	// --- Pass 1: parallel scatter into partition-contiguous slabs.
 	start = time.Now()
-	partR, boundsR := parallelScatter(inner, histR, cfg.Threads, 0, b1)
-	partS, boundsS := parallelScatter(outer, histS, cfg.Threads, 0, b1)
+	partR, boundsR := parallelScatter(inner, histR, cfg.Threads, 0, b1, cfg.Kernels)
+	partS, boundsS := parallelScatter(outer, histS, cfg.Threads, 0, b1, cfg.Kernels)
 	res.Phases.NetworkPartition = time.Since(start)
 
 	// --- Pass 2 + build-probe: one task per pass-1 partition, queued by
@@ -95,7 +99,7 @@ func RadixJoin(inner, outer *relation.Relation, cfg Config) (*Result, error) {
 		go func(t int) {
 			defer wg.Done()
 			region := t * cfg.NUMARegions / cfg.Threads
-			var matches, checksum uint64
+			w := &mcWorker{kern: cfg.Kernels, pt: radix.NewPartitioner(cfg.Kernels)}
 			var tLocal, tBP time.Duration
 			for {
 				p, ok := queues.pop(region)
@@ -104,13 +108,13 @@ func RadixJoin(inner, outer *relation.Relation, cfg Config) (*Result, error) {
 				}
 				r := radix.PartitionView(partR, boundsR, p)
 				s := radix.PartitionView(partS, boundsS, p)
-				l, b := joinPartition(r, s, b1, b2, &matches, &checksum)
+				l, b := w.joinPartition(r, s, b1, b2)
 				tLocal += l
 				tBP += b
 			}
 			mu.Lock()
-			res.Matches += matches
-			res.Checksum += checksum
+			res.Matches += w.matches
+			res.Checksum += w.checksum
 			if int64(tLocal) > local2 {
 				local2 = int64(tLocal)
 			}
@@ -133,43 +137,50 @@ func RadixJoin(inner, outer *relation.Relation, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// mcWorker carries one thread's kernel scratch (partitioner staging,
+// probe batch) and match accumulators across its tasks.
+type mcWorker struct {
+	kern     radix.Kernel
+	pt       *radix.Partitioner
+	batch    hashtable.Batch
+	matches  uint64
+	checksum uint64
+}
+
 // joinPartition sub-partitions one pass-1 partition pair by b2 bits and
 // builds/probes each sub-partition. It returns the time spent in local
-// partitioning vs build-probe and accumulates matches into the counters.
-func joinPartition(r, s *relation.Relation, b1, b2 uint, matches, checksum *uint64) (localTime, bpTime time.Duration) {
+// partitioning vs build-probe and accumulates matches into the worker.
+func (w *mcWorker) joinPartition(r, s *relation.Relation, b1, b2 uint) (localTime, bpTime time.Duration) {
 	if b2 == 0 || r.Len() == 0 || s.Len() == 0 {
 		start := time.Now()
-		m, c := buildProbe(r, s)
-		*matches += m
-		*checksum += c
+		w.buildProbe(r, s)
 		return 0, time.Since(start)
 	}
 	start := time.Now()
-	hr := radix.Histogram(r, b1, b2)
-	curR, _ := radix.PrefixSum(hr)
-	subR := relation.New(r.Width(), r.Len())
-	radix.Scatter(r, subR, curR, b1, b2)
-	hs := radix.Histogram(s, b1, b2)
-	curS, _ := radix.PrefixSum(hs)
-	subS := relation.New(s.Width(), s.Len())
-	radix.Scatter(s, subS, curS, b1, b2)
-	bR, bS := radix.Bounds(hr), radix.Bounds(hs)
+	subR, bR := w.pt.Partition(r, b1, b2)
+	subS, bS := w.pt.Partition(s, b1, b2)
 	localTime = time.Since(start)
 
 	start = time.Now()
 	for q := 0; q < 1<<b2; q++ {
-		m, c := buildProbe(radix.PartitionView(subR, bR, q), radix.PartitionView(subS, bS, q))
-		*matches += m
-		*checksum += c
+		w.buildProbe(radix.PartitionView(subR, bR, q), radix.PartitionView(subS, bS, q))
 	}
 	return localTime, time.Since(start)
 }
 
-func buildProbe(r, s *relation.Relation) (uint64, uint64) {
+func (w *mcWorker) buildProbe(r, s *relation.Relation) {
 	if r.Len() == 0 || s.Len() == 0 {
-		return 0, 0
+		return
 	}
-	return hashtable.Build(r).ProbeRelation(s)
+	tbl := hashtable.Build(r)
+	var m, c uint64
+	if w.kern.BatchProbe(tbl.Len()) {
+		m, c = tbl.ProbeRelationBatch(s, &w.batch)
+	} else {
+		m, c = tbl.ProbeRelation(s)
+	}
+	w.matches += m
+	w.checksum += c
 }
 
 // parallelHistograms computes per-thread histograms over equal contiguous
@@ -194,7 +205,7 @@ func parallelHistograms(rel *relation.Relation, threads int, shift, bits uint) [
 // parallelScatter scatters rel into a fresh slab using per-thread cursors
 // derived from the per-thread histograms: thread t writes partition p at
 // globalPrefix[p] + Σ_{t'<t} hist[t'][p], so threads never collide.
-func parallelScatter(rel *relation.Relation, hists [][]int64, threads int, shift, bits uint) (*relation.Relation, []int64) {
+func parallelScatter(rel *relation.Relation, hists [][]int64, threads int, shift, bits uint, kern radix.Kernel) (*relation.Relation, []int64) {
 	np := 1 << bits
 	global := make([]int64, np)
 	for _, h := range hists {
@@ -214,14 +225,20 @@ func parallelScatter(rel *relation.Relation, hists [][]int64, threads int, shift
 			off += hists[t][p]
 		}
 	}
-	dst := relation.New(rel.Width(), rel.Len())
+	dst := relation.NewAligned(rel.Width(), rel.Len())
 	n := rel.Len()
+	useWC := kern.Resolve(rel.Width(), bits) == radix.KernelWC
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			radix.Scatter(rel.Slice(n*t/threads, n*(t+1)/threads), dst, cursors[t], shift, bits)
+			slice := rel.Slice(n*t/threads, n*(t+1)/threads)
+			if useWC {
+				radix.ScatterWC(slice, dst, cursors[t], shift, bits, nil)
+			} else {
+				radix.Scatter(slice, dst, cursors[t], shift, bits)
+			}
 		}(t)
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rackjoin/internal/hashtable"
 	"rackjoin/internal/relation"
 )
 
@@ -61,8 +62,12 @@ func NoPartitionJoin(inner, outer *relation.Relation, cfg Config) (*Result, erro
 	wg.Wait()
 	res.Phases.BuildProbe = time.Since(start)
 
-	// Probe: read-only, embarrassingly parallel.
+	// Probe: read-only, embarrassingly parallel. The shared table spans the
+	// whole inner relation and never fits a private cache, so the batched
+	// kernel groups the directory loads of hashtable.ProbeBatchSize keys
+	// before walking any chain, overlapping their misses.
 	start = time.Now()
+	batched := cfg.Kernels.BatchProbe(n)
 	var mu sync.Mutex
 	m := outer.Len()
 	for t := 0; t < cfg.Threads; t++ {
@@ -71,13 +76,36 @@ func NoPartitionJoin(inner, outer *relation.Relation, cfg Config) (*Result, erro
 			defer wg.Done()
 			var matches, checksum uint64
 			lo, hi := m*t/cfg.Threads, m*(t+1)/cfg.Threads
-			for i := lo; i < hi; i++ {
-				key := outer.Key(i)
-				for j := head[(key*fibMix)>>shift].Load(); j != 0; j = next[j] {
-					bi := int(j - 1)
-					if inner.Key(bi) == key {
-						matches++
-						checksum += key + inner.RID(bi) + outer.RID(i)
+			if batched {
+				var keys [hashtable.ProbeBatchSize]uint64
+				var heads [hashtable.ProbeBatchSize]int32
+				for base := lo; base < hi; base += hashtable.ProbeBatchSize {
+					bn := min(hashtable.ProbeBatchSize, hi-base)
+					for i := 0; i < bn; i++ {
+						key := outer.Key(base + i)
+						keys[i] = key
+						heads[i] = head[(key*fibMix)>>shift].Load()
+					}
+					for i := 0; i < bn; i++ {
+						key := keys[i]
+						for j := heads[i]; j != 0; j = next[j] {
+							bi := int(j - 1)
+							if inner.Key(bi) == key {
+								matches++
+								checksum += key + inner.RID(bi) + outer.RID(base+i)
+							}
+						}
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					key := outer.Key(i)
+					for j := head[(key*fibMix)>>shift].Load(); j != 0; j = next[j] {
+						bi := int(j - 1)
+						if inner.Key(bi) == key {
+							matches++
+							checksum += key + inner.RID(bi) + outer.RID(i)
+						}
 					}
 				}
 			}

@@ -11,7 +11,11 @@
 // packages (mcjoin, core); this package provides the kernels.
 package radix
 
-import "rackjoin/internal/relation"
+import (
+	"encoding/binary"
+
+	"rackjoin/internal/relation"
+)
 
 // PartitionOf returns the partition index of key for a pass using the
 // given bit window.
@@ -89,8 +93,6 @@ func PartitionView(rel *relation.Relation, bounds []int64, p int) *relation.Rela
 	return rel.Slice(int(bounds[p]), int(bounds[p+1]))
 }
 
-func le64(b []byte) uint64 {
-	_ = b[7]
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
-}
+// le64 reads a little-endian key; binary.LittleEndian compiles to a
+// single load, unlike manual byte assembly.
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

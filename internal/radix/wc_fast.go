@@ -1,0 +1,101 @@
+//go:build !purego && (amd64 || arm64)
+
+package radix
+
+import (
+	"unsafe"
+
+	"rackjoin/internal/relation"
+)
+
+// Width-specialised scatter kernels. These move tuples as 8-byte words
+// through raw pointers: no per-tuple bounds checks, no memmove calls, and
+// the key load doubles as the first stored word.
+//
+// Deliberately NO software staging here: consecutive word stores into the
+// same destination line coalesce in the store buffer, so the hardware
+// already write-combines them, and measurements on our target machines
+// (EXPERIMENTS.md § kernels) show the explicit per-partition staging of
+// scatterWCGeneric costs ~2 extra stores plus a fill-table access per
+// tuple without reducing memory traffic — the active destination lines
+// (2^bits × 64 B at exec fan-outs) stay cache-resident. The staged loop
+// remains the portable fallback and the building block for callers that
+// must batch into externally-owned buffers (netpass RDMA slots).
+//
+// Only compiled on little-endian platforms that allow unaligned word
+// access; -tags purego (or any other platform) runs scatterWCGeneric.
+
+// haveFastScatter gates KernelAuto: this platform has the direct
+// word-store kernels below.
+const haveFastScatter = true
+
+// scatterWCFast dispatches to the width-specialised loop and reports
+// whether one existed. Cursor semantics are identical to Scatter and
+// scatterWCGeneric+drain; wc is not touched (no staged state, Flushes
+// counts software-staged flushes only).
+func scatterWCFast(sdata, ddata []byte, width int, cursors []int64, shift, bits uint) bool {
+	if len(sdata) == 0 {
+		return true
+	}
+	switch width {
+	case relation.Width16:
+		scatterWC16(sdata, ddata, cursors, shift, bits)
+	case relation.Width32:
+		scatterWC32(sdata, ddata, cursors, shift, bits)
+	case relation.Width64:
+		scatterWC64(sdata, ddata, cursors, shift, bits)
+	default:
+		return false
+	}
+	return true
+}
+
+func scatterWC16(sdata, ddata []byte, cursors []int64, shift, bits uint) {
+	mask := uint64(1<<bits - 1)
+	sp := unsafe.Pointer(unsafe.SliceData(sdata))
+	dp := unsafe.Pointer(unsafe.SliceData(ddata))
+	cp := unsafe.Pointer(unsafe.SliceData(cursors))
+	n := len(sdata)
+	for off := 0; off < n; off += 16 {
+		k := *(*uint64)(unsafe.Add(sp, off))
+		p := int((k >> shift) & mask)
+		c := (*int64)(unsafe.Add(cp, p*8))
+		d := (*[2]uint64)(unsafe.Add(dp, *c*16))
+		d[0] = k
+		d[1] = *(*uint64)(unsafe.Add(sp, off+8))
+		*c++
+	}
+}
+
+func scatterWC32(sdata, ddata []byte, cursors []int64, shift, bits uint) {
+	mask := uint64(1<<bits - 1)
+	sp := unsafe.Pointer(unsafe.SliceData(sdata))
+	dp := unsafe.Pointer(unsafe.SliceData(ddata))
+	cp := unsafe.Pointer(unsafe.SliceData(cursors))
+	n := len(sdata)
+	for off := 0; off < n; off += 32 {
+		s := (*[4]uint64)(unsafe.Add(sp, off))
+		p := int((s[0] >> shift) & mask)
+		c := (*int64)(unsafe.Add(cp, p*8))
+		d := (*[4]uint64)(unsafe.Add(dp, *c*32))
+		d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+		*c++
+	}
+}
+
+func scatterWC64(sdata, ddata []byte, cursors []int64, shift, bits uint) {
+	mask := uint64(1<<bits - 1)
+	sp := unsafe.Pointer(unsafe.SliceData(sdata))
+	dp := unsafe.Pointer(unsafe.SliceData(ddata))
+	cp := unsafe.Pointer(unsafe.SliceData(cursors))
+	n := len(sdata)
+	for off := 0; off < n; off += 64 {
+		s := (*[8]uint64)(unsafe.Add(sp, off))
+		p := int((s[0] >> shift) & mask)
+		c := (*int64)(unsafe.Add(cp, p*8))
+		d := (*[8]uint64)(unsafe.Add(dp, *c*64))
+		d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+		d[4], d[5], d[6], d[7] = s[4], s[5], s[6], s[7]
+		*c++
+	}
+}

@@ -1,0 +1,56 @@
+//go:build !purego && (amd64 || arm64)
+
+package relation
+
+import "unsafe"
+
+// Word-granular copy helpers for the exec-engine hot loops. Tuples are 16,
+// 32 or 64 bytes — always whole 8-byte words — so the partitioning kernels
+// can move them as uint64 loads/stores instead of byte-wise memmove calls.
+// amd64 and arm64 permit the unaligned word accesses and are little-endian
+// (the staged bytes are bit-identical to what memmove would produce); every
+// other platform, and the -tags purego escape hatch, takes the portable
+// copy-based fallback in wordcopy_purego.go.
+
+// alignOffset returns how many bytes past b[0] the first CacheLine-aligned
+// address lies (0 when b is already aligned).
+func alignOffset(b []byte) int {
+	return int(-uintptr(unsafe.Pointer(unsafe.SliceData(b))) & (CacheLine - 1))
+}
+
+// CopyTuple copies one tuple of the given width from src to dst. Both
+// slices must hold at least width bytes; width must be a ValidWidth.
+func CopyTuple(dst, src []byte, width int) {
+	switch width {
+	case Width16:
+		s := (*[2]uint64)(unsafe.Pointer(unsafe.SliceData(src[:16])))
+		d := (*[2]uint64)(unsafe.Pointer(unsafe.SliceData(dst[:16])))
+		d[0], d[1] = s[0], s[1]
+	case Width32:
+		s := (*[4]uint64)(unsafe.Pointer(unsafe.SliceData(src[:32])))
+		d := (*[4]uint64)(unsafe.Pointer(unsafe.SliceData(dst[:32])))
+		d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+	case Width64:
+		s := (*[8]uint64)(unsafe.Pointer(unsafe.SliceData(src[:64])))
+		d := (*[8]uint64)(unsafe.Pointer(unsafe.SliceData(dst[:64])))
+		d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+		d[4], d[5], d[6], d[7] = s[4], s[5], s[6], s[7]
+	default:
+		copy(dst[:width], src[:width])
+	}
+}
+
+// CopyWords copies len(src) bytes from src to dst as 8-byte words.
+// len(src) must be a multiple of 8 and dst at least as long. Used by the
+// write-combining kernels to flush staged cache lines.
+func CopyWords(dst, src []byte) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	d := unsafe.Pointer(unsafe.SliceData(dst[:n]))
+	s := unsafe.Pointer(unsafe.SliceData(src))
+	for off := 0; off < n; off += 8 {
+		*(*uint64)(unsafe.Add(d, off)) = *(*uint64)(unsafe.Add(s, off))
+	}
+}

@@ -1,0 +1,23 @@
+//go:build purego || !(amd64 || arm64)
+
+package relation
+
+// Portable fallbacks for the word-copy helpers: plain copy, which the
+// runtime turns into memmove. Selected by -tags purego or on platforms
+// where unaligned 8-byte accesses are not known to be safe.
+
+// alignOffset is the portable stand-in: without unsafe the allocation's
+// address is unknowable, so slabs count as aligned as-is. Alignment is a
+// performance hint only — correctness never depends on it.
+func alignOffset(b []byte) int { return 0 }
+
+// CopyTuple copies one tuple of the given width from src to dst.
+func CopyTuple(dst, src []byte, width int) {
+	copy(dst[:width], src[:width])
+}
+
+// CopyWords copies len(src) bytes from src to dst; len(src) must be a
+// multiple of 8 and dst at least as long.
+func CopyWords(dst, src []byte) {
+	copy(dst[:len(src)], src)
+}

@@ -43,6 +43,7 @@ import (
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/model"
 	"rackjoin/internal/phase"
+	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
 	"rackjoin/internal/sim"
 	"rackjoin/internal/trace"
@@ -69,6 +70,19 @@ type (
 	Assignment = core.Assignment
 	// PhaseTimes is the per-phase breakdown used across all engines.
 	PhaseTimes = phase.Times
+)
+
+// KernelMode selects the exec-engine hot-loop implementations (partition
+// scatter and probe kernels); set JoinConfig.Kernels, MCJoinConfig.Kernels
+// or AggConfig.Kernels. KernelAuto (the zero value) picks per platform and
+// pass shape; KernelScalar/KernelWC force one flavour for ablations.
+type KernelMode = radix.Kernel
+
+// Kernel modes.
+const (
+	KernelAuto   = radix.KernelAuto
+	KernelScalar = radix.KernelScalar
+	KernelWC     = radix.KernelWC
 )
 
 // Transports and assignment strategies.
