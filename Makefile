@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-kernels check
+.PHONY: build test race vet bench bench-kernels bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The trace recorder and metrics registry are the shared mutable state of
-# every run; the kernel equivalence/property tests exercise the unsafe
-# scatter and batched-probe paths. Hammer all of them under the race
-# detector.
+# The trace recorder, metrics registry and observability plane are the
+# shared mutable state of every run; the kernel equivalence/property tests
+# exercise the unsafe scatter and batched-probe paths. Hammer all of them
+# under the race detector.
 race:
-	$(GO) test -race ./internal/trace ./internal/metrics \
+	$(GO) test -race ./internal/trace ./internal/metrics ./internal/obsv \
 		./internal/radix ./internal/hashtable ./internal/core
 
 vet:
@@ -31,4 +31,14 @@ bench-kernels:
 		./internal/radix ./internal/hashtable | $(GO) run ./cmd/benchfmt > BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
 
+# Advisory regression gate: rerun the kernel benchmarks and flag any
+# result more than 10% slower than the checked-in BENCH_kernels.json.
+# Exits non-zero on regressions; `check` runs it best-effort (benchmark
+# noise on shared machines is not a build failure).
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime $(BENCHTIME) -timeout 30m \
+		./internal/radix ./internal/hashtable | \
+		$(GO) run ./cmd/benchfmt -baseline BENCH_kernels.json > /dev/null
+
 check: build vet test race
+	-$(MAKE) bench-baseline BENCHTIME=1x

@@ -8,11 +8,17 @@
 //
 // It is the backend of `make bench-kernels`, which checks the result in
 // as BENCH_kernels.json.
+//
+// With -baseline the fresh results are additionally compared against a
+// previously checked-in report: benchmarks whose ns/op regressed by more
+// than -threshold (default 10%) are listed on stderr and the exit status
+// is 1, making `make bench-baseline` an advisory regression gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -64,6 +70,10 @@ var variantPairs = [][2]string{
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "compare against this previously emitted JSON report")
+	threshold := flag.Float64("threshold", 0.10, "flag benchmarks whose ns/op grew by more than this fraction")
+	flag.Parse()
+
 	rep := parse(bufio.NewScanner(os.Stdin))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -71,6 +81,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	regs := regressions(base.Benchmarks, rep.Benchmarks, *threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchfmt: no regressions over %.0f%% vs %s\n", *threshold*100, *baseline)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchfmt: REGRESSION", r)
+	}
+	os.Exit(1)
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// regressions lists benchmarks present in both reports whose ns/op grew
+// by more than threshold (a fraction). Benchmarks that appear in only
+// one report are ignored: the gate compares like with like.
+func regressions(base, cur []Benchmark, threshold float64) []string {
+	byName := make(map[string]Benchmark, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []string
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok || b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := c.NsPerOp / b.NsPerOp; ratio > 1+threshold {
+			out = append(out, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
+				c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) *Report {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,72 @@ func TestSpeedups(t *testing.T) {
 		if math.Abs(s.Speedup-w) > 1e-9 {
 			t.Errorf("%s: speedup %v, want %v", s.Name, s.Speedup, w)
 		}
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base := []Benchmark{
+		{Name: "KernelScatterWC/w16/bits10", NsPerOp: 1000},
+		{Name: "KernelProbeBatch/n65536", NsPerOp: 2000},
+		{Name: "RemovedBench", NsPerOp: 500},
+	}
+	cur := []Benchmark{
+		{Name: "KernelScatterWC/w16/bits10", NsPerOp: 1050}, // +5%: within threshold
+		{Name: "KernelProbeBatch/n65536", NsPerOp: 2500},    // +25%: regression
+		{Name: "NewBench", NsPerOp: 9999},                   // no baseline: ignored
+	}
+	regs := regressions(base, cur, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "KernelProbeBatch/n65536") || !strings.Contains(regs[0], "+25.0%") {
+		t.Errorf("regression line %q", regs[0])
+	}
+
+	// Exactly at the threshold is not a regression; just past it is.
+	atEdge := regressions(
+		[]Benchmark{{Name: "b", NsPerOp: 1000}},
+		[]Benchmark{{Name: "b", NsPerOp: 1100}}, 0.10)
+	if len(atEdge) != 0 {
+		t.Errorf("+10.0%% flagged at 10%% threshold: %v", atEdge)
+	}
+	past := regressions(
+		[]Benchmark{{Name: "b", NsPerOp: 1000}},
+		[]Benchmark{{Name: "b", NsPerOp: 1101}}, 0.10)
+	if len(past) != 1 {
+		t.Errorf("+10.1%% not flagged at 10%% threshold")
+	}
+
+	// Zero/negative ns/op never divides.
+	if got := regressions(
+		[]Benchmark{{Name: "b", NsPerOp: 0}},
+		[]Benchmark{{Name: "b", NsPerOp: 100}}, 0.10); len(got) != 0 {
+		t.Errorf("zero baseline flagged: %v", got)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := parse(bufio.NewScanner(strings.NewReader(sample)))
+	path := t.TempDir() + "/bench.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(got.Benchmarks), len(rep.Benchmarks))
+	}
+	if regs := regressions(got.Benchmarks, rep.Benchmarks, 0.10); len(regs) != 0 {
+		t.Errorf("identical reports show regressions: %v", regs)
+	}
+	if _, err := loadReport(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing baseline should fail")
 	}
 }

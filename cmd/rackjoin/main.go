@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"rackjoin"
 )
@@ -47,6 +48,11 @@ func main() {
 		showTrace  = flag.Bool("trace", false, "print a per-machine phase timeline")
 		traceOut   = flag.String("trace-out", "", "write the execution trace as Chrome trace-event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
+		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /trace, /samples, /residual and /debug/pprof on this address (e.g. :8080)")
+		sampleInt  = flag.Duration("sample-interval", 0, "snapshot registry deltas on this interval (0 = off)")
+		samplesOut = flag.String("samples-out", "", "append sampler records as JSONL to this file")
+		modelNet   = flag.String("model-net", "qdr", "network to score the run against: qdr | fdr | ipoib")
+		obsvLinger = flag.Duration("obsv-linger", 0, "keep the observability server up this long after the run")
 	)
 	flag.Parse()
 
@@ -102,13 +108,74 @@ func main() {
 	want := rackjoin.ExpectedJoin(outer)
 
 	var tracer *rackjoin.Tracer
-	if *showTrace || *traceOut != "" {
+	if *showTrace || *traceOut != "" || *obsvAddr != "" {
 		tracer = rackjoin.NewTracer()
 		cfg.Trace = tracer
 	}
+
+	var net rackjoin.Network
+	switch *modelNet {
+	case "qdr":
+		net = rackjoin.QDR()
+	case "fdr":
+		net = rackjoin.FDR()
+	case "ipoib":
+		net = rackjoin.IPoIB()
+	default:
+		log.Fatalf("unknown model network %q", *modelNet)
+	}
+	if *throttle > 0 {
+		// Score against the fabric actually configured, not the paper's.
+		net.Name = fmt.Sprintf("throttled %.0f MB/s", *throttle)
+		net.Base = *throttle
+		net.CongestionPerMachine = 0
+	}
+
+	var sampler *rackjoin.Sampler
+	if *sampleInt > 0 || *samplesOut != "" {
+		var sink io.Writer
+		if *samplesOut != "" {
+			f, err := os.Create(*samplesOut)
+			if err != nil {
+				log.Fatalf("samples out: %v", err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		sampler = rackjoin.NewSampler(c.Metrics(), *sampleInt, sink)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	var obsrv *rackjoin.ObsvServer
+	if *obsvAddr != "" {
+		obsrv = rackjoin.NewObsvServer(rackjoin.ObsvOptions{
+			Registry: c.Metrics(), Trace: tracer, Sampler: sampler,
+		})
+		addr, err := obsrv.Start(*obsvAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer obsrv.Close()
+		fmt.Printf("observability plane on http://%s (metrics, trace, samples, residual, pprof)\n", addr)
+	}
+
 	res, err := rackjoin.Join(c, inner, outer, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	passes := 1
+	if cfg.LocalBits > 0 {
+		passes = 2
+	}
+	residual := rackjoin.ProfileResidual(c.Metrics(), rackjoin.ResidualConfig{
+		Machines: *machines, CoresPerMachine: *cores, Net: net, Passes: passes,
+		RTuples: int64(*innerN), STuples: int64(*outerN), TupleWidth: *width,
+		Measured: res.Phases, PerMachine: res.PerMachine,
+		PoolStalls: res.Net.PoolStalls, Messages: res.Net.Messages,
+	})
+	if obsrv != nil {
+		obsrv.SetResidual(residual)
 	}
 	if tracer != nil && *showTrace {
 		fmt.Println()
@@ -140,6 +207,13 @@ func main() {
 		fmt.Printf("machine %d %s (%d partitions)\n", m, pt, res.PartitionsPerMachine[m])
 	}
 	printMetricsSummary(c.Metrics())
+	fmt.Println()
+	residual.Report(os.Stdout)
+	if *obsvLinger > 0 && obsrv != nil {
+		fmt.Printf("\nobservability server lingering %s on http://%s — ctrl-C to quit early\n",
+			*obsvLinger, obsrv.Addr())
+		time.Sleep(*obsvLinger)
+	}
 	if res.Matches != want.Matches || res.Checksum != want.Checksum {
 		fmt.Println("VERIFICATION FAILED")
 		os.Exit(1)

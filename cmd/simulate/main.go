@@ -16,6 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"time"
 
 	"rackjoin"
 )
@@ -39,6 +42,9 @@ func main() {
 		buffers    = flag.Int("buffers", 2, "buffers per (thread, partition)")
 		bits       = flag.Uint("bits", 10, "radix bits of the network pass")
 		sweep      = flag.String("sweep", "", "sweep machine counts, e.g. 2,10")
+		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /residual, /samples and /debug/pprof on this address (e.g. :8080)")
+		sampleInt  = flag.Duration("sample-interval", 0, "snapshot registry deltas on this interval (0 = off)")
+		obsvLinger = flag.Duration("obsv-linger", 0, "keep the observability server up this long after the sweep")
 	)
 	flag.Parse()
 
@@ -74,6 +80,29 @@ func main() {
 	fmt.Printf("%dM ⋈ %dM (%d-byte tuples, skew %.2f) on %s, %d cores/machine, %s\n\n",
 		*innerM, *outerM, *width, *skew, net.Name, *cores, mode)
 
+	// Observability plane: the simulated phase breakdown lands in a
+	// registry as the same phase_seconds{machine,phase} gauges a real run
+	// records, so /metrics, the sampler and the residual profiler see a
+	// simulation exactly like an execution.
+	reg := rackjoin.NewMetricsRegistry()
+	var sampler *rackjoin.Sampler
+	if *sampleInt > 0 {
+		sampler = rackjoin.NewSampler(reg, *sampleInt, nil)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	var obsrv *rackjoin.ObsvServer
+	if *obsvAddr != "" {
+		obsrv = rackjoin.NewObsvServer(rackjoin.ObsvOptions{Registry: reg, Sampler: sampler})
+		addr, err := obsrv.Start(*obsvAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer obsrv.Close()
+		fmt.Printf("observability plane on http://%s\n\n", addr)
+	}
+
+	var residual *rackjoin.Residual
 	for nm := lo; nm <= hi; nm++ {
 		cfg := rackjoin.SimConfig{
 			Machines: nm, Cores: *cores, Net: net,
@@ -96,5 +125,39 @@ func main() {
 			fmt.Printf("  (model %6.2f s)", pred.Total().Seconds())
 		}
 		fmt.Printf("  [%.0f MB over network, %d stalls]\n", res.RemoteMB, res.Stalls)
+
+		recordPhases(reg, res)
+		residual = rackjoin.ProfileResidual(reg, rackjoin.ResidualConfig{
+			Machines: nm, CoresPerMachine: *cores, Net: net,
+			RTuples: *innerM << 20, STuples: *outerM << 20, TupleWidth: *width,
+			Measured: res.Phases, PerMachine: res.PerMachine,
+			PoolStalls: res.Stalls,
+			Messages:   uint64(res.RemoteMB * (1 << 20) / float64(*bufSize)),
+		})
+		if obsrv != nil {
+			obsrv.SetResidual(residual)
+		}
+	}
+	if residual != nil {
+		fmt.Println()
+		residual.Report(os.Stdout)
+	}
+	if *obsvLinger > 0 && obsrv != nil {
+		fmt.Printf("\nobservability server lingering %s on http://%s — ctrl-C to quit early\n",
+			*obsvLinger, obsrv.Addr())
+		time.Sleep(*obsvLinger)
+	}
+}
+
+// recordPhases exports a simulated result into the registry as the
+// phase_seconds{machine,phase} gauges a real execution records.
+func recordPhases(reg *rackjoin.MetricsRegistry, res *rackjoin.SimResult) {
+	names := []string{"histogram", "network_partition", "local_partition", "build_probe"}
+	for m, pt := range res.PerMachine {
+		sec := pt.Seconds()
+		for i, name := range names {
+			reg.Gauge("phase_seconds",
+				rackjoin.L("machine", strconv.Itoa(m)), rackjoin.L("phase", name)).Set(sec[i])
+		}
 	}
 }

@@ -15,6 +15,7 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"rackjoin/internal/fabric"
@@ -68,7 +69,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, net: rdma.NewNetwork(cfg.Fabric)}
 	for i := 0; i < cfg.Machines; i++ {
-		dev := c.net.NewDevice()
+		// Stamp the device's metric series with its owning machine so the
+		// observability plane can join rdma_* counters against the join's
+		// per-machine telemetry.
+		dev := c.net.NewDeviceLabeled(metrics.L("machine", strconv.Itoa(i)))
 		m := &Machine{
 			ID:      i,
 			cluster: c,
@@ -175,6 +179,12 @@ type Machine struct {
 
 // Cluster returns the owning cluster.
 func (m *Machine) Cluster() *Cluster { return m.cluster }
+
+// Metrics returns a view of the cluster registry scoped to this machine:
+// every series created through it carries machine=<id>.
+func (m *Machine) Metrics() *metrics.Scope {
+	return m.cluster.Metrics().Scope(metrics.L("machine", strconv.Itoa(m.ID)))
+}
 
 // Peers returns the IDs of all other machines.
 func (m *Machine) Peers() []int {

@@ -387,3 +387,42 @@ func TestCollectiveRootValidation(t *testing.T) {
 		t.Fatal("bad broadcast root should fail")
 	}
 }
+
+func TestDeviceMetricsCarryMachineLabel(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	// Generate some device traffic so the counters exist.
+	buf := make([]byte, 8)
+	if _, err := c.Machine(0).PD.RegisterMemory(buf, rdma.AccessLocalWrite); err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]bool)
+	for _, s := range c.Metrics().Snapshot() {
+		if s.Labels["device"] != "" {
+			if s.Labels["machine"] == "" {
+				t.Fatalf("device series %s %v has no machine label", s.Name, s.Labels)
+			}
+			found[s.Labels["machine"]] = true
+			if s.Labels["machine"] != s.Labels["device"] {
+				t.Errorf("series %s: machine %q != device %q (one device per machine here)",
+					s.Name, s.Labels["machine"], s.Labels["device"])
+			}
+		}
+	}
+	if len(found) != 3 {
+		t.Fatalf("device series for %d machines, want 3", len(found))
+	}
+}
+
+func TestMachineMetricsScope(t *testing.T) {
+	c := newTestCluster(t, 2, 1)
+	c.Machine(1).Metrics().Counter("test_counter").Add(7)
+	for _, s := range c.Metrics().Snapshot() {
+		if s.Name == "test_counter" {
+			if s.Labels["machine"] != "1" || s.Value != 7 {
+				t.Fatalf("test_counter: labels %v value %g", s.Labels, s.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("test_counter not in the cluster registry")
+}

@@ -29,6 +29,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/radix"
@@ -204,6 +205,17 @@ type Config struct {
 	// When nil, Run uses the cluster's registry, so device- and
 	// fabric-level series land in the same place.
 	Metrics *metrics.Registry
+	// OnPhase, when non-nil, fires as each machine finishes a phase —
+	// at the same instant the phase_seconds gauge is set, so observers
+	// (the obsv sampler, progress reporters) see the breakdown grow
+	// mid-run instead of all at once at join completion. Phase names are
+	// histogram, network_partition, local_partition, build_probe. Fired
+	// concurrently from every machine goroutine; the callee synchronises.
+	OnPhase func(machine int, phase string, d time.Duration)
+	// OnComplete, when non-nil, fires once after all machines finish and
+	// the Result is assembled, before Run returns it. This is the hook
+	// the model-residual profiler attaches to.
+	OnComplete func(*Result)
 }
 
 // DefaultConfig returns the test-scale defaults described above.

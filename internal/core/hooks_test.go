@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLifecycleHooks(t *testing.T) {
+	const machines = 4
+	type fired struct {
+		machine int
+		phase   string
+	}
+	var mu sync.Mutex
+	var phases []fired
+	var completed []*Result
+
+	cfg := DefaultConfig()
+	cfg.OnPhase = func(machine int, phase string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("machine %d phase %s: negative duration %v", machine, phase, d)
+		}
+		mu.Lock()
+		phases = append(phases, fired{machine, phase})
+		mu.Unlock()
+	}
+	cfg.OnComplete = func(res *Result) {
+		mu.Lock()
+		completed = append(completed, res)
+		mu.Unlock()
+	}
+	res, want := runJoin(t, machines, 4, smallWorkload, cfg)
+	checkResult(t, res, want)
+
+	if len(completed) != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", len(completed))
+	}
+	if completed[0] != res {
+		t.Error("OnComplete saw a different Result than Run returned")
+	}
+
+	// Every machine fires every phase exactly once, in phase order.
+	order := []string{"histogram", "network_partition", "local_partition", "build_probe"}
+	perMachine := make(map[int][]string)
+	for _, f := range phases {
+		perMachine[f.machine] = append(perMachine[f.machine], f.phase)
+	}
+	if len(perMachine) != machines {
+		t.Fatalf("hooks fired on %d machines, want %d", len(perMachine), machines)
+	}
+	for m, seq := range perMachine {
+		if len(seq) != len(order) {
+			t.Fatalf("machine %d fired %v, want %v", m, seq, order)
+		}
+		for i, ph := range order {
+			if seq[i] != ph {
+				t.Errorf("machine %d phase %d = %s, want %s", m, i, seq[i], ph)
+			}
+		}
+	}
+}
+
+func TestOnPhaseFiresBeforeCompletion(t *testing.T) {
+	// The histogram and network-partition hooks fire mid-run: strictly
+	// before OnComplete, so a live observer sees the breakdown grow.
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	earlyAtComplete := false
+
+	cfg := DefaultConfig()
+	cfg.OnPhase = func(machine int, phase string, d time.Duration) {
+		mu.Lock()
+		seen[phase] = true
+		mu.Unlock()
+	}
+	cfg.OnComplete = func(*Result) {
+		mu.Lock()
+		earlyAtComplete = seen["histogram"] && seen["network_partition"]
+		mu.Unlock()
+	}
+	res, want := runJoin(t, 2, 4, smallWorkload, cfg)
+	checkResult(t, res, want)
+	if !earlyAtComplete {
+		t.Error("histogram/network_partition hooks had not fired by OnComplete")
+	}
+}

@@ -74,7 +74,11 @@ func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*R
 			return nil, fmt.Errorf("core: machine %d: %w", m, err)
 		}
 	}
-	return assembleResult(c, states, before), nil
+	res := assembleResult(c, states, before)
+	if cfg.OnComplete != nil {
+		cfg.OnComplete(res)
+	}
+	return res, nil
 }
 
 // machineState is the per-machine execution context of one join.
@@ -195,6 +199,7 @@ func (st *machineState) run() error {
 		return err
 	}
 	st.phases.Histogram = time.Since(start)
+	st.phaseDone("histogram", st.phases.Histogram)
 	endSpan(int64(st.R.Size() + st.S.Size()))
 
 	start = time.Now()
@@ -207,30 +212,26 @@ func (st *machineState) run() error {
 		return err
 	}
 	st.phases.NetworkPartition = time.Since(start)
+	st.phaseDone("network_partition", st.phases.NetworkPartition)
 
 	endSpan = st.span("local+build-probe")
 	if err := st.localPassAndBuildProbe(); err != nil {
 		return fmt.Errorf("local pass: %w", err)
 	}
 	endSpan(int64(st.slabR.Size() + st.slabS.Size()))
-	st.recordPhaseGauges()
+	st.phaseDone("local_partition", st.phases.LocalPartition)
+	st.phaseDone("build_probe", st.phases.BuildProbe)
 	return st.m.Barrier()
 }
 
-// recordPhaseGauges exports the phase breakdown as phase_seconds gauges,
-// one series per (machine, phase), set from the same values Result
-// reports in PerMachine.
-func (st *machineState) recordPhaseGauges() {
-	for _, pg := range []struct {
-		name string
-		d    time.Duration
-	}{
-		{"histogram", st.phases.Histogram},
-		{"network_partition", st.phases.NetworkPartition},
-		{"local_partition", st.phases.LocalPartition},
-		{"build_probe", st.phases.BuildProbe},
-	} {
-		st.met.Gauge("phase_seconds", metrics.L("phase", pg.name)).Set(pg.d.Seconds())
+// phaseDone exports one finished phase as a phase_seconds{machine,phase}
+// gauge — set from the same value Result reports in PerMachine — and
+// fires the Config.OnPhase hook. Called as each phase completes, so the
+// breakdown is observable mid-run.
+func (st *machineState) phaseDone(name string, d time.Duration) {
+	st.met.Gauge("phase_seconds", metrics.L("phase", name)).Set(d.Seconds())
+	if st.cfg.OnPhase != nil {
+		st.cfg.OnPhase(st.m.ID, name, d)
 	}
 }
 

@@ -1,0 +1,61 @@
+package metrics
+
+// SampleKey identifies one series within a snapshot: the metric name plus
+// its canonical label rendering. Two snapshots of the same registry use
+// identical keys for the same series, which is what makes delta
+// computation between snapshots well defined.
+func SampleKey(s Sample) string {
+	return s.Name + labelString(s.Labels)
+}
+
+// Delta returns the per-series change from prev to cur, matching series by
+// SampleKey:
+//
+//   - counters: Value becomes cur − prev (clamped at 0 if the counter was
+//     reset, which cannot happen with this package's monotonic counters
+//     but keeps the function total);
+//   - gauges: Value is cur's reading (a gauge is a level, not a flow —
+//     its delta would discard the information callers want);
+//   - histograms: Count and Sum become the deltas, Min/Max/quantiles keep
+//     cur's cumulative readings (the per-interval distribution is not
+//     recoverable from log-scale buckets without retaining them).
+//
+// Series present only in cur are included as-is (their delta from an
+// implicit zero). Series present only in prev are dropped — the registry
+// never unregisters, so this occurs only when diffing snapshots of
+// different registries.
+//
+// The result preserves cur's ordering, so repeated deltas of a stable
+// registry are positionally comparable — the property the obsv Sampler's
+// JSONL time series relies on.
+func Delta(prev, cur []Sample) []Sample {
+	base := make(map[string]Sample, len(prev))
+	for _, s := range prev {
+		base[SampleKey(s)] = s
+	}
+	out := make([]Sample, 0, len(cur))
+	for _, s := range cur {
+		p, ok := base[SampleKey(s)]
+		if ok {
+			switch s.Type {
+			case KindCounter:
+				s.Value -= p.Value
+				if s.Value < 0 {
+					s.Value = 0
+				}
+			case KindHistogram:
+				if s.Count >= p.Count {
+					s.Count -= p.Count
+				} else {
+					s.Count = 0
+				}
+				s.Sum -= p.Sum
+				if s.Sum < 0 {
+					s.Sum = 0
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

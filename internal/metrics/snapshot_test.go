@@ -1,0 +1,182 @@
+package metrics
+
+// Snapshot/delta API test suite: the obsv Sampler depends on (1) JSON
+// round-tripping of snapshots, (2) label ordering stability (the same
+// series must yield the same SampleKey no matter the registration label
+// order), and (3) snapshot consistency under concurrent Add/Set.
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bytes", L("machine", "0"), L("partition", "7")).Add(42)
+	r.Gauge("phase_seconds", L("phase", "histogram")).Set(1.5)
+	h := r.Histogram("wait_seconds")
+	h.Observe(0.25)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Sample
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	want := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip lost series: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if SampleKey(got[i]) != SampleKey(want[i]) {
+			t.Errorf("series %d: key %q != %q", i, SampleKey(got[i]), SampleKey(want[i]))
+		}
+		if got[i].Value != want[i].Value || got[i].Count != want[i].Count || got[i].Sum != want[i].Sum {
+			t.Errorf("series %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotLabelOrderingStable(t *testing.T) {
+	// The same (name, labels) series registered with labels in different
+	// orders must resolve to one series with one canonical key.
+	r := NewRegistry()
+	r.Counter("x", L("a", "1"), L("b", "2")).Add(1)
+	r.Counter("x", L("b", "2"), L("a", "1")).Add(1)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("label permutations created %d series, want 1", len(snap))
+	}
+	if snap[0].Value != 2 {
+		t.Fatalf("value = %g, want 2", snap[0].Value)
+	}
+	if key := SampleKey(snap[0]); key != `x{a="1",b="2"}` {
+		t.Fatalf("canonical key = %q", key)
+	}
+	// Snapshot order itself is deterministic across repeated calls.
+	r.Gauge("a_first").Set(3)
+	r.Counter("z_last").Inc()
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	for i := range s1 {
+		if SampleKey(s1[i]) != SampleKey(s2[i]) {
+			t.Fatalf("snapshot order unstable at %d: %q vs %q", i, SampleKey(s1[i]), SampleKey(s2[i]))
+		}
+	}
+}
+
+func TestDeltaCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flushes")
+	g := r.Gauge("level")
+	h := r.Histogram("lat")
+	c.Add(10)
+	g.Set(3)
+	h.Observe(1)
+	prev := r.Snapshot()
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(2)
+	h.Observe(4)
+	cur := r.Snapshot()
+
+	d := Delta(prev, cur)
+	byName := map[string]Sample{}
+	for _, s := range d {
+		byName[s.Name] = s
+	}
+	if v := byName["flushes"].Value; v != 5 {
+		t.Errorf("counter delta = %g, want 5", v)
+	}
+	if v := byName["level"].Value; v != 7 {
+		t.Errorf("gauge delta reports level %g, want 7", v)
+	}
+	if n := byName["lat"].Count; n != 2 {
+		t.Errorf("histogram count delta = %d, want 2", n)
+	}
+	if s := byName["lat"].Sum; s != 6 {
+		t.Errorf("histogram sum delta = %g, want 6", s)
+	}
+}
+
+func TestDeltaNewAndMissingSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("old").Add(1)
+	prev := r.Snapshot()
+	r.Counter("old").Add(2)
+	r.Counter("new").Add(9)
+	cur := r.Snapshot()
+
+	d := Delta(prev, cur)
+	if len(d) != 2 {
+		t.Fatalf("delta has %d series, want 2", len(d))
+	}
+	byName := map[string]float64{}
+	for _, s := range d {
+		byName[s.Name] = s.Value
+	}
+	if byName["old"] != 2 {
+		t.Errorf("old delta = %g, want 2", byName["old"])
+	}
+	if byName["new"] != 9 {
+		t.Errorf("new series delta = %g, want 9 (implicit zero base)", byName["new"])
+	}
+	// A series only in prev (foreign registry) is dropped, and a counter
+	// that went backwards clamps at zero rather than going negative.
+	other := NewRegistry()
+	other.Counter("old").Add(100)
+	d = Delta(other.Snapshot(), cur)
+	for _, s := range d {
+		if s.Name == "old" && s.Value != 0 {
+			t.Errorf("reset counter delta = %g, want clamp to 0", s.Value)
+		}
+	}
+}
+
+func TestSnapshotDeltaConcurrent(t *testing.T) {
+	// Concurrent Add/Set against Snapshot/Delta: run under -race (the
+	// Makefile race target covers this package). Deltas of a monotonic
+	// counter must never be negative regardless of interleaving.
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c", L("w", string(rune('a'+w))))
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%10) + 0.1)
+			}
+		}(w)
+	}
+	prev := r.Snapshot()
+	for i := 0; i < 50; i++ {
+		cur := r.Snapshot()
+		for _, s := range Delta(prev, cur) {
+			if s.Type == KindCounter && s.Value < 0 {
+				t.Errorf("negative counter delta %g for %s", s.Value, SampleKey(s))
+			}
+			if s.Type == KindHistogram && s.Sum < 0 {
+				t.Errorf("negative histogram sum delta for %s", SampleKey(s))
+			}
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -120,13 +120,18 @@ func (n Network) Bandwidth(machines int) float64 {
 // PointToPoint returns the achievable bandwidth in MB/s between two hosts
 // for messages of msgSize bytes (Figure 3): throughput ramps linearly
 // while the per-message overhead dominates and saturates at Base once
-// messages amortise it (≳ 8 KB on both networks).
+// messages amortise it (≳ 8 KB on both networks). Non-positive message
+// sizes or base bandwidths yield 0 — the residual profiler calls this
+// with runtime-derived values, so the degenerate inputs must stay finite.
 func (n Network) PointToPoint(msgSize int) float64 {
-	if msgSize <= 0 {
+	if msgSize <= 0 || n.Base <= 0 {
 		return 0
 	}
 	s := float64(msgSize)
 	t := n.MsgOverhead + s/(n.Base*MB)
+	if t <= 0 {
+		return 0
+	}
 	return s / t / MB
 }
 
@@ -141,6 +146,41 @@ type System struct {
 // NewSystem builds a System with default calibration.
 func NewSystem(machines, cores int, net Network) System {
 	return System{Machines: machines, CoresPerMachine: cores, Net: net, Cal: DefaultCalibration()}
+}
+
+// sanitize clamps a System to the computable domain: at least one machine
+// and one core, at least one partitioning pass, and positive calibration
+// rates (non-positive rates fall back to DefaultCalibration). Every
+// prediction entry point sanitizes first, so callers feeding the model
+// runtime-derived values — the obsv residual profiler in particular —
+// always get finite predictions instead of divide-by-zero Infs/NaNs.
+func (s System) sanitize() System {
+	if s.Machines < 1 {
+		s.Machines = 1
+	}
+	if s.CoresPerMachine < 1 {
+		s.CoresPerMachine = 1
+	}
+	def := DefaultCalibration()
+	if s.Cal.PsPart <= 0 {
+		s.Cal.PsPart = def.PsPart
+	}
+	if s.Cal.PsLocal <= 0 {
+		s.Cal.PsLocal = def.PsLocal
+	}
+	if s.Cal.PsHist <= 0 {
+		s.Cal.PsHist = def.PsHist
+	}
+	if s.Cal.HbThread <= 0 {
+		s.Cal.HbThread = def.HbThread
+	}
+	if s.Cal.HpThread <= 0 {
+		s.Cal.HpThread = def.HpThread
+	}
+	if s.Cal.Passes < 1 {
+		s.Cal.Passes = 1
+	}
+	return s
 }
 
 // Workload holds the input sizes in MB.
@@ -160,14 +200,22 @@ func WorkloadTuples(rTuples, sTuples int64, width int) Workload {
 func (w Workload) Total() float64 { return w.R + w.S }
 
 // PsNetwork is Equation 1: the per-thread share of the host's network
-// bandwidth, with one core per machine dedicated to incoming data.
+// bandwidth, with one core per machine dedicated to incoming data. With a
+// single core there is no separate network thread; the one core takes the
+// whole share.
 func (s System) PsNetwork() float64 {
-	return s.Net.Bandwidth(s.Machines) / float64(s.CoresPerMachine-1)
+	s = s.sanitize()
+	denom := float64(s.CoresPerMachine - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	return s.Net.Bandwidth(s.Machines) / denom
 }
 
 // NetworkBound is Equation 2: true when remote tuples are produced faster
 // than the network can ship them.
 func (s System) NetworkBound() bool {
+	s = s.sanitize()
 	nm := float64(s.Machines)
 	return (nm-1)/nm*s.Cal.PsPart > s.PsNetwork()
 }
@@ -175,16 +223,25 @@ func (s System) NetworkBound() bool {
 // PsThread is Equation 4: the effective partitioning speed of one thread
 // in a network-bound system.
 func (s System) PsThread() float64 {
+	s = s.sanitize()
 	nm := float64(s.Machines)
 	psNet := s.PsNetwork()
-	return nm * s.Cal.PsPart * psNet / ((nm-1)*s.Cal.PsPart + psNet)
+	denom := (nm-1)*s.Cal.PsPart + psNet
+	if denom <= 0 {
+		return 0
+	}
+	return nm * s.Cal.PsPart * psNet / denom
 }
 
 // PS1 is the global speed of the network partitioning pass: Equation 3 in
 // CPU-bound systems, Equation 5 in network-bound systems.
 func (s System) PS1() float64 {
+	s = s.sanitize()
 	nm := float64(s.Machines)
 	threads := nm * float64(s.CoresPerMachine-1)
+	if threads < 1 {
+		threads = 1
+	}
 	if s.Machines == 1 {
 		return float64(s.CoresPerMachine) * s.Cal.PsPart
 	}
@@ -196,25 +253,29 @@ func (s System) PS1() float64 {
 
 // PS2 is Equation 6: the global speed of a local partitioning pass.
 func (s System) PS2() float64 {
+	s = s.sanitize()
 	return float64(s.Machines*s.CoresPerMachine) * s.Cal.PsLocal
 }
 
 // PartitioningTime is Equation 7 for the configured number of passes.
 func (s System) PartitioningTime(w Workload) float64 {
-	t := w.Total() / s.PS1()
+	s = s.sanitize()
+	t := safeDiv(w.Total(), s.PS1())
 	if s.Cal.Passes > 1 {
-		t += float64(s.Cal.Passes-1) * w.Total() / s.PS2()
+		t += float64(s.Cal.Passes-1) * safeDiv(w.Total(), s.PS2())
 	}
 	return t
 }
 
 // BuildTime is Equations 8–9.
 func (s System) BuildTime(w Workload) float64 {
+	s = s.sanitize()
 	return w.R / (float64(s.Machines*s.CoresPerMachine) * s.Cal.HbThread)
 }
 
 // ProbeTime is Equations 10–11.
 func (s System) ProbeTime(w Workload) float64 {
+	s = s.sanitize()
 	return w.S / (float64(s.Machines*s.CoresPerMachine) * s.Cal.HpThread)
 }
 
@@ -222,18 +283,28 @@ func (s System) ProbeTime(w Workload) float64 {
 // its measured predictions; we expose it so the four-phase breakdown of
 // Figures 5b/7/9 can be predicted).
 func (s System) HistogramTime(w Workload) float64 {
+	s = s.sanitize()
 	return w.Total() / (float64(s.Machines*s.CoresPerMachine) * s.Cal.PsHist)
+}
+
+// safeDiv returns a/b, or 0 when b is not positive.
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
 }
 
 // Predict returns the full per-phase prediction.
 func (s System) Predict(w Workload) phase.Times {
+	s = s.sanitize()
 	local := 0.0
 	if s.Cal.Passes > 1 {
-		local = float64(s.Cal.Passes-1) * w.Total() / s.PS2()
+		local = float64(s.Cal.Passes-1) * safeDiv(w.Total(), s.PS2())
 	}
 	return phase.FromSeconds(
 		s.HistogramTime(w),
-		w.Total()/s.PS1(),
+		safeDiv(w.Total(), s.PS1()),
 		local,
 		s.BuildTime(w)+s.ProbeTime(w),
 	)
@@ -255,6 +326,10 @@ func PredictSingle(w Workload, cores int, cal SingleServerCalibration) phase.Tim
 // bandwidth is netMax/psPart; adding the network thread gives
 // ⌊netMax/psPart⌋ + 1 cores per machine (QDR → 4, FDR → 7).
 func (s System) OptimalCores() int {
+	s = s.sanitize()
+	if s.Net.Base <= 0 {
+		return 1
+	}
 	return int(s.Net.Base/s.Cal.PsPart) + 1
 }
 

@@ -1,0 +1,381 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/model"
+	"rackjoin/internal/phase"
+)
+
+// phaseNames are the gauge label values internal/core records under
+// phase_seconds, in paper order; they map 1:1 onto phase.Times fields.
+var phaseNames = [4]string{"histogram", "network_partition", "local_partition", "build_probe"}
+
+// stallRateNetworkBound is the back-pressure threshold of the observed
+// regime verdict: when more than this fraction of buffer flushes had to
+// wait for a completion before a buffer became free, the senders were
+// producing faster than the network could drain — the operational
+// definition of network-bound (Eq. 2's measured counterpart).
+const stallRateNetworkBound = 0.05
+
+// RunConfig describes one finished join run to the residual profiler:
+// the deployment (fed into model.System), the workload (fed into
+// model.Workload) and the measurements to score.
+type RunConfig struct {
+	// Machines and CoresPerMachine are N_M and N_C/M of the §5 model.
+	Machines, CoresPerMachine int
+	// Net is the interconnect to predict against (QDR/FDR/IPoIB, or a
+	// custom Network whose Base matches a throttled fabric).
+	Net model.Network
+	// Cal overrides the calibration constants; an all-zero Cal means
+	// model.DefaultCalibration, and individual zero rates are healed by
+	// the model's sanitization.
+	Cal model.Calibration
+	// Passes overrides Cal.Passes when > 0 (convenience for callers that
+	// know only whether a local pass ran).
+	Passes int
+
+	// RTuples, STuples and TupleWidth define |R| and |S|.
+	RTuples, STuples int64
+	TupleWidth       int
+
+	// Measured is the cluster-level phase breakdown (max across machines,
+	// phases being barrier-separated). If zero, it is reconstructed from
+	// the registry's phase_seconds gauges.
+	Measured phase.Times
+	// PerMachine holds each machine's own breakdown; if empty it is
+	// likewise reconstructed from phase_seconds{machine=…} gauges.
+	PerMachine []phase.Times
+
+	// PoolStalls and Messages are the back-pressure evidence for the
+	// observed-regime verdict: stalled buffer acquisitions out of total
+	// data-plane transfers.
+	PoolStalls, Messages uint64
+}
+
+// PhaseResidual scores one phase: measured ÷ predicted.
+type PhaseResidual struct {
+	Phase            string  `json:"phase"`
+	PredictedSeconds float64 `json:"predicted_s"`
+	MeasuredSeconds  float64 `json:"measured_s"`
+	// Ratio is measured ÷ predicted; 1.0 means the run matches the §5
+	// model exactly, > 1 slower than predicted, < 1 faster. Always
+	// finite: a zero prediction with a zero measurement scores 1, with a
+	// non-zero measurement it scores 0 (unscorable).
+	Ratio float64 `json:"ratio"`
+}
+
+// PartitionBytes is one partition's network-pass traffic (summed across
+// sending machines).
+type PartitionBytes struct {
+	Partition int    `json:"partition"`
+	Bytes     uint64 `json:"bytes"`
+}
+
+// Residual is the profiler's verdict on one run: per-phase residual
+// ratios against the analytical model, the regime comparison, and the
+// skew/straggler profile derived from the per-partition counters.
+type Residual struct {
+	System string          `json:"system"`
+	Phases []PhaseResidual `json:"phases"`
+	// TotalRatio is measured total ÷ predicted total.
+	TotalRatio float64 `json:"total_ratio"`
+
+	// Regime verdict: the model's Eq. 2 prediction vs what the run's
+	// back-pressure counters say.
+	PredictedNetworkBound bool `json:"predicted_network_bound"`
+	ObservedNetworkBound  bool `json:"observed_network_bound"`
+	RegimeMatch           bool `json:"regime_match"`
+	// StallRate is pool stalls per data-plane message (the observed
+	// regime's evidence).
+	StallRate float64 `json:"stall_rate"`
+
+	// Skew profile from the netpass_bytes_shipped counters.
+	MaxPartitionBytes  uint64           `json:"max_partition_bytes"`
+	MeanPartitionBytes float64          `json:"mean_partition_bytes"`
+	SkewRatio          float64          `json:"skew_ratio"` // max ÷ mean
+	TopPartitions      []PartitionBytes `json:"top_partitions,omitempty"`
+
+	// Straggler profile from the per-machine breakdowns.
+	SlowestMachine      int     `json:"slowest_machine"`
+	StragglerLagSeconds float64 `json:"straggler_lag_s"` // slowest − mean total
+}
+
+// safeRatio returns measured ÷ predicted, kept finite: 1 when both are
+// (near) zero, 0 when only the prediction is.
+func safeRatio(measured, predicted float64) float64 {
+	const eps = 1e-12
+	if predicted > eps {
+		r := measured / predicted
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return 0
+		}
+		return r
+	}
+	if measured <= eps {
+		return 1
+	}
+	return 0
+}
+
+// ProfileResidual scores a finished run against the §5 analytical model
+// and, when reg is non-nil, exports the verdict back into the registry as
+// model_residual_ratio{phase}, model_predicted_seconds{phase}, the regime
+// gauges and the skew/straggler gauges — so the residuals themselves are
+// visible through /metrics and the sampler.
+func ProfileResidual(reg *metrics.Registry, cfg RunConfig) *Residual {
+	cal := cfg.Cal
+	if cal == (model.Calibration{}) {
+		// An all-zero calibration means "use the paper's constants", not a
+		// one-pass zero-rate deployment (sanitize would clamp Passes to 1
+		// and drop the local pass from the prediction).
+		cal = model.DefaultCalibration()
+	}
+	sys := model.System{
+		Machines:        cfg.Machines,
+		CoresPerMachine: cfg.CoresPerMachine,
+		Net:             cfg.Net,
+		Cal:             cal,
+	}
+	if cfg.Passes > 0 {
+		sys.Cal.Passes = cfg.Passes
+	}
+	w := model.WorkloadTuples(cfg.RTuples, cfg.STuples, cfg.TupleWidth)
+	predicted := sys.Predict(w)
+
+	perMachine := cfg.PerMachine
+	if len(perMachine) == 0 {
+		perMachine = phasesFromRegistry(reg)
+	}
+	measured := cfg.Measured
+	if measured == (phase.Times{}) {
+		for _, pt := range perMachine {
+			measured = maxTimes(measured, pt)
+		}
+	}
+
+	r := &Residual{System: sys.String()}
+	ms, ps := measured.Seconds(), predicted.Seconds()
+	for i, name := range phaseNames {
+		r.Phases = append(r.Phases, PhaseResidual{
+			Phase:            name,
+			PredictedSeconds: ps[i],
+			MeasuredSeconds:  ms[i],
+			Ratio:            safeRatio(ms[i], ps[i]),
+		})
+	}
+	r.TotalRatio = safeRatio(measured.Total().Seconds(), predicted.Total().Seconds())
+
+	r.PredictedNetworkBound = sys.NetworkBound()
+	if cfg.Messages > 0 {
+		r.StallRate = float64(cfg.PoolStalls) / float64(cfg.Messages)
+	}
+	// Two pieces of observed evidence, either sufficient: buffer-pool
+	// back-pressure (threads stalled waiting for in-flight buffers), or a
+	// measured network pass well above what the CPU-bound rate (Eq. 3,
+	// infinite link) explains — interleaved senders can be link-limited
+	// without stalling when the pool is deep enough.
+	cpuBound := sys
+	cpuBound.Net.Base = math.MaxFloat64 / 2
+	cpuNet := cpuBound.Predict(w).NetworkPartition.Seconds()
+	r.ObservedNetworkBound = r.StallRate > stallRateNetworkBound ||
+		(cpuNet > 0 && ms[1] > 1.5*cpuNet)
+	r.RegimeMatch = r.PredictedNetworkBound == r.ObservedNetworkBound
+
+	r.profileSkew(reg)
+	r.profileStragglers(perMachine)
+	r.export(reg)
+	return r
+}
+
+// phasesFromRegistry reconstructs per-machine phase.Times from the
+// phase_seconds{machine,phase} gauges internal/core records.
+func phasesFromRegistry(reg *metrics.Registry) []phase.Times {
+	if reg == nil {
+		return nil
+	}
+	byMachine := map[int][4]float64{}
+	maxM := -1
+	for _, s := range reg.Snapshot() {
+		if s.Name != "phase_seconds" || s.Type != metrics.KindGauge {
+			continue
+		}
+		m, err := strconv.Atoi(s.Labels["machine"])
+		if err != nil {
+			continue
+		}
+		idx := -1
+		for i, name := range phaseNames {
+			if s.Labels["phase"] == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		v := byMachine[m]
+		v[idx] = s.Value
+		byMachine[m] = v
+		if m > maxM {
+			maxM = m
+		}
+	}
+	out := make([]phase.Times, maxM+1)
+	for m, v := range byMachine {
+		out[m] = phase.FromSeconds(v[0], v[1], v[2], v[3])
+	}
+	return out
+}
+
+func maxTimes(a, b phase.Times) phase.Times {
+	if b.Histogram > a.Histogram {
+		a.Histogram = b.Histogram
+	}
+	if b.NetworkPartition > a.NetworkPartition {
+		a.NetworkPartition = b.NetworkPartition
+	}
+	if b.LocalPartition > a.LocalPartition {
+		a.LocalPartition = b.LocalPartition
+	}
+	if b.BuildProbe > a.BuildProbe {
+		a.BuildProbe = b.BuildProbe
+	}
+	return a
+}
+
+// topKPartitions bounds the per-partition detail kept in the verdict.
+const topKPartitions = 5
+
+// profileSkew aggregates the netpass_bytes_shipped{machine,partition}
+// counters into the max/mean skew profile and the top-k heaviest
+// partitions.
+func (r *Residual) profileSkew(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	byPartition := map[int]uint64{}
+	for _, s := range reg.Snapshot() {
+		if s.Name != "netpass_bytes_shipped" {
+			continue
+		}
+		p, err := strconv.Atoi(s.Labels["partition"])
+		if err != nil {
+			continue
+		}
+		byPartition[p] += uint64(s.Value)
+	}
+	if len(byPartition) == 0 {
+		return
+	}
+	var total uint64
+	parts := make([]PartitionBytes, 0, len(byPartition))
+	for p, b := range byPartition {
+		parts = append(parts, PartitionBytes{Partition: p, Bytes: b})
+		total += b
+		if b > r.MaxPartitionBytes {
+			r.MaxPartitionBytes = b
+		}
+	}
+	r.MeanPartitionBytes = float64(total) / float64(len(byPartition))
+	if r.MeanPartitionBytes > 0 {
+		r.SkewRatio = float64(r.MaxPartitionBytes) / r.MeanPartitionBytes
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].Bytes != parts[j].Bytes {
+			return parts[i].Bytes > parts[j].Bytes
+		}
+		return parts[i].Partition < parts[j].Partition
+	})
+	if len(parts) > topKPartitions {
+		parts = parts[:topKPartitions]
+	}
+	r.TopPartitions = parts
+}
+
+// profileStragglers finds the machine whose total lags the mean the most.
+func (r *Residual) profileStragglers(perMachine []phase.Times) {
+	if len(perMachine) == 0 {
+		return
+	}
+	var sum, max float64
+	slowest := 0
+	for m, pt := range perMachine {
+		t := pt.Total().Seconds()
+		sum += t
+		if t > max {
+			max = t
+			slowest = m
+		}
+	}
+	mean := sum / float64(len(perMachine))
+	r.SlowestMachine = slowest
+	r.StragglerLagSeconds = max - mean
+}
+
+// export publishes the verdict as registry gauges.
+func (r *Residual) export(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, pr := range r.Phases {
+		l := metrics.L("phase", pr.Phase)
+		reg.Gauge("model_residual_ratio", l).Set(pr.Ratio)
+		reg.Gauge("model_predicted_seconds", l).Set(pr.PredictedSeconds)
+	}
+	reg.Gauge("model_residual_ratio", metrics.L("phase", "total")).Set(r.TotalRatio)
+	reg.Gauge("model_regime_predicted_network_bound").Set(b2f(r.PredictedNetworkBound))
+	reg.Gauge("model_regime_observed_network_bound").Set(b2f(r.ObservedNetworkBound))
+	reg.Gauge("model_regime_match").Set(b2f(r.RegimeMatch))
+	reg.Gauge("skew_partition_bytes_max").Set(float64(r.MaxPartitionBytes))
+	reg.Gauge("skew_partition_bytes_mean").Set(r.MeanPartitionBytes)
+	reg.Gauge("skew_partition_max_mean_ratio").Set(r.SkewRatio)
+	reg.Gauge("straggler_lag_seconds").Set(r.StragglerLagSeconds)
+	reg.Gauge("straggler_machine").Set(float64(r.SlowestMachine))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func regime(networkBound bool) string {
+	if networkBound {
+		return "network-bound"
+	}
+	return "CPU-bound"
+}
+
+// Report writes the end-of-run verdict as a human-readable table.
+func (r *Residual) Report(w io.Writer) {
+	fmt.Fprintf(w, "model residuals vs %s\n", r.System)
+	fmt.Fprintf(w, "%-20s %12s %12s %10s\n", "phase", "predicted", "measured", "residual")
+	for _, pr := range r.Phases {
+		fmt.Fprintf(w, "%-20s %11.3fs %11.3fs %9.2fx\n",
+			pr.Phase, pr.PredictedSeconds, pr.MeasuredSeconds, pr.Ratio)
+	}
+	fmt.Fprintf(w, "%-20s %12s %12s %9.2fx\n", "total", "", "", r.TotalRatio)
+	match := "MATCH"
+	if !r.RegimeMatch {
+		match = "MISMATCH"
+	}
+	fmt.Fprintf(w, "regime    predicted %s, observed %s (%s, stall rate %.3f)\n",
+		regime(r.PredictedNetworkBound), regime(r.ObservedNetworkBound), match, r.StallRate)
+	if r.MeanPartitionBytes > 0 {
+		fmt.Fprintf(w, "skew      max/mean bytes shipped %.2fx (max %.1f MB, mean %.1f MB)\n",
+			r.SkewRatio, float64(r.MaxPartitionBytes)/(1<<20), r.MeanPartitionBytes/(1<<20))
+		fmt.Fprintf(w, "          top partitions:")
+		for _, p := range r.TopPartitions {
+			fmt.Fprintf(w, " %d (%.1f MB)", p.Partition, float64(p.Bytes)/(1<<20))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "straggler machine %d lags the mean by %.3fs\n", r.SlowestMachine, r.StragglerLagSeconds)
+}

@@ -1,0 +1,184 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/model"
+	"rackjoin/internal/phase"
+	"rackjoin/internal/sim"
+)
+
+// TestResidualOnSimulatedFabric is the acceptance check of ISSUE 3: on
+// the calibrated simulated fabric, every phase residual against the §5
+// model must be finite and within a sane 0.1x–10x band, for both a QDR
+// and an FDR deployment.
+func TestResidualOnSimulatedFabric(t *testing.T) {
+	cases := []struct {
+		name     string
+		net      model.Network
+		machines int
+	}{
+		{"QDR 4 machines", model.QDR(), 4},
+		{"FDR 4 machines", model.FDR(), 4},
+		{"QDR 8 machines", model.QDR(), 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := sim.Config{
+				Machines: tc.machines, Cores: 8, Net: tc.net,
+				RTuples: 512 << 20, STuples: 512 << 20, TupleWidth: 16,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := metrics.NewRegistry()
+			msgs := uint64(res.RemoteMB * (1 << 20) / (64 << 10))
+			verdict := ProfileResidual(reg, RunConfig{
+				Machines: tc.machines, CoresPerMachine: 8, Net: tc.net,
+				RTuples: 512 << 20, STuples: 512 << 20, TupleWidth: 16,
+				Measured: res.Phases, PerMachine: res.PerMachine,
+				PoolStalls: res.Stalls, Messages: msgs,
+			})
+			if len(verdict.Phases) != 4 {
+				t.Fatalf("%d phase residuals, want 4", len(verdict.Phases))
+			}
+			for _, pr := range verdict.Phases {
+				if math.IsNaN(pr.Ratio) || math.IsInf(pr.Ratio, 0) {
+					t.Errorf("phase %s residual %v is not finite", pr.Phase, pr.Ratio)
+				}
+				if pr.Ratio < 0.1 || pr.Ratio > 10 {
+					t.Errorf("phase %s residual %.3fx outside the 0.1x–10x band (predicted %.3fs, measured %.3fs)",
+						pr.Phase, pr.Ratio, pr.PredictedSeconds, pr.MeasuredSeconds)
+				}
+			}
+			if verdict.TotalRatio < 0.1 || verdict.TotalRatio > 10 {
+				t.Errorf("total residual %.3fx outside the band", verdict.TotalRatio)
+			}
+			// The verdict is exported back into the registry.
+			found := 0
+			for _, s := range reg.Snapshot() {
+				if s.Name == "model_residual_ratio" {
+					found++
+				}
+			}
+			if found != 5 { // four phases + total
+				t.Errorf("registry has %d model_residual_ratio series, want 5", found)
+			}
+		})
+	}
+}
+
+func TestResidualFromRegistryGauges(t *testing.T) {
+	// With no Measured/PerMachine given, the profiler reconstructs the
+	// per-machine breakdown from the phase_seconds gauges core records.
+	reg := metrics.NewRegistry()
+	set := func(m int, ph string, v float64) {
+		reg.Gauge("phase_seconds", metrics.L("machine", machineLabel(m)), metrics.L("phase", ph)).Set(v)
+	}
+	set(0, "histogram", 0.1)
+	set(0, "network_partition", 1.0)
+	set(0, "local_partition", 0.3)
+	set(0, "build_probe", 0.2)
+	set(1, "histogram", 0.2) // machine 1 is the straggler
+	set(1, "network_partition", 2.0)
+	set(1, "local_partition", 0.4)
+	set(1, "build_probe", 0.3)
+
+	verdict := ProfileResidual(reg, RunConfig{
+		Machines: 2, CoresPerMachine: 4, Net: model.QDR(),
+		RTuples: 64 << 20, STuples: 64 << 20, TupleWidth: 16,
+	})
+	// Measured must be the per-phase max across machines.
+	if got := verdict.Phases[1].MeasuredSeconds; got != 2.0 {
+		t.Errorf("network_partition measured %g, want 2.0 (max across machines)", got)
+	}
+	if verdict.SlowestMachine != 1 {
+		t.Errorf("slowest machine %d, want 1", verdict.SlowestMachine)
+	}
+	wantLag := 2.9 - (1.6+2.9)/2
+	if math.Abs(verdict.StragglerLagSeconds-wantLag) > 1e-9 {
+		t.Errorf("straggler lag %g, want %g", verdict.StragglerLagSeconds, wantLag)
+	}
+}
+
+func machineLabel(m int) string { return string(rune('0' + m)) }
+
+func TestResidualSkewProfile(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// Partition 3 is hot: 8 MB vs 1 MB for the rest, shipped from two
+	// machines (the profiler sums across senders).
+	for m := 0; m < 2; m++ {
+		ml := metrics.L("machine", machineLabel(m))
+		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "3")).Add(4 << 20)
+		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "1")).Add(512 << 10)
+		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "2")).Add(512 << 10)
+	}
+	verdict := ProfileResidual(reg, RunConfig{
+		Machines: 2, CoresPerMachine: 4, Net: model.QDR(),
+		RTuples: 64 << 20, STuples: 64 << 20, TupleWidth: 16,
+		Measured: phase.FromSeconds(0.1, 1, 0.3, 0.2),
+	})
+	if verdict.MaxPartitionBytes != 8<<20 {
+		t.Errorf("max partition bytes %d, want %d", verdict.MaxPartitionBytes, 8<<20)
+	}
+	wantMean := float64(10<<20) / 3
+	if math.Abs(verdict.MeanPartitionBytes-wantMean) > 1 {
+		t.Errorf("mean partition bytes %g, want %g", verdict.MeanPartitionBytes, wantMean)
+	}
+	if verdict.SkewRatio < 2.3 || verdict.SkewRatio > 2.5 {
+		t.Errorf("skew ratio %g, want ≈2.4", verdict.SkewRatio)
+	}
+	if len(verdict.TopPartitions) == 0 || verdict.TopPartitions[0].Partition != 3 {
+		t.Errorf("top partitions %v, want partition 3 first", verdict.TopPartitions)
+	}
+	for _, name := range []string{"skew_partition_max_mean_ratio", "straggler_lag_seconds", "model_regime_match"} {
+		found := false
+		for _, s := range reg.Snapshot() {
+			if s.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("gauge %s not exported", name)
+		}
+	}
+}
+
+func TestResidualDegenerateInputsFinite(t *testing.T) {
+	// Zero workload, zero machines, no registry: everything must stay
+	// finite and not panic (the profiler runs unconditionally at join
+	// completion).
+	verdict := ProfileResidual(nil, RunConfig{})
+	for _, pr := range verdict.Phases {
+		if math.IsNaN(pr.Ratio) || math.IsInf(pr.Ratio, 0) {
+			t.Errorf("phase %s residual %v not finite", pr.Phase, pr.Ratio)
+		}
+	}
+	if math.IsNaN(verdict.TotalRatio) || math.IsInf(verdict.TotalRatio, 0) {
+		t.Errorf("total residual %v not finite", verdict.TotalRatio)
+	}
+}
+
+func TestResidualReportRenders(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("netpass_bytes_shipped", metrics.L("partition", "0")).Add(1 << 20)
+	verdict := ProfileResidual(reg, RunConfig{
+		Machines: 4, CoresPerMachine: 8, Net: model.QDR(),
+		RTuples: 256 << 20, STuples: 256 << 20, TupleWidth: 16,
+		Measured:   phase.FromSeconds(0.5, 3, 1, 0.5),
+		PerMachine: []phase.Times{phase.FromSeconds(0.5, 3, 1, 0.5), phase.FromSeconds(0.4, 2.5, 0.9, 0.4)},
+		PoolStalls: 100, Messages: 1000,
+	})
+	var sb strings.Builder
+	verdict.Report(&sb)
+	out := sb.String()
+	for _, want := range []string{"model residuals", "network_partition", "regime", "skew", "straggler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

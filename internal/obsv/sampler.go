@@ -1,0 +1,170 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"rackjoin/internal/metrics"
+)
+
+// SampleRecord is one sampler tick: the elapsed run time and the
+// per-series registry deltas since the previous tick (metrics.Delta
+// semantics — counters and histogram count/sum are per-interval flows,
+// gauges are levels). A run emits one JSONL line per record, turning
+// end-of-run totals like buffer-pool stalls, bytes shipped and RNR/CQ
+// waits into run-long curves.
+type SampleRecord struct {
+	// ElapsedSeconds is the offset of this tick from the sampler's start.
+	ElapsedSeconds float64 `json:"elapsed_s"`
+	// IntervalSeconds is the measured length of the sampled interval.
+	IntervalSeconds float64 `json:"interval_s"`
+	// Samples are the registry deltas over the interval.
+	Samples []metrics.Sample `json:"samples"`
+}
+
+// samplerKeep bounds the in-memory record ring served by /samples; at the
+// default 500 ms interval it retains about 8.5 minutes of history.
+const samplerKeep = 1024
+
+// Sampler periodically snapshots a metrics registry and appends the
+// deltas to a JSONL sink and an in-memory ring (served live by Server's
+// /samples endpoint). A nil *Sampler is a valid no-op, matching the
+// nil-safety convention of internal/metrics.
+type Sampler struct {
+	reg      *metrics.Registry
+	interval time.Duration
+	enc      *json.Encoder // optional JSONL sink
+
+	mu    sync.Mutex
+	prev  []metrics.Sample
+	last  time.Time
+	start time.Time
+	ring  []SampleRecord
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewSampler creates a sampler over reg ticking at the given interval
+// (minimum 10 ms; zero means 500 ms). w, when non-nil, receives one JSON
+// record per line. Call Start to begin sampling and Stop to flush the
+// final interval.
+func NewSampler(reg *metrics.Registry, interval time.Duration, w io.Writer) *Sampler {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &Sampler{reg: reg, interval: interval}
+	if w != nil {
+		s.enc = json.NewEncoder(w)
+	}
+	return s
+}
+
+// Start launches the background sampling goroutine. Starting an already
+// started sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.start = time.Now()
+	s.last = s.start
+	s.prev = s.reg.Snapshot()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sampleOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// sampleOnce takes one delta sample immediately.
+func (s *Sampler) sampleOnce() {
+	if s == nil {
+		return
+	}
+	cur := s.reg.Snapshot()
+	now := time.Now()
+	s.mu.Lock()
+	rec := SampleRecord{
+		ElapsedSeconds:  now.Sub(s.start).Seconds(),
+		IntervalSeconds: now.Sub(s.last).Seconds(),
+		Samples:         metrics.Delta(s.prev, cur),
+	}
+	s.prev = cur
+	s.last = now
+	s.ring = append(s.ring, rec)
+	if len(s.ring) > samplerKeep {
+		s.ring = s.ring[len(s.ring)-samplerKeep:]
+	}
+	enc := s.enc
+	s.mu.Unlock()
+	if enc != nil {
+		// The encoder is only ever driven from the sampling goroutine (or
+		// from Stop after that goroutine exited), so no lock is held while
+		// writing to what may be a slow file or pipe.
+		_ = enc.Encode(rec)
+	}
+}
+
+// Stop halts sampling after flushing one final interval so short runs
+// still produce at least one record. Stopping a never-started or already
+// stopped sampler is a no-op.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	s.sampleOnce()
+}
+
+// Records returns a copy of the retained sample records.
+func (s *Sampler) Records() []SampleRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SampleRecord, len(s.ring))
+	copy(out, s.ring)
+	return out
+}
+
+// WriteJSONL writes the retained records to w, one JSON object per line —
+// the same format the file sink receives.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range s.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rackjoin/internal/metrics"
+)
+
+func TestSamplerDeltasSumToTotal(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("netpass_bytes_shipped", metrics.L("partition", "0"))
+	var sink bytes.Buffer
+	s := NewSampler(reg, 10*time.Millisecond, &sink)
+	s.Start()
+	const total = 1000
+	for i := 0; i < total; i++ {
+		c.Inc()
+		if i%100 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Stop()
+
+	recs := s.Records()
+	if len(recs) == 0 {
+		t.Fatal("sampler produced no records")
+	}
+	var sum float64
+	for _, r := range recs {
+		for _, smp := range r.Samples {
+			if smp.Name == "netpass_bytes_shipped" {
+				if smp.Value < 0 {
+					t.Errorf("negative delta %g", smp.Value)
+				}
+				sum += smp.Value
+			}
+		}
+	}
+	if sum != total {
+		t.Errorf("deltas sum to %g, want %d", sum, total)
+	}
+
+	// The JSONL sink carries the same records, one object per line.
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != len(recs) {
+		t.Errorf("sink has %d lines, ring has %d records", len(lines), len(recs))
+	}
+	for i, line := range lines {
+		var r SampleRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+	// Elapsed offsets are monotonically non-decreasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ElapsedSeconds < recs[i-1].ElapsedSeconds {
+			t.Errorf("elapsed went backwards: %g after %g", recs[i].ElapsedSeconds, recs[i-1].ElapsedSeconds)
+		}
+	}
+}
+
+func TestSamplerStopWithoutStart(t *testing.T) {
+	s := NewSampler(metrics.NewRegistry(), time.Second, nil)
+	s.Stop() // no-op, must not hang or panic
+	var nilSampler *Sampler
+	nilSampler.Start()
+	nilSampler.Stop()
+	if nilSampler.Records() != nil {
+		t.Error("nil sampler returned records")
+	}
+}
+
+func TestSamplerConcurrentWithWriters(t *testing.T) {
+	// Run under -race: concurrent metric writers, a running sampler, and
+	// reader endpoints all at once.
+	reg := metrics.NewRegistry()
+	s := NewSampler(reg, 10*time.Millisecond, nil)
+	s.Start()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("c", metrics.L("w", string(rune('a'+w))))
+			h := reg.Histogram("h")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}(w)
+	}
+	deadline := time.After(60 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			s.Stop()
+			if len(s.Records()) == 0 {
+				t.Fatal("no records under concurrency")
+			}
+			if err := s.WriteJSONL(&bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			_ = s.Records()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}

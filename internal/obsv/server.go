@@ -1,0 +1,182 @@
+// Package obsv is the live observability plane of the repository: an HTTP
+// exposition server (metrics, Chrome-trace download, pprof), a background
+// sampler that turns registry totals into run-long JSONL time series, and
+// a model-residual profiler that scores measured phase times against the
+// paper's §5 analytical model at join completion.
+//
+// Any long-running process mounts it with a handful of lines:
+//
+//	srv := obsv.NewServer(obsv.Options{Registry: reg, Trace: tracer})
+//	addr, _ := srv.Start(":8080")
+//	defer srv.Close()
+//
+// and gains /metrics (text or ?format=json), /trace (chrome://tracing
+// JSON, safe mid-run), /samples (the sampler's JSONL ring), /residual
+// (the last profiler verdict) and /debug/pprof.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/trace"
+)
+
+// Options configures a Server. Every field is optional: endpoints whose
+// backing object is nil respond 404 with a hint.
+type Options struct {
+	// Registry backs /metrics (and /samples through Sampler).
+	Registry *metrics.Registry
+	// Trace backs /trace.
+	Trace *trace.Recorder
+	// Sampler backs /samples; the server does not start or stop it.
+	Sampler *Sampler
+}
+
+// Server is the exposition HTTP server.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	residual *Residual
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewServer builds the server and its routes; Start binds it to an
+// address, or mount Handler on an existing server.
+func NewServer(o Options) *Server {
+	s := &Server{opts: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/samples", s.handleSamples)
+	s.mux.HandleFunc("/residual", s.handleResidual)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the route mux, for mounting on an existing server or an
+// httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetResidual publishes a profiler verdict on /residual.
+func (s *Server) SetResidual(r *Residual) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.residual = r
+	s.mu.Unlock()
+}
+
+// Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves in the
+// background. It returns the bound address — useful with port 0.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. In-flight requests are aborted; the join this
+// server observes is unaffected.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `rackjoin observability plane
+/metrics        registry exposition (text; ?format=json for JSON)
+/trace          Chrome trace-event JSON (chrome://tracing, Perfetto); safe mid-run
+/samples        sampler time series, one JSON record per line
+/residual       last model-residual verdict (measured vs §5 prediction)
+/debug/pprof/   Go runtime profiles
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Registry == nil {
+		http.Error(w, "no metrics registry mounted", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.opts.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.opts.Registry.WriteText(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Trace == nil {
+		http.Error(w, "no trace recorder mounted (enable tracing on the run)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	_ = s.opts.Trace.WriteChromeJSON(w)
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Sampler == nil {
+		http.Error(w, "no sampler mounted (set -sample-interval)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.opts.Sampler.WriteJSONL(w)
+}
+
+func (s *Server) handleResidual(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	res := s.residual
+	s.mu.Unlock()
+	if res == nil {
+		http.Error(w, "no residual verdict yet (completes with the join)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}

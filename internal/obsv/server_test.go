@@ -1,0 +1,142 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/trace"
+)
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("rdma_bytes_sent", metrics.L("machine", "0")).Add(1024)
+	reg.Gauge("phase_seconds", metrics.L("machine", "0"), metrics.L("phase", "histogram")).Set(0.5)
+
+	rec := trace.New()
+	end := rec.Span(0, "phase", "histogram")
+	end(64)
+	openEnd := rec.Span(1, "phase", "network partition") // left open: mid-run view
+	defer openEnd(0)
+
+	sam := NewSampler(reg, 10*time.Millisecond, nil)
+	sam.Start()
+	reg.Counter("rdma_bytes_sent", metrics.L("machine", "0")).Add(4096)
+	sam.Stop()
+
+	srv := NewServer(Options{Registry: reg, Trace: rec, Sampler: sam})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts.Client(), ts.URL+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+
+	code, body := get(t, ts.Client(), ts.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "rdma_bytes_sent") || !strings.Contains(body, "phase_seconds") {
+		t.Errorf("/metrics text: code %d body %q", code, body)
+	}
+
+	code, body = get(t, ts.Client(), ts.URL+"/metrics?format=json")
+	var samples []metrics.Sample
+	if code != 200 {
+		t.Fatalf("/metrics?format=json: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &samples); err != nil || len(samples) == 0 {
+		t.Errorf("/metrics json: %v (%d samples)", err, len(samples))
+	}
+
+	code, body = get(t, ts.Client(), ts.URL+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace: code %d", code)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Errorf("/trace: %v (%d events)", err, len(doc.TraceEvents))
+	}
+	if !strings.Contains(body, "network partition") {
+		t.Error("/trace is missing the in-flight span (mid-run export)")
+	}
+
+	code, body = get(t, ts.Client(), ts.URL+"/samples")
+	if code != 200 {
+		t.Fatalf("/samples: code %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("/samples returned no records")
+	}
+	var rec0 SampleRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec0); err != nil {
+		t.Errorf("/samples line 0: %v", err)
+	}
+
+	if code, _ := get(t, ts.Client(), ts.URL+"/residual"); code != 404 {
+		t.Errorf("/residual before a verdict: code %d, want 404", code)
+	}
+	srv.SetResidual(&Residual{System: "test", TotalRatio: 1.0})
+	code, body = get(t, ts.Client(), ts.URL+"/residual")
+	if code != 200 || !strings.Contains(body, "total_ratio") {
+		t.Errorf("/residual: code %d body %q", code, body)
+	}
+
+	if code, _ := get(t, ts.Client(), ts.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+}
+
+func TestServerMissingBackends(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/trace", "/samples", "/residual"} {
+		if code, _ := get(t, ts.Client(), ts.URL+path); code != 404 {
+			t.Errorf("%s with nil backend: code %d, want 404", path, code)
+		}
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	srv := NewServer(Options{Registry: metrics.NewRegistry()})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("live /metrics: code %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

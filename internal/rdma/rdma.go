@@ -81,6 +81,14 @@ func (n *Network) Metrics() *metrics.Registry { return n.reg }
 
 // NewDevice attaches a new device (HCA) to the network.
 func (n *Network) NewDevice() *Device {
+	return n.NewDeviceLabeled()
+}
+
+// NewDeviceLabeled attaches a new device whose metric series carry the
+// given labels in addition to device=<id>. The cluster layer uses it to
+// stamp each device with the machine that owns it, so device counters
+// join against per-machine join telemetry without an external mapping.
+func (n *Network) NewDeviceLabeled(extra ...metrics.Label) *Device {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	d := &Device{
@@ -90,7 +98,8 @@ func (n *Network) NewDevice() *Device {
 		qps:  make(map[uint32]*QP),
 	}
 	d.id = len(n.devices)
-	d.m = newDeviceMetrics(n.reg.Scope(metrics.L("device", strconv.Itoa(d.id))))
+	labels := append([]metrics.Label{metrics.L("device", strconv.Itoa(d.id))}, extra...)
+	d.m = newDeviceMetrics(n.reg.Scope(labels...))
 	n.devices = append(n.devices, d)
 	return d
 }

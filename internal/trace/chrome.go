@@ -33,8 +33,15 @@ type chromeTrace struct {
 // one process per machine, one thread row per event kind ("phase" is
 // always thread 0), spans as complete ("X") events carrying their byte
 // counts as args.
+//
+// It is safe to call mid-run: the event list is snapshotted under the
+// recorder's lock, and spans still in flight are exported as complete
+// events truncated at the export instant, tagged args.open=true, so a
+// live /trace download shows the phases currently executing.
 func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 	events := r.Events()
+	openFrom := len(events)
+	events = append(events, r.OpenSpans()...)
 
 	// Stable thread row per kind: "phase" first, then remaining kinds in
 	// first-occurrence order.
@@ -68,7 +75,7 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			})
 		}
 	}
-	for _, e := range events {
+	for i, e := range events {
 		name := e.Label
 		if name == "" {
 			name = "?"
@@ -81,6 +88,12 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 		}
 		if e.Bytes > 0 {
 			ev.Args = map[string]any{"bytes": e.Bytes}
+		}
+		if i >= openFrom {
+			if ev.Args == nil {
+				ev.Args = map[string]any{}
+			}
+			ev.Args["open"] = true
 		}
 		out = append(out, ev)
 	}

@@ -33,15 +33,22 @@ func (e Event) Duration() time.Duration { return e.End - e.Start }
 
 // Recorder collects events from concurrent machines. The zero value is
 // not usable; construct with New.
+//
+// All accessors snapshot under the recorder's lock, so exporting (Events,
+// OpenSpans, WriteChromeJSON, Gantt, Summary) is safe while spans are
+// still being recorded — the live /trace endpoint of internal/obsv
+// downloads mid-run traces this way.
 type Recorder struct {
 	mu     sync.Mutex
 	epoch  time.Time
 	events []Event
+	open   map[uint64]Event // in-flight spans (End unset)
+	nextID uint64
 }
 
 // New creates a recorder whose epoch is now.
 func New() *Recorder {
-	return &Recorder{epoch: time.Now()}
+	return &Recorder{epoch: time.Now(), open: make(map[uint64]Event)}
 }
 
 // Record adds a span with explicit wall-clock endpoints.
@@ -55,12 +62,40 @@ func (r *Recorder) Record(machine int, kind, label string, start, end time.Time,
 }
 
 // Span starts a span now and returns a closer that ends it; pass the
-// bytes processed (0 if not applicable).
+// bytes processed (0 if not applicable). Until the closer runs, the span
+// is visible through OpenSpans, so mid-run exports include it.
 func (r *Recorder) Span(machine int, kind, label string) func(bytes int64) {
 	start := time.Now()
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	if r.open == nil {
+		r.open = make(map[uint64]Event)
+	}
+	r.open[id] = Event{Machine: machine, Kind: kind, Label: label, Start: start.Sub(r.epoch)}
+	r.mu.Unlock()
 	return func(bytes int64) {
+		r.mu.Lock()
+		delete(r.open, id)
+		r.mu.Unlock()
 		r.Record(machine, kind, label, start, time.Now(), bytes)
 	}
+}
+
+// OpenSpans returns the spans that have started but not yet finished,
+// with End set to the elapsed time now, ordered by start. Together with
+// Events it gives a complete mid-run picture of the execution.
+func (r *Recorder) OpenSpans() []Event {
+	r.mu.Lock()
+	now := time.Since(r.epoch)
+	out := make([]Event, 0, len(r.open))
+	for _, e := range r.open {
+		e.End = now
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // Events returns a copy of the recorded spans, ordered by start time.

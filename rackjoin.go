@@ -34,6 +34,9 @@
 package rackjoin
 
 import (
+	"io"
+	"time"
+
 	"rackjoin/internal/agg"
 	"rackjoin/internal/cluster"
 	"rackjoin/internal/core"
@@ -42,6 +45,7 @@ import (
 	"rackjoin/internal/mcjoin"
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/model"
+	"rackjoin/internal/obsv"
 	"rackjoin/internal/phase"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
@@ -177,10 +181,48 @@ type (
 	MetricsScope = metrics.Scope
 	// MetricSample is one series in a registry snapshot.
 	MetricSample = metrics.Sample
+	// MetricLabel is one key=value dimension of a metric series.
+	MetricLabel = metrics.Label
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// L constructs a metric label.
+func L(key, value string) MetricLabel { return metrics.L(key, value) }
+
+// Observability plane (see internal/obsv): an HTTP exposition server
+// (/metrics, /trace, /samples, /residual, /debug/pprof), a background
+// sampler turning registry totals into run-long time series, and a
+// model-residual profiler scoring measured phases against the §5 model.
+type (
+	// ObsvServer serves metrics, traces, samples and profiles over HTTP.
+	ObsvServer = obsv.Server
+	// ObsvOptions selects the backends an ObsvServer exposes.
+	ObsvOptions = obsv.Options
+	// Sampler snapshots registry deltas on an interval into a time series.
+	Sampler = obsv.Sampler
+	// Residual is a model-residual verdict: per-phase measured/predicted
+	// ratios, the regime comparison and skew/straggler profile.
+	Residual = obsv.Residual
+	// ResidualConfig describes a finished run to the residual profiler.
+	ResidualConfig = obsv.RunConfig
+)
+
+// NewObsvServer builds the observability HTTP server; Start binds it.
+func NewObsvServer(o ObsvOptions) *ObsvServer { return obsv.NewServer(o) }
+
+// NewSampler creates a background sampler over reg. A nil out keeps the
+// series only in memory (served via ObsvServer's /samples).
+func NewSampler(reg *MetricsRegistry, interval time.Duration, out io.Writer) *Sampler {
+	return obsv.NewSampler(reg, interval, out)
+}
+
+// ProfileResidual scores a finished run against the §5 analytical model
+// and exports the verdict into reg (model_residual_ratio{phase} et al.).
+func ProfileResidual(reg *MetricsRegistry, cfg ResidualConfig) *Residual {
+	return obsv.ProfileResidual(reg, cfg)
+}
 
 // NewCluster builds a rack of machines×cores with an unthrottled fabric.
 func NewCluster(machines, cores int) (*Cluster, error) {
