@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-kernels bench-baseline check
+.PHONY: build test race vet bench bench-kernels bench-pipeline bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,18 @@ bench-kernels:
 		./internal/radix ./internal/hashtable | $(GO) run ./cmd/benchfmt > BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
 
+# Barrier vs partition-ready pipelining on a throttled sim fabric
+# (DESIGN.md §10), formatted into BENCH_pipeline.json; the
+# barrier→pipelined speedup entry is the headline number. One `go test`
+# process per variant: whichever variant runs second in a shared process
+# re-faults ~100 MB of scavenged slab pages inside the timed loop (see
+# bench_pipeline_test.go), which would skew the comparison.
+bench-pipeline:
+	( $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/barrier' -benchtime $(BENCHTIME) -timeout 30m . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/pipelined' -benchtime $(BENCHTIME) -timeout 30m . ) \
+		| $(GO) run ./cmd/benchfmt > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
+
 # Advisory regression gate: rerun the kernel benchmarks and flag any
 # result more than 10% slower than the checked-in BENCH_kernels.json.
 # Exits non-zero on regressions; `check` runs it best-effort (benchmark
@@ -39,6 +51,9 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime $(BENCHTIME) -timeout 30m \
 		./internal/radix ./internal/hashtable | \
 		$(GO) run ./cmd/benchfmt -baseline BENCH_kernels.json > /dev/null
+	( $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/barrier' -benchtime $(BENCHTIME) -timeout 30m . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/pipelined' -benchtime $(BENCHTIME) -timeout 30m . ) \
+		| $(GO) run ./cmd/benchfmt -baseline BENCH_pipeline.json > /dev/null
 
 check: build vet test race
 	-$(MAKE) bench-baseline BENCHTIME=1x

@@ -1,0 +1,81 @@
+// Benchmark of the partition-ready execution pipeline (DESIGN.md §10):
+// the same Zipf-skewed distributed join on a bandwidth-throttled fabric,
+// once with the classic post-network-pass barrier and once pipelined.
+// With the fabric as the bottleneck the pipelined run hides the local
+// partitioning and most of the build-probe work inside the network pass,
+// so its wall clock should undercut the barrier run's by well over 10%.
+//
+// `make bench-pipeline` formats the pair into BENCH_pipeline.json via
+// cmd/benchfmt (the barrier→pipelined variant pair yields the speedup).
+// It runs each variant in its own `go test` process: every Join retires
+// ~100 MB of slabs, and whichever variant runs second in a shared process
+// re-faults the scavenged heap pages during region allocation, inflating
+// its numbers by ~20% regardless of which variant it is.
+package rackjoin_test
+
+import (
+	"testing"
+	"time"
+
+	"rackjoin"
+)
+
+func benchPipelineJoin(b *testing.B, pipelined bool) {
+	b.Helper()
+	const (
+		machines = 4
+		cores    = 4
+		// Cap each host's egress/ingress so the network pass is the
+		// long pole — the regime the pipeline targets (a rack fabric
+		// saturated by an all-to-all repartition). ~3.8 MB leaves each
+		// host and pays both the egress and the ingress meter, so the
+		// pass runs for ~200 ms: the barrier run idles through it, the
+		// pipelined run joins through it.
+		fabricMBs = 128
+	)
+	c, err := rackjoin.NewThrottledCluster(machines, cores, fabricMBs*1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+		InnerTuples: 1 << 18, OuterTuples: 1 << 20, Seed: 2015, Skew: 1.20,
+	}, machines)
+	want := rackjoin.ExpectedJoin(outer)
+	cfg := rackjoin.DefaultJoinConfig()
+	cfg.Pipeline = pipelined
+	cfg.Assignment = rackjoin.SizeSorted
+	cfg.SkewSplitFactor = 2
+	// Deep send pools decouple the scatter from the fabric: partition
+	// threads finish writing (and the local slab shares complete) at CPU
+	// speed while the lanes drain at the throttled rate. Injection is
+	// gated on the local shares, so this is what opens the overlap
+	// window; the barrier run gets the same pools for a fair comparison.
+	cfg.BuffersPerPartition = 8
+	b.SetBytes(int64(inner.Size() + outer.Size()))
+	var busy, overlap time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rackjoin.Join(c, inner, outer, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matches != want.Matches || res.Checksum != want.Checksum {
+			b.Fatalf("wrong result: %d matches", res.Matches)
+		}
+		busy += res.Phases.NetworkPartition + res.Phases.LocalPartition + res.Phases.BuildProbe
+		for _, o := range res.PipelineOverlap {
+			if o > overlap {
+				overlap = o
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(busy.Seconds()/n*1e3, "net+join-ms/op")
+	b.ReportMetric(overlap.Seconds()*1e3, "max-overlap-ms")
+}
+
+func BenchmarkPipelineJoin(b *testing.B) {
+	b.Run("barrier", func(b *testing.B) { benchPipelineJoin(b, false) })
+	b.Run("pipelined", func(b *testing.B) { benchPipelineJoin(b, true) })
+}

@@ -64,9 +64,10 @@ var benchLine = regexp.MustCompile(
 // variantPairs maps a baseline name fragment to the fragments of its
 // optimised counterparts; applied as string substitutions on bench names.
 var variantPairs = [][2]string{
-	{"Scalar", "WC"},    // ScatterScalar → ScatterWC
-	{"Scalar", "Batch"}, // ProbeScalar → ProbeBatch
-	{"scalar", "wc"},    // Partition/scalar/... → Partition/wc/...
+	{"Scalar", "WC"},         // ScatterScalar → ScatterWC
+	{"Scalar", "Batch"},      // ProbeScalar → ProbeBatch
+	{"scalar", "wc"},         // Partition/scalar/... → Partition/wc/...
+	{"barrier", "pipelined"}, // PipelineJoin/barrier → PipelineJoin/pipelined
 }
 
 func main() {

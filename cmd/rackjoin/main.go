@@ -38,6 +38,7 @@ func main() {
 		seed       = flag.Int64("seed", 2015, "workload seed")
 		transport  = flag.String("transport", "two-sided", "transport: two-sided | one-sided | stream | tcp")
 		interleave = flag.Bool("interleave", true, "interleave computation and communication")
+		pipeline   = flag.Bool("pipeline", true, "partition-ready pipelining: join partitions as they complete instead of after a barrier")
 		netBits    = flag.Uint("network-bits", 6, "radix bits of the network partitioning pass")
 		localBits  = flag.Uint("local-bits", 6, "radix bits of the local partitioning pass (0 = skip)")
 		bufSize    = flag.Int("buffer", 16<<10, "RDMA buffer size in bytes")
@@ -62,6 +63,7 @@ func main() {
 	cfg.BufferSize = *bufSize
 	cfg.BuffersPerPartition = *buffers
 	cfg.Interleaved = *interleave
+	cfg.Pipeline = *pipeline
 	cfg.SkewSplitFactor = *split
 	switch *transport {
 	case "two-sided":
@@ -196,10 +198,21 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 
-	fmt.Printf("\ntransport=%s assignment=%s interleaved=%v\n", cfg.Transport, cfg.Assignment, cfg.Interleaved)
+	fmt.Printf("\ntransport=%s assignment=%s interleaved=%v pipelined=%v\n",
+		cfg.Transport, cfg.Assignment, cfg.Interleaved, cfg.Pipeline)
 	fmt.Printf("matches   %d (expected %d)\n", res.Matches, want.Matches)
 	fmt.Printf("checksum  %d (expected %d)\n", res.Checksum, want.Checksum)
 	fmt.Printf("phases    %s\n", res.Phases)
+	var maxOverlap time.Duration
+	for _, o := range res.PipelineOverlap {
+		if o > maxOverlap {
+			maxOverlap = o
+		}
+	}
+	if maxOverlap > 0 {
+		fmt.Printf("overlap   %s of join work hidden inside the network pass (max across machines)\n",
+			maxOverlap.Round(time.Microsecond))
+	}
 	fmt.Printf("network   %.1f MB in %d messages, %d pool stalls, %d registrations (%d pages)\n",
 		float64(res.Net.BytesSent)/(1<<20), res.Net.Messages, res.Net.PoolStalls,
 		res.Net.Registrations, res.Net.PagesRegistered)

@@ -35,6 +35,7 @@ func main() {
 		width      = flag.Int("width", 16, "tuple width in bytes")
 		skew       = flag.Float64("skew", 0, "Zipf skew of the outer foreign keys")
 		modeName   = flag.String("mode", "interleaved", "mode: interleaved | non-interleaved | stream")
+		pipeline   = flag.Bool("pipeline", true, "partition-ready pipelining: overlap the join with the network pass")
 		sizeSorted = flag.Bool("size-sorted", false, "dynamic size-sorted partition assignment")
 		skewSplit  = flag.Bool("skew-split", false, "intra-machine build-probe task splitting")
 		broadcast  = flag.Float64("broadcast", 0, "inter-machine work sharing factor (0 = off)")
@@ -110,7 +111,7 @@ func main() {
 			TupleWidth: *width, Skew: *skew, Mode: mode,
 			NetworkBits: *bits, BufferSize: *bufSize, BuffersPerPartition: *buffers,
 			SizeSortedAssignment: *sizeSorted, SkewSplit: *skewSplit,
-			BroadcastFactor: *broadcast,
+			BroadcastFactor: *broadcast, Pipeline: *pipeline,
 		}
 		res, err := rackjoin.Simulate(cfg)
 		if err != nil {

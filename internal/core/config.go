@@ -160,6 +160,16 @@ type Config struct {
 	// (Section 4.2.1). When false a thread waits for each transfer to
 	// complete before continuing — the Figure 5b ablation.
 	Interleaved bool
+	// Pipeline enables partition-ready execution: per-partition receive
+	// completion is tracked during the network pass (tuple counting for
+	// channel semantics, per-sender end-of-partition notifications for
+	// one-sided exact placement) and completed partitions are pushed into
+	// the local-join scheduler while the pass is still draining — no
+	// barrier between phases 2 and 3. When false the phases are separated
+	// by a global barrier (the ablation, and the paper's baseline
+	// structure). The pull transport always uses the barrier: it cannot
+	// start before all senders staged their data.
+	Pipeline bool
 	// Assignment selects the partition→machine assignment strategy.
 	Assignment Assignment
 	// Exchange selects the histogram exchange topology (Section 4.1).
@@ -227,6 +237,7 @@ func DefaultConfig() Config {
 		BuffersPerPartition: 2,
 		Transport:           TransportTwoSided,
 		Interleaved:         true,
+		Pipeline:            true,
 		Assignment:          AssignRoundRobin,
 		ResultTarget:        -1,
 	}
@@ -286,6 +297,13 @@ func (c *Config) validate(machines, cores, width int) error {
 func (c *Config) usesNetworkThread() bool {
 	return c.Transport == TransportTwoSided || c.Transport == TransportStream ||
 		c.Transport == TransportTCP
+}
+
+// pipelined reports the effective pipelining setting: the pull transport
+// falls back to the barrier (its network pass cannot begin before every
+// sender finished staging, so there is nothing to overlap with).
+func (c *Config) pipelined() bool {
+	return c.Pipeline && c.Transport != TransportOneSidedRead
 }
 
 // interleaved reports the effective interleaving setting: the stream and

@@ -143,11 +143,20 @@ type machineState struct {
 	poolStalls uint64
 	resultMu   sync.Mutex
 
+	// pipe is the partition-ready pipeline of the overlapped netpass/local
+	// window; nil in barrier mode. overlap is how long join work ran while
+	// the network pass was still draining.
+	pipe    *pipeline
+	overlap time.Duration
+
 	// met is this machine's metrics scope (label machine=<id>); shipped
 	// holds the per-partition bytes-shipped counters of the network pass,
 	// nil for partitions that never leave this machine.
 	met     *metrics.Scope
 	shipped []*metrics.Counter
+	// netKernelBytes is the netpass kernel_bytes_total counter, resolved
+	// once at pool setup so scatterSlice's hot loop skips the registry.
+	netKernelBytes *metrics.Counter
 }
 
 func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relation.Relation) *machineState {
@@ -201,6 +210,15 @@ func (st *machineState) run() error {
 	st.phases.Histogram = time.Since(start)
 	st.phaseDone("histogram", st.phases.Histogram)
 	endSpan(int64(st.R.Size() + st.S.Size()))
+
+	if st.cfg.pipelined() {
+		// Pipelined mode: no barrier between the network pass and the
+		// local/build-probe phase — partitions are joined as they complete.
+		if err := st.runPipelined(); err != nil {
+			return fmt.Errorf("pipelined execution: %w", err)
+		}
+		return nil
+	}
 
 	start = time.Now()
 	endSpan = st.span("network partition")
@@ -614,12 +632,14 @@ func assembleResult(c *cluster.Cluster, states []*machineState, before rdma.Devi
 	res := &Result{
 		PerMachine:           make([]phase.Times, len(states)),
 		PartitionsPerMachine: make([]int, len(states)),
+		PipelineOverlap:      make([]time.Duration, len(states)),
 	}
 	for i, st := range states {
 		res.Matches += st.matches
 		res.Checksum += st.checksum
 		res.PerMachine[i] = st.phases
 		res.PartitionsPerMachine[i] = len(st.resident)
+		res.PipelineOverlap[i] = st.overlap
 		res.Net.PoolStalls += st.poolStalls
 		if st.phases.Histogram > res.Phases.Histogram {
 			res.Phases.Histogram = st.phases.Histogram

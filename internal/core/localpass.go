@@ -13,72 +13,12 @@ import (
 
 func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
 
-// taskQueue is the machine-local work queue of the fused local
-// partitioning and build-probe phases. Tasks may push further tasks (the
-// skew-splitting of Section 4.3), so completion is tracked with a pending
-// counter rather than queue emptiness.
-type taskQueue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tasks   []func(w *joinWorker)
-	head    int // index of the next task; consumed slots are nil'd
-	pending int
-}
-
-func newTaskQueue() *taskQueue {
-	q := &taskQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *taskQueue) push(t func(w *joinWorker)) {
-	q.mu.Lock()
-	q.tasks = append(q.tasks, t)
-	q.pending++
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// pop returns the next task, blocking while tasks may still be produced.
-// ok is false once the queue is empty and no task is running.
-//
-// Consumption advances a head index instead of re-slicing (q.tasks[1:]
-// would keep every consumed closure — and whatever relations it captured
-// — reachable through the backing array for the rest of the phase).
-func (q *taskQueue) pop() (func(w *joinWorker), bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head == len(q.tasks) && q.pending > 0 {
-		q.cond.Wait()
-	}
-	if q.head == len(q.tasks) {
-		return nil, false
-	}
-	t := q.tasks[q.head]
-	q.tasks[q.head] = nil
-	q.head++
-	if q.head == len(q.tasks) {
-		// Fully drained: rewind so skew-split pushes reuse the array.
-		q.tasks = q.tasks[:0]
-		q.head = 0
-	}
-	return t, true
-}
-
-// done marks one popped task finished.
-func (q *taskQueue) done() {
-	q.mu.Lock()
-	q.pending--
-	wake := q.pending == 0
-	q.mu.Unlock()
-	if wake {
-		q.cond.Broadcast()
-	}
-}
-
-// joinWorker accumulates one worker core's results and per-phase time.
+// joinWorker accumulates one worker core's results and per-phase time. Its
+// id doubles as the worker's deque index in the scheduler.
 type joinWorker struct {
 	st       *machineState
+	id       int
+	sched    *scheduler
 	shipper  *resultShipper     // remote result path (Section 4.3), may be nil
 	pt       *radix.Partitioner // local-pass scatter kernels + scratch
 	batch    hashtable.Batch    // batched-probe scratch
@@ -90,58 +30,43 @@ type joinWorker struct {
 	results  []byte // materialisation scratch when ResultSink is set
 }
 
-// localPassAndBuildProbe runs phases 3 and 4: every owned partition is
-// sub-partitioned to cache size and joined, with oversized tasks split
-// across workers when skew handling is enabled.
-func (st *machineState) localPassAndBuildProbe() error {
-	queue := newTaskQueue()
-	for _, p := range st.resident {
-		p := p
-		if st.globalR[p] == 0 && st.globalS[p] == 0 {
-			continue
-		}
-		queue.push(func(w *joinWorker) { w.processPartition(queue, p) })
+func (st *machineState) newJoinWorker(id int, sched *scheduler, shippers []*resultShipper) *joinWorker {
+	w := &joinWorker{st: st, id: id, sched: sched, pt: radix.NewPartitioner(st.cfg.Kernels)}
+	if shippers != nil {
+		w.shipper = shippers[id]
 	}
+	return w
+}
 
-	start := time.Now()
-	workers := make([]*joinWorker, st.m.Cores)
-	err := st.runResultPlane(func(shippers []*resultShipper) error {
-		var wg sync.WaitGroup
-		for i := range workers {
-			workers[i] = &joinWorker{st: st, pt: radix.NewPartitioner(st.cfg.Kernels)}
-			if shippers != nil {
-				workers[i].shipper = shippers[i]
-			}
-			wg.Add(1)
-			go func(w *joinWorker) {
-				defer wg.Done()
-				for {
-					task, ok := queue.pop()
-					if !ok {
-						return
-					}
-					task(w)
-					queue.done()
-				}
-				// Workers exit when the queue has fully drained.
-			}(workers[i])
+// push queues a child task (a skew-split product) on this worker's own
+// deque: LIFO pop keeps the split's cache lines hot, and idle peers steal
+// from the head.
+func (w *joinWorker) push(t schedTask) { w.sched.pushLocal(w.id, t) }
+
+// workerLoop runs scheduler tasks until the phase drains (or aborts).
+func (st *machineState) workerLoop(w *joinWorker) {
+	for {
+		task, ok := w.sched.next(w.id)
+		if !ok {
+			return
 		}
-		wg.Wait()
-		for _, w := range workers {
-			if w.err != nil {
-				return w.err
-			}
+		if st.pipe != nil {
+			st.pipe.noteTaskStart()
 		}
-		return nil
-	})
-	if err != nil {
-		return err
+		task(w)
+		w.sched.done()
 	}
-	elapsed := time.Since(start)
+}
 
-	var maxLocal, maxBP time.Duration
+// collectWorkers folds the workers' results and kernel telemetry into the
+// machine state and returns the per-worker phase-time maxima used to
+// apportion the fused wall time.
+func (st *machineState) collectWorkers(workers []*joinWorker) (maxLocal, maxBP time.Duration) {
 	var bytesScalar, bytesWC, wcFlushes uint64
 	for _, w := range workers {
+		if w == nil {
+			continue
+		}
 		st.matches += w.matches
 		st.checksum += w.checksum
 		bytesScalar += w.pt.BytesScalar
@@ -165,6 +90,69 @@ func (st *machineState) localPassAndBuildProbe() error {
 	if wcFlushes > 0 {
 		st.met.Counter("kernel_wc_flushes_total", metrics.L("phase", "localpass")).Add(wcFlushes)
 	}
+	return maxLocal, maxBP
+}
+
+// exportSchedulerMetrics publishes the scheduler's counters through the
+// registry so /metrics and the sampler pick them up.
+func (st *machineState) exportSchedulerMetrics(s *scheduler) {
+	st.met.Counter("scheduler_steals_total").Add(s.steals.Load())
+	st.met.Counter("scheduler_injects_total").Add(s.injects.Load())
+	if sp := s.spills.Load(); sp > 0 {
+		st.met.Counter("scheduler_spills_total").Add(sp)
+	}
+}
+
+// localPassAndBuildProbe runs phases 3 and 4 in barrier mode: every
+// resident partition is injected up front, then sub-partitioned to cache
+// size and joined, with oversized tasks split across workers when skew
+// handling is enabled. (Pipelined mode injects partitions as they complete
+// instead — see runPipelined.)
+func (st *machineState) localPassAndBuildProbe() error {
+	sched := newScheduler(st.m.Cores)
+	roots := 0
+	for _, p := range st.resident {
+		if st.globalR[p] == 0 && st.globalS[p] == 0 {
+			continue
+		}
+		roots++
+	}
+	sched.reserve(roots)
+	for _, p := range st.resident {
+		p := p
+		if st.globalR[p] == 0 && st.globalS[p] == 0 {
+			continue
+		}
+		sched.inject(func(w *joinWorker) { w.processPartition(p) })
+	}
+
+	start := time.Now()
+	workers := make([]*joinWorker, st.m.Cores)
+	err := st.runResultPlane(func(shippers []*resultShipper) error {
+		var wg sync.WaitGroup
+		for i := range workers {
+			workers[i] = st.newJoinWorker(i, sched, shippers)
+			wg.Add(1)
+			go func(w *joinWorker) {
+				defer wg.Done()
+				st.workerLoop(w)
+			}(workers[i])
+		}
+		wg.Wait()
+		for _, w := range workers {
+			if w.err != nil {
+				return w.err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	maxLocal, maxBP := st.collectWorkers(workers)
+	st.exportSchedulerMetrics(sched)
 	// Apportion the fused wall time by the measured per-worker maxima so
 	// the breakdown matches the paper's per-phase reporting.
 	if maxLocal+maxBP > 0 {
@@ -194,9 +182,9 @@ func (st *machineState) skewThreshold() int {
 	return th
 }
 
-// processPartition sub-partitions owned partition p by the local bit
+// processPartition sub-partitions resident partition p by the local bit
 // window and joins every sub-partition, splitting oversized ones.
-func (w *joinWorker) processPartition(queue *taskQueue, p int) {
+func (w *joinWorker) processPartition(p int) {
 	st := w.st
 	self := st.m.ID
 	sTuples := st.globalS[p]
@@ -211,7 +199,7 @@ func (w *joinWorker) processPartition(queue *taskQueue, p int) {
 	threshold := st.skewThreshold()
 
 	if b2 == 0 {
-		w.buildProbe(queue, r, s, threshold)
+		w.buildProbe(r, s, threshold)
 		return
 	}
 
@@ -224,7 +212,7 @@ func (w *joinWorker) processPartition(queue *taskQueue, p int) {
 	w.tLocal += time.Since(start)
 
 	for q := 0; q < 1<<b2; q++ {
-		w.buildProbe(queue, radix.PartitionView(subR, bR, q), radix.PartitionView(subS, bS, q), threshold)
+		w.buildProbe(radix.PartitionView(subR, bR, q), radix.PartitionView(subS, bS, q), threshold)
 	}
 }
 
@@ -232,7 +220,7 @@ func (w *joinWorker) processPartition(queue *taskQueue, p int) {
 // enabled, an oversized outer side is split into range-probe subtasks
 // sharing one hash table, and an oversized inner side into several smaller
 // hash tables each probed with the full outer part (Section 4.3).
-func (w *joinWorker) buildProbe(queue *taskQueue, r, s *relation.Relation, threshold int) {
+func (w *joinWorker) buildProbe(r, s *relation.Relation, threshold int) {
 	if r.Len() == 0 || s.Len() == 0 {
 		return
 	}
@@ -245,7 +233,7 @@ func (w *joinWorker) buildProbe(queue *taskQueue, r, s *relation.Relation, thres
 				hi = r.Len()
 			}
 			chunk := r.Slice(lo, hi)
-			queue.push(func(cw *joinWorker) { cw.buildProbe(queue, chunk, s, 0) })
+			w.push(func(cw *joinWorker) { cw.buildProbe(chunk, s, 0) })
 		}
 		return
 	}
@@ -261,7 +249,7 @@ func (w *joinWorker) buildProbe(queue *taskQueue, r, s *relation.Relation, thres
 				hi = s.Len()
 			}
 			lo, hi := lo, hi
-			queue.push(func(cw *joinWorker) { cw.probe(tbl, s, lo, hi) })
+			w.push(func(cw *joinWorker) { cw.probe(tbl, s, lo, hi) })
 		}
 		return
 	}

@@ -164,6 +164,16 @@ func (p *bufferPool) waitOne() error {
 // containing preallocated and preregistered buffers").
 func (st *machineState) allocPools() error {
 	st.pools = make([]*bufferPool, st.partThreads)
+	// Resolve the netpass kernel-bytes counter once here (single-threaded
+	// setup) instead of per scatterSlice call: the labels are fixed for the
+	// whole run, and resolving in the hot path cost two label allocations
+	// plus a registry lookup per slice.
+	kern := "scalar"
+	if st.cfg.Kernels.Resolve(st.width, st.cfg.NetworkBits) == radix.KernelWC {
+		kern = "wc"
+	}
+	st.netKernelBytes = st.met.Counter("kernel_bytes_total",
+		metrics.L("kernel", kern), metrics.L("phase", "netpass"))
 	if st.nm == 1 || st.cfg.Transport == TransportOneSidedRead {
 		return nil // pull mode ships nothing from the sender side
 	}
@@ -251,8 +261,24 @@ func (st *machineState) partitionThread(t int) error {
 	if err := st.scatterSlice(t, st.S, true); err != nil {
 		return err
 	}
+	if st.pipe != nil {
+		// Local slab writes are complete once every thread scattered both
+		// relations; fully-received partitions become ready.
+		st.pipe.scatterDone()
+	}
 	if pool := st.pools[t]; pool != nil {
-		return pool.drain()
+		if st.pipe != nil {
+			// Pipelined: recycle completions by polling and spend the
+			// gaps on partition-ready join work instead of blocking.
+			if err := st.pipe.drainInterleaved(pool, st.pipe.workers[t]); err != nil {
+				return err
+			}
+		} else if err := pool.drain(); err != nil {
+			return err
+		}
+	}
+	if st.pipe != nil {
+		return st.pipe.threadDrained()
 	}
 	return nil
 }
@@ -389,12 +415,7 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			}
 		}
 	}
-	kern := "scalar"
-	if ts.wcCopy {
-		kern = "wc"
-	}
-	st.met.Counter("kernel_bytes_total",
-		metrics.L("kernel", kern), metrics.L("phase", "netpass")).Add(uint64(len(data)))
+	st.netKernelBytes.Add(uint64(len(data)))
 	// Ship partial buffers; return untouched ones to the pool.
 	for p := 0; p < st.np; p++ {
 		if ts.curBuf[p] >= 0 {

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rackjoin/internal/rdma"
+)
+
+// eopMarker is the payload of the per-sender end-of-partition control
+// message of the one-sided transports: the receiver cannot observe
+// remote WRITEs landing, so each sender announces "all my data for every
+// partition is placed" once its threads have drained their send queues.
+// (Sender-side completion implies remote placement — see rdma.executeWrite.)
+const eopMarker = byte(0xE0)
+
+// pipeline tracks per-partition receive completion during the pipelined
+// network pass and injects partition-ready processPartition tasks into
+// the work-stealing scheduler while the pass is still draining.
+//
+// A resident partition p is ready when (a) every remote byte addressed
+// to it has landed — the exchanged machine histograms give the exact
+// expected count, so landing is detected by counting (channel semantics,
+// TCP) or by per-sender end-of-partition notifications (one-sided
+// exact-placement transports) — and (b) this machine's own scatter into
+// the local slab share has finished. Readiness injection is deduplicated
+// with a per-partition CAS, since the last-byte path and the local-done
+// sweep race benignly.
+type pipeline struct {
+	st    *machineState
+	sched *scheduler
+
+	// remaining[p] counts outstanding remote bytes of resident partition
+	// p; tracked[p] marks partitions that own a reserved scheduler slot.
+	remaining []atomic.Int64
+	injected  []atomic.Bool
+	tracked   []bool
+
+	// taskFor builds the processPartition task injected on readiness.
+	taskFor func(p int) schedTask
+
+	// scatterLeft counts partition threads still scattering; localDone
+	// flips when the local slab shares are fully written.
+	scatterLeft atomic.Int32
+	localDone   atomic.Bool
+
+	// drainsLeft counts partition threads that have not yet drained their
+	// send pools; eopLeft counts peers whose end-of-partition message is
+	// still outstanding (EOP transports only).
+	drainsLeft atomic.Int32
+	eopLeft    atomic.Int32
+
+	// Network-pass completion: both the local drains and the remote
+	// arrivals are done. The winner of the CAS stamps netDoneAt, records
+	// the phase and closes the trace span.
+	drainsDone atomic.Bool
+	remoteDone atomic.Bool
+	netDone    atomic.Bool
+	netStart   time.Time
+	netDoneAt  time.Time
+	netSpanEnd func(int64)
+
+	// firstAt is when the first partition-ready task started executing;
+	// netDoneAt − firstAt is the overlap the pipeline reclaimed.
+	firstOnce sync.Once
+	firstAt   time.Time
+
+	// workers are the per-core join workers, created before any pass
+	// goroutine starts. netWorker is the network thread's worker (nil
+	// without a network thread): its receive loop executes small
+	// partition tasks whenever the completion queue runs dry, and the
+	// scatter threads run any ready task while their send pools drain —
+	// so a bandwidth-bound pass turns idle waiting into join work.
+	workers   []*joinWorker
+	netWorker *joinWorker
+	// smallCut bounds the tasks aimed at the network thread: while it
+	// joins instead of re-posting receives, each sender can park at most
+	// a ring of buffers, so only partitions near that scale may hold it.
+	smallCut int64
+}
+
+// pipelineUsesEOP reports whether the transport needs explicit
+// end-of-partition notifications: exact-placement WRITEs bypass the
+// receiver's CPU, so arrival cannot be counted there.
+func (st *machineState) pipelineUsesEOP() bool {
+	return st.nm > 1 &&
+		(st.cfg.Transport == TransportOneSided || st.cfg.Transport == TransportOneSidedAtomic)
+}
+
+func (st *machineState) newPipeline() *pipeline {
+	pl := &pipeline{
+		st:        st,
+		sched:     newScheduler(st.m.Cores),
+		remaining: make([]atomic.Int64, st.np),
+		injected:  make([]atomic.Bool, st.np),
+		tracked:   make([]bool, st.np),
+	}
+	pl.scatterLeft.Store(int32(st.partThreads))
+	pl.drainsLeft.Store(int32(st.partThreads))
+	pl.smallCut = int64(recvRingSlots) * int64(st.cfg.BufferSize)
+	w := int64(st.width)
+	reserved := 0
+	for _, p := range st.resident {
+		if st.globalR[p] == 0 && st.globalS[p] == 0 {
+			continue
+		}
+		pl.tracked[p] = true
+		reserved++
+		pl.remaining[p].Store(st.expectedRemotePartitionTuples(p) * w)
+	}
+	pl.sched.reserve(reserved)
+	if st.pipelineUsesEOP() {
+		pl.eopLeft.Store(int32(st.nm - 1))
+	} else if st.nm == 1 || !st.cfg.usesNetworkThread() {
+		// No remote arrivals to wait for (single machine); channel
+		// transports flip this when their receive loop returns.
+		pl.remoteDone.Store(true)
+	}
+	return pl
+}
+
+// expectedRemotePartitionTuples is the per-partition refinement of
+// expectedRemoteBytes: how many tuples of resident partition p arrive
+// from remote machines. Broadcast partitions receive only inner tuples
+// (outer tuples never leave their machine).
+func (st *machineState) expectedRemotePartitionTuples(p int) int64 {
+	var tuples int64
+	for m := 0; m < st.nm; m++ {
+		if m == st.m.ID {
+			continue
+		}
+		tuples += int64(st.allHistR[m][p])
+		if st.owner[p] == st.m.ID {
+			tuples += int64(st.allHistS[m][p])
+		}
+	}
+	return tuples
+}
+
+// credit records the landing of bytes remote bytes of partition p. Called
+// by the receive loops per buffer, and by the EOP watchers per sender.
+func (pl *pipeline) credit(p int, bytes int64) {
+	if bytes == 0 || !pl.tracked[p] {
+		return
+	}
+	if pl.remaining[p].Add(-bytes) == 0 && pl.localDone.Load() {
+		pl.tryInject(p)
+	}
+}
+
+// tryInject injects partition p's task exactly once. Small partitions
+// are aimed at the network thread's deque — the one worker guaranteed to
+// have idle gaps mid-pass — while everything bigger goes to the shared
+// injector for the scatter threads' drain windows (and, after the pass,
+// any worker); either way the task stays stealable.
+func (pl *pipeline) tryInject(p int) {
+	if !pl.injected[p].CompareAndSwap(false, true) {
+		return
+	}
+	t := pl.taskFor(p)
+	st := pl.st
+	if w := pl.netWorker; w != nil &&
+		(int64(st.globalR[p])+int64(st.globalS[p]))*int64(st.width) <= pl.smallCut {
+		pl.sched.injectAt(w.id, t)
+		return
+	}
+	pl.sched.inject(t)
+}
+
+// scatterDone is called by each partition thread after it finished
+// scattering both relations: once all threads are through, the local slab
+// shares are complete and every fully-received partition becomes ready.
+func (pl *pipeline) scatterDone() {
+	if pl.scatterLeft.Add(-1) != 0 {
+		return
+	}
+	pl.localDone.Store(true)
+	for _, p := range pl.st.resident {
+		if pl.tracked[p] && pl.remaining[p].Load() == 0 {
+			pl.tryInject(p)
+		}
+	}
+}
+
+// threadDrained is called by each partition thread after its send pool
+// drained. The last thread announces end-of-partition to every peer on
+// EOP transports (its drained CQ guarantees the remote placement of all
+// this machine's WRITEs) and marks the local half of the pass complete.
+func (pl *pipeline) threadDrained() error {
+	if pl.drainsLeft.Add(-1) != 0 {
+		return nil
+	}
+	st := pl.st
+	if st.pipelineUsesEOP() {
+		for peer := 0; peer < st.nm; peer++ {
+			if peer == st.m.ID {
+				continue
+			}
+			if err := st.m.CtlSend(peer, []byte{eopMarker}); err != nil {
+				return fmt.Errorf("end-of-partition to machine %d: %w", peer, err)
+			}
+		}
+	}
+	pl.drainsDone.Store(true)
+	pl.maybeNetDone()
+	return nil
+}
+
+// remoteArrivalsDone marks the remote half of the pass complete: the
+// receive loop returned, or the last peer's EOP was processed.
+func (pl *pipeline) remoteArrivalsDone() {
+	pl.remoteDone.Store(true)
+	pl.maybeNetDone()
+}
+
+// maybeNetDone stamps the end of the network partitioning pass when both
+// halves completed. Exactly one caller wins the CAS; it records the
+// phase at the instant it actually ended, mid-overlap, so live observers
+// see the same breakdown the Result reports.
+func (pl *pipeline) maybeNetDone() {
+	if !pl.drainsDone.Load() || !pl.remoteDone.Load() || !pl.netDone.CompareAndSwap(false, true) {
+		return
+	}
+	pl.netDoneAt = time.Now()
+	d := pl.netDoneAt.Sub(pl.netStart)
+	pl.st.phases.NetworkPartition = d
+	pl.st.phaseDone("network_partition", d)
+	if pl.netSpanEnd != nil {
+		pl.netSpanEnd(int64(pl.st.tcpBytes.Load()))
+	}
+}
+
+// noteTaskStart records the start of the first partition-ready task.
+func (pl *pipeline) noteTaskStart() {
+	pl.firstOnce.Do(func() { pl.firstAt = time.Now() })
+}
+
+// runReadyTask executes one task from w's own deque without blocking:
+// the network thread calls it between completion-queue polls. Only the
+// own deque is tapped — it holds exactly the small tasks tryInject
+// aimed here (plus their skew-split children) — so the thread never
+// picks up a big partition that would stall the receive rings.
+func (pl *pipeline) runReadyTask(w *joinWorker) bool {
+	if pl.sched.aborted.Load() {
+		return false
+	}
+	t, ok := pl.sched.deques[w.id].popTail()
+	if !ok {
+		return false
+	}
+	pl.noteTaskStart()
+	t(w)
+	pl.sched.done()
+	return true
+}
+
+// runAnyTask executes one ready task from any source without parking:
+// the scatter threads call it while their send pools drain. They hold
+// no receive rings, so even the biggest partition is safe to run here.
+func (pl *pipeline) runAnyTask(w *joinWorker) bool {
+	t, ok := pl.sched.tryNext(w.id)
+	if !ok {
+		return false
+	}
+	pl.noteTaskStart()
+	t(w)
+	pl.sched.done()
+	return true
+}
+
+// pollIdleMin/Max bound the exponential backoff of the pipelined poll
+// loops when they find neither completions nor runnable tasks. The cap
+// stays well under one buffer's transfer time on any plausible fabric,
+// and low enough that idle polling cannot crowd out the other simulated
+// machines when the host has fewer cores than the rack.
+const (
+	pollIdleMin = 5 * time.Microsecond
+	pollIdleMax = 320 * time.Microsecond
+)
+
+// drainInterleaved recycles a scatter thread's outstanding sends like
+// bufferPool.drain, but spends every empty completion poll on ready join
+// work instead of blocking — the drain of a bandwidth-bound pass is
+// exactly where the partition threads would otherwise idle.
+func (pl *pipeline) drainInterleaved(pool *bufferPool, w *joinWorker) error {
+	var polled [1]rdma.Completion
+	idle := pollIdleMin
+	for pool.outstanding > 0 {
+		if pool.cq.Poll(polled[:]) == 0 {
+			if pl.runAnyTask(w) {
+				idle = pollIdleMin
+				continue
+			}
+			time.Sleep(idle)
+			if idle < pollIdleMax {
+				idle *= 2
+			}
+			continue
+		}
+		idle = pollIdleMin
+		c := polled[0]
+		if err := c.Err(); err != nil {
+			return err
+		}
+		pool.free = append(pool.free, int32(c.WRID))
+		pool.outstanding--
+	}
+	return nil
+}
+
+// eopWatcher consumes peer's end-of-partition message and credits every
+// resident partition with that sender's histogram-known contribution.
+// Per-pair control channels are FIFO, so the EOP is the first message
+// from peer in this window; the final barrier's traffic comes after.
+func (st *machineState) eopWatcher(pl *pipeline, peer int) error {
+	msg, err := st.m.CtlRecv(peer)
+	if err != nil {
+		return fmt.Errorf("end-of-partition from machine %d: %w", peer, err)
+	}
+	if len(msg) != 1 || msg[0] != eopMarker {
+		return fmt.Errorf("end-of-partition from machine %d: unexpected payload %x", peer, msg)
+	}
+	w := int64(st.width)
+	for _, p := range st.resident {
+		tuples := int64(st.allHistR[peer][p])
+		if st.owner[p] == st.m.ID {
+			tuples += int64(st.allHistS[peer][p])
+		}
+		pl.credit(p, tuples*w)
+	}
+	if pl.eopLeft.Add(-1) == 0 {
+		pl.remoteArrivalsDone()
+	}
+	return nil
+}
+
+// runPipelined executes the network partitioning pass and the fused
+// local-partition/build-probe phase as one overlapped window: partition
+// threads scatter, drain and then convert into scheduler workers; the
+// network thread (channel semantics) does the same after its receive
+// loop; completed partitions are injected as they become ready instead
+// of after a global barrier. Replaces the barrier between phases 2 and
+// 3/4 of run().
+func (st *machineState) runPipelined() error {
+	pl := st.newPipeline()
+	pl.netStart = time.Now()
+	pl.netSpanEnd = st.span("network partition")
+	st.pipe = pl
+	defer func() { st.pipe = nil }()
+
+	sched := pl.sched
+	workers := make([]*joinWorker, st.m.Cores)
+	pl.taskFor = func(p int) schedTask {
+		return func(w *joinWorker) { w.processPartition(p) }
+	}
+
+	var watchWG sync.WaitGroup
+	watchErrs := make([]error, st.nm)
+	if st.pipelineUsesEOP() {
+		for peer := 0; peer < st.nm; peer++ {
+			if peer == st.m.ID {
+				continue
+			}
+			watchWG.Add(1)
+			go func(peer int) {
+				defer watchWG.Done()
+				if err := st.eopWatcher(pl, peer); err != nil {
+					watchErrs[peer] = err
+					sched.abort()
+				}
+			}(peer)
+		}
+	}
+
+	err := st.runResultPlane(func(shippers []*resultShipper) error {
+		// Workers are created up front so the pass goroutines can push
+		// join work through them mid-pass: the network thread between
+		// completion polls, the scatter threads while draining.
+		for id := 0; id < st.m.Cores; id++ {
+			workers[id] = st.newJoinWorker(id, sched, shippers)
+		}
+		pl.workers = workers
+		if st.nm > 1 && st.cfg.usesNetworkThread() {
+			pl.netWorker = workers[st.partThreads]
+		}
+		errs := make([]error, st.m.Cores+1)
+		var wg sync.WaitGroup
+		spawn := func(id int, pass func() error) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if pass != nil {
+					if err := pass(); err != nil {
+						errs[id] = err
+						sched.abort()
+						return
+					}
+				}
+				st.workerLoop(workers[id])
+			}()
+		}
+		for t := 0; t < st.partThreads; t++ {
+			t := t
+			spawn(t, func() error { return st.partitionThread(t) })
+		}
+		if st.nm > 1 && st.cfg.usesNetworkThread() {
+			spawn(st.partThreads, func() error {
+				var err error
+				if st.cfg.Transport == TransportTCP {
+					err = st.tcpReceiveLoop()
+				} else {
+					err = st.receiveLoop()
+				}
+				if err == nil {
+					pl.remoteArrivalsDone()
+				}
+				return err
+			})
+		}
+		// Any cores beyond the pass threads (single-machine runs have
+		// none; future asymmetric layouts might) join as plain workers.
+		for id := st.partThreads; id < st.m.Cores; id++ {
+			if id == st.partThreads && st.nm > 1 && st.cfg.usesNetworkThread() {
+				continue
+			}
+			spawn(id, nil)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		for _, w := range workers {
+			if w != nil && w.err != nil {
+				return w.err
+			}
+		}
+		return nil
+	})
+	watchWG.Wait()
+	if err == nil {
+		for _, werr := range watchErrs {
+			if werr != nil {
+				err = werr
+				break
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("pipelined pass: %w", err)
+	}
+	joinEnd := time.Now()
+
+	for _, p := range st.pools {
+		if p != nil {
+			st.poolStalls += p.stalls
+		}
+	}
+	maxLocal, maxBP := st.collectWorkers(workers)
+	st.exportSchedulerMetrics(sched)
+
+	// Critical-path phase attribution: the network pass spans netStart →
+	// netDoneAt (stamped by maybeNetDone); the remaining wall clock is the
+	// exposed local+build-probe tail, apportioned by the measured
+	// per-worker maxima. The overlapped window — join work executed while
+	// the pass was still draining — is reported separately, so the two
+	// views always reconcile: busy local+bp = exposed tail + overlap.
+	if pl.firstAt.IsZero() {
+		pl.firstAt = pl.netDoneAt
+	}
+	exposed := joinEnd.Sub(pl.netDoneAt)
+	if exposed < 0 {
+		exposed = 0
+	}
+	if maxLocal+maxBP > 0 {
+		st.phases.LocalPartition = time.Duration(float64(exposed) * float64(maxLocal) / float64(maxLocal+maxBP))
+		st.phases.BuildProbe = exposed - st.phases.LocalPartition
+	}
+	overlap := pl.netDoneAt.Sub(pl.firstAt)
+	if overlap < 0 {
+		overlap = 0
+	}
+	st.overlap = overlap
+	st.met.Gauge("pipeline_overlap_seconds").Set(overlap.Seconds())
+	if st.cfg.Trace != nil {
+		st.cfg.Trace.Record(st.m.ID, "phase", "local+build-probe",
+			pl.firstAt, joinEnd, int64(st.slabR.Size()+st.slabS.Size()))
+	}
+	st.phaseDone("local_partition", st.phases.LocalPartition)
+	st.phaseDone("build_probe", st.phases.BuildProbe)
+	return st.m.Barrier()
+}

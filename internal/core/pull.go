@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
+	"rackjoin/internal/metrics"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
@@ -111,6 +114,23 @@ func senderStageOffset(all [][]uint64, m, p int) int64 {
 	return off
 }
 
+// pullStats is one pull worker's stall accounting, mirroring the push
+// side's bufferPool counters: a stall is a READ issue that had to wait on
+// a completion because the outstanding window was full.
+type pullStats struct {
+	stalls   uint64
+	stallCtr *metrics.Counter
+	waitHist *metrics.Histogram
+}
+
+func (st *machineState) newPullStats(core int) *pullStats {
+	ts := st.met.With(metrics.L("thread", strconv.Itoa(core)))
+	return &pullStats{
+		stallCtr: ts.Counter("netpass_buffer_stalls"),
+		waitHist: ts.Histogram("netpass_buffer_wait_seconds"),
+	}
+}
+
 // pullNetworkPass runs the read-based network pass: stage, barrier, pull.
 func (st *machineState) pullNetworkPass() error {
 	if err := st.stageLocal(); err != nil {
@@ -130,13 +150,15 @@ func (st *machineState) pullNetworkPass() error {
 	type task struct{ p int }
 	tasks := make(chan task)
 	errs := make([]error, st.m.Cores)
+	stats := make([]*pullStats, st.m.Cores)
 	var wg sync.WaitGroup
 	for c := 0; c < st.m.Cores; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			stats[c] = st.newPullStats(c)
 			for tk := range tasks {
-				if err := st.pullPartition(c, tk.p); err != nil {
+				if err := st.pullPartition(c, stats[c], tk.p); err != nil {
 					errs[c] = err
 					return
 				}
@@ -153,12 +175,19 @@ func (st *machineState) pullNetworkPass() error {
 			return err
 		}
 	}
+	// Fold worker stalls into the machine total, like the push path does
+	// for its pools, so Result.Net.PoolStalls covers every transport.
+	for _, ps := range stats {
+		if ps != nil {
+			st.poolStalls += ps.stalls
+		}
+	}
 	return nil
 }
 
 // pullPartition assembles owned partition p: memcpy of the local staged
 // share, then chunked one-sided READs of every remote share.
-func (st *machineState) pullPartition(core, p int) error {
+func (st *machineState) pullPartition(core int, ps *pullStats, p int) error {
 	w := int64(st.width)
 	for _, rel := range []bool{false, true} {
 		slab, mr := st.slabR, st.mrR
@@ -209,9 +238,17 @@ func (st *machineState) pullPartition(core, p int) error {
 				cursor += n * w
 				outstanding++
 				if outstanding >= st.cfg.BuffersPerPartition {
+					// Window full: this wait is back-pressure, the pull
+					// counterpart of a push-side pool stall. The final
+					// drain below is not — it ends the transfer, it does
+					// not delay one.
+					ps.stalls++
+					ps.stallCtr.Inc()
+					waitStart := time.Now()
 					if c := cq.Wait(); c.Err() != nil {
 						return c.Err()
 					}
+					ps.waitHist.ObserveSince(waitStart)
 					outstanding--
 				}
 			}

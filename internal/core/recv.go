@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"rackjoin/internal/rdma"
 )
@@ -105,8 +106,35 @@ func (st *machineState) receiveLoop() error {
 	slabS := st.slabS.Bytes()
 
 	var received uint64
+	var polled [1]rdma.Completion
+	idle := pollIdleMin
 	for received < expected {
-		c := st.recvCQ.Wait()
+		var c rdma.Completion
+		if st.pipe != nil {
+			// Pipelined pass: poll instead of block, and spend every dry
+			// gap on partition-ready join work. Arrivals keep priority —
+			// one task per empty poll, re-checking the queue in between —
+			// so the receive rings drain promptly and senders never stall
+			// on a busy network thread. When there is neither data nor
+			// work the loop backs off exponentially: on a host with fewer
+			// cores than simulated machines, tight poll sleeps would burn
+			// the CPU the other machines' threads need.
+			if st.recvCQ.Poll(polled[:]) == 0 {
+				if w := st.pipe.netWorker; w == nil || !st.pipe.runReadyTask(w) {
+					time.Sleep(idle)
+					if idle < pollIdleMax {
+						idle *= 2
+					}
+				} else {
+					idle = pollIdleMin
+				}
+				continue
+			}
+			idle = pollIdleMin
+			c = polled[0]
+		} else {
+			c = st.recvCQ.Wait()
+		}
 		if err := c.Err(); err != nil {
 			return fmt.Errorf("receive: %w", err)
 		}
@@ -128,6 +156,11 @@ func (st *machineState) receiveLoop() error {
 		} else {
 			copy(slabR[curR[p]:], payload)
 			curR[p] += int64(c.Bytes)
+		}
+		if st.pipe != nil {
+			// Credit after the copy: a partition only becomes ready once
+			// its tuples are actually in place.
+			st.pipe.credit(p, int64(c.Bytes))
 		}
 		if err := ring.post(int(c.WRID)); err != nil {
 			return err
@@ -175,6 +208,9 @@ func (st *machineState) tcpReceiveLoop() error {
 		} else {
 			copy(slabR[curR[p]:], payload)
 			curR[p] += int64(len(payload))
+		}
+		if st.pipe != nil {
+			st.pipe.credit(p, int64(len(payload)))
 		}
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"rackjoin/internal/phase"
 )
 
@@ -28,10 +30,19 @@ type Result struct {
 	// verify the result against datagen.ExpectedJoin.
 	Checksum uint64
 	// Phases is the per-phase breakdown, taking for each phase the
-	// maximum across machines (phases are barrier-separated).
+	// maximum across machines. In barrier mode phases are
+	// barrier-separated; in pipelined mode the breakdown is the
+	// critical-path view (the network pass ends when its last byte lands,
+	// the local/build-probe entry is the exposed tail after that point),
+	// so the phases still sum to the wall clock.
 	Phases phase.Times
 	// PerMachine holds each machine's own phase breakdown.
 	PerMachine []phase.Times
+	// PipelineOverlap[m] is how long machine m's partition-ready join work
+	// ran concurrently with the still-draining network pass. Zero in
+	// barrier mode; the busy-time local+build-probe view is the
+	// critical-path entry plus this overlap.
+	PipelineOverlap []time.Duration
 	// Net summarises data-plane traffic.
 	Net NetStats
 	// PartitionsPerMachine is how many network partitions each machine

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// schedTask is one unit of machine-local join work: a partition to
+// process, a skew-split build-probe child, or a range-probe subtask.
+type schedTask = func(w *joinWorker)
+
+// dequeCap bounds each worker's local deque. Skew splitting can fan one
+// task out into hundreds of children; overflow spills to the shared
+// injector instead of growing the ring, so a worker's footprint stays
+// fixed and spilled children become visible to idle workers immediately.
+const dequeCap = 256
+
+// wsDeque is one worker's bounded task deque. The owner pushes and pops
+// at the tail (LIFO — a skew-split child reuses the cache lines its
+// parent just touched); thieves take from the head (FIFO — they get the
+// oldest, typically largest, task). A plain mutex per deque keeps the
+// memory model obvious; contention is sharded across workers and the
+// common pushLocal/popTail pair never touches another worker's lock.
+type wsDeque struct {
+	mu   sync.Mutex
+	buf  [dequeCap]schedTask
+	head int // next steal slot
+	tail int // next push slot
+}
+
+func (d *wsDeque) push(t schedTask) bool {
+	d.mu.Lock()
+	if d.tail-d.head == dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[d.tail%dequeCap] = t
+	d.tail++
+	d.mu.Unlock()
+	return true
+}
+
+func (d *wsDeque) popTail() (schedTask, bool) {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.tail--
+	t := d.buf[d.tail%dequeCap]
+	d.buf[d.tail%dequeCap] = nil
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *wsDeque) stealHead() (schedTask, bool) {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.buf[d.head%dequeCap]
+	d.buf[d.head%dequeCap] = nil
+	d.head++
+	d.mu.Unlock()
+	return t, true
+}
+
+// scheduler is the sharded work-stealing scheduler of the fused
+// local-partition/build-probe phase and the pipelined overlap window.
+//
+// Sourcing order per worker: own deque (LIFO), then the shared injector
+// (partition-ready events and spilled children), then randomized stealing
+// from peers. Termination is by pending count, not queue emptiness: tasks
+// may push further tasks, and the pipeline injects partitions that are
+// not queued anywhere yet — reserve() pre-charges those so no worker can
+// exit while a future injection is still owed.
+type scheduler struct {
+	deques []wsDeque
+	rng    []uint64 // per-worker xorshift state (steal victim order)
+
+	injectMu   sync.Mutex
+	injectQ    []schedTask
+	injectHead int
+
+	// pending counts queued tasks plus reserved future injections.
+	pending atomic.Int64
+	// aborted short-circuits next() when a worker hit a fatal error.
+	aborted atomic.Bool
+
+	// sleepers gates the wake() fast path: pushers skip the park lock
+	// entirely while every worker is running.
+	sleepers atomic.Int32
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+
+	steals  atomic.Uint64
+	injects atomic.Uint64
+	spills  atomic.Uint64
+}
+
+func newScheduler(workers int) *scheduler {
+	s := &scheduler{
+		deques: make([]wsDeque, workers),
+		rng:    make([]uint64, workers),
+	}
+	for i := range s.rng {
+		s.rng[i] = uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	s.parkCond = sync.NewCond(&s.parkMu)
+	return s
+}
+
+// reserve pre-charges the pending count with n future inject() calls.
+// Must complete before any worker starts when injections arrive from
+// outside the worker set (the pipeline's partition-ready events).
+func (s *scheduler) reserve(n int) { s.pending.Add(int64(n)) }
+
+// inject queues a reserved task on the shared injector. Each call
+// consumes one reserve() slot; the caller guarantees it never injects
+// more than it reserved.
+func (s *scheduler) inject(t schedTask) {
+	s.injects.Add(1)
+	s.injectMu.Lock()
+	s.injectQ = append(s.injectQ, t)
+	s.injectMu.Unlock()
+	s.wake()
+}
+
+// injectAt queues a reserved task on worker id's deque, spilling to the
+// shared injector when it is full. Like inject it consumes one reserve()
+// slot; the pipeline uses it to aim small partition tasks at the network
+// thread, the one worker with idle gaps while the pass drains.
+func (s *scheduler) injectAt(id int, t schedTask) {
+	s.injects.Add(1)
+	if !s.deques[id].push(t) {
+		s.spills.Add(1)
+		s.injectMu.Lock()
+		s.injectQ = append(s.injectQ, t)
+		s.injectMu.Unlock()
+	}
+	s.wake()
+}
+
+// cancelReserved returns unused reserve() slots, e.g. for partitions
+// that turn out to be empty. Safe to call while workers run.
+func (s *scheduler) cancelReserved(n int) {
+	if n <= 0 {
+		return
+	}
+	if s.pending.Add(int64(-n)) == 0 {
+		s.wakeAll()
+	}
+}
+
+// pushLocal queues a new task on worker id's own deque, spilling to the
+// injector when the deque is full.
+func (s *scheduler) pushLocal(id int, t schedTask) {
+	s.pending.Add(1)
+	if !s.deques[id].push(t) {
+		s.spills.Add(1)
+		s.injectMu.Lock()
+		s.injectQ = append(s.injectQ, t)
+		s.injectMu.Unlock()
+	}
+	s.wake()
+}
+
+// done marks one executed task finished.
+func (s *scheduler) done() {
+	if s.pending.Add(-1) == 0 {
+		s.wakeAll()
+	}
+}
+
+// abort releases every worker after a fatal error; queued tasks are
+// dropped.
+func (s *scheduler) abort() {
+	s.aborted.Store(true)
+	s.wakeAll()
+}
+
+func (s *scheduler) popInject() (schedTask, bool) {
+	s.injectMu.Lock()
+	if s.injectHead == len(s.injectQ) {
+		s.injectMu.Unlock()
+		return nil, false
+	}
+	t := s.injectQ[s.injectHead]
+	s.injectQ[s.injectHead] = nil
+	s.injectHead++
+	if s.injectHead == len(s.injectQ) {
+		s.injectQ = s.injectQ[:0]
+		s.injectHead = 0
+	}
+	s.injectMu.Unlock()
+	return t, true
+}
+
+// steal tries every peer deque once in a per-worker randomized order.
+func (s *scheduler) steal(id int) (schedTask, bool) {
+	n := len(s.deques)
+	if n <= 1 {
+		return nil, false
+	}
+	// xorshift64: cheap per-worker randomness with no shared state.
+	x := s.rng[id]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng[id] = x
+	start := int(x % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == id {
+			continue
+		}
+		if t, ok := s.deques[v].stealHead(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// wake unparks one sleeping worker, if any. The task made visible by the
+// caller (deque push or injector append, both under their mutex) is
+// sequenced before the sleepers load, and a parking worker re-checks all
+// sources after incrementing sleepers under parkMu — so either the
+// pusher sees the sleeper and broadcasts, or the sleeper's re-check sees
+// the task. No lost wakeups.
+func (s *scheduler) wake() {
+	if s.sleepers.Load() == 0 {
+		return
+	}
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
+}
+
+func (s *scheduler) wakeAll() {
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
+}
+
+// tryNext returns worker id's next task without parking: own deque,
+// injector, then stealing — next()'s source order minus the wait. The
+// pipelined network thread uses it to fill completion-queue idle gaps
+// with join work it must be able to abandon the moment data arrives.
+func (s *scheduler) tryNext(id int) (schedTask, bool) {
+	if s.aborted.Load() {
+		return nil, false
+	}
+	if t, ok := s.deques[id].popTail(); ok {
+		return t, true
+	}
+	if t, ok := s.popInject(); ok {
+		return t, true
+	}
+	if t, ok := s.steal(id); ok {
+		s.steals.Add(1)
+		return t, true
+	}
+	return nil, false
+}
+
+// next returns worker id's next task, parking when all sources are empty
+// but work is still pending elsewhere. ok is false once pending reaches
+// zero (or the scheduler aborted): every queued task ran and no reserved
+// injection is outstanding.
+func (s *scheduler) next(id int) (schedTask, bool) {
+	for {
+		if s.aborted.Load() {
+			return nil, false
+		}
+		if t, ok := s.deques[id].popTail(); ok {
+			return t, true
+		}
+		if t, ok := s.popInject(); ok {
+			return t, true
+		}
+		if t, ok := s.steal(id); ok {
+			s.steals.Add(1)
+			return t, true
+		}
+		if s.pending.Load() == 0 {
+			return nil, false
+		}
+		s.parkMu.Lock()
+		s.sleepers.Add(1)
+		// Re-check under the park lock: anything pushed before the
+		// sleepers increment became visible is caught here; anything
+		// pushed after it sees sleepers > 0 and broadcasts.
+		if t, ok := s.popInject(); ok {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
+			return t, true
+		}
+		if t, ok := s.steal(id); ok {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
+			s.steals.Add(1)
+			return t, true
+		}
+		if s.pending.Load() == 0 || s.aborted.Load() {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
+			return nil, false
+		}
+		s.parkCond.Wait()
+		s.sleepers.Add(-1)
+		s.parkMu.Unlock()
+	}
+}

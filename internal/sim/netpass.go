@@ -21,9 +21,15 @@ import (
 // reuse discipline). Non-interleaved mode waits for every transfer; stream
 // mode adds sender copy cost and per-message kernel overhead and waits for
 // the egress stage only (the kernel socket buffer).
-func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec []float64, stalls uint64, remoteMB float64) {
+// busySec[m] is the CPU-busy time of machine m's partitioning threads
+// (max across threads of pure compute, excluding blocked time): the
+// capacity a pipelined run cannot reclaim, since those cycles are spoken
+// for — netSec[m] − busySec[m] is the idle window partition-ready
+// execution can fill with local-join work.
+func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec []float64, stalls uint64, remoteMB float64, busySec []float64) {
 	nm := cfg.Machines
 	netSec = make([]float64, nm)
+	busySec = make([]float64, nm)
 	if nm == 1 {
 		// Single machine: a pure local pass at full partitioning speed.
 		total := 0.0
@@ -31,7 +37,8 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 			total += partMBR[p] + partMBS[p]
 		}
 		netSec[0] = total / (float64(cfg.Cores) * cfg.Cal.PsPart)
-		return netSec, 0, 0
+		busySec[0] = netSec[0]
+		return netSec, 0, 0, busySec
 	}
 
 	partThreads := cfg.Cores - 1
@@ -47,7 +54,7 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		totalMB += partMBR[p] + partMBS[p]
 	}
 	if totalMB == 0 {
-		return netSec, 0, 0
+		return netSec, 0, 0, busySec
 	}
 
 	s := &netSim{
@@ -128,6 +135,9 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		if th.finish > netSec[th.machine] {
 			netSec[th.machine] = th.finish
 		}
+		if busy := th.inputEnd * th.secPerInputMB; busy > busySec[th.machine] {
+			busySec[th.machine] = busy
+		}
 	}
 	// A receiver's pass also lasts until its last arrival is placed.
 	for m := 0; m < nm; m++ {
@@ -135,7 +145,7 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 			netSec[m] = s.ingress[m]
 		}
 	}
-	return netSec, s.stalls, remoteMB
+	return netSec, s.stalls, remoteMB, busySec
 }
 
 // flowState tracks one (thread, remote partition) stream.

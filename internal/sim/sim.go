@@ -81,6 +81,13 @@ type Config struct {
 	// (Section 4.3); without it a machine's phase time is bounded below
 	// by its largest partition task.
 	SkewSplit bool
+	// Pipeline models partition-ready execution (core.Config.Pipeline):
+	// during the network pass, partitioning threads are idle whenever they
+	// are blocked on the link or waiting for stragglers — pipelined
+	// execution fills that window with local-partition/build-probe work of
+	// already-complete partitions, shortening the exposed tail after the
+	// pass. False models the barrier between phases 2 and 3.
+	Pipeline bool
 	// BroadcastFactor enables the inter-machine work sharing the paper
 	// proposes as future work (selective broadcast, matching
 	// core.Config.BroadcastFactor): hot partitions keep their outer
@@ -207,7 +214,7 @@ func Run(cfg Config) (*Result, error) {
 	histSec := localMB / (cores * cfg.Cal.PsHist)
 
 	// Phase 2: network partitioning pass (event simulation).
-	netSec, stalls, remoteMB := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
+	netSec, stalls, remoteMB, busySec := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
 
 	// Phases 3+4 are machine-local; per machine m the received partition
 	// set determines the work.
@@ -258,6 +265,23 @@ func Run(cfg Config) (*Result, error) {
 		b := bpSec[m] / cores
 		if !cfg.SkewSplit && maxTaskBP[m] > b {
 			b = maxTaskBP[m]
+		}
+		if cfg.Pipeline {
+			// Partition-ready execution: the idle window of the network
+			// pass (wall clock minus the threads' own compute) absorbs
+			// local-join work of already-complete partitions; the exposed
+			// local/build-probe tail shrinks by what was reclaimed. This is
+			// the critical-path view core reports, so sim and measurement
+			// stay comparable.
+			if avail := netSec[m] - busySec[m]; avail > 0 && l+b > 0 {
+				reclaim := avail
+				if reclaim > l+b {
+					reclaim = l + b
+				}
+				scale := (l + b - reclaim) / (l + b)
+				l *= scale
+				b *= scale
+			}
 		}
 		res.PerMachine[m] = phase.FromSeconds(histSec, netSec[m], l, b)
 	}
