@@ -1,0 +1,167 @@
+// Package load turns `go list` patterns into parsed, type-checked
+// packages without golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -e -export -json -deps`, which compiles (or
+// pulls from the build cache) export data for every dependency, then
+// parses the target packages from source and type-checks them with
+// go/importer reading those export files. This works fully offline: the
+// only inputs are the module tree and the Go build cache.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Sizes      types.Sizes
+}
+
+// Entry is the subset of `go list -json` output the loader needs.
+type Entry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// List runs `go list` in dir and returns the raw entries for patterns,
+// including the dependency closure with export-data paths.
+func List(dir string, patterns ...string) ([]Entry, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var entries []Entry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ExportImporter builds a types.Importer that resolves imports from the
+// export files recorded in entries (the gc importer with a lookup
+// function into the build cache).
+func ExportImporter(fset *token.FileSet, entries []Entry) types.Importer {
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// HostSizes returns the std sizes of the host gc toolchain target.
+func HostSizes() types.Sizes {
+	return types.SizesFor("gc", build.Default.GOARCH)
+}
+
+// Load lists, parses, and type-checks the target packages matched by
+// patterns, rooted at dir. Test files are not included (GoFiles only):
+// the suite checks shipped code, not fixtures or tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, entries)
+	sizes := HostSizes()
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(e.GoFiles))
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			Sizes:      sizes,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}

@@ -1,0 +1,444 @@
+// Package pathflow is the path-sensitivity engine shared by the
+// resource-lifecycle analyzers (spanend, buflifecycle). It builds a
+// statement-level control-flow graph for one function body and answers
+// the question the passes care about: starting from the statement that
+// acquired a resource, can execution reach a function exit without
+// passing a statement that consumed it?
+//
+// The graph is deliberately coarse — one node per statement, loops as
+// 0-or-more iterations, no value tracking — which is exactly the
+// lostcancel/unreachable level of precision: sound for the acquire/
+// release idioms this repo uses, with the few known imprecise spots
+// (closures, gotos into loops) resolved in the non-reporting direction.
+package pathflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LeakKind classifies where an unconsumed resource escaped.
+type LeakKind int
+
+const (
+	// LeakReturn: a return statement is reachable with the resource
+	// unconsumed.
+	LeakReturn LeakKind = iota
+	// LeakRedefine: the variable holding the resource is overwritten
+	// while the previous value is still unconsumed.
+	LeakRedefine
+	// LeakFuncEnd: control falls off the end of the function with the
+	// resource unconsumed.
+	LeakFuncEnd
+)
+
+// A Leak is one reachable escape of an unconsumed resource.
+type Leak struct {
+	Pos  token.Pos
+	Kind LeakKind
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	succ   map[ast.Stmt][]ast.Stmt
+	labels map[string]ast.Stmt // label -> entry of the labelled statement
+	entry  ast.Stmt            // sentinel: function entry
+	exit   ast.Stmt            // sentinel: function exit (fall-off end)
+	rbrace token.Pos
+}
+
+// Entry returns the sentinel start node, for resources owned from
+// function entry (e.g. a parameter carrying an acquired buffer).
+func (g *Graph) Entry() ast.Stmt { return g.entry }
+
+// Contains reports whether s is a node of the graph (i.e. a statement
+// the builder visited — anything directly in the body, not nested in a
+// function literal).
+func (g *Graph) Contains(s ast.Stmt) bool { _, ok := g.succ[s]; return ok }
+
+type builder struct {
+	g *Graph
+	// gotos are patched once all labels are known.
+	gotos []*ast.BranchStmt
+	// loop/switch context for break/continue, innermost last.
+	breaks    []ctxTarget
+	continues []ctxTarget
+	// fallthroughTarget is the entry of the next case clause while a
+	// clause body is being built.
+	fallthroughTarget ast.Stmt
+	// pendingLabel is the label of the LabeledStmt currently being
+	// entered, claimed by the next loop/switch for labelled branches.
+	pendingLabel string
+}
+
+type ctxTarget struct {
+	label  string
+	target ast.Stmt
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		succ:   make(map[ast.Stmt][]ast.Stmt),
+		labels: make(map[string]ast.Stmt),
+		entry:  &ast.EmptyStmt{},
+		exit:   &ast.EmptyStmt{},
+		rbrace: body.Rbrace,
+	}
+	b := &builder{g: g}
+	first := b.stmts(body.List, g.exit)
+	g.succ[g.entry] = []ast.Stmt{first}
+	// Patch gotos now that every label has an entry node.
+	for _, br := range b.gotos {
+		target, ok := g.labels[br.Label.Name]
+		if !ok {
+			// Malformed or out-of-scope goto: treat as exit so the
+			// analysis stays quiet rather than wrong.
+			target = g.exit
+		}
+		g.succ[br] = []ast.Stmt{target}
+	}
+	return g
+}
+
+// edge records s -> t.
+func (b *builder) edge(s, t ast.Stmt) {
+	b.g.succ[s] = append(b.g.succ[s], t)
+}
+
+// node registers s (possibly with no successors yet).
+func (b *builder) node(s ast.Stmt) {
+	if _, ok := b.g.succ[s]; !ok {
+		b.g.succ[s] = nil
+	}
+}
+
+// stmts wires a statement list, returning its entry node (follow when
+// the list is empty).
+func (b *builder) stmts(list []ast.Stmt, follow ast.Stmt) ast.Stmt {
+	entry := follow
+	for i := len(list) - 1; i >= 0; i-- {
+		entry = b.stmt(list[i], entry)
+	}
+	return entry
+}
+
+// pushLoop enters a loop context; label is the pending label, if any.
+func (b *builder) pushLoop(breakTo, continueTo ast.Stmt) string {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.breaks = append(b.breaks, ctxTarget{label, breakTo})
+	b.continues = append(b.continues, ctxTarget{label, continueTo})
+	return label
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(breakTo ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.breaks = append(b.breaks, ctxTarget{label, breakTo})
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func resolve(ctx []ctxTarget, label string) (ast.Stmt, bool) {
+	for i := len(ctx) - 1; i >= 0; i-- {
+		if label == "" || ctx[i].label == label {
+			return ctx[i].target, true
+		}
+	}
+	return nil, false
+}
+
+// stmt wires one statement and returns its entry node.
+func (b *builder) stmt(s ast.Stmt, follow ast.Stmt) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, follow)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		entry := b.stmt(s.Stmt, follow)
+		b.pendingLabel = ""
+		b.g.labels[s.Label.Name] = entry
+		return entry
+
+	case *ast.ReturnStmt:
+		b.node(s)
+		b.edge(s, b.g.exit)
+		return s
+
+	case *ast.BranchStmt:
+		b.node(s)
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t, ok := resolve(b.breaks, label); ok {
+				b.edge(s, t)
+			} else {
+				b.edge(s, b.g.exit)
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t, ok := resolve(b.continues, label); ok {
+				b.edge(s, t)
+			} else {
+				b.edge(s, b.g.exit)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, s)
+		case token.FALLTHROUGH:
+			if b.fallthroughTarget != nil {
+				b.edge(s, b.fallthroughTarget)
+			} else {
+				b.edge(s, follow)
+			}
+		}
+		return s
+
+	case *ast.IfStmt:
+		b.node(s)
+		bodyEntry := b.stmt(s.Body, follow)
+		elseEntry := follow
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, follow)
+		}
+		b.edge(s, bodyEntry)
+		b.edge(s, elseEntry)
+		if s.Init != nil {
+			b.node(s.Init)
+			b.edge(s.Init, s)
+			return s.Init
+		}
+		return s
+
+	case *ast.ForStmt:
+		b.node(s)
+		postEntry := ast.Stmt(s)
+		if s.Post != nil {
+			postEntry = b.stmt(s.Post, s)
+		}
+		b.pushLoop(follow, postEntry)
+		bodyEntry := b.stmt(s.Body, postEntry)
+		b.popLoop()
+		b.edge(s, bodyEntry)
+		if s.Cond != nil {
+			b.edge(s, follow)
+		}
+		if s.Init != nil {
+			b.node(s.Init)
+			b.edge(s.Init, s)
+			return s.Init
+		}
+		return s
+
+	case *ast.RangeStmt:
+		b.node(s)
+		b.pushLoop(follow, s)
+		bodyEntry := b.stmt(s.Body, s)
+		b.popLoop()
+		b.edge(s, bodyEntry)
+		b.edge(s, follow)
+		return s
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, s.Init, s.Body, follow, true)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s, s.Init, s.Body, follow, false)
+
+	case *ast.SelectStmt:
+		b.node(s)
+		b.pushBreak(follow)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			bodyEntry := b.stmts(cc.Body, follow)
+			if cc.Comm != nil {
+				bodyEntry = b.stmt(cc.Comm, bodyEntry)
+			}
+			b.edge(s, bodyEntry)
+		}
+		b.popBreak()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever; no successor.
+			return s
+		}
+		return s
+
+	default:
+		// Simple statements: assign, expr, decl, inc/dec, send, defer,
+		// go, empty.
+		b.node(s)
+		if !terminates(s) {
+			b.edge(s, follow)
+		}
+		return s
+	}
+}
+
+// switchStmt wires an expression or type switch. s is the switch node,
+// init its optional init statement, body the clause list.
+func (b *builder) switchStmt(s ast.Stmt, init ast.Stmt, body *ast.BlockStmt, follow ast.Stmt, allowFallthrough bool) ast.Stmt {
+	b.node(s)
+	b.pushBreak(follow)
+	hasDefault := false
+	// Build clauses in reverse so each knows its fallthrough target.
+	next := ast.Stmt(nil)
+	entries := make([]ast.Stmt, len(body.List))
+	for i := len(body.List) - 1; i >= 0; i-- {
+		cc := body.List[i].(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		savedFT := b.fallthroughTarget
+		if allowFallthrough {
+			b.fallthroughTarget = next
+		}
+		entries[i] = b.stmts(cc.Body, follow)
+		b.fallthroughTarget = savedFT
+		next = entries[i]
+	}
+	b.popBreak()
+	for _, e := range entries {
+		b.edge(s, e)
+	}
+	if !hasDefault {
+		b.edge(s, follow)
+	}
+	if init != nil {
+		b.node(init)
+		b.edge(init, s)
+		return init
+	}
+	return s
+}
+
+// terminates reports whether s never transfers control to the next
+// statement: panic, os.Exit, and t.Fatal-style calls.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Exit", "Panic", "Panicf":
+			return true
+		}
+	}
+	return false
+}
+
+// nodeParts returns the parts of s that are evaluated at s's own CFG
+// node. For compound statements that is only the condition or tag —
+// their bodies are separate nodes, so a callback that inspected the
+// whole subtree would see consumption that happens only on one branch.
+// Simple statements are their own single part.
+func nodeParts(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Node{s.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		if s.Assign != nil {
+			return []ast.Node{s.Assign}
+		}
+		return nil
+	case *ast.SelectStmt, *ast.LabeledStmt, *ast.BlockStmt:
+		return nil
+	}
+	return []ast.Node{s}
+}
+
+// Leaks walks the graph from start (exclusive) and reports every exit
+// reachable without first passing a consuming statement.
+//
+//   - consumes(n) true means the resource is used/released/escaped at n;
+//     paths stop there (a consuming defer likewise guards everything
+//     after it). n is the part of a statement its CFG node evaluates:
+//     the whole statement for simple ones, just the condition/tag for
+//     compound ones.
+//   - redefines(n) true (optional) means n overwrites the variable; the
+//     old value leaks there and the path stops.
+//   - exempt(ret) true (optional) suppresses the report for a specific
+//     return (e.g. the error-check return paired with the acquire).
+//
+// A return statement that mentions the resource in its results counts
+// as consumption (ownership passes to the caller), so callers need not
+// encode that in consumes.
+func (g *Graph) Leaks(start ast.Stmt, consumes func(ast.Node) bool, redefines func(ast.Node) bool, exempt func(*ast.ReturnStmt) bool) []Leak {
+	hit := func(fn func(ast.Node) bool, s ast.Stmt) bool {
+		if fn == nil {
+			return false
+		}
+		for _, part := range nodeParts(s) {
+			if part != nil && fn(part) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[ast.Stmt]bool{start: true}
+	queue := append([]ast.Stmt(nil), g.succ[start]...)
+	var leaks []Leak
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s == g.exit {
+			leaks = append(leaks, Leak{Pos: g.rbrace, Kind: LeakFuncEnd})
+			continue
+		}
+		if ret, ok := s.(*ast.ReturnStmt); ok {
+			if hit(consumes, s) {
+				continue
+			}
+			if exempt == nil || !exempt(ret) {
+				leaks = append(leaks, Leak{Pos: ret.Pos(), Kind: LeakReturn})
+			}
+			continue
+		}
+		if hit(consumes, s) {
+			continue
+		}
+		if hit(redefines, s) {
+			leaks = append(leaks, Leak{Pos: s.Pos(), Kind: LeakRedefine})
+			continue
+		}
+		queue = append(queue, g.succ[s]...)
+	}
+	return leaks
+}

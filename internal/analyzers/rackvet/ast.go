@@ -1,0 +1,116 @@
+package rackvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InspectShallow walks the AST rooted at n like ast.Inspect but does
+// not descend into nested function literals: their statements belong to
+// a different control-flow graph and are analyzed as their own
+// function.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// Parents returns a child→parent map for every node under root.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// MentionsObject reports whether obj is referenced anywhere under n,
+// not counting identifiers that are plain store targets (the x of
+// `x = ...`, which overwrites rather than uses the value). Function
+// literals under n are included: capturing a value in a closure is a
+// use.
+func MentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	stores := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					stores[id] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !stores[id] {
+			if info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// StoresTo reports whether n is an assignment to obj (obj appears as a
+// plain identifier store target at the top level of the assignment).
+func StoresTo(info *types.Info, n ast.Node, obj types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsIdentFor reports whether e is (after stripping parens) an
+// identifier resolving to obj.
+func IsIdentFor(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// InErrCheck reports whether ret sits inside an if statement whose
+// condition mentions errObj — the `if err != nil { return ... }` shape
+// that pairs with the acquire whose error is errObj.
+func InErrCheck(info *types.Info, parents map[ast.Node]ast.Node, ret *ast.ReturnStmt, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	for n := ast.Node(ret); n != nil; n = parents[n] {
+		if iff, ok := n.(*ast.IfStmt); ok && iff.Cond != nil {
+			if MentionsObject(info, iff.Cond, errObj) {
+				return true
+			}
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+// Package rackvet is the core of the repo's static-analysis suite: a
+// minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic).
+//
+// The build environment has no module proxy access, so the suite is
+// built on the standard library alone (go/ast, go/types, go/importer).
+// The API deliberately mirrors go/analysis closely enough that the
+// passes port over mechanically should x/tools become available: an
+// Analyzer is a named check with a Run function, a Pass hands it one
+// type-checked package, and diagnostics are (position, message) pairs.
+package rackvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the documentation for the analyzer. The first line is its
+	// one-line summary.
+	Doc string
+
+	// Run applies the analyzer to a single package. It must report
+	// findings via Pass.Report/Reportf; the error return is for
+	// analyzer-internal failures only, not findings.
+	Run func(*Pass) error
+}
+
+// A Pass provides one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Sizes     types.Sizes
+
+	// Report delivers one diagnostic. The driver and the fixture runner
+	// install their own collectors here.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Callee returns the static callee of call as a *types.Func (function,
+// method, or nil when the call is dynamic, a conversion, or a builtin).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsConversion reports whether call is a type conversion rather than a
+// function or method call.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// NamedType returns the named type of t, unwrapping one level of
+// pointer and any alias, or nil.
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// ReceiverNamed returns the named type of fn's receiver (unwrapping a
+// pointer receiver), or nil if fn is not a method.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return NamedType(sig.Recv().Type())
+}
+
+// PkgPathIs reports whether obj belongs to the package with the given
+// import path.
+func PkgPathIs(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

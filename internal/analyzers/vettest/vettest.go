@@ -1,0 +1,270 @@
+// Package vettest runs an analyzer over golden fixtures, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which the offline
+// build cannot vendor).
+//
+// Fixtures live in a GOPATH-shaped tree: testdata/src/<importpath>/*.go.
+// Expected diagnostics are written as trailing comments on the line
+// they occur:
+//
+//	pool.acquire() // want `buffer .* may leak`
+//
+// Each `want` takes one or more quoted regular expressions; every
+// diagnostic must match a want on its line and every want must be
+// matched by a diagnostic, or the test fails. Lines without a want
+// comment assert the absence of diagnostics.
+//
+// Fixture packages may import each other (stub versions of repo
+// packages such as rackjoin/internal/metrics live in the same tree) and
+// the standard library; stdlib imports are resolved from compiled
+// export data via `go list -export`.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rackjoin/internal/analyzers/load"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Run analyzes each fixture package path under testdata/src with a and
+// checks its diagnostics against the want comments.
+func Run(t *testing.T, testdata string, a *rackvet.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	ld, err := newFixtureLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("vettest: fixture %s: %v", path, err)
+		}
+		var diags []rackvet.Diagnostic
+		pass := &rackvet.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Sizes:     load.HostSizes(),
+			Report:    func(d rackvet.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("vettest: %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, pkg.files, diags)
+	}
+}
+
+// fixturePkg is one parsed and type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports from
+// the fixture tree first and export data otherwise.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	memo    map[string]*fixturePkg
+	exports types.Importer
+}
+
+// exportCache memoizes the `go list -export` run per external import
+// set, shared across tests in one process.
+var exportCache sync.Map // key string -> []load.Entry
+
+func newFixtureLoader(srcRoot string) (*fixtureLoader, error) {
+	ld := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		memo:    make(map[string]*fixturePkg),
+	}
+	ext, err := ld.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	if len(ext) > 0 {
+		key := strings.Join(ext, ",")
+		entries, ok := exportCache.Load(key)
+		if !ok {
+			es, err := load.List(srcRoot, ext...)
+			if err != nil {
+				return nil, err
+			}
+			entries, _ = exportCache.LoadOrStore(key, es)
+		}
+		ld.exports = load.ExportImporter(ld.fset, entries.([]load.Entry))
+	}
+	return ld, nil
+}
+
+// externalImports scans every fixture file for imports that do not
+// resolve inside the fixture tree.
+func (ld *fixtureLoader) externalImports() ([]string, error) {
+	ext := make(map[string]bool)
+	err := filepath.WalkDir(ld.srcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(ld.fset, p, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "unsafe" {
+				continue
+			}
+			if dir, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && dir.IsDir() {
+				continue
+			}
+			ext[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ext))
+	for p := range ext {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer over the fixture tree + export data.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && dir.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	if ld.exports == nil {
+		return nil, fmt.Errorf("vettest: no export data loaded, cannot import %q", path)
+	}
+	return ld.exports.Import(path)
+}
+
+// load parses and type-checks the fixture package at path (memoized).
+func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := ld.memo[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, path)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range names {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: ld, Sizes: load.HostSizes()}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{files: files, types: tpkg, info: info}
+	ld.memo[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one want regexp awaiting a matching diagnostic.
+type expectation struct {
+	pos     token.Position // of the want comment
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []rackvet.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> wants
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/"), "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment: %q", pos, text)
+						break
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s: %v", pos, q, err)
+						break
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						break
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &expectation{pos: pos, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+			}
+		}
+	}
+}
