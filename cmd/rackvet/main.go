@@ -1,0 +1,107 @@
+// Command rackvet runs the repo's custom static-analysis suite — the
+// invariants the race detector and go vet cannot enforce — over the
+// packages matched by the given patterns (default ./...).
+//
+//	go run ./cmd/rackvet ./...
+//
+// It prints one line per finding (file:line:col: analyzer: message) and
+// exits 1 if anything was found; `make check` and CI treat that as a
+// build failure. See DESIGN.md §11 for the analyzers and the
+// invariants they encode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"rackjoin/internal/analyzers/atomicmix"
+	"rackjoin/internal/analyzers/buflifecycle"
+	"rackjoin/internal/analyzers/load"
+	"rackjoin/internal/analyzers/metricnames"
+	"rackjoin/internal/analyzers/rackvet"
+	"rackjoin/internal/analyzers/spanend"
+	"rackjoin/internal/analyzers/unsafekeepalive"
+)
+
+var analyzers = []*rackvet.Analyzer{
+	buflifecycle.Analyzer,
+	spanend.Analyzer,
+	atomicmix.Analyzer,
+	unsafekeepalive.Analyzer,
+	metricnames.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rackvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rackvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		pos      token.Position
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &rackvet.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Sizes:     pkg.Sizes,
+				Report: func(d rackvet.Diagnostic) {
+					findings = append(findings, finding{pkg.Fset.Position(d.Pos), a.Name, d.Message})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "rackvet: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/atomicmix"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	vettest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,189 @@
+// Package atomicmix enforces the repo's atomics discipline (DESIGN.md
+// §9/§10: the scheduler's pending counts and the pipeline's readiness
+// flags): a variable or struct field whose address is passed to a
+// sync/atomic function anywhere in the package must never be read,
+// written, or aliased plainly elsewhere — one plain access next to an
+// atomic one is a data race the race detector only catches when a test
+// happens to hit the interleaving.
+//
+// It additionally checks 64-bit alignment: a raw int64/uint64 field
+// accessed with 64-bit sync/atomic functions must sit at an 8-byte
+// offset under 32-bit (GOARCH=386/arm) layout, or the access faults
+// there. The atomic.Int64-style wrapper types carry their own alignment
+// guarantee and private fields, so code using them (as this repo does)
+// cannot trip either rule; the pass exists to keep it that way.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that atomically-accessed variables are never accessed plainly and are 64-bit aligned on 32-bit targets",
+	Run:  run,
+}
+
+func run(pass *rackvet.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect objects whose address flows into sync/atomic, and
+	// remember the exact AST nodes of those sanctioned accesses.
+	atomicObjs := make(map[types.Object]*ast.CallExpr) // object -> first atomic call site
+	wide := make(map[types.Object]bool)                // accessed with a 64-bit atomic op
+	sanctioned := make(map[ast.Node]bool)              // &x nodes inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := rackvet.Callee(info, call)
+			if fn == nil || !rackvet.PkgPathIs(fn, "sync/atomic") {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods of the atomic.Int64-style wrapper types are
+				// safe by construction.
+				return true
+			}
+			is64 := has64Suffix(fn.Name())
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := addrTarget(info, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call
+				}
+				if is64 {
+					wide[obj] = true
+				}
+				sanctioned[ast.Unparen(un.X)] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses and aliases of those objects.
+	for _, f := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok {
+					if _, hot := atomicObjs[sel.Obj()]; hot && !sanctioned[n] {
+						pass.Reportf(n.Pos(), "field %s is accessed with sync/atomic elsewhere (%s); plain access races with it",
+							sel.Obj().Name(), atomicPos(pass, atomicObjs[sel.Obj()]))
+					}
+				}
+				// Do not descend into n.Sel: the field identifier would
+				// double-report. The receiver chain still needs a look.
+				ast.Inspect(n.X, visit)
+				return false
+			case *ast.Ident:
+				obj := info.Uses[n]
+				if obj == nil {
+					return true
+				}
+				if v, ok := obj.(*types.Var); ok && !v.IsField() {
+					if _, hot := atomicObjs[obj]; hot && !sanctioned[n] {
+						pass.Reportf(n.Pos(), "variable %s is accessed with sync/atomic elsewhere (%s); plain access races with it",
+							obj.Name(), atomicPos(pass, atomicObjs[obj]))
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+
+	// Pass 3: 32-bit alignment of 64-bit atomically-accessed fields.
+	sizes32 := types.SizesFor("gc", "386")
+	for obj := range atomicObjs {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() || !wide[obj] {
+			continue
+		}
+		if basic, ok := v.Type().Underlying().(*types.Basic); !ok ||
+			(basic.Kind() != types.Int64 && basic.Kind() != types.Uint64) {
+			continue
+		}
+		if st, idx := owningStruct(pass.Pkg, v); st != nil {
+			fields := make([]*types.Var, st.NumFields())
+			for i := range fields {
+				fields[i] = st.Field(i)
+			}
+			off := sizes32.Offsetsof(fields)[idx]
+			if off%8 != 0 {
+				pass.Reportf(v.Pos(), "field %s is at offset %d under 32-bit layout; 64-bit sync/atomic access requires 8-byte alignment (move it to the front of the struct or use atomic.%s)",
+					v.Name(), off, wrapperFor(v.Type()))
+			}
+		}
+	}
+	return nil
+}
+
+// has64Suffix reports whether a sync/atomic function name operates on a
+// 64-bit value.
+func has64Suffix(name string) bool {
+	return len(name) >= 2 && name[len(name)-2:] == "64"
+}
+
+// addrTarget resolves &x to the variable or field object x denotes.
+func addrTarget(info *types.Info, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// owningStruct finds the struct type declared in pkg that contains
+// field v, and v's index within it.
+func owningStruct(pkg *types.Package, v *types.Var) (*types.Struct, int) {
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return st, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+func wrapperFor(t types.Type) string {
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}
+
+func atomicPos(pass *rackvet.Pass, call *ast.CallExpr) string {
+	p := pass.Fset.Position(call.Pos())
+	return p.String()
+}

@@ -1,0 +1,53 @@
+// Package a exercises the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func read(s *stats) int64 {
+	return s.hits // want `field hits is accessed with sync/atomic elsewhere .*; plain access races with it`
+}
+
+func readAtomic(s *stats) int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func plainOnly(s *stats) int64 {
+	return s.misses // misses is never touched atomically
+}
+
+var ready int32
+
+func set() { atomic.StoreInt32(&ready, 1) }
+
+func peek() bool {
+	return ready == 1 // want `variable ready is accessed with sync/atomic elsewhere .*; plain access races with it`
+}
+
+// misaligned: under GOARCH=386 layout int32 packs seq at offset 4, so a
+// 64-bit atomic access faults there.
+type misaligned struct {
+	flag int32
+	seq  uint64 // want `field seq is at offset 4 under 32-bit layout; 64-bit sync/atomic access requires 8-byte alignment \(move it to the front of the struct or use atomic.Uint64\)`
+}
+
+func tick(m *misaligned) {
+	atomic.AddUint64(&m.seq, 1)
+}
+
+// wrapped: the atomic.Int64-style wrapper types carry their own
+// alignment and privacy guarantees; nothing to report.
+var total atomic.Int64
+
+func wrapped() int64 {
+	total.Add(1)
+	return total.Load()
+}

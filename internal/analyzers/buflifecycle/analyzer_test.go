@@ -1,0 +1,12 @@
+package buflifecycle_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/buflifecycle"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	vettest.Run(t, "testdata", buflifecycle.Analyzer, "a")
+}

@@ -1,0 +1,282 @@
+// Package buflifecycle verifies the RDMA buffer-pool discipline of the
+// network pass (DESIGN.md §2, paper §4.2.1): a buffer index handed out
+// by a pool must, on every control-flow path, end up either posted
+// (accounted via the pool's outstanding counter), released back to the
+// free list, escaped into longer-lived state, or returned to the
+// caller. An error return that drops the index leaks the buffer for the
+// rest of the run — exactly the kind of slow pool bleed that shows up
+// only as rising netpass_buffer_stalls_total much later.
+//
+// Tracked values:
+//
+//   - locals bound by `b, err := pool.acquire()` (or Get) where the
+//     receiver is a *...Pool type;
+//   - integer parameters named buf of functions that work with a
+//     *...Pool type — the repo's convention for passing an owned,
+//     not-yet-posted buffer (postBuffer).
+//
+// Consumption is any of: passing the index directly to a call (release,
+// a ship/post helper — but not the pool's buf() accessor, which merely
+// reads the bytes), storing it into a field/slice/map, capturing it in
+// a closure, sending it on a channel, returning it, or incrementing an
+// `outstanding` counter (the manual post bookkeeping). Conversions like
+// uint64(buf) in a work-request literal do not consume: a WRID copy
+// does not return the buffer. Returns inside `if err != nil` blocks
+// checking the acquire's own error are exempt — on that path the
+// acquire failed and no buffer was handed out.
+package buflifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rackjoin/internal/analyzers/pathflow"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the buflifecycle pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "buflifecycle",
+	Doc:  "check that RDMA pool buffers are posted, released, or escaped on all control-flow paths",
+	Run:  run,
+}
+
+func run(pass *rackvet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolType reports whether t is (a pointer to) a named type whose
+// name ends in Pool (bufferPool, resultPool, ...).
+func isPoolType(t types.Type) bool {
+	named := rackvet.NamedType(t)
+	return named != nil && strings.HasSuffix(named.Obj().Name(), "Pool")
+}
+
+// isAcquire reports whether call acquires a buffer from a pool.
+func isAcquire(pass *rackvet.Pass, call *ast.CallExpr) bool {
+	fn := rackvet.Callee(pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "acquire" && fn.Name() != "Get") {
+		return false
+	}
+	return isPoolType(recvType(fn))
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// usesPool reports whether any expression in body has a pool type —
+// the gate for the owned-parameter rule.
+func usesPool(pass *rackvet.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && isPoolType(tv.Type) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkFunc(pass *rackvet.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	var graph *pathflow.Graph
+	ensureGraph := func() *pathflow.Graph {
+		if graph == nil {
+			graph = pathflow.New(body)
+		}
+		return graph
+	}
+	parents := rackvet.Parents(body)
+
+	// Rule 1: locals bound from pool.acquire()/Get().
+	rackvet.InspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAcquire(pass, call) {
+			return true
+		}
+		parent := parents[call]
+		as, ok := parent.(*ast.AssignStmt)
+		if !ok {
+			if _, ok := parent.(*ast.ExprStmt); ok {
+				pass.Reportf(call.Pos(), "acquired buffer is discarded; it can never be posted or released")
+			}
+			return true
+		}
+		if len(as.Rhs) != 1 || as.Rhs[0] != call || len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true // stored straight into a field/element: escaped
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "acquired buffer is discarded; it can never be posted or released")
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		var errObj types.Object
+		if len(as.Lhs) == 2 {
+			if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+				if errObj = pass.TypesInfo.Defs[errID]; errObj == nil {
+					errObj = pass.TypesInfo.Uses[errID]
+				}
+			}
+		}
+		g := ensureGraph()
+		if !g.Contains(as) {
+			return true
+		}
+		checkOwned(pass, g, parents, as, call.Pos(), obj, errObj)
+		return true
+	})
+
+	// Rule 2: owned buffer parameters (an int parameter named buf in a
+	// function that works with a pool).
+	if ftype.Params == nil {
+		return
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "buf" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if basic, ok := obj.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+				continue
+			}
+			if !usesPool(pass, body) {
+				continue
+			}
+			g := ensureGraph()
+			checkOwned(pass, g, parents, g.Entry(), name.Pos(), obj, nil)
+		}
+	}
+}
+
+// checkOwned runs the leak search for one owned buffer value.
+func checkOwned(pass *rackvet.Pass, graph *pathflow.Graph, parents map[ast.Node]ast.Node, def ast.Stmt, defPos token.Pos, obj, errObj types.Object) {
+	info := pass.TypesInfo
+	defLine := pass.Fset.Position(defPos).Line
+	consumes := func(n ast.Node) bool { return consumesBuffer(info, n, obj) }
+	redefines := func(n ast.Node) bool { return rackvet.StoresTo(info, n, obj) }
+	exempt := func(ret *ast.ReturnStmt) bool {
+		return rackvet.InErrCheck(info, parents, ret, errObj)
+	}
+	for _, leak := range graph.Leaks(def, consumes, redefines, exempt) {
+		switch leak.Kind {
+		case pathflow.LeakReturn:
+			pass.Reportf(leak.Pos, "buffer %q (acquired at line %d) may leak: this return neither posts nor releases it", obj.Name(), defLine)
+		case pathflow.LeakRedefine:
+			pass.Reportf(leak.Pos, "buffer %q overwritten while still neither posted nor released", obj.Name())
+		case pathflow.LeakFuncEnd:
+			pass.Reportf(defPos, "buffer %q is not posted or released on every path to the end of the function", obj.Name())
+		}
+	}
+}
+
+// consumesBuffer reports whether node consumes the buffer held in obj.
+func consumesBuffer(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Escape-store: the index moves into longer-lived state
+			// (ts.curBuf[p] = b).
+			for i, rhs := range n.Rhs {
+				if rackvet.IsIdentFor(info, rhs, obj) {
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					found = true
+				}
+			}
+			// Manual post bookkeeping: pool.outstanding += n.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isOutstanding(n.Lhs[0]) {
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if isOutstanding(n.X) {
+				found = true
+			}
+		case *ast.SendStmt:
+			if rackvet.IsIdentFor(info, n.Value, obj) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if rackvet.IsIdentFor(info, res, obj) {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: ownership escapes.
+			if rackvet.MentionsObject(info, n, obj) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			if rackvet.IsConversion(info, n) {
+				// uint64(buf) in a WRID is a copy, not a transfer; keep
+				// walking the argument for real uses.
+				return true
+			}
+			fn := rackvet.Callee(info, n)
+			if fn != nil && fn.Name() == "buf" {
+				// pool.buf(b) only reads the bytes.
+				return true
+			}
+			for _, arg := range n.Args {
+				if rackvet.IsIdentFor(info, arg, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOutstanding reports whether e is a selector of a field named
+// outstanding (the pool's posted-transfer counter).
+func isOutstanding(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "outstanding"
+}

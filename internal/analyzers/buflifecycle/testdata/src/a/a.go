@@ -1,0 +1,109 @@
+// Package a exercises the buflifecycle analyzer.
+package a
+
+import "errors"
+
+// bufferPool mirrors the netpass send-buffer pool: integer indices,
+// acquire/release, a buf accessor for the bytes, and an outstanding
+// counter bumped when an index is posted to the NIC.
+type bufferPool struct {
+	outstanding int
+	free        chan int
+}
+
+func (p *bufferPool) acquire() (int, error) { return 0, nil }
+func (p *bufferPool) Get() (int, error)     { return 0, nil }
+func (p *bufferPool) release(b int)         {}
+func (p *bufferPool) buf(b int) []byte      { return nil }
+
+var errFull = errors.New("full")
+
+func released(p *bufferPool) error {
+	b, err := p.acquire()
+	if err != nil {
+		return err // exempt: the acquire failed, no buffer was handed out
+	}
+	p.release(b)
+	return nil
+}
+
+func leakyReturn(p *bufferPool, fail bool) error {
+	b, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errFull // want `buffer "b" \(acquired at line \d+\) may leak: this return neither posts nor releases it`
+	}
+	p.release(b)
+	return nil
+}
+
+func discarded(p *bufferPool) {
+	p.acquire() // want `acquired buffer is discarded`
+}
+
+func blank(p *bufferPool) {
+	_, _ = p.acquire() // want `acquired buffer is discarded`
+}
+
+func overwritten(p *bufferPool) {
+	b, _ := p.acquire()
+	b, _ = p.acquire() // want `buffer "b" overwritten while still neither posted nor released`
+	p.release(b)
+}
+
+func posted(p *bufferPool, fail bool) error {
+	b, err := p.Get()
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errFull // want `buffer "b" \(acquired at line \d+\) may leak`
+	}
+	wrid := uint64(b) // a WRID copy is a conversion, not a transfer
+	_ = wrid
+	p.outstanding++
+	return nil
+}
+
+func handoff(p *bufferPool) {
+	b, _ := p.acquire()
+	p.free <- b // the receiver now owns the index
+}
+
+type sink struct{ cur int }
+
+func escape(p *bufferPool, s *sink) {
+	b, _ := p.acquire()
+	s.cur = b // stored into longer-lived state
+}
+
+func forward(p *bufferPool) (int, error) {
+	b, err := p.acquire()
+	return b, err // ownership passes to the caller
+}
+
+// post mirrors netpass.postBuffer: the function owns buf (an index its
+// caller acquired) and must post or release it on every path.
+func post(p *bufferPool, buf int, fail bool) error {
+	payload := p.buf(buf) // buf() only reads the bytes; not a transfer
+	if len(payload) == 0 {
+		return errFull // want `buffer "buf" \(acquired at line \d+\) may leak`
+	}
+	if fail {
+		p.release(buf)
+		return errFull
+	}
+	p.outstanding++
+	return nil
+}
+
+func dropsOnFallthrough(p *bufferPool, buf int, ok bool) { // want `buffer "buf" is not posted or released on every path to the end of the function`
+	if ok {
+		p.release(buf)
+	}
+}
+
+// unrelated has a buf parameter but never touches a pool: not tracked.
+func unrelated(buf int) int { return buf * 2 }

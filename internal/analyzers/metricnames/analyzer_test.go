@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/metricnames"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	vettest.Run(t, "testdata", metricnames.Analyzer, "a")
+}

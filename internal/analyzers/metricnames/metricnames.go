@@ -1,0 +1,218 @@
+// Package metricnames enforces the observability plane's naming and
+// cardinality contract (DESIGN.md §4/§6) at every
+// rackjoin/internal/metrics call site:
+//
+//   - metric names and label keys must be compile-time constants (the
+//     registry interns by name; dynamic names defeat lookup caching and
+//     make dashboards unenumerable) matching ^[a-z][a-z0-9_]*$;
+//   - counters end in _total, histograms in a unit suffix (_seconds or
+//     _bytes), gauges carry no _total suffix — the Prometheus
+//     conventions the /metrics exposition promises;
+//   - label values must come from a bounded set: formatting an error or
+//     an arbitrary string into a label (fmt.Sprintf, err.Error()) makes
+//     series cardinality unbounded and was the one operational
+//     landmine the sampler's ring buffers cannot absorb.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "metricnames",
+	Doc:  "check metric registry call sites: constant conventional names, constant label keys, bounded label values",
+	Run:  run,
+}
+
+// metricsPath is the import path of the registry package (the fixture
+// tree carries a stub under the same path).
+const metricsPath = "rackjoin/internal/metrics"
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *rackvet.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		parents := rackvet.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := rackvet.Callee(info, call)
+			if fn == nil {
+				return true
+			}
+			// Classify by what the call produces: any function whose
+			// single result is a metrics.Counter/Gauge/Histogram/Label
+			// is a registry entry point, including facade wrappers
+			// outside the metrics package itself.
+			switch resultKind(fn) {
+			case "Counter", "Gauge", "Histogram":
+				if len(call.Args) == 0 || !isString(info, call.Args[0]) {
+					return true
+				}
+				if isForwardedParam(info, parents, call.Args[0]) {
+					return true
+				}
+				checkName(pass, resultKind(fn), call.Args[0])
+			case "Label":
+				if len(call.Args) != 2 || !isString(info, call.Args[0]) {
+					return true
+				}
+				if !isForwardedParam(info, parents, call.Args[0]) {
+					checkLabelKey(pass, call.Args[0])
+				}
+				if !isForwardedParam(info, parents, call.Args[1]) {
+					checkLabelValue(pass, call.Args[1])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resultKind returns the metrics-package type name of fn's single
+// result ("Counter", "Gauge", "Histogram", "Label"), or "".
+func resultKind(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return ""
+	}
+	named := rackvet.NamedType(sig.Results().At(0).Type())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != metricsPath {
+		return ""
+	}
+	switch name := named.Obj().Name(); name {
+	case "Counter", "Gauge", "Histogram", "Label":
+		return name
+	}
+	return ""
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isForwardedParam reports whether arg is a bare identifier bound to a
+// parameter of an enclosing function — a forwarding wrapper (the
+// Scope methods, the rackjoin facade). Constancy is enforced at the
+// wrapper's own call sites instead, which this pass also matches.
+func isForwardedParam(info *types.Info, parents map[ast.Node]ast.Node, arg ast.Expr) bool {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for n := parents[ast.Node(arg)]; n != nil; n = parents[n] {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					if info.Defs[name] == obj {
+						return true
+					}
+				}
+			}
+		}
+		if _, ok := n.(*ast.FuncDecl); ok {
+			break
+		}
+	}
+	return false
+}
+
+// checkName validates the name argument of a Counter/Gauge/Histogram
+// call.
+func checkName(pass *rackvet.Pass, kind string, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a constant string, not a computed value")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !nameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q must match %s", name, nameRE)
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total", name)
+		}
+	case "Histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(arg.Pos(), "histogram %q must end in a unit suffix (_seconds or _bytes)", name)
+		}
+	case "Gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not end in _total (that suffix promises a counter)", name)
+		}
+	}
+}
+
+// checkLabelKey validates the key argument of a label constructor.
+func checkLabelKey(pass *rackvet.Pass, key ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[key]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(key.Pos(), "label key must be a constant string, not a computed value")
+	} else if k := constant.StringVal(tv.Value); !nameRE.MatchString(k) {
+		pass.Reportf(key.Pos(), "label key %q must match %s", k, nameRE)
+	}
+}
+
+// checkLabelValue validates the value argument of a label constructor.
+func checkLabelValue(pass *rackvet.Pass, value ast.Expr) {
+	if src := unboundedSource(pass.TypesInfo, value); src != "" {
+		pass.Reportf(value.Pos(), "label value from %s has unbounded cardinality; label values must come from a small closed set", src)
+	}
+}
+
+// unboundedSource returns a description of value's origin when it is a
+// known unbounded-cardinality source, or "".
+func unboundedSource(info *types.Info, value ast.Expr) string {
+	call, ok := ast.Unparen(value).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := rackvet.Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	if rackvet.PkgPathIs(fn, "fmt") && strings.HasPrefix(fn.Name(), "Sprint") {
+		return "fmt." + fn.Name()
+	}
+	if fn.Name() == "Error" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "error.Error()"
+		}
+	}
+	if rackvet.PkgPathIs(fn, "time") && (fn.Name() == "Now" || fn.Name() == "Since") {
+		return "time." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,48 @@
+// Package a exercises the metricnames analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"rackjoin/internal/metrics"
+)
+
+var errBoom = errors.New("boom")
+
+func record(r *metrics.Registry) {
+	r.Counter("rows_joined_total")
+	r.Counter("rows_joined")                    // want `counter "rows_joined" must end in _total`
+	r.Counter("Rows-Joined_total")              // want `metric name "Rows-Joined_total" must match`
+	r.Counter("rt_" + fmt.Sprint(1) + "_total") // want `metric name must be a constant string, not a computed value`
+	r.Gauge("queue_depth")
+	r.Gauge("queue_depth_total") // want `gauge "queue_depth_total" must not end in _total`
+	r.Histogram("op_latency_seconds")
+	r.Histogram("op_payload_bytes")
+	r.Histogram("op_latency") // want `histogram "op_latency" must end in a unit suffix`
+}
+
+func labels() []metrics.Label {
+	return []metrics.Label{
+		metrics.L("node", "n3"),
+		metrics.L("Node-ID", "n3"),              // want `label key "Node-ID" must match`
+		metrics.L("err", errBoom.Error()),       // want `label value from error.Error\(\) has unbounded cardinality`
+		metrics.L("size", fmt.Sprintf("%d", 1)), // want `label value from fmt.Sprintf has unbounded cardinality`
+	}
+}
+
+// scope mirrors metrics.Scope / the rackjoin facade: a forwarding
+// wrapper whose name parameter is checked at the wrapper's own call
+// sites, not inside the wrapper (the false positive this pass once had).
+type scope struct{ r *metrics.Registry }
+
+func (s scope) Counter(name string) *metrics.Counter { return s.r.Counter(name) }
+
+func l(key, value string) metrics.Label { return metrics.L(key, value) }
+
+func viaWrapper(s scope) {
+	s.Counter("rows_joined_total")
+	s.Counter("rows_joined") // want `counter "rows_joined" must end in _total`
+	l("node", "n1")
+	l("Node", "n1") // want `label key "Node" must match`
+}

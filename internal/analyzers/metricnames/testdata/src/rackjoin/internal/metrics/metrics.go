@@ -1,0 +1,18 @@
+// Package metrics is a stub of rackjoin/internal/metrics for the
+// metricnames fixtures: the same exported type names the analyzer keys
+// on, with no behavior.
+package metrics
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Label struct{ Key, Value string }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels ...Label) *Counter     { return new(Counter) }
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge         { return new(Gauge) }
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram { return new(Histogram) }
+
+func L(key, value string) Label { return Label{Key: key, Value: value} }

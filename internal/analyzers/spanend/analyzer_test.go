@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/spanend"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	vettest.Run(t, "testdata", spanend.Analyzer, "a")
+}

@@ -1,0 +1,131 @@
+// Package spanend verifies that every trace span that is started is
+// also ended on every control-flow path — the lostcancel rule applied
+// to this repo's tracing idiom.
+//
+// A span start is any call to a function or method named Span or span
+// whose single result is a closer function (trace.Recorder.Span and the
+// core package's machineState.span helper both have this shape). The
+// closer must be called, deferred, or escape (returned, stored in a
+// field, captured by a closure) on every path from the start; an early
+// error return that skips it loses the span, which unbalances the
+// Chrome trace export and the per-phase attribution built on it
+// (DESIGN.md §4, PR 2).
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rackjoin/internal/analyzers/pathflow"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "spanend",
+	Doc:  "check that every trace span started is ended on all control-flow paths",
+	Run:  run,
+}
+
+func run(pass *rackvet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpanStart reports whether call starts a span: a call to a function
+// or method named Span/span returning exactly one func-typed closer.
+func isSpanStart(pass *rackvet.Pass, call *ast.CallExpr) bool {
+	fn := rackvet.Callee(pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "Span" && fn.Name() != "span") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	_, isFunc := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+func checkFunc(pass *rackvet.Pass, body *ast.BlockStmt) {
+	var graph *pathflow.Graph
+	parents := rackvet.Parents(body)
+
+	rackvet.InspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanStart(pass, call) {
+			return true
+		}
+		switch parent := parents[call].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of span start is discarded; the span is never ended")
+		case *ast.AssignStmt:
+			if len(parent.Rhs) != 1 || parent.Rhs[0] != call || len(parent.Lhs) != 1 {
+				return true
+			}
+			id, ok := parent.Lhs[0].(*ast.Ident)
+			if !ok {
+				// Stored into a field or element: the closer escapes and
+				// its lifecycle is managed elsewhere (e.g. the pipeline's
+				// netSpanEnd, closed by the CAS winner).
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "span closer assigned to _; the span is never ended")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if graph == nil {
+				graph = pathflow.New(body)
+			}
+			if !graph.Contains(parent) {
+				return true
+			}
+			checkDef(pass, graph, parent, call, obj)
+		}
+		return true
+	})
+}
+
+// checkDef runs the leak search for one `closer := span(...)` binding.
+func checkDef(pass *rackvet.Pass, graph *pathflow.Graph, def ast.Stmt, call *ast.CallExpr, obj types.Object) {
+	defLine := pass.Fset.Position(call.Pos()).Line
+	consumes := func(n ast.Node) bool {
+		return rackvet.MentionsObject(pass.TypesInfo, n, obj)
+	}
+	redefines := func(n ast.Node) bool {
+		return rackvet.StoresTo(pass.TypesInfo, n, obj)
+	}
+	for _, leak := range graph.Leaks(def, consumes, redefines, nil) {
+		switch leak.Kind {
+		case pathflow.LeakReturn:
+			pass.Reportf(leak.Pos, "span closer %q (span started at line %d) is not called before this return", obj.Name(), defLine)
+		case pathflow.LeakRedefine:
+			pass.Reportf(leak.Pos, "span closer %q reassigned before the span started at line %d was ended", obj.Name(), defLine)
+		case pathflow.LeakFuncEnd:
+			pass.Reportf(call.Pos(), "span closer %q is not called on every path to the end of the function", obj.Name())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package a exercises the spanend analyzer.
+package a
+
+import "errors"
+
+type tracer struct{}
+
+// Span mirrors trace.Recorder.Span: the single result is the closer.
+func (t *tracer) Span(name string) func() { return func() {} }
+
+// span mirrors the core package's lowercase helper.
+func span(name string) func() { return func() {} }
+
+var errBoom = errors.New("boom")
+
+func deferred(t *tracer) error {
+	end := t.Span("phase")
+	defer end()
+	return errBoom
+}
+
+func leakyReturn(t *tracer, fail bool) error {
+	end := t.Span("phase")
+	if fail {
+		return errBoom // want `span closer "end" \(span started at line \d+\) is not called before this return`
+	}
+	end()
+	return nil
+}
+
+func discarded(t *tracer) {
+	t.Span("phase") // want `result of span start is discarded; the span is never ended`
+}
+
+func blank(t *tracer) {
+	_ = t.Span("phase") // want `span closer assigned to _; the span is never ended`
+}
+
+func reassigned(t *tracer) {
+	end := span("one")
+	end = span("two") // want `span closer "end" reassigned before the span started at line \d+ was ended`
+	end()
+}
+
+func notAllPaths(t *tracer, ok bool) {
+	end := t.Span("phase") // want `span closer "end" is not called on every path to the end of the function`
+	if ok {
+		end()
+	}
+}
+
+type holder struct{ end func() }
+
+// escape: the closer moves into a field; its lifecycle is managed
+// elsewhere (the pipeline's netSpanEnd idiom), so no report.
+func escape(t *tracer, h *holder) {
+	h.end = t.Span("phase")
+}
+
+// runShape is the regression for core.(*joinState).run: several early
+// error returns between a phase span's start and its end.
+func runShape(t *tracer, steps []func() error) error {
+	end := t.Span("histogram")
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return err // want `span closer "end" \(span started at line \d+\) is not called before this return`
+		}
+	}
+	end()
+	return nil
+}
+
+// returned: the closer escapes to the caller, which owns ending it.
+func returned(t *tracer) func() {
+	end := t.Span("phase")
+	return end
+}

@@ -1,0 +1,12 @@
+package unsafekeepalive_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/unsafekeepalive"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	vettest.Run(t, "testdata", unsafekeepalive.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Package a exercises the unsafekeepalive analyzer.
+package a
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+var data = []byte{1, 2, 3}
+
+func stored() byte {
+	p := unsafe.Pointer(&data[0])
+	u := uintptr(p) + 1    // want `uintptr variable "u" holds a value derived from unsafe.Pointer`
+	q := unsafe.Pointer(u) // want `unsafe.Pointer reconstructed from stored uintptr "u"`
+	return *(*byte)(q)
+}
+
+func declared() {
+	p := unsafe.Pointer(&data[0])
+	var u uintptr = uintptr(p) // want `uintptr variable "u" holds a value derived from unsafe.Pointer`
+	_ = u
+}
+
+// single completes the pointer arithmetic within one expression, which
+// is the legal unsafeptr pattern: no uintptr ever hits a variable.
+func single() byte {
+	p := unsafe.Pointer(&data[0])
+	q := unsafe.Pointer(uintptr(p) + 1)
+	return *(*byte)(q)
+}
+
+func sliceHeader(b []byte) uintptr {
+	h := (*reflect.SliceHeader)(unsafe.Pointer(&b)) // want `reflect.SliceHeader does not keep the backing array alive`
+	return h.Data
+}
+
+func stringHeader(s string) uintptr {
+	h := (*reflect.StringHeader)(unsafe.Pointer(&s)) // want `reflect.StringHeader does not keep the backing array alive`
+	return h.Data
+}
+
+// modern is what the headers should be instead.
+func modern(p *byte, n int) []byte {
+	return unsafe.Slice(p, n)
+}

@@ -1,0 +1,153 @@
+// Package unsafekeepalive polices the unsafe.Pointer idioms of the
+// word-store kernels (internal/radix/wc_fast.go,
+// internal/relation/wordcopy.go — DESIGN.md §8): derived pointers must
+// stay typed as unsafe.Pointer so the GC keeps the backing slice alive
+// and can update the pointer if it ever moves objects. The moment a
+// pointer is parked in a uintptr variable it becomes an untracked
+// integer — the backing object may be collected or moved between that
+// statement and the next, which is exactly what -d=checkptr catches
+// dynamically (the `make checkptr` target backs this pass at run time).
+//
+// Rules, mirroring the unsafe.Pointer conversion rules that go vet's
+// unsafeptr check enforces dynamically:
+//
+//  1. no variable of type uintptr may hold a value derived from an
+//     unsafe.Pointer (uintptr arithmetic must complete within a single
+//     expression);
+//  2. unsafe.Pointer must not be reconstructed from a stored uintptr
+//     variable;
+//  3. reflect.SliceHeader/StringHeader are banned outright — their
+//     Data field has the same no-keepalive problem; unsafe.Slice and
+//     unsafe.SliceData replaced them.
+package unsafekeepalive
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the unsafekeepalive pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "unsafekeepalive",
+	Doc:  "check that unsafe.Pointer derivations keep their backing objects alive (no uintptr round-trips, no reflect headers)",
+	Run:  run,
+}
+
+func run(pass *rackvet.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					checkUintptrBinding(pass, n.Lhs[i], rhs)
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					checkUintptrBinding(pass, n.Names[i], v)
+				}
+			case *ast.CallExpr:
+				checkPointerFromUintptr(pass, n)
+			case *ast.SelectorExpr:
+				if obj := info.Uses[n.Sel]; obj != nil && rackvet.PkgPathIs(obj, "reflect") {
+					if obj.Name() == "SliceHeader" || obj.Name() == "StringHeader" {
+						pass.Reportf(n.Pos(), "reflect.%s does not keep the backing array alive; use unsafe.Slice/unsafe.SliceData", obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isUintptr(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uintptr
+}
+
+func isUnsafePtr(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.UnsafePointer
+}
+
+// checkUintptrBinding flags `u := uintptr(unsafe.Pointer(x))` and any
+// other binding that parks a pointer-derived value in a uintptr
+// variable (rule 1).
+func checkUintptrBinding(pass *rackvet.Pass, lhs, rhs ast.Expr) {
+	info := pass.TypesInfo
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil || !isUintptr(obj.Type()) {
+		return
+	}
+	if exprDerivesFromPointer(info, rhs) {
+		pass.Reportf(lhs.Pos(), "uintptr variable %q holds a value derived from unsafe.Pointer; the GC does not keep the backing object alive through a uintptr (keep it as unsafe.Pointer, e.g. via unsafe.Add)", id.Name)
+	}
+}
+
+// exprDerivesFromPointer reports whether any subexpression of e has
+// unsafe.Pointer type — i.e. e's value encodes a live address.
+func exprDerivesFromPointer(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok {
+			if tv, ok := info.Types[sub]; ok && tv.Type != nil && isUnsafePtr(tv.Type) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPointerFromUintptr flags unsafe.Pointer(u) where u involves a
+// stored uintptr variable (rule 2). The single-expression form
+// unsafe.Pointer(uintptr(p) + off) contains no uintptr-typed variable
+// and stays legal.
+func checkPointerFromUintptr(pass *rackvet.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if !rackvet.IsConversion(info, call) || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !isUnsafePtr(tv.Type) {
+		return
+	}
+	arg := call.Args[0]
+	if atv, ok := info.Types[arg]; !ok || !isUintptr(atv.Type) {
+		return
+	}
+	var bad *ast.Ident
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && isUintptr(v.Type()) {
+				bad = id
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		pass.Reportf(call.Pos(), "unsafe.Pointer reconstructed from stored uintptr %q; the object it pointed to may have been collected or moved (complete pointer arithmetic within one expression)", bad.Name)
+	}
+}
