@@ -186,25 +186,33 @@ func (st *machineState) span(label string) func(int64) {
 // goroutine; worker goroutines are spawned per phase.
 func (st *machineState) run() error {
 	start := time.Now()
+	// Every early error return below closes the open phase span first:
+	// a dangling span leaves unbalanced begin events in the trace export.
 	endSpan := st.span("histogram")
 	st.computeThreadHistograms()
 	if err := st.exchangeHistograms(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("histogram exchange: %w", err)
 	}
 	st.computeAssignment()
 	if err := st.allocRegions(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("region allocation: %w", err)
 	}
 	if err := st.exchangeRKeys(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("rkey exchange: %w", err)
 	}
 	if err := st.allocPools(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("buffer pools: %w", err)
 	}
 	if err := st.postReceiveRings(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("receive rings: %w", err)
 	}
 	if err := st.m.Barrier(); err != nil {
+		endSpan(0)
 		return err
 	}
 	st.phases.Histogram = time.Since(start)
@@ -223,6 +231,7 @@ func (st *machineState) run() error {
 	start = time.Now()
 	endSpan = st.span("network partition")
 	if err := st.networkPartitionPass(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("network partitioning: %w", err)
 	}
 	endSpan(int64(st.tcpBytes.Load()))
@@ -234,6 +243,7 @@ func (st *machineState) run() error {
 
 	endSpan = st.span("local+build-probe")
 	if err := st.localPassAndBuildProbe(); err != nil {
+		endSpan(0)
 		return fmt.Errorf("local pass: %w", err)
 	}
 	endSpan(int64(st.slabR.Size() + st.slabS.Size()))
