@@ -542,10 +542,12 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 			Local:  rdma.Segment{MR: pool.atomicMR, Length: 8},
 			Remote: rdma.RemoteSegment{RKey: uint32(st.rkeysCur[owner]), Offset: cursorOffset(p, isS)},
 		}); err != nil {
+			pool.release(buf)
 			return err
 		}
 		fetched, err := pool.waitAtomic()
 		if err != nil {
+			pool.release(buf)
 			return err
 		}
 		slabOff := st.slabOffR[owner]
@@ -560,6 +562,7 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 			Remote: rdma.RemoteSegment{RKey: uint32(rkeys[owner]), Offset: (int(slabOff[p]) + int(fetched)) * st.width},
 		}
 		if err := qp.PostSend(wr); err != nil {
+			pool.release(buf)
 			return err
 		}
 		pool.outstanding++
@@ -609,9 +612,11 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 			break
 		}
 		if err != rdma.ErrQPFull {
+			pool.release(buf)
 			return err
 		}
 		if pool.outstanding == 0 {
+			pool.release(buf)
 			return fmt.Errorf("core: send queue full with no completions outstanding")
 		}
 		if waitStart.IsZero() {
@@ -620,6 +625,7 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 		pool.stalls++
 		pool.stallCtr.Inc()
 		if err := pool.waitOne(); err != nil {
+			pool.release(buf)
 			return err
 		}
 	}
