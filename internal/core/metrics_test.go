@@ -38,12 +38,12 @@ func TestJoinMetrics(t *testing.T) {
 	// counters live in c.Metrics(); join-level series live in reg.
 	var rdmaBytes float64
 	for _, s := range c.Metrics().Snapshot() {
-		if s.Name == "rdma_bytes_sent" {
+		if s.Name == "rdma_bytes_sent_total" {
 			rdmaBytes += s.Value
 		}
 	}
 	if rdmaBytes == 0 {
-		t.Fatal("rdma_bytes_sent is zero after a 4-machine join")
+		t.Fatal("rdma_bytes_sent_total is zero after a 4-machine join")
 	}
 
 	var waitSeries, shippedBytes float64
@@ -52,7 +52,7 @@ func TestJoinMetrics(t *testing.T) {
 		switch s.Name {
 		case "netpass_buffer_wait_seconds":
 			waitSeries++
-		case "netpass_bytes_shipped":
+		case "netpass_bytes_shipped_total":
 			shippedBytes += s.Value
 		case "phase_seconds":
 			m := s.Labels["machine"]
@@ -66,7 +66,7 @@ func TestJoinMetrics(t *testing.T) {
 		t.Fatal("no netpass_buffer_wait_seconds series registered")
 	}
 	if shippedBytes == 0 {
-		t.Fatal("netpass_bytes_shipped is zero")
+		t.Fatal("netpass_bytes_shipped_total is zero")
 	}
 	if len(phaseGauges) != machines {
 		t.Fatalf("phase gauges cover %d machines, want %d", len(phaseGauges), machines)
@@ -105,7 +105,7 @@ func TestJoinMetricsDefaultRegistry(t *testing.T) {
 	for _, s := range c.Metrics().Snapshot() {
 		found[s.Name] = true
 	}
-	for _, name := range []string{"rdma_bytes_sent", "netpass_buffer_wait_seconds", "phase_seconds", "netpass_buffer_flushes"} {
+	for _, name := range []string{"rdma_bytes_sent_total", "netpass_buffer_wait_seconds", "phase_seconds", "netpass_buffer_flushes_total"} {
 		if !found[name] {
 			t.Fatalf("cluster registry missing %s after join; have %v", name, found)
 		}

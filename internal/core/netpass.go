@@ -193,8 +193,8 @@ func (st *machineState) allocPools() error {
 		}
 		ts := st.met.With(metrics.L("thread", strconv.Itoa(t)))
 		pool.waitHist = ts.Histogram("netpass_buffer_wait_seconds")
-		pool.stallCtr = ts.Counter("netpass_buffer_stalls")
-		pool.flushes = ts.Counter("netpass_buffer_flushes")
+		pool.stallCtr = ts.Counter("netpass_buffer_stalls_total")
+		pool.flushes = ts.Counter("netpass_buffer_flushes_total")
 		st.pools[t] = pool
 	}
 	// Per-partition bytes-shipped counters, created here (single-threaded
@@ -203,7 +203,7 @@ func (st *machineState) allocPools() error {
 	st.shipped = make([]*metrics.Counter, st.np)
 	for p := 0; p < st.np; p++ {
 		if !st.residentHere(p) || st.broadcast[p] {
-			st.shipped[p] = st.met.Counter("netpass_bytes_shipped",
+			st.shipped[p] = st.met.Counter("netpass_bytes_shipped_total",
 				metrics.L("partition", strconv.Itoa(p)))
 		}
 	}

@@ -126,7 +126,7 @@ type pullStats struct {
 func (st *machineState) newPullStats(core int) *pullStats {
 	ts := st.met.With(metrics.L("thread", strconv.Itoa(core)))
 	return &pullStats{
-		stallCtr: ts.Counter("netpass_buffer_stalls"),
+		stallCtr: ts.Counter("netpass_buffer_stalls_total"),
 		waitHist: ts.Histogram("netpass_buffer_wait_seconds"),
 	}
 }

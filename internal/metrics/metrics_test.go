@@ -195,7 +195,7 @@ func TestSnapshotAndExposition(t *testing.T) {
 
 func TestWriteJSONRoundTrip(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("rdma_bytes_sent", L("device", "0")).Add(1 << 20)
+	r.Counter("rdma_bytes_sent_total", L("device", "0")).Add(1 << 20)
 	r.Histogram("netpass_buffer_wait_seconds", L("machine", "0")).Observe(0.001)
 
 	var buf bytes.Buffer
@@ -209,7 +209,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	if len(samples) != 2 {
 		t.Fatalf("decoded %d samples, want 2", len(samples))
 	}
-	if samples[1].Name != "rdma_bytes_sent" || samples[1].Value != 1<<20 {
+	if samples[1].Name != "rdma_bytes_sent_total" || samples[1].Value != 1<<20 {
 		t.Fatalf("counter sample: %+v", samples[1])
 	}
 	if samples[0].Type != KindHistogram || samples[0].Count != 1 {

@@ -107,7 +107,7 @@ type Residual struct {
 	// regime's evidence).
 	StallRate float64 `json:"stall_rate"`
 
-	// Skew profile from the netpass_bytes_shipped counters.
+	// Skew profile from the netpass_bytes_shipped_total counters.
 	MaxPartitionBytes  uint64           `json:"max_partition_bytes"`
 	MeanPartitionBytes float64          `json:"mean_partition_bytes"`
 	SkewRatio          float64          `json:"skew_ratio"` // max ÷ mean
@@ -302,7 +302,7 @@ func maxTimes(a, b phase.Times) phase.Times {
 // topKPartitions bounds the per-partition detail kept in the verdict.
 const topKPartitions = 5
 
-// profileSkew aggregates the netpass_bytes_shipped{machine,partition}
+// profileSkew aggregates the netpass_bytes_shipped_total{machine,partition}
 // counters into the max/mean skew profile and the top-k heaviest
 // partitions.
 func (r *Residual) profileSkew(reg *metrics.Registry) {
@@ -311,7 +311,7 @@ func (r *Residual) profileSkew(reg *metrics.Registry) {
 	}
 	byPartition := map[int]uint64{}
 	for _, s := range reg.Snapshot() {
-		if s.Name != "netpass_bytes_shipped" {
+		if s.Name != "netpass_bytes_shipped_total" {
 			continue
 		}
 		p, err := strconv.Atoi(s.Labels["partition"])

@@ -113,9 +113,9 @@ func TestResidualSkewProfile(t *testing.T) {
 	// machines (the profiler sums across senders).
 	for m := 0; m < 2; m++ {
 		ml := metrics.L("machine", machineLabel(m))
-		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "3")).Add(4 << 20)
-		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "1")).Add(512 << 10)
-		reg.Counter("netpass_bytes_shipped", ml, metrics.L("partition", "2")).Add(512 << 10)
+		reg.Counter("netpass_bytes_shipped_total", ml, metrics.L("partition", "3")).Add(4 << 20)
+		reg.Counter("netpass_bytes_shipped_total", ml, metrics.L("partition", "1")).Add(512 << 10)
+		reg.Counter("netpass_bytes_shipped_total", ml, metrics.L("partition", "2")).Add(512 << 10)
 	}
 	verdict := ProfileResidual(reg, RunConfig{
 		Machines: 2, CoresPerMachine: 4, Net: model.QDR(),
@@ -165,7 +165,7 @@ func TestResidualDegenerateInputsFinite(t *testing.T) {
 
 func TestResidualReportRenders(t *testing.T) {
 	reg := metrics.NewRegistry()
-	reg.Counter("netpass_bytes_shipped", metrics.L("partition", "0")).Add(1 << 20)
+	reg.Counter("netpass_bytes_shipped_total", metrics.L("partition", "0")).Add(1 << 20)
 	verdict := ProfileResidual(reg, RunConfig{
 		Machines: 4, CoresPerMachine: 8, Net: model.QDR(),
 		RTuples: 256 << 20, STuples: 256 << 20, TupleWidth: 16,

@@ -13,7 +13,7 @@ import (
 
 func TestSamplerDeltasSumToTotal(t *testing.T) {
 	reg := metrics.NewRegistry()
-	c := reg.Counter("netpass_bytes_shipped", metrics.L("partition", "0"))
+	c := reg.Counter("netpass_bytes_shipped_total", metrics.L("partition", "0"))
 	var sink bytes.Buffer
 	s := NewSampler(reg, 10*time.Millisecond, &sink)
 	s.Start()
@@ -33,7 +33,7 @@ func TestSamplerDeltasSumToTotal(t *testing.T) {
 	var sum float64
 	for _, r := range recs {
 		for _, smp := range r.Samples {
-			if smp.Name == "netpass_bytes_shipped" {
+			if smp.Name == "netpass_bytes_shipped_total" {
 				if smp.Value < 0 {
 					t.Errorf("negative delta %g", smp.Value)
 				}

@@ -29,7 +29,7 @@ func get(t *testing.T, client *http.Client, url string) (int, string) {
 
 func TestServerEndpoints(t *testing.T) {
 	reg := metrics.NewRegistry()
-	reg.Counter("rdma_bytes_sent", metrics.L("machine", "0")).Add(1024)
+	reg.Counter("rdma_bytes_sent_total", metrics.L("machine", "0")).Add(1024)
 	reg.Gauge("phase_seconds", metrics.L("machine", "0"), metrics.L("phase", "histogram")).Set(0.5)
 
 	rec := trace.New()
@@ -40,7 +40,7 @@ func TestServerEndpoints(t *testing.T) {
 
 	sam := NewSampler(reg, 10*time.Millisecond, nil)
 	sam.Start()
-	reg.Counter("rdma_bytes_sent", metrics.L("machine", "0")).Add(4096)
+	reg.Counter("rdma_bytes_sent_total", metrics.L("machine", "0")).Add(4096)
 	sam.Stop()
 
 	srv := NewServer(Options{Registry: reg, Trace: rec, Sampler: sam})
@@ -52,7 +52,7 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	code, body := get(t, ts.Client(), ts.URL+"/metrics")
-	if code != 200 || !strings.Contains(body, "rdma_bytes_sent") || !strings.Contains(body, "phase_seconds") {
+	if code != 200 || !strings.Contains(body, "rdma_bytes_sent_total") || !strings.Contains(body, "phase_seconds") {
 		t.Errorf("/metrics text: code %d body %q", code, body)
 	}
 

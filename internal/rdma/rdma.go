@@ -162,18 +162,18 @@ type deviceMetrics struct {
 
 func newDeviceMetrics(s *metrics.Scope) deviceMetrics {
 	return deviceMetrics{
-		registrations:   s.Counter("rdma_registrations"),
-		deregistrations: s.Counter("rdma_deregistrations"),
-		pagesRegistered: s.Counter("rdma_pages_registered"),
+		registrations:   s.Counter("rdma_registrations_total"),
+		deregistrations: s.Counter("rdma_deregistrations_total"),
+		pagesRegistered: s.Counter("rdma_pages_registered_total"),
 		pagesPinned:     s.Gauge("rdma_pages_pinned"),
-		sends:           s.Counter("rdma_sends"),
-		writes:          s.Counter("rdma_writes"),
-		reads:           s.Counter("rdma_reads"),
-		recvs:           s.Counter("rdma_recvs"),
-		atomics:         s.Counter("rdma_atomics"),
-		bytesSent:       s.Counter("rdma_bytes_sent"),
-		bytesReceived:   s.Counter("rdma_bytes_received"),
-		rnrWaits:        s.Counter("rdma_rnr_waits"),
+		sends:           s.Counter("rdma_sends_total"),
+		writes:          s.Counter("rdma_writes_total"),
+		reads:           s.Counter("rdma_reads_total"),
+		recvs:           s.Counter("rdma_recvs_total"),
+		atomics:         s.Counter("rdma_atomics_total"),
+		bytesSent:       s.Counter("rdma_bytes_sent_total"),
+		bytesReceived:   s.Counter("rdma_bytes_received_total"),
+		rnrWaits:        s.Counter("rdma_rnr_waits_total"),
 		rnrWait:         s.Histogram("rdma_rnr_wait_seconds"),
 		cqWait:          s.Histogram("rdma_cq_wait_seconds"),
 	}
