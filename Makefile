@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-kernels bench-pipeline bench-baseline check
+.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The trace recorder, metrics registry and observability plane are the
-# shared mutable state of every run; the kernel equivalence/property tests
-# exercise the unsafe scatter and batched-probe paths. Hammer all of them
-# under the race detector.
+# Every package under the race detector: the scheduler, pipeline, and
+# observability plane share mutable state across goroutines, and the
+# cheap packages add negligible time on top of ./internal/core.
 race:
-	$(GO) test -race ./internal/trace ./internal/metrics ./internal/obsv \
-		./internal/radix ./internal/hashtable ./internal/core
+	$(GO) test -race ./...
+
+# Dynamic unsafe.Pointer validation (-d=checkptr is implied by -race on
+# amd64/arm64, but an explicit non-race run catches alignment and
+# arithmetic violations with exact failure points) on the packages that
+# use unsafe: the word-store kernels and the hot loops built on them.
+checkptr:
+	$(GO) test -gcflags=all=-d=checkptr ./internal/radix ./internal/relation \
+		./internal/hashtable ./internal/core
 
 vet:
 	$(GO) vet ./...
+
+# rackvet is the repo's own static-analysis suite (internal/analyzers,
+# DESIGN.md §11): buffer-pool lifecycle, span begin/end balance, atomics
+# discipline, unsafe.Pointer keep-alive rules, metric naming. Blocking:
+# a finding fails check and CI.
+rackvet:
+	$(GO) run ./cmd/rackvet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -55,5 +68,5 @@ bench-baseline:
 	  $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/pipelined' -benchtime $(BENCHTIME) -timeout 30m . ) \
 		| $(GO) run ./cmd/benchfmt -baseline BENCH_pipeline.json > /dev/null
 
-check: build vet test race
+check: build vet rackvet test race
 	-$(MAKE) bench-baseline BENCHTIME=1x
