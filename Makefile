@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-baseline check
+.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-baseline trace-overhead check
 
 build:
 	$(GO) build ./...
@@ -68,5 +68,13 @@ bench-baseline:
 	  $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/pipelined' -benchtime $(BENCHTIME) -timeout 30m . ) \
 		| $(GO) run ./cmd/benchfmt -baseline BENCH_pipeline.json > /dev/null
 
+# Tracing-overhead smoke bench (DESIGN.md §12): the join with the causal
+# tracer + flight recorder mounted vs bare, min-of-N comparison, 2%
+# wall-clock budget. Env-gated so plain `go test ./...` stays
+# deterministic; `check` runs it best-effort (noise is not a failure).
+trace-overhead:
+	RACKJOIN_TRACE_OVERHEAD=1 $(GO) test -run TestTraceOverheadBudget -v -count=1 .
+
 check: build vet rackvet test race
 	-$(MAKE) bench-baseline BENCHTIME=1x
+	-$(MAKE) trace-overhead

@@ -8,8 +8,12 @@
 //	         -transport two-sided -skew 0 -width 16
 //
 // With -trace-out the per-machine phase timeline is written as Chrome
-// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev);
-// with -metrics-out the full metrics registry is dumped as JSON.
+// trace-event JSON with cross-machine flow edges (open in
+// chrome://tracing or https://ui.perfetto.dev); with -critpath the causal
+// critical path of the run is extracted and reported; with -metrics-out
+// the full metrics registry is dumped as JSON. A flight recorder of
+// recent low-level events runs by default and is dumped to stderr when
+// the join fails (-flightrec 0 disables it).
 package main
 
 import (
@@ -47,9 +51,11 @@ func main() {
 		split      = flag.Float64("skew-split", 0, "split build-probe tasks above this multiple of the average (0 = off)")
 		throttle   = flag.Float64("throttle", 0, "per-host fabric bandwidth cap in MB/s (0 = unthrottled)")
 		showTrace  = flag.Bool("trace", false, "print a per-machine phase timeline")
+		critPath   = flag.Bool("critpath", false, "extract and print the critical path of the run (implies tracing)")
+		flightRec  = flag.Int("flightrec", 512, "flight-recorder events retained per machine (0 = off); dumped on join failure")
 		traceOut   = flag.String("trace-out", "", "write the execution trace as Chrome trace-event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
-		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /trace, /samples, /residual and /debug/pprof on this address (e.g. :8080)")
+		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /trace, /critpath, /flightrec, /samples, /residual and /debug/pprof on this address (e.g. :8080)")
 		sampleInt  = flag.Duration("sample-interval", 0, "snapshot registry deltas on this interval (0 = off)")
 		samplesOut = flag.String("samples-out", "", "append sampler records as JSONL to this file")
 		modelNet   = flag.String("model-net", "qdr", "network to score the run against: qdr | fdr | ipoib")
@@ -110,9 +116,14 @@ func main() {
 	want := rackjoin.ExpectedJoin(outer)
 
 	var tracer *rackjoin.Tracer
-	if *showTrace || *traceOut != "" || *obsvAddr != "" {
+	if *showTrace || *critPath || *traceOut != "" || *obsvAddr != "" {
 		tracer = rackjoin.NewTracer()
 		cfg.Trace = tracer
+	}
+	var flight *rackjoin.FlightRecorder
+	if *flightRec > 0 {
+		flight = rackjoin.NewFlightRecorder(*machines, *flightRec)
+		cfg.Flight = flight
 	}
 
 	var net rackjoin.Network
@@ -151,7 +162,7 @@ func main() {
 	var obsrv *rackjoin.ObsvServer
 	if *obsvAddr != "" {
 		obsrv = rackjoin.NewObsvServer(rackjoin.ObsvOptions{
-			Registry: c.Metrics(), Trace: tracer, Sampler: sampler,
+			Registry: c.Metrics(), Trace: tracer, Sampler: sampler, Flight: flight,
 		})
 		addr, err := obsrv.Start(*obsvAddr)
 		if err != nil {
@@ -163,6 +174,10 @@ func main() {
 
 	res, err := rackjoin.Join(c, inner, outer, cfg)
 	if err != nil {
+		if flight != nil {
+			fmt.Fprintln(os.Stderr, "\nflight recorder (events leading to the failure):")
+			flight.WriteText(os.Stderr)
+		}
 		log.Fatal(err)
 	}
 
@@ -184,6 +199,14 @@ func main() {
 		tracer.Gantt(os.Stdout, 64)
 		fmt.Println()
 		tracer.Summary(os.Stdout)
+	}
+	if *critPath {
+		cp, err := tracer.CriticalPath()
+		if err != nil {
+			log.Fatalf("critical path: %v", err)
+		}
+		fmt.Println()
+		cp.Report(os.Stdout)
 	}
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, tracer.WriteChromeJSON); err != nil {

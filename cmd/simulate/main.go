@@ -10,6 +10,7 @@
 //	simulate -net qdr -machines 4 -inner 128 -outer 2048 -skew 1.2 \
 //	         -size-sorted -skew-split -broadcast 4
 //	simulate -net qdr -sweep 2,10 -inner 1024 -outer 1024
+//	simulate -net qdr -machines 6 -critpath -trace-out sim.json -trace-skew 500ms
 package main
 
 import (
@@ -43,6 +44,9 @@ func main() {
 		buffers    = flag.Int("buffers", 2, "buffers per (thread, partition)")
 		bits       = flag.Uint("bits", 10, "radix bits of the network pass")
 		sweep      = flag.String("sweep", "", "sweep machine counts, e.g. 2,10")
+		traceOut   = flag.String("trace-out", "", "write a Chrome (chrome://tracing) trace of the last simulated run to this file")
+		critPath   = flag.Bool("critpath", false, "extract and report the causal critical path of the last simulated run")
+		traceSkew  = flag.Duration("trace-skew", 0, "stamp simulated machines with alternating clock skews of this magnitude; the exports normalize them back out")
 		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /residual, /samples and /debug/pprof on this address (e.g. :8080)")
 		sampleInt  = flag.Duration("sample-interval", 0, "snapshot registry deltas on this interval (0 = off)")
 		obsvLinger = flag.Duration("obsv-linger", 0, "keep the observability server up this long after the sweep")
@@ -104,6 +108,8 @@ func main() {
 	}
 
 	var residual *rackjoin.Residual
+	var lastCfg rackjoin.SimConfig
+	var lastRes *rackjoin.SimResult
 	for nm := lo; nm <= hi; nm++ {
 		cfg := rackjoin.SimConfig{
 			Machines: nm, Cores: *cores, Net: net,
@@ -127,6 +133,7 @@ func main() {
 		}
 		fmt.Printf("  [%.0f MB over network, %d stalls]\n", res.RemoteMB, res.Stalls)
 
+		lastCfg, lastRes = cfg, res
 		recordPhases(reg, res)
 		residual = rackjoin.ProfileResidual(reg, rackjoin.ResidualConfig{
 			Machines: nm, CoresPerMachine: *cores, Net: net,
@@ -142,6 +149,37 @@ func main() {
 	if residual != nil {
 		fmt.Println()
 		residual.Report(os.Stdout)
+	}
+	// A simulation yields the same causal trace a measured run records
+	// (synthetic spans with the real span vocabulary), so the Chrome export
+	// and the critical-path analyzer apply unchanged. The per-machine clock
+	// skews of -trace-skew exercise the clock normalization: the exported
+	// trace is identical whatever skew is stamped in.
+	if lastRes != nil && (*traceOut != "" || *critPath) {
+		tr := rackjoin.BuildSimTrace(lastCfg, lastRes, rackjoin.SimTraceSkews(lastCfg.Machines, *traceSkew))
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.WriteChromeJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote Chrome trace of the %d-machine run to %s (open in chrome://tracing or Perfetto)\n",
+				lastCfg.Machines, *traceOut)
+		}
+		if *critPath {
+			cp, err := tr.CriticalPath()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+			cp.Report(os.Stdout)
+		}
 	}
 	if *obsvLinger > 0 && obsrv != nil {
 		fmt.Printf("\nobservability server lingering %s on http://%s — ctrl-C to quit early\n",

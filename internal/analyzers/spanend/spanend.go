@@ -4,12 +4,14 @@
 //
 // A span start is any call to a function or method named Span or span
 // whose single result is a closer function (trace.Recorder.Span and the
-// core package's machineState.span helper both have this shape). The
-// closer must be called, deferred, or escape (returned, stored in a
-// field, captured by a closure) on every path from the start; an early
-// error return that skips it loses the span, which unbalances the
-// Chrome trace export and the per-phase attribution built on it
-// (DESIGN.md §4, PR 2).
+// core package's machineState.span helper both have this shape), or to
+// one named Begin or begin returning (id, closer) — the causal-trace
+// form, where the first result is the span's identity and the second the
+// closer. The closer must be called, deferred, or escape (returned,
+// stored in a field, captured by a closure) on every path from the
+// start; an early error return that skips it loses the span, which
+// unbalances the Chrome trace export and the per-phase attribution built
+// on it (DESIGN.md §4, PR 2; §12, PR 8).
 package spanend
 
 import (
@@ -48,19 +50,34 @@ func run(pass *rackvet.Pass) error {
 	return nil
 }
 
-// isSpanStart reports whether call starts a span: a call to a function
-// or method named Span/span returning exactly one func-typed closer.
-func isSpanStart(pass *rackvet.Pass, call *ast.CallExpr) bool {
+// closerIndex returns the result index of a span-start call's closer, or
+// -1 when call is not a span start. Span/span return the closer as their
+// only result; Begin/begin return (id, closer) with the closer second.
+func closerIndex(pass *rackvet.Pass, call *ast.CallExpr) int {
 	fn := rackvet.Callee(pass.TypesInfo, call)
-	if fn == nil || (fn.Name() != "Span" && fn.Name() != "span") {
-		return false
+	if fn == nil {
+		return -1
 	}
 	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() != 1 {
-		return false
+	if !ok {
+		return -1
 	}
-	_, isFunc := sig.Results().At(0).Type().Underlying().(*types.Signature)
-	return isFunc
+	var idx int
+	switch fn.Name() {
+	case "Span", "span":
+		idx = 0
+	case "Begin", "begin":
+		idx = 1
+	default:
+		return -1
+	}
+	if sig.Results().Len() != idx+1 {
+		return -1
+	}
+	if _, isFunc := sig.Results().At(idx).Type().Underlying().(*types.Signature); !isFunc {
+		return -1
+	}
+	return idx
 }
 
 func checkFunc(pass *rackvet.Pass, body *ast.BlockStmt) {
@@ -69,17 +86,21 @@ func checkFunc(pass *rackvet.Pass, body *ast.BlockStmt) {
 
 	rackvet.InspectShallow(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isSpanStart(pass, call) {
+		if !ok {
+			return true
+		}
+		idx := closerIndex(pass, call)
+		if idx < 0 {
 			return true
 		}
 		switch parent := parents[call].(type) {
 		case *ast.ExprStmt:
 			pass.Reportf(call.Pos(), "result of span start is discarded; the span is never ended")
 		case *ast.AssignStmt:
-			if len(parent.Rhs) != 1 || parent.Rhs[0] != call || len(parent.Lhs) != 1 {
+			if len(parent.Rhs) != 1 || parent.Rhs[0] != call || len(parent.Lhs) != idx+1 {
 				return true
 			}
-			id, ok := parent.Lhs[0].(*ast.Ident)
+			id, ok := parent.Lhs[idx].(*ast.Ident)
 			if !ok {
 				// Stored into a field or element: the closer escapes and
 				// its lifecycle is managed elsewhere (e.g. the pipeline's

@@ -75,3 +75,67 @@ func returned(t *tracer) func() {
 	end := t.Span("phase")
 	return end
 }
+
+// spanID and Begin mirror the causal API: trace.Recorder.Begin returns
+// the span's identity plus the closer as the second result.
+type spanID uint64
+
+func (t *tracer) Begin(machine int, kind, label string, parent spanID) (spanID, func(int64)) {
+	return 1, func(int64) {}
+}
+
+// begin mirrors the core package's machineState.begin helper.
+func begin(kind, label string, parent spanID) (spanID, func(int64)) {
+	return 1, func(int64) {}
+}
+
+func beginDeferred(t *tracer) error {
+	id, end := t.Begin(0, "run", "run", 0)
+	defer end(0)
+	_ = id
+	return errBoom
+}
+
+func beginLeakyReturn(t *tracer, fail bool) error {
+	_, end := t.Begin(0, "phase", "histogram", 0)
+	if fail {
+		return errBoom // want `span closer "end" \(span started at line \d+\) is not called before this return`
+	}
+	end(0)
+	return nil
+}
+
+func beginDiscarded(t *tracer) {
+	t.Begin(0, "phase", "histogram", 0) // want `result of span start is discarded; the span is never ended`
+}
+
+func beginBlankCloser(t *tracer) spanID {
+	id, _ := t.Begin(0, "phase", "histogram", 0) // want `span closer assigned to _; the span is never ended`
+	return id
+}
+
+func beginNotAllPaths(t *tracer, ok bool) {
+	_, end := begin("phase", "histogram", 0) // want `span closer "end" is not called on every path to the end of the function`
+	if ok {
+		end(0)
+	}
+}
+
+type causalHolder struct {
+	id  spanID
+	end func(int64)
+}
+
+// beginEscape: the closer moves into a field (the pipeline's bpEnd
+// idiom); its lifecycle is managed elsewhere, so no report.
+func beginEscape(t *tracer, h *causalHolder) {
+	h.id, h.end = 0, nil
+	id, end := t.Begin(0, "phase", "local+build-probe", 0)
+	h.id = id
+	h.end = end
+}
+
+// beginFieldAssign: closer assigned straight to a field — escapes.
+func beginFieldAssign(t *tracer, h *causalHolder) {
+	h.id, h.end = t.Begin(0, "phase", "network partition", 0)
+}

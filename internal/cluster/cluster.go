@@ -121,6 +121,21 @@ func (c *Cluster) FabricStats() fabric.Stats { return c.net.FabricStats() }
 // layer adds its own series to the same registry.
 func (c *Cluster) Metrics() *metrics.Registry { return c.net.Metrics() }
 
+// InstallVerbHook installs fn as the verb observer of every machine's
+// device: it fires after each successful send-queue posting with the
+// machine id, opcode name and wire size. nil uninstalls. The flight
+// recorder uses this to keep a ring of the most recent verb activity.
+func (c *Cluster) InstallVerbHook(fn func(machine int, op string, bytes int)) {
+	for _, m := range c.machines {
+		if fn == nil {
+			m.Dev.SetEventHook(nil)
+			continue
+		}
+		id := m.ID
+		m.Dev.SetEventHook(func(op rdma.Opcode, bytes int) { fn(id, op.String(), bytes) })
+	}
+}
+
 // ConnectQPs creates a connected queue-pair pair between machines a and b
 // for the data plane. Each side gets the completion queues passed for it.
 func (c *Cluster) ConnectQPs(a, b int, cfgA, cfgB rdma.QPConfig) (*rdma.QP, *rdma.QP, error) {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rackjoin/internal/metrics"
+	"rackjoin/internal/obsv"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
 	"rackjoin/internal/trace"
@@ -207,9 +208,16 @@ type Config struct {
 	// the target. Negative (the DefaultConfig value) sinks locally on
 	// each producing machine.
 	ResultTarget int
-	// Trace, when non-nil, records per-machine phase spans of the
-	// execution for timeline rendering.
+	// Trace, when non-nil, records the causal trace graph of the
+	// execution: per-machine phase/barrier/task spans with parent edges,
+	// plus cross-machine message and readiness flow edges, for timeline
+	// rendering and critical-path extraction.
 	Trace *trace.Recorder
+	// Flight, when non-nil, receives low-level flight-recorder events
+	// (verb postings, pool stalls, scheduler steals, readiness CAS
+	// outcomes, backoff transitions, aborts). Always cheap: fixed-size
+	// per-machine rings, no allocation after setup.
+	Flight *obsv.FlightRecorder
 	// Metrics, when non-nil, receives the join's runtime telemetry
 	// (buffer-pool waits, bytes shipped per partition, phase durations).
 	// When nil, Run uses the cluster's registry, so device- and

@@ -15,6 +15,7 @@ import (
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
 	"rackjoin/internal/tcpnet"
+	"rackjoin/internal/trace"
 )
 
 // Run executes the distributed radix hash join of inner ⋈ outer over the
@@ -57,6 +58,15 @@ func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*R
 	if mesh != nil {
 		defer mesh.Close()
 	}
+	if cfg.Flight != nil {
+		// Mirror every verb posting into the flight rings for the run's
+		// duration; the hook is removed before Run returns so later joins
+		// on the same cluster start clean.
+		c.InstallVerbHook(func(machine int, op string, bytes int) {
+			cfg.Flight.Note(machine, "verb", op, 0, int64(bytes))
+		})
+		defer c.InstallVerbHook(nil)
+	}
 
 	before := deviceTotals(c)
 	errs := make([]error, nm)
@@ -71,6 +81,9 @@ func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*R
 	wg.Wait()
 	for m, err := range errs {
 		if err != nil {
+			// Stamp the failure into the flight rings so a post-mortem dump
+			// ends with the abort and the events leading up to it.
+			cfg.Flight.Note(m, "abort", err.Error(), 0, 0)
 			return nil, fmt.Errorf("core: machine %d: %w", m, err)
 		}
 	}
@@ -149,6 +162,20 @@ type machineState struct {
 	pipe    *pipeline
 	overlap time.Duration
 
+	// Causal-trace identity: runSpan is this machine's root span, netSpan
+	// the open network-partition phase span (parents the per-buffer send
+	// instants); msgSeq[t][dest] numbers the data messages of each
+	// (sender thread, destination) queue pair so the receiver's per-ring
+	// counter can rendezvous the matching flow edge (per-QP FIFO order).
+	runSpan trace.SpanID
+	netSpan trace.SpanID
+	msgSeq  [][]uint64
+	// Per-partition span labels, precomputed so the per-message stamps in
+	// the scatter and receive loops never format strings: those loops sit
+	// inside the buffer-credit cycle, where added latency amplifies into
+	// sender stalls.
+	sendLabels, recvLabels, readyLabels []string
+
 	// met is this machine's metrics scope (label machine=<id>); shipped
 	// holds the per-partition bytes-shipped counters of the network pass,
 	// nil for partitions that never leave this machine.
@@ -170,24 +197,91 @@ func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relat
 	if nm > 1 && cfg.usesNetworkThread() {
 		st.partThreads = m.Cores - 1
 	}
+	if cfg.Trace != nil {
+		st.msgSeq = make([][]uint64, st.partThreads)
+		for t := range st.msgSeq {
+			st.msgSeq[t] = make([]uint64, nm)
+		}
+		st.sendLabels = make([]string, st.np)
+		st.recvLabels = make([]string, st.np)
+		st.readyLabels = make([]string, st.np)
+		for p := 0; p < st.np; p++ {
+			st.sendLabels[p] = "send p" + strconv.Itoa(p)
+			st.recvLabels[p] = "recv p" + strconv.Itoa(p)
+			st.readyLabels[p] = "ready p" + strconv.Itoa(p)
+		}
+	}
 	st.met = cfg.Metrics.Scope(metrics.L("machine", strconv.Itoa(m.ID)))
 	return st
 }
 
-// span starts a trace span for this machine if tracing is enabled.
-func (st *machineState) span(label string) func(int64) {
+// Packed rendezvous keys for the trace's integer-keyed flow fast path
+// (trace.FlowOutKey/FlowInKey): the hot per-message stamps must not
+// format string keys. The top tag bits keep the classes' key spaces
+// disjoint, mirroring the class prefix of the string-keyed API.
+// msgFlowKey identifies one data message by (source machine, sender
+// thread, destination, per-QP sequence); machines and threads fit 8
+// bits, the sequence keeps 38.
+func msgFlowKey(src, thread, dst int, seq uint64) uint64 {
+	return 1<<62 | uint64(src)<<54 | uint64(thread)<<46 | uint64(dst)<<38 | (seq & (1<<38 - 1))
+}
+
+// readyFlowKey identifies one partition-readiness edge on a machine.
+func readyFlowKey(machine, p int) uint64 {
+	return 2<<62 | uint64(machine)<<38 | uint64(p)
+}
+
+// eopFlowKey identifies the end-of-partition notification of one
+// (sender, receiver) machine pair.
+func eopFlowKey(src, dst int) uint64 {
+	return 3<<62 | uint64(src)<<46 | uint64(dst)<<38
+}
+
+// begin opens a causal trace span for this machine if tracing is enabled;
+// the returned closer is nil-safe like trace.Recorder.Begin's.
+func (st *machineState) begin(kind, label string, parent trace.SpanID) (trace.SpanID, func(int64)) {
 	if st.cfg.Trace == nil {
-		return func(int64) {}
+		return 0, func(int64) {}
 	}
-	return st.cfg.Trace.Span(st.m.ID, "phase", label)
+	return st.cfg.Trace.Begin(st.m.ID, kind, label, parent)
+}
+
+// span starts a phase span under this machine's run root. Kept as the
+// phase-level shorthand; callers that need the span's identity (to parent
+// message instants) use begin directly.
+func (st *machineState) span(label string) func(int64) {
+	_, end := st.begin("phase", label, st.runSpan)
+	return end
+}
+
+// flight records one flight-recorder event for this machine (nil-safe).
+func (st *machineState) flight(kind, detail string, p int, bytes int64) {
+	st.cfg.Flight.Note(st.m.ID, kind, detail, p, bytes)
+}
+
+// barrier runs a labelled cluster barrier wrapped in a "barrier" trace
+// span: the critical-path analyzer groups same-label barrier spans across
+// machines and attributes the wait to the last arriver.
+func (st *machineState) barrier(label string) error {
+	_, end := st.begin("barrier", label, st.runSpan)
+	err := st.m.Barrier()
+	end(0)
+	return err
 }
 
 // run executes the four phases on this machine. It is the "machine main"
 // goroutine; worker goroutines are spawned per phase.
 func (st *machineState) run() error {
 	start := time.Now()
+	var endRun func(int64)
+	st.runSpan, endRun = st.begin("run", "run", 0)
+	defer endRun(0)
 	// Every early error return below closes the open phase span first:
 	// a dangling span leaves unbalanced begin events in the trace export.
+	// Phase-start breadcrumbs in the flight recorder anchor a post-mortem
+	// dump: even when a run dies before any verb is posted (e.g. in the
+	// first control-plane exchange), the dump shows where it was.
+	st.flight("phase", "histogram start", 0, 0)
 	endSpan := st.span("histogram")
 	st.computeThreadHistograms()
 	if err := st.exchangeHistograms(); err != nil {
@@ -211,7 +305,7 @@ func (st *machineState) run() error {
 		endSpan(0)
 		return fmt.Errorf("receive rings: %w", err)
 	}
-	if err := st.m.Barrier(); err != nil {
+	if err := st.barrier("after histogram"); err != nil {
 		endSpan(0)
 		return err
 	}
@@ -229,18 +323,21 @@ func (st *machineState) run() error {
 	}
 
 	start = time.Now()
-	endSpan = st.span("network partition")
+	st.flight("phase", "network partition start", 0, 0)
+	var netEnd func(int64)
+	st.netSpan, netEnd = st.begin("phase", "network partition", st.runSpan)
 	if err := st.networkPartitionPass(); err != nil {
-		endSpan(0)
+		netEnd(0)
 		return fmt.Errorf("network partitioning: %w", err)
 	}
-	endSpan(int64(st.tcpBytes.Load()))
-	if err := st.m.Barrier(); err != nil {
+	netEnd(int64(st.tcpBytes.Load()))
+	if err := st.barrier("after network partition"); err != nil {
 		return err
 	}
 	st.phases.NetworkPartition = time.Since(start)
 	st.phaseDone("network_partition", st.phases.NetworkPartition)
 
+	st.flight("phase", "local+build-probe start", 0, 0)
 	endSpan = st.span("local+build-probe")
 	if err := st.localPassAndBuildProbe(); err != nil {
 		endSpan(0)
@@ -249,7 +346,7 @@ func (st *machineState) run() error {
 	endSpan(int64(st.slabR.Size() + st.slabS.Size()))
 	st.phaseDone("local_partition", st.phases.LocalPartition)
 	st.phaseDone("build_probe", st.phases.BuildProbe)
-	return st.m.Barrier()
+	return st.barrier("final")
 }
 
 // phaseDone exports one finished phase as a phase_seconds{machine,phase}
@@ -618,6 +715,11 @@ func wireDataPlane(c *cluster.Cluster, states []*machineState) (*tcpnet.Mesh, er
 					if err != nil {
 						return nil, err
 					}
+					// Per-QP FIFO: messages from (machine a, thread t)
+					// arrive on this ring in posting order, so a per-ring
+					// counter reconstructs the sender's message sequence
+					// for the causal flow edges.
+					ring.src, ring.srcThread = a, t
 					sb.rings[qpR.QPN()] = ring
 				}
 			}

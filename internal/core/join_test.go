@@ -476,21 +476,58 @@ func TestJoinTracing(t *testing.T) {
 	res, want := runJoin(t, 3, 3, smallWorkload, cfg)
 	checkResult(t, res, want)
 	events := tr.Events()
+	// The causal trace carries run roots, phases, barriers, message and
+	// readiness instants and task spans; the phase layer is still exactly
 	// 3 machines × 3 phases.
-	if len(events) != 9 {
-		t.Fatalf("trace recorded %d events, want 9", len(events))
-	}
-	labels := map[string]int{}
+	phases := map[string]int{}
+	runs := 0
+	rooted := 0
+	byID := map[trace.SpanID]trace.Event{}
 	for _, e := range events {
-		labels[e.Label]++
+		byID[e.ID] = e
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case "phase":
+			phases[e.Label]++
+			if parent, ok := byID[e.Parent]; ok && parent.Kind == "run" {
+				rooted++
+			}
+		case "run":
+			runs++
+		}
 	}
 	for _, l := range []string{"histogram", "network partition", "local+build-probe"} {
-		if labels[l] != 3 {
-			t.Fatalf("label %q recorded %d times, want 3", l, labels[l])
+		if phases[l] != 3 {
+			t.Fatalf("phase %q recorded %d times, want 3\nphases: %v", l, phases[l], phases)
 		}
+	}
+	if runs != 3 {
+		t.Fatalf("run root spans = %d, want 3", runs)
+	}
+	if rooted != 9 {
+		t.Fatalf("%d phase spans parented to a run root, want 9", rooted)
+	}
+	// Two-sided transport: every data message yields a matched
+	// cross-machine flow edge, and partition readiness is linked too.
+	classes := map[string]int{}
+	for _, f := range tr.Flows() {
+		classes[f.Class]++
+	}
+	if classes["msg"] == 0 || classes["ready"] == 0 {
+		t.Fatalf("causal flow edges missing: %v", classes)
 	}
 	if tr.Total() <= 0 {
 		t.Fatal("trace total should be positive")
+	}
+	// The causal graph is complete enough for critical-path extraction:
+	// the walk must cover (nearly) the whole wall clock.
+	cp, err := tr.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Coverage < 0.95 {
+		t.Fatalf("critical-path coverage = %.3f, want ≥ 0.95", cp.Coverage)
 	}
 }
 
@@ -523,8 +560,14 @@ func TestJoinEverythingEnabled(t *testing.T) {
 	if uint64(records) != want.Matches {
 		t.Fatalf("shipped %d records, want %d", records, want.Matches)
 	}
-	if len(tr.Events()) != 12 { // 4 machines × 3 phases
-		t.Fatalf("trace events = %d, want 12", len(tr.Events()))
+	phaseSpans := 0
+	for _, e := range tr.Events() {
+		if e.Kind == "phase" {
+			phaseSpans++
+		}
+	}
+	if phaseSpans != 12 { // 4 machines × 3 phases
+		t.Fatalf("phase spans = %d, want 12", phaseSpans)
 	}
 }
 

@@ -110,6 +110,7 @@ func (st *machineState) exportSchedulerMetrics(s *scheduler) {
 // instead — see runPipelined.)
 func (st *machineState) localPassAndBuildProbe() error {
 	sched := newScheduler(st.m.Cores)
+	sched.flight, sched.machine = st.cfg.Flight, st.m.ID
 	roots := 0
 	for _, p := range st.resident {
 		if st.globalR[p] == 0 && st.globalS[p] == 0 {

@@ -46,6 +46,8 @@ type bufferPool struct {
 	waitHist *metrics.Histogram
 	stallCtr *metrics.Counter
 	flushes  *metrics.Counter
+	// onStall, when set, mirrors each stall into the flight recorder.
+	onStall func()
 }
 
 func newBufferPool(pd *rdma.ProtectionDomain, cq *rdma.CompletionQueue, bufSize, count int, withAtomic bool) (*bufferPool, error) {
@@ -120,6 +122,9 @@ func (p *bufferPool) acquire() (int32, error) {
 		}
 		p.stalls++
 		p.stallCtr.Inc()
+		if p.onStall != nil {
+			p.onStall()
+		}
 		c := p.cq.Wait()
 		if err := c.Err(); err != nil {
 			return 0, err
@@ -195,6 +200,10 @@ func (st *machineState) allocPools() error {
 		pool.waitHist = ts.Histogram("netpass_buffer_wait_seconds")
 		pool.stallCtr = ts.Counter("netpass_buffer_stalls_total")
 		pool.flushes = ts.Counter("netpass_buffer_flushes_total")
+		if st.cfg.Flight != nil {
+			t := t
+			pool.onStall = func() { st.flight("pool_stall", fmt.Sprintf("thread %d pool dry", t), 0, 0) }
+		}
 		st.pools[t] = pool
 	}
 	// Per-partition bytes-shipped counters, created here (single-threaded
@@ -624,6 +633,9 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 		}
 		pool.stalls++
 		pool.stallCtr.Inc()
+		if pool.onStall != nil {
+			pool.onStall()
+		}
 		if err := pool.waitOne(); err != nil {
 			pool.release(buf)
 			return err
@@ -633,6 +645,18 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 		pool.waitHist.ObserveSince(waitStart)
 	}
 	pool.outstanding++
+	if tr := st.cfg.Trace; tr != nil && wr.Op == rdma.OpSend {
+		// Channel semantics deliver a receive completion per message, so
+		// the receiver can rendezvous this exact buffer: emit the sender
+		// half of the cross-machine flow edge, keyed by the per-(thread,
+		// dest) sequence (FIFO per queue pair). One-sided WRITEs bypass
+		// the remote CPU — causality there rides the end-of-partition
+		// notifications instead.
+		seq := st.msgSeq[t][owner]
+		st.msgSeq[t][owner] = seq + 1
+		tr.InstantFlowOut(st.m.ID, "msg", st.sendLabels[p], st.netSpan, int64(length),
+			"msg", msgFlowKey(st.m.ID, t, owner, seq))
+	}
 	if !st.cfg.interleaved() {
 		return pool.drain()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rackjoin/internal/rdma"
+	"rackjoin/internal/trace"
 )
 
 // eopMarker is the payload of the per-sender end-of-partition control
@@ -63,9 +64,14 @@ type pipeline struct {
 	netSpanEnd func(int64)
 
 	// firstAt is when the first partition-ready task started executing;
-	// netDoneAt − firstAt is the overlap the pipeline reclaimed.
+	// netDoneAt − firstAt is the overlap the pipeline reclaimed. The
+	// first task also opens the causal local+build-probe phase span:
+	// bpSpanID parents the per-partition task spans (atomic — tasks read
+	// it concurrently), bpEnd closes it after the last worker drains.
 	firstOnce sync.Once
 	firstAt   time.Time
+	bpSpanID  atomic.Uint64
+	bpEnd     func(int64)
 
 	// workers are the per-core join workers, created before any pass
 	// goroutine starts. netWorker is the network thread's worker (nil
@@ -141,12 +147,14 @@ func (st *machineState) expectedRemotePartitionTuples(p int) int64 {
 
 // credit records the landing of bytes remote bytes of partition p. Called
 // by the receive loops per buffer, and by the EOP watchers per sender.
-func (pl *pipeline) credit(p int, bytes int64) {
+// gate is the trace span of the arrival that delivered the bytes (0 when
+// untraced): the last one becomes the causal predecessor of readiness.
+func (pl *pipeline) credit(p int, bytes int64, gate trace.SpanID) {
 	if bytes == 0 || !pl.tracked[p] {
 		return
 	}
 	if pl.remaining[p].Add(-bytes) == 0 && pl.localDone.Load() {
-		pl.tryInject(p)
+		pl.tryInject(p, gate)
 	}
 }
 
@@ -154,13 +162,26 @@ func (pl *pipeline) credit(p int, bytes int64) {
 // are aimed at the network thread's deque — the one worker guaranteed to
 // have idle gaps mid-pass — while everything bigger goes to the shared
 // injector for the scatter threads' drain windows (and, after the pass,
-// any worker); either way the task stays stealable.
-func (pl *pipeline) tryInject(p int) {
+// any worker); either way the task stays stealable. gate is the causal
+// predecessor of readiness (the last arrival that completed p, or 0 from
+// the local-done sweep).
+func (pl *pipeline) tryInject(p int, gate trace.SpanID) {
+	st := pl.st
 	if !pl.injected[p].CompareAndSwap(false, true) {
+		st.flight("ready", "dup (lost CAS)", p, 0)
 		return
 	}
+	st.flight("ready", "won CAS, injecting", p, 0)
+	if tr := st.cfg.Trace; tr != nil {
+		// Readiness edge: gate → ready instant → (FlowOut consumed by the
+		// task span when a worker picks the partition up). The gap between
+		// ready and task start is the scheduler latency on the critical
+		// path.
+		ready := tr.Instant(st.m.ID, "ready", st.readyLabels[p], st.runSpan, 0)
+		tr.FlowEdge(gate, ready, "ready")
+		tr.FlowOutKey(ready, "ready", readyFlowKey(st.m.ID, p))
+	}
 	t := pl.taskFor(p)
-	st := pl.st
 	if w := pl.netWorker; w != nil &&
 		(int64(st.globalR[p])+int64(st.globalS[p]))*int64(st.width) <= pl.smallCut {
 		pl.sched.injectAt(w.id, t)
@@ -179,7 +200,7 @@ func (pl *pipeline) scatterDone() {
 	pl.localDone.Store(true)
 	for _, p := range pl.st.resident {
 		if pl.tracked[p] && pl.remaining[p].Load() == 0 {
-			pl.tryInject(p)
+			pl.tryInject(p, 0)
 		}
 	}
 }
@@ -198,6 +219,14 @@ func (pl *pipeline) threadDrained() error {
 			if peer == st.m.ID {
 				continue
 			}
+			if tr := st.cfg.Trace; tr != nil {
+				// One-sided WRITEs leave no receiver-side completions, so
+				// the EOP notification carries the cross-machine causality
+				// of this transport.
+				id := tr.Instant(st.m.ID, "msg", fmt.Sprintf("eop to m%d", peer), st.netSpan, 1)
+				tr.FlowOutKey(id, "eop", eopFlowKey(st.m.ID, peer))
+			}
+			st.flight("eop", fmt.Sprintf("sent to m%d", peer), 0, 0)
 			if err := st.m.CtlSend(peer, []byte{eopMarker}); err != nil {
 				return fmt.Errorf("end-of-partition to machine %d: %w", peer, err)
 			}
@@ -232,10 +261,24 @@ func (pl *pipeline) maybeNetDone() {
 	}
 }
 
-// noteTaskStart records the start of the first partition-ready task.
+// noteTaskStart records the start of the first partition-ready task and
+// opens the causal local+build-probe phase span at that instant, so the
+// span covers exactly the window join work actually ran in (including the
+// overlap with the still-draining network pass).
 func (pl *pipeline) noteTaskStart() {
-	pl.firstOnce.Do(func() { pl.firstAt = time.Now() })
+	pl.firstOnce.Do(func() {
+		pl.firstAt = time.Now()
+		if tr := pl.st.cfg.Trace; tr != nil {
+			id, end := tr.Begin(pl.st.m.ID, "phase", "local+build-probe", pl.st.runSpan)
+			pl.bpSpanID.Store(uint64(id))
+			pl.bpEnd = end
+		}
+	})
 }
+
+// bpSpan returns the local+build-probe phase span, 0 before the first
+// task (or untraced).
+func (pl *pipeline) bpSpan() trace.SpanID { return trace.SpanID(pl.bpSpanID.Load()) }
 
 // runReadyTask executes one task from w's own deque without blocking:
 // the network thread calls it between completion-queue polls. Only the
@@ -296,6 +339,9 @@ func (pl *pipeline) drainInterleaved(pool *bufferPool, w *joinWorker) error {
 			time.Sleep(idle)
 			if idle < pollIdleMax {
 				idle *= 2
+				if idle >= pollIdleMax {
+					pl.st.flight("backoff", "drain at max poll backoff", 0, 0)
+				}
 			}
 			continue
 		}
@@ -322,13 +368,19 @@ func (st *machineState) eopWatcher(pl *pipeline, peer int) error {
 	if len(msg) != 1 || msg[0] != eopMarker {
 		return fmt.Errorf("end-of-partition from machine %d: unexpected payload %x", peer, msg)
 	}
+	var gate trace.SpanID
+	if tr := st.cfg.Trace; tr != nil {
+		gate = tr.Instant(st.m.ID, "msg", fmt.Sprintf("eop from m%d", peer), st.runSpan, 1)
+		tr.FlowInKey(gate, "eop", eopFlowKey(peer, st.m.ID))
+	}
+	st.flight("eop", fmt.Sprintf("recv from m%d", peer), 0, 0)
 	w := int64(st.width)
 	for _, p := range st.resident {
 		tuples := int64(st.allHistR[peer][p])
 		if st.owner[p] == st.m.ID {
 			tuples += int64(st.allHistS[peer][p])
 		}
-		pl.credit(p, tuples*w)
+		pl.credit(p, tuples*w, gate)
 	}
 	if pl.eopLeft.Add(-1) == 0 {
 		pl.remoteArrivalsDone()
@@ -346,14 +398,31 @@ func (st *machineState) eopWatcher(pl *pipeline, peer int) error {
 func (st *machineState) runPipelined() error {
 	pl := st.newPipeline()
 	pl.netStart = time.Now()
-	pl.netSpanEnd = st.span("network partition")
+	st.flight("phase", "network partition start (pipelined)", 0, 0)
+	var endNet func(int64)
+	st.netSpan, endNet = st.begin("phase", "network partition", st.runSpan)
+	pl.netSpanEnd = endNet
 	st.pipe = pl
 	defer func() { st.pipe = nil }()
 
 	sched := pl.sched
+	sched.flight, sched.machine = st.cfg.Flight, st.m.ID
 	workers := make([]*joinWorker, st.m.Cores)
 	pl.taskFor = func(p int) schedTask {
-		return func(w *joinWorker) { w.processPartition(p) }
+		return func(w *joinWorker) {
+			if tr := st.cfg.Trace; tr != nil {
+				// Task span under the local+build-probe phase (open by the
+				// time any task body runs — noteTaskStart precedes it);
+				// the flow-in binds it to the readiness instant, making
+				// the scheduler latency visible as a "ready" link gap.
+				id, end := tr.Begin(st.m.ID, "task", fmt.Sprintf("join p%d", p), pl.bpSpan())
+				tr.FlowInKey(id, "ready", readyFlowKey(st.m.ID, p))
+				w.processPartition(p)
+				end((st.globalR[p] + st.globalS[p]) * int64(st.width))
+				return
+			}
+			w.processPartition(p)
+		}
 	}
 
 	var watchWG sync.WaitGroup
@@ -485,11 +554,12 @@ func (st *machineState) runPipelined() error {
 	}
 	st.overlap = overlap
 	st.met.Gauge("pipeline_overlap_seconds").Set(overlap.Seconds())
-	if st.cfg.Trace != nil {
-		st.cfg.Trace.Record(st.m.ID, "phase", "local+build-probe",
-			pl.firstAt, joinEnd, int64(st.slabR.Size()+st.slabS.Size()))
+	if pl.bpEnd != nil {
+		// Close the causal local+build-probe span opened by the first
+		// task; it spans firstAt → now, covering the overlap window.
+		pl.bpEnd(int64(st.slabR.Size() + st.slabS.Size()))
 	}
 	st.phaseDone("local_partition", st.phases.LocalPartition)
 	st.phaseDone("build_probe", st.phases.BuildProbe)
-	return st.m.Barrier()
+	return st.barrier("final")
 }

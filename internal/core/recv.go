@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rackjoin/internal/rdma"
+	"rackjoin/internal/trace"
 )
 
 // recvRingSlots is the number of pre-posted receive buffers per incoming
@@ -20,6 +21,14 @@ type recvRing struct {
 	qp    *rdma.QP
 	mr    *rdma.MemoryRegion
 	bufSz int
+
+	// src/srcThread identify the sender (machine, partitioning thread)
+	// whose queue pair feeds this ring; seq counts the data messages
+	// consumed, mirroring the sender's per-(thread, dest) sequence so the
+	// trace layer can key cross-machine flow edges (per-QP FIFO order).
+	src       int
+	srcThread int
+	seq       uint64
 }
 
 func newRecvRing(pd *rdma.ProtectionDomain, qp *rdma.QP, bufSize, slots int) (*recvRing, error) {
@@ -124,6 +133,9 @@ func (st *machineState) receiveLoop() error {
 					time.Sleep(idle)
 					if idle < pollIdleMax {
 						idle *= 2
+						if idle >= pollIdleMax {
+							st.flight("backoff", "receive loop at max poll backoff", 0, 0)
+						}
 					}
 				} else {
 					idle = pollIdleMin
@@ -157,10 +169,18 @@ func (st *machineState) receiveLoop() error {
 			copy(slabR[curR[p]:], payload)
 			curR[p] += int64(c.Bytes)
 		}
+		var gate trace.SpanID
+		if tr := st.cfg.Trace; tr != nil {
+			// Message edge: rendezvous with the sender's FlowOut of the
+			// same (src machine, src thread, dest, sequence) key.
+			gate = tr.InstantFlowIn(st.m.ID, "msg", st.recvLabels[p], st.runSpan, int64(c.Bytes),
+				"msg", msgFlowKey(ring.src, ring.srcThread, st.m.ID, ring.seq))
+			ring.seq++
+		}
 		if st.pipe != nil {
 			// Credit after the copy: a partition only becomes ready once
 			// its tuples are actually in place.
-			st.pipe.credit(p, int64(c.Bytes))
+			st.pipe.credit(p, int64(c.Bytes), gate)
 		}
 		if err := ring.post(int(c.WRID)); err != nil {
 			return err
@@ -210,7 +230,9 @@ func (st *machineState) tcpReceiveLoop() error {
 			curR[p] += int64(len(payload))
 		}
 		if st.pipe != nil {
-			st.pipe.credit(p, int64(len(payload)))
+			// No sender identity survives the kernel TCP boundary, so TCP
+			// runs carry no per-message flow edges (gate 0).
+			st.pipe.credit(p, int64(len(payload)), 0)
 		}
 	})
 	if err != nil {

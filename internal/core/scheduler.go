@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"rackjoin/internal/obsv"
 )
 
 // schedTask is one unit of machine-local join work: a partition to
@@ -97,6 +100,11 @@ type scheduler struct {
 	steals  atomic.Uint64
 	injects atomic.Uint64
 	spills  atomic.Uint64
+
+	// flight/machine mirror steal, inject and spill events into the
+	// flight recorder when one is mounted (flight nil otherwise).
+	flight  *obsv.FlightRecorder
+	machine int
 }
 
 func newScheduler(workers int) *scheduler {
@@ -121,6 +129,9 @@ func (s *scheduler) reserve(n int) { s.pending.Add(int64(n)) }
 // more than it reserved.
 func (s *scheduler) inject(t schedTask) {
 	s.injects.Add(1)
+	if s.flight != nil {
+		s.flight.Note(s.machine, "inject", "shared injector", 0, 0)
+	}
 	s.injectMu.Lock()
 	s.injectQ = append(s.injectQ, t)
 	s.injectMu.Unlock()
@@ -133,8 +144,14 @@ func (s *scheduler) inject(t schedTask) {
 // thread, the one worker with idle gaps while the pass drains.
 func (s *scheduler) injectAt(id int, t schedTask) {
 	s.injects.Add(1)
+	if s.flight != nil {
+		s.flight.Note(s.machine, "inject", fmt.Sprintf("at worker %d", id), 0, 0)
+	}
 	if !s.deques[id].push(t) {
 		s.spills.Add(1)
+		if s.flight != nil {
+			s.flight.Note(s.machine, "spill", fmt.Sprintf("worker %d deque full", id), 0, 0)
+		}
 		s.injectMu.Lock()
 		s.injectQ = append(s.injectQ, t)
 		s.injectMu.Unlock()
@@ -176,6 +193,9 @@ func (s *scheduler) done() {
 // abort releases every worker after a fatal error; queued tasks are
 // dropped.
 func (s *scheduler) abort() {
+	if s.flight != nil {
+		s.flight.Note(s.machine, "abort", "scheduler abort: dropping queued tasks", 0, 0)
+	}
 	s.aborted.Store(true)
 	s.wakeAll()
 }
@@ -216,6 +236,9 @@ func (s *scheduler) steal(id int) (schedTask, bool) {
 			continue
 		}
 		if t, ok := s.deques[v].stealHead(); ok {
+			if s.flight != nil {
+				s.flight.Note(s.machine, "steal", fmt.Sprintf("worker %d from %d", id, v), 0, 0)
+			}
 			return t, true
 		}
 	}

@@ -16,9 +16,11 @@ func SampleKey(s Sample) string {
 //     but keeps the function total);
 //   - gauges: Value is cur's reading (a gauge is a level, not a flow —
 //     its delta would discard the information callers want);
-//   - histograms: Count and Sum become the deltas, Min/Max/quantiles keep
-//     cur's cumulative readings (the per-interval distribution is not
-//     recoverable from log-scale buckets without retaining them).
+//   - histograms: Count, Sum and the per-bucket counts become the deltas
+//     (buckets that saw no observations in the interval are dropped);
+//     Min/Max/quantiles keep cur's cumulative readings — interval
+//     quantiles, when needed, can be interpolated from the delta'd
+//     Buckets, which retain the full log-scale distribution.
 //
 // Series present only in cur are included as-is (their delta from an
 // implicit zero). Series present only in prev are dropped — the registry
@@ -52,6 +54,18 @@ func Delta(prev, cur []Sample) []Sample {
 				s.Sum -= p.Sum
 				if s.Sum < 0 {
 					s.Sum = 0
+				}
+				if len(s.Buckets) > 0 && len(p.Buckets) > 0 {
+					db := make(map[string]uint64, len(s.Buckets))
+					for ub, c := range s.Buckets {
+						if prev := p.Buckets[ub]; c > prev {
+							db[ub] = c - prev
+						}
+					}
+					if len(db) == 0 {
+						db = nil
+					}
+					s.Buckets = db
 				}
 			}
 		}

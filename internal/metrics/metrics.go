@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -347,19 +348,30 @@ func (r *Registry) Scope(labels ...Label) *Scope {
 }
 
 // Sample is one metric's state in a snapshot. Value carries the counter
-// or gauge reading; Count/Sum/Min/Max/P50/P95/P99 are histogram fields.
+// or gauge reading; Count/Sum/Min/Max and the quantile summaries are
+// histogram fields. Buckets holds the occupied log-scale buckets keyed by
+// their upper bound (`%g` of 2^(i+1+histMinExp)) — empty buckets are
+// omitted, so a typical latency histogram serializes to a handful of
+// entries rather than 64.
 type Sample struct {
-	Name   string            `json:"name"`
-	Labels map[string]string `json:"labels,omitempty"`
-	Type   Kind              `json:"type"`
-	Value  float64           `json:"value"`
-	Count  uint64            `json:"count,omitempty"`
-	Sum    float64           `json:"sum,omitempty"`
-	Min    float64           `json:"min,omitempty"`
-	Max    float64           `json:"max,omitempty"`
-	P50    float64           `json:"p50,omitempty"`
-	P95    float64           `json:"p95,omitempty"`
-	P99    float64           `json:"p99,omitempty"`
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Type    Kind              `json:"type"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Min     float64           `json:"min,omitempty"`
+	Max     float64           `json:"max,omitempty"`
+	P50     float64           `json:"p50,omitempty"`
+	P95     float64           `json:"p95,omitempty"`
+	P99     float64           `json:"p99,omitempty"`
+	P999    float64           `json:"p999,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// bucketUpperBound renders bucket i's upper bound as the Buckets map key.
+func bucketUpperBound(i int) string {
+	return strconv.FormatFloat(math.Pow(2, float64(i+1+histMinExp)), 'g', -1, 64)
 }
 
 // Snapshot returns the state of every registered metric, sorted by name
@@ -400,6 +412,16 @@ func (r *Registry) Snapshot() []Sample {
 			s.P50 = e.h.quantileLocked(0.50)
 			s.P95 = e.h.quantileLocked(0.95)
 			s.P99 = e.h.quantileLocked(0.99)
+			s.P999 = e.h.quantileLocked(0.999)
+			for i, c := range e.h.counts {
+				if c == 0 {
+					continue
+				}
+				if s.Buckets == nil {
+					s.Buckets = make(map[string]uint64)
+				}
+				s.Buckets[bucketUpperBound(i)] = c
+			}
 			e.h.mu.Unlock()
 		}
 		out = append(out, s)
@@ -436,13 +458,13 @@ func labelString(labels map[string]string) string {
 
 // WriteText writes a human-readable exposition of every metric, one line
 // each: `name{label="v",…} value` for counters and gauges, and
-// `name{…} count=… sum=… p50=… p95=… p99=… max=…` for histograms.
+// `name{…} count=… sum=… p50=… p95=… p99=… p999=… max=…` for histograms.
 func (r *Registry) WriteText(w io.Writer) {
 	for _, s := range r.Snapshot() {
 		switch s.Type {
 		case KindHistogram:
-			fmt.Fprintf(w, "%s%s count=%d sum=%g p50=%g p95=%g p99=%g max=%g\n",
-				s.Name, labelString(s.Labels), s.Count, s.Sum, s.P50, s.P95, s.P99, s.Max)
+			fmt.Fprintf(w, "%s%s count=%d sum=%g p50=%g p95=%g p99=%g p999=%g max=%g\n",
+				s.Name, labelString(s.Labels), s.Count, s.Sum, s.P50, s.P95, s.P99, s.P999, s.Max)
 		default:
 			fmt.Fprintf(w, "%s%s %g\n", s.Name, labelString(s.Labels), s.Value)
 		}

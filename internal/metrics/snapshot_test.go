@@ -180,3 +180,70 @@ func TestSnapshotDeltaConcurrent(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestSnapshotBucketsAndP999(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 1 and 4 are exact powers of two: bucket lower bounds, so each pair
+	// of observations lands in a distinct, known bucket [v, 2v).
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(4)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d samples, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.P999 < s.P99 {
+		t.Errorf("p999 %g < p99 %g", s.P999, s.P99)
+	}
+	if s.P999 > s.Max {
+		t.Errorf("p999 %g > max %g", s.P999, s.Max)
+	}
+	if got := s.Buckets["2"]; got != 2 {
+		t.Errorf("bucket ≤2 = %d, want 2 (buckets: %v)", got, s.Buckets)
+	}
+	if got := s.Buckets["8"]; got != 1 {
+		t.Errorf("bucket ≤8 = %d, want 1 (buckets: %v)", got, s.Buckets)
+	}
+	var total uint64
+	for ub, c := range s.Buckets {
+		if c == 0 {
+			t.Errorf("empty bucket %q serialized", ub)
+		}
+		total += c
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", total, s.Count)
+	}
+}
+
+func TestDeltaBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(4)
+	prev := r.Snapshot()
+
+	h.Observe(1)
+	cur := r.Snapshot()
+
+	d := Delta(prev, cur)
+	if len(d) != 1 {
+		t.Fatalf("delta has %d samples, want 1", len(d))
+	}
+	s := d[0]
+	if got := s.Buckets["2"]; got != 1 {
+		t.Errorf("interval bucket ≤2 = %d, want 1 (buckets: %v)", got, s.Buckets)
+	}
+	if _, ok := s.Buckets["8"]; ok {
+		t.Errorf("idle bucket ≤8 kept in interval delta: %v", s.Buckets)
+	}
+	if s.Count != 1 {
+		t.Errorf("interval count = %d, want 1", s.Count)
+	}
+	// The cumulative snapshots themselves must be unchanged by Delta.
+	if got := cur[0].Buckets["8"]; got != 1 {
+		t.Errorf("cumulative snapshot mutated: %v", cur[0].Buckets)
+	}
+}

@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one structured entry of the flight recorder: a low-level
+// incident (an RDMA verb posting, a pool stall, a scheduler steal, a
+// readiness CAS outcome, a backoff transition) stamped with a global
+// sequence number so per-machine rings can be merged into one timeline.
+type FlightEvent struct {
+	Seq     uint64        `json:"seq"`
+	At      time.Duration `json:"at"`
+	Machine int           `json:"machine"`
+	// Kind is the event class: "verb", "pool_stall", "steal", "inject",
+	// "spill", "ready", "eop", "backoff", "abort".
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	P      int    `json:"p,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// flightRing is one machine's fixed-size event ring. Writes overwrite the
+// oldest entry once full; total counts every write so drops are visible.
+type flightRing struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	total uint64
+}
+
+// FlightRecorder is an always-on, fixed-footprint recorder of low-level
+// events leading up to "now": a black box for the join. Each machine owns
+// a private ring so hot-path writes contend only with same-machine
+// writers; a shared atomic sequence stitches the rings into one causally
+// ordered timeline at snapshot time. Note is nil-safe and wait-free apart
+// from the per-machine mutex, so it can be called from verb-posting and
+// scheduler hot paths.
+type FlightRecorder struct {
+	epoch time.Time
+	seq   atomic.Uint64
+	rings []flightRing
+	cap   int
+}
+
+// DefaultFlightEvents is the per-machine ring capacity used by callers
+// that do not size the recorder explicitly.
+const DefaultFlightEvents = 512
+
+// NewFlightRecorder builds a recorder with one ring of perMachine entries
+// for each of machines rings. perMachine <= 0 selects
+// DefaultFlightEvents.
+func NewFlightRecorder(machines, perMachine int) *FlightRecorder {
+	if machines < 1 {
+		machines = 1
+	}
+	if perMachine <= 0 {
+		perMachine = DefaultFlightEvents
+	}
+	return &FlightRecorder{
+		epoch: time.Now(),
+		rings: make([]flightRing, machines),
+		cap:   perMachine,
+	}
+}
+
+// Note records one event on machine's ring. It is safe on a nil recorder
+// (the disabled state) and from any goroutine.
+func (f *FlightRecorder) Note(machine int, kind, detail string, p int, bytes int64) {
+	if f == nil || machine < 0 || machine >= len(f.rings) {
+		return
+	}
+	ev := FlightEvent{
+		Seq:     f.seq.Add(1),
+		At:      time.Since(f.epoch),
+		Machine: machine,
+		Kind:    kind,
+		Detail:  detail,
+		P:       p,
+		Bytes:   bytes,
+	}
+	r := &f.rings[machine]
+	r.mu.Lock()
+	if len(r.buf) < f.cap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%uint64(f.cap)] = ev
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns every retained event across all machines, merged in
+// global sequence order (the order the events actually happened).
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	var out []FlightEvent
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.mu.Lock()
+		out = append(out, r.buf...)
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dropped returns how many events have been overwritten ring-wide: the
+// difference between everything ever written and what Snapshot retains.
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	var dropped uint64
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.mu.Lock()
+		dropped += r.total - uint64(len(r.buf))
+		r.mu.Unlock()
+	}
+	return dropped
+}
+
+// WriteJSON writes the merged timeline as one JSON object:
+// {"dropped": N, "events": [...]}.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	snap := f.Snapshot()
+	if snap == nil {
+		snap = []FlightEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Dropped uint64        `json:"dropped"`
+		Events  []FlightEvent `json:"events"`
+	}{Dropped: f.Dropped(), Events: snap})
+}
+
+// WriteText writes the merged timeline as one line per event, oldest
+// first — the shape dumped to stderr when a join aborts.
+func (f *FlightRecorder) WriteText(w io.Writer) {
+	snap := f.Snapshot()
+	if dropped := f.Dropped(); dropped > 0 {
+		fmt.Fprintf(w, "flight recorder: %d older events overwritten\n", dropped)
+	}
+	for _, ev := range snap {
+		fmt.Fprintf(w, "%12s  m%-2d %-10s %s", ev.At.Round(time.Microsecond), ev.Machine, ev.Kind, ev.Detail)
+		if ev.P != 0 {
+			fmt.Fprintf(w, " p=%d", ev.P)
+		}
+		if ev.Bytes != 0 {
+			fmt.Fprintf(w, " bytes=%d", ev.Bytes)
+		}
+		fmt.Fprintln(w)
+	}
+}

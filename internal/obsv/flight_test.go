@@ -1,0 +1,125 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Note(0, "verb", "send", 0, 64) // must not panic
+	if f.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot not nil")
+	}
+	if f.Dropped() != 0 {
+		t.Fatal("nil recorder dropped not 0")
+	}
+}
+
+func TestFlightRecorderRingOverwrite(t *testing.T) {
+	f := NewFlightRecorder(2, 4)
+	for i := 0; i < 10; i++ {
+		f.Note(0, "verb", "send", i, 64)
+	}
+	f.Note(1, "abort", "boom", 0, 0)
+	f.Note(5, "verb", "out of range", 0, 0) // dropped silently
+	snap := f.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot = %d events, want 5 (ring of 4 + 1)", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot out of sequence order: %+v", snap)
+		}
+	}
+	// The ring kept the newest 4 of machine 0's 10 events.
+	if snap[0].P != 6 {
+		t.Fatalf("oldest retained event p = %d, want 6", snap[0].P)
+	}
+	if got := f.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	last := snap[len(snap)-1]
+	if last.Machine != 1 || last.Kind != "abort" {
+		t.Fatalf("newest event = %+v, want the abort", last)
+	}
+}
+
+func TestFlightRecorderText(t *testing.T) {
+	f := NewFlightRecorder(1, 2)
+	f.Note(0, "pool_stall", "R pool empty", 3, 0)
+	f.Note(0, "verb", "Send", 3, 4096)
+	f.Note(0, "abort", "ctl overflow", 0, 0)
+	var sb strings.Builder
+	f.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"1 older events overwritten", "verb", "abort", "bytes=4096"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the recorder from many goroutines
+// while /flightrec is being served mid-run; under -race it proves writers
+// never tear against the HTTP snapshot path.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(4, 64)
+	srv := httptest.NewServer(NewServer(Options{Flight: f}).Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Note(m, "verb", "Send", i%32, int64(i))
+				f.Note(m, "steal", "from 2", 0, 0)
+			}
+		}(m)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/flightrec")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var dump struct {
+				Dropped uint64        `json:"dropped"`
+				Events  []FlightEvent `json:"events"`
+			}
+			if err := json.Unmarshal(body, &dump); err != nil {
+				t.Errorf("mid-run /flightrec not valid JSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := len(f.Snapshot()), 4*64; got != want {
+		t.Fatalf("snapshot = %d, want %d (full rings)", got, want)
+	}
+	if got, want := f.Dropped(), uint64(4*(500*2-64)); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+}

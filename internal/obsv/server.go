@@ -33,10 +33,12 @@ import (
 type Options struct {
 	// Registry backs /metrics (and /samples through Sampler).
 	Registry *metrics.Registry
-	// Trace backs /trace.
+	// Trace backs /trace and /critpath.
 	Trace *trace.Recorder
 	// Sampler backs /samples; the server does not start or stop it.
 	Sampler *Sampler
+	// Flight backs /flightrec.
+	Flight *FlightRecorder
 }
 
 // Server is the exposition HTTP server.
@@ -57,6 +59,8 @@ func NewServer(o Options) *Server {
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/critpath", s.handleCritPath)
+	s.mux.HandleFunc("/flightrec", s.handleFlight)
 	s.mux.HandleFunc("/samples", s.handleSamples)
 	s.mux.HandleFunc("/residual", s.handleResidual)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -128,6 +132,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `rackjoin observability plane
 /metrics        registry exposition (text; ?format=json for JSON)
 /trace          Chrome trace-event JSON (chrome://tracing, Perfetto); safe mid-run
+/critpath       critical-path extraction over the causal trace (?format=text for the report)
+/flightrec      flight-recorder ring dump, merged and sequence-ordered
 /samples        sampler time series, one JSON record per line
 /residual       last model-residual verdict (measured vs §5 prediction)
 /debug/pprof/   Go runtime profiles
@@ -156,6 +162,78 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 	_ = s.opts.Trace.WriteChromeJSON(w)
+}
+
+func (s *Server) handleCritPath(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Trace == nil {
+		http.Error(w, "no trace recorder mounted (enable tracing on the run)", http.StatusNotFound)
+		return
+	}
+	cp, err := s.opts.Trace.CriticalPath()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cp.Report(w)
+		return
+	}
+	type step struct {
+		Machine int     `json:"machine"`
+		Phase   string  `json:"phase"`
+		Link    string  `json:"link,omitempty"`
+		FromSec float64 `json:"from_seconds"`
+		ToSec   float64 `json:"to_seconds"`
+	}
+	out := struct {
+		WallSec   float64            `json:"wall_seconds"`
+		PathSec   float64            `json:"path_seconds"`
+		Coverage  float64            `json:"coverage"`
+		ByPhase   map[string]float64 `json:"by_phase"`
+		ByMachine map[string]float64 `json:"by_machine"`
+		ByLink    map[string]float64 `json:"by_link"`
+		Steps     []step             `json:"steps"`
+	}{
+		WallSec: cp.Wall.Seconds(), PathSec: cp.Path.Seconds(), Coverage: cp.Coverage,
+		ByPhase:   map[string]float64{},
+		ByMachine: map[string]float64{},
+		ByLink:    map[string]float64{},
+		Steps:     []step{},
+	}
+	for k, d := range cp.ByPhase {
+		out.ByPhase[k] = d.Seconds()
+	}
+	for m, d := range cp.ByMachine {
+		out.ByMachine[fmt.Sprintf("%d", m)] = d.Seconds()
+	}
+	for k, d := range cp.ByLink {
+		out.ByLink[k] = d.Seconds()
+	}
+	for _, st := range cp.Steps {
+		out.Steps = append(out.Steps, step{
+			Machine: st.Machine, Phase: st.Phase, Link: st.Link,
+			FromSec: st.From.Seconds(), ToSec: st.To.Seconds(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Flight == nil {
+		http.Error(w, "no flight recorder mounted (enable -flightrec on the run)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.opts.Flight.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Flight.WriteJSON(w)
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {

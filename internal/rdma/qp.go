@@ -365,6 +365,9 @@ func (qp *QP) PostSend(wr SendWR) error {
 	case OpRead:
 		qp.dev.m.reads.Inc()
 	}
+	if h := qp.dev.hook.Load(); h != nil {
+		(*h)(wr.Op, wireSize)
+	}
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"rackjoin/internal/fabric"
 	"rackjoin/internal/metrics"
@@ -126,11 +127,28 @@ type Device struct {
 	id   int
 	m    deviceMetrics
 
+	// hook, when set, observes every successfully posted send-queue verb
+	// (flight-recorder instrumentation). Atomic so posting threads never
+	// take a lock for the common nil case.
+	hook atomic.Pointer[func(op Opcode, bytes int)]
+
 	mu      sync.Mutex
 	nextKey uint32
 	nextQPN uint32
 	mrs     map[uint32]*MemoryRegion // by rkey
 	qps     map[uint32]*QP           // by qpn
+}
+
+// SetEventHook installs fn as the device's verb observer: it is called
+// after every successful PostSend with the opcode and wire size. nil
+// uninstalls. The hook runs on the posting thread and must be cheap and
+// non-blocking.
+func (d *Device) SetEventHook(fn func(op Opcode, bytes int)) {
+	if fn == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&fn)
 }
 
 // deviceMetrics are the registry-backed per-device counters and

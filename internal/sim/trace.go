@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"time"
+
+	"rackjoin/internal/trace"
+)
+
+// BuildTrace converts a simulated execution into a causal trace with the
+// same span vocabulary a real run records — per-machine "run" roots,
+// "phase" spans for histogram / network partition / local+build-probe,
+// barrier spans between the synchronized phases and "msg" flow edges for
+// the all-to-all dependency of the network pass — so the Chrome export
+// and the critical-path analyzer work identically on simulated and
+// measured runs.
+//
+// skews models per-machine clock skew: machine m stamps its events on a
+// local clock running skews[m] ahead of the shared simulation epoch, and
+// the recorder is told so via SetClockOffset. The exported events are
+// therefore aligned on the shared epoch regardless of the skew — the
+// sim-fabric analogue of normalizing distributed hosts' wall clocks. A
+// nil or short skews slice means the remaining machines' clocks are
+// perfect.
+func BuildTrace(cfg Config, res *Result, skews []time.Duration) *trace.Recorder {
+	r := trace.New()
+	base := time.Now()
+
+	nm := len(res.PerMachine)
+	skew := func(m int) time.Duration {
+		if m < len(skews) {
+			return skews[m]
+		}
+		return 0
+	}
+	at := func(m int, offset time.Duration) time.Time {
+		// The machine's local clock reads (shared time + skew).
+		return base.Add(offset + skew(m))
+	}
+	for m := range skews {
+		if m < nm {
+			r.SetClockOffset(m, skews[m])
+		}
+	}
+
+	type marks struct {
+		histEnd, netEnd, total time.Duration
+		net, local             trace.SpanID
+	}
+	ms := make([]marks, nm)
+	// Barriers separate histogram from the network pass and close the run;
+	// all machines enter at their own local phase end and leave together at
+	// the cluster-wide latest (which is what Machine.Barrier serializes).
+	var histMax, totalMax time.Duration
+	for m, pt := range res.PerMachine {
+		ms[m].histEnd = pt.Histogram
+		ms[m].netEnd = pt.Histogram + pt.NetworkPartition
+		ms[m].total = pt.Total()
+		if pt.Histogram > histMax {
+			histMax = pt.Histogram
+		}
+		if ms[m].total > totalMax {
+			totalMax = ms[m].total
+		}
+	}
+
+	for m := range ms {
+		run := r.RecordSpan(m, "run", "run", 0, at(m, 0), at(m, totalMax), 0)
+		r.RecordSpan(m, "phase", "histogram", run, at(m, 0), at(m, ms[m].histEnd), 0)
+		r.RecordSpan(m, "barrier", "after histogram", run, at(m, ms[m].histEnd), at(m, histMax), 0)
+		ms[m].net = r.RecordSpan(m, "phase", "network partition", run,
+			at(m, histMax), at(m, histMax+ms[m].netEnd-ms[m].histEnd), 0)
+		ms[m].local = r.RecordSpan(m, "phase", "local+build-probe", run,
+			at(m, histMax+ms[m].netEnd-ms[m].histEnd), at(m, histMax+ms[m].total-ms[m].histEnd), 0)
+		r.RecordSpan(m, "barrier", "final", run, at(m, histMax+ms[m].total-ms[m].histEnd), at(m, totalMax), 0)
+	}
+
+	// The all-to-all of the network pass: machine m's local join work is
+	// gated by every sender's outbound pass (the simulator's netSec already
+	// folds the transfer tail into the receiver's network phase).
+	for m := range ms {
+		for src := range ms {
+			if src == m {
+				continue
+			}
+			r.FlowEdge(ms[src].net, ms[m].local, "msg")
+		}
+	}
+	return r
+}
+
+// TraceSkews returns a deterministic per-machine clock-skew vector for
+// demonstration traces: machine m's clock runs (m+1)·spread ahead of the
+// epoch on even machines and behind it on odd ones, so misalignment would
+// be clearly visible in an export that failed to normalize.
+func TraceSkews(machines int, spread time.Duration) []time.Duration {
+	skews := make([]time.Duration, machines)
+	for m := range skews {
+		skews[m] = time.Duration(m+1) * spread
+		if m%2 == 1 {
+			skews[m] = -skews[m]
+		}
+	}
+	return skews
+}

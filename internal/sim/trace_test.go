@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rackjoin/internal/model"
+)
+
+func simTraceFixture(t *testing.T) (Config, *Result) {
+	t.Helper()
+	cfg := Config{
+		Machines: 4, Cores: 8, Net: model.QDR(),
+		RTuples: 64 << 20, STuples: 64 << 20, TupleWidth: 16,
+		NetworkBits: 10, BufferSize: 64 << 10, BuffersPerPartition: 2,
+		Mode: ModeInterleaved, Pipeline: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return cfg, res
+}
+
+// TestBuildTraceNormalizesClockSkew checks the sim-fabric analogue of
+// clock synchronisation: the same simulated run traced through heavily
+// skewed per-machine clocks exports the identical span timeline once the
+// recorder's registered offsets are normalized out.
+func TestBuildTraceNormalizesClockSkew(t *testing.T) {
+	cfg, res := simTraceFixture(t)
+
+	aligned := BuildTrace(cfg, res, nil)
+	skewed := BuildTrace(cfg, res, TraceSkews(cfg.Machines, 40*time.Second))
+
+	ae, se := aligned.Events(), skewed.Events()
+	if len(ae) == 0 || len(ae) != len(se) {
+		t.Fatalf("event counts differ: aligned %d, skewed %d", len(ae), len(se))
+	}
+	// The two recorders have epochs a few ns apart (trace.New stamps
+	// time.Now), so compare with a tolerance far below the 40 s skews
+	// being normalized away.
+	const tol = 100 * time.Millisecond
+	for i := range ae {
+		a, s := ae[i], se[i]
+		if a.Machine != s.Machine || a.Kind != s.Kind || a.Label != s.Label {
+			t.Fatalf("event %d identity differs: %+v vs %+v", i, a, s)
+		}
+		if d := a.Start - s.Start; d < -tol || d > tol {
+			t.Errorf("event %d (%s m%d) start misaligned by %v", i, a.Label, a.Machine, d)
+		}
+		if d := a.End - s.End; d < -tol || d > tol {
+			t.Errorf("event %d (%s m%d) end misaligned by %v", i, a.Label, a.Machine, d)
+		}
+	}
+	if len(skewed.Flows()) != len(aligned.Flows()) {
+		t.Fatalf("flow counts differ: %d vs %d", len(aligned.Flows()), len(skewed.Flows()))
+	}
+}
+
+// TestBuildTraceCriticalPath checks that the critical path extracted
+// from a synthetic simulation trace spans the simulated makespan: the
+// wall clock equals the slowest machine's total and the causal chain
+// accounts for (nearly) all of it.
+func TestBuildTraceCriticalPath(t *testing.T) {
+	cfg, res := simTraceFixture(t)
+
+	var want time.Duration
+	for _, pt := range res.PerMachine {
+		if pt.Total() > want {
+			want = pt.Total()
+		}
+	}
+
+	tr := BuildTrace(cfg, res, TraceSkews(cfg.Machines, 10*time.Second))
+	cp, err := tr.CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	if d := cp.Wall - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("critical-path wall %v, want slowest machine total %v", cp.Wall, want)
+	}
+	if cp.Coverage < 0.95 {
+		t.Fatalf("coverage %.3f, want >= 0.95 on a fully-connected synthetic DAG", cp.Coverage)
+	}
+	for _, phase := range []string{"histogram", "network partition"} {
+		if cp.ByPhase[phase] <= 0 {
+			t.Errorf("phase %q absent from critical-path attribution: %v", phase, cp.ByPhase)
+		}
+	}
+}

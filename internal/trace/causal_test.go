@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeginParentAndFlows(t *testing.T) {
+	r := New()
+	root, endRoot := r.Begin(0, "run", "run", 0)
+	if root == 0 {
+		t.Fatal("Begin returned zero SpanID")
+	}
+	child, endChild := r.Begin(0, "phase", "work", root)
+	endChild(7)
+	endRoot(0)
+
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	byID := map[SpanID]Event{}
+	for _, e := range events {
+		byID[e.ID] = e
+	}
+	if byID[child].Parent != root {
+		t.Fatalf("child parent = %d, want %d", byID[child].Parent, root)
+	}
+	if byID[child].Bytes != 7 {
+		t.Fatalf("child bytes = %d", byID[child].Bytes)
+	}
+
+	// Keyed rendezvous matches in either arrival order.
+	r.FlowOut(root, "msg", "k1")
+	r.FlowIn(child, "msg", "k1") // out first
+	r.FlowIn(child, "msg", "k2") // in first
+	r.FlowOut(root, "msg", "k2")
+	r.FlowEdge(child, root, "ready")
+	r.FlowEdge(0, root, "ready") // zero endpoints are dropped
+	flows := r.Flows()
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d, want 3: %+v", len(flows), flows)
+	}
+	for _, f := range flows[:2] {
+		if f.From != root || f.To != child || f.Class != "msg" {
+			t.Fatalf("bad rendezvous flow %+v", f)
+		}
+	}
+	if flows[2] != (Flow{From: child, To: root, Class: "ready"}) {
+		t.Fatalf("bad direct flow %+v", flows[2])
+	}
+}
+
+func TestOpenSpansCarryIDs(t *testing.T) {
+	r := New()
+	id, end := r.Begin(2, "phase", "net", 0)
+	open := r.OpenSpans()
+	if len(open) != 1 || open[0].ID != id {
+		t.Fatalf("open spans = %+v, want one with id %d", open, id)
+	}
+	end(0)
+	if len(r.OpenSpans()) != 0 {
+		t.Fatal("span still open after closer")
+	}
+}
+
+func TestInstantAndRecordSpan(t *testing.T) {
+	r := New()
+	now := r.epoch.Add(5 * time.Millisecond)
+	parent := r.RecordSpan(1, "phase", "net", 0, r.epoch, now, 0)
+	inst := r.Instant(1, "msg", "send", parent, 128)
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for _, e := range events {
+		if e.ID == inst {
+			if e.Parent != parent || e.Start != e.End || e.Bytes != 128 {
+				t.Fatalf("bad instant %+v", e)
+			}
+		}
+	}
+}
+
+func TestClockOffsetNormalization(t *testing.T) {
+	r := New()
+	skew := 10 * time.Millisecond
+	// Machine 0 records on the epoch clock, machine 1 on a clock running
+	// 10ms ahead; both spans cover the same true interval [0, 20ms].
+	r.Record(0, "phase", "histogram", r.epoch, r.epoch.Add(20*time.Millisecond), 0)
+	r.Record(1, "phase", "histogram", r.epoch.Add(skew), r.epoch.Add(20*time.Millisecond+skew), 0)
+	r.SetClockOffset(1, skew)
+	if got := r.ClockOffset(1); got != skew {
+		t.Fatalf("ClockOffset = %v", got)
+	}
+	for _, e := range r.Events() {
+		if e.Start != 0 || e.End != 20*time.Millisecond {
+			t.Fatalf("machine %d span not normalized: %+v", e.Machine, e)
+		}
+	}
+	// The Chrome export sees the normalized timestamps too.
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && (e.TS != 0 || e.Dur != 20e3) {
+			t.Fatalf("exported span not aligned: %+v", e)
+		}
+	}
+}
+
+// TestChromeFlowGolden pins the Chrome flow-event schema: span events
+// carry args.span/args.parent, causal edges appear as bound "s"/"f"
+// flow-event pairs. Regenerate with UPDATE_GOLDEN=1 go test ./internal/trace.
+func TestChromeFlowGolden(t *testing.T) {
+	r := New()
+	at := func(ms int) time.Time { return r.epoch.Add(time.Duration(ms) * time.Millisecond) }
+	run0 := r.RecordSpan(0, "run", "run", 0, at(0), at(50), 0)
+	net0 := r.RecordSpan(0, "phase", "network partition", run0, at(0), at(30), 1<<20)
+	send := r.RecordSpan(0, "msg", "send p3", net0, at(10), at(10), 4096)
+	run1 := r.RecordSpan(1, "run", "run", 0, at(0), at(50), 0)
+	recv := r.RecordSpan(1, "msg", "recv p3", run1, at(12), at(12), 4096)
+	r.FlowOut(send, "msg", "m0.t0>m1#0")
+	r.FlowIn(recv, "msg", "m0.t0>m1#0")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_flow_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome flow export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestConcurrentCausalHammer drives the causal entry points (Begin, flow
+// rendezvous, critical-path extraction) from many goroutines; under -race
+// it proves the DAG layer is safe to read mid-run.
+func TestConcurrentCausalHammer(t *testing.T) {
+	r := New()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for m := 0; m < 4; m++ {
+		writers.Add(1)
+		go func(m int) {
+			defer writers.Done()
+			root, endRoot := r.Begin(m, "run", "run", 0)
+			for i := 0; i < 100; i++ {
+				id, end := r.Begin(m, "phase", "work", root)
+				key := fmt.Sprintf("m%d#%d", m, i)
+				r.FlowOut(id, "msg", key)
+				r.FlowIn(r.Instant(m, "msg", "recv", root, 0), "msg", key)
+				end(int64(i))
+			}
+			endRoot(0)
+		}(m)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteChromeJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			_, _ = r.CriticalPath()
+			_ = r.Flows()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := len(r.Events()), 4*(100*2+1); got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	if got, want := len(r.Flows()), 4*100; got != want {
+		t.Fatalf("flows = %d, want %d", got, want)
+	}
+}
+
+// TestPackedKeyRendezvous checks the integer-keyed flow fast path:
+// matching in either arrival order, FIFO per key, disjoint from the
+// string-keyed namespace, zero endpoints dropped.
+func TestPackedKeyRendezvous(t *testing.T) {
+	r := New()
+	base := time.Now()
+	a := r.RecordSpan(0, "msg", "send", 0, base, base, 0)
+	b := r.RecordSpan(1, "msg", "recv", 0, base, base, 0)
+
+	r.FlowOutKey(a, "msg", 42)
+	r.FlowInKey(b, "msg", 42) // out first
+	r.FlowInKey(b, "msg", 43) // in first
+	r.FlowOutKey(a, "msg", 43)
+	r.FlowOutKey(0, "msg", 44) // dropped
+	r.FlowInKey(0, "msg", 44)  // dropped
+	flows := r.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2: %+v", len(flows), flows)
+	}
+	for _, f := range flows {
+		if f.From != a || f.To != b || f.Class != "msg" {
+			t.Fatalf("flow %+v, want %d→%d class msg", f, a, b)
+		}
+	}
+
+	// FIFO per key: two outs under one key match two ins in order.
+	c := r.RecordSpan(0, "msg", "send2", 0, base, base, 0)
+	r.FlowOutKey(a, "msg", 7)
+	r.FlowOutKey(c, "msg", 7)
+	r.FlowInKey(b, "msg", 7)
+	r.FlowInKey(b, "msg", 7)
+	flows = r.Flows()
+	if flows[2].From != a || flows[3].From != c {
+		t.Fatalf("packed-key matching not FIFO: %+v", flows[2:])
+	}
+
+	// A string-keyed in never consumes a packed-keyed out.
+	r.FlowOutKey(a, "msg", 99)
+	r.FlowIn(b, "msg", "99")
+	for _, f := range r.Flows()[4:] {
+		t.Fatalf("cross-namespace match: %+v", f)
+	}
+}
+
+// TestInstantFlowCombined checks the single-lock per-message stamps:
+// the instant is recorded and the rendezvous completes across the
+// combined and the separate APIs in either order.
+func TestInstantFlowCombined(t *testing.T) {
+	r := New()
+	send := r.InstantFlowOut(0, "msg", "send p1", 0, 64, "msg", 5)
+	recv := r.InstantFlowIn(1, "msg", "recv p1", 0, 64, "msg", 5)
+	if send == 0 || recv == 0 || send == recv {
+		t.Fatalf("span ids: send=%d recv=%d", send, recv)
+	}
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Start != e.End {
+			t.Fatalf("instant %+v not zero-duration", e)
+		}
+	}
+	flows := r.Flows()
+	if len(flows) != 1 || flows[0].From != send || flows[0].To != recv || flows[0].Class != "msg" {
+		t.Fatalf("flows = %+v, want one %d→%d msg edge", flows, send, recv)
+	}
+
+	// In before out, and interop with FlowOutKey/FlowInKey.
+	in2 := r.InstantFlowIn(1, "msg", "recv p2", 0, 0, "msg", 6)
+	r.FlowOutKey(send, "msg", 6)
+	r.FlowInKey(recv, "msg", 7)
+	out3 := r.InstantFlowOut(0, "msg", "send p3", 0, 0, "msg", 7)
+	flows = r.Flows()
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d, want 3: %+v", len(flows), flows)
+	}
+	if flows[1].From != send || flows[1].To != in2 {
+		t.Fatalf("out-late edge %+v, want %d→%d", flows[1], send, in2)
+	}
+	if flows[2].From != out3 || flows[2].To != recv {
+		t.Fatalf("in-early edge %+v, want %d→%d", flows[2], out3, recv)
+	}
+}

@@ -18,6 +18,8 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -32,7 +34,15 @@ type chromeTrace struct {
 // JSON format so a run can be inspected in chrome://tracing or Perfetto:
 // one process per machine, one thread row per event kind ("phase" is
 // always thread 0), spans as complete ("X") events carrying their byte
-// counts as args.
+// counts and causal identity (args.span, args.parent) as args. Causal
+// cross edges are exported as flow events — a flow-start ("s") anchored
+// to the end of the producing span and a binding flow-finish ("f",
+// bp "e") anchored to the start of the consuming span — so Perfetto draws
+// the cross-machine message arrows of the trace DAG.
+//
+// Machines recorded against skewed clocks are aligned first: the
+// registered per-machine clock offsets (SetClockOffset) are subtracted
+// from every timestamp, so sim-fabric lanes share one epoch.
 //
 // It is safe to call mid-run: the event list is snapshotted under the
 // recorder's lock, and spans still in flight are exported as complete
@@ -75,7 +85,11 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			})
 		}
 	}
+	byID := make(map[SpanID]Event, len(events))
 	for i, e := range events {
+		if e.ID != 0 {
+			byID[e.ID] = e
+		}
 		name := e.Label
 		if name == "" {
 			name = "?"
@@ -86,16 +100,45 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			Dur: float64(e.Duration().Microseconds()),
 			PID: e.Machine, TID: tids[e.Kind],
 		}
+		ev.Args = map[string]any{}
+		if e.ID != 0 {
+			ev.Args["span"] = uint64(e.ID)
+		}
+		if e.Parent != 0 {
+			ev.Args["parent"] = uint64(e.Parent)
+		}
 		if e.Bytes > 0 {
-			ev.Args = map[string]any{"bytes": e.Bytes}
+			ev.Args["bytes"] = e.Bytes
 		}
 		if i >= openFrom {
-			if ev.Args == nil {
-				ev.Args = map[string]any{}
-			}
 			ev.Args["open"] = true
 		}
+		if len(ev.Args) == 0 {
+			ev.Args = nil
+		}
 		out = append(out, ev)
+	}
+	// Causal edges as bound flow-event pairs. Edges whose endpoints are
+	// not in this snapshot (still unmatched or unrecorded) are skipped.
+	for i, f := range r.Flows() {
+		from, okF := byID[f.From]
+		to, okT := byID[f.To]
+		if !okF || !okT {
+			continue
+		}
+		name := f.Class
+		if name == "" {
+			name = "flow"
+		}
+		out = append(out,
+			chromeEvent{
+				Name: name, Cat: "flow", Ph: "s", ID: uint64(i + 1),
+				TS: float64(from.End.Microseconds()), PID: from.Machine, TID: tids[from.Kind],
+			},
+			chromeEvent{
+				Name: name, Cat: "flow", Ph: "f", BP: "e", ID: uint64(i + 1),
+				TS: float64(to.Start.Microseconds()), PID: to.Machine, TID: tids[to.Kind],
+			})
 	}
 	if out == nil {
 		out = []chromeEvent{}

@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Segment is one contiguous slice of wall time on the critical path,
+// attributed to a span (on-CPU / waiting inside that span) or, when Link
+// is non-empty, to the causal gap of a flow edge (network transfer,
+// scheduler latency).
+type Segment struct {
+	Span    SpanID
+	Machine int
+	Kind    string
+	Label   string
+	// Phase is the attribution bucket: the label of the nearest enclosing
+	// "phase" span, "barrier" for barrier waits, or the span kind.
+	Phase string
+	// Link names the causal gap for cross-edge segments ("msg m2→m0",
+	// "ready", …); empty for span-interior segments.
+	Link     string
+	From, To time.Duration
+}
+
+// Duration returns the wall time the segment covers.
+func (s Segment) Duration() time.Duration { return s.To - s.From }
+
+// CriticalPath is the longest causal chain ending at the latest span of a
+// trace: a contiguous backward walk from join completion through child,
+// flow and parent edges, attributing every instant of the covered wall
+// time to exactly one span or link gap.
+type CriticalPath struct {
+	// Wall is the trace extent (earliest start to latest end); Path is
+	// the wall time the walk covered. Coverage = Path/Wall; a causally
+	// complete trace yields ≈ 1.0.
+	Wall, Path time.Duration
+	Coverage   float64
+	// Terminal is the span the walk started from (the latest-ending one).
+	Terminal SpanID
+	// Steps is the chronological chain, adjacent same-attribution
+	// segments coalesced.
+	Steps []Segment
+	// ByPhase, ByMachine and ByLink aggregate the attributed time.
+	// Link-gap segments count toward ByLink only.
+	ByPhase   map[string]time.Duration
+	ByMachine map[int]time.Duration
+	ByLink    map[string]time.Duration
+}
+
+// CriticalPath extracts the critical path of the recorded trace,
+// including spans still open (safe mid-run).
+func (r *Recorder) CriticalPath() (*CriticalPath, error) {
+	events := append(r.Events(), r.OpenSpans()...)
+	return ExtractCriticalPath(events, r.Flows())
+}
+
+// phaseOf resolves a span's attribution bucket by walking the parent
+// chain to the nearest enclosing "phase" span.
+func phaseOf(e *Event, byID map[SpanID]*Event) string {
+	for cur, n := e, 0; cur != nil && n < 64; n++ {
+		switch cur.Kind {
+		case "phase":
+			return cur.Label
+		case "barrier":
+			return "barrier"
+		}
+		cur = byID[cur.Parent]
+	}
+	return e.Kind
+}
+
+// ExtractCriticalPath walks the causal trace graph backward from the
+// latest-ending span. At every step the walk asks "what gated this
+// instant?": the latest child span ending inside the current span (the
+// span was waiting for or running that child), the group's last arrival
+// for barrier spans, the latest-ending flow predecessor once the span's
+// own start is reached (the message or injection that allowed it to
+// start, its transfer gap attributed as a link), or the parent span. The
+// time cursor never increases and strictly decreases across revisits, so
+// the walk terminates; the segments are contiguous, so Path equals the
+// wall time between the walk's origin and the terminal end.
+func ExtractCriticalPath(events []Event, flows []Flow) (*CriticalPath, error) {
+	if len(events) == 0 {
+		return nil, errors.New("trace: no events to extract a critical path from")
+	}
+	byID := make(map[SpanID]*Event, len(events))
+	for i := range events {
+		if id := events[i].ID; id != 0 {
+			byID[id] = &events[i]
+		}
+	}
+	children := map[SpanID][]*Event{}
+	barriers := map[string][]*Event{}
+	for i := range events {
+		e := &events[i]
+		if e.Parent != 0 && byID[e.Parent] != nil {
+			children[e.Parent] = append(children[e.Parent], e)
+		}
+		if e.Kind == "barrier" {
+			barriers[e.Label] = append(barriers[e.Label], e)
+		}
+	}
+	flowIn := map[SpanID][]Flow{}
+	for _, f := range flows {
+		if byID[f.From] != nil && byID[f.To] != nil {
+			flowIn[f.To] = append(flowIn[f.To], f)
+		}
+	}
+
+	var terminal *Event
+	minStart := events[0].Start
+	for i := range events {
+		e := &events[i]
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if terminal == nil || e.End > terminal.End ||
+			(e.End == terminal.End && e.Start < terminal.Start) {
+			terminal = e
+		}
+	}
+
+	cp := &CriticalPath{
+		Wall:      terminal.End - minStart,
+		Terminal:  terminal.ID,
+		ByPhase:   map[string]time.Duration{},
+		ByMachine: map[int]time.Duration{},
+		ByLink:    map[string]time.Duration{},
+	}
+
+	var raw []Segment // reverse-chronological
+	addSeg := func(e *Event, from, to time.Duration, link string) {
+		if to <= from {
+			return
+		}
+		ph := phaseOf(e, byID)
+		raw = append(raw, Segment{
+			Span: e.ID, Machine: e.Machine, Kind: e.Kind, Label: e.Label,
+			Phase: ph, Link: link, From: from, To: to,
+		})
+		if link != "" {
+			cp.ByLink[link] += to - from
+		} else {
+			cp.ByPhase[ph] += to - from
+			cp.ByMachine[e.Machine] += to - from
+		}
+	}
+
+	cur, t := terminal, terminal.End
+	// seen prevents zero-progress revisits at a fixed time cursor; it
+	// resets whenever the cursor strictly decreases.
+	seen := map[SpanID]bool{}
+	lastT := t
+	maxSteps := 4*len(events) + 2*len(flows) + 16
+	for step := 0; step < maxSteps; step++ {
+		if t < lastT {
+			seen = map[SpanID]bool{}
+			lastT = t
+		}
+		seen[cur.ID] = true
+
+		// Latest child ending inside the span gates its interior.
+		var child *Event
+		for _, c := range children[cur.ID] {
+			if seen[c.ID] || c.End > t || c.End <= cur.Start {
+				continue
+			}
+			if child == nil || c.End > child.End {
+				child = c
+			}
+		}
+		if child != nil {
+			addSeg(cur, child.End, t, "")
+			cur, t = child, child.End
+			continue
+		}
+
+		// A barrier span's exit is gated by the group's last arrival.
+		if cur.Kind == "barrier" {
+			var last *Event
+			for _, b := range barriers[cur.Label] {
+				if b == cur || seen[b.ID] {
+					continue
+				}
+				// Same-label barriers of another run do not overlap.
+				if b.Start >= cur.End || b.End <= cur.Start || b.Start > t {
+					continue
+				}
+				if last == nil || b.Start > last.Start {
+					last = b
+				}
+			}
+			if last != nil && last.Start > cur.Start {
+				addSeg(cur, last.Start, t, "")
+				cur, t = last, last.Start
+				continue
+			}
+		}
+
+		// Nothing inside the span gates it: attribute down to its start.
+		if cur.Start < t {
+			addSeg(cur, cur.Start, t, "")
+			t = cur.Start
+			seen = map[SpanID]bool{cur.ID: true}
+			lastT = t
+		}
+
+		// What allowed the span to start? Latest-ending flow predecessor
+		// first; its gap is the link (transfer, scheduling) time.
+		var src *Event
+		var class string
+		for _, f := range flowIn[cur.ID] {
+			s := byID[f.From]
+			if s == nil || seen[s.ID] || s.End > t {
+				continue
+			}
+			if src == nil || s.End > src.End {
+				src = s
+				class = f.Class
+			}
+		}
+		if src != nil {
+			if src.End < t {
+				link := class
+				if link == "" {
+					link = "flow"
+				}
+				if src.Machine != cur.Machine {
+					link = fmt.Sprintf("%s m%d→m%d", link, src.Machine, cur.Machine)
+				}
+				addSeg(cur, src.End, t, link)
+			}
+			cur, t = src, src.End
+			continue
+		}
+		if p := byID[cur.Parent]; p != nil && !seen[p.ID] && p.Start <= t {
+			cur = p
+			continue
+		}
+		break
+	}
+
+	cp.Path = terminal.End - t
+	if cp.Wall > 0 {
+		cp.Coverage = float64(cp.Path) / float64(cp.Wall)
+	}
+	// Chronological, coalescing adjacent segments with one attribution.
+	for i, j := 0, len(raw)-1; i < j; i, j = i+1, j-1 {
+		raw[i], raw[j] = raw[j], raw[i]
+	}
+	for _, s := range raw {
+		n := len(cp.Steps)
+		if n > 0 {
+			prev := &cp.Steps[n-1]
+			if prev.Machine == s.Machine && prev.Phase == s.Phase && prev.Link == s.Link {
+				prev.To = s.To
+				continue
+			}
+		}
+		cp.Steps = append(cp.Steps, s)
+	}
+	return cp, nil
+}
+
+// Report renders the critical path as a human-readable breakdown:
+// coverage, per-phase / per-machine / per-link attribution and the
+// chronological chain (longest steps in full, the rest elided).
+func (cp *CriticalPath) Report(w io.Writer) {
+	fmt.Fprintf(w, "critical path: %v of %v wall (%.1f%% coverage), %d steps\n",
+		cp.Path.Round(time.Microsecond), cp.Wall.Round(time.Microsecond),
+		cp.Coverage*100, len(cp.Steps))
+	writeBreakdown := func(title string, m map[string]time.Duration) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if m[keys[i]] != m[keys[j]] {
+				return m[keys[i]] > m[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		fmt.Fprintf(w, "%s:\n", title)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-24s %12v  %5.1f%%\n", k,
+				m[k].Round(time.Microsecond), float64(m[k])/float64(cp.Path)*100)
+		}
+	}
+	writeBreakdown("by phase", cp.ByPhase)
+	byMachine := make(map[string]time.Duration, len(cp.ByMachine))
+	for m, d := range cp.ByMachine {
+		byMachine[fmt.Sprintf("machine %d", m)] = d
+	}
+	writeBreakdown("by machine", byMachine)
+	writeBreakdown("by link", cp.ByLink)
+
+	const maxChain = 24
+	fmt.Fprintln(w, "chain:")
+	steps := cp.Steps
+	elided := 0
+	if len(steps) > maxChain {
+		// Keep the longest steps, preserving chronological order.
+		idx := make([]int, len(steps))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return steps[idx[a]].Duration() > steps[idx[b]].Duration() })
+		keep := map[int]bool{}
+		for _, i := range idx[:maxChain] {
+			keep[i] = true
+		}
+		var kept []Segment
+		for i, s := range steps {
+			if keep[i] {
+				kept = append(kept, s)
+			}
+		}
+		elided = len(steps) - len(kept)
+		steps = kept
+	}
+	for _, s := range steps {
+		what := s.Phase
+		if s.Link != "" {
+			what = "link " + s.Link
+		}
+		fmt.Fprintf(w, "  %10v → %-10v %12v  m%-2d %s\n",
+			s.From.Round(time.Microsecond), s.To.Round(time.Microsecond),
+			s.Duration().Round(time.Microsecond), s.Machine, what)
+	}
+	if elided > 0 {
+		fmt.Fprintf(w, "  (%d shorter steps elided)\n", elided)
+	}
+}

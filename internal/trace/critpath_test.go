@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTwoMachineDAG records a deterministic two-machine pipelined run:
+//
+//	m0: run [0,96] ── hist [0,20] ─ barrier [20,31] ─ net [31,60] ─ send@55
+//	m1: run [0,95] ── hist [0,30] ─ barrier [30,31] ─ bp [58.5,90] ─ task [59,90]
+//	flows: send ─msg→ recv@58 ─ready→ ready@58 ─ready→ task
+//	final barrier: m0 [61,95], m1 [90,95]
+//
+// The critical path must thread m1's straggler histogram, the barrier,
+// m0's network pass, the cross-machine message gap and m1's join task.
+func buildTwoMachineDAG(r *Recorder) {
+	at := func(us int64) time.Time { return r.epoch.Add(time.Duration(us) * time.Microsecond) }
+	ms := func(f float64) int64 { return int64(f * 1000) }
+
+	run0 := r.RecordSpan(0, "run", "run", 0, at(0), at(ms(96)), 0)
+	run1 := r.RecordSpan(1, "run", "run", 0, at(0), at(ms(95)), 0)
+	r.RecordSpan(0, "phase", "histogram", run0, at(0), at(ms(20)), 0)
+	r.RecordSpan(1, "phase", "histogram", run1, at(0), at(ms(30)), 0)
+	r.RecordSpan(0, "barrier", "after histogram", run0, at(ms(20)), at(ms(31)), 0)
+	r.RecordSpan(1, "barrier", "after histogram", run1, at(ms(30)), at(ms(31)), 0)
+
+	net0 := r.RecordSpan(0, "phase", "network partition", run0, at(ms(31)), at(ms(60)), 1<<20)
+	send := r.RecordSpan(0, "msg", "send p5", net0, at(ms(55)), at(ms(55)), 4096)
+	recv := r.RecordSpan(1, "msg", "recv p5", run1, at(ms(58)), at(ms(58)), 4096)
+	ready := r.RecordSpan(1, "ready", "ready p5", run1, at(ms(58)), at(ms(58)), 0)
+	bp := r.RecordSpan(1, "phase", "local+build-probe", run1, at(ms(58.5)), at(ms(90)), 0)
+	task := r.RecordSpan(1, "task", "join p5", bp, at(ms(59)), at(ms(90)), 0)
+	r.FlowOut(send, "msg", "m0.t0>m1#0")
+	r.FlowIn(recv, "msg", "m0.t0>m1#0")
+	r.FlowEdge(recv, ready, "ready")
+	r.FlowEdge(ready, task, "ready")
+
+	r.RecordSpan(0, "barrier", "final", run0, at(ms(61)), at(ms(95)), 0)
+	r.RecordSpan(1, "barrier", "final", run1, at(ms(90)), at(ms(95)), 0)
+}
+
+func TestCriticalPathTwoMachines(t *testing.T) {
+	r := New()
+	buildTwoMachineDAG(r)
+	cp, err := r.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Wall != 96*time.Millisecond {
+		t.Fatalf("wall = %v", cp.Wall)
+	}
+	if cp.Coverage < 0.999 {
+		t.Fatalf("coverage = %.3f, want ≈ 1.0 on a fully-connected DAG\nsteps: %+v", cp.Coverage, cp.Steps)
+	}
+	// The straggler histogram on m1 (30ms) must be on the path — m0's
+	// 20ms histogram must not.
+	if got := cp.ByPhase["histogram"]; got != 30*time.Millisecond {
+		t.Fatalf("histogram on path = %v, want 30ms (m1 straggler)\nByPhase: %v", got, cp.ByPhase)
+	}
+	// Network pass on the path: m0's [31,55] up to the critical send.
+	if got := cp.ByPhase["network partition"]; got != 24*time.Millisecond {
+		t.Fatalf("network partition on path = %v, want 24ms\nByPhase: %v", got, cp.ByPhase)
+	}
+	// The cross-machine transfer gap [55,58] lands on the msg link.
+	if got := cp.ByLink["msg m0→m1"]; got != 3*time.Millisecond {
+		t.Fatalf("msg link gap = %v, want 3ms\nByLink: %v", got, cp.ByLink)
+	}
+	// The scheduler latency [58,59] lands on the ready link.
+	if got := cp.ByLink["ready"]; got != 1*time.Millisecond {
+		t.Fatalf("ready gap = %v, want 1ms\nByLink: %v", got, cp.ByLink)
+	}
+	// The join task [59,90] is attributed to its enclosing phase span.
+	if got := cp.ByPhase["local+build-probe"]; got != 31*time.Millisecond {
+		t.Fatalf("local+build-probe on path = %v, want 31ms\nByPhase: %v", got, cp.ByPhase)
+	}
+	// Barrier waits: [90,95] at the final barrier on m0 plus [30,31] of
+	// the histogram barrier release on m0/m1.
+	if got := cp.ByPhase["barrier"]; got != 6*time.Millisecond {
+		t.Fatalf("barrier wait on path = %v, want 6ms\nByPhase: %v", got, cp.ByPhase)
+	}
+	// Both machines contribute.
+	if cp.ByMachine[0] == 0 || cp.ByMachine[1] == 0 {
+		t.Fatalf("ByMachine = %v, want both machines on the path", cp.ByMachine)
+	}
+	var total time.Duration
+	for _, s := range cp.Steps {
+		total += s.Duration()
+	}
+	if total != cp.Path {
+		t.Fatalf("steps sum to %v, path is %v", total, cp.Path)
+	}
+}
+
+func TestCriticalPathReport(t *testing.T) {
+	r := New()
+	buildTwoMachineDAG(r)
+	cp, err := r.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cp.Report(&buf)
+	out := buf.String()
+	for _, want := range []string{"critical path:", "by phase", "by machine", "by link", "msg m0→m1", "chain:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if _, err := New().CriticalPath(); err == nil {
+		t.Fatal("expected error on empty trace")
+	}
+}
+
+// TestCriticalPathFlatTrace: legacy flat spans (no parents, no flows)
+// still yield a path — the latest span walked to its start.
+func TestCriticalPathFlatTrace(t *testing.T) {
+	r := New()
+	r.Record(0, "phase", "histogram", r.epoch, r.epoch.Add(10*time.Millisecond), 0)
+	r.Record(0, "phase", "network", r.epoch.Add(10*time.Millisecond), r.epoch.Add(40*time.Millisecond), 0)
+	cp, err := r.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Path != 30*time.Millisecond {
+		t.Fatalf("path = %v, want 30ms (latest flat span)", cp.Path)
+	}
+	if cp.ByPhase["network"] != 30*time.Millisecond {
+		t.Fatalf("ByPhase = %v", cp.ByPhase)
+	}
+}

@@ -3,6 +3,13 @@
 // the paper's Figures 5b/7a aggregate into stacked bars. It makes phase
 // overlap, barrier waiting and stragglers (e.g. the hot machine of a
 // skewed run) directly visible.
+//
+// Beyond the flat span log, the recorder captures a causal trace graph:
+// every span has an ID and an optional parent edge, and cross-machine
+// message edges (send → receive, readiness injection → join task) are
+// stamped through keyed flow rendezvous. A join run therefore produces a
+// DAG spanning all machines, exported as Chrome flow events and walked
+// backward by the critical-path analyzer (critpath.go).
 package trace
 
 import (
@@ -14,11 +21,21 @@ import (
 	"time"
 )
 
+// SpanID identifies one span in the causal trace graph. 0 means "no
+// span" (no parent, no flow endpoint).
+type SpanID uint64
+
 // Event is one recorded span.
 type Event struct {
+	// ID identifies the span in the causal graph; 0 only on zero-value
+	// events (every recorded span gets an ID).
+	ID SpanID
+	// Parent is the causally-enclosing span on the same machine, 0 for
+	// roots.
+	Parent SpanID
 	// Machine that executed the span.
 	Machine int
-	// Kind groups events (e.g. "phase", "stall").
+	// Kind groups events (e.g. "phase", "stall", "barrier", "msg").
 	Kind string
 	// Label names the span (e.g. "network partition").
 	Label string
@@ -31,55 +48,316 @@ type Event struct {
 // Duration returns the span length.
 func (e Event) Duration() time.Duration { return e.End - e.Start }
 
+// Flow is one causal cross edge of the trace graph: span From must end
+// before span To can proceed (a network message, an end-of-partition
+// notification, a readiness injection).
+type Flow struct {
+	From, To SpanID
+	// Class groups edges ("msg", "eop", "ready", …) for attribution.
+	Class string
+}
+
 // Recorder collects events from concurrent machines. The zero value is
 // not usable; construct with New.
 //
 // All accessors snapshot under the recorder's lock, so exporting (Events,
-// OpenSpans, WriteChromeJSON, Gantt, Summary) is safe while spans are
-// still being recorded — the live /trace endpoint of internal/obsv
+// OpenSpans, Flows, WriteChromeJSON, Gantt, Summary) is safe while spans
+// are still being recorded — the live /trace endpoint of internal/obsv
 // downloads mid-run traces this way.
 type Recorder struct {
 	mu     sync.Mutex
 	epoch  time.Time
 	events []Event
-	open   map[uint64]Event // in-flight spans (End unset)
-	nextID uint64
+	open   map[SpanID]Event // in-flight spans (End unset)
+	nextID SpanID
+	flows  []Flow
+	// Keyed flow rendezvous: whichever side of an edge arrives first
+	// parks under its key until the other side shows up. The uint64 maps
+	// back the packed-key fast path (FlowOutKey/FlowInKey) that hot loops
+	// use to avoid per-message key formatting.
+	pendingOut  map[string][]SpanID
+	pendingIn   map[string][]SpanID
+	pendingOutK map[uint64][]SpanID
+	pendingInK  map[uint64][]SpanID
+	// offsets[machine] is how far that machine's clock runs ahead of the
+	// shared epoch clock; subtracted on every snapshot.
+	offsets map[int]time.Duration
 }
 
 // New creates a recorder whose epoch is now.
 func New() *Recorder {
-	return &Recorder{epoch: time.Now(), open: make(map[uint64]Event)}
+	return &Recorder{epoch: time.Now(), open: make(map[SpanID]Event)}
+}
+
+// SetClockOffset declares machine's clock to run ahead of the recorder's
+// epoch clock by offset. Every exported view (Events, OpenSpans and the
+// Chrome export) subtracts it, so machines recorded against unsynchronised
+// clocks — e.g. sim-fabric machines with virtual epochs — align on the
+// shared epoch and cross-machine ordering stays meaningful.
+func (r *Recorder) SetClockOffset(machine int, offset time.Duration) {
+	r.mu.Lock()
+	if r.offsets == nil {
+		r.offsets = make(map[int]time.Duration)
+	}
+	r.offsets[machine] = offset
+	r.mu.Unlock()
+}
+
+// ClockOffset returns the offset registered for machine (0 if none).
+func (r *Recorder) ClockOffset(machine int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.offsets[machine]
+}
+
+// normalizeLocked applies the machine's clock offset to a snapshot copy.
+func (r *Recorder) normalizeLocked(e Event) Event {
+	if off, ok := r.offsets[e.Machine]; ok {
+		e.Start -= off
+		e.End -= off
+	}
+	return e
 }
 
 // Record adds a span with explicit wall-clock endpoints.
 func (r *Recorder) Record(machine int, kind, label string, start, end time.Time, bytes int64) {
+	r.RecordSpan(machine, kind, label, 0, start, end, bytes)
+}
+
+// RecordSpan adds a span with explicit wall-clock endpoints and a parent
+// edge, returning its ID so flow edges can attach to it.
+func (r *Recorder) RecordSpan(machine int, kind, label string, parent SpanID, start, end time.Time, bytes int64) SpanID {
 	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
 	r.events = append(r.events, Event{
-		Machine: machine, Kind: kind, Label: label,
+		ID: id, Parent: parent, Machine: machine, Kind: kind, Label: label,
 		Start: start.Sub(r.epoch), End: end.Sub(r.epoch), Bytes: bytes,
 	})
 	r.mu.Unlock()
+	return id
+}
+
+// Instant records a zero-duration span at the current instant — a point
+// event that can carry flow edges (a message posting, a readiness
+// injection).
+func (r *Recorder) Instant(machine int, kind, label string, parent SpanID, bytes int64) SpanID {
+	now := time.Now()
+	return r.RecordSpan(machine, kind, label, parent, now, now, bytes)
 }
 
 // Span starts a span now and returns a closer that ends it; pass the
 // bytes processed (0 if not applicable). Until the closer runs, the span
 // is visible through OpenSpans, so mid-run exports include it.
 func (r *Recorder) Span(machine int, kind, label string) func(bytes int64) {
+	_, end := r.Begin(machine, kind, label, 0)
+	return end
+}
+
+// Begin starts a causal span under parent (0 for a root) and returns its
+// ID plus a closer that ends it; pass the bytes processed (0 if not
+// applicable). The ID is live immediately: flow edges and child spans may
+// attach before the closer runs, and OpenSpans exposes the span mid-run.
+func (r *Recorder) Begin(machine int, kind, label string, parent SpanID) (SpanID, func(bytes int64)) {
 	start := time.Now()
 	r.mu.Lock()
-	id := r.nextID
 	r.nextID++
+	id := r.nextID
 	if r.open == nil {
-		r.open = make(map[uint64]Event)
+		r.open = make(map[SpanID]Event)
 	}
-	r.open[id] = Event{Machine: machine, Kind: kind, Label: label, Start: start.Sub(r.epoch)}
+	r.open[id] = Event{
+		ID: id, Parent: parent, Machine: machine, Kind: kind, Label: label,
+		Start: start.Sub(r.epoch),
+	}
 	r.mu.Unlock()
-	return func(bytes int64) {
+	return id, func(bytes int64) {
+		end := time.Now()
 		r.mu.Lock()
 		delete(r.open, id)
+		r.events = append(r.events, Event{
+			ID: id, Parent: parent, Machine: machine, Kind: kind, Label: label,
+			Start: start.Sub(r.epoch), End: end.Sub(r.epoch), Bytes: bytes,
+		})
 		r.mu.Unlock()
-		r.Record(machine, kind, label, start, time.Now(), bytes)
 	}
+}
+
+// FlowEdge adds a causal edge between two known spans. Zero IDs are
+// ignored, so call sites need no tracing-enabled guard.
+func (r *Recorder) FlowEdge(from, to SpanID, class string) {
+	if from == 0 || to == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.flows = append(r.flows, Flow{From: from, To: to, Class: class})
+	r.mu.Unlock()
+}
+
+// FlowOut announces the producing end of a keyed causal edge: the
+// matching FlowIn with the same key — before or after this call —
+// completes the edge. Keys must be unique per edge (e.g. source machine,
+// thread and message sequence number); matching is FIFO per key.
+func (r *Recorder) FlowOut(from SpanID, class, key string) {
+	if from == 0 {
+		return
+	}
+	r.mu.Lock()
+	if ins := r.pendingIn[key]; len(ins) > 0 {
+		r.flows = append(r.flows, Flow{From: from, To: ins[0], Class: class})
+		if len(ins) == 1 {
+			delete(r.pendingIn, key)
+		} else {
+			r.pendingIn[key] = ins[1:]
+		}
+	} else {
+		if r.pendingOut == nil {
+			r.pendingOut = make(map[string][]SpanID)
+		}
+		r.pendingOut[key] = append(r.pendingOut[key], from)
+	}
+	r.mu.Unlock()
+}
+
+// FlowIn announces the consuming end of a keyed causal edge; see FlowOut.
+func (r *Recorder) FlowIn(to SpanID, class, key string) {
+	if to == 0 {
+		return
+	}
+	r.mu.Lock()
+	if outs := r.pendingOut[key]; len(outs) > 0 {
+		r.flows = append(r.flows, Flow{From: outs[0], To: to, Class: class})
+		if len(outs) == 1 {
+			delete(r.pendingOut, key)
+		} else {
+			r.pendingOut[key] = outs[1:]
+		}
+	} else {
+		if r.pendingIn == nil {
+			r.pendingIn = make(map[string][]SpanID)
+		}
+		r.pendingIn[key] = append(r.pendingIn[key], to)
+	}
+	r.mu.Unlock()
+}
+
+// FlowOutKey is FlowOut with a caller-packed integer key: the hot-loop
+// variant for per-message edges, where formatting a string key would
+// allocate on every send. Keys live in their own namespace — a FlowOutKey
+// never matches a string-keyed FlowIn — so callers must pack a class
+// discriminator into the key (see core's msgFlowKey) exactly as string
+// keys carry a class prefix.
+func (r *Recorder) FlowOutKey(from SpanID, class string, key uint64) {
+	if from == 0 {
+		return
+	}
+	r.mu.Lock()
+	if ins := r.pendingInK[key]; len(ins) > 0 {
+		r.flows = append(r.flows, Flow{From: from, To: ins[0], Class: class})
+		if len(ins) == 1 {
+			delete(r.pendingInK, key)
+		} else {
+			r.pendingInK[key] = ins[1:]
+		}
+	} else {
+		if r.pendingOutK == nil {
+			r.pendingOutK = make(map[uint64][]SpanID)
+		}
+		r.pendingOutK[key] = append(r.pendingOutK[key], from)
+	}
+	r.mu.Unlock()
+}
+
+// FlowInKey is the consuming end of a packed-key causal edge; see
+// FlowOutKey.
+func (r *Recorder) FlowInKey(to SpanID, class string, key uint64) {
+	if to == 0 {
+		return
+	}
+	r.mu.Lock()
+	if outs := r.pendingOutK[key]; len(outs) > 0 {
+		r.flows = append(r.flows, Flow{From: outs[0], To: to, Class: class})
+		if len(outs) == 1 {
+			delete(r.pendingOutK, key)
+		} else {
+			r.pendingOutK[key] = outs[1:]
+		}
+	} else {
+		if r.pendingInK == nil {
+			r.pendingInK = make(map[uint64][]SpanID)
+		}
+		r.pendingInK[key] = append(r.pendingInK[key], to)
+	}
+	r.mu.Unlock()
+}
+
+// InstantFlowOut records a point event and announces it as the producing
+// end of a packed-key causal edge in one lock round-trip — the
+// per-message send stamp of the network pass, where two separate calls
+// would double the recorder's hot-path locking.
+func (r *Recorder) InstantFlowOut(machine int, kind, label string, parent SpanID, bytes int64, class string, key uint64) SpanID {
+	now := time.Now()
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	at := now.Sub(r.epoch)
+	r.events = append(r.events, Event{
+		ID: id, Parent: parent, Machine: machine, Kind: kind, Label: label,
+		Start: at, End: at, Bytes: bytes,
+	})
+	if ins := r.pendingInK[key]; len(ins) > 0 {
+		r.flows = append(r.flows, Flow{From: id, To: ins[0], Class: class})
+		if len(ins) == 1 {
+			delete(r.pendingInK, key)
+		} else {
+			r.pendingInK[key] = ins[1:]
+		}
+	} else {
+		if r.pendingOutK == nil {
+			r.pendingOutK = make(map[uint64][]SpanID)
+		}
+		r.pendingOutK[key] = append(r.pendingOutK[key], id)
+	}
+	r.mu.Unlock()
+	return id
+}
+
+// InstantFlowIn is the consuming-end counterpart of InstantFlowOut: the
+// per-message receive stamp.
+func (r *Recorder) InstantFlowIn(machine int, kind, label string, parent SpanID, bytes int64, class string, key uint64) SpanID {
+	now := time.Now()
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	at := now.Sub(r.epoch)
+	r.events = append(r.events, Event{
+		ID: id, Parent: parent, Machine: machine, Kind: kind, Label: label,
+		Start: at, End: at, Bytes: bytes,
+	})
+	if outs := r.pendingOutK[key]; len(outs) > 0 {
+		r.flows = append(r.flows, Flow{From: outs[0], To: id, Class: class})
+		if len(outs) == 1 {
+			delete(r.pendingOutK, key)
+		} else {
+			r.pendingOutK[key] = outs[1:]
+		}
+	} else {
+		if r.pendingInK == nil {
+			r.pendingInK = make(map[uint64][]SpanID)
+		}
+		r.pendingInK[key] = append(r.pendingInK[key], id)
+	}
+	r.mu.Unlock()
+	return id
+}
+
+// Flows returns a copy of the completed causal edges.
+func (r *Recorder) Flows() []Flow {
+	r.mu.Lock()
+	out := make([]Flow, len(r.flows))
+	copy(out, r.flows)
+	r.mu.Unlock()
+	return out
 }
 
 // OpenSpans returns the spans that have started but not yet finished,
@@ -90,6 +368,7 @@ func (r *Recorder) OpenSpans() []Event {
 	now := time.Since(r.epoch)
 	out := make([]Event, 0, len(r.open))
 	for _, e := range r.open {
+		e = r.normalizeLocked(e)
 		e.End = now
 		out = append(out, e)
 	}
@@ -98,11 +377,14 @@ func (r *Recorder) OpenSpans() []Event {
 	return out
 }
 
-// Events returns a copy of the recorded spans, ordered by start time.
+// Events returns a copy of the recorded spans, ordered by start time,
+// with per-machine clock offsets normalized out.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	for i, e := range r.events {
+		out[i] = r.normalizeLocked(e)
+	}
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out

@@ -170,6 +170,28 @@ type Tracer = trace.Recorder
 // NewTracer creates an execution tracer whose epoch is now.
 func NewTracer() *Tracer { return trace.New() }
 
+// CriticalPath is the result of walking a causal trace backward from join
+// completion: the chain of spans and message edges that bounded the run,
+// with the wall time attributed by phase, machine and link
+// (Tracer.CriticalPath computes it).
+type CriticalPath = trace.CriticalPath
+
+// FlightRecorder keeps fixed-size per-machine rings of recent low-level
+// events (verb postings, pool stalls, steals, readiness outcomes); set
+// JoinConfig.Flight. Cheap enough to leave always on; dump it after a
+// failure to see what led up to the abort.
+type FlightRecorder = obsv.FlightRecorder
+
+// NewFlightRecorder creates a flight recorder for a rack of machines
+// retaining perMachine events each (≤ 0 selects the default size).
+func NewFlightRecorder(machines, perMachine int) *FlightRecorder {
+	return obsv.NewFlightRecorder(machines, perMachine)
+}
+
+// DefaultFlightEvents is the per-machine flight-recorder ring capacity
+// used when callers do not size it explicitly.
+const DefaultFlightEvents = obsv.DefaultFlightEvents
+
 // Metrics registry (see internal/metrics). Every cluster owns a registry
 // that collects device, fabric and join telemetry; Cluster.Metrics
 // returns it, and JoinConfig.Metrics redirects the join-level series.
@@ -299,6 +321,21 @@ func Aggregate(c *Cluster, rel *DistributedRelation, cfg AggConfig) (*AggResult,
 
 // Simulate runs the calibrated paper-scale discrete-event simulation.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// BuildSimTrace converts a simulated execution into a causal trace with
+// the span vocabulary of a real run, so the Chrome export and the
+// critical-path analyzer work identically on simulated and measured
+// executions. skews gives each simulated machine a skewed local clock;
+// the recorder normalizes them back out (see Tracer.SetClockOffset).
+func BuildSimTrace(cfg SimConfig, res *SimResult, skews []time.Duration) *Tracer {
+	return sim.BuildTrace(cfg, res, skews)
+}
+
+// SimTraceSkews returns a deterministic alternating per-machine
+// clock-skew vector for demonstrating trace clock normalization.
+func SimTraceSkews(machines int, spread time.Duration) []time.Duration {
+	return sim.TraceSkews(machines, spread)
+}
 
 // NewModel builds the analytical model for a rack on a network.
 func NewModel(machines, cores int, net Network) Model {
