@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-baseline trace-overhead check
+.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-netsched bench-baseline trace-overhead check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,15 @@ bench-pipeline:
 		| $(GO) run ./cmd/benchfmt > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
 
+# Scheduled vs unscheduled network pass at 16–64 simulated machines
+# (DESIGN.md §13), formatted into BENCH_netsched.json. ns/op carries the
+# deterministic simulated network-pass time (not host time), so the
+# off→rotate/off→weighted speedup pairs compare modeled performance.
+bench-netsched:
+	$(GO) test -run '^$$' -bench 'BenchmarkNetschedSweep' -benchtime $(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchfmt > BENCH_netsched.json
+	@echo "wrote BENCH_netsched.json"
+
 # Advisory regression gate: rerun the kernel benchmarks and flag any
 # result more than 10% slower than the checked-in BENCH_kernels.json.
 # Exits non-zero on regressions; `check` runs it best-effort (benchmark
@@ -67,6 +76,8 @@ bench-baseline:
 	( $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/barrier' -benchtime $(BENCHTIME) -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkPipelineJoin/pipelined' -benchtime $(BENCHTIME) -timeout 30m . ) \
 		| $(GO) run ./cmd/benchfmt -baseline BENCH_pipeline.json > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkNetschedSweep' -benchtime $(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchfmt -baseline BENCH_netsched.json > /dev/null
 
 # Tracing-overhead smoke bench (DESIGN.md §12): the join with the causal
 # tracer + flight recorder mounted vs bare, min-of-N comparison, 2%

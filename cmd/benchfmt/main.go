@@ -35,6 +35,9 @@ type Benchmark struct {
 	MBPerS     float64 `json:"mb_per_s,omitempty"`
 	BPerOp     int64   `json:"b_per_op,omitempty"`
 	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric pairs (e.g. "sim-net-s",
+	// "maxq-ms") keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Speedup relates a kernel variant to its scalar baseline on the same
@@ -61,6 +64,15 @@ var benchLine = regexp.MustCompile(
 	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op` +
 		`(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// metricPair matches one custom b.ReportMetric column, e.g.
+// "0.974 sim-net-s" or "126.1 maxq-ms" — any unit the standard columns
+// above did not already claim.
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) ([A-Za-z][\w/+-]*)`)
+
+// standardUnits are the testing-package columns parsed into dedicated
+// fields; everything else lands in Benchmark.Metrics.
+var standardUnits = map[string]bool{"ns/op": true, "MB/s": true, "B/op": true, "allocs/op": true}
+
 // variantPairs maps a baseline name fragment to the fragments of its
 // optimised counterparts; applied as string substitutions on bench names.
 var variantPairs = [][2]string{
@@ -68,6 +80,8 @@ var variantPairs = [][2]string{
 	{"Scalar", "Batch"},      // ProbeScalar → ProbeBatch
 	{"scalar", "wc"},         // Partition/scalar/... → Partition/wc/...
 	{"barrier", "pipelined"}, // PipelineJoin/barrier → PipelineJoin/pipelined
+	{"off", "rotate"},        // NetschedSweep/.../off → .../rotate
+	{"off", "weighted"},      // NetschedSweep/.../off → .../weighted
 }
 
 func main() {
@@ -167,6 +181,19 @@ func parse(sc *bufio.Scanner) *Report {
 			}
 			if m[6] != "" {
 				b.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
+			}
+			for _, mm := range metricPair.FindAllStringSubmatch(line, -1) {
+				if standardUnits[mm[2]] {
+					continue
+				}
+				v, err := strconv.ParseFloat(mm[1], 64)
+				if err != nil {
+					continue
+				}
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[mm[2]] = v
 			}
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}

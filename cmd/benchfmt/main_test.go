@@ -129,3 +129,30 @@ func TestLoadReportRoundTrip(t *testing.T) {
 		t.Error("missing baseline should fail")
 	}
 }
+
+const netschedSample = `goos: linux
+pkg: rackjoin
+BenchmarkNetschedSweep/m16/off-8         	       2	 950000000 ns/op	         1.671 sim-net-s	        76.90 maxq-ms
+BenchmarkNetschedSweep/m16/weighted-8    	       2	 800000000 ns/op	         1.389 sim-net-s	         0.05 maxq-ms
+PASS
+`
+
+func TestParseCustomMetrics(t *testing.T) {
+	rep := parse(bufio.NewScanner(strings.NewReader(netschedSample)))
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	off := rep.Benchmarks[0]
+	if off.Metrics["sim-net-s"] != 1.671 || off.Metrics["maxq-ms"] != 76.90 {
+		t.Fatalf("custom metrics mis-parsed: %+v", off.Metrics)
+	}
+	if _, ok := off.Metrics["ns/op"]; ok {
+		t.Fatal("standard ns/op column leaked into Metrics")
+	}
+	if len(rep.Speedups) != 1 || rep.Speedups[0].Name != "NetschedSweep/m16/weighted" {
+		t.Fatalf("off→weighted pair not formed: %+v", rep.Speedups)
+	}
+	if math.Abs(rep.Speedups[0].Speedup-950000000.0/800000000.0) > 1e-9 {
+		t.Fatalf("wrong speedup: %+v", rep.Speedups[0])
+	}
+}

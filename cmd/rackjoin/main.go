@@ -48,6 +48,7 @@ func main() {
 		bufSize    = flag.Int("buffer", 16<<10, "RDMA buffer size in bytes")
 		buffers    = flag.Int("buffers-per-partition", 2, "RDMA buffers per (thread, remote partition)")
 		assignment = flag.String("assignment", "round-robin", "partition assignment: round-robin | size-sorted")
+		netsch     = flag.String("netsched", "off", "communication schedule of the network pass: off | rotate | weighted")
 		split      = flag.Float64("skew-split", 0, "split build-probe tasks above this multiple of the average (0 = off)")
 		throttle   = flag.Float64("throttle", 0, "per-host fabric bandwidth cap in MB/s (0 = unthrottled)")
 		showTrace  = flag.Bool("trace", false, "print a per-machine phase timeline")
@@ -90,6 +91,11 @@ func main() {
 		cfg.Assignment = rackjoin.SizeSorted
 	default:
 		log.Fatalf("unknown assignment %q", *assignment)
+	}
+	if pol, err := rackjoin.ParseNetSchedPolicy(*netsch); err != nil {
+		log.Fatal(err)
+	} else {
+		cfg.NetSched = pol
 	}
 
 	var (

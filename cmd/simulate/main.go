@@ -43,6 +43,8 @@ func main() {
 		bufSize    = flag.Int("buffer", 64<<10, "RDMA buffer size in bytes")
 		buffers    = flag.Int("buffers", 2, "buffers per (thread, partition)")
 		bits       = flag.Uint("bits", 10, "radix bits of the network pass")
+		netsch     = flag.String("netsched", "off", "communication schedule of the network pass: off | rotate | weighted")
+		contention = flag.Float64("contention", 0, "switch-contention factor: ingress slowdown per unit of queue depth (0 = uncongested model)")
 		sweep      = flag.String("sweep", "", "sweep machine counts, e.g. 2,10")
 		traceOut   = flag.String("trace-out", "", "write a Chrome (chrome://tracing) trace of the last simulated run to this file")
 		critPath   = flag.Bool("critpath", false, "extract and report the causal critical path of the last simulated run")
@@ -63,6 +65,10 @@ func main() {
 		net = rackjoin.IPoIB()
 	default:
 		log.Fatalf("unknown network %q", *netName)
+	}
+	policy, err := rackjoin.ParseNetSchedPolicy(*netsch)
+	if err != nil {
+		log.Fatal(err)
 	}
 	var mode rackjoin.SimMode
 	switch *modeName {
@@ -118,6 +124,7 @@ func main() {
 			NetworkBits: *bits, BufferSize: *bufSize, BuffersPerPartition: *buffers,
 			SizeSortedAssignment: *sizeSorted, SkewSplit: *skewSplit,
 			BroadcastFactor: *broadcast, Pipeline: *pipeline,
+			NetSched: policy, SwitchContention: *contention,
 		}
 		res, err := rackjoin.Simulate(cfg)
 		if err != nil {
@@ -131,7 +138,12 @@ func main() {
 				Predict(rackjoin.ModelWorkloadTuples(*innerM<<20, *outerM<<20, *width))
 			fmt.Printf("  (model %6.2f s)", pred.Total().Seconds())
 		}
-		fmt.Printf("  [%.0f MB over network, %d stalls]\n", res.RemoteMB, res.Stalls)
+		fmt.Printf("  [%.0f MB over network, %d stalls", res.RemoteMB, res.Stalls)
+		if policy != rackjoin.NetSchedOff || *contention > 0 {
+			fmt.Printf(", link queue max %.1f avg %.2f ms",
+				res.MaxLinkQueueSec*1e3, res.AvgLinkQueueSec*1e3)
+		}
+		fmt.Printf("]\n")
 
 		lastCfg, lastRes = cfg, res
 		recordPhases(reg, res)

@@ -20,6 +20,16 @@ func record(r *metrics.Registry) {
 	r.Histogram("op_latency_seconds")
 	r.Histogram("op_payload_bytes")
 	r.Histogram("op_latency") // want `histogram "op_latency" must end in a unit suffix`
+
+	// Communication-scheduler metrics (internal/core netsched wiring):
+	// round/park/override counters carry _total, the occupancy and
+	// per-destination budget gauges do not.
+	r.Counter("netsched_rounds_total")
+	r.Counter("netsched_overrides_total")
+	r.Gauge("netsched_pairing_occupancy")
+	r.Gauge("netsched_budget_buffers")
+	r.Counter("netsched_parks")     // want `counter "netsched_parks" must end in _total`
+	r.Gauge("netsched_round_total") // want `gauge "netsched_round_total" must not end in _total`
 }
 
 func labels() []metrics.Label {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rackjoin/internal/metrics"
+	"rackjoin/internal/netsched"
 	"rackjoin/internal/obsv"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/relation"
@@ -171,6 +172,21 @@ type Config struct {
 	// structure). The pull transport always uses the barrier: it cannot
 	// start before all senders staged their data.
 	Pipeline bool
+	// NetSched selects the application-level communication schedule of
+	// the network pass (netsched.Off — the default — keeps the paper's
+	// unscheduled all-to-all). netsched.Rotate rotates every sender
+	// through the targets offset by machine ID, so each round forms a
+	// near-perfect matching; netsched.Weighted builds pairing rounds
+	// from the histogram-derived demand matrix, giving hot targets more
+	// rounds. Scheduling also enables adaptive transfer sizing: per-
+	// destination in-flight budgets grown for hot targets and shrunk on
+	// pool stalls, resized at round boundaries. Ignored by the pull
+	// transport (no sender-side postings to pace) and single machines.
+	NetSched netsched.Policy
+	// NetSchedQuantum is the per-round byte budget of the schedule:
+	// after shipping this many bytes to the active pairing target a
+	// sender rotates to the next round. 0 derives 4 × BufferSize.
+	NetSchedQuantum int
 	// Assignment selects the partition→machine assignment strategy.
 	Assignment Assignment
 	// Exchange selects the histogram exchange topology (Section 4.1).
@@ -280,6 +296,12 @@ func (c *Config) validate(machines, cores, width int) error {
 	if machines > 1 && cores < 2 && c.usesNetworkThread() {
 		return fmt.Errorf("core: %s transport needs ≥ 2 cores per machine (one network thread)", c.Transport)
 	}
+	if c.NetSched < netsched.Off || c.NetSched > netsched.Weighted {
+		return fmt.Errorf("core: unknown NetSched policy %v", c.NetSched)
+	}
+	if c.NetSchedQuantum < 0 {
+		return fmt.Errorf("core: negative NetSchedQuantum")
+	}
 	if c.SkewSplitFactor < 0 {
 		return fmt.Errorf("core: negative SkewSplitFactor")
 	}
@@ -312,6 +334,13 @@ func (c *Config) usesNetworkThread() bool {
 // sender finished staging, so there is nothing to overlap with).
 func (c *Config) pipelined() bool {
 	return c.Pipeline && c.Transport != TransportOneSidedRead
+}
+
+// netScheduled reports whether the network pass consults a
+// communication schedule: the pull transport has no sender-side
+// postings to pace, and a single machine ships nothing.
+func (c *Config) netScheduled(machines int) bool {
+	return c.NetSched != netsched.Off && machines > 1 && c.Transport != TransportOneSidedRead
 }
 
 // interleaved reports the effective interleaving setting: the stream and

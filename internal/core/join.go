@@ -10,6 +10,7 @@ import (
 
 	"rackjoin/internal/cluster"
 	"rackjoin/internal/metrics"
+	"rackjoin/internal/netsched"
 	"rackjoin/internal/phase"
 	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
@@ -175,6 +176,16 @@ type machineState struct {
 	// inside the buffer-credit cycle, where added latency amplifies into
 	// sender stalls.
 	sendLabels, recvLabels, readyLabels []string
+
+	// netSched is the communication scheduler of the network pass (nil
+	// when unscheduled); netBudget holds the adaptive per-destination
+	// transfer budgets; parkCap bounds each thread's parked backlog.
+	netSched  *netsched.Scheduler
+	netBudget *netsched.AdaptiveSizer
+	parkCap   int
+	// netsched telemetry (resolved at setup, nil when unscheduled).
+	schedRounds, schedIdle, schedParks *metrics.Counter
+	schedOverrides, budgetWaits        *metrics.Counter
 
 	// met is this machine's metrics scope (label machine=<id>); shipped
 	// holds the per-partition bytes-shipped counters of the network pass,

@@ -46,8 +46,38 @@ type bufferPool struct {
 	waitHist *metrics.Histogram
 	stallCtr *metrics.Counter
 	flushes  *metrics.Counter
-	// onStall, when set, mirrors each stall into the flight recorder.
+	// onStall, when set, mirrors each stall into the flight recorder
+	// (and, when scheduled, the adaptive sizer's shrink signal).
 	onStall func()
+
+	// Per-destination in-flight accounting for the adaptive transfer
+	// budgets (netsched): destOf[i] is the destination of buffer i's
+	// outstanding transfer, inflightTo the per-destination in-flight
+	// counts. nil when unscheduled — every recycle path goes through
+	// recycle(), which keeps the counts consistent either way.
+	destOf     []int32
+	inflightTo []int
+}
+
+// recycle returns a completed transfer's buffer to the pool, releasing
+// its per-destination in-flight slot. Every completion path — reap,
+// acquire's wait loop, waitOne, waitAtomic, the pipelined drain — must
+// come through here so the budget accounting cannot leak.
+func (p *bufferPool) recycle(i int32) {
+	p.free = append(p.free, i)
+	p.outstanding--
+	if p.inflightTo != nil {
+		p.inflightTo[p.destOf[i]]--
+	}
+}
+
+// markInflight records a successful post of buffer i toward dest.
+func (p *bufferPool) markInflight(i int32, dest int) {
+	p.outstanding++
+	if p.inflightTo != nil {
+		p.destOf[i] = int32(dest)
+		p.inflightTo[dest]++
+	}
 }
 
 func newBufferPool(pd *rdma.ProtectionDomain, cq *rdma.CompletionQueue, bufSize, count int, withAtomic bool) (*bufferPool, error) {
@@ -78,8 +108,7 @@ func (p *bufferPool) waitAtomic() (uint64, error) {
 		if c.WRID == atomicWRID {
 			return binary.LittleEndian.Uint64(p.atomicMR.Bytes()), nil
 		}
-		p.free = append(p.free, int32(c.WRID))
-		p.outstanding--
+		p.recycle(int32(c.WRID))
 	}
 }
 
@@ -100,8 +129,7 @@ func (p *bufferPool) reap() error {
 			if err := c.Err(); err != nil {
 				return err
 			}
-			p.free = append(p.free, int32(c.WRID))
-			p.outstanding--
+			p.recycle(int32(c.WRID))
 		}
 	}
 }
@@ -129,8 +157,7 @@ func (p *bufferPool) acquire() (int32, error) {
 		if err := c.Err(); err != nil {
 			return 0, err
 		}
-		p.free = append(p.free, int32(c.WRID))
-		p.outstanding--
+		p.recycle(int32(c.WRID))
 	}
 	if !waitStart.IsZero() {
 		p.waitHist.ObserveSince(waitStart)
@@ -159,8 +186,7 @@ func (p *bufferPool) waitOne() error {
 	if err := c.Err(); err != nil {
 		return err
 	}
-	p.free = append(p.free, int32(c.WRID))
-	p.outstanding--
+	p.recycle(int32(c.WRID))
 	return nil
 }
 
@@ -216,6 +242,8 @@ func (st *machineState) allocPools() error {
 				metrics.L("partition", strconv.Itoa(p)))
 		}
 	}
+	// Communication schedule + adaptive budgets (netsched.Off: no-op).
+	st.initNetSched(count)
 	return nil
 }
 
@@ -306,6 +334,17 @@ type threadState struct {
 	bcastBuf  map[int][]int32
 	bcastFill map[int][]int32
 	bcastCur  map[int][]int64
+	// repBytes counts tuple bytes replicated into broadcast buffers —
+	// kernel work on top of the input scan, folded into
+	// kernel_bytes_total at end of slice.
+	repBytes uint64
+
+	// Parked buffers (netsched): FIFO of filled buffers waiting for
+	// their pairing round; parkedHead skips posted entries, parkedLive
+	// counts the ones still waiting.
+	parked     []parkedBuf
+	parkedHead int
+	parkedLive int
 }
 
 func (st *machineState) newThreadState(t int, isS bool) *threadState {
@@ -406,7 +445,7 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 		b := ts.curBuf[p]
 		if b < 0 {
 			var err error
-			if b, err = pool.acquire(); err != nil {
+			if b, err = st.acquireFor(t, ts); err != nil {
 				return err
 			}
 			ts.curBuf[p] = b
@@ -424,7 +463,10 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			}
 		}
 	}
-	st.netKernelBytes.Add(uint64(len(data)))
+	// Input bytes plus the broadcast replicas: the scatter kernels wrote
+	// both, so kernel_bytes_total must see both (replicated bytes used
+	// to bypass this accounting).
+	st.netKernelBytes.Add(uint64(len(data)) + ts.repBytes)
 	// Ship partial buffers; return untouched ones to the pool.
 	for p := 0; p < st.np; p++ {
 		if ts.curBuf[p] >= 0 {
@@ -451,7 +493,10 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			}
 		}
 	}
-	return nil
+	// Tail drain: cycle the schedule until every parked buffer posted —
+	// the pass may not end (and EOP may not fire) with buffers held
+	// back, and the thread state dies with this slice.
+	return st.drainParked(t, ts)
 }
 
 // replicate appends one inner tuple of broadcast partition p to the
@@ -466,7 +511,7 @@ func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, b
 		b := bufs[d]
 		if b < 0 {
 			var err error
-			if b, err = pool.acquire(); err != nil {
+			if b, err = st.acquireFor(t, ts); err != nil {
 				return err
 			}
 			bufs[d] = b
@@ -478,6 +523,7 @@ func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, b
 			copy(pool.buf(b)[int(fill[d])*st.width:], tuple)
 		}
 		fill[d]++
+		ts.repBytes += uint64(st.width)
 		if fill[d] == capTuples {
 			if err := st.flushBcast(t, ts, p, d); err != nil {
 				return err
@@ -487,13 +533,16 @@ func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, b
 	return nil
 }
 
-// flushBcast ships the current broadcast buffer of (partition p, dest).
+// flushBcast ships the current broadcast buffer of (partition p, dest)
+// through the same scheduled posting path as everything else, so the
+// communication schedule, the transfer budgets and the per-target
+// accounting all see the replicated traffic.
 func (st *machineState) flushBcast(t int, ts *threadState, p, dest int) error {
 	buf := ts.bcastBuf[p][dest]
 	tuples := ts.bcastFill[p][dest]
 	ts.bcastBuf[p][dest] = -1
 	ts.bcastFill[p][dest] = 0
-	return st.postBuffer(t, ts, buf, tuples, p, false, dest, &ts.bcastCur[p][dest])
+	return st.ship(t, ts, buf, tuples, p, false, dest, &ts.bcastCur[p][dest])
 }
 
 // flush posts the current buffer of partition p towards its owner and
@@ -503,7 +552,7 @@ func (st *machineState) flush(t int, ts *threadState, p int, isS bool) error {
 	tuples := ts.fill[p]
 	ts.curBuf[p] = -1
 	ts.fill[p] = 0
-	return st.postBuffer(t, ts, buf, tuples, p, isS, st.owner[p], &ts.remoteCur[p])
+	return st.ship(t, ts, buf, tuples, p, isS, st.owner[p], &ts.remoteCur[p])
 }
 
 // postBuffer ships one filled buffer of partition p to machine dest over
@@ -541,6 +590,24 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 
 	qp := st.qps[t][owner]
 
+	// Adaptive transfer budget: cap the in-flight transfers toward each
+	// destination. An exhausted budget is back-pressure, not an error —
+	// recycle any completion and re-check. in-flight ≤ outstanding, so
+	// the wait always terminates.
+	if pool.inflightTo != nil && st.netBudget != nil {
+		waited := false
+		for pool.inflightTo[dest] >= st.netBudget.Budget(dest) && pool.outstanding > 0 {
+			if !waited {
+				st.budgetWaits.Inc()
+				waited = true
+			}
+			if err := pool.waitOne(); err != nil {
+				pool.release(buf)
+				return err
+			}
+		}
+	}
+
 	if st.cfg.Transport == TransportOneSidedAtomic {
 		// Reserve the write range with a remote fetch-and-add on the
 		// owner's append cursor — one extra round-trip per buffer, the
@@ -574,7 +641,7 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 			pool.release(buf)
 			return err
 		}
-		pool.outstanding++
+		pool.markInflight(buf, dest)
 		if !st.cfg.interleaved() {
 			return pool.drain()
 		}
@@ -644,7 +711,7 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 	if !waitStart.IsZero() {
 		pool.waitHist.ObserveSince(waitStart)
 	}
-	pool.outstanding++
+	pool.markInflight(buf, dest)
 	if tr := st.cfg.Trace; tr != nil && wr.Op == rdma.OpSend {
 		// Channel semantics deliver a receive completion per message, so
 		// the receiver can rendezvous this exact buffer: emit the sender

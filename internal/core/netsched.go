@@ -1,0 +1,321 @@
+package core
+
+import (
+	"strconv"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/netsched"
+)
+
+// This file wires the netsched communication scheduler into the network
+// partitioning pass. The flow:
+//
+//	flush/flushBcast → ship → (in round)  postScheduled → postBuffer
+//	                        → (out of round) park; posted later by
+//	                          postParkedAllowed (round came up),
+//	                          postParkedFront (liveness override) or
+//	                          drainParked (end-of-slice tail)
+//
+// Parked buffers stay pool-owned (they recycle through the normal
+// completion path after posting), and every liveness hole is plugged:
+// acquireFor force-posts parked capacity when the pool runs dry with
+// nothing in flight, ship caps the parked backlog, and drainParked
+// cycles the schedule until the tail is empty — so the EOP control
+// messages still fire only after every buffer, parked or not, drained.
+
+// demandMatrix returns the bytes each machine ships to each other
+// machine during the network pass, derived from the exchanged machine
+// histograms and the partition assignment — identical on every machine,
+// so all plans agree without extra coordination. Broadcast partitions
+// replicate their inner side to every peer (the flushBcast traffic that
+// previously bypassed per-target accounting).
+func (st *machineState) demandMatrix() [][]float64 {
+	w := float64(st.width)
+	d := make([][]float64, st.nm)
+	for m := range d {
+		d[m] = make([]float64, st.nm)
+	}
+	for p := 0; p < st.np; p++ {
+		for m := 0; m < st.nm; m++ {
+			switch {
+			case st.broadcast[p]:
+				for dst := 0; dst < st.nm; dst++ {
+					if dst != m {
+						d[m][dst] += float64(st.allHistR[m][p]) * w
+					}
+				}
+			case st.owner[p] != m:
+				d[m][st.owner[p]] += float64(st.allHistR[m][p]+st.allHistS[m][p]) * w
+			}
+		}
+	}
+	return d
+}
+
+// initNetSched builds this machine's communication schedule and
+// adaptive transfer budgets after the histogram exchange (allocPools,
+// single-threaded setup). No-op when unscheduled.
+func (st *machineState) initNetSched(poolBuffers int) {
+	if !st.cfg.netScheduled(st.nm) {
+		return
+	}
+	demand := st.demandMatrix()
+	plan := netsched.BuildPlan(st.cfg.NetSched, st.nm, demand)
+	quantum := int64(st.cfg.NetSchedQuantum)
+	if quantum == 0 {
+		quantum = int64(4 * st.cfg.BufferSize)
+	}
+	sched := netsched.NewScheduler(plan, st.m.ID, quantum)
+
+	// Budgets in buffers: start at the per-partition depth, ceiling at a
+	// destination's fair share of the pool (its owned partitions times
+	// the per-partition depth) — a hot target may deepen its pipeline
+	// but never monopolise the pool.
+	start := st.cfg.BuffersPerPartition
+	maxB := st.cfg.BuffersPerPartition * ((st.np + st.nm - 1) / st.nm)
+	if maxB <= start {
+		maxB = start + 1
+	}
+	st.netBudget = netsched.NewAdaptiveSizer(demand[st.m.ID], start, 1, maxB)
+
+	st.schedRounds = st.met.Counter("netsched_rounds_total")
+	st.schedIdle = st.met.Counter("netsched_idle_rounds_total")
+	st.schedParks = st.met.Counter("netsched_parks_total")
+	st.schedOverrides = st.met.Counter("netsched_overrides_total")
+	st.budgetWaits = st.met.Counter("netsched_budget_waits_total")
+	roundGauge := st.met.Gauge("netsched_round")
+	occGauge := st.met.Gauge("netsched_pairing_occupancy")
+	budgetGauges := make([]*metrics.Gauge, st.nm)
+	for dst := 0; dst < st.nm; dst++ {
+		if dst == st.m.ID {
+			continue
+		}
+		budgetGauges[dst] = st.met.Gauge("netsched_budget_buffers",
+			metrics.L("dest", strconv.Itoa(dst)))
+		budgetGauges[dst].Set(float64(start))
+	}
+
+	// Round transitions: counters, the occupancy gauge (fraction of
+	// rounds that carried bytes), the adaptive resize step, and a
+	// flight-recorder breadcrumb so /flightrec explains the pacing.
+	// The hook runs under the scheduler lock — cheap work only.
+	var rounds, idle float64
+	sched.OnAdvance = func(round int64, target int, sent int64) {
+		st.schedRounds.Inc()
+		rounds++
+		if sent == 0 {
+			st.schedIdle.Inc()
+			idle++
+		}
+		roundGauge.Set(float64(round + 1))
+		occGauge.Set((rounds - idle) / rounds)
+		st.netBudget.Resize()
+		if st.cfg.Flight != nil {
+			st.flight("netsched",
+				"round "+strconv.FormatInt(round, 10)+" → m"+strconv.Itoa(target), 0, sent)
+		}
+	}
+	st.netBudget.OnResize = func(dest, oldB, newB int) {
+		if g := budgetGauges[dest]; g != nil {
+			g.Set(float64(newB))
+		}
+		if st.cfg.Flight != nil {
+			st.flight("resize",
+				"m"+strconv.Itoa(dest)+" budget "+strconv.Itoa(oldB)+"→"+strconv.Itoa(newB), 0, 0)
+		}
+	}
+	st.netSched = sched
+
+	// Parked backlog cap: half of each pool's spare capacity (buffers
+	// beyond one fill slot per destination stream) may sit parked; the
+	// rest stays available for in-flight transfers, so the schedule
+	// cannot starve the pipeline it is pacing.
+	remote := st.np - len(st.resident)
+	numBcast := len(st.resident) - len(st.owned)
+	streams := remote + numBcast*(st.nm-1)
+	st.parkCap = (poolBuffers - streams) / 2
+	if st.parkCap < 1 {
+		st.parkCap = 1
+	}
+
+	// Per-destination in-flight accounting on every pool, and the pool
+	// stall hooks feed the adaptive sizer (stalls shrink budgets).
+	for _, pool := range st.pools {
+		if pool == nil {
+			continue
+		}
+		pool.destOf = make([]int32, poolBuffers)
+		pool.inflightTo = make([]int, st.nm)
+		prev := pool.onStall
+		pool.onStall = func() {
+			st.netBudget.NoteStall()
+			if prev != nil {
+				prev()
+			}
+		}
+	}
+}
+
+// parkedBuf is a filled buffer held back by the communication schedule:
+// its destination is not the sender's active pairing target. remoteCur
+// is the pre-reserved exact-placement cursor (one-sided transports):
+// reserved at park time, because later fills of the same partition may
+// post before this buffer does.
+type parkedBuf struct {
+	buf       int32 // -1 once posted (tombstone)
+	tuples    int32
+	p         int
+	isS       bool
+	dest      int
+	remoteCur int64
+}
+
+// ship routes one filled buffer through the communication schedule: an
+// in-round destination posts immediately, everything else parks until
+// its pairing round comes up (or a liveness override fires). With no
+// scheduler this is exactly postBuffer.
+func (st *machineState) ship(t int, ts *threadState, buf, tuples int32, p int, isS bool, dest int, remoteCur *int64) error {
+	s := st.netSched
+	if s == nil || s.Allowed(dest) {
+		return st.postScheduled(t, ts, buf, tuples, p, isS, dest, remoteCur)
+	}
+	// Reserve the exact-placement cursor range now; the parked buffer
+	// carries its own offset and may post out of order.
+	off := *remoteCur
+	*remoteCur += int64(tuples)
+	ts.parked = append(ts.parked, parkedBuf{buf: buf, tuples: tuples, p: p, isS: isS, dest: dest, remoteCur: off})
+	ts.parkedLive++
+	s.Park(dest)
+	st.schedParks.Inc()
+	if ts.parkedLive > st.parkCap {
+		// Bounded backlog: force the oldest parked buffer onto the wire
+		// so out-of-round buffers cannot drown the pool.
+		return st.postParkedFront(t, ts)
+	}
+	// Opportunistically drain whatever the current round does allow.
+	return st.postParkedAllowed(t, ts)
+}
+
+// postScheduled posts one buffer and accounts the grant with the
+// scheduler (quantum pacing).
+func (st *machineState) postScheduled(t int, ts *threadState, buf, tuples int32, p int, isS bool, dest int, remoteCur *int64) error {
+	length := int64(tuples) * int64(st.width)
+	if err := st.postBuffer(t, ts, buf, tuples, p, isS, dest, remoteCur); err != nil {
+		return err
+	}
+	if s := st.netSched; s != nil {
+		s.Granted(dest, length)
+	}
+	return nil
+}
+
+// postParkedAllowed posts every parked buffer whose destination the
+// current round allows. Safe to call with no scheduler (no-op).
+func (st *machineState) postParkedAllowed(t int, ts *threadState) error {
+	s := st.netSched
+	if s == nil || ts.parkedLive == 0 {
+		return nil
+	}
+	for i := ts.parkedHead; i < len(ts.parked); i++ {
+		e := ts.parked[i]
+		if e.buf < 0 || !s.Allowed(e.dest) {
+			continue
+		}
+		ts.parked[i].buf = -1
+		ts.parkedLive--
+		s.Unpark(e.dest)
+		if err := st.postScheduled(t, ts, e.buf, e.tuples, e.p, e.isS, e.dest, &ts.parked[i].remoteCur); err != nil {
+			return err
+		}
+	}
+	st.compactParked(ts)
+	return nil
+}
+
+// postParkedFront force-posts the oldest parked buffer regardless of
+// its round — the liveness override of the schedule, fired under pool
+// pressure or a full parked backlog.
+func (st *machineState) postParkedFront(t int, ts *threadState) error {
+	s := st.netSched
+	for i := ts.parkedHead; i < len(ts.parked); i++ {
+		if ts.parked[i].buf < 0 {
+			continue
+		}
+		e := ts.parked[i]
+		ts.parked[i].buf = -1
+		ts.parkedLive--
+		s.Unpark(e.dest)
+		if !s.Allowed(e.dest) {
+			st.schedOverrides.Inc()
+		}
+		err := st.postScheduled(t, ts, e.buf, e.tuples, e.p, e.isS, e.dest, &ts.parked[i].remoteCur)
+		st.compactParked(ts)
+		return err
+	}
+	return nil
+}
+
+// compactParked retires leading tombstones; an empty queue resets to
+// reuse the slice capacity.
+func (st *machineState) compactParked(ts *threadState) {
+	for ts.parkedHead < len(ts.parked) && ts.parked[ts.parkedHead].buf < 0 {
+		ts.parkedHead++
+	}
+	if ts.parkedHead == len(ts.parked) {
+		ts.parked = ts.parked[:0]
+		ts.parkedHead = 0
+	}
+}
+
+// acquireFor acquires a pool buffer for thread t, first making room by
+// posting parked buffers whose round came up. The liveness override:
+// when the pool runs dry with nothing in flight while buffers sit
+// parked, the schedule itself holds the pool's capacity hostage — a
+// dud round is kicked forward and, failing that, parked buffers post
+// out of round. Without a scheduler this is exactly pool.acquire.
+func (st *machineState) acquireFor(t int, ts *threadState) (int32, error) {
+	pool := st.pools[t]
+	if st.netSched != nil && ts.parkedLive > 0 {
+		if err := st.postParkedAllowed(t, ts); err != nil {
+			return 0, err
+		}
+		if err := pool.reap(); err != nil {
+			return 0, err
+		}
+		if len(pool.free) == 0 && ts.parkedLive > 0 && st.netSched.Kick() {
+			if err := st.postParkedAllowed(t, ts); err != nil {
+				return 0, err
+			}
+		}
+		for len(pool.free) == 0 && pool.outstanding == 0 && ts.parkedLive > 0 {
+			if err := st.postParkedFront(t, ts); err != nil {
+				return 0, err
+			}
+			if err := pool.reap(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return pool.acquire()
+}
+
+// drainParked empties the thread's parked queue at the end of a scatter
+// slice: post what the current round allows, and advance the schedule
+// whenever nothing is eligible — the tail must flush everything before
+// the pool drains (and before the EOP notifications fire). Advancing in
+// plan order keeps even the tail near the pairing discipline.
+func (st *machineState) drainParked(t int, ts *threadState) error {
+	if st.netSched == nil {
+		return nil
+	}
+	for ts.parkedLive > 0 {
+		live := ts.parkedLive
+		if err := st.postParkedAllowed(t, ts); err != nil {
+			return err
+		}
+		if ts.parkedLive == live {
+			st.netSched.Advance()
+		}
+	}
+	return nil
+}

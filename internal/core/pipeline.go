@@ -350,8 +350,7 @@ func (pl *pipeline) drainInterleaved(pool *bufferPool, w *joinWorker) error {
 		if err := c.Err(); err != nil {
 			return err
 		}
-		pool.free = append(pool.free, int32(c.WRID))
-		pool.outstanding--
+		pool.recycle(int32(c.WRID))
 	}
 	return nil
 }

@@ -1,0 +1,114 @@
+package netsched
+
+import "sync/atomic"
+
+// AdaptiveSizer adjusts per-destination transfer budgets: the maximum
+// number of buffers a sender keeps in flight toward each destination.
+// Budgets grow for destinations the histogram marks hot (deeper
+// pipelines where the demand is) and shrink everywhere when the buffer
+// pool stalls (the pool is the shared resource the budgets partition),
+// resized once per scheduling round. The floor is one buffer per
+// destination — every target must stay reachable — and the ceiling
+// caps a hot destination's claim on the pool.
+//
+// Budget reads are atomic (posting threads poll them); NoteStall is
+// atomic (pool stall hooks fire from any thread); Resize must be called
+// from one goroutine at a time (the scheduler's round-transition hook,
+// which runs under the scheduler lock).
+type AdaptiveSizer struct {
+	budgets []atomic.Int32
+	hot     []bool
+	min     int32
+	max     int32
+	stalls  atomic.Uint64
+	seen    uint64 // stalls already acted on by Resize
+
+	// OnResize, when set, fires for each destination whose budget
+	// changed (from Resize's caller goroutine).
+	OnResize func(dest, oldBudget, newBudget int)
+}
+
+// NewAdaptiveSizer builds budgets for len(demand) destinations,
+// starting every destination at start within [min, max]. A destination
+// is hot when its demand exceeds the mean of the nonzero entries —
+// the histogram-driven growth signal.
+func NewAdaptiveSizer(demand []float64, start, min, max int) *AdaptiveSizer {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if start < min {
+		start = min
+	}
+	if start > max {
+		start = max
+	}
+	n := len(demand)
+	a := &AdaptiveSizer{
+		budgets: make([]atomic.Int32, n),
+		hot:     make([]bool, n),
+		min:     int32(min),
+		max:     int32(max),
+	}
+	var sum float64
+	nonzero := 0
+	for _, d := range demand {
+		if d > 0 {
+			sum += d
+			nonzero++
+		}
+	}
+	mean := 0.0
+	if nonzero > 0 {
+		mean = sum / float64(nonzero)
+	}
+	for d := range demand {
+		a.budgets[d].Store(int32(start))
+		a.hot[d] = demand[d] > 0 && demand[d] > mean
+	}
+	return a
+}
+
+// Budget returns the current in-flight budget for dest, in buffers.
+func (a *AdaptiveSizer) Budget(dest int) int {
+	return int(a.budgets[dest].Load())
+}
+
+// Hot reports whether the histogram marked dest hot.
+func (a *AdaptiveSizer) Hot(dest int) bool { return a.hot[dest] }
+
+// NoteStall records one buffer-pool stall; the next Resize shrinks.
+func (a *AdaptiveSizer) NoteStall() { a.stalls.Add(1) }
+
+// Resize applies one feedback step at a round boundary: stalls since
+// the previous step shrink every budget by one (pool pressure — floor
+// min, never below one buffer per destination); a stall-free round
+// grows hot destinations by one (ceiling max).
+func (a *AdaptiveSizer) Resize() {
+	total := a.stalls.Load()
+	stalled := total != a.seen
+	a.seen = total
+	for d := range a.budgets {
+		old := a.budgets[d].Load()
+		next := old
+		if stalled {
+			next = old - 1
+			if next < a.min {
+				next = a.min
+			}
+		} else if a.hot[d] {
+			next = old + 1
+			if next > a.max {
+				next = a.max
+			}
+		}
+		if next != old {
+			a.budgets[d].Store(next)
+			if a.OnResize != nil {
+				a.OnResize(d, int(old), int(next))
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package netsched implements application-level scheduling of the
+// all-to-all network partitioning pass.
+//
+// The paper's pass is unscheduled: every machine posts transfers to
+// every target as buffers fill. Rödiger et al. ("High-Speed Query
+// Processing over High-Speed Networks") show that traffic shape
+// collapsing under switch contention at rack scale, and fix it with an
+// application-level scheduler that assigns sender→receiver pairings in
+// rounds, so each round approximates a perfect matching and every
+// ingress link sees one dominant sender at a time.
+//
+// This package provides the two ingredients:
+//
+//   - A Plan: the cyclic round table rounds[r][sender] = target. Rotate
+//     plans pair sender m with target (m+1+r) mod nm — each round is an
+//     exact matching. Weighted plans decompose the histogram-derived
+//     demand matrix into matchings, giving hot targets proportionally
+//     more rounds (a greedy Birkhoff-style decomposition).
+//   - A per-sender runtime Scheduler that paces buffer postings through
+//     the plan (quantum bytes per round, parking accounting, liveness
+//     kicks), plus an AdaptiveSizer that grows per-target in-flight
+//     budgets for hot targets and shrinks them under pool-stall
+//     pressure.
+//
+// Plans are built from data every machine already holds after the
+// histogram exchange, so all machines derive identical plans without
+// extra coordination. Senders advance their rounds independently
+// (quantum-paced, not clock-synchronised), which keeps each round a
+// near-perfect matching rather than an exact one — the Rödiger et al.
+// low-overhead variant.
+package netsched
+
+import "fmt"
+
+// Policy selects the communication schedule of the network pass.
+type Policy int
+
+const (
+	// Off disables scheduling: the unscheduled all-to-all baseline.
+	Off Policy = iota
+	// Rotate rotates each sender through the targets deterministically,
+	// offset by machine ID, so each round forms a near-perfect matching.
+	Rotate
+	// Weighted builds pairing rounds from the histogram-derived demand
+	// matrix, giving hot targets proportionally more rounds.
+	Weighted
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Rotate:
+		return "rotate"
+	case Weighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the String form (CLI flag values).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "rotate":
+		return Rotate, nil
+	case "weighted":
+		return Weighted, nil
+	}
+	return Off, fmt.Errorf("netsched: unknown policy %q (want off, rotate or weighted)", s)
+}
+
+// Plan is a cyclic table of sender→target pairing rounds for nm
+// machines. Identical on every machine by construction.
+type Plan struct {
+	nm     int
+	rounds [][]int // rounds[r][sender] = target, -1 when the sender idles
+	// sched[sender][dest] marks edges the plan carries slots for; a
+	// destination outside the plan is never gated (defensive: traffic
+	// the demand matrix did not predict passes through unscheduled).
+	sched [][]bool
+}
+
+// BuildPlan derives the pairing rounds for the given policy. demand is
+// the full bytes-to-ship matrix demand[sender][dest] (self entries
+// ignored); Rotate plans ignore it, Weighted plans fall back to Rotate
+// when it is empty or all-zero.
+func BuildPlan(policy Policy, nm int, demand [][]float64) *Plan {
+	if policy == Weighted {
+		if p := weightedPlan(nm, demand); p != nil {
+			return p
+		}
+	}
+	return rotatePlan(nm)
+}
+
+// rotatePlan pairs sender m with target (m+1+r) mod nm in round r: nm-1
+// rounds, each an exact matching, every ordered pair covered once per
+// cycle.
+func rotatePlan(nm int) *Plan {
+	p := &Plan{nm: nm}
+	p.sched = fullSched(nm)
+	for r := 0; r < nm-1; r++ {
+		round := make([]int, nm)
+		for m := 0; m < nm; m++ {
+			round[m] = (m + 1 + r) % nm
+		}
+		p.rounds = append(p.rounds, round)
+	}
+	return p
+}
+
+func fullSched(nm int) [][]bool {
+	sched := make([][]bool, nm)
+	for m := range sched {
+		sched[m] = make([]bool, nm)
+		for d := range sched[m] {
+			sched[m][d] = d != m
+		}
+	}
+	return sched
+}
+
+// weightedPlan decomposes the demand matrix into pairing rounds: every
+// nonzero edge gets at least one round per cycle, hot edges get rounds
+// proportional to their demand (scaled so the busiest link holds about
+// 2(nm-1) slots — double the rotate granularity). Rounds are built
+// greedily, most-loaded senders first, each claiming its heaviest
+// remaining edge among the unclaimed receivers; the result is a
+// near-minimal matching decomposition. Returns nil when the demand
+// matrix is empty (caller falls back to rotate).
+func weightedPlan(nm int, demand [][]float64) *Plan {
+	if len(demand) != nm {
+		return nil
+	}
+	maxLoad := 0.0
+	for m := 0; m < nm; m++ {
+		if len(demand[m]) != nm {
+			return nil
+		}
+		var row float64
+		for d := 0; d < nm; d++ {
+			if d != m {
+				row += demand[m][d]
+			}
+		}
+		if row > maxLoad {
+			maxLoad = row
+		}
+	}
+	for d := 0; d < nm; d++ {
+		var col float64
+		for m := 0; m < nm; m++ {
+			if m != d {
+				col += demand[m][d]
+			}
+		}
+		if col > maxLoad {
+			maxLoad = col
+		}
+	}
+	if maxLoad <= 0 {
+		return nil
+	}
+
+	granularity := 2 * (nm - 1)
+	quantum := maxLoad / float64(granularity)
+	slots := make([][]int, nm)
+	sched := make([][]bool, nm)
+	remaining := make([]int, nm) // per-sender slot total
+	total := 0
+	for m := 0; m < nm; m++ {
+		slots[m] = make([]int, nm)
+		sched[m] = make([]bool, nm)
+		for d := 0; d < nm; d++ {
+			if d == m || demand[m][d] <= 0 {
+				continue
+			}
+			n := int(demand[m][d]/quantum + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			slots[m][d] = n
+			sched[m][d] = true
+			remaining[m] += n
+			total += n
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+
+	p := &Plan{nm: nm, sched: sched}
+	order := make([]int, nm)
+	for total > 0 {
+		// Most-loaded senders pick first (stable by id): the heaviest
+		// rows are the hardest to place, so they get first choice of
+		// receiver each round.
+		for m := range order {
+			order[m] = m
+		}
+		for i := 1; i < nm; i++ { // insertion sort by remaining desc
+			for j := i; j > 0 && remaining[order[j]] > remaining[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		round := make([]int, nm)
+		for m := range round {
+			round[m] = -1
+		}
+		used := make([]bool, nm)
+		progress := false
+		for _, m := range order {
+			if remaining[m] == 0 {
+				continue
+			}
+			best := -1
+			for d := 0; d < nm; d++ {
+				if slots[m][d] > 0 && !used[d] && (best < 0 || slots[m][d] > slots[m][best]) {
+					best = d
+				}
+			}
+			if best < 0 {
+				continue // all of m's receivers claimed this round
+			}
+			round[m] = best
+			used[best] = true
+			slots[m][best]--
+			remaining[m]--
+			total--
+			progress = true
+		}
+		if !progress {
+			break // defensive: cannot happen while total > 0
+		}
+		p.rounds = append(p.rounds, round)
+	}
+	return p
+}
+
+// NumMachines returns the machine count the plan was built for.
+func (p *Plan) NumMachines() int { return p.nm }
+
+// NumRounds returns the cycle length.
+func (p *Plan) NumRounds() int { return len(p.rounds) }
+
+// Target returns the sender's pairing target in the given round (taken
+// modulo the cycle length), or -1 when the sender idles that round.
+func (p *Plan) Target(sender int, round int64) int {
+	if len(p.rounds) == 0 {
+		return -1
+	}
+	return p.rounds[int(round%int64(len(p.rounds)))][sender]
+}
+
+// Scheduled reports whether the plan carries slots for sender→dest.
+// Unscheduled edges are never gated by the runtime scheduler.
+func (p *Plan) Scheduled(sender, dest int) bool {
+	if sender < 0 || sender >= p.nm || dest < 0 || dest >= p.nm {
+		return false
+	}
+	return p.sched[sender][dest]
+}

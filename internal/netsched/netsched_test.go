@@ -1,0 +1,306 @@
+package netsched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPolicyStringParse(t *testing.T) {
+	for _, p := range []Policy{Off, Rotate, Weighted} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+	if p, err := ParsePolicy(""); err != nil || p != Off {
+		t.Fatalf("empty policy: got %v, err %v", p, err)
+	}
+}
+
+// Rotate plans must be perfect matchings covering every ordered pair
+// exactly once per cycle.
+func TestRotatePlanMatching(t *testing.T) {
+	for _, nm := range []int{2, 3, 8, 16} {
+		p := BuildPlan(Rotate, nm, nil)
+		if p.NumRounds() != nm-1 {
+			t.Fatalf("nm=%d: %d rounds, want %d", nm, p.NumRounds(), nm-1)
+		}
+		covered := make(map[[2]int]int)
+		for r := 0; r < p.NumRounds(); r++ {
+			seen := make([]bool, nm)
+			for m := 0; m < nm; m++ {
+				d := p.Target(m, int64(r))
+				if d == m || d < 0 || d >= nm {
+					t.Fatalf("nm=%d round %d: sender %d targets %d", nm, r, m, d)
+				}
+				if seen[d] {
+					t.Fatalf("nm=%d round %d: target %d claimed twice", nm, r, d)
+				}
+				seen[d] = true
+				covered[[2]int{m, d}]++
+			}
+		}
+		if len(covered) != nm*(nm-1) {
+			t.Fatalf("nm=%d: %d pairs covered, want %d", nm, len(covered), nm*(nm-1))
+		}
+		// Cyclic: round nm-1 repeats round 0.
+		if p.Target(0, int64(nm-1)) != p.Target(0, 0) {
+			t.Fatal("plan not cyclic")
+		}
+	}
+}
+
+func TestWeightedPlanProportional(t *testing.T) {
+	// Machine 1 is a hot receiver: everyone ships it 4x the bytes of the
+	// other targets.
+	nm := 4
+	demand := make([][]float64, nm)
+	for m := range demand {
+		demand[m] = make([]float64, nm)
+		for d := 0; d < nm; d++ {
+			if d == m {
+				continue
+			}
+			demand[m][d] = 100
+			if d == 1 {
+				demand[m][d] = 400
+			}
+		}
+	}
+	p := BuildPlan(Weighted, nm, demand)
+	if p.NumRounds() == 0 {
+		t.Fatal("empty weighted plan")
+	}
+	slots := make([][]int, nm)
+	for m := range slots {
+		slots[m] = make([]int, nm)
+	}
+	for r := 0; r < p.NumRounds(); r++ {
+		seen := make([]bool, nm)
+		for m := 0; m < nm; m++ {
+			d := p.Target(m, int64(r))
+			if d < 0 {
+				continue
+			}
+			if d == m {
+				t.Fatalf("round %d: sender %d targets itself", r, m)
+			}
+			if seen[d] {
+				t.Fatalf("round %d: target %d claimed twice", r, d)
+			}
+			seen[d] = true
+			slots[m][d]++
+		}
+	}
+	for m := 0; m < nm; m++ {
+		for d := 0; d < nm; d++ {
+			if d == m {
+				continue
+			}
+			if slots[m][d] == 0 {
+				t.Fatalf("edge %d→%d got no rounds", m, d)
+			}
+			if !p.Scheduled(m, d) {
+				t.Fatalf("edge %d→%d not marked scheduled", m, d)
+			}
+		}
+		if m == 1 {
+			continue // the hot receiver does not ship to itself
+		}
+		for d := 0; d < nm; d++ {
+			if d == m || d == 1 {
+				continue
+			}
+			if slots[m][1] <= slots[m][d] {
+				t.Fatalf("hot target 1 got %d slots from %d, cold target %d got %d", slots[m][1], m, d, slots[m][d])
+			}
+		}
+	}
+}
+
+func TestWeightedPlanSparseDemand(t *testing.T) {
+	// Only 0→1 ships anything; the other senders must never be gated.
+	nm := 3
+	demand := [][]float64{{0, 10, 0}, {0, 0, 0}, {0, 0, 0}}
+	p := BuildPlan(Weighted, nm, demand)
+	if !p.Scheduled(0, 1) {
+		t.Fatal("demand edge not scheduled")
+	}
+	if p.Scheduled(0, 2) || p.Scheduled(1, 0) || p.Scheduled(2, 1) {
+		t.Fatal("zero-demand edge gated")
+	}
+	found := false
+	for r := 0; r < p.NumRounds(); r++ {
+		if p.Target(0, int64(r)) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("0→1 never paired")
+	}
+}
+
+// Empty or degenerate demand falls back to the rotate plan.
+func TestWeightedPlanFallback(t *testing.T) {
+	for _, demand := range [][][]float64{nil, {{0, 0}, {0, 0}}} {
+		p := BuildPlan(Weighted, 2, demand)
+		if p.NumRounds() != 1 || p.Target(0, 0) != 1 || p.Target(1, 0) != 0 {
+			t.Fatalf("fallback plan wrong: %d rounds", p.NumRounds())
+		}
+	}
+}
+
+func TestSchedulerQuantumAdvance(t *testing.T) {
+	p := BuildPlan(Rotate, 4, nil)
+	s := NewScheduler(p, 0, 100)
+	var transitions []int
+	s.OnAdvance = func(round int64, target int, sent int64) {
+		transitions = append(transitions, target)
+	}
+	first := s.Active()
+	if first != 1 {
+		t.Fatalf("machine 0 round 0 target %d, want 1", first)
+	}
+	if !s.Allowed(1) || s.Allowed(2) {
+		t.Fatal("gating wrong in round 0")
+	}
+	s.Granted(2, 1000) // out-of-round grant must not advance
+	if s.Round() != 0 {
+		t.Fatal("out-of-round grant advanced the schedule")
+	}
+	s.Granted(1, 60)
+	if s.Round() != 0 {
+		t.Fatal("advanced before quantum")
+	}
+	s.Granted(1, 60)
+	if s.Round() != 1 || s.Active() != 2 {
+		t.Fatalf("round %d active %d after quantum, want 1/2", s.Round(), s.Active())
+	}
+	if len(transitions) != 1 || transitions[0] != 1 {
+		t.Fatalf("transitions %v", transitions)
+	}
+}
+
+func TestSchedulerKick(t *testing.T) {
+	p := BuildPlan(Rotate, 4, nil)
+	s := NewScheduler(p, 0, 100)
+	if s.Kick() {
+		t.Fatal("kick with nothing parked")
+	}
+	s.Park(2) // active is 1: the round is a dud
+	if !s.Kick() {
+		t.Fatal("dud round not kicked")
+	}
+	if s.Active() != 2 {
+		t.Fatalf("active %d after kick, want 2", s.Active())
+	}
+	// Now the active target has parked work: no kick.
+	if s.Kick() {
+		t.Fatal("kicked past a round with parked work")
+	}
+	s.Unpark(2)
+	s.Park(3)
+	s.Granted(2, 10)
+	if s.Kick() {
+		t.Fatal("kicked a round that already granted bytes")
+	}
+}
+
+// Round rotation under concurrent flush traffic: the -race half of the
+// satellite torture coverage at the package level.
+func TestSchedulerConcurrency(t *testing.T) {
+	p := BuildPlan(Rotate, 8, nil)
+	s := NewScheduler(p, 3, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				dest := (w + i) % 8
+				if dest == 3 {
+					continue
+				}
+				if s.Allowed(dest) {
+					s.Granted(dest, 32)
+				} else {
+					s.Park(dest)
+					s.Kick()
+					s.Unpark(dest)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Round() < 0 {
+		t.Fatal("round went backwards")
+	}
+}
+
+// The adaptive feedback loop: hot-target histograms grow budgets to the
+// ceiling; sustained pool stalls shrink every budget to the floor and
+// never below one buffer per destination.
+func TestAdaptiveConvergence(t *testing.T) {
+	demand := []float64{0, 400, 100, 100} // dest 1 hot, dest 0 is self
+	a := NewAdaptiveSizer(demand, 2, 1, 6)
+	var resizes int
+	a.OnResize = func(dest, oldB, newB int) { resizes++ }
+	for i := 0; i < 20; i++ {
+		a.Resize() // stall-free rounds
+	}
+	if got := a.Budget(1); got != 6 {
+		t.Fatalf("hot budget %d after stall-free rounds, want ceiling 6", got)
+	}
+	if a.Budget(2) != 2 || a.Budget(3) != 2 {
+		t.Fatalf("cold budgets moved: %d/%d", a.Budget(2), a.Budget(3))
+	}
+	if resizes != 4 {
+		t.Fatalf("%d resize events, want 4 (hot growth 2→6)", resizes)
+	}
+	// Sustained stalls: everything converges to the floor.
+	for i := 0; i < 20; i++ {
+		a.NoteStall()
+		a.Resize()
+	}
+	for d := 1; d < 4; d++ {
+		if got := a.Budget(d); got != 1 {
+			t.Fatalf("budget[%d] = %d under sustained stalls, want floor 1", d, got)
+		}
+	}
+	// One more stalled round: still never below one buffer per target.
+	a.NoteStall()
+	a.Resize()
+	for d := 1; d < 4; d++ {
+		if a.Budget(d) < 1 {
+			t.Fatalf("budget[%d] dropped below one buffer", d)
+		}
+	}
+	// Recovery: stall-free rounds grow the hot target again.
+	a.Resize()
+	if a.Budget(1) != 2 {
+		t.Fatalf("hot budget %d after recovery round, want 2", a.Budget(1))
+	}
+}
+
+func TestAdaptiveConcurrentStalls(t *testing.T) {
+	a := NewAdaptiveSizer([]float64{0, 10, 20}, 2, 1, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.NoteStall()
+				a.Budget(1)
+			}
+		}()
+	}
+	wg.Wait()
+	a.Resize()
+	if a.Budget(2) != 1 {
+		t.Fatalf("budget %d after stalls, want 1", a.Budget(2))
+	}
+}

@@ -1,0 +1,149 @@
+package netsched
+
+import "sync"
+
+// Scheduler paces one machine's buffer postings through the plan's
+// pairing rounds. All partitioning threads of the machine share one
+// Scheduler; the lock is taken per buffer flush (never per tuple), so
+// contention is bounded by the flush rate.
+//
+// A sender advances its round when quantum bytes have been granted to
+// the active target, when a Kick finds the active pairing idle (nothing
+// parked for it, nothing granted yet — the target simply has no data
+// this cycle), or when the tail drain Advances explicitly. Rounds are
+// therefore quantum-paced rather than clock-synchronised: each round is
+// a near-perfect matching across the rack, not an exact one.
+type Scheduler struct {
+	plan    *Plan
+	me      int
+	quantum int64
+
+	// OnAdvance, when set, fires at each round transition with the
+	// finished round's index, its target and the bytes it carried.
+	// Called with the scheduler lock held; keep it cheap and do not call
+	// back into the Scheduler.
+	OnAdvance func(round int64, target int, sent int64)
+
+	mu          sync.Mutex
+	round       int64
+	sent        int64 // bytes granted to the active target this round
+	parked      []int // parked buffers per destination (all threads)
+	parkedTotal int
+}
+
+// NewScheduler builds the runtime scheduler for machine me. quantum is
+// the per-round byte budget before rotating to the next pairing.
+func NewScheduler(plan *Plan, me int, quantum int64) *Scheduler {
+	if quantum <= 0 {
+		quantum = 1
+	}
+	s := &Scheduler{plan: plan, me: me, quantum: quantum, parked: make([]int, plan.nm)}
+	s.mu.Lock()
+	s.skipIdleLocked()
+	s.mu.Unlock()
+	return s
+}
+
+func (s *Scheduler) activeLocked() int { return s.plan.Target(s.me, s.round) }
+
+// Active returns the current round's pairing target (-1 when idle).
+func (s *Scheduler) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeLocked()
+}
+
+// Round returns the current round index.
+func (s *Scheduler) Round() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Allowed reports whether a transfer to dest may post now: dest is the
+// active pairing target, or the plan never gates it (no slots — traffic
+// the demand matrix did not predict passes through unscheduled).
+func (s *Scheduler) Allowed(dest int) bool {
+	if !s.plan.Scheduled(s.me, dest) {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeLocked() == dest
+}
+
+// Granted accounts bytes posted to dest; reaching the quantum rotates
+// the schedule to the next round. Grants to out-of-round destinations
+// (liveness overrides, ungated edges) do not advance the round.
+func (s *Scheduler) Granted(dest int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeLocked() != dest {
+		return
+	}
+	s.sent += bytes
+	if s.sent >= s.quantum {
+		s.advanceLocked()
+	}
+}
+
+// Park records a buffer held back for dest; Unpark releases it (the
+// buffer is about to post, in or out of round).
+func (s *Scheduler) Park(dest int) {
+	s.mu.Lock()
+	s.parked[dest]++
+	s.parkedTotal++
+	s.mu.Unlock()
+}
+
+// Unpark releases a parked buffer for dest.
+func (s *Scheduler) Unpark(dest int) {
+	s.mu.Lock()
+	s.parked[dest]--
+	s.parkedTotal--
+	s.mu.Unlock()
+}
+
+// Kick advances the round if the active pairing is a dud — buffers are
+// parked for other targets while the active one has nothing parked and
+// nothing granted yet. Called under pool pressure; reports whether the
+// round moved.
+func (s *Scheduler) Kick() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.parkedTotal == 0 {
+		return false
+	}
+	active := s.activeLocked()
+	if active >= 0 && (s.parked[active] > 0 || s.sent > 0) {
+		return false
+	}
+	s.advanceLocked()
+	return true
+}
+
+// Advance rotates to the next round unconditionally: the tail drain
+// uses it to cycle parked buffers out in pairing order.
+func (s *Scheduler) Advance() {
+	s.mu.Lock()
+	s.advanceLocked()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) advanceLocked() {
+	if s.OnAdvance != nil {
+		s.OnAdvance(s.round, s.activeLocked(), s.sent)
+	}
+	s.round++
+	s.sent = 0
+	s.skipIdleLocked()
+}
+
+// skipIdleLocked steps past rounds where this sender idles (weighted
+// plans may leave gaps): an unsynchronised sender gains nothing by
+// going dark while other machines pair up.
+func (s *Scheduler) skipIdleLocked() {
+	for i := 0; i < s.plan.NumRounds() && s.activeLocked() < 0; i++ {
+		s.round++
+	}
+}

@@ -19,7 +19,9 @@ type FlightEvent struct {
 	At      time.Duration `json:"at"`
 	Machine int           `json:"machine"`
 	// Kind is the event class: "verb", "pool_stall", "steal", "inject",
-	// "spill", "ready", "eop", "backoff", "abort".
+	// "spill", "ready", "eop", "backoff", "abort", "netsched" (a
+	// communication-schedule round transition), "resize" (an adaptive
+	// transfer-budget change).
 	Kind   string `json:"kind"`
 	Detail string `json:"detail,omitempty"`
 	P      int    `json:"p,omitempty"`

@@ -2,12 +2,24 @@ package sim
 
 import (
 	"container/heap"
+
+	"rackjoin/internal/netsched"
 )
 
+// netPassStats aggregates the scalar outputs of the network-pass event
+// simulation.
+type netPassStats struct {
+	stalls       uint64
+	remoteMB     float64
+	maxQueueSec  float64
+	sumQueueSec  float64
+	numTransfers uint64
+}
+
 // simulateNetworkPass event-simulates the network partitioning pass and
-// returns the per-machine phase duration in seconds, the number of sender
-// stalls (blocked buffer reuses) and the total MB shipped between
-// machines.
+// returns the per-machine phase duration in seconds, the per-machine
+// CPU-busy time, and the pass statistics (stalls, shipped MB, ingress
+// queueing delays).
 //
 // Model: each partitioning thread consumes its input slice at the
 // calibrated rate (remote-destined bytes at RemoteCPUFactor × psPart). A
@@ -26,7 +38,18 @@ import (
 // capacity a pipelined run cannot reclaim, since those cycles are spoken
 // for — netSec[m] − busySec[m] is the idle window partition-ready
 // execution can fill with local-join work.
-func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec []float64, stalls uint64, remoteMB float64, busySec []float64) {
+//
+// With cfg.NetSched enabled the pass follows the communication schedule's
+// pairing discipline: a sender enters the wire for a destination only
+// when that destination's ingress backlog fits inside one pairing round
+// (4 buffer-transfer times, core's default quantum) — senders never
+// converge on a receiver, which is exactly what the round-based pairing
+// achieves in core without a global clock (parked buffers keep the links
+// busy in the meantime, so egress stays work-conserving). With
+// cfg.SwitchContention > 0 the ingress service time of a transfer that
+// found the link busy inflates with the queue depth — the receiver-side
+// congestion collapse that scheduling avoids.
+func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec, busySec []float64, stats netPassStats) {
 	nm := cfg.Machines
 	netSec = make([]float64, nm)
 	busySec = make([]float64, nm)
@@ -38,7 +61,7 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		}
 		netSec[0] = total / (float64(cfg.Cores) * cfg.Cal.PsPart)
 		busySec[0] = netSec[0]
-		return netSec, 0, 0, busySec
+		return netSec, busySec, stats
 	}
 
 	partThreads := cfg.Cores - 1
@@ -54,7 +77,7 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		totalMB += partMBR[p] + partMBS[p]
 	}
 	if totalMB == 0 {
-		return netSec, 0, 0, busySec
+		return netSec, busySec, stats
 	}
 
 	s := &netSim{
@@ -63,10 +86,40 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		ingress:      make([]float64, nm),
 		linkSecPerMB: secPerMB,
 	}
+	if cfg.NetSched != netsched.Off {
+		// Demand matrix in MB: every machine holds 1/nm of each partition;
+		// non-resident partitions ship to their owner, broadcast partitions
+		// replicate the inner side to every peer.
+		demand := make([][]float64, nm)
+		for m := range demand {
+			demand[m] = make([]float64, nm)
+		}
+		for p := 0; p < np; p++ {
+			if broadcast[p] {
+				rMB := partMBR[p] / float64(nm)
+				for m := 0; m < nm; m++ {
+					for d := 0; d < nm; d++ {
+						if d != m {
+							demand[m][d] += rMB
+						}
+					}
+				}
+				continue
+			}
+			for m := 0; m < nm; m++ {
+				if owner[p] != m {
+					demand[m][owner[p]] += (partMBR[p] + partMBS[p]) / float64(nm)
+				}
+			}
+		}
+		s.plan = netsched.BuildPlan(cfg.NetSched, nm, demand)
+		s.roundSec = 4 * bufMB * secPerMB // core's default quantum, in time
+	}
 
 	// Build the threads. Every machine holds 1/nm of the input; each of
 	// its partitioning threads holds an equal slice with the global
 	// partition mix.
+	remoteMB := 0.0
 	inputPerThread := totalMB / float64(nm*partThreads)
 	for m := 0; m < nm; m++ {
 		for t := 0; t < partThreads; t++ {
@@ -145,7 +198,9 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 			netSec[m] = s.ingress[m]
 		}
 	}
-	return netSec, s.stalls, remoteMB, busySec
+	stats = s.stats
+	stats.remoteMB = remoteMB
+	return netSec, busySec, stats
 }
 
 // flowState tracks one (thread, remote partition) stream.
@@ -224,7 +279,26 @@ type netSim struct {
 	egress       []float64 // per-machine link busy-until
 	ingress      []float64
 	linkSecPerMB float64
-	stalls       uint64
+	plan         *netsched.Plan // nil when unscheduled
+	roundSec     float64        // pairing-window length
+	stats        netPassStats
+}
+
+// paceStart returns the earliest time ≥ t at which the pairing
+// discipline lets a transfer from m reach dest's ingress port: the
+// destination's backlog must fit inside one pairing round. The wait is
+// spent parked at the sender — core's parking keeps the egress link busy
+// with in-round traffic in the meantime, so the sender's link stays
+// work-conserving. Unscheduled runs — and demand edges the plan does not
+// gate — pass through unchanged.
+func (s *netSim) paceStart(m, dest int, t float64) float64 {
+	if s.plan == nil || !s.plan.Scheduled(m, dest) {
+		return t
+	}
+	if gate := s.ingress[dest] - s.roundSec; gate > t {
+		return gate
+	}
+	return t
 }
 
 // scheduleNext plans the thread's next action from time now: the next
@@ -270,7 +344,7 @@ func (s *netSim) stepFill(i int, th *simThread, now float64) {
 		// this flow completes.
 		ct := f.inflight.front()
 		if ct > now {
-			s.stalls++
+			s.stats.stalls++
 			heap.Push(&th.fills, fe) // re-examine the same fill
 			th.pendingFlow = fe.flow
 			heap.Push(&s.events, event{time: ct, thread: i})
@@ -311,7 +385,7 @@ func (s *netSim) stepTail(i int, th *simThread, now float64) {
 		if f.credits == 0 {
 			ct := f.inflight.front()
 			if ct > now {
-				s.stalls++
+				s.stats.stalls++
 				heap.Push(&s.events, event{time: ct, thread: i})
 				return
 			}
@@ -364,12 +438,36 @@ func (s *netSim) post(th *simThread, f *flowState, size, now float64) (wait floa
 	egDone := eg + size*s.linkSecPerMB + s.cfg.Net.MsgOverhead
 	s.egress[th.machine] = egDone
 
+	// Communication schedule: pairing keeps senders from converging on a
+	// receiver — a transfer to a backlogged destination waits parked at
+	// the sender until the destination can absorb it.
+	entry := s.paceStart(th.machine, f.dest, egDone)
 	in := s.ingress[f.dest]
-	if egDone > in {
-		in = egDone
+	queued := 0.0
+	if in > entry {
+		queued = in - entry
+	} else {
+		in = entry
 	}
-	inDone := in + size*s.linkSecPerMB
+	service := size * s.linkSecPerMB
+	if c := s.cfg.SwitchContention; c > 0 && queued > 0 {
+		// Receiver-side congestion: concurrent senders converging on one
+		// ingress port degrade its effective rate (the paper's switch
+		// contention measurements). Depth is the queueing delay in units
+		// of this transfer's service time, capped at a fan-in of 16.
+		depth := queued / service
+		if depth > 16 {
+			depth = 16
+		}
+		service *= 1 + c*depth
+	}
+	inDone := in + service
 	s.ingress[f.dest] = inDone
+	if queued > s.stats.maxQueueSec {
+		s.stats.maxQueueSec = queued
+	}
+	s.stats.sumQueueSec += queued
+	s.stats.numTransfers++
 
 	f.flushedMB += size
 

@@ -20,6 +20,7 @@ import (
 
 	"rackjoin/internal/datagen"
 	"rackjoin/internal/model"
+	"rackjoin/internal/netsched"
 	"rackjoin/internal/phase"
 )
 
@@ -94,6 +95,19 @@ type Config struct {
 	// tuples local and replicate the inner side instead. 0 disables.
 	BroadcastFactor float64
 
+	// NetSched selects the application-level communication schedule of
+	// the network pass (core.Config.NetSched): senders confine each
+	// transfer's wire entry to the pairing windows of the plan, so a
+	// receiver sees (near) one sender at a time. Off disables.
+	NetSched netsched.Policy
+	// SwitchContention models receiver-side congestion: the ingress
+	// service time of a transfer inflates by
+	// 1 + SwitchContention × min(queue/service, 16) when the transfer
+	// found the ingress link busy. The paper's switch-contention
+	// measurements (Section 3) motivate the term; 0 (the default)
+	// disables it and preserves the calibrated uncongested model.
+	SwitchContention float64
+
 	// RemoteCPUFactor scales the partitioning speed applied to
 	// remote-destined bytes (buffer management, flush bookkeeping; fitted
 	// to the measured FDR network pass — see DESIGN.md §7). 1.0 disables.
@@ -146,6 +160,12 @@ func (c Config) validate() error {
 	if c.RTuples < 0 || c.STuples < 0 {
 		return fmt.Errorf("sim: negative tuple counts")
 	}
+	if c.NetSched < netsched.Off || c.NetSched > netsched.Weighted {
+		return fmt.Errorf("sim: unknown NetSched policy %v", c.NetSched)
+	}
+	if c.SwitchContention < 0 {
+		return fmt.Errorf("sim: negative SwitchContention")
+	}
 	return nil
 }
 
@@ -161,6 +181,13 @@ type Result struct {
 	RemoteMB float64
 	// Stalls counts sender blocks on buffer reuse.
 	Stalls uint64
+	// MaxLinkQueueSec is the largest time any transfer spent queued
+	// behind other traffic on a receiver's ingress link — the per-link
+	// queueing delay communication scheduling is designed to cap.
+	MaxLinkQueueSec float64
+	// AvgLinkQueueSec is the mean ingress queueing delay over all
+	// transfers.
+	AvgLinkQueueSec float64
 	// PartitionsPerMachine is the assignment cardinality.
 	PartitionsPerMachine []int
 }
@@ -214,7 +241,7 @@ func Run(cfg Config) (*Result, error) {
 	histSec := localMB / (cores * cfg.Cal.PsHist)
 
 	// Phase 2: network partitioning pass (event simulation).
-	netSec, stalls, remoteMB, busySec := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
+	netSec, busySec, nps := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
 
 	// Phases 3+4 are machine-local; per machine m the received partition
 	// set determines the work.
@@ -285,8 +312,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.PerMachine[m] = phase.FromSeconds(histSec, netSec[m], l, b)
 	}
-	res.Stalls = stalls
-	res.RemoteMB = remoteMB
+	res.Stalls = nps.stalls
+	res.RemoteMB = nps.remoteMB
+	res.MaxLinkQueueSec = nps.maxQueueSec
+	if nps.numTransfers > 0 {
+		res.AvgLinkQueueSec = nps.sumQueueSec / float64(nps.numTransfers)
+	}
 
 	for _, pm := range res.PerMachine {
 		if pm.Histogram > res.Phases.Histogram {

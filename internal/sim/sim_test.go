@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"rackjoin/internal/model"
+	"rackjoin/internal/netsched"
 )
 
 // paperQDR builds the standard 2048M ⋈ 2048M QDR configuration.
@@ -419,5 +420,61 @@ func TestWorkSharingFixesSkew(t *testing.T) {
 	a, b := mustRun(t, uni), mustRun(t, uniShared)
 	if a.Phases.Total() != b.Phases.Total() {
 		t.Fatalf("uniform workload must not change: %v vs %v", a.Phases.Total(), b.Phases.Total())
+	}
+}
+
+// TestNetSchedSim validates the communication-scheduling model at rack
+// scale (16–64 machines, FDR): scheduled runs bound the per-link ingress
+// queueing delay at one pairing round, cost nothing without receiver-side
+// congestion, and win once switch contention is modeled — the effect
+// Section 3's cross-traffic measurements motivate.
+func TestNetSchedSim(t *testing.T) {
+	base := Config{
+		Machines: 16, Cores: 8, Net: model.FDR(),
+		RTuples: 2048 << 20, STuples: 2048 << 20,
+		Skew: 1.05, SizeSortedAssignment: true, SkewSplit: true,
+		SwitchContention: 0.03,
+	}
+	for _, nm := range []int{16, 32, 64} {
+		cfg := base
+		cfg.Machines = nm
+		off := mustRun(t, cfg)
+		cfg.NetSched = netsched.Weighted
+		wgt := mustRun(t, cfg)
+		cfg.NetSched = netsched.Rotate
+		rot := mustRun(t, cfg)
+
+		offNet := off.Phases.NetworkPartition.Seconds()
+		wgtNet := wgt.Phases.NetworkPartition.Seconds()
+		if wgtNet > offNet {
+			t.Errorf("@%d machines: weighted network pass %.3fs slower than unscheduled %.3fs", nm, wgtNet, offNet)
+		}
+		if rotNet := rot.Phases.NetworkPartition.Seconds(); rotNet > offNet {
+			t.Errorf("@%d machines: rotate network pass %.3fs slower than unscheduled %.3fs", nm, rotNet, offNet)
+		}
+		if wgt.MaxLinkQueueSec >= off.MaxLinkQueueSec {
+			t.Errorf("@%d machines: weighted max queue %.4fs not below unscheduled %.4fs",
+				nm, wgt.MaxLinkQueueSec, off.MaxLinkQueueSec)
+		}
+		if wgt.RemoteMB != off.RemoteMB {
+			t.Errorf("@%d machines: scheduling changed shipped volume: %.1f vs %.1f MB", nm, wgt.RemoteMB, off.RemoteMB)
+		}
+	}
+
+	// Without modeled contention, the pairing discipline must cost
+	// (essentially) nothing: parking keeps every link work-conserving.
+	cfg := base
+	cfg.SwitchContention = 0
+	off := mustRun(t, cfg)
+	cfg.NetSched = netsched.Weighted
+	wgt := mustRun(t, cfg)
+	offNet := off.Phases.NetworkPartition.Seconds()
+	wgtNet := wgt.Phases.NetworkPartition.Seconds()
+	if wgtNet > 1.01*offNet {
+		t.Errorf("uncongested: weighted network pass %.3fs, unscheduled %.3fs — scheduling must be free", wgtNet, offNet)
+	}
+	if wgt.MaxLinkQueueSec >= off.MaxLinkQueueSec {
+		t.Errorf("uncongested: weighted max queue %.4fs not below unscheduled %.4fs",
+			wgt.MaxLinkQueueSec, off.MaxLinkQueueSec)
 	}
 }

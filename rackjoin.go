@@ -45,6 +45,7 @@ import (
 	"rackjoin/internal/mcjoin"
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/model"
+	"rackjoin/internal/netsched"
 	"rackjoin/internal/obsv"
 	"rackjoin/internal/phase"
 	"rackjoin/internal/radix"
@@ -72,6 +73,9 @@ type (
 	Transport = core.Transport
 	// Assignment selects the partition→machine assignment strategy.
 	Assignment = core.Assignment
+	// NetSchedPolicy selects the application-level communication schedule
+	// of the all-to-all network pass (JoinConfig.NetSched, SimConfig.NetSched).
+	NetSchedPolicy = netsched.Policy
 	// PhaseTimes is the per-phase breakdown used across all engines.
 	PhaseTimes = phase.Times
 )
@@ -103,6 +107,20 @@ const (
 	RoundRobin   = core.AssignRoundRobin
 	SizeSorted   = core.AssignSizeSorted
 )
+
+// Communication-schedule policies for the network pass.
+const (
+	// NetSchedOff posts buffers as they fill (no schedule).
+	NetSchedOff = netsched.Off
+	// NetSchedRotate pairs senders and receivers round-robin.
+	NetSchedRotate = netsched.Rotate
+	// NetSchedWeighted sizes pairing rounds from the histogram demand.
+	NetSchedWeighted = netsched.Weighted
+)
+
+// ParseNetSchedPolicy parses a communication-schedule policy name:
+// "off", "rotate" or "weighted".
+func ParseNetSchedPolicy(s string) (NetSchedPolicy, error) { return netsched.ParsePolicy(s) }
 
 // Relation storage and workloads.
 type (
