@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-netsched bench-baseline trace-overhead check
+.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-netsched bench-baseline trace-overhead faultcheck check
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,14 @@ bench-baseline:
 trace-overhead:
 	RACKJOIN_TRACE_OVERHEAD=1 $(GO) test -run TestTraceOverheadBudget -v -count=1 .
 
-check: build vet rackvet test race
+# Fault-injected validation of the health plane (DESIGN.md §14): every
+# injected fault at 8–64 machines must produce the matching detector
+# naming the injected culprit, and clean runs across all transport
+# modes must stay diagnosis-free. Blocking: a miss or a false positive
+# fails check and CI.
+faultcheck:
+	$(GO) test -run 'TestFaultInjectionSweep|TestCleanRunsQuiet' -count=1 -v ./internal/health
+
+check: build vet rackvet test race faultcheck
 	-$(MAKE) bench-baseline BENCHTIME=1x
 	-$(MAKE) trace-overhead

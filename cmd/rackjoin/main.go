@@ -26,7 +26,11 @@ import (
 	"time"
 
 	"rackjoin"
+	"rackjoin/internal/fabric"
 )
+
+// fabricNode converts a machine index to its fabric node id.
+func fabricNode(m int) fabric.NodeID { return fabric.NodeID(m) }
 
 func main() {
 	log.SetFlags(0)
@@ -61,6 +65,10 @@ func main() {
 		samplesOut = flag.String("samples-out", "", "append sampler records as JSONL to this file")
 		modelNet   = flag.String("model-net", "qdr", "network to score the run against: qdr | fdr | ipoib")
 		obsvLinger = flag.Duration("obsv-linger", 0, "keep the observability server up this long after the run")
+		diagnose   = flag.Bool("diagnose", false, "run the online health engine (serves /health with -obsv-addr) and print its verdicts after the run")
+		faultLink  = flag.String("fault-degrade-link", "", "degrade one directed fabric link: src:dst:factor (e.g. 1:3:0.25); needs -throttle")
+		faultSlow  = flag.String("fault-slow-machine", "", "slow one machine's HCA: machine:factor (e.g. 2:0.3); needs -throttle")
+		faultDrop  = flag.Float64("fault-drop", 0, "fabric drop rate: this fraction of transfers is charged for the wire twice (retransmission)")
 	)
 	flag.Parse()
 
@@ -111,6 +119,35 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
+
+	if *faultLink != "" {
+		var src, dst int
+		var factor float64
+		if _, err := fmt.Sscanf(*faultLink, "%d:%d:%f", &src, &dst, &factor); err != nil {
+			log.Fatalf("bad -fault-degrade-link %q (want src:dst:factor): %v", *faultLink, err)
+		}
+		if err := c.Fabric().DegradeLink(fabricNode(src), fabricNode(dst), factor); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault: link m%d→m%d degraded to %.0f%%\n", src, dst, factor*100)
+	}
+	if *faultSlow != "" {
+		var m int
+		var factor float64
+		if _, err := fmt.Sscanf(*faultSlow, "%d:%f", &m, &factor); err != nil {
+			log.Fatalf("bad -fault-slow-machine %q (want machine:factor): %v", *faultSlow, err)
+		}
+		if err := c.Fabric().SlowMachine(fabricNode(m), factor); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault: machine %d slowed to %.0f%%\n", m, factor*100)
+	}
+	if *faultDrop > 0 {
+		if err := c.Fabric().DropBuffers(*faultDrop); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault: dropping %.1f%% of transfers (delay-based retransmission)\n", *faultDrop*100)
+	}
 
 	wcfg := rackjoin.WorkloadConfig{
 		InnerTuples: *innerN, OuterTuples: *outerN,
@@ -165,11 +202,28 @@ func main() {
 		sampler.Start()
 		defer sampler.Stop()
 	}
+	var engine *rackjoin.HealthEngine
+	if *diagnose {
+		expected := 0.0
+		if *throttle > 0 {
+			expected = *throttle // MB/s, the fabric cap the engine should see achieved
+		}
+		engine = rackjoin.NewHealthEngine(rackjoin.HealthOptions{
+			Machines: *machines, Registry: c.Metrics(), Flight: flight,
+			ExpectedLinkMBps: expected, DumpSink: os.Stderr,
+		})
+		engine.Start()
+		defer engine.Stop()
+	}
 	var obsrv *rackjoin.ObsvServer
 	if *obsvAddr != "" {
-		obsrv = rackjoin.NewObsvServer(rackjoin.ObsvOptions{
+		opts := rackjoin.ObsvOptions{
 			Registry: c.Metrics(), Trace: tracer, Sampler: sampler, Flight: flight,
-		})
+		}
+		if engine != nil {
+			opts.Health = engine
+		}
+		obsrv = rackjoin.NewObsvServer(opts)
 		addr, err := obsrv.Start(*obsvAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -251,6 +305,19 @@ func main() {
 	printMetricsSummary(c.Metrics())
 	fmt.Println()
 	residual.Report(os.Stdout)
+	if engine != nil {
+		engine.Stop() // final evaluation over the end-of-run registry state
+		fmt.Println("\nhealth plane:")
+		engine.WriteText(os.Stdout)
+		var cp *rackjoin.CriticalPath
+		if tracer != nil {
+			if p, err := tracer.CriticalPath(); err == nil {
+				cp = p
+			}
+		}
+		fmt.Println()
+		rackjoin.BuildHealthReport(engine.Diagnoses(), cp, residual).WriteText(os.Stdout)
+	}
 	if *obsvLinger > 0 && obsrv != nil {
 		fmt.Printf("\nobservability server lingering %s on http://%s — ctrl-C to quit early\n",
 			*obsvLinger, obsrv.Addr())

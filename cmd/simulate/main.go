@@ -52,6 +52,10 @@ func main() {
 		obsvAddr   = flag.String("obsv-addr", "", "serve /metrics, /residual, /samples and /debug/pprof on this address (e.g. :8080)")
 		sampleInt  = flag.Duration("sample-interval", 0, "snapshot registry deltas on this interval (0 = off)")
 		obsvLinger = flag.Duration("obsv-linger", 0, "keep the observability server up this long after the sweep")
+		diagnose   = flag.Bool("diagnose", false, "run the health detectors over each simulated execution and print their verdicts")
+		faultLink  = flag.String("fault-degrade-link", "", "degrade one directed link: src:dst:factor (e.g. 1:3:0.25)")
+		faultSlow  = flag.String("fault-slow-machine", "", "slow one machine's compute: machine:factor (e.g. 2:0.3)")
+		faultDrop  = flag.String("fault-drop", "", "drop and retransmit posted buffers: rate for every sender, or machine:rate for one (e.g. 0.2 or 3:0.2)")
 	)
 	flag.Parse()
 
@@ -126,6 +130,7 @@ func main() {
 			BroadcastFactor: *broadcast, Pipeline: *pipeline,
 			NetSched: policy, SwitchContention: *contention,
 		}
+		applyFaults(&cfg, *faultLink, *faultSlow, *faultDrop, nm == lo)
 		res, err := rackjoin.Simulate(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -144,6 +149,15 @@ func main() {
 				res.MaxLinkQueueSec*1e3, res.AvgLinkQueueSec*1e3)
 		}
 		fmt.Printf("]\n")
+		if *diagnose {
+			if ds := rackjoin.DiagnoseSim(cfg, res); len(ds) == 0 {
+				fmt.Printf("             health: clean\n")
+			} else {
+				for _, d := range ds {
+					fmt.Printf("             health: %s\n", d)
+				}
+			}
+		}
 
 		lastCfg, lastRes = cfg, res
 		recordPhases(reg, res)
@@ -197,6 +211,53 @@ func main() {
 		fmt.Printf("\nobservability server lingering %s on http://%s — ctrl-C to quit early\n",
 			*obsvLinger, obsrv.Addr())
 		time.Sleep(*obsvLinger)
+	}
+}
+
+// applyFaults installs the flag-specified fault plan on one simulation
+// config; announce prints the plan once (the sweep reuses it per size).
+func applyFaults(cfg *rackjoin.SimConfig, link, slow, drop string, announce bool) {
+	if link != "" {
+		var src, dst int
+		var factor float64
+		if _, err := fmt.Sscanf(link, "%d:%d:%f", &src, &dst, &factor); err != nil {
+			log.Fatalf("bad -fault-degrade-link %q (want src:dst:factor): %v", link, err)
+		}
+		cfg.DegradeLink(src, dst, factor)
+		if announce {
+			fmt.Printf("fault: link m%d→m%d degraded to %.0f%%\n", src, dst, factor*100)
+		}
+	}
+	if slow != "" {
+		var m int
+		var factor float64
+		if _, err := fmt.Sscanf(slow, "%d:%f", &m, &factor); err != nil {
+			log.Fatalf("bad -fault-slow-machine %q (want machine:factor): %v", slow, err)
+		}
+		cfg.SlowMachine(m, factor)
+		if announce {
+			fmt.Printf("fault: machine %d compute slowed to %.0f%%\n", m, factor*100)
+		}
+	}
+	if drop != "" {
+		var m int
+		var rate float64
+		if _, err := fmt.Sscanf(drop, "%d:%f", &m, &rate); err == nil {
+			cfg.DropBuffersAt(m, rate)
+			if announce {
+				fmt.Printf("fault: machine %d drops %.1f%% of its buffers\n", m, rate*100)
+			}
+		} else if _, err := fmt.Sscanf(drop, "%f", &rate); err == nil {
+			cfg.DropBuffers(rate)
+			if announce {
+				fmt.Printf("fault: every sender drops %.1f%% of its buffers\n", rate*100)
+			}
+		} else {
+			log.Fatalf("bad -fault-drop %q (want rate or machine:rate)", drop)
+		}
+	}
+	if announce && (link != "" || slow != "" || drop != "") {
+		fmt.Println()
 	}
 }
 

@@ -30,6 +30,16 @@ func record(r *metrics.Registry) {
 	r.Gauge("netsched_budget_buffers")
 	r.Counter("netsched_parks")     // want `counter "netsched_parks" must end in _total`
 	r.Gauge("netsched_round_total") // want `gauge "netsched_round_total" must not end in _total`
+
+	// Health-plane metrics (internal/health engine wiring): evaluation
+	// and per-detector diagnosis counters carry _total; culprits are
+	// labels on them, never ID-valued gauges.
+	r.Counter("health_evaluations_total")
+	r.Counter("health_diagnoses_total", metrics.L("detector", "slow_link"))
+	r.Counter("flightrec_dropped_total")
+	r.Counter("fabric_retransmits_total")
+	r.Counter("health_diagnoses")    // want `counter "health_diagnoses" must end in _total`
+	r.Gauge("health_detector_total") // want `gauge "health_detector_total" must not end in _total`
 }
 
 func labels() []metrics.Label {

@@ -116,6 +116,11 @@ func (c *Cluster) Config() Config { return c.cfg }
 // FabricStats returns interconnect counters.
 func (c *Cluster) FabricStats() fabric.Stats { return c.net.FabricStats() }
 
+// Fabric exposes the rack's byte-moving substrate so harnesses can
+// inject faults (fabric.DegradeLink, SlowMachine, DropBuffers) into a
+// live cluster and validate that the health plane names the culprit.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.net.Fabric() }
+
 // Metrics returns the metrics registry shared by the cluster's RDMA
 // network and fabric. All device and link telemetry lands here; the join
 // layer adds its own series to the same registry.

@@ -67,6 +67,8 @@ func Run(c *cluster.Cluster, inner, outer *relation.Distributed, cfg Config) (*R
 			cfg.Flight.Note(machine, "verb", op, 0, int64(bytes))
 		})
 		defer c.InstallVerbHook(nil)
+		// Surface ring overwrites as flightrec_dropped_total{machine}.
+		cfg.Flight.AttachMetrics(cfg.Metrics)
 	}
 
 	before := deviceTotals(c)
@@ -192,6 +194,11 @@ type machineState struct {
 	// nil for partitions that never leave this machine.
 	met     *metrics.Scope
 	shipped []*metrics.Counter
+	// linkBytes holds the per-destination netpass_link_bytes_total
+	// counters (nil entry for this machine itself), the per-link volume
+	// the health plane's online engine folds into its bandwidth
+	// indicators; nil on single-machine and pull-transport runs.
+	linkBytes []*metrics.Counter
 	// netKernelBytes is the netpass kernel_bytes_total counter, resolved
 	// once at pool setup so scatterSlice's hot loop skips the registry.
 	netKernelBytes *metrics.Counter

@@ -232,6 +232,15 @@ func (st *machineState) allocPools() error {
 		}
 		st.pools[t] = pool
 	}
+	// Per-destination link-bytes counters: the directed-link traffic
+	// matrix the health plane's online engine reads.
+	st.linkBytes = make([]*metrics.Counter, st.nm)
+	for d := 0; d < st.nm; d++ {
+		if d != st.m.ID {
+			st.linkBytes[d] = st.met.Counter("netpass_link_bytes_total",
+				metrics.L("dest", strconv.Itoa(d)))
+		}
+	}
 	// Per-partition bytes-shipped counters, created here (single-threaded
 	// setup) for exactly the partitions this machine ships: non-resident
 	// ones and the replicated inner side of broadcast partitions.
@@ -568,6 +577,9 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 	pool.flushes.Inc()
 	if st.shipped != nil && st.shipped[p] != nil {
 		st.shipped[p].Add(uint64(length))
+	}
+	if st.linkBytes != nil && st.linkBytes[dest] != nil {
+		st.linkBytes[dest].Add(uint64(length))
 	}
 
 	if st.cfg.Transport == TransportTCP {

@@ -60,6 +60,11 @@ var ErrClosed = errors.New("fabric: closed")
 type Fabric struct {
 	cfg Config
 
+	// flt is the live fault-injection plan (faults.go); retransmits
+	// counts deliveries the drop fault forced onto the wire twice.
+	flt         faultPlan
+	retransmits atomic.Uint64
+
 	mu     sync.Mutex
 	nodes  []*Node
 	closed bool
@@ -96,6 +101,8 @@ func (f *Fabric) AddNode() *Node {
 	if f.cfg.IngressBandwidth > 0 {
 		n.ingress = newMeter(f.cfg.IngressBandwidth, linkHist("ingress"))
 	}
+	n.retx = f.cfg.Metrics.Counter("fabric_retransmits_total",
+		metrics.L("node", strconv.Itoa(int(n.id))))
 	f.nodes = append(f.nodes, n)
 	return n
 }
@@ -160,6 +167,7 @@ type Node struct {
 
 	egress  *meter
 	ingress *meter
+	retx    *metrics.Counter
 
 	mu     sync.Mutex
 	lanes  map[NodeID]*lane
@@ -232,6 +240,9 @@ type lane struct {
 	f   *Fabric
 	src *Node
 	dst *Node
+	// dropAcc is the lane's deterministic drop accumulator (faults.go);
+	// touched only by the lane goroutine.
+	dropAcc float64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -283,24 +294,74 @@ func (l *lane) run() {
 // transfer applies the configured rate limits and then runs the delivery
 // callback. The egress meter of the source and the ingress meter of the
 // destination are charged sequentially, modelling store-and-forward
-// through the switch.
+// through the switch. Injected faults stretch the charges: a slow
+// machine inflates the bytes booked on its shared port meter (its whole
+// traffic backs up), a degraded link adds pair-local extra wire time,
+// and a drop charges the wire a second time for the retransmission.
 func (l *lane) transfer(d delivery) {
-	cfg := l.f.cfg
+	linkF, srcF, dstF, drop := l.f.faultFactors(l.src.id, l.dst.id)
+	times := 1
+	if drop > 0 {
+		l.dropAcc += drop
+		if l.dropAcc >= 1 {
+			l.dropAcc--
+			times = 2
+			l.f.noteRetransmit(l.src)
+		}
+	}
 	var wait time.Duration
-	if cfg.PerMessage > 0 {
-		wait += cfg.PerMessage
-	}
-	if cfg.BaseLatency > 0 {
-		wait += cfg.BaseLatency
-	}
-	if l.src.egress != nil {
-		wait += l.src.egress.reserve(d.size)
-	}
-	if l.dst.ingress != nil {
-		wait += l.dst.ingress.reserve(d.size)
+	for i := 0; i < times; i++ {
+		wait += l.charge(d.size, linkF, srcF, dstF)
 	}
 	if wait > 0 {
 		time.Sleep(wait)
 	}
 	d.fn()
+}
+
+// charge books one wire traversal of size bytes and returns its wait.
+func (l *lane) charge(size int, linkF, srcF, dstF float64) time.Duration {
+	cfg := l.f.cfg
+	var wait time.Duration
+	if cfg.PerMessage > 0 {
+		// Per-message processing happens at both HCAs; the slower one
+		// bounds it.
+		f := srcF
+		if dstF < f {
+			f = dstF
+		}
+		wait += time.Duration(float64(cfg.PerMessage) / f)
+	}
+	if cfg.BaseLatency > 0 {
+		// Propagation delay: faults do not change the speed of light.
+		wait += cfg.BaseLatency
+	}
+	if l.src.egress != nil {
+		wait += l.src.egress.reserve(scaleSize(size, srcF))
+	}
+	if l.dst.ingress != nil {
+		wait += l.dst.ingress.reserve(scaleSize(size, dstF))
+	}
+	if linkF < 1 {
+		// Pair-local degradation: the extra serialisation a cable running
+		// at linkF× speed adds, charged against the healthy wire rate but
+		// NOT booked on the shared meters — other pairs are unaffected.
+		rate := cfg.EgressBandwidth
+		if rate <= 0 {
+			rate = cfg.IngressBandwidth
+		}
+		if rate > 0 {
+			healthy := float64(size) / rate
+			wait += time.Duration(healthy * (1/linkF - 1) * float64(time.Second))
+		}
+	}
+	return wait
+}
+
+// scaleSize inflates a transfer's metered size by a slowdown factor.
+func scaleSize(size int, factor float64) int {
+	if factor >= 1 {
+		return size
+	}
+	return int(float64(size) / factor)
 }

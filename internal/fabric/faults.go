@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// faultPlan holds a live fabric's injected degradations. All injection is
+// delay-based: faults stretch transfer times (and, for drops, re-charge
+// the wire), they never lose data — a faulted join still produces the
+// correct result, it just produces it the way a rack with a failing
+// component would. Factors are read on every delivery under an RLock;
+// injection mid-run is safe.
+type faultPlan struct {
+	mu      sync.RWMutex
+	link    map[[2]NodeID]float64
+	machine map[NodeID]float64
+	drop    float64
+}
+
+// DegradeLink throttles the directed link src→dst to factor (0 < factor
+// ≤ 1) of its healthy serialisation rate: each delivery on the pair
+// waits the extra wire time a cable running at factor× speed would take.
+// The extra wait is pair-local — traffic between other pairs sharing
+// src's egress port is unaffected, which is what distinguishes a bad
+// cable from a slow machine. The fault is observable only on a fabric
+// with a configured bandwidth (an unthrottled fabric has no wire time to
+// stretch).
+func (f *Fabric) DegradeLink(src, dst NodeID, factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("fabric: DegradeLink factor %v outside (0, 1]", factor)
+	}
+	if src == dst {
+		return fmt.Errorf("fabric: DegradeLink src == dst (%d)", src)
+	}
+	f.flt.mu.Lock()
+	if f.flt.link == nil {
+		f.flt.link = make(map[[2]NodeID]float64)
+	}
+	f.flt.link[[2]NodeID{src, dst}] = factor
+	f.flt.mu.Unlock()
+	return nil
+}
+
+// SlowMachine throttles node id's HCA to factor (0 < factor ≤ 1) of its
+// healthy speed: every transfer it sends or receives charges its shared
+// port meter with 1/factor the bytes, so the machine's whole traffic —
+// and everyone queueing behind it — slows down, the shape of a
+// thermally-throttled or contended host.
+func (f *Fabric) SlowMachine(id NodeID, factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("fabric: SlowMachine factor %v outside (0, 1]", factor)
+	}
+	f.flt.mu.Lock()
+	if f.flt.machine == nil {
+		f.flt.machine = make(map[NodeID]float64)
+	}
+	f.flt.machine[id] = factor
+	f.flt.mu.Unlock()
+	return nil
+}
+
+// DropBuffers makes the fabric "lose" rate (0 ≤ rate < 1) of all
+// transfers: every 1/rate-th delivery on each lane is charged for the
+// wire twice (the retransmission) and counted in Retransmits and the
+// fabric_retransmits_total{node} counter. Selection is a deterministic
+// per-lane accumulator, not a coin flip, so runs are reproducible.
+func (f *Fabric) DropBuffers(rate float64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("fabric: DropBuffers rate %v outside [0, 1)", rate)
+	}
+	f.flt.mu.Lock()
+	f.flt.drop = rate
+	f.flt.mu.Unlock()
+	return nil
+}
+
+// ClearFaults removes every injected fault.
+func (f *Fabric) ClearFaults() {
+	f.flt.mu.Lock()
+	f.flt.link, f.flt.machine, f.flt.drop = nil, nil, 0
+	f.flt.mu.Unlock()
+}
+
+// Retransmits returns how many deliveries the drop fault has forced onto
+// the wire a second time.
+func (f *Fabric) Retransmits() uint64 { return f.retransmits.Load() }
+
+// faultFactors returns the link and machine slowdown factors governing
+// one delivery (1 when healthy) and the configured drop rate.
+func (f *Fabric) faultFactors(src, dst NodeID) (link, machSrc, machDst, drop float64) {
+	link, machSrc, machDst = 1, 1, 1
+	f.flt.mu.RLock()
+	if f.flt.link != nil {
+		if v, ok := f.flt.link[[2]NodeID{src, dst}]; ok {
+			link = v
+		}
+	}
+	if f.flt.machine != nil {
+		if v, ok := f.flt.machine[src]; ok {
+			machSrc = v
+		}
+		if v, ok := f.flt.machine[dst]; ok {
+			machDst = v
+		}
+	}
+	drop = f.flt.drop
+	f.flt.mu.RUnlock()
+	return link, machSrc, machDst, drop
+}
+
+// noteRetransmit counts one forced retransmission on src's egress.
+func (f *Fabric) noteRetransmit(src *Node) {
+	f.retransmits.Add(1)
+	src.retx.Inc()
+}

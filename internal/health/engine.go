@@ -1,0 +1,413 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/obsv"
+)
+
+// Engine implements obsv.HealthSource so /health serves live verdicts.
+var _ obsv.HealthSource = (*Engine)(nil)
+
+// Options configures an Engine. Machines and Registry are required; every
+// other field has a working default.
+type Options struct {
+	// Machines is the rack size the metrics describe.
+	Machines int
+	// Registry is the live registry the observed join writes into.
+	Registry *metrics.Registry
+	// Flight, when set, receives one "health" event per new diagnosis and
+	// is the source of the high-confidence dump.
+	Flight *obsv.FlightRecorder
+	// Interval is the evaluation period; <= 0 selects DefaultInterval.
+	Interval time.Duration
+	// ExpectedLinkMBps is the model payload bandwidth of one host link;
+	// 0 restricts the detectors to peer-relative baselines.
+	ExpectedLinkMBps float64
+	// HighConfidence is the threshold at which a diagnosis triggers the
+	// one-shot flight-recorder dump to DumpSink; <= 0 selects 0.9.
+	HighConfidence float64
+	// DumpSink receives one flight-recorder text dump the first time a
+	// diagnosis reaches HighConfidence (the black box is read out the
+	// moment the engine is sure something is wrong, before the ring
+	// overwrites the evidence). Nil disables the dump.
+	DumpSink io.Writer
+	// OnDiagnosis, when set, is called once per new diagnosis (deduped by
+	// detector and culprit), from the engine goroutine.
+	OnDiagnosis func(Diagnosis)
+}
+
+// DefaultInterval is the evaluation period used when Options.Interval is
+// unset: frequent enough to catch a fault within a phase, far too coarse
+// to register against the run's CPU budget.
+const DefaultInterval = 250 * time.Millisecond
+
+const minInterval = 10 * time.Millisecond
+
+// Engine is the online front-end of the diagnosis plane: a background
+// evaluator that snapshots the registry on a fixed period, folds the
+// deltas since Start into an Observation, runs the detectors, and
+// publishes the verdicts — on /health (it implements obsv.HealthSource),
+// into the flight recorder, through OnDiagnosis, and as health_* metrics
+// on the registry it observes. All methods are nil-safe.
+type Engine struct {
+	opts  Options
+	evals *metrics.Counter
+
+	mu      sync.Mutex
+	start   time.Time
+	base    []metrics.Sample
+	seen    map[string]int // detector+culprit → index into diags
+	diags   []Diagnosis
+	nEvals  uint64
+	dumped  bool
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewEngine builds an engine; Start begins evaluation.
+func NewEngine(o Options) *Engine {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.Interval < minInterval {
+		o.Interval = minInterval
+	}
+	if o.HighConfidence <= 0 {
+		o.HighConfidence = 0.9
+	}
+	e := &Engine{opts: o, seen: make(map[string]int)}
+	if o.Registry != nil {
+		e.evals = o.Registry.Counter("health_evaluations_total")
+	}
+	return e
+}
+
+// Start snapshots the registry as the delta baseline and launches the
+// evaluation loop. Starting a started or nil engine is a no-op.
+func (e *Engine) Start() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return
+	}
+	e.running = true
+	e.start = time.Now()
+	e.base = e.opts.Registry.Snapshot()
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	stop, done := e.stop, e.done
+	e.mu.Unlock()
+	go e.loop(stop, done)
+}
+
+func (e *Engine) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(e.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.Step()
+		}
+	}
+}
+
+// Stop halts the loop and runs one final evaluation over the end-of-run
+// registry state, so a fault landing between the last tick and join
+// completion is still diagnosed.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if !e.running {
+		e.mu.Unlock()
+		return
+	}
+	e.running = false
+	stop, done := e.stop, e.done
+	e.mu.Unlock()
+	close(stop)
+	<-done
+	e.Step()
+}
+
+// Step runs one evaluation immediately: snapshot, delta against the
+// Start baseline, detect, record. It is the loop body, exported so tests
+// and post-run reports can force a final evaluation deterministically.
+func (e *Engine) Step() {
+	if e == nil || e.opts.Registry == nil {
+		return
+	}
+	e.mu.Lock()
+	base := e.base
+	start := e.start
+	e.mu.Unlock()
+	if base == nil && start.IsZero() {
+		return // never started
+	}
+	o := e.observe(base, start)
+	ds := Evaluate(o)
+	e.evals.Inc()
+	e.mu.Lock()
+	e.nEvals++
+	fresh := e.recordLocked(ds, o.WallSec)
+	e.mu.Unlock()
+	for _, d := range fresh {
+		e.publish(d)
+	}
+}
+
+// observe folds the registry deltas since Start into an Observation.
+// Counters arrive cumulative-since-start (the delta against the Start
+// baseline), gauges as current levels. Wire-busy time is not observable
+// online, so LinkBusySec stays nil and rates are judged peer-relatively
+// against the elapsed window.
+func (e *Engine) observe(base []metrics.Sample, start time.Time) Observation {
+	const mb = 1 << 20
+	nm := e.opts.Machines
+	o := Observation{
+		Machines:         nm,
+		WallSec:          time.Since(start).Seconds(),
+		ExpectedLinkMBps: e.opts.ExpectedLinkMBps,
+	}
+	valid := func(m int) bool { return m >= 0 && m < nm }
+	perMachine := func(sl *[]float64) []float64 {
+		if *sl == nil {
+			*sl = make([]float64, nm)
+		}
+		return *sl
+	}
+	// phase_seconds gauges are posted when a phase *completes*, so mid-run
+	// the machines have reported different phase sets — summing them
+	// blindly makes the machine that finished a phase first look like the
+	// straggler. Collect per phase and fold only the phases every machine
+	// has reported, so totals are always apples-to-apples.
+	phaseSec := make(map[string][]float64)
+	for _, s := range metrics.Delta(base, e.opts.Registry.Snapshot()) {
+		m, okM := labelInt(s.Labels, "machine")
+		switch s.Name {
+		case "netpass_link_bytes_total":
+			d, okD := labelInt(s.Labels, "dest")
+			if okM && okD && valid(m) && valid(d) && s.Value > 0 {
+				if o.LinkMB == nil {
+					o.LinkMB = make([][]float64, nm)
+					for i := range o.LinkMB {
+						o.LinkMB[i] = make([]float64, nm)
+					}
+				}
+				o.LinkMB[m][d] += s.Value / mb
+			}
+		case "netpass_buffer_stalls_total":
+			if okM && valid(m) {
+				perMachine(&o.Stalls)[m] += s.Value
+			}
+		case "netpass_buffer_flushes_total":
+			if okM && valid(m) {
+				perMachine(&o.Flushes)[m] += s.Value
+			}
+		case "netpass_bytes_shipped_total":
+			if p, okP := labelInt(s.Labels, "partition"); okP && s.Value > 0 {
+				if o.PartitionMB == nil {
+					o.PartitionMB = make(map[int]float64)
+				}
+				o.PartitionMB[p] += s.Value / mb
+			}
+		case "phase_seconds":
+			if okM && valid(m) {
+				ph := s.Labels["phase"]
+				if phaseSec[ph] == nil {
+					phaseSec[ph] = make([]float64, nm)
+				}
+				phaseSec[ph][m] += s.Value
+			}
+		case "netsched_rounds_total":
+			if okM && valid(m) {
+				o.Scheduled = true
+				perMachine(&o.SchedRounds)[m] += s.Value
+			}
+		case "netsched_idle_rounds_total":
+			if okM && valid(m) {
+				perMachine(&o.SchedIdle)[m] += s.Value
+			}
+		case "netsched_parks_total":
+			if okM && valid(m) {
+				perMachine(&o.SchedParks)[m] += s.Value
+			}
+		case "scheduler_injects_total":
+			if okM && valid(m) {
+				perMachine(&o.Injects)[m] += s.Value
+			}
+		}
+	}
+	for _, vals := range phaseSec {
+		complete := true
+		for _, v := range vals {
+			if v <= 0 {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		pm := perMachine(&o.PhaseTotalSec)
+		for m, v := range vals {
+			pm[m] += v
+		}
+	}
+	return o
+}
+
+// recordLocked merges one evaluation's diagnoses into the retained set,
+// deduplicating by detector and culprit: a repeat keeps its first
+// ElapsedSeconds (when the engine first caught it) and takes the higher
+// confidence. It returns the diagnoses seen for the first time.
+func (e *Engine) recordLocked(ds []Diagnosis, elapsed float64) []Diagnosis {
+	var fresh []Diagnosis
+	for _, d := range ds {
+		key := d.Detector + "|" + d.Culprit.String()
+		if i, ok := e.seen[key]; ok {
+			if d.Confidence > e.diags[i].Confidence {
+				e.diags[i].Confidence = d.Confidence
+				e.diags[i].Evidence = d.Evidence
+			}
+			continue
+		}
+		d.ElapsedSeconds = elapsed
+		e.seen[key] = len(e.diags)
+		e.diags = append(e.diags, d)
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// publish pushes one newly seen diagnosis to every outlet: the
+// health_diagnoses_total{detector} counter, the flight recorder, the
+// OnDiagnosis callback, and — the first time confidence reaches
+// HighConfidence — the one-shot flight dump to DumpSink.
+func (e *Engine) publish(d Diagnosis) {
+	if e.opts.Registry != nil {
+		e.opts.Registry.Counter("health_diagnoses_total",
+			metrics.L("detector", d.Detector)).Inc()
+	}
+	e.opts.Flight.Note(flightMachine(d.Culprit), "health",
+		fmt.Sprintf("%s %s conf %.2f", d.Detector, d.Culprit, d.Confidence), 0, 0)
+	if e.opts.OnDiagnosis != nil {
+		e.opts.OnDiagnosis(d)
+	}
+	if d.Confidence >= e.opts.HighConfidence && e.opts.DumpSink != nil && e.opts.Flight != nil {
+		e.mu.Lock()
+		dump := !e.dumped
+		e.dumped = true
+		e.mu.Unlock()
+		if dump {
+			fmt.Fprintf(e.opts.DumpSink,
+				"health: %s blamed %s (confidence %.2f) — flight recorder at detection:\n",
+				d.Detector, d.Culprit, d.Confidence)
+			e.opts.Flight.WriteText(e.opts.DumpSink)
+		}
+	}
+}
+
+// flightMachine maps a culprit to the flight ring the event lands on:
+// the blamed machine, the source of a blamed link, ring 0 for a
+// partition (no machine is at fault).
+func flightMachine(c Culprit) int {
+	if c.Kind == CulpritPartition {
+		return 0
+	}
+	return c.Machine
+}
+
+// Diagnoses returns the retained verdicts, most confident first.
+func (e *Engine) Diagnoses() []Diagnosis {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	out := make([]Diagnosis, len(e.diags))
+	copy(out, e.diags)
+	e.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Confidence > out[j].Confidence })
+	return out
+}
+
+// healthReport is the JSON shape /health serves.
+type healthReport struct {
+	Healthy     bool        `json:"healthy"`
+	ElapsedSec  float64     `json:"elapsed_s"`
+	Machines    int         `json:"machines"`
+	Evaluations uint64      `json:"evaluations"`
+	Diagnoses   []Diagnosis `json:"diagnoses"`
+}
+
+func (e *Engine) report() healthReport {
+	r := healthReport{Diagnoses: []Diagnosis{}}
+	if e == nil {
+		return r
+	}
+	r.Diagnoses = e.Diagnoses()
+	if r.Diagnoses == nil {
+		r.Diagnoses = []Diagnosis{}
+	}
+	e.mu.Lock()
+	if !e.start.IsZero() {
+		r.ElapsedSec = time.Since(e.start).Seconds()
+	}
+	r.Machines = e.opts.Machines
+	r.Evaluations = e.nEvals
+	e.mu.Unlock()
+	r.Healthy = len(r.Diagnoses) == 0
+	return r
+}
+
+// WriteJSON serves the /health default format.
+func (e *Engine) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.report())
+}
+
+// WriteText serves /health?format=text: the shape -diagnose prints.
+func (e *Engine) WriteText(w io.Writer) {
+	r := e.report()
+	if r.Healthy {
+		fmt.Fprintf(w, "healthy: no diagnoses over %d evaluations (%.1fs elapsed, %d machines)\n",
+			r.Evaluations, r.ElapsedSec, r.Machines)
+		return
+	}
+	fmt.Fprintf(w, "%d diagnosis(es) over %d evaluations (%.1fs elapsed, %d machines)\n",
+		len(r.Diagnoses), r.Evaluations, r.ElapsedSec, r.Machines)
+	for _, d := range r.Diagnoses {
+		fmt.Fprintf(w, "[%7.2fs] %s\n", d.ElapsedSeconds, d)
+	}
+}
+
+// labelInt parses one integer label, reporting whether it was present
+// and well formed.
+func labelInt(labels map[string]string, key string) (int, bool) {
+	v, ok := labels[key]
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,312 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/obsv"
+)
+
+// feedUniform writes a healthy 8-machine rack's worth of telemetry into
+// reg: uniform link bytes, equal phase totals, uniform partitions.
+func feedUniform(reg *metrics.Registry, nm int) {
+	const linkBytes = 64 << 20
+	for m := 0; m < nm; m++ {
+		ml := metrics.L("machine", strconv.Itoa(m))
+		for d := 0; d < nm; d++ {
+			if d != m {
+				reg.Counter("netpass_link_bytes_total", ml,
+					metrics.L("dest", strconv.Itoa(d))).Add(linkBytes)
+			}
+		}
+		reg.Counter("netpass_buffer_flushes_total", ml,
+			metrics.L("thread", "0")).Add(1000)
+		reg.Counter("netpass_buffer_stalls_total", ml,
+			metrics.L("thread", "0")).Add(5)
+		reg.Gauge("phase_seconds", ml, metrics.L("phase", "network_partition")).Set(2)
+		for p := 0; p < 64; p++ {
+			reg.Counter("netpass_bytes_shipped_total", ml,
+				metrics.L("partition", strconv.Itoa(p))).Add(8 << 20)
+		}
+	}
+}
+
+func newTestEngine(t *testing.T, reg *metrics.Registry, o Options) *Engine {
+	t.Helper()
+	o.Registry = reg
+	if o.Machines == 0 {
+		o.Machines = 8
+	}
+	e := NewEngine(o)
+	e.Start()
+	t.Cleanup(e.Stop)
+	return e
+}
+
+func TestEngineQuietOnHealthyTelemetry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	e.Step()
+	if ds := e.Diagnoses(); len(ds) != 0 {
+		t.Fatalf("healthy telemetry diagnosed: %v", ds)
+	}
+	if got := reg.Counter("health_evaluations_total").Value(); got == 0 {
+		t.Fatal("health_evaluations_total not incremented")
+	}
+}
+
+func TestEngineDetectsSlowLinkOnline(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	// Every link except m2→m5 ships a further 150 MB in the window, so
+	// the degraded link delivered ~30% of its peers' bytes — online (no
+	// wire-busy time) that reads as a 0.3× peer-relative rate.
+	for m := 0; m < 8; m++ {
+		for d := 0; d < 8; d++ {
+			if d == m || (m == 2 && d == 5) {
+				continue
+			}
+			reg.Counter("netpass_link_bytes_total",
+				metrics.L("machine", strconv.Itoa(m)),
+				metrics.L("dest", strconv.Itoa(d))).Add(150 << 20)
+		}
+	}
+	e.Step()
+	d, ok := find(e.Diagnoses(), DetectorSlowLink)
+	if !ok {
+		t.Fatalf("slow link not detected online: %v", e.Diagnoses())
+	}
+	if d.Culprit.Kind != CulpritLink || d.Culprit.Machine != 2 || d.Culprit.Peer != 5 {
+		t.Fatalf("blamed %v, want link m2→m5", d.Culprit)
+	}
+	if got := reg.Counter("health_diagnoses_total",
+		metrics.L("detector", DetectorSlowLink)).Value(); got != 1 {
+		t.Fatalf("health_diagnoses_total{slow_link} = %d, want 1", got)
+	}
+}
+
+func TestEngineDetectsStragglerAndHotPartitionOnline(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	reg.Gauge("phase_seconds", metrics.L("machine", "6"),
+		metrics.L("phase", "network_partition")).Set(4) // 2× the rack
+	reg.Counter("netpass_bytes_shipped_total", metrics.L("machine", "0"),
+		metrics.L("partition", "17")).Add(4 << 30) // dominant partition
+	e.Step()
+	ds := e.Diagnoses()
+	if d, ok := find(ds, DetectorStraggler); !ok || d.Culprit.Machine != 6 {
+		t.Fatalf("straggler: got %v, want machine 6 in %v", ds, ds)
+	}
+	if d, ok := find(ds, DetectorHotPartition); !ok || d.Culprit.Partition != 17 {
+		t.Fatalf("hot partition: got %v, want partition 17 in %v", ds, ds)
+	}
+}
+
+func TestEngineDetectsStarvationOnline(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	// Machine 3 stalls hard while shipping half the rack's per-machine
+	// egress: online starvation (peer-relative goodput baseline).
+	reg.Counter("netpass_buffer_stalls_total", metrics.L("machine", "3"),
+		metrics.L("thread", "0")).Add(400)
+	for m := 0; m < 8; m++ {
+		if m == 3 {
+			continue
+		}
+		for d := 0; d < 8; d++ {
+			if d != m {
+				reg.Counter("netpass_link_bytes_total",
+					metrics.L("machine", strconv.Itoa(m)),
+					metrics.L("dest", strconv.Itoa(d))).Add(64 << 20)
+			}
+		}
+	}
+	e.Step()
+	d, ok := find(e.Diagnoses(), DetectorBufferStarvation)
+	if !ok {
+		t.Fatalf("starvation not detected online: %v", e.Diagnoses())
+	}
+	if d.Culprit.Machine != 3 {
+		t.Fatalf("blamed %v, want machine 3", d.Culprit)
+	}
+}
+
+func TestEngineDetectsSchedulerStallOnline(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	for m := 0; m < 8; m++ {
+		ml := metrics.L("machine", strconv.Itoa(m))
+		reg.Counter("netsched_rounds_total", ml).Add(100)
+		idle := uint64(5)
+		if m == 2 {
+			idle = 90
+			reg.Counter("netsched_parks_total", ml).Add(40)
+		}
+		reg.Counter("netsched_idle_rounds_total", ml).Add(idle)
+	}
+	e.Step()
+	d, ok := find(e.Diagnoses(), DetectorSchedulerStall)
+	if !ok {
+		t.Fatalf("scheduler stall not detected online: %v", e.Diagnoses())
+	}
+	if d.Culprit.Machine != 2 {
+		t.Fatalf("blamed %v, want machine 2", d.Culprit)
+	}
+}
+
+func TestEngineDedupesAndTimestamps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var calls int
+	e := newTestEngine(t, reg, Options{
+		Interval:    time.Hour,
+		OnDiagnosis: func(Diagnosis) { calls++ },
+	})
+	feedUniform(reg, 8)
+	reg.Gauge("phase_seconds", metrics.L("machine", "6"),
+		metrics.L("phase", "network_partition")).Set(4)
+	e.Step()
+	e.Step()
+	e.Step()
+	ds := e.Diagnoses()
+	if len(ds) != 1 {
+		t.Fatalf("repeat evaluations duplicated the diagnosis: %v", ds)
+	}
+	if calls != 1 {
+		t.Fatalf("OnDiagnosis called %d times, want 1", calls)
+	}
+	if got := reg.Counter("health_diagnoses_total",
+		metrics.L("detector", DetectorStraggler)).Value(); got != 1 {
+		t.Fatalf("health_diagnoses_total{straggler_machine} = %d, want 1", got)
+	}
+}
+
+func TestEngineFlightAndDump(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fr := obsv.NewFlightRecorder(8, 64)
+	var dump bytes.Buffer
+	e := newTestEngine(t, reg, Options{
+		Interval:       time.Hour,
+		Flight:         fr,
+		HighConfidence: 0.6,
+		DumpSink:       &dump,
+	})
+	feedUniform(reg, 8)
+	reg.Gauge("phase_seconds", metrics.L("machine", "6"),
+		metrics.L("phase", "network_partition")).Set(40) // severity ≫ 2 → confidence 1
+	e.Step()
+	var found bool
+	for _, ev := range fr.Snapshot() {
+		if ev.Kind == "health" && ev.Machine == 6 &&
+			strings.Contains(ev.Detail, DetectorStraggler) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no health flight event recorded: %v", fr.Snapshot())
+	}
+	if !strings.Contains(dump.String(), "flight recorder at detection") {
+		t.Fatalf("high-confidence dump missing: %q", dump.String())
+	}
+	n := dump.Len()
+	e.Step() // dump must be one-shot
+	if dump.Len() != n {
+		t.Fatal("flight dump emitted twice")
+	}
+}
+
+func TestEngineReportFormats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestEngine(t, reg, Options{Interval: time.Hour})
+	feedUniform(reg, 8)
+	e.Step()
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Healthy     bool              `json:"healthy"`
+		Machines    int               `json:"machines"`
+		Evaluations uint64            `json:"evaluations"`
+		Diagnoses   []json.RawMessage `json:"diagnoses"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad /health JSON: %v\n%s", err, buf.Bytes())
+	}
+	if !rep.Healthy || rep.Machines != 8 || rep.Evaluations == 0 || len(rep.Diagnoses) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	buf.Reset()
+	e.WriteText(&buf)
+	if !strings.Contains(buf.String(), "healthy") {
+		t.Fatalf("text report missing healthy line: %q", buf.String())
+	}
+	reg.Gauge("phase_seconds", metrics.L("machine", "6"),
+		metrics.L("phase", "network_partition")).Set(4)
+	e.Step()
+	buf.Reset()
+	e.WriteText(&buf)
+	if !strings.Contains(buf.String(), DetectorStraggler) {
+		t.Fatalf("text report missing diagnosis: %q", buf.String())
+	}
+}
+
+func TestEngineNilSafety(t *testing.T) {
+	var e *Engine
+	e.Start()
+	e.Step()
+	e.Stop()
+	if e.Diagnoses() != nil {
+		t.Fatal("nil engine returned diagnoses")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e.WriteText(&buf)
+	// Started-but-empty engine against a nil registry field.
+	e2 := NewEngine(Options{Machines: 4})
+	e2.Start()
+	e2.Step()
+	e2.Stop()
+}
+
+func TestEngineLiveLoop(t *testing.T) {
+	// The real lifecycle: a fast ticker evaluating while telemetry is
+	// written concurrently — the shape the -race run exercises.
+	reg := metrics.NewRegistry()
+	e := NewEngine(Options{Machines: 8, Registry: reg, Interval: minInterval})
+	e.Start()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				feedUniform(reg, 8)
+			}
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	e.Stop()
+	if ds := e.Diagnoses(); len(ds) != 0 {
+		t.Fatalf("uniform live telemetry diagnosed: %v", ds)
+	}
+	e.mu.Lock()
+	n := e.nEvals
+	e.mu.Unlock()
+	if n == 0 {
+		t.Fatal("loop never evaluated")
+	}
+}

@@ -1,0 +1,185 @@
+package health
+
+import (
+	"testing"
+
+	"rackjoin/internal/model"
+	"rackjoin/internal/netsched"
+	"rackjoin/internal/sim"
+)
+
+// sweepConfig is a moderate 1 GB ⋈ 1 GB workload: large enough that the
+// network pass exhibits the real credit/backlog dynamics, small enough
+// that the full sweep stays in test-suite time. FDR's flat bandwidth
+// curve is the one calibrated for 16–64 machine racks (QDR's per-machine
+// congestion term zeroes out past ~30 machines).
+func sweepConfig(machines int) sim.Config {
+	return sim.Config{
+		Machines: machines, Cores: 8, Net: model.FDR(),
+		RTuples: 64 << 20, STuples: 64 << 20,
+	}
+}
+
+// starveConfig is the network-bound variant the buffer-starvation cases
+// run on: more cores than the IPoIB-class wire can absorb, and small
+// buffers over few partitions so the credit discipline actually cycles
+// (buffer reuse is a no-op in a CPU-bound pass — senders never wait, so
+// there is nothing to starve).
+func starveConfig(machines int) sim.Config {
+	cfg := sweepConfig(machines)
+	cfg.Cores = 16
+	cfg.Net = model.IPoIB()
+	cfg.NetworkBits = 6
+	cfg.BufferSize = 8 << 10
+	return cfg
+}
+
+func diagnose(t *testing.T, cfg sim.Config) []Diagnosis {
+	t.Helper()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DiagnoseSim(cfg, res)
+}
+
+// find returns the first diagnosis by the named detector, if any.
+func find(ds []Diagnosis, detector string) (Diagnosis, bool) {
+	for _, d := range ds {
+		if d.Detector == detector {
+			return d, true
+		}
+	}
+	return Diagnosis{}, false
+}
+
+// TestFaultInjectionSweep injects one known fault at a time at 8–64
+// machines and asserts the matching detector names the injected culprit.
+// Extra detections on a faulted run are allowed (a degraded link also
+// starves its sender's buffers — both verdicts are true); the injected
+// one must be present and correctly attributed.
+func TestFaultInjectionSweep(t *testing.T) {
+	for _, nm := range []int{8, 16, 32, 64} {
+		t.Run("slow_link", func(t *testing.T) {
+			cfg := sweepConfig(nm)
+			src, dst := 1, 4%nm
+			cfg.DegradeLink(src, dst, 0.25)
+			ds := diagnose(t, cfg)
+			d, ok := find(ds, DetectorSlowLink)
+			if !ok {
+				t.Fatalf("@%d machines: degraded link m%d→m%d not detected: %v", nm, src, dst, ds)
+			}
+			if d.Culprit.Kind != CulpritLink || d.Culprit.Machine != src || d.Culprit.Peer != dst {
+				t.Fatalf("@%d machines: blamed %v, injected link m%d→m%d", nm, d.Culprit, src, dst)
+			}
+		})
+		t.Run("straggler_machine", func(t *testing.T) {
+			cfg := sweepConfig(nm)
+			cfg.SlowMachine(3, 0.3)
+			ds := diagnose(t, cfg)
+			d, ok := find(ds, DetectorStraggler)
+			if !ok {
+				t.Fatalf("@%d machines: slowed machine 3 not detected: %v", nm, ds)
+			}
+			if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != 3 {
+				t.Fatalf("@%d machines: blamed %v, injected machine 3", nm, d.Culprit)
+			}
+		})
+		t.Run("hot_partition", func(t *testing.T) {
+			cfg := sweepConfig(nm)
+			cfg.Skew = 1.25
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The expected culprit comes from the input histograms the
+			// simulator derived, not from the detector under test.
+			hot, hotMB := -1, 0.0
+			for p, mb := range res.Detail.PartitionMB {
+				if mb > hotMB {
+					hot, hotMB = p, mb
+				}
+			}
+			d, ok := find(DiagnoseSim(cfg, res), DetectorHotPartition)
+			if !ok {
+				t.Fatalf("@%d machines: Zipf 1.25 hot partition not detected", nm)
+			}
+			if d.Culprit.Kind != CulpritPartition || d.Culprit.Partition != hot {
+				t.Fatalf("@%d machines: blamed %v, hottest partition is %d (%.1f MB)", nm, d.Culprit, hot, hotMB)
+			}
+		})
+		t.Run("buffer_starvation", func(t *testing.T) {
+			cfg := starveConfig(nm)
+			cfg.DropBuffersAt(3, 0.5)
+			ds := diagnose(t, cfg)
+			d, ok := find(ds, DetectorBufferStarvation)
+			if !ok {
+				t.Fatalf("@%d machines: dropped buffers at machine 3 not detected: %v", nm, ds)
+			}
+			if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != 3 {
+				t.Fatalf("@%d machines: blamed %v, injected machine 3", nm, d.Culprit)
+			}
+		})
+		t.Run("buffer_starvation_rack_wide", func(t *testing.T) {
+			cfg := starveConfig(nm)
+			cfg.DropBuffers(0.5)
+			ds := diagnose(t, cfg)
+			if _, ok := find(ds, DetectorBufferStarvation); !ok {
+				t.Fatalf("@%d machines: rack-wide buffer drops not detected: %v", nm, ds)
+			}
+		})
+		t.Run("scheduler_stall", func(t *testing.T) {
+			cfg := sweepConfig(nm)
+			cfg.NetSched = netsched.Rotate
+			dst := 2
+			for src := 0; src < nm; src++ {
+				if src != dst {
+					cfg.DegradeLink(src, dst, 0.2)
+				}
+			}
+			ds := diagnose(t, cfg)
+			d, ok := find(ds, DetectorSchedulerStall)
+			if !ok {
+				t.Fatalf("@%d machines: schedule stalled on m%d's ingress not detected: %v", nm, dst, ds)
+			}
+			if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != dst {
+				t.Fatalf("@%d machines: blamed %v, stalled receiver is m%d", nm, d.Culprit, dst)
+			}
+		})
+	}
+}
+
+// TestCleanRunsQuiet asserts zero diagnoses on un-faulted runs across
+// every transport mode, scheduled and unscheduled, at 8–64 machines —
+// the false-positive half of the acceptance criteria.
+func TestCleanRunsQuiet(t *testing.T) {
+	for _, nm := range []int{8, 16, 32, 64} {
+		for _, mode := range []sim.Mode{sim.ModeInterleaved, sim.ModeNonInterleaved, sim.ModeStream} {
+			for _, pol := range []netsched.Policy{netsched.Off, netsched.Rotate} {
+				cfg := sweepConfig(nm)
+				cfg.Mode = mode
+				cfg.NetSched = pol
+				if ds := diagnose(t, cfg); len(ds) != 0 {
+					t.Errorf("@%d machines, %v, netsched %v: clean run diagnosed: %v", nm, mode, pol, ds)
+				}
+			}
+		}
+	}
+	// A congested-but-scheduled rack is still healthy: the pairing
+	// discipline bounds the backlog, so no detector should fire.
+	cfg := sweepConfig(16)
+	cfg.NetSched = netsched.Rotate
+	cfg.SwitchContention = 0.03
+	if ds := diagnose(t, cfg); len(ds) != 0 {
+		t.Errorf("congested scheduled run diagnosed: %v", ds)
+	}
+
+	// A network-bound rack stalls on buffer reuse constantly — that is
+	// the legitimate back-pressure of a saturated wire, not starvation,
+	// and the goodput gate must keep the detector quiet on it.
+	for _, nm := range []int{8, 64} {
+		if ds := diagnose(t, starveConfig(nm)); len(ds) != 0 {
+			t.Errorf("@%d machines: clean network-bound run diagnosed: %v", nm, ds)
+		}
+	}
+}

@@ -1,0 +1,610 @@
+// Package health is the rack-wide diagnosis plane of the repository: it
+// turns the raw telemetry every layer already records — per-machine
+// metric deltas (the metrics.Delta/SampleKey API), flight-recorder
+// events, netsched round telemetry, per-link byte counters — into
+// derived health indicators and, on top of those, structured Diagnosis
+// records that name a culprit (a machine, a directed link, a partition),
+// the evidence that fired, and a confidence.
+//
+// The package has two front-ends over one shared evaluation core:
+//
+//   - Engine (engine.go) consumes a live registry while a join runs,
+//     serving /health on the obsv server and streaming diagnoses into
+//     the flight recorder;
+//   - FromSim (sim.go) builds an Observation from a finished simulated
+//     execution, which is how the detectors are validated: the
+//     fault-injection sweep (faultsweep_test.go) injects one known
+//     degradation at a time and asserts the matching detector names the
+//     injected culprit — and that clean runs stay quiet.
+//
+// The five detectors and the §6 behaviour each one guards:
+//
+//	slow_link         one directed link achieving well below the rack's
+//	                  median payload bandwidth (a degraded NIC/cable —
+//	                  the balanced all-to-all of §4.2 sinks to its
+//	                  slowest link)
+//	straggler_machine one machine's phase total lagging the rack median
+//	                  (§6.5's stragglers, from CPU contention rather
+//	                  than data skew)
+//	hot_partition     one network partition drawing a dominant share of
+//	                  the shipped bytes (§6.5's Zipf workloads)
+//	buffer_starvation senders stalling on buffer reuse while their links
+//	                  run below the expected payload rate — buffers, not
+//	                  bandwidth, are the constraint (lost/retransmitted
+//	                  transfers, undersized pools)
+//	scheduler_stall   the communication schedule's pacing gates
+//	                  dominating the pass (one receiver's backlog
+//	                  parking every sender)
+package health
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Detector names, as they appear in Diagnosis.Detector and the
+// health_diagnoses_total{detector} counter.
+const (
+	DetectorSlowLink         = "slow_link"
+	DetectorStraggler        = "straggler_machine"
+	DetectorHotPartition     = "hot_partition"
+	DetectorBufferStarvation = "buffer_starvation"
+	DetectorSchedulerStall   = "scheduler_stall"
+)
+
+// CulpritKind classifies what a diagnosis blames.
+type CulpritKind string
+
+// Culprit kinds.
+const (
+	CulpritMachine   CulpritKind = "machine"
+	CulpritLink      CulpritKind = "link"
+	CulpritPartition CulpritKind = "partition"
+)
+
+// Culprit names the entity a diagnosis blames: a machine, a directed
+// link Machine→Peer, or a network partition.
+type Culprit struct {
+	Kind CulpritKind `json:"kind"`
+	// Machine is the blamed machine, or the source of a blamed link.
+	Machine int `json:"machine"`
+	// Peer is the destination of a blamed link (link kind only).
+	Peer int `json:"peer,omitempty"`
+	// Partition is the blamed network partition (partition kind only).
+	Partition int `json:"partition,omitempty"`
+}
+
+// String renders the culprit the way reports and flight events name it.
+func (c Culprit) String() string {
+	switch c.Kind {
+	case CulpritLink:
+		return fmt.Sprintf("link m%d→m%d", c.Machine, c.Peer)
+	case CulpritPartition:
+		return fmt.Sprintf("partition %d", c.Partition)
+	default:
+		return fmt.Sprintf("machine %d", c.Machine)
+	}
+}
+
+// Evidence is one indicator that contributed to a diagnosis: its value,
+// the baseline it was compared against, and an optional detail.
+type Evidence struct {
+	Indicator string  `json:"indicator"`
+	Value     float64 `json:"value"`
+	Baseline  float64 `json:"baseline,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Diagnosis is one detector verdict: the culprit, the evidence, and a
+// confidence in (0, 1] that grows with how far past its threshold the
+// detector fired (0.5 at the threshold, 1.0 at twice the threshold).
+type Diagnosis struct {
+	Detector   string     `json:"detector"`
+	Culprit    Culprit    `json:"culprit"`
+	Evidence   []Evidence `json:"evidence"`
+	Confidence float64    `json:"confidence"`
+	// ElapsedSeconds is when the engine first emitted this diagnosis,
+	// relative to Engine.Start; zero for post-run (sim) evaluation.
+	ElapsedSeconds float64 `json:"elapsed_s,omitempty"`
+}
+
+// String renders the diagnosis as one report line.
+func (d Diagnosis) String() string {
+	s := fmt.Sprintf("%-18s %-16s confidence %.2f", d.Detector, d.Culprit, d.Confidence)
+	for _, ev := range d.Evidence {
+		s += fmt.Sprintf("\n    %-24s %.4g", ev.Indicator, ev.Value)
+		if ev.Baseline != 0 {
+			s += fmt.Sprintf(" (baseline %.4g)", ev.Baseline)
+		}
+		if ev.Detail != "" {
+			s += "  " + ev.Detail
+		}
+	}
+	return s
+}
+
+// Observation is one snapshot of the derived health indicators the
+// detectors evaluate. Both front-ends produce it: the online Engine
+// accumulates it from registry deltas, FromSim derives it from a
+// simulated execution. Per-machine slices are indexed by machine ID;
+// nil slices mean "not observed" and disable the detectors that need
+// them — every detector degrades to silence, never to a guess.
+type Observation struct {
+	// Machines is the rack size.
+	Machines int
+	// WallSec is the observation window: the network-pass duration for
+	// post-run evaluation, the elapsed run time for the online engine.
+	WallSec float64
+
+	// ExpectedLinkMBps is the model payload bandwidth of one host link
+	// (MB/s); 0 means unknown, restricting detectors to peer-relative
+	// baselines.
+	ExpectedLinkMBps float64
+	// LinkMB[src][dst] is the payload shipped on each directed link, MB.
+	LinkMB [][]float64
+	// LinkBusySec[src][dst] is the wire time that payload occupied; nil
+	// when only byte counts are observed (online), in which case
+	// achieved rates are computed against WallSec and compared only
+	// peer-relatively.
+	LinkBusySec [][]float64
+
+	// PhaseTotalSec is each machine's total across completed phases.
+	PhaseTotalSec []float64
+
+	// Stalls and Flushes are each sender's buffer-reuse stalls and
+	// buffer posts; Retransmits counts transfers the fault layer (or a
+	// lossy fabric) forced onto the wire twice.
+	Stalls      []float64
+	Flushes     []float64
+	Retransmits []float64
+
+	// PartitionMB is the payload shipped per network partition, MB.
+	PartitionMB map[int]float64
+
+	// Scheduled reports whether a communication schedule was active.
+	Scheduled bool
+	// PacedWaitSec[dst] is the time transfers spent gated by the pairing
+	// discipline waiting for dst's ingress backlog to drain (post-run
+	// view); nil online, where SchedRounds/SchedIdle/SchedParks carry
+	// the netsched round telemetry instead.
+	PacedWaitSec []float64
+	SchedRounds  []float64
+	SchedIdle    []float64
+	SchedParks   []float64
+
+	// Injects is each machine's readiness-injection count (pipelined
+	// runs); with Flushes it feeds the starvation indicator of the
+	// report, not a detector.
+	Injects []float64
+}
+
+// Detector thresholds. Each detector fires when its severity ratio —
+// indicator over threshold — reaches 1; confidence is conf(severity).
+// The values are set so that the clean-run sweep (every transport mode,
+// scheduled and unscheduled, 8–64 machines, uniform workload) stays
+// silent with margin, while the sweep's injected faults (§ faultsweep)
+// land well past 1.
+const (
+	// slowLinkFactor: a link is slow when its achieved payload rate is
+	// below this fraction of the rack's median link rate. Uniform
+	// all-to-all traffic keeps healthy links within a few percent of the
+	// median; a degraded link achieves exactly its degradation factor.
+	slowLinkFactor = 0.5
+	// slowLinkMinShare: links carrying less than this fraction of the
+	// mean per-link payload are not judged (tiny flows have noisy rates).
+	slowLinkMinShare = 0.25
+
+	// stragglerFactor: a machine is a straggler when its phase total
+	// exceeds this multiple of the rack median. Clean runs spread within
+	// ~1.01× at 2^10 partitions (round-robin imbalance only), while a
+	// degraded machine drags the whole rack's network pass with it, so
+	// its own total exceeds the (also-inflated) median by a diluted
+	// margin — the threshold sits between the two regimes.
+	stragglerFactor = 1.3
+
+	// hotPartitionFactor: max partition bytes over mean partition bytes.
+	// Uniform workloads sit near 1; Zipf 1.2+ reaches tens.
+	hotPartitionFactor = 4.0
+	// hotPartitionMinParts: need at least this many partitions with
+	// traffic before a max/mean ratio means anything.
+	hotPartitionMinParts = 8
+
+	// starveStallRate: stalls per flush above which a sender counts as
+	// back-pressured. This is a presence gate, not the discriminating
+	// signal — network-bound runs stall legitimately at similar rates
+	// (a CPU-bound sender never stalls at all), so the detector fires
+	// only when starveGoodputFrac shows the wire underdelivering too.
+	starveStallRate = 0.02
+	// starveGoodputFrac: the sender's achieved egress payload rate must
+	// also be below this fraction of the expected (or median) link rate
+	// — stalling *while the wire is not delivering* is starvation;
+	// stalling at full rate is just a network-bound run.
+	starveGoodputFrac = 0.75
+	// starveMinFlushes: minimum posts before stall rates are judged.
+	starveMinFlushes = 16
+
+	// schedWaitFrac: minimum pacing-gate wait attributable to one
+	// destination, as a fraction of the pass, before the schedule is
+	// judged at all (filters the near-zero gate noise of self-pacing
+	// transports).
+	schedWaitFrac = 0.2
+	// schedStallRatio: the worst destination's accumulated gate wait
+	// over the median destination's. Healthy scheduled passes gate
+	// symmetrically (the synchronized fill convoy parks briefly at every
+	// receiver in turn, max/median ≈ 1); a stalled receiver's backlog
+	// collects a dominant share.
+	schedStallRatio = 2.5
+	// schedIdleFrac is the online counterpart: the fraction of netsched
+	// rounds that advanced with nothing to send, judged only when parks
+	// show there was parked work waiting.
+	schedIdleFrac = 0.6
+	// schedMinRounds: minimum observed rounds before idle fractions are
+	// judged online.
+	schedMinRounds = 16
+)
+
+// conf maps a severity ratio (indicator ÷ threshold, ≥ 1 when a
+// detector fires) to a confidence: 0.5 at the threshold, 1.0 at twice
+// the threshold and beyond.
+func conf(severity float64) float64 {
+	c := 0.5 * severity
+	if c > 1 {
+		return 1
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Evaluate runs every detector over one observation and returns the
+// diagnoses, most confident first. A healthy observation returns nil.
+func Evaluate(o Observation) []Diagnosis {
+	var out []Diagnosis
+	out = append(out, detectSlowLink(o)...)
+	out = append(out, detectStraggler(o)...)
+	out = append(out, detectHotPartition(o)...)
+	out = append(out, detectBufferStarvation(o)...)
+	out = append(out, detectSchedulerStall(o)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Confidence > out[j].Confidence })
+	return out
+}
+
+// median returns the median of vs (vs is sorted in place).
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// linkRate returns the achieved payload rate of link (i,j): against its
+// wire-busy time when observed, else against the observation window.
+func (o *Observation) linkRate(i, j int) float64 {
+	mb := o.LinkMB[i][j]
+	if o.LinkBusySec != nil {
+		if busy := o.LinkBusySec[i][j]; busy > 0 {
+			return mb / busy
+		}
+		return 0
+	}
+	if o.WallSec > 0 {
+		return mb / o.WallSec
+	}
+	return 0
+}
+
+// detectSlowLink compares every traffic-bearing directed link's achieved
+// payload rate against the rack median and blames the worst link below
+// slowLinkFactor × median.
+func detectSlowLink(o Observation) []Diagnosis {
+	if len(o.LinkMB) == 0 {
+		return nil
+	}
+	type link struct {
+		src, dst int
+		mb, rate float64
+	}
+	var links []link
+	var totalMB float64
+	for i := range o.LinkMB {
+		for j := range o.LinkMB[i] {
+			if mb := o.LinkMB[i][j]; mb > 0 {
+				links = append(links, link{i, j, mb, o.linkRate(i, j)})
+				totalMB += mb
+			}
+		}
+	}
+	if len(links) < 2 {
+		return nil
+	}
+	meanMB := totalMB / float64(len(links))
+	rates := make([]float64, 0, len(links))
+	for _, l := range links {
+		if l.mb >= slowLinkMinShare*meanMB && l.rate > 0 {
+			rates = append(rates, l.rate)
+		}
+	}
+	if len(rates) < 2 {
+		return nil
+	}
+	med := median(rates)
+	if med <= 0 {
+		return nil
+	}
+	worst, worstRate := link{}, math.Inf(1)
+	for _, l := range links {
+		if l.mb < slowLinkMinShare*meanMB || l.rate <= 0 {
+			continue
+		}
+		if l.rate < worstRate {
+			worst, worstRate = l, l.rate
+		}
+	}
+	if worstRate >= slowLinkFactor*med {
+		return nil
+	}
+	// severity: deficit from the median over the firing deficit.
+	severity := (1 - worstRate/med) / (1 - slowLinkFactor)
+	ev := []Evidence{
+		{Indicator: "link_achieved_mbps", Value: worstRate, Baseline: med,
+			Detail: fmt.Sprintf("%.1f MB over m%d→m%d", worst.mb, worst.src, worst.dst)},
+	}
+	if o.ExpectedLinkMBps > 0 {
+		ev = append(ev, Evidence{Indicator: "model_link_mbps", Value: o.ExpectedLinkMBps})
+	}
+	return []Diagnosis{{
+		Detector:   DetectorSlowLink,
+		Culprit:    Culprit{Kind: CulpritLink, Machine: worst.src, Peer: worst.dst},
+		Evidence:   ev,
+		Confidence: conf(severity),
+	}}
+}
+
+// detectStraggler blames the machine whose phase total exceeds
+// stragglerFactor × the rack median.
+func detectStraggler(o Observation) []Diagnosis {
+	var totals []float64
+	for _, t := range o.PhaseTotalSec {
+		if t > 0 {
+			totals = append(totals, t)
+		}
+	}
+	// Judge only once most of the rack has reported: mid-run, machines
+	// that merely haven't finished a phase yet are not stragglers.
+	if len(totals) < 3 || len(totals) < o.Machines {
+		return nil
+	}
+	med := median(append([]float64(nil), totals...))
+	if med <= 0 {
+		return nil
+	}
+	worst, worstT := -1, 0.0
+	for m, t := range o.PhaseTotalSec {
+		if t > worstT {
+			worst, worstT = m, t
+		}
+	}
+	if worst < 0 || worstT < stragglerFactor*med {
+		return nil
+	}
+	return []Diagnosis{{
+		Detector: DetectorStraggler,
+		Culprit:  Culprit{Kind: CulpritMachine, Machine: worst},
+		Evidence: []Evidence{
+			{Indicator: "phase_total_seconds", Value: worstT, Baseline: med,
+				Detail: fmt.Sprintf("lag %.3fs vs rack median", worstT-med)},
+		},
+		Confidence: conf((worstT / med) / stragglerFactor),
+	}}
+}
+
+// detectHotPartition blames the partition drawing a dominant share of
+// the shipped bytes.
+func detectHotPartition(o Observation) []Diagnosis {
+	if len(o.PartitionMB) < hotPartitionMinParts {
+		return nil
+	}
+	var total, max float64
+	hot := -1
+	for p, mb := range o.PartitionMB {
+		if mb <= 0 {
+			continue
+		}
+		total += mb
+		if mb > max || (mb == max && (hot < 0 || p < hot)) {
+			max, hot = mb, p
+		}
+	}
+	n := len(o.PartitionMB)
+	mean := total / float64(n)
+	if hot < 0 || mean <= 0 || max < hotPartitionFactor*mean {
+		return nil
+	}
+	return []Diagnosis{{
+		Detector: DetectorHotPartition,
+		Culprit:  Culprit{Kind: CulpritPartition, Partition: hot},
+		Evidence: []Evidence{
+			{Indicator: "partition_mb_max_mean_ratio", Value: max / mean, Baseline: hotPartitionFactor,
+				Detail: fmt.Sprintf("%.1f MB of %.1f MB total over %d partitions", max, total, n)},
+		},
+		Confidence: conf((max / mean) / hotPartitionFactor),
+	}}
+}
+
+// egressStats sums machine m's rows of the link matrices: payload MB
+// shipped and, when observed, the wire time it occupied.
+func (o *Observation) egressStats(m int) (mb, busy float64) {
+	if m >= len(o.LinkMB) {
+		return 0, 0
+	}
+	for j, v := range o.LinkMB[m] {
+		mb += v
+		if o.LinkBusySec != nil {
+			busy += o.LinkBusySec[m][j]
+		}
+	}
+	return mb, busy
+}
+
+// detectBufferStarvation looks for senders stalling on buffer reuse
+// while their links deliver payload below the expected rate — the
+// signature of starved pools (retransmissions, dropped buffers,
+// undersized credit pools), as opposed to the legitimate stalling of a
+// network-bound run at full wire rate.
+func detectBufferStarvation(o Observation) []Diagnosis {
+	if len(o.Stalls) == 0 || len(o.Flushes) == 0 || len(o.LinkMB) == 0 {
+		return nil
+	}
+	// Baseline for "the wire is underdelivering": the model rate when
+	// busy-time goodput is observable, else the rack's median achieved
+	// egress rate (which catches targeted faults online).
+	busyBased := o.LinkBusySec != nil && o.ExpectedLinkMBps > 0
+	var medRate float64
+	if !busyBased {
+		var rates []float64
+		for m := range o.LinkMB {
+			if mb, _ := o.egressStats(m); mb > 0 && o.WallSec > 0 {
+				rates = append(rates, mb/o.WallSec)
+			}
+		}
+		if len(rates) < 3 {
+			return nil
+		}
+		medRate = median(rates)
+		if medRate <= 0 {
+			return nil
+		}
+	}
+	worst, worstSev := -1, 0.0
+	var worstEv []Evidence
+	affected := 0
+	for m := range o.Flushes {
+		if o.Flushes[m] < starveMinFlushes || m >= len(o.Stalls) {
+			continue
+		}
+		stallRate := o.Stalls[m] / o.Flushes[m]
+		if stallRate <= starveStallRate {
+			continue
+		}
+		mb, busy := o.egressStats(m)
+		if mb <= 0 {
+			continue
+		}
+		var achieved, baseline float64
+		if busyBased {
+			if busy <= 0 {
+				continue
+			}
+			achieved, baseline = mb/busy, o.ExpectedLinkMBps
+		} else {
+			achieved, baseline = mb/o.WallSec, medRate
+		}
+		if achieved >= starveGoodputFrac*baseline {
+			continue // stalling at full rate: network-bound, not starved
+		}
+		affected++
+		sev := stallRate / starveStallRate
+		if gp := (1 - achieved/baseline) / (1 - starveGoodputFrac); gp < sev {
+			sev = gp // confidence is bounded by the weaker of the two signals
+		}
+		if sev > worstSev {
+			worstSev, worst = sev, m
+			worstEv = []Evidence{
+				{Indicator: "stall_rate", Value: stallRate, Baseline: starveStallRate,
+					Detail: fmt.Sprintf("%.0f stalls over %.0f flushes", o.Stalls[m], o.Flushes[m])},
+				{Indicator: "egress_goodput_mbps", Value: achieved, Baseline: baseline},
+			}
+			if m < len(o.Retransmits) && o.Retransmits[m] > 0 {
+				worstEv = append(worstEv, Evidence{Indicator: "retransmits", Value: o.Retransmits[m]})
+			}
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	if affected > 1 {
+		worstEv = append(worstEv, Evidence{Indicator: "machines_affected", Value: float64(affected),
+			Detail: "starvation is rack-wide, worst machine named"})
+	}
+	return []Diagnosis{{
+		Detector:   DetectorBufferStarvation,
+		Culprit:    Culprit{Kind: CulpritMachine, Machine: worst},
+		Evidence:   worstEv,
+		Confidence: conf(worstSev),
+	}}
+}
+
+// detectSchedulerStall fires when the communication schedule's pacing
+// gates dominate the pass. Post-run, the paced-wait ledger names the
+// receiver whose backlog parked the senders; online, a machine whose
+// rounds mostly advance idle while it holds parked buffers is starving
+// behind its own schedule.
+func detectSchedulerStall(o Observation) []Diagnosis {
+	if !o.Scheduled {
+		return nil
+	}
+	if o.PacedWaitSec != nil && o.WallSec > 0 {
+		worst, worstW := -1, 0.0
+		for d, w := range o.PacedWaitSec {
+			if w > worstW {
+				worst, worstW = d, w
+			}
+		}
+		if worst < 0 || worstW < schedWaitFrac*o.WallSec {
+			return nil
+		}
+		// The schedule must be gating rack-wide (median destination wait
+		// > 0) before one destination's dominance means anything: a
+		// synchronized cold start parks the whole rack on partition 0's
+		// owner once, with zero gating anywhere else, and that transient
+		// is not a stalled receiver.
+		med := median(append([]float64(nil), o.PacedWaitSec...))
+		if med <= 0 || worstW < schedStallRatio*med {
+			return nil
+		}
+		severity := worstW / (schedStallRatio * med)
+		return []Diagnosis{{
+			Detector: DetectorSchedulerStall,
+			Culprit:  Culprit{Kind: CulpritMachine, Machine: worst},
+			Evidence: []Evidence{
+				{Indicator: "paced_wait_seconds", Value: worstW, Baseline: med,
+					Detail: fmt.Sprintf("senders gated on m%d's ingress backlog (%.3fs pass, median dest %.3fs)", worst, o.WallSec, med)},
+			},
+			Confidence: conf(severity),
+		}}
+	}
+	// Online: netsched round telemetry.
+	worst, worstFrac := -1, 0.0
+	for m := range o.SchedRounds {
+		rounds := o.SchedRounds[m]
+		if rounds < schedMinRounds || m >= len(o.SchedIdle) {
+			continue
+		}
+		if m >= len(o.SchedParks) || o.SchedParks[m] == 0 {
+			continue // idling without parked work is a drained schedule, not a stall
+		}
+		idleFrac := o.SchedIdle[m] / rounds
+		if idleFrac > schedIdleFrac && idleFrac > worstFrac {
+			worst, worstFrac = m, idleFrac
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	return []Diagnosis{{
+		Detector: DetectorSchedulerStall,
+		Culprit:  Culprit{Kind: CulpritMachine, Machine: worst},
+		Evidence: []Evidence{
+			{Indicator: "idle_round_fraction", Value: worstFrac, Baseline: schedIdleFrac,
+				Detail: fmt.Sprintf("%.0f of %.0f rounds idle with %.0f parks", o.SchedIdle[worst], o.SchedRounds[worst], o.SchedParks[worst])},
+		},
+		Confidence: conf(worstFrac / schedIdleFrac),
+	}}
+}

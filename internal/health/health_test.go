@@ -1,0 +1,218 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+// obs8 builds a healthy 8-machine observation: uniform links at the
+// model rate, equal phase totals, moderate legitimate stalling.
+func obs8() Observation {
+	const nm, rate = 8, 1000.0
+	o := Observation{
+		Machines:         nm,
+		WallSec:          1,
+		ExpectedLinkMBps: rate,
+		LinkMB:           make([][]float64, nm),
+		LinkBusySec:      make([][]float64, nm),
+		PhaseTotalSec:    make([]float64, nm),
+		Stalls:           make([]float64, nm),
+		Flushes:          make([]float64, nm),
+		Retransmits:      make([]float64, nm),
+		PartitionMB:      make(map[int]float64),
+	}
+	for i := 0; i < nm; i++ {
+		o.LinkMB[i] = make([]float64, nm)
+		o.LinkBusySec[i] = make([]float64, nm)
+		for j := 0; j < nm; j++ {
+			if i != j {
+				o.LinkMB[i][j] = 100
+				o.LinkBusySec[i][j] = 100 / rate
+			}
+		}
+		o.PhaseTotalSec[i] = 2
+		o.Flushes[i] = 1000
+		o.Stalls[i] = 5
+	}
+	for p := 0; p < 64; p++ {
+		o.PartitionMB[p] = 10
+	}
+	return o
+}
+
+func TestHealthyObservationQuiet(t *testing.T) {
+	if ds := Evaluate(obs8()); len(ds) != 0 {
+		t.Fatalf("healthy observation diagnosed: %v", ds)
+	}
+}
+
+func TestEmptyObservationQuiet(t *testing.T) {
+	if ds := Evaluate(Observation{Machines: 8}); len(ds) != 0 {
+		t.Fatalf("empty observation diagnosed: %v", ds)
+	}
+}
+
+func TestDetectSlowLinkSynthetic(t *testing.T) {
+	o := obs8()
+	o.LinkBusySec[2][5] = 100 / (0.2 * o.ExpectedLinkMBps) // link at 20% rate
+	ds := Evaluate(o)
+	d, ok := find(ds, DetectorSlowLink)
+	if !ok {
+		t.Fatalf("slow link not detected: %v", ds)
+	}
+	if d.Culprit.Kind != CulpritLink || d.Culprit.Machine != 2 || d.Culprit.Peer != 5 {
+		t.Fatalf("blamed %v, want link m2→m5", d.Culprit)
+	}
+	if d.Confidence <= 0.5 || d.Confidence > 1 {
+		t.Fatalf("confidence %.2f outside (0.5, 1] for a 20%% link", d.Confidence)
+	}
+}
+
+func TestDetectStragglerSynthetic(t *testing.T) {
+	o := obs8()
+	o.PhaseTotalSec[6] = 3.5 // 1.75× the median of 2
+	d, ok := find(Evaluate(o), DetectorStraggler)
+	if !ok {
+		t.Fatal("straggler not detected")
+	}
+	if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != 6 {
+		t.Fatalf("blamed %v, want machine 6", d.Culprit)
+	}
+}
+
+func TestStragglerWaitsForFullRack(t *testing.T) {
+	// Mid-run, only half the rack has reported phase totals: the
+	// detector must not call the early finishers' peers stragglers.
+	o := obs8()
+	for m := 4; m < 8; m++ {
+		o.PhaseTotalSec[m] = 0
+	}
+	o.PhaseTotalSec[0] = 100
+	if d, ok := find(Evaluate(o), DetectorStraggler); ok {
+		t.Fatalf("straggler %v diagnosed from a half-reported rack", d.Culprit)
+	}
+}
+
+func TestDetectHotPartitionSynthetic(t *testing.T) {
+	o := obs8()
+	o.PartitionMB[17] = 100 // 10× the mean
+	d, ok := find(Evaluate(o), DetectorHotPartition)
+	if !ok {
+		t.Fatal("hot partition not detected")
+	}
+	if d.Culprit.Kind != CulpritPartition || d.Culprit.Partition != 17 {
+		t.Fatalf("blamed %v, want partition 17", d.Culprit)
+	}
+}
+
+func TestDetectBufferStarvationSynthetic(t *testing.T) {
+	o := obs8()
+	o.Stalls[3] = 400 // stall rate 0.4
+	for j := range o.LinkBusySec[3] {
+		if o.LinkMB[3][j] > 0 {
+			o.LinkBusySec[3][j] *= 2 // goodput at half the model rate
+		}
+	}
+	o.Retransmits[3] = 123
+	d, ok := find(Evaluate(o), DetectorBufferStarvation)
+	if !ok {
+		t.Fatal("buffer starvation not detected")
+	}
+	if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != 3 {
+		t.Fatalf("blamed %v, want machine 3", d.Culprit)
+	}
+	var hasRetx bool
+	for _, ev := range d.Evidence {
+		if ev.Indicator == "retransmits" && ev.Value == 123 {
+			hasRetx = true
+		}
+	}
+	if !hasRetx {
+		t.Fatalf("retransmit evidence missing: %+v", d.Evidence)
+	}
+}
+
+func TestStallingAtFullRateIsNotStarvation(t *testing.T) {
+	// A network-bound run stalls heavily while the wire delivers at the
+	// model rate — legitimate back-pressure, not starvation.
+	o := obs8()
+	for m := range o.Stalls {
+		o.Stalls[m] = 800
+	}
+	if d, ok := find(Evaluate(o), DetectorBufferStarvation); ok {
+		t.Fatalf("full-rate stalling diagnosed as starvation: %v", d)
+	}
+}
+
+func TestDetectSchedulerStallSynthetic(t *testing.T) {
+	o := obs8()
+	o.Scheduled = true
+	o.PacedWaitSec = []float64{0.05, 0.05, 0.05, 0.05, 2.0, 0.05, 0.05, 0.05}
+	d, ok := find(Evaluate(o), DetectorSchedulerStall)
+	if !ok {
+		t.Fatal("scheduler stall not detected")
+	}
+	if d.Culprit.Kind != CulpritMachine || d.Culprit.Machine != 4 {
+		t.Fatalf("blamed %v, want machine 4", d.Culprit)
+	}
+}
+
+func TestSchedulerStallOnlineTelemetry(t *testing.T) {
+	o := obs8()
+	o.Scheduled = true
+	o.SchedRounds = []float64{100, 100, 100, 100, 100, 100, 100, 100}
+	o.SchedIdle = []float64{5, 5, 90, 5, 5, 5, 5, 5}
+	o.SchedParks = []float64{0, 0, 40, 0, 0, 0, 0, 0}
+	d, ok := find(Evaluate(o), DetectorSchedulerStall)
+	if !ok {
+		t.Fatal("online scheduler stall not detected")
+	}
+	if d.Culprit.Machine != 2 {
+		t.Fatalf("blamed %v, want machine 2", d.Culprit)
+	}
+	// Idling without parked work is a drained schedule, not a stall.
+	o.SchedParks[2] = 0
+	if d, ok := find(Evaluate(o), DetectorSchedulerStall); ok {
+		t.Fatalf("drained schedule diagnosed as stall: %v", d)
+	}
+}
+
+func TestDiagnosesSortedByConfidence(t *testing.T) {
+	o := obs8()
+	o.LinkBusySec[2][5] = 100 / (0.1 * o.ExpectedLinkMBps)
+	o.PhaseTotalSec[6] = 2.7 // just past the 1.3× threshold
+	ds := Evaluate(o)
+	if len(ds) < 2 {
+		t.Fatalf("want ≥ 2 diagnoses, got %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Confidence > ds[i-1].Confidence {
+			t.Fatalf("diagnoses not sorted by confidence: %v", ds)
+		}
+	}
+}
+
+func TestCulpritAndDiagnosisStrings(t *testing.T) {
+	cases := map[string]Culprit{
+		"machine 3":   {Kind: CulpritMachine, Machine: 3},
+		"link m1→m4":  {Kind: CulpritLink, Machine: 1, Peer: 4},
+		"partition 9": {Kind: CulpritPartition, Partition: 9},
+	}
+	for want, c := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("culprit %+v renders %q, want %q", c, got, want)
+		}
+	}
+	d := Diagnosis{
+		Detector:   DetectorSlowLink,
+		Culprit:    Culprit{Kind: CulpritLink, Machine: 0, Peer: 2},
+		Evidence:   []Evidence{{Indicator: "link_achieved_mbps", Value: 250, Baseline: 1000, Detail: "degraded"}},
+		Confidence: 0.8,
+	}
+	s := d.String()
+	for _, want := range []string{"slow_link", "link m0→m2", "0.80", "link_achieved_mbps", "degraded"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnosis string %q missing %q", s, want)
+		}
+	}
+}

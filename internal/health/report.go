@@ -1,0 +1,179 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rackjoin/internal/obsv"
+	"rackjoin/internal/trace"
+)
+
+// CrossCheck pairs one diagnosis with the independent observability
+// verdicts that agree or disagree with it: the critical-path extraction
+// (does the blamed entity actually dominate the run's causal spine?) and
+// the model-residual profiler (does the §5 model see the same skew,
+// straggler, or regime?). A diagnosis corroborated by an independent
+// plane is actionable; a conflicted one warrants a look at the evidence.
+type CrossCheck struct {
+	Diagnosis     Diagnosis `json:"diagnosis"`
+	Corroborating []string  `json:"corroborating,omitempty"`
+	Conflicting   []string  `json:"conflicting,omitempty"`
+}
+
+// Report is the post-run health verdict: the retained diagnoses, each
+// cross-checked against the critical path and the residual profiler.
+type Report struct {
+	Checks []CrossCheck `json:"checks"`
+	// Notes carries rack-level observations that are not tied to one
+	// diagnosis (e.g. "clean run, residual regime matches the model").
+	Notes []string `json:"notes,omitempty"`
+}
+
+// BuildReport cross-checks diagnoses against the run's critical path and
+// residual verdict. Either cross-reference may be nil; the report then
+// records the diagnoses without the missing plane's checks.
+func BuildReport(ds []Diagnosis, cp *trace.CriticalPath, res *obsv.Residual) *Report {
+	r := &Report{Checks: make([]CrossCheck, 0, len(ds))}
+	for _, d := range ds {
+		r.Checks = append(r.Checks, crossCheck(d, cp, res))
+	}
+	if len(ds) == 0 {
+		note := "no detector fired"
+		if res != nil {
+			if res.RegimeMatch {
+				note += "; residual regime matches the model"
+			} else {
+				note += fmt.Sprintf("; NB residual regime mismatch (predicted network-bound %v, observed %v)",
+					res.PredictedNetworkBound, res.ObservedNetworkBound)
+			}
+		}
+		r.Notes = append(r.Notes, note)
+	}
+	return r
+}
+
+func crossCheck(d Diagnosis, cp *trace.CriticalPath, res *obsv.Residual) CrossCheck {
+	c := CrossCheck{Diagnosis: d}
+	agree := func(format string, a ...any) { c.Corroborating = append(c.Corroborating, fmt.Sprintf(format, a...)) }
+	differ := func(format string, a ...any) { c.Conflicting = append(c.Conflicting, fmt.Sprintf(format, a...)) }
+
+	switch d.Detector {
+	case DetectorSlowLink:
+		if cp != nil && len(cp.ByLink) > 0 {
+			key, dur := dominant(cp.ByLink)
+			if src, dst, ok := parseLinkKey(key); ok {
+				if src == d.Culprit.Machine && dst == d.Culprit.Peer {
+					agree("critical path spends %.3fs (%.0f%% of path) waiting on %s",
+						dur.Seconds(), 100*dur.Seconds()/cp.Path.Seconds(), key)
+				} else {
+					differ("critical path's dominant link is %s, not the blamed m%d→m%d",
+						key, d.Culprit.Machine, d.Culprit.Peer)
+				}
+			}
+		}
+	case DetectorStraggler:
+		if res != nil {
+			if res.SlowestMachine == d.Culprit.Machine {
+				agree("residual profiler agrees: machine %d slowest, lagging the mean by %.3fs",
+					res.SlowestMachine, res.StragglerLagSeconds)
+			} else {
+				differ("residual profiler names machine %d slowest, not %d",
+					res.SlowestMachine, d.Culprit.Machine)
+			}
+		}
+		if cp != nil && len(cp.ByMachine) > 0 {
+			m, dur := dominantMachine(cp.ByMachine)
+			if m == d.Culprit.Machine {
+				agree("machine %d also dominates the critical path (%.3fs attributed)", m, dur.Seconds())
+			}
+		}
+	case DetectorHotPartition:
+		if res != nil && len(res.TopPartitions) > 0 {
+			top := res.TopPartitions[0]
+			if top.Partition == d.Culprit.Partition {
+				agree("residual skew profile agrees: partition %d heaviest (skew ratio %.1f)",
+					top.Partition, res.SkewRatio)
+			} else {
+				differ("residual skew profile names partition %d heaviest, not %d",
+					top.Partition, d.Culprit.Partition)
+			}
+		}
+	case DetectorBufferStarvation:
+		if res != nil {
+			if res.ObservedNetworkBound {
+				agree("residual confirms back-pressure: stall rate %.3f per message, observed network-bound",
+					res.StallRate)
+			} else {
+				differ("residual observed the run CPU-bound (stall rate %.3f) — starvation evidence is local",
+					res.StallRate)
+			}
+		}
+	case DetectorSchedulerStall:
+		if cp != nil && len(cp.ByLink) > 0 {
+			key, dur := dominant(cp.ByLink)
+			if _, dst, ok := parseLinkKey(key); ok && dst == d.Culprit.Machine {
+				agree("critical path waits %.3fs on traffic into the blamed receiver (%s)", dur.Seconds(), key)
+			}
+		}
+	}
+	return c
+}
+
+// dominant returns the largest entry of a by-link attribution map.
+func dominant(m map[string]time.Duration) (string, time.Duration) {
+	var key string
+	var max time.Duration
+	for k, d := range m {
+		if d > max || (d == max && (key == "" || k < key)) {
+			key, max = k, d
+		}
+	}
+	return key, max
+}
+
+func dominantMachine(m map[int]time.Duration) (int, time.Duration) {
+	best := -1
+	var max time.Duration
+	for k, d := range m {
+		if d > max || (d == max && (best < 0 || k < best)) {
+			best, max = k, d
+		}
+	}
+	return best, max
+}
+
+// parseLinkKey extracts src and dst from a critical-path link key of the
+// form "<kind> mSRC→mDST" (e.g. "msg m2→m0").
+func parseLinkKey(key string) (src, dst int, ok bool) {
+	if i := strings.LastIndexByte(key, ' '); i >= 0 {
+		key = key[i+1:]
+	}
+	if _, err := fmt.Sscanf(key, "m%d→m%d", &src, &dst); err != nil {
+		return 0, 0, false
+	}
+	return src, dst, true
+}
+
+// WriteText renders the report the way -diagnose prints it post-run.
+func (r *Report) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	if len(r.Checks) == 0 {
+		fmt.Fprintln(w, "health: clean run")
+	}
+	for _, c := range r.Checks {
+		fmt.Fprintln(w, c.Diagnosis)
+		for _, s := range c.Corroborating {
+			fmt.Fprintf(w, "    ✓ %s\n", s)
+		}
+		for _, s := range c.Conflicting {
+			fmt.Fprintf(w, "    ✗ %s\n", s)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "    %s\n", n)
+	}
+}

@@ -1,0 +1,51 @@
+package health
+
+import "rackjoin/internal/sim"
+
+// FromSim derives a post-run Observation from a simulated execution:
+// the network-pass ledger (sim.Result.Detail) supplies the link and
+// sender indicators at wire-time fidelity, the per-machine phase
+// breakdown supplies the straggler signal. This is the evaluation path
+// the fault-injection sweep validates the detectors on.
+func FromSim(cfg sim.Config, res *sim.Result) Observation {
+	o := Observation{
+		Machines:      cfg.Machines,
+		WallSec:       res.Phases.NetworkPartition.Seconds(),
+		PhaseTotalSec: make([]float64, len(res.PerMachine)),
+	}
+	for m, pm := range res.PerMachine {
+		o.PhaseTotalSec[m] = pm.Total().Seconds()
+	}
+	d := res.Detail
+	if d == nil {
+		return o
+	}
+	o.ExpectedLinkMBps = d.ExpectedMBps
+	o.LinkMB = d.LinkMB
+	o.LinkBusySec = d.LinkBusySec
+	o.Stalls = toF64(d.Stalls)
+	o.Flushes = toF64(d.Flushes)
+	o.Retransmits = toF64(d.Retransmits)
+	o.PartitionMB = d.PartitionMB
+	o.Scheduled = d.Scheduled
+	if d.Scheduled {
+		o.PacedWaitSec = d.PacedWaitSec
+	}
+	return o
+}
+
+// DiagnoseSim runs the detectors over a finished simulated execution.
+func DiagnoseSim(cfg sim.Config, res *sim.Result) []Diagnosis {
+	return Evaluate(FromSim(cfg, res))
+}
+
+func toF64(vs []uint64) []float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -458,13 +458,14 @@ func labelString(labels map[string]string) string {
 
 // WriteText writes a human-readable exposition of every metric, one line
 // each: `name{label="v",…} value` for counters and gauges, and
-// `name{…} count=… sum=… p50=… p95=… p99=… p999=… max=…` for histograms.
+// `name{…} count=… sum=… min=… p50=… p95=… p99=… p999=… max=…` for
+// histograms. The format is machine-recoverable: ParseText inverts it.
 func (r *Registry) WriteText(w io.Writer) {
 	for _, s := range r.Snapshot() {
 		switch s.Type {
 		case KindHistogram:
-			fmt.Fprintf(w, "%s%s count=%d sum=%g p50=%g p95=%g p99=%g p999=%g max=%g\n",
-				s.Name, labelString(s.Labels), s.Count, s.Sum, s.P50, s.P95, s.P99, s.P999, s.Max)
+			fmt.Fprintf(w, "%s%s count=%d sum=%g min=%g p50=%g p95=%g p99=%g p999=%g max=%g\n",
+				s.Name, labelString(s.Labels), s.Count, s.Sum, s.Min, s.P50, s.P95, s.P99, s.P999, s.Max)
 		default:
 			fmt.Fprintf(w, "%s%s %g\n", s.Name, labelString(s.Labels), s.Value)
 		}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText inverts WriteText: it parses a text exposition back into
+// samples, one per line. Scalar lines are typed by the repository's
+// enforced naming convention (the metricnames analyzer guarantees every
+// counter ends in _total and no gauge does); histogram lines are
+// recognised by their count=/sum= field structure. Bucket contents are
+// not present in the text format, so round-tripped histograms carry
+// their count/sum/min/max and quantile summaries only.
+//
+// %g renders the shortest float64 representation that parses back to
+// the identical value, so WriteText → ParseText loses nothing from the
+// fields it carries.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		s, err := parseTextLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return out, nil
+}
+
+func parseTextLine(line string) (Sample, error) {
+	var s Sample
+	// The name runs to the label block or the first space.
+	end := strings.IndexAny(line, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("no value on %q", line)
+	}
+	s.Name = line[:end]
+	rest := line[end:]
+	if strings.HasPrefix(rest, "{") {
+		labels, remainder, err := parseLabels(rest[1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels, rest = labels, remainder
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("no value on %q", line)
+	}
+	if !strings.Contains(fields[0], "=") {
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+		}
+		s.Value = v
+		s.Type = KindGauge
+		if strings.HasSuffix(s.Name, "_total") {
+			s.Type = KindCounter
+		}
+		return s, nil
+	}
+	s.Type = KindHistogram
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return s, fmt.Errorf("bad histogram field %q", f)
+		}
+		fv, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad histogram field %q: %w", f, err)
+		}
+		switch k {
+		case "count":
+			s.Count = uint64(fv)
+		case "sum":
+			s.Sum = fv
+		case "min":
+			s.Min = fv
+		case "max":
+			s.Max = fv
+		case "p50":
+			s.P50 = fv
+		case "p95":
+			s.P95 = fv
+		case "p99":
+			s.P99 = fv
+		case "p999":
+			s.P999 = fv
+		default:
+			return s, fmt.Errorf("unknown histogram field %q", k)
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `k="v",…}` (the opening brace already consumed)
+// and returns the labels plus the remainder after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label block missing '=' near %q", s)
+		}
+		key := s[:eq]
+		q, err := strconv.QuotedPrefix(s[eq+1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: bad quoted value near %q", key, s[eq+1:])
+		}
+		val, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		labels[key] = val
+		s = s[eq+1+len(q):]
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return labels, s[1:], nil
+		default:
+			return nil, "", fmt.Errorf("label block malformed near %q", s)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTextRoundTrip snapshots a populated registry, writes the text
+// exposition, parses it back, and requires every carried field to
+// survive exactly — %g emits the shortest representation that reparses
+// to the identical float64.
+func TestTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", L("machine", "3")).Add(42)
+	reg.Counter("plain_total").Add(7)
+	reg.Gauge("phase_seconds", L("machine", "0"), L("phase", "network_partition")).Set(1.2345678901234)
+	reg.Gauge("temperature").Set(-3.25)
+	h := reg.Histogram("latency_seconds", L("machine", "1"))
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.1, 2.5, 0.0005, 17} {
+		h.Observe(v)
+	}
+	reg.Histogram("empty_seconds") // zero observations must round-trip too
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	want := reg.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d samples, snapshot has %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name || g.Type != w.Type {
+			t.Errorf("sample %d: got %s/%s, want %s/%s", i, g.Name, g.Type, w.Name, w.Type)
+		}
+		if len(g.Labels) != len(w.Labels) {
+			t.Errorf("%s: labels %v, want %v", w.Name, g.Labels, w.Labels)
+		}
+		for k, v := range w.Labels {
+			if g.Labels[k] != v {
+				t.Errorf("%s: label %s=%q, want %q", w.Name, k, g.Labels[k], v)
+			}
+		}
+		if g.Value != w.Value || g.Count != w.Count || g.Sum != w.Sum ||
+			g.Min != w.Min || g.Max != w.Max {
+			t.Errorf("%s: scalar fields %+v, want %+v", w.Name, g, w)
+		}
+		if g.P50 != w.P50 || g.P95 != w.P95 || g.P99 != w.P99 || g.P999 != w.P999 {
+			t.Errorf("%s: quantiles (%g %g %g %g), want (%g %g %g %g)",
+				w.Name, g.P50, g.P95, g.P99, g.P999, w.P50, w.P95, w.P99, w.P999)
+		}
+	}
+}
+
+func TestTextExpositionCarriesQuantilesAndMin(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("queue_seconds")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	line := strings.TrimSpace(buf.String())
+	for _, f := range []string{"count=1000", "min=0.001", "p50=", "p95=", "p99=", "p999=", "max=1"} {
+		if !strings.Contains(line, f) {
+			t.Errorf("exposition %q missing %s", line, f)
+		}
+	}
+}
+
+func TestParseTextLabelEdgeCases(t *testing.T) {
+	in := `weird{a="with \"quotes\"",b="comma,inside",c="brace}inside"} 5` + "\n"
+	got, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d samples", len(got))
+	}
+	want := map[string]string{"a": `with "quotes"`, "b": "comma,inside", "c": "brace}inside"}
+	for k, v := range want {
+		if got[0].Labels[k] != v {
+			t.Errorf("label %s = %q, want %q", k, got[0].Labels[k], v)
+		}
+	}
+	if got[0].Value != 5 || got[0].Type != KindGauge {
+		t.Errorf("sample %+v, want gauge 5", got[0])
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"no_value",
+		`bad_label{a=5} 1`,
+		`unterminated{a="x" 1`,
+		"hist count=1 bogus=2",
+		"hist count=abc",
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText accepted %q", in)
+		}
+	}
+}

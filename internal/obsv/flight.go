@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rackjoin/internal/metrics"
 )
 
 // FlightEvent is one structured entry of the flight recorder: a low-level
@@ -48,6 +51,10 @@ type FlightRecorder struct {
 	seq   atomic.Uint64
 	rings []flightRing
 	cap   int
+	// drops, when attached, holds one flightrec_dropped_total{machine}
+	// counter per ring, bumped on every overwrite. The slice is published
+	// atomically so AttachMetrics is safe while Note runs hot.
+	drops atomic.Pointer[[]*metrics.Counter]
 }
 
 // DefaultFlightEvents is the per-machine ring capacity used by callers
@@ -88,13 +95,35 @@ func (f *FlightRecorder) Note(machine int, kind, detail string, p int, bytes int
 	}
 	r := &f.rings[machine]
 	r.mu.Lock()
+	overwrote := false
 	if len(r.buf) < f.cap {
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[r.total%uint64(f.cap)] = ev
+		overwrote = true
 	}
 	r.total++
 	r.mu.Unlock()
+	if overwrote {
+		if cs := f.drops.Load(); cs != nil {
+			(*cs)[machine].Inc()
+		}
+	}
+}
+
+// AttachMetrics exports the recorder's ring overwrites as a
+// flightrec_dropped_total{machine} counter on reg, so sizing problems
+// (a ring too small for the run's event rate) are visible in the metric
+// plane instead of only at dump time. Safe to call while Note runs.
+func (f *FlightRecorder) AttachMetrics(reg *metrics.Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	cs := make([]*metrics.Counter, len(f.rings))
+	for m := range cs {
+		cs[m] = reg.Counter("flightrec_dropped_total", metrics.L("machine", strconv.Itoa(m)))
+	}
+	f.drops.Store(&cs)
 }
 
 // Snapshot returns every retained event across all machines, merged in

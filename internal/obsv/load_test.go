@@ -1,0 +1,143 @@
+package obsv_test
+
+// The obsv server's contract is that observing a join never perturbs or
+// breaks it: every endpoint must answer correctly while the join, the
+// sampler, the flight recorder and the health engine are all writing.
+// This test is the concurrent-load half of that contract, and the reason
+// the package's CI row runs under -race.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rackjoin"
+)
+
+func TestServerConcurrentLoadDuringJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-join load test")
+	}
+	const machines, cores = 4, 4
+	c, err := rackjoin.NewCluster(machines, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := c.Metrics()
+	fr := rackjoin.NewFlightRecorder(machines, 256)
+	tracer := rackjoin.NewTracer()
+	eng := rackjoin.NewHealthEngine(rackjoin.HealthOptions{
+		Machines: machines, Registry: reg, Flight: fr,
+		Interval: 20 * time.Millisecond,
+	})
+	srv := rackjoin.NewObsvServer(rackjoin.ObsvOptions{
+		Registry: reg, Trace: tracer, Flight: fr, Health: eng,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	eng.Start()
+	defer eng.Stop()
+
+	inner, outer := rackjoin.GenerateWorkload(rackjoin.WorkloadConfig{
+		InnerTuples: 1 << 18, OuterTuples: 1 << 20, Seed: 7,
+	}, machines)
+	cfg := rackjoin.DefaultJoinConfig()
+	cfg.Trace = tracer
+	cfg.Flight = fr
+	cfg.Metrics = reg
+
+	joinDone := make(chan error, 1)
+	go func() {
+		// Two back-to-back joins keep telemetry flowing for the whole
+		// hammering window.
+		for i := 0; i < 2; i++ {
+			res, err := rackjoin.Join(c, inner, outer, cfg)
+			if err == nil && res.Matches == 0 {
+				err = fmt.Errorf("join %d returned zero matches", i)
+			}
+			if err != nil {
+				joinDone <- err
+				return
+			}
+		}
+		joinDone <- nil
+	}()
+
+	paths := []string{
+		"/health", "/health?format=text",
+		"/metrics", "/metrics?format=json",
+		"/flightrec", "/flightrec?format=text",
+	}
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[(g+n)%len(paths)]
+				resp, err := client.Get("http://" + addr + p)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("GET %s: %w", p, err):
+					default:
+					}
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("GET %s: status %d", p, resp.StatusCode):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	if err := <-joinDone; err != nil {
+		t.Errorf("join under observation load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the dust settles /health must still serve valid JSON.
+	resp, err := http.Get("http://" + addr + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep struct {
+		Healthy     bool   `json:"healthy"`
+		Machines    int    `json:"machines"`
+		Evaluations uint64 `json:"evaluations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("/health is not valid JSON: %v", err)
+	}
+	if rep.Machines != machines || rep.Evaluations == 0 {
+		t.Fatalf("implausible /health report: %+v", rep)
+	}
+}

@@ -382,21 +382,40 @@ func (r *Residual) export(reg *metrics.Registry) {
 	for _, pr := range r.BusyPhases {
 		reg.Gauge("model_residual_busy_ratio", metrics.L("phase", pr.Phase)).Set(pr.Ratio)
 	}
-	reg.Gauge("model_regime_predicted_network_bound").Set(b2f(r.PredictedNetworkBound))
-	reg.Gauge("model_regime_observed_network_bound").Set(b2f(r.ObservedNetworkBound))
-	reg.Gauge("model_regime_match").Set(b2f(r.RegimeMatch))
+	// model_regime{predicted,observed} is a one-hot family: the gauge for
+	// the verdict's (predicted, observed) pair reads 1 and the other
+	// three combinations read 0, so a regime match is "the series where
+	// predicted == observed is the one at 1" — an enumerable label set
+	// instead of booleans flattened into floats. All four are written so
+	// a verdict change across runs on one registry never leaves two
+	// combinations claiming to hold.
+	for _, pred := range []bool{false, true} {
+		for _, obs := range []bool{false, true} {
+			v := 0.0
+			if pred == r.PredictedNetworkBound && obs == r.ObservedNetworkBound {
+				v = 1
+			}
+			reg.Gauge("model_regime",
+				metrics.L("predicted", regimeName(pred)),
+				metrics.L("observed", regimeName(obs))).Set(v)
+		}
+	}
 	reg.Gauge("skew_partition_bytes_max").Set(float64(r.MaxPartitionBytes))
 	reg.Gauge("skew_partition_bytes_mean").Set(r.MeanPartitionBytes)
 	reg.Gauge("skew_partition_max_mean_ratio").Set(r.SkewRatio)
-	reg.Gauge("straggler_lag_seconds").Set(r.StragglerLagSeconds)
-	reg.Gauge("straggler_machine").Set(float64(r.SlowestMachine))
+	// The straggler verdict carries the machine in a label (not an ID
+	// flattened into the value) and the lag as the value.
+	reg.Gauge("straggler_lag_seconds",
+		metrics.L("machine", strconv.Itoa(r.SlowestMachine))).Set(r.StragglerLagSeconds)
 }
 
-func b2f(b bool) float64 {
-	if b {
-		return 1
+// regimeName renders a network-bound flag as the bounded regime label
+// value set {"network", "cpu"}.
+func regimeName(networkBound bool) string {
+	if networkBound {
+		return "network"
 	}
-	return 0
+	return "cpu"
 }
 
 func regime(networkBound bool) string {

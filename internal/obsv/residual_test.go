@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -135,16 +136,49 @@ func TestResidualSkewProfile(t *testing.T) {
 	if len(verdict.TopPartitions) == 0 || verdict.TopPartitions[0].Partition != 3 {
 		t.Errorf("top partitions %v, want partition 3 first", verdict.TopPartitions)
 	}
-	for _, name := range []string{"skew_partition_max_mean_ratio", "straggler_lag_seconds", "model_regime_match"} {
-		found := false
-		for _, s := range reg.Snapshot() {
-			if s.Name == name {
-				found = true
+	snap := reg.Snapshot()
+	found := false
+	for _, s := range snap {
+		if s.Name == "skew_partition_max_mean_ratio" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("gauge skew_partition_max_mean_ratio not exported")
+	}
+	// model_regime{predicted,observed} is one-hot over all four label
+	// combinations, with the hot series matching the verdict.
+	regimes, hot := 0, 0
+	for _, s := range snap {
+		if s.Name != "model_regime" {
+			continue
+		}
+		regimes++
+		if _, ok := s.Labels["predicted"]; !ok {
+			t.Errorf("model_regime series missing predicted label: %v", s.Labels)
+		}
+		if s.Value == 1 {
+			hot++
+			if match := s.Labels["predicted"] == s.Labels["observed"]; match != verdict.RegimeMatch {
+				t.Errorf("hot model_regime%v disagrees with RegimeMatch=%v", s.Labels, verdict.RegimeMatch)
 			}
 		}
-		if !found {
-			t.Errorf("gauge %s not exported", name)
+	}
+	if regimes != 4 || hot != 1 {
+		t.Errorf("model_regime: %d series with %d hot, want 4 with exactly 1", regimes, hot)
+	}
+	// The straggler verdict names its machine in a label, not the value.
+	found = false
+	for _, s := range snap {
+		if s.Name == "straggler_lag_seconds" {
+			found = true
+			if got := s.Labels["machine"]; got != strconv.Itoa(verdict.SlowestMachine) {
+				t.Errorf("straggler_lag_seconds machine label %q, want %d", got, verdict.SlowestMachine)
+			}
 		}
+	}
+	if !found {
+		t.Error("gauge straggler_lag_seconds not exported")
 	}
 }
 

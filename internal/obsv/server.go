@@ -12,12 +12,14 @@
 //
 // and gains /metrics (text or ?format=json), /trace (chrome://tracing
 // JSON, safe mid-run), /samples (the sampler's JSONL ring), /residual
-// (the last profiler verdict) and /debug/pprof.
+// (the last profiler verdict), /health (the live diagnosis engine's
+// verdicts, when one is mounted) and /debug/pprof.
 package obsv
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -27,6 +29,15 @@ import (
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/trace"
 )
+
+// HealthSource serves /health: a live diagnosis report in JSON (the
+// default) or text (?format=text). internal/health's Engine implements
+// it; the interface lives here so obsv does not import the health plane
+// it exposes.
+type HealthSource interface {
+	WriteJSON(w io.Writer) error
+	WriteText(w io.Writer)
+}
 
 // Options configures a Server. Every field is optional: endpoints whose
 // backing object is nil respond 404 with a hint.
@@ -39,6 +50,8 @@ type Options struct {
 	Sampler *Sampler
 	// Flight backs /flightrec.
 	Flight *FlightRecorder
+	// Health backs /health.
+	Health HealthSource
 }
 
 // Server is the exposition HTTP server.
@@ -61,6 +74,7 @@ func NewServer(o Options) *Server {
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/critpath", s.handleCritPath)
 	s.mux.HandleFunc("/flightrec", s.handleFlight)
+	s.mux.HandleFunc("/health", s.handleHealth)
 	s.mux.HandleFunc("/samples", s.handleSamples)
 	s.mux.HandleFunc("/residual", s.handleResidual)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -134,6 +148,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /trace          Chrome trace-event JSON (chrome://tracing, Perfetto); safe mid-run
 /critpath       critical-path extraction over the causal trace (?format=text for the report)
 /flightrec      flight-recorder ring dump, merged and sequence-ordered
+/health         live rack diagnosis: detectors, culprits, confidence (?format=text)
 /samples        sampler time series, one JSON record per line
 /residual       last model-residual verdict (measured vs §5 prediction)
 /debug/pprof/   Go runtime profiles
@@ -234,6 +249,20 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.opts.Flight.WriteJSON(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Health == nil {
+		http.Error(w, "no health engine mounted (enable -diagnose on the run)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.opts.Health.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Health.WriteJSON(w)
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {

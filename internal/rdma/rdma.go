@@ -111,6 +111,10 @@ func (n *Network) Close() { n.fab.Close() }
 // FabricStats returns message/byte counters of the underlying fabric.
 func (n *Network) FabricStats() fabric.Stats { return n.fab.Stats() }
 
+// Fabric exposes the underlying fabric, e.g. for fault injection
+// (fabric.DegradeLink and friends) in validation harnesses.
+func (n *Network) Fabric() *fabric.Fabric { return n.fab }
+
 func (n *Network) device(id int) *Device {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// Faults is the simulator's fault-injection plan: controlled degradations
+// applied to the otherwise-calibrated model so the health plane's
+// detectors (internal/health) can be validated against known culprits.
+// The zero value (and a nil pointer) injects nothing. Faults lives behind
+// a pointer on Config so the value copies the simulator passes around
+// share one plan.
+type Faults struct {
+	// link maps a directed (src,dst) pair to a bandwidth factor in
+	// (0, 1]: the link delivers payload at factor × the calibrated rate.
+	link map[[2]int]float64
+	// machine maps a machine to a CPU speed factor in (0, 1]: all its
+	// compute (histogram, partitioning, local join) runs at factor × the
+	// calibrated rates.
+	machine map[int]float64
+	// drop maps a sender to a buffer-drop rate in [0, 1): that fraction
+	// of its posted transfers is lost on the wire and retransmitted
+	// (deterministically, every 1/rate-th transfer), doubling the wire
+	// time of the affected transfer.
+	drop map[int]float64
+	// dropAll applies a drop rate to every sender (per-machine entries
+	// take precedence).
+	dropAll float64
+}
+
+// DegradeLink degrades the directed link src→dst to factor × its
+// calibrated bandwidth (factor in (0, 1]; 1 is a no-op).
+func (c *Config) DegradeLink(src, dst int, factor float64) {
+	c.faults().setLink(src, dst, factor)
+}
+
+// SlowMachine degrades all of machine m's compute to factor × the
+// calibrated rates (factor in (0, 1]; 1 is a no-op).
+func (c *Config) SlowMachine(m int, factor float64) {
+	f := c.faults()
+	if f.machine == nil {
+		f.machine = make(map[int]float64)
+	}
+	f.machine[m] = factor
+}
+
+// DropBuffers makes every sender lose (and retransmit) rate of its
+// posted buffers (rate in [0, 1)).
+func (c *Config) DropBuffers(rate float64) {
+	c.faults().dropAll = rate
+}
+
+// DropBuffersAt makes sender m lose (and retransmit) rate of its posted
+// buffers (rate in [0, 1)).
+func (c *Config) DropBuffersAt(m int, rate float64) {
+	f := c.faults()
+	if f.drop == nil {
+		f.drop = make(map[int]float64)
+	}
+	f.drop[m] = rate
+}
+
+func (c *Config) faults() *Faults {
+	if c.Faults == nil {
+		c.Faults = &Faults{}
+	}
+	return c.Faults
+}
+
+func (f *Faults) setLink(src, dst int, factor float64) {
+	if f.link == nil {
+		f.link = make(map[[2]int]float64)
+	}
+	f.link[[2]int{src, dst}] = factor
+}
+
+// linkFactor returns the bandwidth factor of link src→dst (1 = healthy).
+func (c *Config) linkFactor(src, dst int) float64 {
+	if c.Faults == nil || c.Faults.link == nil {
+		return 1
+	}
+	if f, ok := c.Faults.link[[2]int{src, dst}]; ok {
+		return f
+	}
+	return 1
+}
+
+// machineFactor returns machine m's CPU speed factor (1 = healthy).
+func (c *Config) machineFactor(m int) float64 {
+	if c.Faults == nil || c.Faults.machine == nil {
+		return 1
+	}
+	if f, ok := c.Faults.machine[m]; ok {
+		return f
+	}
+	return 1
+}
+
+// dropRate returns sender m's buffer-drop rate (0 = healthy).
+func (c *Config) dropRate(m int) float64 {
+	if c.Faults == nil {
+		return 0
+	}
+	if r, ok := c.Faults.drop[m]; ok {
+		return r
+	}
+	return c.Faults.dropAll
+}
+
+// validateFaults range-checks the fault plan against the configuration.
+func (c *Config) validateFaults() error {
+	f := c.Faults
+	if f == nil {
+		return nil
+	}
+	for k, v := range f.link {
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("sim: DegradeLink(%d,%d) factor %g outside (0,1]", k[0], k[1], v)
+		}
+		if k[0] < 0 || k[0] >= c.Machines || k[1] < 0 || k[1] >= c.Machines || k[0] == k[1] {
+			return fmt.Errorf("sim: DegradeLink(%d,%d) is not a link of a %d-machine rack", k[0], k[1], c.Machines)
+		}
+	}
+	for m, v := range f.machine {
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("sim: SlowMachine(%d) factor %g outside (0,1]", m, v)
+		}
+		if m < 0 || m >= c.Machines {
+			return fmt.Errorf("sim: SlowMachine(%d) outside %d machines", m, c.Machines)
+		}
+	}
+	if f.dropAll < 0 || f.dropAll >= 1 {
+		return fmt.Errorf("sim: DropBuffers rate %g outside [0,1)", f.dropAll)
+	}
+	for m, r := range f.drop {
+		if r < 0 || r >= 1 {
+			return fmt.Errorf("sim: DropBuffersAt(%d) rate %g outside [0,1)", m, r)
+		}
+		if m < 0 || m >= c.Machines {
+			return fmt.Errorf("sim: DropBuffersAt(%d) outside %d machines", m, c.Machines)
+		}
+	}
+	return nil
+}

@@ -7,13 +7,21 @@ import (
 )
 
 // netPassStats aggregates the scalar outputs of the network-pass event
-// simulation.
+// simulation, plus the per-link / per-machine ledger Result.Detail
+// exposes to the health plane.
 type netPassStats struct {
 	stalls       uint64
 	remoteMB     float64
 	maxQueueSec  float64
 	sumQueueSec  float64
 	numTransfers uint64
+
+	linkMB       [][]float64 // payload MB per directed link [src][dst]
+	linkBusySec  [][]float64 // ingress wire time per directed link
+	flushes      []uint64    // posted transfers per sender
+	machStalls   []uint64    // buffer-reuse stalls per sender
+	retransmits  []uint64    // fault-injected retransmissions per sender
+	pacedWaitSec []float64   // pairing-gate wait per destination
 }
 
 // simulateNetworkPass event-simulates the network partitioning pass and
@@ -85,7 +93,18 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 		egress:       make([]float64, nm),
 		ingress:      make([]float64, nm),
 		linkSecPerMB: secPerMB,
+		dropAcc:      make([]float64, nm),
 	}
+	s.stats.linkMB = make([][]float64, nm)
+	s.stats.linkBusySec = make([][]float64, nm)
+	for m := 0; m < nm; m++ {
+		s.stats.linkMB[m] = make([]float64, nm)
+		s.stats.linkBusySec[m] = make([]float64, nm)
+	}
+	s.stats.flushes = make([]uint64, nm)
+	s.stats.machStalls = make([]uint64, nm)
+	s.stats.retransmits = make([]uint64, nm)
+	s.stats.pacedWaitSec = make([]float64, nm)
 	if cfg.NetSched != netsched.Off {
 		// Demand matrix in MB: every machine holds 1/nm of each partition;
 		// non-resident partitions ship to their owner, broadcast partitions
@@ -166,9 +185,10 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 				addFlow(p, owner[p], rShare+sShare)
 			}
 			// Thread-seconds per input MB: local bytes at psPart, remote
-			// bytes at the buffer-management-penalised rate.
-			th.secPerInputMB = localFrac/cfg.Cal.PsPart +
-				remoteFrac/(cfg.RemoteCPUFactor*cfg.Cal.PsPart)
+			// bytes at the buffer-management-penalised rate. A slowed
+			// machine's threads run at a fraction of the calibrated speed.
+			th.secPerInputMB = (localFrac/cfg.Cal.PsPart +
+				remoteFrac/(cfg.RemoteCPUFactor*cfg.Cal.PsPart)) / cfg.machineFactor(m)
 			remoteMB += remoteFrac * inputPerThread
 			s.threads = append(s.threads, th)
 		}
@@ -281,6 +301,7 @@ type netSim struct {
 	linkSecPerMB float64
 	plan         *netsched.Plan // nil when unscheduled
 	roundSec     float64        // pairing-window length
+	dropAcc      []float64      // per-sender drop-rate accumulator
 	stats        netPassStats
 }
 
@@ -345,6 +366,7 @@ func (s *netSim) stepFill(i int, th *simThread, now float64) {
 		ct := f.inflight.front()
 		if ct > now {
 			s.stats.stalls++
+			s.stats.machStalls[th.machine]++
 			heap.Push(&th.fills, fe) // re-examine the same fill
 			th.pendingFlow = fe.flow
 			heap.Push(&s.events, event{time: ct, thread: i})
@@ -386,6 +408,7 @@ func (s *netSim) stepTail(i int, th *simThread, now float64) {
 			ct := f.inflight.front()
 			if ct > now {
 				s.stats.stalls++
+				s.stats.machStalls[th.machine]++
 				heap.Push(&s.events, event{time: ct, thread: i})
 				return
 			}
@@ -442,6 +465,9 @@ func (s *netSim) post(th *simThread, f *flowState, size, now float64) (wait floa
 	// receiver — a transfer to a backlogged destination waits parked at
 	// the sender until the destination can absorb it.
 	entry := s.paceStart(th.machine, f.dest, egDone)
+	if entry > egDone {
+		s.stats.pacedWaitSec[f.dest] += entry - egDone
+	}
 	in := s.ingress[f.dest]
 	queued := 0.0
 	if in > entry {
@@ -449,7 +475,19 @@ func (s *netSim) post(th *simThread, f *flowState, size, now float64) (wait floa
 	} else {
 		in = entry
 	}
-	service := size * s.linkSecPerMB
+	// Fault injection: a degraded link delivers payload at a fraction of
+	// the calibrated rate; a lossy sender re-ships every 1/rate-th
+	// transfer (deterministic accumulator — no RNG, runs stay
+	// reproducible), doubling its wire time.
+	service := size * s.linkSecPerMB / s.cfg.linkFactor(th.machine, f.dest)
+	if rate := s.cfg.dropRate(th.machine); rate > 0 {
+		s.dropAcc[th.machine] += rate
+		if s.dropAcc[th.machine] >= 1 {
+			s.dropAcc[th.machine]--
+			service *= 2
+			s.stats.retransmits[th.machine]++
+		}
+	}
 	if c := s.cfg.SwitchContention; c > 0 && queued > 0 {
 		// Receiver-side congestion: concurrent senders converging on one
 		// ingress port degrade its effective rate (the paper's switch
@@ -468,6 +506,9 @@ func (s *netSim) post(th *simThread, f *flowState, size, now float64) (wait floa
 	}
 	s.stats.sumQueueSec += queued
 	s.stats.numTransfers++
+	s.stats.linkMB[th.machine][f.dest] += size
+	s.stats.linkBusySec[th.machine][f.dest] += service
+	s.stats.flushes[th.machine]++
 
 	f.flushedMB += size
 

@@ -116,6 +116,10 @@ type Config struct {
 	// tuple payload (protocol headers, imperfect communication
 	// scheduling; fitted to the QDR scale-out measurements). 1.0 disables.
 	LinkEfficiency float64
+
+	// Faults is the fault-injection plan (nil = none). Populate it with
+	// DegradeLink / SlowMachine / DropBuffers / DropBuffersAt.
+	Faults *Faults
 }
 
 // Defaults fills in the paper's evaluation parameters.
@@ -166,7 +170,7 @@ func (c Config) validate() error {
 	if c.SwitchContention < 0 {
 		return fmt.Errorf("sim: negative SwitchContention")
 	}
-	return nil
+	return c.validateFaults()
 }
 
 // Result reports the simulated execution.
@@ -190,6 +194,34 @@ type Result struct {
 	AvgLinkQueueSec float64
 	// PartitionsPerMachine is the assignment cardinality.
 	PartitionsPerMachine []int
+	// Detail is the network-pass ledger the health plane's post-run
+	// evaluation consumes (nil for single-machine runs).
+	Detail *NetDetail
+}
+
+// NetDetail is the per-link / per-machine ledger of the network pass, in
+// the shape health.FromSim consumes: who shipped what over which link,
+// how long the wire was busy with it, and where the senders stalled.
+type NetDetail struct {
+	// ExpectedMBps is the calibrated payload bandwidth of one host link.
+	ExpectedMBps float64
+	// LinkMB[src][dst] is the payload shipped on each directed link, MB.
+	LinkMB [][]float64
+	// LinkBusySec[src][dst] is the ingress wire time that payload
+	// occupied (fault- and contention-inflated).
+	LinkBusySec [][]float64
+	// Stalls, Flushes and Retransmits are per sender machine.
+	Stalls      []uint64
+	Flushes     []uint64
+	Retransmits []uint64
+	// PacedWaitSec[dst] is the time transfers spent parked by the
+	// pairing discipline waiting for dst's ingress backlog (scheduled
+	// runs only).
+	PacedWaitSec []float64
+	// PartitionMB is the payload shipped per network partition, MB.
+	PartitionMB map[int]float64
+	// Scheduled reports whether a communication schedule was active.
+	Scheduled bool
 }
 
 // Run simulates the join.
@@ -293,6 +325,13 @@ func Run(cfg Config) (*Result, error) {
 		if !cfg.SkewSplit && maxTaskBP[m] > b {
 			b = maxTaskBP[m]
 		}
+		// A slowed machine runs all its compute phases at a fraction of
+		// the calibrated rates (the network pass already applied the
+		// factor to its partitioning threads).
+		if f := cfg.machineFactor(m); f < 1 {
+			l /= f
+			b /= f
+		}
 		if cfg.Pipeline {
 			// Partition-ready execution: the idle window of the network
 			// pass (wall clock minus the threads' own compute) absorbs
@@ -310,13 +349,42 @@ func Run(cfg Config) (*Result, error) {
 				b *= scale
 			}
 		}
-		res.PerMachine[m] = phase.FromSeconds(histSec, netSec[m], l, b)
+		res.PerMachine[m] = phase.FromSeconds(histSec/cfg.machineFactor(m), netSec[m], l, b)
 	}
 	res.Stalls = nps.stalls
 	res.RemoteMB = nps.remoteMB
 	res.MaxLinkQueueSec = nps.maxQueueSec
 	if nps.numTransfers > 0 {
 		res.AvgLinkQueueSec = nps.sumQueueSec / float64(nps.numTransfers)
+	}
+	if cfg.Machines > 1 {
+		// Shipped bytes per network partition: every machine holds 1/nm
+		// of each partition and ships the non-resident share to the
+		// owner; broadcast partitions replicate the inner side instead.
+		partMB := make(map[int]float64, np)
+		nm := float64(cfg.Machines)
+		for p := 0; p < np; p++ {
+			var mb float64
+			if broadcast[p] {
+				mb = partMBR[p] * (nm - 1)
+			} else {
+				mb = (partMBR[p] + partMBS[p]) * (nm - 1) / nm
+			}
+			if mb > 0 {
+				partMB[p] = mb
+			}
+		}
+		res.Detail = &NetDetail{
+			ExpectedMBps: cfg.Net.Bandwidth(cfg.Machines) * cfg.LinkEfficiency,
+			LinkMB:       nps.linkMB,
+			LinkBusySec:  nps.linkBusySec,
+			Stalls:       nps.machStalls,
+			Flushes:      nps.flushes,
+			Retransmits:  nps.retransmits,
+			PacedWaitSec: nps.pacedWaitSec,
+			PartitionMB:  partMB,
+			Scheduled:    cfg.NetSched != netsched.Off,
+		}
 	}
 
 	for _, pm := range res.PerMachine {

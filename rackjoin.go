@@ -42,6 +42,7 @@ import (
 	"rackjoin/internal/core"
 	"rackjoin/internal/datagen"
 	"rackjoin/internal/fabric"
+	"rackjoin/internal/health"
 	"rackjoin/internal/mcjoin"
 	"rackjoin/internal/metrics"
 	"rackjoin/internal/model"
@@ -251,6 +252,40 @@ type (
 
 // NewObsvServer builds the observability HTTP server; Start binds it.
 func NewObsvServer(o ObsvOptions) *ObsvServer { return obsv.NewServer(o) }
+
+// Health plane (see internal/health): five online detectors — slow_link,
+// straggler_machine, hot_partition, buffer_starvation, scheduler_stall —
+// over the derived indicators of a running (or simulated) join, emitting
+// structured diagnoses that name a culprit with evidence and confidence.
+type (
+	// HealthEngine evaluates a live registry on an interval and serves
+	// /health on the obsv server (set ObsvOptions.Health).
+	HealthEngine = health.Engine
+	// HealthOptions configures a HealthEngine.
+	HealthOptions = health.Options
+	// Diagnosis is one detector verdict: culprit, evidence, confidence.
+	Diagnosis = health.Diagnosis
+	// HealthReport cross-checks diagnoses against the critical path and
+	// the residual verdict.
+	HealthReport = health.Report
+)
+
+// HealthDefaultInterval is the engine's default evaluation period.
+const HealthDefaultInterval = health.DefaultInterval
+
+// NewHealthEngine builds the online diagnosis engine; Start begins
+// evaluation, Stop runs a final pass over the end-of-run state.
+func NewHealthEngine(o HealthOptions) *HealthEngine { return health.NewEngine(o) }
+
+// DiagnoseSim evaluates the health detectors over a finished simulated
+// execution (post-run, using the simulator's exact link/stall ledgers).
+func DiagnoseSim(cfg SimConfig, res *SimResult) []Diagnosis { return health.DiagnoseSim(cfg, res) }
+
+// BuildHealthReport cross-checks diagnoses against the run's critical
+// path and residual verdict; either cross-reference may be nil.
+func BuildHealthReport(ds []Diagnosis, cp *CriticalPath, res *Residual) *HealthReport {
+	return health.BuildReport(ds, cp, res)
+}
 
 // NewSampler creates a background sampler over reg. A nil out keeps the
 // series only in memory (served via ObsvServer's /samples).

@@ -1,6 +1,7 @@
 // Tracing-overhead smoke bench (DESIGN.md §12): the same distributed
 // join with the full observability hot path mounted (causal tracer +
-// flight recorder) and with both off. The instrumented run must stay
+// flight recorder + health engine) and with all of it off. The
+// instrumented run must stay
 // within a 2% budget of the bare run — the "cheap enough to leave
 // always on" claim, checked rather than asserted.
 //
@@ -82,19 +83,30 @@ func TestTraceOverheadBudget(t *testing.T) {
 		// amortization and the claim is made at the paper's operating
 		// point.
 		cfg.BufferSize = 64 << 10
+		var eng *rackjoin.HealthEngine
 		if instrumented {
 			// Fresh recorders per run: a run-long tracer is the real
 			// deployment shape, and a shared one would grow its event
 			// slab across rounds and bill later rounds for appends into
-			// ever-larger copies.
+			// ever-larger copies. The health engine runs during the join at
+			// its deployment cadence — its steady-state ticks land in the
+			// window. Start (the baseline snapshot) happens outside it,
+			// like recorder construction; the final diagnostic Step at
+			// Stop is post-run reporting, like critical-path extraction,
+			// and is budgeted separately below against the engine cadence.
 			cfg.Trace = rackjoin.NewTracer()
 			cfg.Flight = rackjoin.NewFlightRecorder(machines, rackjoin.DefaultFlightEvents)
+			eng = rackjoin.NewHealthEngine(rackjoin.HealthOptions{
+				Machines: machines, Registry: c.Metrics(), Flight: cfg.Flight,
+			})
+			eng.Start()
 		}
 		c0 := cpuSeconds()
 		start := time.Now()
 		res, err := rackjoin.Join(c, inner, outer, cfg)
 		wall = time.Since(start)
 		cpu = cpuSeconds() - c0
+		eng.Stop()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,5 +140,29 @@ func TestTraceOverheadBudget(t *testing.T) {
 		(wallOff / rounds).Round(10*time.Microsecond), (wallOn / rounds).Round(10*time.Microsecond))
 	if overhead > budget {
 		t.Errorf("tracing overhead %.2f%% exceeds the %.0f%% budget", overhead*100, budget*100)
+	}
+
+	// Detector evaluation, budgeted at its own cadence: one engine Step
+	// (snapshot → delta → detectors) recurs every HealthDefaultInterval,
+	// so its steady-state cost is stepCPU/interval of one core — the
+	// fraction a deployment pays regardless of run length. The registry
+	// here carries a full run's series for all machines, which overstates
+	// a per-host deployment by the rack size.
+	eng := rackjoin.NewHealthEngine(rackjoin.HealthOptions{
+		Machines: machines, Registry: c.Metrics(),
+	})
+	eng.Start()
+	const steps = 50
+	e0 := cpuSeconds()
+	for i := 0; i < steps; i++ {
+		eng.Step()
+	}
+	stepCPU := (cpuSeconds() - e0) / steps
+	eng.Stop()
+	evalFrac := stepCPU / rackjoin.HealthDefaultInterval.Seconds()
+	t.Logf("health engine step %.2f ms cpu every %v: steady-state %.2f%% of one core (budget %.0f%%)",
+		stepCPU*1e3, rackjoin.HealthDefaultInterval, evalFrac*100, budget*100)
+	if evalFrac > budget {
+		t.Errorf("health evaluation %.2f%% of one core exceeds the %.0f%% budget", evalFrac*100, budget*100)
 	}
 }
