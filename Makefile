@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-netsched bench-baseline trace-overhead faultcheck check
+.PHONY: build test race checkptr vet rackvet bench bench-kernels bench-pipeline bench-netsched bench-skew bench-baseline trace-overhead faultcheck check
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,15 @@ bench-netsched:
 		| $(GO) run ./cmd/benchfmt > BENCH_netsched.json
 	@echo "wrote BENCH_netsched.json"
 
+# Skew engine off vs on across a Zipf sweep at 16 simulated machines
+# (DESIGN.md §15), formatted into BENCH_skew.json. ns/op carries the
+# deterministic simulated join time, so the off→engine speedup pairs and
+# the TestSkewBaselineJSON acceptance gate compare modeled performance.
+bench-skew:
+	$(GO) test -run '^$$' -bench 'BenchmarkSkewSweep' -benchtime $(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchfmt > BENCH_skew.json
+	@echo "wrote BENCH_skew.json"
+
 # Advisory regression gate: rerun the kernel benchmarks and flag any
 # result more than 10% slower than the checked-in BENCH_kernels.json.
 # Exits non-zero on regressions; `check` runs it best-effort (benchmark
@@ -78,6 +87,8 @@ bench-baseline:
 		| $(GO) run ./cmd/benchfmt -baseline BENCH_pipeline.json > /dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkNetschedSweep' -benchtime $(BENCHTIME) -timeout 30m . \
 		| $(GO) run ./cmd/benchfmt -baseline BENCH_netsched.json > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkSkewSweep' -benchtime $(BENCHTIME) -timeout 30m . \
+		| $(GO) run ./cmd/benchfmt -baseline BENCH_skew.json > /dev/null
 
 # Tracing-overhead smoke bench (DESIGN.md §12): the join with the causal
 # tracer + flight recorder mounted vs bare, min-of-N comparison, 2%

@@ -82,6 +82,7 @@ var variantPairs = [][2]string{
 	{"barrier", "pipelined"}, // PipelineJoin/barrier → PipelineJoin/pipelined
 	{"off", "rotate"},        // NetschedSweep/.../off → .../rotate
 	{"off", "weighted"},      // NetschedSweep/.../off → .../weighted
+	{"off", "engine"},        // SkewSweep/.../off → .../engine
 }
 
 func main() {

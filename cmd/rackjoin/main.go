@@ -54,6 +54,8 @@ func main() {
 		assignment = flag.String("assignment", "round-robin", "partition assignment: round-robin | size-sorted")
 		netsch     = flag.String("netsched", "off", "communication schedule of the network pass: off | rotate | weighted")
 		split      = flag.Float64("skew-split", 0, "split build-probe tasks above this multiple of the average (0 = off)")
+		skewMode   = flag.String("skew-mode", "off", "heavy-hitter skew engine: off | detect | split (split-and-replicate hot partitions)")
+		skewThresh = flag.Float64("skew-threshold", 0, "heavy-hitter frequency threshold as a fraction of |S| (0 = 4/2^network-bits)")
 		throttle   = flag.Float64("throttle", 0, "per-host fabric bandwidth cap in MB/s (0 = unthrottled)")
 		showTrace  = flag.Bool("trace", false, "print a per-machine phase timeline")
 		critPath   = flag.Bool("critpath", false, "extract and print the critical path of the run (implies tracing)")
@@ -105,6 +107,12 @@ func main() {
 	} else {
 		cfg.NetSched = pol
 	}
+	if mode, err := rackjoin.ParseSkewMode(*skewMode); err != nil {
+		log.Fatal(err)
+	} else {
+		cfg.Skew = mode
+	}
+	cfg.SkewThreshold = *skewThresh
 
 	var (
 		c   *rackjoin.Cluster
@@ -301,6 +309,11 @@ func main() {
 		res.Net.Registrations, res.Net.PagesRegistered)
 	for m, pt := range res.PerMachine {
 		fmt.Printf("machine %d %s (%d partitions)\n", m, pt, res.PartitionsPerMachine[m])
+	}
+	if res.Skew.Mode != rackjoin.SkewModeOff {
+		fmt.Printf("skew      mode=%s heavy-hitters=%d split-partitions=%v replicated=%.1f MB task-splits=%d\n",
+			res.Skew.Mode, len(res.Skew.HeavyHitters), res.Skew.SplitPartitions,
+			float64(res.Skew.ReplicatedBytes)/(1<<20), res.Skew.TaskSplits)
 	}
 	printMetricsSummary(c.Metrics())
 	fmt.Println()

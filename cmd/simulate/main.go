@@ -39,6 +39,8 @@ func main() {
 		pipeline   = flag.Bool("pipeline", true, "partition-ready pipelining: overlap the join with the network pass")
 		sizeSorted = flag.Bool("size-sorted", false, "dynamic size-sorted partition assignment")
 		skewSplit  = flag.Bool("skew-split", false, "intra-machine build-probe task splitting")
+		skewEngine = flag.Bool("skew-engine", false, "heavy-hitter skew engine: split-and-replicate hot partitions (implies -skew-split)")
+		skewThresh = flag.Float64("skew-threshold", 0, "heavy-hitter frequency threshold as a fraction of |S| (0 = 4/2^bits)")
 		broadcast  = flag.Float64("broadcast", 0, "inter-machine work sharing factor (0 = off)")
 		bufSize    = flag.Int("buffer", 64<<10, "RDMA buffer size in bytes")
 		buffers    = flag.Int("buffers", 2, "buffers per (thread, partition)")
@@ -127,6 +129,7 @@ func main() {
 			TupleWidth: *width, Skew: *skew, Mode: mode,
 			NetworkBits: *bits, BufferSize: *bufSize, BuffersPerPartition: *buffers,
 			SizeSortedAssignment: *sizeSorted, SkewSplit: *skewSplit,
+			SkewEngine: *skewEngine, SkewThreshold: *skewThresh,
 			BroadcastFactor: *broadcast, Pipeline: *pipeline,
 			NetSched: policy, SwitchContention: *contention,
 		}
@@ -149,6 +152,10 @@ func main() {
 				res.MaxLinkQueueSec*1e3, res.AvgLinkQueueSec*1e3)
 		}
 		fmt.Printf("]\n")
+		if *skewEngine && res.Detail != nil && len(res.Detail.SplitPartitions) > 0 {
+			fmt.Printf("             skew engine: %d partitions split-and-replicated (%.0f MB replication)\n",
+				len(res.Detail.SplitPartitions), res.Detail.ReplicatedMB)
+		}
 		if *diagnose {
 			if ds := rackjoin.DiagnoseSim(cfg, res); len(ds) == 0 {
 				fmt.Printf("             health: clean\n")

@@ -1,8 +1,10 @@
 // Skew: the Zipf-skewed workloads of Section 6.5 — a popular-products
 // foreign-key column where a handful of keys dominate. Shows the paper's
-// two countermeasures: the dynamic size-sorted partition assignment and
-// build-probe task splitting, and how the partition→machine assignment
-// balance changes.
+// two countermeasures (the dynamic size-sorted partition assignment and
+// build-probe task splitting), how the partition→machine assignment
+// balance changes, and the skew engine on top: streaming heavy-hitter
+// detection during the histogram phase and split-and-replicate
+// repartitioning of the hot partitions (DESIGN.md §15).
 package main
 
 import (
@@ -50,6 +52,8 @@ func main() {
 			{"static round-robin           ", rackjoin.DefaultJoinConfig()},
 			{"size-sorted + probe splitting", withSkewHandling()},
 			{"+ inter-machine work sharing ", withWorkSharing()},
+			{"skew engine (detect only)    ", withSkewEngine(rackjoin.SkewModeDetect)},
+			{"skew engine (split+replicate)", withSkewEngine(rackjoin.SkewModeSplit)},
 		} {
 			res, err := rackjoin.Join(cluster, inner, outer, cfg.join)
 			if err != nil {
@@ -58,6 +62,18 @@ func main() {
 			ok := res.Matches == want.Matches && res.Checksum == want.Checksum
 			fmt.Printf("  %s  %s  parts/machine=%v ok=%v\n",
 				cfg.label, res.Phases, res.PartitionsPerMachine, ok)
+			if res.Skew.Mode != rackjoin.SkewModeOff {
+				// The detector's verdict rides on the join result: how many
+				// heavy hitters the space-saving sketch surfaced, which
+				// partitions were split-and-replicated, and what the
+				// replication cost on the wire.
+				fmt.Printf("      detector: heavy-hitters=%d split-partitions=%v replicated=%d B task-splits=%d\n",
+					len(res.Skew.HeavyHitters), res.Skew.SplitPartitions,
+					res.Skew.ReplicatedBytes, res.Skew.TaskSplits)
+				for _, h := range res.Skew.HeavyHitters {
+					fmt.Printf("        hot key %d: ~%d occurrences\n", h.Key, h.Count)
+				}
+			}
 		}
 	}
 
@@ -65,7 +81,9 @@ func main() {
 	// owning the hottest partition dominates both the network pass (all
 	// senders funnel into its ingress link) and the local processing.
 	// Inter-machine work sharing — the fix the paper proposes as future
-	// work — restores scalability via selective broadcast.
+	// work — restores scalability via selective broadcast; the skew
+	// engine goes further by splitting exactly the heavy-hitter
+	// partitions and dealing their probe side round-robin.
 	fmt.Println("\npaper-scale simulation (128M ⋈ 2048M on 4 QDR machines):")
 	for _, z := range []float64{0, rackjoin.SkewLow, rackjoin.SkewHigh} {
 		base := rackjoin.SimConfig{
@@ -82,11 +100,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  zipf %.2f: total %.2f s (net %.2f s, local %.2f s) → %.2f s with work sharing\n",
+		base.BroadcastFactor = 0
+		base.SkewEngine = true
+		engine, err := rackjoin.Simulate(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  zipf %.2f: total %.2f s (net %.2f s, local %.2f s) → %.2f s with work sharing → %.2f s with the skew engine (%d partitions split)\n",
 			z, r.Phases.Total().Seconds(),
 			r.Phases.NetworkPartition.Seconds(), r.Phases.LocalPartition.Seconds(),
-			shared.Phases.Total().Seconds())
+			shared.Phases.Total().Seconds(), engine.Phases.Total().Seconds(),
+			len(engine.Detail.SplitPartitions))
 	}
+}
+
+// withSkewEngine enables the streaming heavy-hitter detector; in
+// SkewModeSplit the hot partitions are split-and-replicated and probe
+// tasks become splittable mid-run.
+func withSkewEngine(mode rackjoin.SkewMode) rackjoin.JoinConfig {
+	cfg := rackjoin.DefaultJoinConfig()
+	cfg.Assignment = rackjoin.SizeSorted
+	cfg.Skew = mode
+	return cfg
 }
 
 func withSkewHandling() rackjoin.JoinConfig {

@@ -40,6 +40,16 @@ func record(r *metrics.Registry) {
 	r.Counter("fabric_retransmits_total")
 	r.Counter("health_diagnoses")    // want `counter "health_diagnoses" must end in _total`
 	r.Gauge("health_detector_total") // want `gauge "health_detector_total" must not end in _total`
+
+	// Skew-engine metrics (internal/core skew wiring): heavy-hitter,
+	// replicated-byte, and task-split counters carry _total; the
+	// replicated-byte series is labelled by the (bounded) partition set
+	// the detector chose to split.
+	r.Counter("skew_heavy_hitters_total")
+	r.Counter("skew_replicated_bytes_total", metrics.L("partition", "7"))
+	r.Counter("skew_task_splits_total")
+	r.Counter("skew_heavy_hitters")  // want `counter "skew_heavy_hitters" must end in _total`
+	r.Gauge("skew_task_split_total") // want `gauge "skew_task_split_total" must not end in _total`
 }
 
 func labels() []metrics.Label {

@@ -140,6 +140,60 @@ func (a Assignment) String() string {
 	}
 }
 
+// SkewMode selects the heavy-hitter skew engine of the join. Detection
+// rides the histogram phase: every machine feeds a space-saving sketch
+// while scanning its outer chunk, the per-machine sketches travel with
+// the histogram exchange, and every machine derives the same global
+// heavy-hitter set deterministically — no extra pass, no coordinator.
+type SkewMode int
+
+const (
+	// SkewOff disables the skew engine (the paper's baseline behaviour).
+	SkewOff SkewMode = iota
+	// SkewDetect runs detection only: heavy hitters are reported in
+	// Result.Skew and the skew_heavy_hitters_total metric, but the data
+	// flow is byte-identical to SkewOff.
+	SkewDetect
+	// SkewSplit additionally repartitions hot keys with
+	// split-and-replicate: a partition containing a heavy hitter has its
+	// inner side broadcast to every machine (reusing the work-sharing
+	// replication path) and its outer side dealt round-robin across all
+	// machines instead of hashed to one owner — the hot partition's probe
+	// work spreads over the whole rack. Falls back to SkewDetect on a
+	// single machine and on the pull transport (which cannot reroute
+	// sender-side).
+	SkewSplit
+)
+
+// String implements fmt.Stringer.
+func (s SkewMode) String() string {
+	switch s {
+	case SkewOff:
+		return "off"
+	case SkewDetect:
+		return "detect"
+	case SkewSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("SkewMode(%d)", int(s))
+	}
+}
+
+// ParseSkewMode parses a skew-engine mode name: "off", "detect" or
+// "split".
+func ParseSkewMode(s string) (SkewMode, error) {
+	switch s {
+	case "off", "":
+		return SkewOff, nil
+	case "detect":
+		return SkewDetect, nil
+	case "split":
+		return SkewSplit, nil
+	default:
+		return SkewOff, fmt.Errorf("core: unknown skew mode %q (want off, detect or split)", s)
+	}
+}
+
 // Config parameterises the distributed join.
 type Config struct {
 	// NetworkBits (b1) is the radix width of the network partitioning
@@ -195,6 +249,16 @@ type Config struct {
 	// build-probe task whose outer part exceeds factor × average is split
 	// into range-probe subtasks sharing one hash table. 0 disables.
 	SkewSplitFactor float64
+	// Skew selects the heavy-hitter skew engine: SkewOff (default),
+	// SkewDetect (report only) or SkewSplit (split-and-replicate hot
+	// partitions). See SkewMode.
+	Skew SkewMode
+	// SkewThreshold is the frequency share of the outer relation above
+	// which a key counts as a heavy hitter, e.g. 0.05 = 5% of |S|.
+	// 0 derives 4 / 2^NetworkBits: a key hot enough to put its partition
+	// at 4× the average partition size on its own — the same 4× ratio the
+	// health plane's hot_partition detector alarms on.
+	SkewThreshold float64
 	// BroadcastFactor enables the inter-machine work sharing the paper
 	// proposes as future work (Sections 6.5 and 8), in the
 	// selective-broadcast form of Rödiger et al. [28]: a partition whose
@@ -305,6 +369,12 @@ func (c *Config) validate(machines, cores, width int) error {
 	if c.SkewSplitFactor < 0 {
 		return fmt.Errorf("core: negative SkewSplitFactor")
 	}
+	if c.Skew < SkewOff || c.Skew > SkewSplit {
+		return fmt.Errorf("core: unknown SkewMode %v", c.Skew)
+	}
+	if c.SkewThreshold < 0 || c.SkewThreshold >= 1 {
+		return fmt.Errorf("core: SkewThreshold %v out of range [0,1)", c.SkewThreshold)
+	}
 	if c.BroadcastFactor < 0 {
 		return fmt.Errorf("core: negative BroadcastFactor")
 	}
@@ -341,6 +411,26 @@ func (c *Config) pipelined() bool {
 // postings to pace, and a single machine ships nothing.
 func (c *Config) netScheduled(machines int) bool {
 	return c.NetSched != netsched.Off && machines > 1 && c.Transport != TransportOneSidedRead
+}
+
+// skewMode returns the effective skew mode: SkewSplit degrades to
+// SkewDetect on a single machine (nothing to spread over) and on the
+// pull transport (receivers pull histogram-placed regions; there is no
+// sender-side routing to redirect).
+func (c *Config) skewMode(machines int) SkewMode {
+	if c.Skew == SkewSplit && (machines == 1 || c.Transport == TransportOneSidedRead) {
+		return SkewDetect
+	}
+	return c.Skew
+}
+
+// skewThresholdFrac returns the heavy-hitter frequency share, applying
+// the 4×-average-partition default.
+func (c *Config) skewThresholdFrac() float64 {
+	if c.SkewThreshold > 0 {
+		return c.SkewThreshold
+	}
+	return 4 / float64(int64(1)<<c.NetworkBits)
 }
 
 // interleaved reports the effective interleaving setting: the stream and

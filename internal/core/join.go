@@ -15,6 +15,7 @@ import (
 	"rackjoin/internal/radix"
 	"rackjoin/internal/rdma"
 	"rackjoin/internal/relation"
+	"rackjoin/internal/skew"
 	"rackjoin/internal/tcpnet"
 	"rackjoin/internal/trace"
 )
@@ -202,6 +203,24 @@ type machineState struct {
 	// netKernelBytes is the netpass kernel_bytes_total counter, resolved
 	// once at pool setup so scatterSlice's hot loop skips the registry.
 	netKernelBytes *metrics.Counter
+
+	// Skew engine (skew.go). skewMode is the run's effective mode (split
+	// degrades to detect on one machine and on the pull transport);
+	// sketch is this machine's merged heavy-hitter sketch from the
+	// histogram scan; split[p] marks split-and-replicate partitions (nil
+	// when none). splitNext deals a split partition's outer tuples
+	// round-robin across destinations; splitLocalCur hands out slab
+	// offsets for the self-dealt share; splitRemoteCur reserves exact
+	// one-sided write offsets per (partition, destination).
+	skewMode       SkewMode
+	sketch         *skew.Sketch
+	skewStats      SkewStats
+	split          []bool
+	splitNext      []atomic.Int64
+	splitLocalCur  []atomic.Int64
+	splitRemoteCur [][]atomic.Int64
+	skewRepl       []*metrics.Counter
+	skewReplBytes  atomic.Uint64
 }
 
 func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relation.Relation) *machineState {
@@ -230,6 +249,7 @@ func newMachineState(m *cluster.Machine, cfg *Config, nm, width int, r, s *relat
 		}
 	}
 	st.met = cfg.Metrics.Scope(metrics.L("machine", strconv.Itoa(m.ID)))
+	st.skewMode = cfg.skewMode(nm)
 	return st
 }
 
@@ -383,7 +403,15 @@ func (st *machineState) phaseDone(name string, d time.Duration) {
 // network pass will scatter).
 func (st *machineState) computeThreadHistograms() {
 	st.threadHistR = parallelHist(st.R, st.partThreads, st.cfg.NetworkBits)
-	st.threadHistS = parallelHist(st.S, st.partThreads, st.cfg.NetworkBits)
+	if st.skewMode == SkewOff {
+		st.threadHistS = parallelHist(st.S, st.partThreads, st.cfg.NetworkBits)
+		return
+	}
+	// Skew detection rides the outer-relation scan: each thread feeds a
+	// space-saving sketch from the same loop that histograms its slice,
+	// so heavy-hitter detection costs no extra pass over the data.
+	st.threadHistS, st.sketch = parallelHistSketch(st.S, st.partThreads,
+		st.cfg.NetworkBits, sketchCapacity(st.cfg.skewThresholdFrac()))
 }
 
 func parallelHist(rel *relation.Relation, threads int, bits uint) [][]int64 {
@@ -403,6 +431,41 @@ func parallelHist(rel *relation.Relation, threads int, bits uint) [][]int64 {
 	return hists
 }
 
+// parallelHistSketch is parallelHist fused with per-thread space-saving
+// sketches: one loop computes the same histogram AddHistogram would
+// (shift 0, low `bits` bits) and observes every key. The per-thread
+// sketches are merged in thread order — deterministic, so re-running the
+// same chunk yields the same machine sketch.
+func parallelHistSketch(rel *relation.Relation, threads int, bits uint, capacity int) ([][]int64, *skew.Sketch) {
+	hists := make([][]int64, threads)
+	sketches := make([]*skew.Sketch, threads)
+	var wg sync.WaitGroup
+	n := rel.Len()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := make([]int64, 1<<bits)
+			sk := skew.New(capacity)
+			sl := rel.Slice(n*t/threads, n*(t+1)/threads)
+			mask := uint64(1<<bits - 1)
+			for i, m := 0, sl.Len(); i < m; i++ {
+				k := sl.Key(i)
+				h[k&mask]++
+				sk.Observe(k)
+			}
+			hists[t] = h
+			sketches[t] = sk
+		}(t)
+	}
+	wg.Wait()
+	merged := sketches[0]
+	for _, sk := range sketches[1:] {
+		merged.Merge(sk)
+	}
+	return hists, merged
+}
+
 // exchangeHistograms combines thread histograms into the machine-level
 // histogram, all-gathers machine histograms over the control plane and
 // derives the global histogram (Section 4.1).
@@ -413,6 +476,13 @@ func (st *machineState) exchangeHistograms() error {
 	for p := 0; p < st.np; p++ {
 		vec[p] = uint64(machineR[p])
 		vec[st.np+p] = uint64(machineS[p])
+	}
+	if st.sketch != nil {
+		// Piggyback the encoded heavy-hitter sketch on the histogram
+		// all-gather: skew detection adds no control-plane round.
+		enc := make([]uint64, skew.EncodedLen(st.sketch.Capacity()))
+		st.sketch.Encode(enc)
+		vec = append(vec, enc...)
 	}
 	var all [][]uint64
 	var err error
@@ -428,16 +498,23 @@ func (st *machineState) exchangeHistograms() error {
 	st.allHistS = make([][]uint64, st.nm)
 	st.globalR = make([]int64, st.np)
 	st.globalS = make([]int64, st.np)
+	blocks := make([][]uint64, 0, st.nm)
 	for m, v := range all {
-		if len(v) != 2*st.np {
-			return fmt.Errorf("histogram vector from machine %d has %d entries, want %d", m, len(v), 2*st.np)
+		if len(v) < 2*st.np {
+			return fmt.Errorf("histogram vector from machine %d has %d entries, want at least %d", m, len(v), 2*st.np)
 		}
 		st.allHistR[m] = v[:st.np]
-		st.allHistS[m] = v[st.np:]
+		st.allHistS[m] = v[st.np : 2*st.np]
 		for p := 0; p < st.np; p++ {
 			st.globalR[p] += int64(v[p])
 			st.globalS[p] += int64(v[st.np+p])
 		}
+		if len(v) > 2*st.np {
+			blocks = append(blocks, v[2*st.np:])
+		}
+	}
+	if st.skewMode != SkewOff {
+		st.deriveSkew(blocks)
 	}
 	return nil
 }
@@ -499,6 +576,18 @@ func (st *machineState) computeAssignment() {
 			}
 		}
 	}
+	// Split-and-replicate (skew engine): a split partition is a broadcast
+	// partition for the inner side — the full replica machinery below and
+	// in the network pass applies unchanged — while its outer side is
+	// dealt round-robin across all machines instead of staying put.
+	if st.split != nil {
+		for p := 0; p < st.np; p++ {
+			if st.split[p] {
+				st.broadcast[p] = true
+				st.owner[p] = -1
+			}
+		}
+	}
 	// Per-machine slab layouts, identical on every machine: resident
 	// partitions in ascending order.
 	st.slabOffR = make([][]int64, st.nm)
@@ -516,14 +605,37 @@ func (st *machineState) computeAssignment() {
 				offS += st.globalS[p]
 			case st.broadcast[p]:
 				sr[p], ss[p] = offR, offS
-				offR += st.globalR[p]            // full inner replica
-				offS += int64(st.allHistS[m][p]) // local outer share stays put
+				offR += st.globalR[p] // full inner replica
+				if st.isSplit(p) {
+					offS += st.splitRecvTotal(p, m) // dealt outer share
+				} else {
+					offS += int64(st.allHistS[m][p]) // local outer share stays put
+				}
 			}
 		}
 		st.slabOffR[m] = sr
 		st.slabOffS[m] = ss
 		if m == st.m.ID {
 			st.slabTuplesR, st.slabTuplesS = offR, offS
+		}
+	}
+	// Split-partition write cursors, now that slab offsets are known.
+	// splitLocalCur hands out this machine's self-dealt outer writes: the
+	// self share leads the slab region on append-style transports; exact
+	// one-sided placement puts it at this machine's per-source sub-region.
+	// splitRemoteCur pre-reserves exact one-sided offsets per destination.
+	if st.split != nil {
+		for _, p := range st.skewStats.SplitPartitions {
+			base := st.slabOffS[st.m.ID][p]
+			if st.cfg.Transport == TransportOneSided {
+				base += st.splitSrcBase(st.m.ID, p, st.m.ID)
+				cur := make([]atomic.Int64, st.nm)
+				for d := 0; d < st.nm; d++ {
+					cur[d].Store(st.slabOffS[d][p] + st.splitSrcBase(st.m.ID, p, d))
+				}
+				st.splitRemoteCur[p] = cur
+			}
+			st.splitLocalCur[p].Store(base)
 		}
 	}
 	for p := 0; p < st.np; p++ {
@@ -573,7 +685,13 @@ func (st *machineState) allocRegions() error {
 		cur := make([]byte, st.np*2*8)
 		for _, p := range st.resident {
 			putCursor(cur, p, false, int64(st.allHistR[st.m.ID][p]))
-			putCursor(cur, p, true, int64(st.allHistS[st.m.ID][p]))
+			if st.isSplit(p) {
+				// Split partitions lead with the self-dealt share, not the
+				// whole local share: the rest is dealt to other machines.
+				putCursor(cur, p, true, st.splitShare(st.m.ID, p, st.m.ID))
+			} else {
+				putCursor(cur, p, true, int64(st.allHistS[st.m.ID][p]))
+			}
 		}
 		if st.mrCur, err = st.m.PD.RegisterMemory(cur, rdma.AccessLocalWrite|rdma.AccessRemoteAtomic); err != nil {
 			return err
@@ -783,6 +901,16 @@ func assembleResult(c *cluster.Cluster, states []*machineState, before rdma.Devi
 		if st.phases.BuildProbe > res.Phases.BuildProbe {
 			res.Phases.BuildProbe = st.phases.BuildProbe
 		}
+	}
+	// Skew engine outcome: the detector output is identical on every
+	// machine (derived from the same merged sketch), so machine 0 speaks
+	// for all; the traffic and task-split tallies are summed.
+	res.Skew.Mode = states[0].skewMode
+	res.Skew.HeavyHitters = states[0].skewStats.HeavyHitters
+	res.Skew.SplitPartitions = states[0].skewStats.SplitPartitions
+	for _, st := range states {
+		res.Skew.ReplicatedBytes += st.skewReplBytes.Load()
+		res.Skew.TaskSplits += st.skewStats.TaskSplits
 	}
 	after := deviceTotals(c)
 	res.Net.BytesSent = after.BytesSent - before.BytesSent

@@ -101,6 +101,10 @@ func (st *machineState) exportSchedulerMetrics(s *scheduler) {
 	if sp := s.spills.Load(); sp > 0 {
 		st.met.Counter("scheduler_spills_total").Add(sp)
 	}
+	if ts := s.splits.Load(); ts > 0 {
+		st.met.Counter("skew_task_splits_total").Add(ts)
+		st.skewStats.TaskSplits += ts
+	}
 }
 
 // localPassAndBuildProbe runs phases 3 and 4 in barrier mode: every
@@ -167,8 +171,14 @@ func (st *machineState) localPassAndBuildProbe() error {
 // side is split (SkewSplitFactor × average tuples per final partition);
 // 0 disables splitting.
 func (st *machineState) skewThreshold() int {
-	if st.cfg.SkewSplitFactor <= 0 {
-		return 0
+	factor := st.cfg.SkewSplitFactor
+	if factor <= 0 {
+		if st.skewMode != SkewSplit {
+			return 0
+		}
+		// The skew engine implies local splitting: default to the same 4×
+		// ratio the health plane's hot_partition detector alarms on.
+		factor = 4.0
 	}
 	var totalS int64
 	for _, c := range st.globalS {
@@ -176,7 +186,7 @@ func (st *machineState) skewThreshold() int {
 	}
 	finalParts := int64(st.np) << st.cfg.LocalBits
 	avg := float64(totalS) / float64(finalParts)
-	th := int(st.cfg.SkewSplitFactor * avg)
+	th := int(factor * avg)
 	if th < 1 {
 		th = 1
 	}
@@ -191,8 +201,15 @@ func (w *joinWorker) processPartition(p int) {
 	sTuples := st.globalS[p]
 	if st.broadcast[p] {
 		// Work sharing: this machine probes only its local outer share
-		// against the full replicated inner partition.
+		// against the full replicated inner partition. Skew-split
+		// partitions probe the dealt-in share instead — the shares are
+		// disjoint across machines and the inner replicas complete, so
+		// the union of all machines' probes is exactly the partition's
+		// join with no duplicates.
 		sTuples = int64(st.allHistS[self][p])
+		if st.isSplit(p) {
+			sTuples = st.splitRecvTotal(p, self)
+		}
 	}
 	r := st.slabR.Slice(int(st.slabOffR[self][p]), int(st.slabOffR[self][p]+st.globalR[p]))
 	s := st.slabS.Slice(int(st.slabOffS[self][p]), int(st.slabOffS[self][p]+sTuples))
@@ -240,10 +257,17 @@ func (w *joinWorker) buildProbe(r, s *relation.Relation, threshold int) {
 	}
 	if threshold > 0 && s.Len() > 2*threshold {
 		// Outer-relation skew: build once, split the probe range across
-		// subtasks that share the read-only table.
+		// subtasks that share the read-only table. With the skew engine
+		// on, the range is splittable mid-run instead of pre-chunked:
+		// idle workers halve whatever remains, so a mis-estimated hot
+		// range cannot strand one worker with the tail.
 		start := time.Now()
 		tbl := hashtable.Build(r)
 		w.tBP += time.Since(start)
+		if w.st.skewMode == SkewSplit {
+			w.probeSplittable(tbl, s, 0, s.Len(), threshold)
+			return
+		}
 		for lo := 0; lo < s.Len(); lo += threshold {
 			hi := lo + threshold
 			if hi > s.Len() {
@@ -258,6 +282,30 @@ func (w *joinWorker) buildProbe(r, s *relation.Relation, threshold int) {
 	tbl := hashtable.Build(r)
 	w.tBP += time.Since(start)
 	w.probe(tbl, s, 0, s.Len())
+}
+
+// probeSplittable probes [lo, hi) as a mid-run-splittable task: the range
+// is advertised to the scheduler so idle workers can steal the top half
+// while it runs, and the owner claims chunk-sized pieces off the bottom.
+// Stolen halves are themselves splittable — a hot partition keeps
+// shedding work for as long as anyone is idle.
+func (w *joinWorker) probeSplittable(tbl *hashtable.Table, s *relation.Relation, lo, hi, chunk int) {
+	rng := &splitRange{lo: lo, hi: hi}
+	o := &splitOffer{
+		rng: rng,
+		spawn: func(lo, hi int) schedTask {
+			return func(cw *joinWorker) { cw.probeSplittable(tbl, s, lo, hi, chunk) }
+		},
+	}
+	w.sched.offer(o)
+	for {
+		clo, chi, ok := rng.claim(chunk)
+		if !ok {
+			break
+		}
+		w.probe(tbl, s, clo, chi)
+	}
+	w.sched.retract(o)
 }
 
 func (w *joinWorker) probe(tbl *hashtable.Table, s *relation.Relation, lo, hi int) {

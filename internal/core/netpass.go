@@ -209,10 +209,12 @@ func (st *machineState) allocPools() error {
 		return nil // pull mode ships nothing from the sender side
 	}
 	// Remote partitions each need BuffersPerPartition buffers; broadcast
-	// partitions replicate their inner side to all nm-1 peers.
+	// partitions replicate their inner side to all nm-1 peers; skew-split
+	// partitions additionally deal their outer side to all nm-1 peers.
 	remote := st.np - len(st.resident)
 	numBcast := len(st.resident) - len(st.owned)
-	count := st.cfg.BuffersPerPartition * (remote + numBcast*(st.nm-1))
+	numSplit := len(st.skewStats.SplitPartitions)
+	count := st.cfg.BuffersPerPartition * (remote + (numBcast+numSplit)*(st.nm-1))
 	if count <= 0 {
 		return nil
 	}
@@ -343,6 +345,15 @@ type threadState struct {
 	bcastBuf  map[int][]int32
 	bcastFill map[int][]int32
 	bcastCur  map[int][]int64
+	// Split state (outer relation of skew-split partitions): split aliases
+	// st.split during the outer scatter (nil otherwise — one predicted-away
+	// nil check per remote tuple when the skew engine is off), and the
+	// round-robin dealer fills one buffer per (partition, destination).
+	// Exact one-sided cursors live on machineState (splitRemoteCur): they
+	// are shared across threads, unlike the per-thread bcastCur.
+	split     []bool
+	splitBuf  map[int][]int32
+	splitFill map[int][]int32
 	// repBytes counts tuple bytes replicated into broadcast buffers —
 	// kernel work on top of the input scan, folded into
 	// kernel_bytes_total at end of slice.
@@ -376,9 +387,27 @@ func (st *machineState) newThreadState(t int, isS bool) *threadState {
 		slabOff = st.slabOffS
 	}
 	w := int64(st.width)
+	if isS {
+		ts.split = st.split
+	}
 	for p := 0; p < st.np; p++ {
 		ts.curBuf[p] = -1
 		switch {
+		case isS && st.isSplit(p):
+			// The outer side of a split partition goes through the shared
+			// round-robin dealer: no per-thread local cursor, one deal
+			// buffer per destination.
+			ts.localCur[p] = -1
+			if ts.splitBuf == nil {
+				ts.splitBuf = make(map[int][]int32)
+				ts.splitFill = make(map[int][]int32)
+			}
+			bufs := make([]int32, st.nm)
+			for d := range bufs {
+				bufs[d] = -1
+			}
+			ts.splitBuf[p] = bufs
+			ts.splitFill[p] = make([]int32, st.nm)
 		case st.residentHere(p):
 			ts.localCur[p] = (st.localWriteBase(p, isS) + threadPrefix(hists, t, p)) * w
 			if st.broadcast[p] && !isS {
@@ -451,6 +480,12 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 			}
 			continue
 		}
+		if ts.split != nil && ts.split[p] {
+			if err := st.dealSplit(t, ts, p, tuple, capTuples); err != nil {
+				return err
+			}
+			continue
+		}
 		b := ts.curBuf[p]
 		if b < 0 {
 			var err error
@@ -501,6 +536,21 @@ func (st *machineState) scatterSlice(t int, rel *relation.Relation, isS bool) er
 				}
 			}
 		}
+		if bufs, ok := ts.splitBuf[p]; ok {
+			for d := range bufs {
+				if bufs[d] < 0 {
+					continue
+				}
+				if ts.splitFill[p][d] == 0 {
+					pool.release(bufs[d])
+					bufs[d] = -1
+					continue
+				}
+				if err := st.flushSplit(t, ts, p, d); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	// Tail drain: cycle the schedule until every parked buffer posted —
 	// the pass may not end (and EOP may not fire) with buffers held
@@ -542,6 +592,67 @@ func (st *machineState) replicate(t int, ts *threadState, p int, tuple []byte, b
 	return nil
 }
 
+// dealSplit routes one outer tuple of skew-split partition p: a shared
+// per-partition counter deals tuples round-robin across all machines, so
+// the hot partition's probe work spreads evenly instead of landing on one
+// straggler. Self-dealt tuples go straight into the local slab through
+// the shared offset cursor; remote destinations fill per-destination
+// buffers that ship through the same scheduled path as everything else.
+func (st *machineState) dealSplit(t int, ts *threadState, p int, tuple []byte, capTuples int32) error {
+	idx := st.splitNext[p].Add(1) - 1
+	dest := (st.splitStartDest(st.m.ID, p) + int(idx%int64(st.nm))) % st.nm
+	width := st.width
+	if dest == st.m.ID {
+		cur := (st.splitLocalCur[p].Add(1) - 1) * int64(width)
+		slab := st.slabS.Bytes()
+		if ts.wcCopy {
+			relation.CopyTuple(slab[cur:], tuple, width)
+		} else {
+			copy(slab[cur:], tuple)
+		}
+		return nil
+	}
+	bufs := ts.splitBuf[p]
+	fill := ts.splitFill[p]
+	b := bufs[dest]
+	if b < 0 {
+		var err error
+		if b, err = st.acquireFor(t, ts); err != nil {
+			return err
+		}
+		bufs[dest] = b
+		fill[dest] = 0
+	}
+	pool := st.pools[t]
+	if ts.wcCopy {
+		relation.CopyTuple(pool.buf(b)[int(fill[dest])*width:], tuple, width)
+	} else {
+		copy(pool.buf(b)[int(fill[dest])*width:], tuple)
+	}
+	fill[dest]++
+	if fill[dest] == capTuples {
+		return st.flushSplit(t, ts, p, dest)
+	}
+	return nil
+}
+
+// flushSplit ships the current deal buffer of (split partition p, dest).
+// On the exact-placement transport the write range is pre-reserved from
+// the shared per-(partition, destination) cursor; ship's park path copies
+// the cursor value into the parked entry, so handing it a stack slot is
+// safe even though the buffer may post out of order.
+func (st *machineState) flushSplit(t int, ts *threadState, p, dest int) error {
+	buf := ts.splitBuf[p][dest]
+	tuples := ts.splitFill[p][dest]
+	ts.splitBuf[p][dest] = -1
+	ts.splitFill[p][dest] = 0
+	var cur int64
+	if st.cfg.Transport == TransportOneSided {
+		cur = st.splitRemoteCur[p][dest].Add(int64(tuples)) - int64(tuples)
+	}
+	return st.ship(t, ts, buf, tuples, p, true, dest, &cur)
+}
+
 // flushBcast ships the current broadcast buffer of (partition p, dest)
 // through the same scheduled posting path as everything else, so the
 // communication schedule, the transfer budgets and the per-target
@@ -580,6 +691,13 @@ func (st *machineState) postBuffer(t int, ts *threadState, buf, tuples int32, p 
 	}
 	if st.linkBytes != nil && st.linkBytes[dest] != nil {
 		st.linkBytes[dest].Add(uint64(length))
+	}
+	if st.skewRepl != nil && st.skewRepl[p] != nil {
+		// Split-partition traffic — replicated inner tuples and dealt
+		// outer tuples — is the price of the skew mitigation; the health
+		// plane reads this counter to see the mitigation working.
+		st.skewRepl[p].Add(uint64(length))
+		st.skewReplBytes.Add(uint64(length))
 	}
 
 	if st.cfg.Transport == TransportTCP {

@@ -42,6 +42,11 @@ func (st *machineState) demandMatrix() [][]float64 {
 				for dst := 0; dst < st.nm; dst++ {
 					if dst != m {
 						d[m][dst] += float64(st.allHistR[m][p]) * w
+						if st.isSplit(p) {
+							// Skew-split partitions also deal their outer
+							// side round-robin; the shares are exact.
+							d[m][dst] += float64(st.splitShare(m, p, dst)) * w
+						}
 					}
 				}
 			case st.owner[p] != m:
@@ -132,7 +137,7 @@ func (st *machineState) initNetSched(poolBuffers int) {
 	// cannot starve the pipeline it is pacing.
 	remote := st.np - len(st.resident)
 	numBcast := len(st.resident) - len(st.owned)
-	streams := remote + numBcast*(st.nm-1)
+	streams := remote + (numBcast+len(st.skewStats.SplitPartitions))*(st.nm-1)
 	st.parkCap = (poolBuffers - streams) / 2
 	if st.parkCap < 1 {
 		st.parkCap = 1

@@ -140,6 +140,8 @@ func (st *machineState) expectedRemotePartitionTuples(p int) int64 {
 		tuples += int64(st.allHistR[m][p])
 		if st.owner[p] == st.m.ID {
 			tuples += int64(st.allHistS[m][p])
+		} else if st.isSplit(p) {
+			tuples += st.splitShare(m, p, st.m.ID)
 		}
 	}
 	return tuples
@@ -378,6 +380,8 @@ func (st *machineState) eopWatcher(pl *pipeline, peer int) error {
 		tuples := int64(st.allHistR[peer][p])
 		if st.owner[p] == st.m.ID {
 			tuples += int64(st.allHistS[peer][p])
+		} else if st.isSplit(p) {
+			tuples += st.splitShare(peer, p, st.m.ID)
 		}
 		pl.credit(p, tuples*w, gate)
 	}

@@ -83,8 +83,12 @@ func (st *machineState) expectedRemoteBytes() uint64 {
 			}
 			tuples += st.allHistR[m][p]
 			if st.owner[p] == st.m.ID {
-				// Broadcast partitions never ship outer tuples.
+				// Broadcast partitions never ship outer tuples…
 				tuples += st.allHistS[m][p]
+			} else if st.isSplit(p) {
+				// …except skew-split ones, which deal an exactly
+				// derivable share of every sender's outer tuples here.
+				tuples += uint64(st.splitShare(m, p, st.m.ID))
 			}
 		}
 	}
@@ -109,7 +113,13 @@ func (st *machineState) receiveLoop() error {
 	curS := make([]int64, st.np)
 	for _, p := range st.resident {
 		curR[p] = (st.slabOffR[st.m.ID][p] + int64(st.allHistR[st.m.ID][p])) * w
-		curS[p] = (st.slabOffS[st.m.ID][p] + int64(st.allHistS[st.m.ID][p])) * w
+		selfS := int64(st.allHistS[st.m.ID][p])
+		if st.isSplit(p) {
+			// Split partitions lead with the self-dealt share only; the
+			// dealt-in remainder lands behind it in arrival order.
+			selfS = st.splitShare(st.m.ID, p, st.m.ID)
+		}
+		curS[p] = (st.slabOffS[st.m.ID][p] + selfS) * w
 	}
 	slabR := st.slabR.Bytes()
 	slabS := st.slabS.Bytes()
@@ -205,7 +215,11 @@ func (st *machineState) tcpReceiveLoop() error {
 	curS := make([]int64, st.np)
 	for _, p := range st.resident {
 		curR[p] = (st.slabOffR[st.m.ID][p] + int64(st.allHistR[st.m.ID][p])) * w
-		curS[p] = (st.slabOffS[st.m.ID][p] + int64(st.allHistS[st.m.ID][p])) * w
+		selfS := int64(st.allHistS[st.m.ID][p])
+		if st.isSplit(p) {
+			selfS = st.splitShare(st.m.ID, p, st.m.ID)
+		}
+		curS[p] = (st.slabOffS[st.m.ID][p] + selfS) * w
 	}
 	slabR := st.slabR.Bytes()
 	slabS := st.slabS.Bytes()

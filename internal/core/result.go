@@ -48,4 +48,7 @@ type Result struct {
 	// PartitionsPerMachine is how many network partitions each machine
 	// was assigned.
 	PartitionsPerMachine []int
+	// Skew reports the skew engine's decisions (zero value when the
+	// engine was off).
+	Skew SkewStats
 }

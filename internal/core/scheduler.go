@@ -100,6 +100,13 @@ type scheduler struct {
 	steals  atomic.Uint64
 	injects atomic.Uint64
 	spills  atomic.Uint64
+	splits  atomic.Uint64
+
+	// offers advertises the splittable ranges of currently-running tasks
+	// (skew engine): an idle worker that finds nothing to steal can take
+	// half of a running hot-partition probe instead of parking.
+	offerMu sync.Mutex
+	offers  []*splitOffer
 
 	// flight/machine mirror steal, inject and spill events into the
 	// flight recorder when one is mounted (flight nil otherwise).
@@ -245,6 +252,113 @@ func (s *scheduler) steal(id int) (schedTask, bool) {
 	return nil, false
 }
 
+// splitMinTuples is the smallest remaining probe range a thief may halve:
+// below it the split bookkeeping outweighs the stolen work. A variable so
+// the race torture test can force aggressive splitting on small inputs.
+var splitMinTuples = 1 << 14
+
+// splitRange is the mid-run-divisible tuple range of a splittable task.
+// The owner claims chunks from the bottom; thieves halve the top. One
+// mutex serialises both — the owner amortises it over a whole chunk.
+type splitRange struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// claim takes up to n tuples off the bottom of the range for the owner.
+func (r *splitRange) claim(n int) (lo, hi int, ok bool) {
+	r.mu.Lock()
+	if r.lo >= r.hi {
+		r.mu.Unlock()
+		return 0, 0, false
+	}
+	lo = r.lo
+	hi = lo + n
+	if hi > r.hi {
+		hi = r.hi
+	}
+	r.lo = hi
+	r.mu.Unlock()
+	return lo, hi, true
+}
+
+// steal takes the top half of the remaining range, if it is still big
+// enough to be worth a task of its own.
+func (r *splitRange) steal() (lo, hi int, ok bool) {
+	r.mu.Lock()
+	rem := r.hi - r.lo
+	if rem < splitMinTuples {
+		r.mu.Unlock()
+		return 0, 0, false
+	}
+	mid := r.lo + rem/2
+	lo, hi = mid, r.hi
+	r.hi = mid
+	r.mu.Unlock()
+	return lo, hi, true
+}
+
+// splitOffer advertises one running task's splittable range. spawn wraps
+// a stolen sub-range into a scheduler task (itself splittable again).
+type splitOffer struct {
+	rng   *splitRange
+	spawn func(lo, hi int) schedTask
+}
+
+// offer publishes a splittable range. The wake comes after the lock is
+// released: parked workers call trySplit while holding parkMu, so holding
+// offerMu across wake() would invert the lock order.
+func (s *scheduler) offer(o *splitOffer) {
+	s.offerMu.Lock()
+	s.offers = append(s.offers, o)
+	s.offerMu.Unlock()
+	s.wake()
+}
+
+// retract withdraws an offer; the owner calls it before its task returns.
+func (s *scheduler) retract(o *splitOffer) {
+	s.offerMu.Lock()
+	for i, e := range s.offers {
+		if e == o {
+			s.offers = append(s.offers[:i], s.offers[i+1:]...)
+			break
+		}
+	}
+	s.offerMu.Unlock()
+}
+
+// trySplit halves an advertised splittable range and returns the stolen
+// top as a new task. pending is charged BEFORE the range shrinks: the
+// moment steal() succeeds the victim may claim the rest, finish and
+// done() — without the pre-charge that could drive pending to zero and
+// terminate the phase with the stolen half unprocessed.
+func (s *scheduler) trySplit(id int) (schedTask, bool) {
+	s.offerMu.Lock()
+	var task schedTask
+	for _, o := range s.offers {
+		s.pending.Add(1)
+		lo, hi, ok := o.rng.steal()
+		if !ok {
+			// A live offer implies its owner task has not yet done(), so
+			// pending stays ≥ 1 across this decrement: it can never hit
+			// zero here and no parked worker's wakeup is lost.
+			s.pending.Add(-1)
+			continue
+		}
+		task = o.spawn(lo, hi)
+		break
+	}
+	s.offerMu.Unlock()
+	if task == nil {
+		return nil, false
+	}
+	s.splits.Add(1)
+	if s.flight != nil {
+		s.flight.Note(s.machine, "task_split", fmt.Sprintf("worker %d halved a hot probe range", id), 0, 0)
+	}
+	return task, true
+}
+
 // wake unparks one sleeping worker, if any. The task made visible by the
 // caller (deque push or injector append, both under their mutex) is
 // sequenced before the sleepers load, and a parking worker re-checks all
@@ -284,6 +398,9 @@ func (s *scheduler) tryNext(id int) (schedTask, bool) {
 		s.steals.Add(1)
 		return t, true
 	}
+	if t, ok := s.trySplit(id); ok {
+		return t, true
+	}
 	return nil, false
 }
 
@@ -306,6 +423,9 @@ func (s *scheduler) next(id int) (schedTask, bool) {
 			s.steals.Add(1)
 			return t, true
 		}
+		if t, ok := s.trySplit(id); ok {
+			return t, true
+		}
 		if s.pending.Load() == 0 {
 			return nil, false
 		}
@@ -323,6 +443,11 @@ func (s *scheduler) next(id int) (schedTask, bool) {
 			s.sleepers.Add(-1)
 			s.parkMu.Unlock()
 			s.steals.Add(1)
+			return t, true
+		}
+		if t, ok := s.trySplit(id); ok {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
 			return t, true
 		}
 		if s.pending.Load() == 0 || s.aborted.Load() {

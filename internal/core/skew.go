@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"rackjoin/internal/metrics"
+	"rackjoin/internal/skew"
+)
+
+// This file wires the heavy-hitter skew engine (internal/skew) into the
+// join. The flow:
+//
+//	histogram scan         → per-thread space-saving sketches (fused into
+//	                         the same pass over the outer chunk)
+//	histogram exchange     → per-machine sketch travels piggybacked on the
+//	                         histogram all-gather vector
+//	deriveSkew             → every machine merges the same encoded blocks
+//	                         with the same threshold → identical global
+//	                         heavy-hitter set and split-partition set
+//	computeAssignment      → split partitions become broadcast partitions
+//	                         (inner side replicated everywhere) with the
+//	                         outer side dealt round-robin instead of kept
+//	                         local
+//	scatterSlice/dealSplit → the outer tuples of a split partition are
+//	                         dealt to machines by a shared per-partition
+//	                         counter; per-(sender, destination) shares are
+//	                         exactly derivable from the exchanged
+//	                         histograms, so slab sizes, write offsets and
+//	                         termination counts all stay exact with no
+//	                         extra control-plane round.
+
+// maxSketchCapacity bounds the per-machine sketch (and therefore the
+// piggybacked exchange payload: 16 bytes per slot).
+const maxSketchCapacity = 4096
+
+// sketchCapacity sizes the space-saving sketch for a frequency threshold:
+// a key with share ≥ thr is guaranteed tracked when capacity ≥ 1/thr;
+// double that for resolution between the hot keys and the tail.
+func sketchCapacity(thr float64) int {
+	c := int(2/thr) + 1
+	if c < 64 {
+		c = 64
+	}
+	if c > maxSketchCapacity {
+		c = maxSketchCapacity
+	}
+	return c
+}
+
+// SkewStats reports the skew engine's decisions for one execution.
+type SkewStats struct {
+	// Mode is the effective mode the run used (SkewSplit degrades to
+	// SkewDetect on a single machine and on the pull transport).
+	Mode SkewMode
+	// HeavyHitters are the detected hot keys with their merged estimated
+	// counts, hottest first. Identical on every machine.
+	HeavyHitters []skew.Entry
+	// SplitPartitions are the network partitions processed in
+	// split-and-replicate mode (empty unless Mode is SkewSplit).
+	SplitPartitions []int
+	// ReplicatedBytes is the extra traffic attributable to split
+	// partitions: replicated inner tuples plus redistributed outer tuples.
+	ReplicatedBytes uint64
+	// TaskSplits counts probe ranges stolen mid-run by idle workers.
+	TaskSplits uint64
+}
+
+// deriveSkew runs on every machine after the histogram exchange, over the
+// identical encoded sketch blocks, and derives the identical heavy-hitter
+// and split-partition sets. blocks[m] is machine m's Encode output.
+func (st *machineState) deriveSkew(blocks [][]uint64) {
+	var totalS uint64
+	for _, c := range st.globalS {
+		totalS += uint64(c)
+	}
+	thr := uint64(st.cfg.skewThresholdFrac() * float64(totalS))
+	if thr < 1 {
+		thr = 1
+	}
+	hot := skew.MergeEncoded(blocks, thr)
+	st.skewStats.Mode = st.skewMode
+	st.skewStats.HeavyHitters = hot
+	if len(hot) == 0 {
+		return
+	}
+	st.met.Counter("skew_heavy_hitters_total").Add(uint64(len(hot)))
+	mask := uint64(st.np - 1)
+	if st.skewMode != SkewSplit {
+		if st.cfg.Flight != nil {
+			st.flight("skew", "detected "+strconv.Itoa(len(hot))+" heavy hitters", int(hot[0].Key&mask), int64(hot[0].Count))
+		}
+		return
+	}
+	st.split = make([]bool, st.np)
+	for _, e := range hot {
+		p := int(e.Key & mask)
+		if !st.split[p] {
+			st.split[p] = true
+			st.skewStats.SplitPartitions = append(st.skewStats.SplitPartitions, p)
+			if st.cfg.Flight != nil {
+				st.flight("skew", "split partition (heavy hitter)", p, int64(e.Count))
+			}
+		}
+	}
+	st.splitNext = make([]atomic.Int64, st.np)
+	st.splitLocalCur = make([]atomic.Int64, st.np)
+	st.splitRemoteCur = make([][]atomic.Int64, st.np)
+	st.skewRepl = make([]*metrics.Counter, st.np)
+	for _, p := range st.skewStats.SplitPartitions {
+		st.skewRepl[p] = st.met.Counter("skew_replicated_bytes_total",
+			metrics.L("partition", strconv.Itoa(p)))
+	}
+}
+
+// isSplit reports whether partition p runs in split-and-replicate mode.
+func (st *machineState) isSplit(p int) bool {
+	return st.split != nil && st.split[p]
+}
+
+// splitStartDest is the first destination machine the dealer of (sender
+// src, partition p) cycles to. Offsetting by both src and p spreads the
+// remainder tuples of uneven divisions across machines instead of piling
+// them on machine 0.
+func (st *machineState) splitStartDest(src, p int) int {
+	return (src + p) % st.nm
+}
+
+// splitShare is the exact number of outer tuples of split partition p that
+// sender src deals to dest: the dealer hands tuple i to machine
+// (start+i) mod nm, so every machine can derive every (src, dest) share
+// from the already-exchanged histograms — slab sizing, exact one-sided
+// placement and the receive loops' termination counts need no second
+// exchange.
+func (st *machineState) splitShare(src, p, dest int) int64 {
+	total := int64(st.allHistS[src][p])
+	q, r := total/int64(st.nm), total%int64(st.nm)
+	if int64((dest-st.splitStartDest(src, p)+st.nm)%st.nm) < r {
+		return q + 1
+	}
+	return q
+}
+
+// splitRecvTotal is the outer-tuple count machine dest receives (including
+// from itself) for split partition p — its S slab share.
+func (st *machineState) splitRecvTotal(p, dest int) int64 {
+	var sum int64
+	for src := 0; src < st.nm; src++ {
+		sum += st.splitShare(src, p, dest)
+	}
+	return sum
+}
+
+// splitSrcBase is sender src's tuple offset within dest's S slab share of
+// split partition p under one-sided exact placement (per-source
+// sub-regions, ascending sender id).
+func (st *machineState) splitSrcBase(src, p, dest int) int64 {
+	var sum int64
+	for m := 0; m < src; m++ {
+		sum += st.splitShare(m, p, dest)
+	}
+	return sum
+}

@@ -1,0 +1,118 @@
+package datagen
+
+import "math/rand"
+
+// ZipfAlias is a seeded O(1)-per-tuple Zipf sampler built on a
+// precomputed Walker/Vose alias table. The rejection sampler behind
+// rand.NewZipf evaluates pow() per attempt — the dominant cost of
+// materialising skewed benchmark workloads — and is undefined for skew
+// factors s ≤ 1. The alias table pays one pow() per key at build time
+// and then draws each tuple with one Intn and one Float64, for any
+// skew ≥ 0, from exactly the distribution the simulator's analytic
+// histograms assume: w(k) = (1+k')^{-s} over keys k = k'+1 in [1, keys].
+type ZipfAlias struct {
+	keys  int
+	prob  []float64 // acceptance probability of each column
+	alias []int32   // fallback key index of each column
+}
+
+// NewZipfAlias builds the alias table for a Zipf(skew) distribution over
+// [1, keys]. Build cost is O(keys); keys must fit int32 (the relation
+// layer indexes tuples with int anyway).
+func NewZipfAlias(keys int, skew float64) *ZipfAlias {
+	return newAlias(keys, ZipfWeights(keys, skew))
+}
+
+// newAlias runs Vose's stable construction over arbitrary non-negative
+// weights: scale to mean 1, then pair each under-full column with an
+// over-full one.
+func newAlias(keys int, weights []float64) *ZipfAlias {
+	n := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	a := &ZipfAlias{
+		keys:  keys,
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Sample draws one key in [1, keys] using the supplied seeded source:
+// one uniform column pick, one acceptance test, no pow().
+func (a *ZipfAlias) Sample(rng *rand.Rand) uint64 {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() >= a.prob[i] {
+		i = int(a.alias[i])
+	}
+	return uint64(i) + 1
+}
+
+// TopKeyShares returns the global frequency share of the `top` hottest
+// keys of a Zipf(skew) column over [1, keys]: element k is the share of
+// key k+1 (keys are dense in hotness order by construction, key 1 the
+// hottest). The simulator uses it to place heavy hitters analytically;
+// skew == 0 yields the uniform share for each.
+func TopKeyShares(keys int, skew float64, top int) []float64 {
+	if top > keys {
+		top = keys
+	}
+	out := make([]float64, top)
+	if skew == 0 {
+		for i := range out {
+			out[i] = 1 / float64(keys)
+		}
+		return out
+	}
+	head := keys
+	if head > exactZipfKeys {
+		head = exactZipfKeys
+	}
+	var total float64
+	for k := 0; k < head; k++ {
+		total += zipfWeight(uint64(k), skew)
+	}
+	if keys > head {
+		total += zipfTailWeight(head, keys, skew)
+	}
+	for k := 0; k < top; k++ {
+		out[k] = zipfWeight(uint64(k), skew) / total
+	}
+	return out
+}

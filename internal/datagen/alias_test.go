@@ -1,0 +1,118 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAliasDistributionShape: empirical head-key frequencies of the
+// alias sampler must match the analytic Zipf shares within sampling
+// error, across skew factors on both sides of the s=1 boundary the old
+// rejection sampler could not cross.
+func TestAliasDistributionShape(t *testing.T) {
+	const keys, draws = 1 << 10, 1 << 19
+	for _, skew := range []float64{0.5, 0.75, 1.0, 1.25, SkewHigh} {
+		a := NewZipfAlias(keys, skew)
+		rng := rand.New(rand.NewSource(11))
+		counts := make([]int, keys+1)
+		for i := 0; i < draws; i++ {
+			k := a.Sample(rng)
+			if k < 1 || k > keys {
+				t.Fatalf("skew %.2f: sampled key %d out of [1,%d]", skew, k, keys)
+			}
+			counts[k]++
+		}
+		want := TopKeyShares(keys, skew, 16)
+		for k := 0; k < 16; k++ {
+			got := float64(counts[k+1]) / draws
+			// Head keys carry enough mass for a tight relative check; allow
+			// 10% relative or 0.002 absolute slack for the lighter shares.
+			if math.Abs(got-want[k]) > 0.1*want[k]+0.002 {
+				t.Fatalf("skew %.2f key %d: empirical %.5f vs analytic %.5f", skew, k+1, got, want[k])
+			}
+		}
+	}
+}
+
+// TestAliasMatchesPartitionFractions: radix-partitioning alias-sampled
+// keys must reproduce the simulator's analytic partition histogram —
+// the contract that lets sim experiments stand in for generated data.
+func TestAliasMatchesPartitionFractions(t *testing.T) {
+	const keys, draws, bits = 1 << 12, 1 << 18, 4
+	np := 1 << bits
+	for _, skew := range []float64{0.75, SkewLow, 1.5} {
+		a := NewZipfAlias(keys, skew)
+		rng := rand.New(rand.NewSource(5))
+		got := make([]float64, np)
+		for i := 0; i < draws; i++ {
+			got[int(a.Sample(rng))&(np-1)]++
+		}
+		for p := range got {
+			got[p] /= draws
+		}
+		want := PartitionFractions(keys, skew, bits)
+		for p := range got {
+			if math.Abs(got[p]-want[p]) > 0.01 {
+				t.Fatalf("skew %.2f partition %d: sampled %.4f vs analytic %.4f", skew, p, got[p], want[p])
+			}
+		}
+	}
+}
+
+// TestAliasDeterministic: same seed → same stream; different seed →
+// different stream.
+func TestAliasDeterministic(t *testing.T) {
+	a := NewZipfAlias(1<<8, 1.1)
+	r1, r2, r3 := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9)), rand.New(rand.NewSource(10))
+	diff := false
+	for i := 0; i < 1000; i++ {
+		k1, k2, k3 := a.Sample(r1), a.Sample(r2), a.Sample(r3)
+		if k1 != k2 {
+			t.Fatal("same seed diverged")
+		}
+		if k1 != k3 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestTopKeyShares: shares are decreasing, key 1 dominates under heavy
+// skew, and the uniform case returns the flat share.
+func TestTopKeyShares(t *testing.T) {
+	s := TopKeyShares(1<<20, SkewHigh, 8)
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Fatalf("shares not decreasing at %d", i)
+		}
+	}
+	if s[0] < 0.1 {
+		t.Fatalf("Zipf 1.2 hottest key share %.3f too small", s[0])
+	}
+	u := TopKeyShares(100, 0, 3)
+	for _, v := range u {
+		if math.Abs(v-0.01) > 1e-12 {
+			t.Fatalf("uniform share %v", v)
+		}
+	}
+}
+
+// TestZipfTailWeightAtOne: the harmonic case s=1 must be finite (the
+// closed form divides by s-1), exercised through PartitionFractions on
+// a domain past the exact-head threshold.
+func TestZipfTailWeightAtOne(t *testing.T) {
+	f := PartitionFractions(exactZipfKeys*2, 1.0, 4)
+	var sum float64
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("non-finite fraction %v at s=1", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}

@@ -14,6 +14,7 @@
 package datagen
 
 import (
+	"math"
 	"math/rand"
 
 	"rackjoin/internal/relation"
@@ -74,9 +75,13 @@ func Generate(cfg Config) Workload {
 func fillOuterKeys(outer *relation.Relation, cfg Config, rng *rand.Rand) {
 	n := outer.Len()
 	if cfg.Skew > 0 {
-		z := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.InnerTuples-1))
+		// Alias-table sampling: one pow() per key at build time instead of
+		// per drawn tuple, and valid for any skew > 0 (rand.NewZipf's
+		// rejection sampler requires s > 1, which rules the sweep's
+		// θ ∈ {0.5, 0.75, 1.0} out).
+		a := NewZipfAlias(cfg.InnerTuples, cfg.Skew)
 		for i := 0; i < n; i++ {
-			outer.SetKey(i, z.Uint64()+1)
+			outer.SetKey(i, a.Sample(rng))
 		}
 		return
 	}
@@ -202,10 +207,16 @@ func PartitionFractions(keys int, skew float64, bits int) []float64 {
 }
 
 // zipfTailWeight approximates Σ_{k'=from}^{to-1} (1+k')^{-s} by the
-// integral of the weight function (midpoint-corrected).
+// integral of the weight function (midpoint-corrected). s == 1 is the
+// harmonic singularity of the closed form and integrates to a log.
 func zipfTailWeight(from, to int, s float64) float64 {
 	a, b := 1.0+float64(from), 1.0+float64(to)
-	integral := (pow(a, 1-s) - pow(b, 1-s)) / (s - 1)
+	var integral float64
+	if math.Abs(s-1) < 1e-9 {
+		integral = math.Log(b / a)
+	} else {
+		integral = (pow(a, 1-s) - pow(b, 1-s)) / (s - 1)
+	}
 	correction := (pow(a, -s) - pow(b, -s)) / 2
 	return integral + correction
 }

@@ -198,6 +198,7 @@ func (e *Engine) observe(base []metrics.Sample, start time.Time) Observation {
 	// straggler. Collect per phase and fold only the phases every machine
 	// has reported, so totals are always apples-to-apples.
 	phaseSec := make(map[string][]float64)
+	splitSeen := make(map[int]bool)
 	for _, s := range metrics.Delta(base, e.opts.Registry.Snapshot()) {
 		m, okM := labelInt(s.Labels, "machine")
 		switch s.Name {
@@ -227,6 +228,10 @@ func (e *Engine) observe(base []metrics.Sample, start time.Time) Observation {
 				}
 				o.PartitionMB[p] += s.Value / mb
 			}
+		case "skew_replicated_bytes_total":
+			if p, okP := labelInt(s.Labels, "partition"); okP && s.Value > 0 {
+				splitSeen[p] = true
+			}
 		case "phase_seconds":
 			if okM && valid(m) {
 				ph := s.Labels["phase"]
@@ -254,6 +259,10 @@ func (e *Engine) observe(base []metrics.Sample, start time.Time) Observation {
 			}
 		}
 	}
+	for p := range splitSeen {
+		o.SplitPartitions = append(o.SplitPartitions, p)
+	}
+	sort.Ints(o.SplitPartitions)
 	for _, vals := range phaseSec {
 		complete := true
 		for _, v := range vals {
@@ -286,6 +295,11 @@ func (e *Engine) recordLocked(ds []Diagnosis, elapsed float64) []Diagnosis {
 				e.diags[i].Confidence = d.Confidence
 				e.diags[i].Evidence = d.Evidence
 			}
+			// Mitigation is sticky: once the skew engine is seen splitting
+			// the culprit, the diagnosis stays resolved.
+			if d.Resolved {
+				e.diags[i].Resolved = true
+			}
 			continue
 		}
 		d.ElapsedSeconds = elapsed
@@ -309,6 +323,11 @@ func (e *Engine) publish(d Diagnosis) {
 		fmt.Sprintf("%s %s conf %.2f", d.Detector, d.Culprit, d.Confidence), 0, 0)
 	if e.opts.OnDiagnosis != nil {
 		e.opts.OnDiagnosis(d)
+	}
+	// A resolved diagnosis is a mitigated condition — no black-box dump;
+	// the one-shot readout is reserved for a fault someone must act on.
+	if d.Resolved {
+		return
 	}
 	if d.Confidence >= e.opts.HighConfidence && e.opts.DumpSink != nil && e.opts.Flight != nil {
 		e.mu.Lock()
@@ -372,7 +391,13 @@ func (e *Engine) report() healthReport {
 	r.Machines = e.opts.Machines
 	r.Evaluations = e.nEvals
 	e.mu.Unlock()
-	r.Healthy = len(r.Diagnoses) == 0
+	r.Healthy = true
+	for _, d := range r.Diagnoses {
+		if !d.Resolved {
+			r.Healthy = false
+			break
+		}
+	}
 	return r
 }
 
@@ -386,13 +411,17 @@ func (e *Engine) WriteJSON(w io.Writer) error {
 // WriteText serves /health?format=text: the shape -diagnose prints.
 func (e *Engine) WriteText(w io.Writer) {
 	r := e.report()
-	if r.Healthy {
+	if len(r.Diagnoses) == 0 {
 		fmt.Fprintf(w, "healthy: no diagnoses over %d evaluations (%.1fs elapsed, %d machines)\n",
 			r.Evaluations, r.ElapsedSec, r.Machines)
 		return
 	}
-	fmt.Fprintf(w, "%d diagnosis(es) over %d evaluations (%.1fs elapsed, %d machines)\n",
-		len(r.Diagnoses), r.Evaluations, r.ElapsedSec, r.Machines)
+	state := "unhealthy"
+	if r.Healthy {
+		state = "healthy (all diagnoses resolved)"
+	}
+	fmt.Fprintf(w, "%s: %d diagnosis(es) over %d evaluations (%.1fs elapsed, %d machines)\n",
+		state, len(r.Diagnoses), r.Evaluations, r.ElapsedSec, r.Machines)
 	for _, d := range r.Diagnoses {
 		fmt.Fprintf(w, "[%7.2fs] %s\n", d.ElapsedSeconds, d)
 	}

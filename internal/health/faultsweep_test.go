@@ -108,6 +108,35 @@ func TestFaultInjectionSweep(t *testing.T) {
 				t.Fatalf("@%d machines: blamed %v, hottest partition is %d (%.1f MB)", nm, d.Culprit, hot, hotMB)
 			}
 		})
+		t.Run("hot_partition_mitigated", func(t *testing.T) {
+			// Same skew, but with the skew engine on: the hot partition is
+			// split-and-replicated, so the detector must still report the
+			// skew — it was real — marked resolved.
+			cfg := sweepConfig(nm)
+			cfg.Skew = 1.25
+			cfg.SkewEngine = true
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detail == nil || len(res.Detail.SplitPartitions) == 0 {
+				t.Fatalf("@%d machines: skew engine split nothing at Zipf 1.25", nm)
+			}
+			d, ok := find(DiagnoseSim(cfg, res), DetectorHotPartition)
+			if !ok {
+				t.Fatalf("@%d machines: mitigated hot partition dropped from the report", nm)
+			}
+			if !d.Resolved {
+				t.Fatalf("@%d machines: split hot partition diagnosed unresolved: %v", nm, d)
+			}
+
+			// And the unmitigated control run must stay unresolved.
+			plain := sweepConfig(nm)
+			plain.Skew = 1.25
+			if pd, ok := find(diagnose(t, plain), DetectorHotPartition); !ok || pd.Resolved {
+				t.Fatalf("@%d machines: unmitigated run resolved=%v found=%v", nm, pd.Resolved, ok)
+			}
+		})
 		t.Run("buffer_starvation", func(t *testing.T) {
 			cfg := starveConfig(nm)
 			cfg.DropBuffersAt(3, 0.5)

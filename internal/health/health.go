@@ -107,11 +107,20 @@ type Diagnosis struct {
 	// ElapsedSeconds is when the engine first emitted this diagnosis,
 	// relative to Engine.Start; zero for post-run (sim) evaluation.
 	ElapsedSeconds float64 `json:"elapsed_s,omitempty"`
+	// Resolved marks a condition that was real but already mitigated by
+	// the time it was evaluated — e.g. a hot partition the skew engine
+	// split-and-replicated across the rack. Resolved diagnoses are kept
+	// in the report (the skew existed) but do not mark the rack
+	// unhealthy.
+	Resolved bool `json:"resolved,omitempty"`
 }
 
 // String renders the diagnosis as one report line.
 func (d Diagnosis) String() string {
 	s := fmt.Sprintf("%-18s %-16s confidence %.2f", d.Detector, d.Culprit, d.Confidence)
+	if d.Resolved {
+		s += "  [resolved]"
+	}
 	for _, ev := range d.Evidence {
 		s += fmt.Sprintf("\n    %-24s %.4g", ev.Indicator, ev.Value)
 		if ev.Baseline != 0 {
@@ -161,6 +170,10 @@ type Observation struct {
 
 	// PartitionMB is the payload shipped per network partition, MB.
 	PartitionMB map[int]float64
+	// SplitPartitions lists the partitions the skew engine
+	// split-and-replicated; a hot partition in this set is diagnosed as
+	// already resolved.
+	SplitPartitions []int
 
 	// Scheduled reports whether a communication schedule was active.
 	Scheduled bool
@@ -427,7 +440,7 @@ func detectHotPartition(o Observation) []Diagnosis {
 	if hot < 0 || mean <= 0 || max < hotPartitionFactor*mean {
 		return nil
 	}
-	return []Diagnosis{{
+	d := Diagnosis{
 		Detector: DetectorHotPartition,
 		Culprit:  Culprit{Kind: CulpritPartition, Partition: hot},
 		Evidence: []Evidence{
@@ -435,7 +448,22 @@ func detectHotPartition(o Observation) []Diagnosis {
 				Detail: fmt.Sprintf("%.1f MB of %.1f MB total over %d partitions", max, total, n)},
 		},
 		Confidence: conf((max / mean) / hotPartitionFactor),
-	}}
+	}
+	// A hot partition the skew engine already split-and-replicated is a
+	// mitigated condition: every machine holds a share of it, so nobody
+	// is the bottleneck. Report it — the skew was real — but resolved.
+	for _, p := range o.SplitPartitions {
+		if p == hot {
+			d.Resolved = true
+			d.Evidence = append(d.Evidence, Evidence{
+				Indicator: "skew_engine_split",
+				Value:     float64(len(o.SplitPartitions)),
+				Detail:    fmt.Sprintf("partition %d split-and-replicated across the rack; load already rebalanced", hot),
+			})
+			break
+		}
+	}
+	return []Diagnosis{d}
 }
 
 // egressStats sums machine m's rows of the link matrices: payload MB

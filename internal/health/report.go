@@ -90,6 +90,10 @@ func crossCheck(d Diagnosis, cp *trace.CriticalPath, res *obsv.Residual) CrossCh
 			}
 		}
 	case DetectorHotPartition:
+		if d.Resolved {
+			agree("skew engine split-and-replicated partition %d — diagnosis already resolved",
+				d.Culprit.Partition)
+		}
 		if res != nil && len(res.TopPartitions) > 0 {
 			top := res.TopPartitions[0]
 			if top.Partition == d.Culprit.Partition {

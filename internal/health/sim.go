@@ -27,6 +27,7 @@ func FromSim(cfg sim.Config, res *sim.Result) Observation {
 	o.Flushes = toF64(d.Flushes)
 	o.Retransmits = toF64(d.Retransmits)
 	o.PartitionMB = d.PartitionMB
+	o.SplitPartitions = d.SplitPartitions
 	o.Scheduled = d.Scheduled
 	if d.Scheduled {
 		o.PacedWaitSec = d.PacedWaitSec

@@ -57,7 +57,7 @@ type netPassStats struct {
 // cfg.SwitchContention > 0 the ingress service time of a transfer that
 // found the link busy inflates with the queue depth — the receiver-side
 // congestion collapse that scheduling avoids.
-func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast []bool) (netSec, busySec []float64, stats netPassStats) {
+func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, broadcast, split []bool) (netSec, busySec []float64, stats netPassStats) {
 	nm := cfg.Machines
 	netSec = make([]float64, nm)
 	busySec = make([]float64, nm)
@@ -114,6 +114,19 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 			demand[m] = make([]float64, nm)
 		}
 		for p := 0; p < np; p++ {
+			if split[p] {
+				// Skew engine: inner replicas to every peer plus the
+				// dealt (nm-1)/nm outer share, spread evenly.
+				perPeer := partMBR[p]/float64(nm) + partMBS[p]/float64(nm*nm)
+				for m := 0; m < nm; m++ {
+					for d := 0; d < nm; d++ {
+						if d != m {
+							demand[m][d] += perPeer
+						}
+					}
+				}
+				continue
+			}
 			if broadcast[p] {
 				rMB := partMBR[p] / float64(nm)
 				for m := 0; m < nm; m++ {
@@ -162,6 +175,25 @@ func simulateNetworkPass(cfg Config, partMBR, partMBS []float64, owner []int, br
 				rShare := partMBR[p] / totalMB
 				sShare := partMBS[p] / totalMB
 				if rShare+sShare == 0 {
+					continue
+				}
+				if split[p] {
+					// Skew engine: the inner side replicates to every
+					// peer and the outer side is dealt round-robin — a
+					// 1/nm share stays local, the rest fans out evenly
+					// instead of converging on the owner.
+					localFrac += rShare + sShare/float64(nm)
+					for d := 0; d < nm; d++ {
+						if d == m {
+							continue
+						}
+						if rShare > 0 {
+							addFlow(p, d, rShare)
+						}
+						if sShare > 0 {
+							addFlow(p, d, sShare/float64(nm))
+						}
+					}
 					continue
 				}
 				if broadcast[p] {

@@ -82,6 +82,16 @@ type Config struct {
 	// (Section 4.3); without it a machine's phase time is bounded below
 	// by its largest partition task.
 	SkewSplit bool
+	// SkewEngine models core's heavy-hitter skew engine
+	// (core.Config.Skew = SkewSplit): keys whose outer share crosses
+	// SkewThreshold mark their partition for split-and-replicate — the
+	// inner side replicates to every machine, the outer side is dealt
+	// round-robin instead of converging on the owner, and build-probe
+	// tasks split mid-run (implies SkewSplit).
+	SkewEngine bool
+	// SkewThreshold is the heavy-hitter frequency threshold as a fraction
+	// of the outer relation (0 = core's default, 4/2^NetworkBits).
+	SkewThreshold float64
 	// Pipeline models partition-ready execution (core.Config.Pipeline):
 	// during the network pass, partitioning threads are idle whenever they
 	// are blocked on the link or waiting for stragglers — pipelined
@@ -222,6 +232,12 @@ type NetDetail struct {
 	PartitionMB map[int]float64
 	// Scheduled reports whether a communication schedule was active.
 	Scheduled bool
+	// SplitPartitions are the partitions the skew engine processed in
+	// split-and-replicate mode (empty unless Config.SkewEngine).
+	SplitPartitions []int
+	// ReplicatedMB is the split-partition traffic: inner replicas plus
+	// dealt outer tuples.
+	ReplicatedMB float64
 }
 
 // Run simulates the join.
@@ -251,13 +267,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	owner := assign(partMBR, partMBS, cfg.Machines, cfg.SizeSortedAssignment)
 	broadcast := markBroadcast(partMBR, partMBS, cfg)
+	split := markSplit(cfg, keyDomain, np)
 
 	res := &Result{
 		PerMachine:           make([]phase.Times, cfg.Machines),
 		PartitionsPerMachine: make([]int, cfg.Machines),
 	}
 	for p, o := range owner {
-		if broadcast[p] {
+		if split[p] || broadcast[p] {
 			for m := range res.PartitionsPerMachine {
 				res.PartitionsPerMachine[m]++
 			}
@@ -273,7 +290,7 @@ func Run(cfg Config) (*Result, error) {
 	histSec := localMB / (cores * cfg.Cal.PsHist)
 
 	// Phase 2: network partitioning pass (event simulation).
-	netSec, busySec, nps := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast)
+	netSec, busySec, nps := simulateNetworkPass(cfg, partMBR, partMBS, owner, broadcast, split)
 
 	// Phases 3+4 are machine-local; per machine m the received partition
 	// set determines the work.
@@ -298,9 +315,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	for p := 0; p < np; p++ {
-		if broadcast[p] {
-			// Work sharing: every machine joins its local outer share
-			// against the full replicated inner partition.
+		if split[p] || broadcast[p] {
+			// Work sharing: every machine joins a 1/nm outer share (its
+			// own under broadcast, its dealt-in share under the skew
+			// engine) against the full replicated inner partition.
 			sShare := partMBS[p] / float64(cfg.Machines)
 			for m := 0; m < cfg.Machines; m++ {
 				addTask(m, partMBR[p]+sShare, partMBR[p], sShare)
@@ -322,7 +340,7 @@ func Run(cfg Config) (*Result, error) {
 			l = maxTaskLocal[m]
 		}
 		b := bpSec[m] / cores
-		if !cfg.SkewSplit && maxTaskBP[m] > b {
+		if !cfg.SkewSplit && !cfg.SkewEngine && maxTaskBP[m] > b {
 			b = maxTaskBP[m]
 		}
 		// A slowed machine runs all its compute phases at a fraction of
@@ -363,11 +381,18 @@ func Run(cfg Config) (*Result, error) {
 		// owner; broadcast partitions replicate the inner side instead.
 		partMB := make(map[int]float64, np)
 		nm := float64(cfg.Machines)
+		var splitParts []int
+		var replMB float64
 		for p := 0; p < np; p++ {
 			var mb float64
-			if broadcast[p] {
+			switch {
+			case split[p]:
+				mb = partMBR[p]*(nm-1) + partMBS[p]*(nm-1)/nm
+				splitParts = append(splitParts, p)
+				replMB += mb
+			case broadcast[p]:
 				mb = partMBR[p] * (nm - 1)
-			} else {
+			default:
 				mb = (partMBR[p] + partMBS[p]) * (nm - 1) / nm
 			}
 			if mb > 0 {
@@ -382,8 +407,10 @@ func Run(cfg Config) (*Result, error) {
 			Flushes:      nps.flushes,
 			Retransmits:  nps.retransmits,
 			PacedWaitSec: nps.pacedWaitSec,
-			PartitionMB:  partMB,
-			Scheduled:    cfg.NetSched != netsched.Off,
+			PartitionMB:     partMB,
+			Scheduled:       cfg.NetSched != netsched.Off,
+			SplitPartitions: splitParts,
+			ReplicatedMB:    replMB,
 		}
 	}
 
@@ -431,6 +458,34 @@ func assign(partMBR, partMBS []float64, machines int, sizeSorted bool) []int {
 		owner[p] = i % machines
 	}
 	return owner
+}
+
+// markSplit flags the partitions core's skew engine would split: the
+// analytic counterpart of the space-saving detection. Zipf key shares are
+// monotone in rank, so keys are walked hottest-first until one falls
+// below the threshold; each hot key marks its partition (key & (np-1),
+// core's radix placement at shift 0).
+func markSplit(cfg Config, keyDomain, np int) []bool {
+	split := make([]bool, np)
+	if !cfg.SkewEngine || cfg.Machines <= 1 || cfg.Skew <= 0 {
+		return split
+	}
+	thr := cfg.SkewThreshold
+	if thr <= 0 {
+		thr = 4 / float64(np)
+	}
+	// Fewer than 1/thr keys can each hold a ≥ thr share.
+	top := int(1/thr) + 1
+	if top > keyDomain {
+		top = keyDomain
+	}
+	for i, s := range datagen.TopKeyShares(keyDomain, cfg.Skew, top) {
+		if s < thr {
+			break
+		}
+		split[(i+1)&(np-1)] = true
+	}
+	return split
 }
 
 // markBroadcast flags the partitions that qualify for selective broadcast

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+
+	"rackjoin/internal/model"
+)
+
+// skewBase is the Figure-8-shaped workload the skew-engine tests run: a
+// large outer relation whose foreign keys follow a Zipf distribution over
+// a 128M-key inner domain, on a 16-machine QDR rack.
+func skewBase(theta float64) Config {
+	return Config{
+		Machines: 16, Cores: 8, Net: model.QDR(),
+		RTuples: 128 << 20, STuples: 2048 << 20,
+		Skew: theta,
+	}
+}
+
+func spread(r *Result) (max, min float64) {
+	min = r.PerMachine[0].Total().Seconds()
+	for _, pm := range r.PerMachine {
+		tot := pm.Total().Seconds()
+		if tot > max {
+			max = tot
+		}
+		if tot < min {
+			min = tot
+		}
+	}
+	return
+}
+
+// TestSkewEngineAcceptance is the headline requirement: at 16 machines
+// under Zipf 1.25 the skew engine must cut the join time by ≥ 1.5× and
+// the straggler lag (slowest minus fastest machine) by ≥ 3×, while a
+// uniform workload stays within 3% of the baseline.
+func TestSkewEngineAcceptance(t *testing.T) {
+	off := mustRun(t, skewBase(1.25))
+	on := skewBase(1.25)
+	on.SkewEngine = true
+	onr := mustRun(t, on)
+
+	offSec := off.Phases.Total().Seconds()
+	onSec := onr.Phases.Total().Seconds()
+	if onSec*1.5 > offSec {
+		t.Errorf("skew engine speedup %.2f× at θ=1.25, want ≥ 1.5× (off %.2fs, on %.2fs)",
+			offSec/onSec, offSec, onSec)
+	}
+	offMax, offMin := spread(off)
+	onMax, onMin := spread(onr)
+	offLag, onLag := offMax-offMin, onMax-onMin
+	if onLag*3 > offLag {
+		t.Errorf("straggler lag %.3fs → %.3fs, want ≥ 3× reduction", offLag, onLag)
+	}
+
+	uOff := mustRun(t, skewBase(0))
+	uCfg := skewBase(0)
+	uCfg.SkewEngine = true
+	uOn := mustRun(t, uCfg)
+	a, b := uOff.Phases.Total().Seconds(), uOn.Phases.Total().Seconds()
+	if diff := (b - a) / a; diff > 0.03 || diff < -0.03 {
+		t.Errorf("uniform workload moved %.1f%% with the engine on, want within 3%%", 100*diff)
+	}
+	if uOn.Detail != nil && len(uOn.Detail.SplitPartitions) != 0 {
+		t.Errorf("uniform workload split partitions: %v", uOn.Detail.SplitPartitions)
+	}
+}
+
+// TestSkewEngineDetail: the ledger must expose what was split and how
+// much replication it cost, and split partitions become resident on
+// every machine.
+func TestSkewEngineDetail(t *testing.T) {
+	cfg := skewBase(1.25)
+	cfg.SkewEngine = true
+	r := mustRun(t, cfg)
+	if r.Detail == nil {
+		t.Fatal("no network-pass detail")
+	}
+	if len(r.Detail.SplitPartitions) == 0 {
+		t.Fatal("no split partitions at θ=1.25")
+	}
+	if r.Detail.ReplicatedMB <= 0 {
+		t.Fatal("no replicated traffic accounted")
+	}
+	np := 1 << uint(10) // Defaults(): NetworkBits 10
+	want := np + (cfg.Machines-1)*len(r.Detail.SplitPartitions)
+	total := 0
+	for _, n := range r.PartitionsPerMachine {
+		total += n
+	}
+	if total != want {
+		t.Errorf("resident partitions sum %d, want %d (np + (nm-1)·splits)", total, want)
+	}
+	for _, p := range r.Detail.SplitPartitions {
+		if r.Detail.PartitionMB[p] <= 0 {
+			t.Errorf("split partition %d shipped nothing", p)
+		}
+	}
+}
+
+// TestSkewEngineThreshold: raising the threshold above the hottest key's
+// share disables splitting; the run then matches the baseline.
+func TestSkewEngineThreshold(t *testing.T) {
+	cfg := skewBase(1.25)
+	cfg.SkewEngine = true
+	cfg.SkewThreshold = 0.9
+	r := mustRun(t, cfg)
+	if r.Detail != nil && len(r.Detail.SplitPartitions) != 0 {
+		t.Fatalf("threshold 0.9 still split %v", r.Detail.SplitPartitions)
+	}
+	// The engine still implies mid-run task splitting, so the comparable
+	// baseline is SkewSplit, not the plain run.
+	baseCfg := skewBase(1.25)
+	baseCfg.SkewSplit = true
+	base := mustRun(t, baseCfg)
+	a, b := base.Phases.Total().Seconds(), r.Phases.Total().Seconds()
+	if diff := (b - a) / a; diff > 0.01 || diff < -0.01 {
+		t.Errorf("suppressed engine moved the total %.1f%%, want within 1%%", 100*diff)
+	}
+}
+
+// TestSkewEngineMonotoneBenefit: the more skew, the bigger the win.
+func TestSkewEngineMonotoneBenefit(t *testing.T) {
+	prev := 1.0
+	for _, theta := range []float64{1.05, 1.25, 1.5} {
+		off := mustRun(t, skewBase(theta))
+		cfg := skewBase(theta)
+		cfg.SkewEngine = true
+		on := mustRun(t, cfg)
+		speedup := off.Phases.Total().Seconds() / on.Phases.Total().Seconds()
+		if speedup < prev {
+			t.Errorf("θ=%.2f speedup %.2f× below θ-lighter run's %.2f×", theta, speedup, prev)
+		}
+		prev = speedup
+	}
+}

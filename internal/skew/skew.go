@@ -1,0 +1,232 @@
+// Package skew is the heavy-hitter detection layer of the join: a
+// streaming space-saving sketch (Metwally et al., "Efficient computation
+// of frequent and top-k elements in data streams") that the histogram
+// pass feeds one key at a time, so detection rides the scan the radix
+// join already performs and costs no extra pass over the data.
+//
+// The sketch tracks at most `capacity` candidate keys with estimated
+// counts. The classic space-saving guarantees hold:
+//
+//   - every key whose true frequency is at least N/capacity is tracked;
+//   - a tracked key's Count never underestimates its true count;
+//   - the overestimation of a tracked key is bounded by its Err field
+//     (the count it inherited from the candidate it evicted).
+//
+// Detection is distributed the same way the histograms are: every
+// machine sketches its local chunk of the outer relation during the
+// histogram phase, the per-machine sketches are exchanged alongside the
+// histograms (Encode/MergeEncoded), and every machine derives the same
+// global heavy-hitter set from the same merged counts — agreement by
+// determinism, no coordinator.
+package skew
+
+import "sort"
+
+// Entry is one tracked candidate: the key, its estimated count (an
+// upper bound on the true count), and the maximum overestimation.
+type Entry struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// Sketch is a space-saving heavy-hitter sketch. Not safe for concurrent
+// use; the histogram pass keeps one per thread and merges at the end.
+type Sketch struct {
+	capacity int
+	pos      map[uint64]int // key → index into heap
+	heap     []Entry        // min-heap ordered by Count
+	total    uint64         // total observed weight
+}
+
+// New returns a sketch tracking at most capacity candidates. Any key
+// with true frequency ≥ total/capacity is guaranteed to be tracked.
+func New(capacity int) *Sketch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sketch{
+		capacity: capacity,
+		pos:      make(map[uint64]int, capacity),
+		heap:     make([]Entry, 0, capacity),
+	}
+}
+
+// Capacity returns the candidate capacity the sketch was built with.
+func (s *Sketch) Capacity() int { return s.capacity }
+
+// Total returns the total weight observed so far.
+func (s *Sketch) Total() uint64 { return s.total }
+
+// Observe feeds one occurrence of key.
+func (s *Sketch) Observe(key uint64) { s.add(key, 1, 0) }
+
+// ObserveN feeds n occurrences of key at once.
+func (s *Sketch) ObserveN(key uint64, n uint64) {
+	if n > 0 {
+		s.add(key, n, 0)
+	}
+}
+
+// add is the space-saving update: increment a tracked key, insert while
+// there is room, otherwise evict the minimum candidate and inherit its
+// count as the newcomer's overestimation bound.
+func (s *Sketch) add(key uint64, n, err uint64) {
+	s.total += n
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].Count += n
+		if err > s.heap[i].Err {
+			s.heap[i].Err = err
+		}
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.capacity {
+		s.heap = append(s.heap, Entry{Key: key, Count: n, Err: err})
+		s.pos[key] = len(s.heap) - 1
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	min := s.heap[0]
+	delete(s.pos, min.Key)
+	e := err
+	if min.Count > e {
+		e = min.Count
+	}
+	s.heap[0] = Entry{Key: key, Count: min.Count + n, Err: e}
+	s.pos[key] = 0
+	s.siftDown(0)
+}
+
+// Merge folds another sketch into this one. Entries are applied in a
+// deterministic order (count descending, key ascending), so merging the
+// same set of sketches in the same order yields the same result on
+// every machine.
+func (s *Sketch) Merge(other *Sketch) {
+	for _, e := range other.Entries() {
+		s.add(e.Key, e.Count, e.Err)
+	}
+}
+
+// Entries returns the tracked candidates ordered by count descending,
+// key ascending — the deterministic order every consumer iterates in.
+func (s *Sketch) Entries() []Entry {
+	out := append([]Entry(nil), s.heap...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HeavyHitters returns the tracked keys whose estimated count reaches
+// threshold, in the same deterministic order as Entries.
+func (s *Sketch) HeavyHitters(threshold uint64) []Entry {
+	all := s.Entries()
+	out := all[:0:0]
+	for _, e := range all {
+		if e.Count >= threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EncodedLen returns the number of uint64 slots Encode fills for a
+// sketch of the given capacity: (key, count) pairs, zero-padded.
+func EncodedLen(capacity int) int { return 2 * capacity }
+
+// Encode serializes the sketch into dst as (key, count) pairs in
+// deterministic order, zero-padding the remainder. dst must hold
+// EncodedLen(s.Capacity()) slots. The overestimation bounds are not
+// carried: the merged counts stay upper bounds without them.
+func (s *Sketch) Encode(dst []uint64) {
+	entries := s.Entries()
+	i := 0
+	for _, e := range entries {
+		dst[i] = e.Key
+		dst[i+1] = e.Count
+		i += 2
+	}
+	for ; i < 2*s.capacity; i += 2 {
+		dst[i], dst[i+1] = 0, 0
+	}
+}
+
+// MergeEncoded sums any number of Encode blocks (one per machine) and
+// returns the keys whose merged count reaches threshold, ordered by
+// count descending then key ascending. A zero count slot terminates
+// nothing — pairs with zero count are padding and are skipped — so keys
+// of value 0 are representable as long as their count is positive.
+func MergeEncoded(blocks [][]uint64, threshold uint64) []Entry {
+	sum := make(map[uint64]uint64)
+	for _, b := range blocks {
+		for i := 0; i+1 < len(b); i += 2 {
+			if b[i+1] == 0 {
+				continue
+			}
+			sum[b[i]] += b[i+1]
+		}
+	}
+	out := make([]Entry, 0, len(sum))
+	for k, c := range sum {
+		if c >= threshold {
+			out = append(out, Entry{Key: k, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// heap plumbing: a positional min-heap by Count (ties broken by key so
+// the eviction order, and therefore the whole sketch, is deterministic).
+
+func (s *Sketch) less(i, j int) bool {
+	if s.heap[i].Count != s.heap[j].Count {
+		return s.heap[i].Count < s.heap[j].Count
+	}
+	return s.heap[i].Key < s.heap[j].Key
+}
+
+func (s *Sketch) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].Key] = i
+	s.pos[s.heap[j].Key] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}

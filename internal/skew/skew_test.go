@@ -1,0 +1,232 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExactSmallDomain: with more capacity than distinct keys the sketch
+// is an exact counter.
+func TestExactSmallDomain(t *testing.T) {
+	s := New(16)
+	want := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := uint64(rng.Intn(10))
+		s.Observe(k)
+		want[k]++
+	}
+	if s.Total() != 10000 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	for _, e := range s.Entries() {
+		if e.Count != want[e.Key] {
+			t.Fatalf("key %d: count %d, want %d", e.Key, e.Count, want[e.Key])
+		}
+		if e.Err != 0 {
+			t.Fatalf("key %d: err %d on an exact sketch", e.Key, e.Err)
+		}
+	}
+}
+
+// TestHeavyHitterGuarantee: every key with true frequency ≥ N/capacity
+// must be tracked, and its estimate must not underestimate.
+func TestHeavyHitterGuarantee(t *testing.T) {
+	const capacity = 64
+	s := New(capacity)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	// Three genuinely hot keys buried in a large uniform tail.
+	hot := []uint64{101, 202, 303}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		var k uint64
+		switch {
+		case i%5 == 0:
+			k = hot[0] // 20%
+		case i%10 == 1:
+			k = hot[1] // 10%
+		case i%20 == 2:
+			k = hot[2] // 5%
+		default:
+			k = 1000 + uint64(rng.Intn(50000))
+		}
+		s.Observe(k)
+		truth[k]++
+	}
+	tracked := map[uint64]Entry{}
+	for _, e := range s.Entries() {
+		tracked[e.Key] = e
+	}
+	for _, h := range hot {
+		e, ok := tracked[h]
+		if !ok {
+			t.Fatalf("hot key %d (freq %d ≥ N/cap=%d) not tracked", h, truth[h], n/capacity)
+		}
+		if e.Count < truth[h] {
+			t.Fatalf("hot key %d: estimate %d underestimates true %d", h, e.Count, truth[h])
+		}
+		if e.Count-e.Err > truth[h] {
+			t.Fatalf("hot key %d: count-err %d exceeds true %d — error bound broken", h, e.Count-e.Err, truth[h])
+		}
+	}
+	// Thresholding at 4% of the stream must surface exactly the ≥5% keys
+	// and nothing from the uniform tail.
+	hh := s.HeavyHitters(n / 25)
+	for _, e := range hh {
+		if truth[e.Key] < n/100 {
+			t.Fatalf("tail key %d (true %d) classified heavy", e.Key, truth[e.Key])
+		}
+	}
+	for _, h := range hot {
+		found := false
+		for _, e := range hh {
+			if e.Key == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hot key %d missing from HeavyHitters", h)
+		}
+	}
+}
+
+// TestMergeMatchesSingleStream: sketching two halves and merging must
+// track the same heavy hitters as sketching the whole stream, and the
+// merged counts must still not underestimate.
+func TestMergeMatchesSingleStream(t *testing.T) {
+	whole, a, b := New(32), New(32), New(32)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		k := uint64(rng.Intn(8)) // heavily repeated head
+		if rng.Intn(4) == 0 {
+			k = 100 + uint64(rng.Intn(10000))
+		}
+		truth[k]++
+		whole.Observe(k)
+		if i%2 == 0 {
+			a.Observe(k)
+		} else {
+			b.Observe(k)
+		}
+	}
+	a.Merge(b)
+	for _, e := range a.Entries() {
+		if truth[e.Key] > 1000 && e.Count < truth[e.Key] {
+			t.Fatalf("merged estimate for %d = %d underestimates true %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+	wantHH := whole.HeavyHitters(whole.Total() / 20)
+	gotHH := a.HeavyHitters(a.Total() / 20)
+	wantKeys := map[uint64]bool{}
+	for _, e := range wantHH {
+		wantKeys[e.Key] = true
+	}
+	for _, e := range wantHH {
+		found := false
+		for _, g := range gotHH {
+			if g.Key == e.Key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("heavy key %d lost in merge", e.Key)
+		}
+	}
+	_ = wantKeys
+}
+
+// TestEncodeMergeEncodedDeterministic: the cross-machine path — encode
+// per-machine sketches, merge the blocks — must yield identical results
+// whatever machine performs the merge, and must find the global heavy
+// hitter even when each machine only sees part of its mass.
+func TestEncodeMergeEncodedDeterministic(t *testing.T) {
+	const machines, capacity = 4, 16
+	blocks := make([][]uint64, machines)
+	for m := 0; m < machines; m++ {
+		s := New(capacity)
+		// Key 42 is hot on every machine; key 100+m is hot locally only.
+		for i := 0; i < 1000; i++ {
+			s.Observe(42)
+		}
+		for i := 0; i < 600; i++ {
+			s.Observe(100 + uint64(m))
+		}
+		for i := 0; i < 500; i++ {
+			s.Observe(uint64(2000 + i)) // tail
+		}
+		blocks[m] = make([]uint64, EncodedLen(capacity))
+		s.Encode(blocks[m])
+	}
+	first := MergeEncoded(blocks, 3000)
+	if len(first) != 1 || first[0].Key != 42 {
+		t.Fatalf("global heavy hitter not found: %+v", first)
+	}
+	// Same blocks, any order of presentation → same decision.
+	rev := [][]uint64{blocks[3], blocks[2], blocks[1], blocks[0]}
+	again := MergeEncoded(rev, 3000)
+	if len(again) != len(first) || again[0] != first[0] {
+		t.Fatalf("merge order changed the decision: %+v vs %+v", again, first)
+	}
+	// Lower threshold surfaces the per-machine hot keys too, in count
+	// order with deterministic tie-break.
+	wide := MergeEncoded(blocks, 500)
+	if wide[0].Key != 42 {
+		t.Fatalf("head of merged ranking should be key 42: %+v", wide)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range wide {
+		if seen[e.Key] {
+			t.Fatalf("duplicate key %d in merged output", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	for m := 0; m < machines; m++ {
+		if !seen[100+uint64(m)] {
+			t.Fatalf("locally hot key %d missing at threshold 500", 100+m)
+		}
+	}
+}
+
+// TestObserveN: weighted observation matches repeated observation.
+func TestObserveN(t *testing.T) {
+	a, b := New(8), New(8)
+	a.ObserveN(5, 100)
+	for i := 0; i < 100; i++ {
+		b.Observe(5)
+	}
+	ae, be := a.Entries(), b.Entries()
+	if len(ae) != 1 || len(be) != 1 || ae[0] != be[0] {
+		t.Fatalf("ObserveN diverges: %+v vs %+v", ae, be)
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals diverge: %d vs %d", a.Total(), b.Total())
+	}
+}
+
+// TestEvictionBound: with capacity 2 and three contenders, the evicted
+// key's count is inherited and flagged as error, never silently lost.
+func TestEvictionBound(t *testing.T) {
+	s := New(2)
+	s.Observe(1)
+	s.Observe(1)
+	s.Observe(2)
+	s.Observe(3) // evicts key 2 (count 1), inherits its count
+	es := s.Entries()
+	if len(es) != 2 {
+		t.Fatalf("entries = %d, want 2", len(es))
+	}
+	var e3 *Entry
+	for i := range es {
+		if es[i].Key == 3 {
+			e3 = &es[i]
+		}
+	}
+	if e3 == nil {
+		t.Fatal("newcomer key 3 not tracked after eviction")
+	}
+	if e3.Count != 2 || e3.Err != 1 {
+		t.Fatalf("key 3: count %d err %d, want count 2 err 1", e3.Count, e3.Err)
+	}
+}

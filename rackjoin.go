@@ -143,6 +143,25 @@ const (
 	SkewHigh = datagen.SkewHigh
 )
 
+// SkewMode selects the heavy-hitter skew engine's behaviour
+// (JoinConfig.Skew): off, detection only, or detection plus
+// split-and-replicate repartitioning with mid-run splittable probe tasks.
+type SkewMode = core.SkewMode
+
+// Skew-engine modes.
+const (
+	SkewModeOff    = core.SkewOff
+	SkewModeDetect = core.SkewDetect
+	SkewModeSplit  = core.SkewSplit
+)
+
+// SkewStats reports the skew engine's decisions in a JoinResult.
+type SkewStats = core.SkewStats
+
+// ParseSkewMode parses a skew-engine mode name: "off", "detect" or
+// "split".
+func ParseSkewMode(s string) (SkewMode, error) { return core.ParseSkewMode(s) }
+
 // Single-machine baselines.
 type (
 	// MCJoinConfig configures the multi-core baselines.
