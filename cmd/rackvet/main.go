@@ -6,20 +6,37 @@
 //
 // It prints one line per finding (file:line:col: analyzer: message) and
 // exits 1 if anything was found; `make check` and CI treat that as a
-// build failure. See DESIGN.md §11 for the analyzers and the
+// build failure. See DESIGN.md §11 and §16 for the analyzers and the
 // invariants they encode.
+//
+// The hotalloc pass needs the compiler's escape analysis: the driver
+// runs `go build -gcflags=-m=1` over the same patterns and feeds the
+// parsed diagnostics in. The Go build cache replays those diagnostics
+// on cache hits, so the step costs a full compile only the first time.
+//
+// Findings can be suppressed at the source line with a
+// `//rackvet:ignore <pass> <reason>` comment, or tolerated wholesale
+// via the baseline file (-baseline, default rackvet.baseline): one
+// `analyzer: file: message` signature per line, no line numbers, so
+// entries survive unrelated edits. -json or -json-out emit the
+// machine-readable form CI uploads as an artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"go/token"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"sort"
 
 	"rackjoin/internal/analyzers/atomicmix"
 	"rackjoin/internal/analyzers/buflifecycle"
+	"rackjoin/internal/analyzers/goroutinelife"
+	"rackjoin/internal/analyzers/hotalloc"
 	"rackjoin/internal/analyzers/load"
+	"rackjoin/internal/analyzers/lockorder"
 	"rackjoin/internal/analyzers/metricnames"
 	"rackjoin/internal/analyzers/rackvet"
 	"rackjoin/internal/analyzers/spanend"
@@ -32,15 +49,40 @@ var analyzers = []*rackvet.Analyzer{
 	atomicmix.Analyzer,
 	unsafekeepalive.Analyzer,
 	metricnames.Analyzer,
+	lockorder.Analyzer,
+	goroutinelife.Analyzer,
+	hotalloc.Analyzer,
+}
+
+// finding is one diagnostic in output (and JSON) form.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report is the machine-readable output CI archives.
+type report struct {
+	Findings   []finding `json:"findings"`
+	Suppressed int       `json:"suppressed"`
+	Baselined  int       `json:"baselined"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout instead of text")
+	jsonFile := flag.String("json-out", "", "also write findings as JSON to this file")
+	baselinePath := flag.String("baseline", "rackvet.baseline", "baseline file of tolerated findings (missing file = empty)")
+	noEscapes := flag.Bool("no-escapes", false, "skip the escape-analysis build; hotalloc runs its static checks only")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rackvet [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: rackvet [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *list {
@@ -60,14 +102,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	type finding struct {
-		pos      token.Position
-		analyzer string
-		msg      string
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rackvet: %v\n", err)
+		os.Exit(2)
 	}
-	var findings []finding
+
+	if !*noEscapes {
+		loadEscapes(cwd, patterns)
+	}
+
+	baseline, err := rackvet.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rackvet: baseline: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := report{Findings: []finding{}}
 	for _, pkg := range pkgs {
+		supp := rackvet.NewSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			a := a
 			pass := &rackvet.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -76,7 +131,23 @@ func main() {
 				TypesInfo: pkg.Info,
 				Sizes:     pkg.Sizes,
 				Report: func(d rackvet.Diagnostic) {
-					findings = append(findings, finding{pkg.Fset.Position(d.Pos), a.Name, d.Message})
+					pos := pkg.Fset.Position(d.Pos)
+					if supp.Suppressed(pos, a.Name) {
+						rep.Suppressed++
+						return
+					}
+					file := pos.Filename
+					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+						file = rel
+					}
+					if baseline.Has(a.Name, file, d.Message) {
+						rep.Baselined++
+						return
+					}
+					rep.Findings = append(rep.Findings, finding{
+						File: file, Line: pos.Line, Col: pos.Column,
+						Analyzer: a.Name, Message: d.Message,
+					})
 				},
 			}
 			if err := a.Run(pass); err != nil {
@@ -85,23 +156,67 @@ func main() {
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.pos.Column != b.pos.Column {
-			return a.pos.Column < b.pos.Column
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	for _, f := range findings {
-		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+
+	if *jsonFile != "" {
+		if err := writeJSON(*jsonFile, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "rackvet: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	if len(findings) > 0 {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "rackvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(rep.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// loadEscapes compiles the analyzed patterns with -gcflags=-m=1 and
+// installs the parsed heap-escape diagnostics for the hotalloc pass. A
+// failing build is a warning, not an error: the suite's other passes
+// (and hotalloc's static checks) are still valid.
+func loadEscapes(cwd string, patterns []string) {
+	args := append([]string{"build", "-gcflags=-m=1"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cwd
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rackvet: escape analysis unavailable (go build: %v); hotalloc runs static checks only\n", err)
+		return
+	}
+	hotalloc.SetEscapes(hotalloc.ParseEscapes(cwd, out))
+}
+
+func writeJSON(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

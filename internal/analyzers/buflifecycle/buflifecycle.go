@@ -15,15 +15,19 @@
 //     *...Pool type — the repo's convention for passing an owned,
 //     not-yet-posted buffer (postBuffer).
 //
-// Consumption is any of: passing the index directly to a call (release,
-// a ship/post helper — but not the pool's buf() accessor, which merely
-// reads the bytes), storing it into a field/slice/map, capturing it in
-// a closure, sending it on a channel, returning it, or incrementing an
-// `outstanding` counter (the manual post bookkeeping). Conversions like
-// uint64(buf) in a work-request literal do not consume: a WRID copy
-// does not return the buffer. Returns inside `if err != nil` blocks
-// checking the acquire's own error are exempt — on that path the
-// acquire failed and no buffer was handed out.
+// Consumption is any of: passing the index to a call that transfers
+// ownership, storing it into a field/slice/map, capturing it in a
+// closure, sending it on a channel, returning it, or incrementing an
+// `outstanding` counter (the manual post bookkeeping). Whether a call
+// transfers ownership is decided by looking one level into the callee
+// via pathflow summaries: a helper whose body releases, posts, stores,
+// or forwards its parameter consumes; one that only reads the bytes
+// (the pool's buf() accessor) is transparent; an unresolvable callee
+// is conservatively assumed to consume. Conversions like uint64(buf)
+// in a work-request literal do not consume: a WRID copy does not
+// return the buffer. Returns inside `if err != nil` blocks checking
+// the acquire's own error are exempt — on that path the acquire failed
+// and no buffer was handed out.
 package buflifecycle
 
 import (
@@ -44,15 +48,16 @@ var Analyzer = &rackvet.Analyzer{
 }
 
 func run(pass *rackvet.Pass) error {
+	sums := pathflow.NewSummaries(pass.Files, pass.TypesInfo)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkFunc(pass, n.Type, n.Body)
+					checkFunc(pass, sums, n.Type, n.Body)
 				}
 			case *ast.FuncLit:
-				checkFunc(pass, n.Type, n.Body)
+				checkFunc(pass, sums, n.Type, n.Body)
 			}
 			return true
 		})
@@ -102,7 +107,7 @@ func usesPool(pass *rackvet.Pass, body *ast.BlockStmt) bool {
 	return found
 }
 
-func checkFunc(pass *rackvet.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+func checkFunc(pass *rackvet.Pass, sums *pathflow.Summaries, ftype *ast.FuncType, body *ast.BlockStmt) {
 	var graph *pathflow.Graph
 	ensureGraph := func() *pathflow.Graph {
 		if graph == nil {
@@ -156,7 +161,7 @@ func checkFunc(pass *rackvet.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 		if !g.Contains(as) {
 			return true
 		}
-		checkOwned(pass, g, parents, as, call.Pos(), obj, errObj)
+		checkOwned(pass, sums, g, parents, as, call.Pos(), obj, errObj)
 		return true
 	})
 
@@ -181,16 +186,16 @@ func checkFunc(pass *rackvet.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 				continue
 			}
 			g := ensureGraph()
-			checkOwned(pass, g, parents, g.Entry(), name.Pos(), obj, nil)
+			checkOwned(pass, sums, g, parents, g.Entry(), name.Pos(), obj, nil)
 		}
 	}
 }
 
 // checkOwned runs the leak search for one owned buffer value.
-func checkOwned(pass *rackvet.Pass, graph *pathflow.Graph, parents map[ast.Node]ast.Node, def ast.Stmt, defPos token.Pos, obj, errObj types.Object) {
+func checkOwned(pass *rackvet.Pass, sums *pathflow.Summaries, graph *pathflow.Graph, parents map[ast.Node]ast.Node, def ast.Stmt, defPos token.Pos, obj, errObj types.Object) {
 	info := pass.TypesInfo
 	defLine := pass.Fset.Position(defPos).Line
-	consumes := func(n ast.Node) bool { return consumesBuffer(info, n, obj) }
+	consumes := func(n ast.Node) bool { return consumesBuffer(info, sums, n, obj, seeDepth) }
 	redefines := func(n ast.Node) bool { return rackvet.StoresTo(info, n, obj) }
 	exempt := func(ret *ast.ReturnStmt) bool {
 		return rackvet.InErrCheck(info, parents, ret, errObj)
@@ -207,8 +212,14 @@ func checkOwned(pass *rackvet.Pass, graph *pathflow.Graph, parents map[ast.Node]
 	}
 }
 
+// seeDepth is how many levels of helper calls the pass resolves before
+// falling back to the conservative every-call-consumes rule. Two
+// levels lets a read-only helper that itself goes through the pool's
+// accessor (checksum → pool.buf) stay transparent.
+const seeDepth = 2
+
 // consumesBuffer reports whether node consumes the buffer held in obj.
-func consumesBuffer(info *types.Info, node ast.Node, obj types.Object) bool {
+func consumesBuffer(info *types.Info, sums *pathflow.Summaries, node ast.Node, obj types.Object, depth int) bool {
 	found := false
 	ast.Inspect(node, func(n ast.Node) bool {
 		if found {
@@ -258,13 +269,8 @@ func consumesBuffer(info *types.Info, node ast.Node, obj types.Object) bool {
 				// walking the argument for real uses.
 				return true
 			}
-			fn := rackvet.Callee(info, n)
-			if fn != nil && fn.Name() == "buf" {
-				// pool.buf(b) only reads the bytes.
-				return true
-			}
-			for _, arg := range n.Args {
-				if rackvet.IsIdentFor(info, arg, obj) {
+			for i, arg := range n.Args {
+				if rackvet.IsIdentFor(info, arg, obj) && callConsumes(info, sums, n, i, depth) {
 					found = true
 				}
 			}
@@ -272,6 +278,30 @@ func consumesBuffer(info *types.Info, node ast.Node, obj types.Object) bool {
 		return !found
 	})
 	return found
+}
+
+// callConsumes decides whether passing the buffer as argument i of
+// call transfers ownership. An unresolvable callee is assumed to
+// consume (the old conservative rule). A callee declared in this
+// package is classified by its body: if the parameter is itself
+// consumed there — released, posted, stored, sent, returned — the call
+// transfers ownership; a body that only reads it (the pool's buf
+// accessor, a checksum helper) is transparent and the caller still
+// owns the buffer. This replaces the by-name whitelist single-function
+// passes needed.
+func callConsumes(info *types.Info, sums *pathflow.Summaries, call *ast.CallExpr, i int, depth int) bool {
+	if depth <= 0 {
+		return true
+	}
+	r := sums.ResolveCall(call)
+	if r == nil || r.Type == nil || r.Body == nil {
+		return true
+	}
+	param := sums.ParamObj(r.Type, i)
+	if param == nil {
+		return true // unnamed or variadic: cannot track, assume transfer
+	}
+	return consumesBuffer(info, sums, r.Body, param, depth-1)
 }
 
 // isOutstanding reports whether e is a selector of a field named

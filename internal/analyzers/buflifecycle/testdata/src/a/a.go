@@ -13,7 +13,7 @@ type bufferPool struct {
 
 func (p *bufferPool) acquire() (int, error) { return 0, nil }
 func (p *bufferPool) Get() (int, error)     { return 0, nil }
-func (p *bufferPool) release(b int)         {}
+func (p *bufferPool) release(b int)         { p.free <- b }
 func (p *bufferPool) buf(b int) []byte      { return nil }
 
 var errFull = errors.New("full")
@@ -107,3 +107,41 @@ func dropsOnFallthrough(p *bufferPool, buf int, ok bool) { // want `buffer "buf"
 
 // unrelated has a buf parameter but never touches a pool: not tracked.
 func unrelated(buf int) int { return buf * 2 }
+
+// checksum reads the buffer's bytes without taking ownership; the pass
+// resolves its body and sees no consumption. (Its parameter is not
+// named buf: the owned-parameter convention is for owners.)
+func checksum(p *bufferPool, idx int) byte {
+	payload := p.buf(idx)
+	var sum byte
+	for _, c := range payload {
+		sum ^= c
+	}
+	return sum
+}
+
+// releaseVia transfers ownership one level down: its body releases.
+func releaseVia(p *bufferPool, buf int) {
+	p.release(buf)
+}
+
+// helperReadOnly: a read-only helper call does not count as posting or
+// releasing, so the happy path still leaks.
+func helperReadOnly(p *bufferPool) error {
+	b, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	_ = checksum(p, b)
+	return nil // want `buffer "b" \(acquired at line \d+\) may leak`
+}
+
+// helperConsumes: ownership passes through releaseVia into release.
+func helperConsumes(p *bufferPool) error {
+	b, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	releaseVia(p, b)
+	return nil
+}

@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/goroutinelife"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	vettest.Run(t, "testdata", goroutinelife.Analyzer, "a")
+}

@@ -1,0 +1,298 @@
+// Package goroutinelife checks that every goroutine started in the
+// package is tied to something its owner can wait on or signal through:
+// a stop/abort channel it receives from or selects on, a
+// sync.WaitGroup, or a context. The long-lived components (health
+// engine, obsv server, fabric links) are exactly where an untied
+// goroutine turns into a leak per query once rackjoind runs multi-tenant
+// — the daemon prerequisite from the ROADMAP.
+//
+// Classification, in order:
+//
+//   - tied: the body (seen through up to two levels of helper calls via
+//     pathflow summaries) receives from or selects on a channel, ranges
+//     over one, calls (*sync.WaitGroup).Wait, or consults a context —
+//     the goroutine has a shutdown signal it listens to, or is itself
+//     the waiter;
+//   - signaling: the body's only link to its owner is a completion
+//     signal — close(ch), (*sync.WaitGroup).Done, or a channel send. A
+//     deferred signal covers every path. A non-deferred one is checked
+//     against the CFG: if any path reaches the end of the function
+//     without signaling (the classic early `return err`), the waiter
+//     blocks forever and the pass reports it;
+//   - untied: none of the above reachable from the body — reported.
+//     For a `go` of a function outside the package (go srv.Serve(ln))
+//     the body is invisible; the call is assumed tied only when a
+//     context, channel, or WaitGroup flows in through the arguments.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rackjoin/internal/analyzers/pathflow"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the goroutinelife pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every goroutine must be tied to a stop channel, WaitGroup, or context, on every path",
+	Run:  run,
+}
+
+// tieDepth bounds how many helper levels the tie search follows.
+const tieDepth = 2
+
+type analysis struct {
+	pass *rackvet.Pass
+	sums *pathflow.Summaries
+}
+
+func run(pass *rackvet.Pass) error {
+	a := &analysis{
+		pass: pass,
+		sums: pathflow.NewSummaries(pass.Files, pass.TypesInfo),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				a.check(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (a *analysis) check(g *ast.GoStmt) {
+	r := a.sums.ResolveExpr(g.Call.Fun)
+	if r == nil {
+		// Body declared outside the package. A context, channel, or
+		// WaitGroup flowing in through the receiver or arguments is the
+		// owner's handle on it; nothing flowing in means nothing can
+		// stop it.
+		if a.callCarriesTie(g.Call) {
+			return
+		}
+		a.pass.Reportf(g.Pos(), "goroutine runs a function this package cannot see and passes it no context, channel, or WaitGroup; nothing can stop or await it")
+		return
+	}
+	if a.tied(r.Body, tieDepth, nil) {
+		return
+	}
+	kind, deferred, allPaths := a.signals(r.Body)
+	if kind == "" {
+		a.pass.Reportf(g.Pos(), "goroutine is not tied to a stop channel, WaitGroup, or context; it outlives its component")
+		return
+	}
+	if deferred || allPaths {
+		return
+	}
+	a.pass.Reportf(g.Pos(), "goroutine signals completion (%s) on some paths but not all; an early return leaks the waiter", kind)
+}
+
+// callCarriesTie reports whether call's receiver or arguments include a
+// context, channel, or *sync.WaitGroup value.
+func (a *analysis) callCarriesTie(call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr{}, call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		if isTieType(a.pass.TypesInfo.TypeOf(e)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTieType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named := rackvet.NamedType(t); named != nil {
+		obj := named.Obj()
+		if rackvet.PkgPathIs(obj, "context") && obj.Name() == "Context" {
+			return true
+		}
+		if rackvet.PkgPathIs(obj, "sync") && obj.Name() == "WaitGroup" {
+			return true
+		}
+	}
+	return false
+}
+
+// tied reports whether body contains a shutdown-signal consumer:
+// channel receive, select, range over a channel, WaitGroup.Wait, or a
+// context method call — looking through up to depth levels of calls to
+// functions in this package.
+func (a *analysis) tied(body *ast.BlockStmt, depth int, visiting map[*ast.BlockStmt]bool) bool {
+	if visiting[body] {
+		return false
+	}
+	if visiting == nil {
+		visiting = make(map[*ast.BlockStmt]bool)
+	}
+	visiting[body] = true
+	defer delete(visiting, body)
+
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's ties are its own
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := a.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if a.isWaitGroupMethod(n, "Wait") || a.isContextCall(n) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if r := a.sums.ResolveCall(n); r != nil && a.tied(r.Body, depth-1, visiting) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (a *analysis) isWaitGroupMethod(call *ast.CallExpr, name string) bool {
+	fn := rackvet.Callee(a.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := rackvet.ReceiverNamed(fn)
+	return recv != nil && rackvet.PkgPathIs(recv.Obj(), "sync") && recv.Obj().Name() == "WaitGroup"
+}
+
+func (a *analysis) isContextCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	named := rackvet.NamedType(a.pass.TypesInfo.TypeOf(sel.X))
+	return named != nil && rackvet.PkgPathIs(named.Obj(), "context") && named.Obj().Name() == "Context"
+}
+
+// isSignal reports whether n (an expression or statement part) performs
+// a completion signal, looking through resolvable calls up to depth
+// levels: close(ch), WaitGroup.Done, or a channel send. kind names the
+// first signal found.
+func (a *analysis) isSignal(n ast.Node, depth int) (kind string) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			kind = "channel send"
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					kind = "close"
+					return false
+				}
+			}
+			if a.isWaitGroupMethod(n, "Done") {
+				kind = "WaitGroup.Done"
+				return false
+			}
+			if depth > 0 {
+				if r := a.sums.ResolveCall(n); r != nil {
+					if k := a.isSignal(r.Body, depth-1); k != "" {
+						kind = k
+					}
+				}
+			}
+		}
+		return kind == ""
+	})
+	return kind
+}
+
+// signals classifies body's completion signaling: kind of the first
+// signal found ("" when none), whether any signal is deferred (covers
+// every path), and — when not — whether every CFG path from entry to
+// exit passes through a signaling statement.
+func (a *analysis) signals(body *ast.BlockStmt) (kind string, deferred bool, allPaths bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if k := a.isSignal(n.Call, tieDepth); k != "" {
+				kind, deferred = k, true
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				if k := a.isSignal(lit.Body, tieDepth); k != "" {
+					kind, deferred = k, true
+				}
+			}
+			return false
+		}
+		return true
+	})
+	if deferred {
+		return kind, true, true
+	}
+	if kind == "" {
+		if k := a.isSignal(body, tieDepth); k != "" {
+			kind = k
+		}
+	}
+	if kind == "" {
+		return "", false, false
+	}
+	// Non-deferred signal: every path must pass a signaling node.
+	g := pathflow.New(body)
+	seen := map[ast.Stmt]bool{}
+	stack := []ast.Stmt{}
+	for _, s := range g.Succs(g.Entry()) {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == g.Exit() {
+			return kind, false, false // reached exit without signaling
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		signaling := false
+		for _, part := range pathflow.NodeParts(s) {
+			if part != nil && a.isSignal(part, tieDepth) != "" {
+				signaling = true
+				break
+			}
+		}
+		if signaling {
+			continue // this path is covered
+		}
+		stack = append(stack, g.Succs(s)...)
+	}
+	return kind, false, true
+}

@@ -1,0 +1,140 @@
+// Package a exercises the goroutinelife pass: untied goroutines, ties
+// through helper calls / method values / funclit-bound locals, deferred
+// and non-deferred completion signals, the leak-on-error shape, and an
+// invisible external body with and without a handle flowing in.
+package a
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+)
+
+var (
+	stop = make(chan struct{})
+	done = make(chan struct{}, 1)
+	fin  = make(chan struct{})
+	out  = make(chan int)
+	wg   sync.WaitGroup
+)
+
+func sink(int)    {}
+func work() error { return nil }
+func bad() bool   { return false }
+
+// untied: nothing in the body consumes a stop signal or signals done.
+func spawnUntied() {
+	go func() { // want `goroutine is not tied to a stop channel`
+		for i := 0; i < 10; i++ {
+			sink(i)
+		}
+	}()
+}
+
+// tied: selects on stop.
+func spawnSelect() {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sink(0)
+			}
+		}
+	}()
+}
+
+type engine struct{ stop chan struct{} }
+
+func (e *engine) loop() {
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+			sink(0)
+		}
+	}
+}
+
+// tied through one level: the loop method receives from e.stop.
+func (e *engine) start() {
+	go e.loop()
+}
+
+// tied via a method value bound once to a local.
+func (e *engine) startIndirect() {
+	f := e.loop
+	go f()
+}
+
+// tied via a deferred WaitGroup.Done in a funclit-bound local.
+func spawnScatter() {
+	scatter := func() {
+		defer wg.Done()
+		sink(1)
+	}
+	wg.Add(1)
+	go scatter()
+}
+
+// tied: the goroutine is the waiter.
+func spawnWaiter() {
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// leak-on-error: the error path returns without sending.
+func spawnLeaky() {
+	go func() { // want `signals completion \(channel send\) on some paths but not all`
+		if err := work(); err != nil {
+			return
+		}
+		done <- struct{}{}
+	}()
+}
+
+// all paths signal: both branches send before returning.
+func spawnCovered() {
+	go func() {
+		if err := work(); err != nil {
+			done <- struct{}{}
+			return
+		}
+		done <- struct{}{}
+	}()
+}
+
+func finish() { close(fin) }
+
+// leak-on-error through a helper: finish closes fin, happy path only.
+func spawnHelperLeaky() {
+	go func() { // want `signals completion \(close\) on some paths but not all`
+		if bad() {
+			return
+		}
+		finish()
+	}()
+}
+
+// invisible body, no handle flowing in: nothing can stop or await it.
+func spawnExternal() {
+	go time.Sleep(time.Second) // want `cannot see and passes it no context, channel, or WaitGroup`
+}
+
+// invisible body but a channel flows in: assumed tied.
+func spawnNotify(ch chan os.Signal) {
+	go signal.Notify(ch, os.Interrupt)
+}
+
+func recurA() { recurB() }
+func recurB() { recurA() }
+
+// mutual recursion must terminate; neither function is tied.
+func spawnRecur() {
+	go recurA() // want `goroutine is not tied to a stop channel`
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/hotalloc"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestHotAllocStatic(t *testing.T) {
+	vettest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

@@ -1,0 +1,88 @@
+package hotalloc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rackjoin/internal/analyzers/hotalloc"
+	"rackjoin/internal/analyzers/load"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// TestCanarySeededRegression is the end-to-end guarantee behind the CI
+// leg: seed a heap allocation into a //rack:hotpath function, run the
+// real compiler's escape analysis, and assert the pass reports it. If
+// this test passes, a regression in the repo's kernels cannot slip
+// through the rackvet leg silently.
+func TestCanarySeededRegression(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module canary\n\ngo 1.22\n")
+	write("hot.go", `package canary
+
+type row struct{ k, v uint64 }
+
+//rack:hotpath
+func Scatter(dst []*row, k, v uint64) {
+	dst[0] = &row{k, v}
+}
+`)
+
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	esc := hotalloc.ParseEscapes(dir, out)
+	if len(esc) == 0 {
+		t.Fatalf("no escape diagnostics parsed from compiler output:\n%s", out)
+	}
+
+	pkgs, err := load.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	hotalloc.SetEscapes(esc)
+	defer hotalloc.SetEscapes(nil)
+	var got []string
+	pass := &rackvet.Pass{
+		Analyzer:  hotalloc.Analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Sizes:     pkg.Sizes,
+		Report: func(d rackvet.Diagnostic) {
+			got = append(got, d.Message)
+		},
+	}
+	if err := hotalloc.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, msg := range got {
+		if strings.Contains(msg, "heap allocation in hotpath function Scatter") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded regression not caught; findings: %q", got)
+	}
+}

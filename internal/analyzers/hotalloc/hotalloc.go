@@ -1,0 +1,226 @@
+// Package hotalloc guards the kernels. A function annotated
+// //rack:hotpath (scatter/probe/recv/scheduler inner loops) promises to
+// run allocation-free per element; a heap allocation slipped into one
+// shows up as a GC-driven cliff in the end-to-end numbers long after
+// the offending diff merged. The pass fails the build instead:
+//
+//   - compiler escape analysis: the driver runs
+//     `go build -gcflags=-m=1` and feeds the parsed "escapes to heap" /
+//     "moved to heap" diagnostics in via SetEscapes; any such line
+//     inside a hotpath function is reported. The Go build cache replays
+//     compiler diagnostics on cache hits, so warm CI runs pay nothing.
+//   - interface conversions: a concrete value passed to an interface
+//     parameter (the fmt.Sprintf shape) boxes on every call.
+//   - closure captures: a func literal capturing locals allocates its
+//     environment; in a per-element loop that is one object per call.
+//
+// The static checks run even when no escape facts are loaded (fixture
+// tests, editors); the escape check is the ground truth the CI leg and
+// the canary test exercise end to end.
+package hotalloc
+
+import (
+	"bufio"
+	"bytes"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//rack:hotpath functions must not heap-allocate, box into interfaces, or capture closures",
+	Run:  run,
+}
+
+// Escapes maps absolute file path → line → compiler escape messages.
+type Escapes map[string]map[int][]string
+
+var escapes Escapes
+
+// SetEscapes installs compiler escape-analysis facts for subsequent
+// runs of the pass. Pass nil to clear (static checks only).
+func SetEscapes(e Escapes) { escapes = e }
+
+// ParseEscapes extracts heap-escape diagnostics from the output of
+// `go build -gcflags=-m=1`, run with dir as working directory (compiler
+// paths are relative to it). Inlining and param-leak chatter is
+// dropped; only allocation sites are kept.
+func ParseEscapes(dir string, output []byte) Escapes {
+	esc := make(Escapes)
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// path.go:LINE:COL: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		path := parts[0]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		if esc[path] == nil {
+			esc[path] = make(map[int][]string)
+		}
+		msg := strings.TrimSpace(parts[3])
+		esc[path][ln] = append(esc[path][ln], msg)
+	}
+	return esc
+}
+
+// IsHotpath reports whether decl carries the //rack:hotpath directive.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//rack:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *rackvet.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !IsHotpath(decl) {
+				continue
+			}
+			checkStatic(pass, decl)
+			checkEscapes(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkStatic reports interface boxing at call arguments and closures
+// capturing variables from the enclosing function.
+func checkStatic(pass *rackvet.Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkBoxing(pass, n)
+		case *ast.FuncLit:
+			if caps := captured(info, decl, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "closure in hotpath function %s captures %s (allocates its environment)",
+					decl.Name.Name, strings.Join(caps, ", "))
+			}
+			return false // captures inside nested literals attributed to the outermost
+		}
+		return true
+	})
+}
+
+// checkBoxing flags concrete values passed to interface parameters.
+func checkBoxing(pass *rackvet.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if rackvet.IsConversion(info, call) {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin (len, append, close)
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s converted to interface %s in hotpath (boxes on every call)",
+			at.String(), pt.String())
+	}
+}
+
+// captured lists (sorted, deduplicated) names of variables the literal
+// lit uses that are declared in decl but outside lit.
+func captured(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= decl.Pos() && pos < decl.End() && (pos < lit.Pos() || pos >= lit.End()) {
+			seen[v.Name()] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkEscapes reports compiler-observed heap allocations inside decl.
+func checkEscapes(pass *rackvet.Pass, decl *ast.FuncDecl) {
+	if escapes == nil {
+		return
+	}
+	tf := pass.Fset.File(decl.Pos())
+	if tf == nil {
+		return
+	}
+	byLine := escapes[tf.Name()]
+	if byLine == nil {
+		return
+	}
+	start := tf.Line(decl.Body.Pos())
+	end := tf.Line(decl.Body.End())
+	lines := make([]int, 0, 4)
+	for ln := range byLine {
+		if ln >= start && ln <= end {
+			lines = append(lines, ln)
+		}
+	}
+	sort.Ints(lines)
+	for _, ln := range lines {
+		for _, msg := range byLine[ln] {
+			pass.Reportf(tf.LineStart(ln), "heap allocation in hotpath function %s: %s", decl.Name.Name, msg)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package a exercises hotalloc's static checks: interface boxing at
+// call arguments and closures capturing locals, inside //rack:hotpath
+// functions only. (The escape-analysis check needs the real compiler
+// and is covered by the canary test, not this fixture.)
+package a
+
+func logf(format string, args ...any) {}
+
+func observe(v any) {}
+
+//rack:hotpath
+func hotBox(v int) {
+	logf("v=%d", v) // want `int converted to interface any in hotpath`
+}
+
+//rack:hotpath
+func hotBoxDirect(v uint64) {
+	observe(v) // want `uint64 converted to interface any in hotpath`
+}
+
+//rack:hotpath
+func hotClosure(xs []int) int {
+	total := 0
+	add := func(x int) { total += x } // want `closure in hotpath function hotClosure captures total`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// Passing an []any through with ... does not box per element.
+//
+//rack:hotpath
+func hotPassthrough(args []any) {
+	logf("x", args...)
+}
+
+// Interface to interface is not a conversion the compiler boxes.
+//
+//rack:hotpath
+func hotIface(e error) {
+	observe(e)
+}
+
+// nil needs no box.
+//
+//rack:hotpath
+func hotNil() {
+	observe(nil)
+}
+
+// A closure that captures nothing costs nothing per call.
+//
+//rack:hotpath
+func hotFreeClosure(xs []int) {
+	f := func(x int) int { return x * 2 }
+	for i, x := range xs {
+		xs[i] = f(x)
+	}
+}
+
+// Unannotated: the same sins go unreported here.
+func coldBox(v int) {
+	logf("v=%d", v)
+	total := 0
+	add := func(x int) { total += x }
+	add(v)
+}

@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rackjoin/internal/analyzers/lockorder"
+	"rackjoin/internal/analyzers/vettest"
+)
+
+func TestLockOrder(t *testing.T) {
+	// The fixture package declares its documented order here, the way
+	// the real packages declare theirs in the Contracts table.
+	lockorder.Contracts["a"] = []string{
+		"gamma.mu", "delta.mu", "zeta.mu", "eps.mu",
+		"kappa.mu", "theta.mu", "qq.mu", "pp.mu",
+	}
+	defer delete(lockorder.Contracts, "a")
+	vettest.Run(t, "testdata", lockorder.Analyzer, "a")
+}

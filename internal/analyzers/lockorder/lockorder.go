@@ -1,0 +1,551 @@
+// Package lockorder derives the lock-acquisition graph of a package
+// over named mutex fields and reports two classes of finding:
+//
+//   - cycles: function f acquires A then B (possibly through a helper)
+//     while function g acquires B then A — the classic ABBA deadlock
+//     the race detector cannot see because it needs both interleavings
+//     to fire in one run;
+//   - documented-order inversions: an acquire-while-holding edge that
+//     runs against the package's declared order (DESIGN.md §16) even
+//     when no closing edge exists yet, so the contract fails the build
+//     before the second half of the inversion is ever written.
+//
+// A lock is identified by the named struct field holding it
+// ("scheduler.parkMu", "wsDeque.mu") — instance-insensitive, like the
+// documented contracts. Local mutex variables are scoped to one call
+// tree and are skipped. Edges are discovered by a path-sensitive walk
+// of each function's CFG carrying the held set, seeing through helper
+// calls via pathflow summaries: a method that locks its receiver
+// (wsDeque.push), a helper that unlocks on behalf of its caller, and a
+// deferred unlock all update the held set the way the runtime would.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rackjoin/internal/analyzers/pathflow"
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &rackvet.Analyzer{
+	Name: "lockorder",
+	Doc:  "derive the mutex acquisition graph and report cycles and documented-order inversions",
+	Run:  run,
+}
+
+// Contracts declares the documented lock order per import path: a lock
+// may be acquired while holding only locks that appear EARLIER in its
+// package's list (DESIGN.md §16). Keys not listed are unconstrained
+// (cycle detection still applies). Tests may install fixture entries.
+var Contracts = map[string][]string{
+	// core: the scheduler park path. Workers park holding parkMu and
+	// re-check every task source under it; offers nest the split-range
+	// lock; deque and injector locks are leaves. offer() must release
+	// offerMu before wake() for exactly this order.
+	"rackjoin/internal/core": {"scheduler.parkMu", "scheduler.offerMu", "splitRange.mu", "wsDeque.mu", "scheduler.injectMu"},
+	// netsched: one lock; listed so an accidental nested acquire via a
+	// future helper is caught as a self-cycle with a contract to cite.
+	"rackjoin/internal/netsched": {"Scheduler.mu"},
+	// health: the engine lock is a leaf — publish/observe must run
+	// unlocked (they call user hooks and the flight recorder).
+	"rackjoin/internal/health": {"Engine.mu"},
+	// obsv: server, sampler and flight rings never nest.
+	"rackjoin/internal/obsv": {"Server.mu", "Sampler.mu", "FlightRecorder.mu"},
+}
+
+// summaryDepth bounds how many helper levels the may-acquire/release
+// summaries follow. Mutual recursion is cut by the visiting set; the
+// depth bound keeps worst-case cost linear in practice.
+const summaryDepth = 3
+
+type lockKey string
+
+type edge struct{ from, to lockKey }
+
+// lockSummary is one function's net effect on the held set, plus every
+// lock it may acquire at any point (the edge source for callers).
+type lockSummary struct {
+	mayAcquire map[lockKey]token.Pos
+	// netAcquire: held when the function returns (lock-in-helper).
+	netAcquire map[lockKey]token.Pos
+	// netRelease: locks released that the function did not itself
+	// acquire (unlock-in-helper, on behalf of the caller).
+	netRelease map[lockKey]bool
+}
+
+type analysis struct {
+	pass *rackvet.Pass
+	sums *pathflow.Summaries
+	memo map[*types.Func]*lockSummary
+
+	edges map[edge]token.Pos
+}
+
+func run(pass *rackvet.Pass) error {
+	a := &analysis{
+		pass:  pass,
+		sums:  pathflow.NewSummaries(pass.Files, pass.TypesInfo),
+		memo:  make(map[*types.Func]*lockSummary),
+		edges: make(map[edge]token.Pos),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.walkFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				a.walkFunc(n.Body)
+			}
+			return true
+		})
+	}
+	a.reportCycles()
+	a.reportInversions()
+	return nil
+}
+
+// keyOf names the mutex behind a Lock/Unlock receiver expression: a
+// selector x.f where f is a sync.Mutex/RWMutex field of a named struct
+// ("T.f"), or a value of a named type embedding one ("T.Mutex"). Local
+// and anonymous mutexes return "".
+func (a *analysis) keyOf(recv ast.Expr) lockKey {
+	info := a.pass.TypesInfo
+	recv = ast.Unparen(recv)
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if isMutexType(s.Obj().Type()) {
+				if named := rackvet.NamedType(s.Recv()); named != nil {
+					return lockKey(named.Obj().Name() + "." + s.Obj().Name())
+				}
+			}
+		}
+		return ""
+	}
+	// Embedded: t.Lock() — recv is the value whose named type embeds
+	// the mutex; name the promoted field by its type.
+	if named := rackvet.NamedType(info.TypeOf(recv)); named != nil && !isMutexNamed(named) {
+		return lockKey(named.Obj().Name() + "." + "Mutex")
+	}
+	return ""
+}
+
+func isMutexNamed(named *types.Named) bool {
+	obj := named.Obj()
+	return rackvet.PkgPathIs(obj, "sync") && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func isMutexType(t types.Type) bool {
+	named := rackvet.NamedType(t)
+	return named != nil && isMutexNamed(named)
+}
+
+// lockOp classifies call as a mutex acquire/release and names the lock.
+// ok is false for anything else (including sync.Locker interface calls
+// and sync.Cond, which are dynamic or re-acquire their own lock).
+func (a *analysis) lockOp(call *ast.CallExpr) (key lockKey, acquire bool, ok bool) {
+	fn := rackvet.Callee(a.pass.TypesInfo, call)
+	if fn == nil || !rackvet.PkgPathIs(fn, "sync") {
+		return "", false, false
+	}
+	recvNamed := rackvet.ReceiverNamed(fn)
+	if recvNamed == nil || !isMutexNamed(recvNamed) {
+		return "", false, false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	key = a.keyOf(sel.X)
+	if key == "" {
+		return "", false, false
+	}
+	return key, acquire, true
+}
+
+// event is one lock-relevant operation in evaluation order.
+type event struct {
+	pos      token.Pos
+	key      lockKey      // acquire/release
+	acquire  bool         //
+	deferred bool         // registered by a defer statement
+	callee   *types.Func  // non-nil: summarized helper call
+	lit      *ast.FuncLit // immediately-invoked literal
+}
+
+// events extracts the lock operations and summarizable calls of one
+// CFG-node part, in pre-order (a close approximation of evaluation
+// order for this repo's statement-per-operation style).
+func (a *analysis) events(part ast.Node, deferred bool) []event {
+	var evs []event
+	ast.Inspect(part, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later (or on another goroutine)
+		case *ast.GoStmt:
+			return false // acquires happen on the spawned goroutine
+		case *ast.DeferStmt:
+			evs = append(evs, a.events(n.Call, true)...)
+			return false
+		case *ast.CallExpr:
+			if key, acq, ok := a.lockOp(n); ok {
+				evs = append(evs, event{pos: n.Pos(), key: key, acquire: acq, deferred: deferred})
+				return true
+			}
+			if r := a.sums.ResolveCall(n); r != nil {
+				if r.Fn != nil {
+					evs = append(evs, event{pos: n.Pos(), callee: r.Fn, deferred: deferred})
+				} else if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					evs = append(evs, event{pos: n.Pos(), lit: lit, deferred: deferred})
+				}
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// summary computes fn's lock summary, seeing depth more helper levels.
+// visiting cuts mutual recursion (the recursive edge contributes
+// nothing — sound for may-acquire since the first visit records every
+// direct acquire).
+func (a *analysis) summary(fn *types.Func, depth int, visiting map[*types.Func]bool) *lockSummary {
+	if s, ok := a.memo[fn]; ok {
+		return s
+	}
+	s := &lockSummary{
+		mayAcquire: make(map[lockKey]token.Pos),
+		netAcquire: make(map[lockKey]token.Pos),
+		netRelease: make(map[lockKey]bool),
+	}
+	decl := a.sums.Decl(fn)
+	if decl == nil || depth <= 0 || visiting[fn] {
+		if !visiting[fn] {
+			a.memo[fn] = s
+		}
+		return s
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	// Linear source-order scan: precise enough for net effects of the
+	// helper idioms (lock; defer unlock | unlock-on-behalf | lockBoth).
+	held := make(map[lockKey]token.Pos)
+	var deferredReleases []lockKey
+	var scan func(n ast.Node, deferred bool)
+	scan = func(n ast.Node, deferred bool) {
+		for _, ev := range a.events(n, deferred) {
+			switch {
+			case ev.lit != nil:
+				scan(ev.lit.Body, ev.deferred)
+			case ev.callee != nil:
+				cs := a.summary(ev.callee, depth-1, visiting)
+				for k, p := range cs.mayAcquire {
+					if _, ok := s.mayAcquire[k]; !ok {
+						s.mayAcquire[k] = p
+					}
+				}
+				for k, p := range cs.netAcquire {
+					held[k] = p
+				}
+				for k := range cs.netRelease {
+					if _, ok := held[k]; ok {
+						delete(held, k)
+					} else {
+						s.netRelease[k] = true
+					}
+				}
+			case ev.acquire:
+				if _, ok := s.mayAcquire[ev.key]; !ok {
+					s.mayAcquire[ev.key] = ev.pos
+				}
+				held[ev.key] = ev.pos
+			default: // release
+				if ev.deferred {
+					deferredReleases = append(deferredReleases, ev.key)
+					continue
+				}
+				if _, ok := held[ev.key]; ok {
+					delete(held, ev.key)
+				} else {
+					s.netRelease[ev.key] = true
+				}
+			}
+		}
+	}
+	scan(decl.Body, false)
+	for _, k := range deferredReleases {
+		if _, ok := held[k]; ok {
+			delete(held, k)
+		} else {
+			s.netRelease[k] = true
+		}
+	}
+	for k, p := range held {
+		s.netAcquire[k] = p
+	}
+	a.memo[fn] = s
+	return s
+}
+
+// heldSet is the ordered set of locks held on the current CFG path.
+type heldSet struct {
+	keys []lockKey
+	// sticky marks locks released only by a defer: held to exit.
+	sticky map[lockKey]bool
+}
+
+func (h *heldSet) clone() *heldSet {
+	c := &heldSet{keys: append([]lockKey(nil), h.keys...), sticky: make(map[lockKey]bool, len(h.sticky))}
+	for k := range h.sticky {
+		c.sticky[k] = true
+	}
+	return c
+}
+
+func (h *heldSet) has(k lockKey) bool {
+	for _, e := range h.keys {
+		if e == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *heldSet) add(k lockKey) {
+	if !h.has(k) {
+		h.keys = append(h.keys, k)
+	}
+}
+
+func (h *heldSet) remove(k lockKey) {
+	if h.sticky[k] {
+		return
+	}
+	for i := len(h.keys) - 1; i >= 0; i-- {
+		if h.keys[i] == k {
+			h.keys = append(h.keys[:i], h.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) memoKey() string {
+	ks := make([]string, 0, len(h.keys))
+	for _, k := range h.keys {
+		ks = append(ks, string(k))
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// walkFunc walks body's CFG carrying the held set and records an edge
+// held→acquired for every acquire (direct or through a helper).
+func (a *analysis) walkFunc(body *ast.BlockStmt) {
+	g := pathflow.New(body)
+	seen := make(map[ast.Stmt]map[string]bool)
+	type item struct {
+		s    ast.Stmt
+		held *heldSet
+	}
+	start := &heldSet{sticky: make(map[lockKey]bool)}
+	stack := []item{}
+	for _, s := range g.Succs(g.Entry()) {
+		stack = append(stack, item{s, start})
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if it.s == g.Exit() {
+			continue
+		}
+		mk := it.held.memoKey()
+		if seen[it.s] == nil {
+			seen[it.s] = make(map[string]bool)
+		}
+		if seen[it.s][mk] {
+			continue
+		}
+		seen[it.s][mk] = true
+		held := it.held.clone()
+		for _, part := range pathflow.NodeParts(it.s) {
+			if part == nil {
+				continue
+			}
+			a.apply(held, a.events(part, false))
+		}
+		for _, succ := range g.Succs(it.s) {
+			stack = append(stack, item{succ, held})
+		}
+	}
+}
+
+// apply runs one node's events against the held set, recording edges.
+func (a *analysis) apply(held *heldSet, evs []event) {
+	for _, ev := range evs {
+		switch {
+		case ev.lit != nil:
+			a.apply(held, a.events(ev.lit.Body, ev.deferred))
+		case ev.callee != nil:
+			cs := a.summary(ev.callee, summaryDepth, make(map[*types.Func]bool))
+			for k := range cs.mayAcquire {
+				for _, h := range held.keys {
+					if h != k {
+						a.edge(h, k, ev.pos)
+					}
+				}
+			}
+			for k := range cs.netAcquire {
+				held.add(k)
+				if ev.deferred {
+					held.sticky[k] = true
+				}
+			}
+			if ev.deferred {
+				// A deferred releasing helper keeps the lock held for
+				// the rest of the function, like a deferred unlock.
+				for k := range cs.netRelease {
+					if held.has(k) {
+						held.sticky[k] = true
+					}
+				}
+			} else {
+				for k := range cs.netRelease {
+					held.remove(k)
+				}
+			}
+		case ev.acquire:
+			if held.has(ev.key) && !ev.deferred {
+				a.pass.Reportf(ev.pos, "%s acquired while already held (self-deadlock unless the instances always differ)", ev.key)
+			}
+			for _, h := range held.keys {
+				if h != ev.key {
+					a.edge(h, ev.key, ev.pos)
+				}
+			}
+			held.add(ev.key)
+		default: // release
+			if ev.deferred {
+				held.sticky[ev.key] = true
+				held.add(ev.key)
+				continue
+			}
+			held.remove(ev.key)
+		}
+	}
+}
+
+func (a *analysis) edge(from, to lockKey, pos token.Pos) {
+	e := edge{from, to}
+	if _, ok := a.edges[e]; !ok {
+		a.edges[e] = pos
+	}
+}
+
+// reportCycles finds cycles in the package's acquisition graph and
+// reports each once, at its lexically first witness edge.
+func (a *analysis) reportCycles() {
+	succ := make(map[lockKey][]lockKey)
+	for e := range a.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	for from := range succ {
+		sort.Slice(succ[from], func(i, j int) bool { return succ[from][i] < succ[from][j] })
+	}
+	nodes := make([]lockKey, 0, len(succ))
+	for k := range succ {
+		nodes = append(nodes, k)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	reported := make(map[string]bool)
+	var path []lockKey
+	onPath := make(map[lockKey]int)
+	var dfs func(k lockKey)
+	dfs = func(k lockKey) {
+		if i, ok := onPath[k]; ok {
+			cycle := append([]lockKey(nil), path[i:]...)
+			sig := canonicalCycle(cycle)
+			if !reported[sig] {
+				reported[sig] = true
+				// Witness: the edge closing the cycle.
+				pos := a.edges[edge{path[len(path)-1], k}]
+				var parts []string
+				for _, c := range cycle {
+					parts = append(parts, string(c))
+				}
+				parts = append(parts, string(cycle[0]))
+				a.pass.Reportf(pos, "lock-order cycle: %s (deadlock if the paths interleave)", strings.Join(parts, " → "))
+			}
+			return
+		}
+		onPath[k] = len(path)
+		path = append(path, k)
+		for _, n := range succ[k] {
+			dfs(n)
+		}
+		path = path[:len(path)-1]
+		delete(onPath, k)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+}
+
+func canonicalCycle(cycle []lockKey) string {
+	best := ""
+	for i := range cycle {
+		var parts []string
+		for j := range cycle {
+			parts = append(parts, string(cycle[(i+j)%len(cycle)]))
+		}
+		s := strings.Join(parts, "→")
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// reportInversions checks every edge against the package's documented
+// order: an edge from a later-listed lock to an earlier one inverts it.
+func (a *analysis) reportInversions() {
+	order := Contracts[a.pass.Pkg.Path()]
+	if order == nil {
+		return
+	}
+	rank := make(map[lockKey]int, len(order))
+	for i, k := range order {
+		rank[lockKey(k)] = i
+	}
+	type inv struct {
+		e   edge
+		pos token.Pos
+	}
+	var invs []inv
+	for e, pos := range a.edges {
+		rf, okF := rank[e.from]
+		rt, okT := rank[e.to]
+		if okF && okT && rf > rt {
+			invs = append(invs, inv{e, pos})
+		}
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i].pos < invs[j].pos })
+	for _, v := range invs {
+		a.pass.Reportf(v.pos, "%s acquired while holding %s inverts the documented order (%s)",
+			v.e.to, v.e.from, strings.Join(order, " → "))
+	}
+}

@@ -1,0 +1,147 @@
+// Package a exercises the lockorder pass: an ABBA cycle, contract
+// inversions seen through helpers (may-acquire, lock-in-helper,
+// deferred unlock-in-helper), mutual recursion termination, a direct
+// double-lock, and an embedded mutex. The analyzer test registers the
+// documented order for this package as
+// gamma.mu → delta.mu → zeta.mu → eps.mu → kappa.mu → theta.mu → qq.mu → pp.mu.
+package a
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+var a1 alpha
+var b1 beta
+
+// lockAB establishes alpha.mu → beta.mu.
+func lockAB() {
+	a1.mu.Lock()
+	b1.mu.Lock()
+	b1.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// lockBA closes the cycle: beta.mu → alpha.mu.
+func lockBA() {
+	b1.mu.Lock()
+	a1.mu.Lock() // want `lock-order cycle: alpha\.mu → beta\.mu → alpha\.mu`
+	a1.mu.Unlock()
+	b1.mu.Unlock()
+}
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+var g1 gamma
+var d1 delta
+
+func lockGamma() {
+	g1.mu.Lock()
+	g1.mu.Unlock()
+}
+
+// helperInversion acquires gamma.mu through a helper while holding
+// delta.mu — against the documented order, visible only to the
+// summary-based walk.
+func helperInversion() {
+	d1.mu.Lock()
+	lockGamma() // want `gamma\.mu acquired while holding delta\.mu inverts the documented order`
+	d1.mu.Unlock()
+}
+
+type eps struct{ mu sync.Mutex }
+type zeta struct{ mu sync.Mutex }
+
+var e1 eps
+var z1 zeta
+
+func (e *eps) unlock() { e.mu.Unlock() }
+
+// deferredHelperUnlock releases eps.mu only through a deferred helper,
+// so eps.mu is held at the zeta.mu acquire below.
+func deferredHelperUnlock() {
+	e1.mu.Lock()
+	defer e1.unlock()
+	z1.mu.Lock() // want `zeta\.mu acquired while holding eps\.mu inverts the documented order`
+	z1.mu.Unlock()
+}
+
+type kappa struct{ mu sync.Mutex }
+type theta struct{ mu sync.Mutex }
+
+var k1 kappa
+var t1 theta
+
+func (t *theta) lock()    { t.mu.Lock() }
+func (t *theta) unlock()  { t.mu.Unlock() }
+
+// lockInHelper acquires theta.mu inside a helper and keeps holding it
+// (netAcquire), so the direct kappa.mu acquire inverts the order.
+func lockInHelper() {
+	t1.lock()
+	k1.mu.Lock() // want `kappa\.mu acquired while holding theta\.mu inverts the documented order`
+	k1.mu.Unlock()
+	t1.unlock()
+}
+
+type rho struct{ mu sync.Mutex }
+
+var r1 rho
+
+// ping/pong are mutually recursive; summaries must terminate and the
+// balanced lock/unlock must produce no findings.
+func ping(n int) {
+	if n == 0 {
+		return
+	}
+	r1.mu.Lock()
+	r1.mu.Unlock()
+	pong(n - 1)
+}
+
+func pong(n int) {
+	if n == 0 {
+		return
+	}
+	ping(n - 1)
+}
+
+type mono struct{ mu sync.Mutex }
+
+var m1 mono
+
+func doubleLock() {
+	m1.mu.Lock()
+	m1.mu.Lock() // want `mono\.mu acquired while already held`
+	m1.mu.Unlock()
+	m1.mu.Unlock()
+}
+
+type embd struct{ sync.Mutex }
+
+var em embd
+
+func embedded() {
+	em.Lock()
+	em.Lock() // want `embd\.Mutex acquired while already held`
+	em.Unlock()
+	em.Unlock()
+}
+
+type pp struct{ mu sync.Mutex }
+type qq struct{ mu sync.Mutex }
+
+var p1 pp
+var q1 qq
+
+// branchy must NOT report: pp.mu is released on every path before
+// qq.mu is acquired, even though the unlock sits in a branch.
+func branchy(c bool) {
+	if c {
+		p1.mu.Lock()
+		p1.mu.Unlock()
+	}
+	q1.mu.Lock()
+	q1.mu.Unlock()
+}

@@ -51,6 +51,19 @@ type Graph struct {
 // function entry (e.g. a parameter carrying an acquired buffer).
 func (g *Graph) Entry() ast.Stmt { return g.entry }
 
+// Exit returns the sentinel fall-off-the-end node.
+func (g *Graph) Exit() ast.Stmt { return g.exit }
+
+// Succs returns the successors of s. The slice is the graph's own; do
+// not mutate it.
+func (g *Graph) Succs(s ast.Stmt) []ast.Stmt { return g.succ[s] }
+
+// NodeParts returns the parts of s evaluated at s's own CFG node —
+// just the condition or tag for compound statements, the statement
+// itself for simple ones. Interprocedural walkers use it so events in
+// a branch body are attributed to the body's node, not the header's.
+func NodeParts(s ast.Stmt) []ast.Node { return nodeParts(s) }
+
 // Contains reports whether s is a node of the graph (i.e. a statement
 // the builder visited — anything directly in the body, not nested in a
 // function literal).

@@ -1,0 +1,224 @@
+// summary.go is the interprocedural layer of pathflow: a per-package
+// call graph with just enough resolution for the passes to see through
+// one level of helper calls instead of whitelisting them by name.
+//
+// Resolution is deliberately modest — static calls to functions and
+// methods declared in the package, plus locals bound exactly once to a
+// function literal or a method value — because that is the shape of
+// every helper this repo's hot paths use (postBuffer, pool.release,
+// engine.loop, the scatter closure of the pull pass). Anything dynamic
+// resolves to nil and the passes fall back to their conservative,
+// non-reporting default.
+package pathflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Summaries is the per-package call-graph and resolution engine. Passes
+// build one per Pass and derive their own memoized function facts on
+// top (may-acquire sets, consumed parameters, lifecycle ties).
+type Summaries struct {
+	Info *types.Info
+
+	decls map[*types.Func]*ast.FuncDecl
+	// lits maps a local variable bound exactly once to a function
+	// literal (scatter := func(...){...}) to that literal.
+	lits map[types.Object]*ast.FuncLit
+	// vals maps a local variable bound exactly once to a static
+	// function or method value (f := d.push) to the target.
+	vals map[types.Object]*types.Func
+}
+
+// NewSummaries indexes the package's function declarations and
+// single-assignment function-valued locals.
+func NewSummaries(files []*ast.File, info *types.Info) *Summaries {
+	s := &Summaries{
+		Info:  info,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		lits:  make(map[types.Object]*ast.FuncLit),
+		vals:  make(map[types.Object]*types.Func),
+	}
+	// assigns counts bindings per object so a re-assigned local is
+	// dropped from lits/vals (its value is no longer statically known).
+	assigns := make(map[types.Object]int)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		assigns[obj]++
+		if rhs == nil {
+			return
+		}
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			s.lits[obj] = rhs
+		case *ast.Ident:
+			if fn, ok := info.Uses[rhs].(*types.Func); ok {
+				s.vals[obj] = fn
+			}
+		case *ast.SelectorExpr:
+			// Method value (d.push) or package-qualified function.
+			if sel, ok := info.Selections[rhs]; ok {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					s.vals[obj] = fn
+				}
+			} else if fn, ok := info.Uses[rhs.Sel].(*types.Func); ok {
+				s.vals[obj] = fn
+			}
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := info.Defs[n.Name].(*types.Func); ok {
+					s.decls[fn] = n
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				} else {
+					for _, lhs := range n.Lhs {
+						bind(lhs, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						bind(name, n.Values[i])
+					} else {
+						bind(name, nil)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj, n := range assigns {
+		if n > 1 {
+			delete(s.lits, obj)
+			delete(s.vals, obj)
+		}
+	}
+	return s
+}
+
+// Decl returns fn's declaration when fn is declared in this package
+// (with a body), or nil.
+func (s *Summaries) Decl(fn *types.Func) *ast.FuncDecl {
+	d := s.decls[fn]
+	if d == nil || d.Body == nil {
+		return nil
+	}
+	return d
+}
+
+// Resolved is the outcome of resolving a call or function-valued
+// expression to source in the analyzed package.
+type Resolved struct {
+	Type *ast.FuncType
+	Body *ast.BlockStmt
+	// Fn is the declared function, nil for a function literal.
+	Fn *types.Func
+}
+
+// ResolveCall resolves call's callee to a body in this package: a
+// static call to a declared function or method, a call of a local
+// variable bound once to a function literal or method value, or an
+// immediately-invoked literal. Returns nil when the callee is dynamic,
+// a builtin, a conversion, or declared elsewhere.
+func (s *Summaries) ResolveCall(call *ast.CallExpr) *Resolved {
+	if tv, ok := s.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	return s.ResolveExpr(call.Fun)
+}
+
+// ResolveExpr resolves a function-valued expression (a call's Fun, the
+// callee of a go/defer statement) to its body in this package.
+func (s *Summaries) ResolveExpr(e ast.Expr) *Resolved {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return &Resolved{Type: e.Type, Body: e.Body}
+	case *ast.Ident:
+		obj := s.Info.Uses[e]
+		if fn, ok := obj.(*types.Func); ok {
+			if d := s.Decl(fn); d != nil {
+				return &Resolved{Type: d.Type, Body: d.Body, Fn: fn}
+			}
+			return nil
+		}
+		if lit, ok := s.lits[obj]; ok {
+			return &Resolved{Type: lit.Type, Body: lit.Body}
+		}
+		if fn, ok := s.vals[obj]; ok {
+			if d := s.Decl(fn); d != nil {
+				return &Resolved{Type: d.Type, Body: d.Body, Fn: fn}
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		var fn *types.Func
+		if sel, ok := s.Info.Selections[e]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = s.Info.Uses[e.Sel].(*types.Func)
+		}
+		if fn != nil {
+			if d := s.Decl(fn); d != nil {
+				return &Resolved{Type: d.Type, Body: d.Body, Fn: fn}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// ParamObj returns the object of the i-th (flattened) parameter of
+// ftype, or nil. The receiver of a method declaration is not counted:
+// indices match call-argument positions.
+func (s *Summaries) ParamObj(ftype *ast.FuncType, i int) types.Object {
+	if ftype == nil || ftype.Params == nil {
+		return nil
+	}
+	idx := 0
+	for _, field := range ftype.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // unnamed parameter still occupies a position
+		}
+		for j := 0; j < names; j++ {
+			if idx == i {
+				if j < len(field.Names) {
+					return s.Info.Defs[field.Names[j]]
+				}
+				return nil // unnamed: no object to track
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// ArgIndex returns the index of the argument of call that is (after
+// stripping parens) an identifier for obj, or -1.
+func ArgIndex(info *types.Info, call *ast.CallExpr, obj types.Object) int {
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,210 @@
+package pathflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const summarySrc = `package p
+
+import "sync"
+
+type deque struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+func (d *deque) push(v int) {
+	d.mu.Lock()
+	d.buf = append(d.buf, v)
+	d.mu.Unlock()
+}
+
+func (d *deque) unlock() { d.mu.Unlock() }
+
+// lockThenHelperUnlock pins the deferred unlock-in-helper shape.
+func lockThenHelperUnlock(d *deque) {
+	d.mu.Lock()
+	defer d.unlock()
+	d.buf = nil
+}
+
+// ping and pong are mutually recursive.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+}
+
+func use(d *deque) {
+	mv := d.push     // method value, bound once
+	lit := func() {} // literal, bound once
+	rebound := func() {}
+	rebound = func() { lit() }
+	mv(1)
+	lit()
+	rebound()
+	ping(3)
+	_ = int(0) // conversion, not a call
+}
+`
+
+func buildSummaries(t *testing.T) (*token.FileSet, *ast.File, *types.Info, *Summaries) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", summarySrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info, NewSummaries([]*ast.File{f}, info)
+}
+
+// callsIn collects the CallExprs of the named function in source order.
+func callsIn(t *testing.T, f *ast.File, name string) []*ast.CallExpr {
+	t.Helper()
+	var calls []*ast.CallExpr
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				calls = append(calls, c)
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+func TestResolveMethodValueAndLiteral(t *testing.T) {
+	_, f, _, sums := buildSummaries(t)
+	calls := callsIn(t, f, "use")
+	// Source order: mv(1), lit(), rebound(), ping(3), int(0).
+	if len(calls) != 5 {
+		t.Fatalf("found %d calls in use, want 5", len(calls))
+	}
+
+	mv := sums.ResolveCall(calls[0])
+	if mv == nil || mv.Fn == nil || mv.Fn.Name() != "push" {
+		t.Errorf("mv(1) resolved to %+v, want method push", mv)
+	}
+
+	lit := sums.ResolveCall(calls[1])
+	if lit == nil || lit.Fn != nil || lit.Body == nil {
+		t.Errorf("lit() resolved to %+v, want a function literal body", lit)
+	}
+
+	if r := sums.ResolveCall(calls[2]); r != nil {
+		t.Errorf("rebound() resolved to %+v, want nil (assigned twice)", r)
+	}
+
+	ping := sums.ResolveCall(calls[3])
+	if ping == nil || ping.Fn == nil || ping.Fn.Name() != "ping" {
+		t.Errorf("ping(3) resolved to %+v, want function ping", ping)
+	}
+
+	if r := sums.ResolveCall(calls[4]); r != nil {
+		t.Errorf("int(0) conversion resolved to %+v, want nil", r)
+	}
+}
+
+func TestResolveMutualRecursion(t *testing.T) {
+	_, f, _, sums := buildSummaries(t)
+	pingCalls := callsIn(t, f, "ping")
+	if len(pingCalls) != 1 {
+		t.Fatalf("found %d calls in ping, want 1", len(pingCalls))
+	}
+	// ping resolves to pong, pong back to ping: a client following the
+	// chain must land on distinct declarations, not loop forever on one.
+	pong := sums.ResolveCall(pingCalls[0])
+	if pong == nil || pong.Fn == nil || pong.Fn.Name() != "pong" {
+		t.Fatalf("ping's call resolved to %+v, want pong", pong)
+	}
+	pongCalls := callsIn(t, f, "pong")
+	back := sums.ResolveCall(pongCalls[0])
+	if back == nil || back.Fn == nil || back.Fn.Name() != "ping" {
+		t.Fatalf("pong's call resolved to %+v, want ping", back)
+	}
+	if sums.Decl(pong.Fn) == sums.Decl(back.Fn) {
+		t.Error("ping and pong resolved to the same declaration")
+	}
+}
+
+func TestResolveDeferredHelper(t *testing.T) {
+	_, f, _, sums := buildSummaries(t)
+	var deferred *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = d.Call
+		}
+		return true
+	})
+	if deferred == nil {
+		t.Fatal("no defer statement in fixture")
+	}
+	r := sums.ResolveCall(deferred)
+	if r == nil || r.Fn == nil || r.Fn.Name() != "unlock" {
+		t.Fatalf("defer d.unlock() resolved to %+v, want method unlock", r)
+	}
+	// The resolved body must contain the Unlock call a pass would
+	// summarize as a net release.
+	found := false
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unlock" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("resolved unlock body does not reach the Unlock call")
+	}
+}
+
+func TestParamObjAndArgIndex(t *testing.T) {
+	_, f, info, sums := buildSummaries(t)
+	var decl *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "push" {
+			decl = fd
+		}
+	}
+	obj := sums.ParamObj(decl.Type, 0)
+	if obj == nil || obj.Name() != "v" {
+		t.Fatalf("ParamObj(push, 0) = %v, want v", obj)
+	}
+	if obj := sums.ParamObj(decl.Type, 1); obj != nil {
+		t.Errorf("ParamObj(push, 1) = %v, want nil", obj)
+	}
+
+	// ArgIndex finds an identifier argument's position.
+	calls := callsIn(t, f, "ping")
+	// pong(n - 1): the argument is an expression, not a bare ident.
+	if i := ArgIndex(info, calls[0], nil); i != -1 {
+		t.Errorf("ArgIndex on non-ident arg = %d, want -1", i)
+	}
+}

@@ -1,0 +1,83 @@
+package rackvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSuppressions(t *testing.T) {
+	const src = `package p
+
+func a() int { return 1 } //rackvet:ignore lockorder held across the call by design
+
+//rackvet:ignore goroutinelife,hotalloc fires once at startup
+func b() {}
+
+//rackvet:ignore spanend
+func c() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuppressions(fset, []*ast.File{f})
+
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "lockorder", true},       // trailing comment, own line
+		{3, "goroutinelife", false},  // other pass not covered
+		{5, "goroutinelife", true},   // standalone, own line
+		{6, "goroutinelife", true},   // standalone covers the next line
+		{6, "hotalloc", true},        // comma list
+		{7, "goroutinelife", false},  // two lines below: not covered
+		{9, "spanend", false},        // no reason given: inert
+		{4, "lockorder", true},       // trailing comment also covers next line
+	}
+	for _, c := range cases {
+		if got := s.Suppressed(at(c.line), c.analyzer); got != c.want {
+			t.Errorf("Suppressed(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rackvet.baseline")
+	const content = `# tolerated until the buffer pool refactor lands
+buflifecycle: internal/core/results.go: buffer "b" may leak
+
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if !b.Has("buflifecycle", "internal/core/results.go", `buffer "b" may leak`) {
+		t.Error("baselined finding not matched")
+	}
+	if b.Has("spanend", "internal/core/results.go", `buffer "b" may leak`) {
+		t.Error("different analyzer matched")
+	}
+
+	empty, err := LoadBaseline(filepath.Join(dir, "missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Error("missing baseline file should be empty, not an error")
+	}
+}

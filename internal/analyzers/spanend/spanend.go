@@ -7,7 +7,10 @@
 // core package's machineState.span helper both have this shape), or to
 // one named Begin or begin returning (id, closer) — the causal-trace
 // form, where the first result is the span's identity and the second the
-// closer. The closer must be called, deferred, or escape (returned,
+// closer. A local wrapper whose body directly forwards such a call
+// (`func phaseSpan(...) func() { return tr.Span(...) }`) counts as a
+// span start too, resolved through pathflow summaries rather than by
+// adding its name to the list. The closer must be called, deferred, or escape (returned,
 // stored in a field, captured by a closure) on every path from the
 // start; an early error return that skips it loses the span, which
 // unbalances the Chrome trace export and the per-phase attribution built
@@ -30,6 +33,7 @@ var Analyzer = &rackvet.Analyzer{
 }
 
 func run(pass *rackvet.Pass) error {
+	sums := pathflow.NewSummaries(pass.Files, pass.TypesInfo)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -42,7 +46,7 @@ func run(pass *rackvet.Pass) error {
 				return true
 			}
 			if body != nil {
-				checkFunc(pass, body)
+				checkFunc(pass, sums, body)
 			}
 			return true
 		})
@@ -50,10 +54,11 @@ func run(pass *rackvet.Pass) error {
 	return nil
 }
 
-// closerIndex returns the result index of a span-start call's closer, or
-// -1 when call is not a span start. Span/span return the closer as their
-// only result; Begin/begin return (id, closer) with the closer second.
-func closerIndex(pass *rackvet.Pass, call *ast.CallExpr) int {
+// namedCloserIndex returns the result index of a span-start call's
+// closer, or -1 when call is not a span start by name. Span/span return
+// the closer as their only result; Begin/begin return (id, closer) with
+// the closer second.
+func namedCloserIndex(pass *rackvet.Pass, call *ast.CallExpr) int {
 	fn := rackvet.Callee(pass.TypesInfo, call)
 	if fn == nil {
 		return -1
@@ -80,7 +85,59 @@ func closerIndex(pass *rackvet.Pass, call *ast.CallExpr) int {
 	return idx
 }
 
-func checkFunc(pass *rackvet.Pass, body *ast.BlockStmt) {
+// closerIndex extends namedCloserIndex one level interprocedurally: a
+// call to a function in this package whose every return directly
+// forwards a span-start call (`return t.Span(name)` or
+// `return 0, tr.Span(x)`) is itself a span start, whatever it is
+// named. Wrappers with synthesized or conditional closers are left
+// alone — misclassifying one would produce false leaks, so only the
+// direct-forward shape is resolved.
+func closerIndex(pass *rackvet.Pass, sums *pathflow.Summaries, call *ast.CallExpr) int {
+	if idx := namedCloserIndex(pass, call); idx >= 0 {
+		return idx
+	}
+	r := sums.ResolveCall(call)
+	if r == nil || r.Body == nil {
+		return -1
+	}
+	idx := -1
+	ok := true
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			cand := -1
+			if len(n.Results) == 1 {
+				if c, isCall := ast.Unparen(n.Results[0]).(*ast.CallExpr); isCall {
+					cand = namedCloserIndex(pass, c) // tuple forwarded whole
+				}
+			}
+			if cand < 0 {
+				for j, res := range n.Results {
+					if c, isCall := ast.Unparen(res).(*ast.CallExpr); isCall && namedCloserIndex(pass, c) == 0 {
+						cand = j
+					}
+				}
+			}
+			if cand < 0 || (idx >= 0 && idx != cand) {
+				ok = false
+			} else {
+				idx = cand
+			}
+		}
+		return true
+	})
+	if !ok {
+		return -1
+	}
+	return idx
+}
+
+func checkFunc(pass *rackvet.Pass, sums *pathflow.Summaries, body *ast.BlockStmt) {
 	var graph *pathflow.Graph
 	parents := rackvet.Parents(body)
 
@@ -89,7 +146,7 @@ func checkFunc(pass *rackvet.Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		idx := closerIndex(pass, call)
+		idx := closerIndex(pass, sums, call)
 		if idx < 0 {
 			return true
 		}

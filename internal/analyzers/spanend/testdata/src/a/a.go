@@ -139,3 +139,54 @@ func beginEscape(t *tracer, h *causalHolder) {
 func beginFieldAssign(t *tracer, h *causalHolder) {
 	h.id, h.end = t.Begin(0, "phase", "network partition", 0)
 }
+
+// phaseSpan is a local wrapper: its body forwards Span's closer, so
+// the pass resolves it as a span start without knowing its name.
+func phaseSpan(t *tracer, name string) func() {
+	return t.Span(name)
+}
+
+func wrapperDeferred(t *tracer) error {
+	end := phaseSpan(t, "phase")
+	defer end()
+	return errBoom
+}
+
+func wrapperLeaky(t *tracer, fail bool) error {
+	end := phaseSpan(t, "phase")
+	if fail {
+		return errBoom // want `span closer "end" \(span started at line \d+\) is not called before this return`
+	}
+	end()
+	return nil
+}
+
+func wrapperDiscarded(t *tracer) {
+	phaseSpan(t, "phase") // want `result of span start is discarded; the span is never ended`
+}
+
+// beginPhase forwards the causal tuple whole.
+func beginPhase(t *tracer) (spanID, func(int64)) {
+	return t.Begin(0, "phase", "wrapped", 0)
+}
+
+func wrapperBeginNotAllPaths(t *tracer, ok bool) {
+	_, end := beginPhase(t) // want `span closer "end" is not called on every path to the end of the function`
+	if ok {
+		end(0)
+	}
+}
+
+// guardedSpan has a conditional synthesized closer; the pass leaves it
+// alone rather than guess, so no reports at its call sites.
+func guardedSpan(t *tracer, on bool) func() {
+	if !on {
+		return func() {}
+	}
+	return t.Span("guarded")
+}
+
+func guardedUse(t *tracer) {
+	end := guardedSpan(t, true)
+	_ = end
+}

@@ -1,0 +1,10 @@
+// Package w is the fixture for vettest's own end-to-end test: the toy
+// analyzer reports twice per trigger() call, matched by two want
+// markers on one line.
+package w
+
+func trigger() {}
+
+func use() {
+	trigger() // want "first finding" // want `second finding`
+}

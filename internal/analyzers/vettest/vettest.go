@@ -202,46 +202,103 @@ func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
 	return pkg, nil
 }
 
-// expectation is one want regexp awaiting a matching diagnostic.
+// expectation is one want pattern awaiting a matching diagnostic. A
+// backquoted pattern is a regular expression (anchor with ^ and $ to
+// pin the whole message); a double-quoted pattern is a literal
+// substring.
 type expectation struct {
 	pos     token.Position // of the want comment
-	re      *regexp.Regexp
+	desc    string         // the pattern as written, for failure output
+	match   func(string) bool
 	matched bool
 }
 
-// checkWants compares diagnostics against the fixture's want comments.
-func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []rackvet.Diagnostic) {
-	t.Helper()
+// parseWants extracts the expectations of one comment's text. A
+// comment holds one or more `want` markers, each with one or more
+// quoted patterns:
+//
+//	x() // want "a" `b.*c`
+//	y() // want "a" // want "b"
+//
+// Both markers on the second line attach to the same source line, the
+// shape needed when two passes (or two callbacks of one pass) hit it.
+func parseWants(pos token.Position, text string) ([]*expectation, []string) {
+	var exps []*expectation
+	var problems []string
+	rest, ok := cutMarker(text)
+	if !ok {
+		return nil, nil
+	}
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: malformed want comment: %q", pos, text))
+			break
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: malformed want pattern %s: %v", pos, q, err))
+			break
+		}
+		var match func(string) bool
+		if q[0] == '`' {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: bad want regexp %q: %v", pos, pat, err))
+				break
+			}
+			match = re.MatchString
+		} else {
+			match = func(msg string) bool { return strings.Contains(msg, pat) }
+		}
+		exps = append(exps, &expectation{pos: pos, desc: q, match: match})
+		rest = strings.TrimSpace(rest[len(q):])
+		// A further `// want ...` marker continues the same line.
+		if r, ok := cutMarker(rest); ok {
+			rest = r
+		}
+	}
+	return exps, problems
+}
+
+// cutMarker strips a leading comment opener and `want` keyword,
+// returning the remainder and whether a marker was present.
+func cutMarker(text string) (string, bool) {
+	text = strings.TrimSpace(text)
+	text = strings.TrimSuffix(text, "*/")
+	for _, open := range []string{"//", "/*"} {
+		if r, ok := strings.CutPrefix(text, open); ok {
+			text = strings.TrimSpace(r)
+			break
+		}
+	}
+	if r, ok := strings.CutPrefix(text, "want "); ok {
+		return strings.TrimSpace(r), true
+	}
+	return text, false
+}
+
+// diffWants compares diagnostics against want comments and returns the
+// mismatches, one problem per line. Exposed to the runner's own tests;
+// Run reports each problem as a test error.
+func diffWants(fset *token.FileSet, files []*ast.File, diags []rackvet.Diagnostic) []string {
+	var problems []string
 	wants := make(map[string][]*expectation) // "file:line" -> wants
+	var order []string
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/"), "//"))
-				if !strings.HasPrefix(text, "want ") {
+				pos := fset.Position(c.Pos())
+				exps, probs := parseWants(pos, c.Text)
+				problems = append(problems, probs...)
+				if len(exps) == 0 {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
-				for rest != "" {
-					q, err := strconv.QuotedPrefix(rest)
-					if err != nil {
-						t.Errorf("%s: malformed want comment: %q", pos, text)
-						break
-					}
-					pat, err := strconv.Unquote(q)
-					if err != nil {
-						t.Errorf("%s: malformed want pattern %s: %v", pos, q, err)
-						break
-					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
-						break
-					}
-					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-					wants[key] = append(wants[key], &expectation{pos: pos, re: re})
-					rest = strings.TrimSpace(rest[len(q):])
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if wants[key] == nil {
+					order = append(order, key)
 				}
+				wants[key] = append(wants[key], exps...)
 			}
 		}
 	}
@@ -250,21 +307,30 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []ra
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 		found := false
 		for _, w := range wants[key] {
-			if !w.matched && w.re.MatchString(d.Message) {
+			if !w.matched && w.match(d.Message) {
 				w.matched = true
 				found = true
 				break
 			}
 		}
 		if !found {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
 		}
 	}
-	for _, ws := range wants {
-		for _, w := range ws {
+	for _, key := range order {
+		for _, w := range wants[key] {
 			if !w.matched {
-				t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+				problems = append(problems, fmt.Sprintf("%s: no diagnostic matching %s", w.pos, w.desc))
 			}
 		}
+	}
+	return problems
+}
+
+// checkWants compares diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []rackvet.Diagnostic) {
+	t.Helper()
+	for _, p := range diffWants(fset, files, diags) {
+		t.Error(p)
 	}
 }

@@ -1,0 +1,142 @@
+package vettest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"rackjoin/internal/analyzers/rackvet"
+)
+
+// parseFixture parses src and returns the pieces diffWants needs, plus
+// a helper fabricating a diagnostic at the start of a 1-based line.
+func parseFixture(t *testing.T, src string) (*token.FileSet, []*ast.File, func(line int, msg string) rackvet.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	diag := func(line int, msg string) rackvet.Diagnostic {
+		return rackvet.Diagnostic{Pos: tf.LineStart(line), Message: msg}
+	}
+	return fset, []*ast.File{f}, diag
+}
+
+func TestWantLiteralAndRegex(t *testing.T) {
+	const src = `package w
+
+func a() {} // want "literal part"
+func b() {} // want ` + "`^anchored exactly$`" + `
+`
+	fset, files, diag := parseFixture(t, src)
+	probs := diffWants(fset, files, []rackvet.Diagnostic{
+		diag(3, "surrounding literal part of a message"),
+		diag(4, "anchored exactly"),
+	})
+	if len(probs) != 0 {
+		t.Errorf("unexpected problems: %v", probs)
+	}
+
+	// The anchored regex must reject a longer message.
+	probs = diffWants(fset, files, []rackvet.Diagnostic{
+		diag(3, "surrounding literal part of a message"),
+		diag(4, "anchored exactly, but longer"),
+	})
+	if len(probs) != 2 { // unexpected diagnostic + unmatched want
+		t.Errorf("want 2 problems, got %v", probs)
+	}
+}
+
+func TestWantMultipleMarkersOneLine(t *testing.T) {
+	const src = `package w
+
+func a() {} // want "first" // want "second"
+func b() {} // want "third" ` + "`four.h`" + `
+`
+	fset, files, diag := parseFixture(t, src)
+	probs := diffWants(fset, files, []rackvet.Diagnostic{
+		diag(3, "the first finding"),
+		diag(3, "the second finding"),
+		diag(4, "the third finding"),
+		diag(4, "the fourth finding"),
+	})
+	if len(probs) != 0 {
+		t.Errorf("unexpected problems: %v", probs)
+	}
+}
+
+func TestWantMismatches(t *testing.T) {
+	const src = `package w
+
+func a() {} // want "expected"
+func b() {}
+`
+	fset, files, diag := parseFixture(t, src)
+	probs := diffWants(fset, files, []rackvet.Diagnostic{
+		diag(4, "stray finding"),
+	})
+	if len(probs) != 2 {
+		t.Fatalf("want 2 problems, got %v", probs)
+	}
+	if !strings.Contains(probs[0], "unexpected diagnostic: stray finding") {
+		t.Errorf("missing unexpected-diagnostic problem: %v", probs)
+	}
+	if !strings.Contains(probs[1], `no diagnostic matching "expected"`) {
+		t.Errorf("missing unmatched-want problem: %v", probs)
+	}
+}
+
+func TestWantMalformed(t *testing.T) {
+	const src = `package w
+
+func a() {} // want unquoted
+`
+	fset, files, _ := parseFixture(t, src)
+	probs := diffWants(fset, files, nil)
+	if len(probs) != 1 || !strings.Contains(probs[0], "malformed want comment") {
+		t.Errorf("want one malformed-comment problem, got %v", probs)
+	}
+}
+
+func TestWantNonMarkerComments(t *testing.T) {
+	const src = `package w
+
+// wanted: this is prose, not a marker.
+func a() {}
+`
+	fset, files, _ := parseFixture(t, src)
+	if probs := diffWants(fset, files, nil); len(probs) != 0 {
+		t.Errorf("prose comment treated as marker: %v", probs)
+	}
+}
+
+// TestRunEndToEnd drives the public Run entry point with a toy
+// analyzer that reports twice per call of trigger(), pinning the
+// fixture-loading path and multi-marker matching together.
+func TestRunEndToEnd(t *testing.T) {
+	a := &rackvet.Analyzer{
+		Name: "toy",
+		Doc:  "reports two findings per trigger() call",
+		Run: func(pass *rackvet.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "trigger" {
+						pass.Reportf(call.Pos(), "toy: first finding")
+						pass.Reportf(call.Pos(), "toy: second finding")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	Run(t, "testdata", a, "w")
+}
