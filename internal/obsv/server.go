@@ -63,6 +63,9 @@ type Server struct {
 	residual *Residual
 	ln       net.Listener
 	srv      *http.Server
+	// done is closed when the serve goroutine exits; Close waits on it
+	// so shutdown cannot race a still-running Serve.
+	done chan struct{}
 }
 
 // NewServer builds the server and its routes; Start binds it to an
@@ -107,10 +110,14 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
 	s.mu.Lock()
-	s.ln, s.srv = ln, srv
+	s.ln, s.srv, s.done = ln, srv, done
 	s.mu.Unlock()
-	go func() { _ = srv.Serve(ln) }()
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
 	return ln.Addr().String(), nil
 }
 
@@ -124,17 +131,20 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener. In-flight requests are aborted; the join this
-// server observes is unaffected.
+// Close stops the listener and waits for the serve goroutine to exit.
+// In-flight requests are aborted; the join this server observes is
+// unaffected.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	srv := s.srv
-	s.srv, s.ln = nil, nil
+	srv, done := s.srv, s.done
+	s.srv, s.ln, s.done = nil, nil, nil
 	s.mu.Unlock()
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	err := srv.Close()
+	<-done
+	return err
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
