@@ -219,7 +219,7 @@ func Connect(a, b *QP) error {
 	}
 	first.mu.Lock()
 	defer first.mu.Unlock()
-	second.mu.Lock()
+	second.mu.Lock() //rackvet:ignore lockorder distinct instances, ordered by (dev.id, qpn) above; a==b rejected on entry
 	defer second.mu.Unlock()
 	if a.remote != nil || b.remote != nil {
 		return fmt.Errorf("rdma: queue pair already connected")
