@@ -35,6 +35,8 @@ type Pair struct {
 // ProbeRangeBatch is the batched equivalent of ProbeRange: probes the
 // table with outer tuples [lo, hi) and returns the match count and the
 // Σ(key + buildRID + probeRID) checksum.
+//
+//rack:hotpath
 func (t *Table) ProbeRangeBatch(outer *relation.Relation, lo, hi int, b *Batch) (matches, checksum uint64) {
 	if b == nil {
 		b = new(Batch)

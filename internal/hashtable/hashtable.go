@@ -73,6 +73,8 @@ func (t *Table) ProbeEach(key uint64, fn func(buildIdx int)) {
 // Σ (key + buildRID + probeRID) over all matches.
 //
 // This is the hot join kernel: it avoids closures and re-reads.
+//
+//rack:hotpath
 func (t *Table) ProbeRelation(outer *relation.Relation) (matches, checksum uint64) {
 	n := outer.Len()
 	for i := 0; i < n; i++ {

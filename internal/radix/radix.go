@@ -34,6 +34,8 @@ func Histogram(rel *relation.Relation, shift, bits uint) []int64 {
 // AddHistogram accumulates rel's per-partition counts into h, which must
 // have 2^bits entries. Used to merge per-thread histograms into
 // machine-level histograms without intermediate allocation.
+//
+//rack:hotpath
 func AddHistogram(h []int64, rel *relation.Relation, shift, bits uint) {
 	mask := uint64(1<<bits - 1)
 	width := rel.Width()
@@ -59,6 +61,8 @@ func PrefixSum(h []int64) (offsets []int64, total int64) {
 // cursors (in tuples), advancing the cursor of the tuple's partition.
 // cursors is mutated; callers seed it with exclusive prefix-sum offsets.
 // dst must use the same tuple width as src.
+//
+//rack:hotpath
 func Scatter(src, dst *relation.Relation, cursors []int64, shift, bits uint) {
 	mask := uint64(1<<bits - 1)
 	width := src.Width()

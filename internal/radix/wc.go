@@ -118,6 +118,8 @@ func ScatterWC(src, dst *relation.Relation, cursors []int64, shift, bits uint, w
 
 // scatterWCGeneric is the portable write-combining loop; the
 // width-specialised fast paths live in wc_fast.go.
+//
+//rack:hotpath
 func scatterWCGeneric(sdata, ddata []byte, width int, cursors []int64, shift, bits uint, wc *WCBuffers) {
 	mask := uint64(1<<bits - 1)
 	for off := 0; off < len(sdata); off += width {
@@ -166,6 +168,8 @@ func HistogramIndexed(rel *relation.Relation, shift, bits uint, idx []uint32) ([
 // ScatterIndexed scatters src into dst using the per-tuple partition
 // indexes of a HistogramIndexed pass instead of re-deriving them from the
 // keys. Contract is otherwise identical to Scatter.
+//
+//rack:hotpath
 func ScatterIndexed(src, dst *relation.Relation, cursors []int64, idx []uint32) {
 	width := src.Width()
 	sdata, ddata := src.Bytes(), dst.Bytes()
