@@ -26,11 +26,13 @@ vet:
 	$(GO) vet ./...
 
 # rackvet is the repo's own static-analysis suite (internal/analyzers,
-# DESIGN.md §11): buffer-pool lifecycle, span begin/end balance, atomics
-# discipline, unsafe.Pointer keep-alive rules, metric naming. Blocking:
-# a finding fails check and CI.
+# DESIGN.md §11 and §16): buffer-pool lifecycle, span begin/end balance,
+# atomics discipline, unsafe.Pointer keep-alive rules, metric naming,
+# lock ordering, goroutine lifecycle, and hot-path allocation. Blocking:
+# a finding fails check and CI. rackvet.json is the machine-readable
+# findings report CI uploads as an artifact.
 rackvet:
-	$(GO) run ./cmd/rackvet ./...
+	$(GO) run ./cmd/rackvet -json-out rackvet.json ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
